@@ -1,0 +1,332 @@
+/**
+ * @file
+ * ruusim — command-line driver for the library.
+ *
+ *   ruusim run <prog.s|lllNN> [--core K] [--entries N] [--buses N]
+ *          [--banks N] [--load-regs N] [--counter-bits N]
+ *          [--bypass M] [--predictor P] [--ibuffers] [--stats]
+ *   ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes a,b,c]
+ *   ruusim disasm <prog.s>
+ *   ruusim trace <prog.s|lllNN> <out.trace>
+ *   ruusim list
+ *
+ * Workloads are either a textual-assembly file or a built-in Livermore
+ * kernel name (lll01..lll14); "suite" means all fourteen.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/parser.hh"
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "sim/json.hh"
+#include "stats/table.hh"
+#include "trace/trace_io.hh"
+
+using namespace ruu;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  ruusim run <prog.s|lllNN> [options]\n"
+        "  ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes "
+        "a,b,c,...]\n"
+        "  ruusim disasm <prog.s>\n"
+        "  ruusim trace <prog.s|lllNN> <out.trace>\n"
+        "  ruusim list\n"
+        "options:\n"
+        "  --core K          simple|tomasulo|rstu|ruu|spec_ruu|history\n"
+        "  --entries N       pool/RUU/history entries (default 10)\n"
+        "  --buses N         result buses (default 1)\n"
+        "  --banks N         memory banks, 0 = ideal (default 0)\n"
+        "  --load-regs N     load registers (default 6)\n"
+        "  --counter-bits N  NI/LI width (default 3)\n"
+        "  --bypass M        full|none|limited_a|future_file\n"
+        "  --predictor P     always_taken|always_not_taken|btfn|"
+        "smith_2bit\n"
+        "  --ibuffers        model the instruction buffers\n"
+        "  --stats           dump all per-run statistics\n"
+        "  --json            emit one JSON object per run\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ruu_fatal("cannot open '%s'", path.c_str());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Resolve a workload argument: kernel name or assembly file. */
+std::vector<Workload>
+resolveWorkloads(const std::string &name)
+{
+    if (name == "suite")
+        return livermoreWorkloads();
+    for (const auto &workload : livermoreWorkloads())
+        if (workload.name == name)
+            return {workload};
+    AsmResult assembled = assemble(readFile(name), name);
+    if (!assembled.ok()) {
+        for (const auto &error : assembled.errors)
+            std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                         error.toString().c_str());
+        std::exit(1);
+    }
+    return {makeWorkload(std::move(*assembled.program))};
+}
+
+CoreKind
+parseCore(const std::string &name)
+{
+    for (CoreKind kind :
+         {CoreKind::Simple, CoreKind::Tomasulo, CoreKind::Rstu,
+          CoreKind::Ruu, CoreKind::SpecRuu, CoreKind::History}) {
+        if (name == coreKindName(kind))
+            return kind;
+    }
+    ruu_fatal("unknown core '%s'", name.c_str());
+}
+
+BypassMode
+parseBypass(const std::string &name)
+{
+    for (BypassMode mode : {BypassMode::Full, BypassMode::None,
+                            BypassMode::LimitedA,
+                            BypassMode::FutureFile}) {
+        if (name == bypassModeName(mode))
+            return mode;
+    }
+    ruu_fatal("unknown bypass mode '%s'", name.c_str());
+}
+
+PredictorKind
+parsePredictor(const std::string &name)
+{
+    for (PredictorKind kind :
+         {PredictorKind::AlwaysTaken, PredictorKind::AlwaysNotTaken,
+          PredictorKind::Btfn, PredictorKind::Smith2Bit}) {
+        if (name == predictorKindName(kind))
+            return kind;
+    }
+    ruu_fatal("unknown predictor '%s'", name.c_str());
+}
+
+struct Cli
+{
+    CoreKind core = CoreKind::Ruu;
+    UarchConfig config = UarchConfig::cray1();
+    bool ibuffers = false;
+    bool stats = false;
+    bool json = false;
+    std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
+    std::vector<std::string> positional;
+};
+
+Cli
+parseArgs(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--core") {
+            cli.core = parseCore(value());
+        } else if (arg == "--entries") {
+            unsigned n = static_cast<unsigned>(atoi(value().c_str()));
+            cli.config.poolEntries = n;
+            cli.config.historyEntries = n;
+            cli.config.tuEntries = n;
+        } else if (arg == "--buses") {
+            cli.config.resultBuses =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--banks") {
+            cli.config.memoryBanks =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--load-regs") {
+            cli.config.loadRegisters =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--counter-bits") {
+            cli.config.counterBits =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--bypass") {
+            cli.config.bypass = parseBypass(value());
+        } else if (arg == "--predictor") {
+            cli.config.predictor = parsePredictor(value());
+        } else if (arg == "--ibuffers") {
+            cli.ibuffers = true;
+        } else if (arg == "--stats") {
+            cli.stats = true;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--sizes") {
+            cli.sizes.clear();
+            std::stringstream list(value());
+            std::string item;
+            while (std::getline(list, item, ','))
+                cli.sizes.push_back(
+                    static_cast<unsigned>(atoi(item.c_str())));
+            if (cli.sizes.empty())
+                usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            cli.positional.push_back(arg);
+        }
+    }
+    return cli;
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+    auto core = makeCore(cli.core, cli.config);
+    RunOptions options;
+    options.modelIBuffers = cli.ibuffers;
+
+    std::uint64_t cycles = 0, instructions = 0;
+    for (const auto &workload : workloads) {
+        RunResult run = core->run(workload.trace(), options);
+        if (!matchesFunctional(run, workload.func))
+            ruu_fatal("'%s' committed the wrong state (simulator bug)",
+                      workload.name.c_str());
+        if (cli.json) {
+            std::printf("%s\n",
+                        runToJson(workload.name, core->name(), run,
+                                  core->stats())
+                            .c_str());
+        } else {
+            std::printf("%-8s %8llu instructions %9llu cycles  issue "
+                        "rate %.3f\n",
+                        workload.name.c_str(),
+                        static_cast<unsigned long long>(
+                            run.instructions),
+                        static_cast<unsigned long long>(run.cycles),
+                        run.issueRate());
+            if (cli.stats)
+                std::printf("%s", core->stats().dump().c_str());
+        }
+        cycles += run.cycles;
+        instructions += run.instructions;
+    }
+    if (workloads.size() > 1 && !cli.json)
+        std::printf("total    %8llu instructions %9llu cycles  issue "
+                    "rate %.3f\n",
+                    static_cast<unsigned long long>(instructions),
+                    static_cast<unsigned long long>(cycles),
+                    static_cast<double>(instructions) /
+                        static_cast<double>(cycles));
+    return 0;
+}
+
+int
+cmdSweep(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+    AggregateResult baseline =
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+    auto points = sweepPoolSize(cli.core, cli.config, cli.sizes,
+                                workloads, baseline.cycles);
+    TextTable table({"Entries", "Cycles", "Speedup", "Issue Rate"});
+    table.setTitle(std::string("sweep of ") + coreKindName(cli.core) +
+                   " (baseline: simple issue, " +
+                   TextTable::fmt(baseline.cycles) + " cycles)");
+    for (const auto &point : points)
+        table.addRow({TextTable::fmt(std::uint64_t{point.entries}),
+                      TextTable::fmt(point.total.cycles),
+                      TextTable::fmt(point.speedup),
+                      TextTable::fmt(point.total.issueRate())});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    AsmResult assembled =
+        assemble(readFile(cli.positional[0]), cli.positional[0]);
+    if (!assembled.ok()) {
+        for (const auto &error : assembled.errors)
+            std::fprintf(stderr, "%s\n", error.toString().c_str());
+        return 1;
+    }
+    std::printf("%s", assembled.program->listing().c_str());
+    return 0;
+}
+
+int
+cmdTrace(const Cli &cli)
+{
+    if (cli.positional.size() != 2)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+    if (!saveTraceFile(workloads[0].trace(), cli.positional[1]))
+        ruu_fatal("cannot write '%s'", cli.positional[1].c_str());
+    std::printf("wrote %zu records to %s\n", workloads[0].trace().size(),
+                cli.positional[1].c_str());
+    return 0;
+}
+
+int
+cmdList()
+{
+    for (const auto &kernel : livermoreKernels())
+        std::printf("%-8s %s\n", kernel.name.c_str(),
+                    kernel.description.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    Cli cli = parseArgs(argc, argv);
+    std::string problem = cli.config.validate();
+    if (!problem.empty())
+        ruu_fatal("bad configuration: %s", problem.c_str());
+
+    if (command == "run")
+        return cmdRun(cli);
+    if (command == "sweep")
+        return cmdSweep(cli);
+    if (command == "disasm")
+        return cmdDisasm(cli);
+    if (command == "trace")
+        return cmdTrace(cli);
+    if (command == "list")
+        return cmdList();
+    usage();
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation lifting the paper's §2.2 simulation assumptions:
+ *
+ *   (i)  no memory-bank conflicts,
+ *   (ii) all instruction references serviced by the buffers,
+ *  (iii) instructions pre-loaded into the buffers.
+ *
+ * The paper argues these "do not affect the execution time
+ * considerably for the benchmark programs"; this bench checks that
+ * claim against explicit models — word-interleaved memory banks with a
+ * CRAY-1-like 4-cycle recovery, and the 4 x 64-parcel instruction
+ * buffers with a cold start and refill penalties.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace ruu;
+
+namespace
+{
+
+/** Suite aggregate under explicit assumption models. */
+AggregateResult
+runWith(CoreKind kind, UarchConfig config, bool model_ibuffers)
+{
+    const auto &workloads = livermoreWorkloads();
+    AggregateResult total;
+    auto core = makeCore(kind, config);
+    RunOptions options;
+    options.modelIBuffers = model_ibuffers;
+    for (const auto &workload : workloads) {
+        RunResult run = core->run(workload.trace(), options);
+        if (!matchesFunctional(run, workload.func))
+            ruu_fatal("mis-simulation on %s", workload.name.c_str());
+        total.cycles += run.cycles;
+        total.instructions += run.instructions;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table({"Configuration", "Simple Cycles", "RUU-15 Cycles",
+                     "RUU-15 Slowdown"});
+    table.setAlign(0, Align::Left);
+    table.setTitle("Ablation (§2.2): lifting the paper's simulation "
+                   "assumptions");
+
+    UarchConfig ruu_config = UarchConfig::cray1();
+    ruu_config.poolEntries = 15;
+
+    AggregateResult simple_ideal =
+        runWith(CoreKind::Simple, UarchConfig::cray1(), false);
+    AggregateResult ruu_ideal = runWith(CoreKind::Ruu, ruu_config,
+                                        false);
+    auto add = [&](const char *label, AggregateResult simple,
+                   AggregateResult ruu) {
+        table.addRow({label, TextTable::fmt(simple.cycles),
+                      TextTable::fmt(ruu.cycles),
+                      TextTable::fmt(static_cast<double>(ruu.cycles) /
+                                     static_cast<double>(
+                                         ruu_ideal.cycles))});
+    };
+    add("paper assumptions (ideal)", simple_ideal, ruu_ideal);
+
+    {
+        add("+ instruction buffers modeled",
+            runWith(CoreKind::Simple, UarchConfig::cray1(), true),
+            runWith(CoreKind::Ruu, ruu_config, true));
+    }
+    for (unsigned banks : {16u, 8u, 4u}) {
+        UarchConfig simple_config = UarchConfig::cray1();
+        simple_config.memoryBanks = banks;
+        UarchConfig banked_ruu = ruu_config;
+        banked_ruu.memoryBanks = banks;
+        std::string label = "+ " + std::to_string(banks) +
+                            " memory banks (4-cycle recovery)";
+        add(label.c_str(), runWith(CoreKind::Simple, simple_config,
+                                   false),
+            runWith(CoreKind::Ruu, banked_ruu, false));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The paper's claim (§2.2) holds when the slowdown "
+                "column stays near 1.00 for the\nCRAY-1-like "
+                "configuration (16 banks, buffers modeled).\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the RUU's commit bandwidth.
+ *
+ * The paper's RUU updates the register file over a single
+ * RUU-to-register-file path — at most one commitment per cycle. Since
+ * the decode unit also feeds at most one instruction per cycle, the
+ * paper's steady-state reservoir argument (§3.2.3.1) predicts that a
+ * wider commit path is nearly worthless for throughput; its only
+ * leverage is draining bursts after long-latency instructions unblock
+ * the head. This sweep checks that prediction, including for the
+ * no-bypass RUU, whose consumers wait on commit broadcasts.
+ */
+
+#include <cstdio>
+
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    const auto &workloads = livermoreWorkloads();
+    AggregateResult baseline =
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+
+    TextTable table({"Commit Width", "RUU full", "RUU none",
+                     "Spec RUU"});
+    table.setTitle("Ablation: RUU commit bandwidth (speedup over "
+                   "simple issue), 20 entries");
+
+    for (unsigned width : {1u, 2u, 4u}) {
+        auto speedup = [&](CoreKind kind, BypassMode bypass) {
+            UarchConfig config = UarchConfig::cray1();
+            config.poolEntries = 20;
+            config.commitWidth = width;
+            config.bypass = bypass;
+            return runSuite(kind, config, workloads)
+                .speedupOver(baseline.cycles);
+        };
+        table.addRow(
+            {TextTable::fmt(std::uint64_t{width}),
+             TextTable::fmt(speedup(CoreKind::Ruu, BypassMode::Full)),
+             TextTable::fmt(speedup(CoreKind::Ruu, BypassMode::None)),
+             TextTable::fmt(
+                 speedup(CoreKind::SpecRuu, BypassMode::Full))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

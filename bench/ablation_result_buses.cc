@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation for the paper's §2 bus simplification: the model machine
+ * has one result bus, while the real CRAY-1 scalar unit had separate
+ * address and scalar result buses. Sweeping the delivery width
+ * quantifies what the single-bus restriction costs each mechanism.
+ */
+
+#include <cstdio>
+
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    const auto &workloads = livermoreWorkloads();
+    AggregateResult baseline =
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+
+    TextTable table({"Result Buses", "Simple Rate", "RSTU Speedup",
+                     "RUU Speedup", "Spec RUU Speedup"});
+    table.setTitle("Ablation (§2): result-bus width (1 = the paper's "
+                   "model, 2 ~ the real CRAY-1), pool = 15 entries");
+
+    for (unsigned buses : {1u, 2u, 3u}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 15;
+        config.resultBuses = buses;
+        // Extra delivery slots only matter if dispatch can fill them.
+        config.dispatchPaths = buses;
+
+        AggregateResult simple = runSuite(CoreKind::Simple, config,
+                                          workloads);
+        AggregateResult rstu = runSuite(CoreKind::Rstu, config,
+                                        workloads);
+        AggregateResult ruu = runSuite(CoreKind::Ruu, config, workloads);
+        AggregateResult spec = runSuite(CoreKind::SpecRuu, config,
+                                        workloads);
+        table.addRow({TextTable::fmt(std::uint64_t{buses}),
+                      TextTable::fmt(simple.issueRate()),
+                      TextTable::fmt(rstu.speedupOver(baseline.cycles)),
+                      TextTable::fmt(ruu.speedupOver(baseline.cycles)),
+                      TextTable::fmt(spec.speedupOver(baseline.cycles))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenches of the simulator engine itself (not a
+ * paper experiment): how fast each issue-logic model simulates, plus
+ * the front-end components (assembler, functional simulator, parcel
+ * encoder). Useful when extending the library — a regression here
+ * makes the table sweeps crawl.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "arch/func_sim.hh"
+#include "asm/parser.hh"
+#include "isa/encoding.hh"
+#include "kernels/lll.hh"
+#include "sim/machine.hh"
+
+namespace ruu
+{
+namespace
+{
+
+const Workload &
+workload()
+{
+    return livermoreWorkloads()[0]; // lll01: ~7.2k dynamic instructions
+}
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    auto program = std::make_shared<const Program>(
+        livermoreKernels()[0].program);
+    for (auto _ : state) {
+        FuncResult result = runFunctional(program);
+        benchmark::DoNotOptimize(result.trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(workload().trace().size()));
+}
+BENCHMARK(BM_FunctionalSim);
+
+void
+runCoreBench(benchmark::State &state, CoreKind kind)
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.poolEntries = static_cast<unsigned>(state.range(0));
+    config.tuEntries = static_cast<unsigned>(state.range(0));
+    auto core = makeCore(kind, config);
+    for (auto _ : state) {
+        RunResult result = core->run(workload().trace());
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(workload().trace().size()));
+}
+
+void
+BM_SimpleCore(benchmark::State &state)
+{
+    runCoreBench(state, CoreKind::Simple);
+}
+BENCHMARK(BM_SimpleCore)->Arg(10);
+
+void
+BM_TomasuloCore(benchmark::State &state)
+{
+    runCoreBench(state, CoreKind::Tomasulo);
+}
+BENCHMARK(BM_TomasuloCore)->Arg(10);
+
+void
+BM_RstuCore(benchmark::State &state)
+{
+    runCoreBench(state, CoreKind::Rstu);
+}
+BENCHMARK(BM_RstuCore)->Arg(10)->Arg(50);
+
+void
+BM_RuuCore(benchmark::State &state)
+{
+    runCoreBench(state, CoreKind::Ruu);
+}
+BENCHMARK(BM_RuuCore)->Arg(10)->Arg(50);
+
+void
+BM_SpecRuuCore(benchmark::State &state)
+{
+    runCoreBench(state, CoreKind::SpecRuu);
+}
+BENCHMARK(BM_SpecRuuCore)->Arg(10)->Arg(50);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    // Assemble a representative loop repeatedly.
+    std::string source = R"(
+.program bench
+    amovi A1, 0
+    amovi A6, 1
+    amovi A5, 100
+loop:
+    lds S1, 1000(A1)
+    fmul S2, S1, S1
+    fadd S3, S3, S2
+    sts 2000(A1), S3
+    aadd A1, A1, A6
+    asub A0, A1, A5
+    jam loop
+    halt
+)";
+    for (auto _ : state) {
+        AsmResult result = assemble(source);
+        benchmark::DoNotOptimize(result.ok());
+    }
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    const auto &insts = livermoreKernels()[0].program.instructions();
+    for (auto _ : state) {
+        auto image = encodeAll(insts);
+        auto decoded = decodeAll(image);
+        benchmark::DoNotOptimize(decoded->size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(insts.size()));
+}
+BENCHMARK(BM_EncodeDecode);
+
+} // namespace
+} // namespace ruu
+
+BENCHMARK_MAIN();

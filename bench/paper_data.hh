@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The numbers Sohi's paper reports, transcribed from Tables 1-6, for
+ * side-by-side rendering in the reproduction benches.
+ */
+
+#ifndef RUU_BENCH_PAPER_DATA_HH
+#define RUU_BENCH_PAPER_DATA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/report.hh"
+
+namespace ruu::paper
+{
+
+/** Table 1: per-loop statistics of the simple issue mechanism. */
+struct Table1Row
+{
+    const char *name;
+    std::uint64_t instructions;
+    std::uint64_t cycles;
+};
+
+inline const std::vector<Table1Row> &
+table1()
+{
+    static const std::vector<Table1Row> rows = {
+        {"LLL1", 7217, 17234},   {"LLL2", 8448, 17102},
+        {"LLL3", 14015, 36023},  {"LLL4", 9783, 20643},
+        {"LLL5", 8347, 20696},   {"LLL6", 9350, 22034},
+        {"LLL7", 4573, 10231},   {"LLL8", 4031, 8026},
+        {"LLL9", 4918, 10134},   {"LLL10", 4412, 9420},
+        {"LLL11", 12002, 28002}, {"LLL12", 11999, 27991},
+        {"LLL13", 8846, 17814},  {"LLL14", 9915, 23573},
+    };
+    return rows;
+}
+
+/** Table 2: RSTU relative speedup / issue rate. */
+inline const std::vector<PaperRow> &
+table2()
+{
+    static const std::vector<PaperRow> rows = {
+        {3, 0.965, 0.423},  {4, 1.140, 0.499},  {5, 1.294, 0.567},
+        {6, 1.424, 0.624},  {7, 1.479, 0.648},  {8, 1.553, 0.681},
+        {9, 1.587, 0.696},  {10, 1.642, 0.720}, {15, 1.763, 0.773},
+        {20, 1.798, 0.788}, {25, 1.820, 0.798}, {30, 1.821, 0.798},
+    };
+    return rows;
+}
+
+/** Table 3: RSTU with two data paths to the functional units. */
+inline const std::vector<PaperRow> &
+table3()
+{
+    static const std::vector<PaperRow> rows = {
+        {3, 0.976, 0.428},  {4, 1.155, 0.506},  {5, 1.310, 0.574},
+        {6, 1.442, 0.632},  {7, 1.515, 0.664},  {8, 1.586, 0.695},
+        {9, 1.634, 0.716},  {10, 1.667, 0.730}, {15, 1.796, 0.787},
+        {20, 1.832, 0.803}, {25, 1.843, 0.808}, {30, 1.845, 0.809},
+    };
+    return rows;
+}
+
+/** Table 4: RUU with bypass logic. */
+inline const std::vector<PaperRow> &
+table4()
+{
+    static const std::vector<PaperRow> rows = {
+        {3, 0.853, 0.374},  {4, 0.937, 0.411},  {6, 1.077, 0.472},
+        {8, 1.246, 0.546},  {10, 1.378, 0.604}, {12, 1.502, 0.658},
+        {15, 1.597, 0.700}, {20, 1.668, 0.731}, {25, 1.713, 0.751},
+        {30, 1.755, 0.769}, {40, 1.780, 0.780}, {50, 1.786, 0.783},
+    };
+    return rows;
+}
+
+/** Table 5: RUU without bypass logic. */
+inline const std::vector<PaperRow> &
+table5()
+{
+    static const std::vector<PaperRow> rows = {
+        {3, 0.825, 0.361},  {4, 0.906, 0.397},  {6, 1.030, 0.451},
+        {8, 1.070, 0.469},  {10, 1.102, 0.483}, {12, 1.190, 0.522},
+        {15, 1.212, 0.531}, {20, 1.291, 0.566}, {25, 1.337, 0.586},
+        {30, 1.365, 0.598}, {40, 1.447, 0.634}, {50, 1.475, 0.646},
+    };
+    return rows;
+}
+
+/** Table 6: RUU with limited bypass (duplicated A register file). */
+inline const std::vector<PaperRow> &
+table6()
+{
+    static const std::vector<PaperRow> rows = {
+        {3, 0.846, 0.371},  {4, 0.928, 0.407},  {6, 1.064, 0.466},
+        {8, 1.115, 0.489},  {10, 1.266, 0.555}, {12, 1.303, 0.571},
+        {15, 1.420, 0.622}, {20, 1.448, 0.635}, {25, 1.484, 0.651},
+        {30, 1.505, 0.660}, {40, 1.518, 0.665}, {50, 1.547, 0.678},
+    };
+    return rows;
+}
+
+/** Pool sizes swept by Tables 2 and 3. */
+inline std::vector<unsigned>
+rstuSizes()
+{
+    return {3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30};
+}
+
+/** RUU sizes swept by Tables 4-6. */
+inline std::vector<unsigned>
+ruuSizes()
+{
+    return {3, 4, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50};
+}
+
+} // namespace ruu::paper
+
+#endif // RUU_BENCH_PAPER_DATA_HH

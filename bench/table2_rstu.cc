@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Table 2: relative speedup and issue rate of the merged
+ * RSTU (one dispatch path) versus pool size, aggregated over the 14
+ * Livermore loops.
+ */
+
+#include "bench/table_sweep_common.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.dispatchPaths = 1;
+    return benchsupport::runTable(
+        "Table 2: RSTU, one data path (paper vs reproduction)",
+        CoreKind::Rstu, config, paper::rstuSizes(), paper::table2());
+}

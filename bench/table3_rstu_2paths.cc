@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces Table 3: the RSTU with two data paths from the pool to
+ * the functional units. The paper's point: the second path makes only
+ * a small difference, because the single decode unit fills the pool at
+ * one instruction per cycle.
+ */
+
+#include "bench/table_sweep_common.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.dispatchPaths = 2;
+    return benchsupport::runTable(
+        "Table 3: RSTU, two data paths (paper vs reproduction)",
+        CoreKind::Rstu, config, paper::rstuSizes(), paper::table3());
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Table 4: the Register Update Unit with full source-
+ * operand bypass logic — precise interrupts at RSTU-like speedups.
+ */
+
+#include "bench/table_sweep_common.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.bypass = BypassMode::Full;
+    return benchsupport::runTable(
+        "Table 4: RUU with bypass logic (paper vs reproduction)",
+        CoreKind::Ruu, config, paper::ruuSizes(), paper::table4());
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces Table 5: the RUU without bypass logic. Waiting operands
+ * monitor the result bus and the RUU-to-register-file bus only, so
+ * in-order commitment aggravates dependencies (paper section 6.2) and the
+ * speedup falls well below Table 4.
+ */
+
+#include "bench/table_sweep_common.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.bypass = BypassMode::None;
+    return benchsupport::runTable(
+        "Table 5: RUU without bypass logic (paper vs reproduction)",
+        CoreKind::Ruu, config, paper::ruuSizes(), paper::table5());
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Table 6: the RUU with limited bypass — a duplicated
+ * (future) A register file serving address-register operands and the
+ * branch conditions that dominate the loops' critical paths.
+ */
+
+#include "bench/table_sweep_common.hh"
+
+using namespace ruu;
+
+int
+main()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.bypass = BypassMode::LimitedA;
+    return benchsupport::runTable(
+        "Table 6: RUU with limited bypass (paper vs reproduction)",
+        CoreKind::Ruu, config, paper::ruuSizes(), paper::table6());
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared driver for the Table 2-6 reproduction benches: run the
+ * baseline, sweep a core over pool sizes, and print paper-vs-measured.
+ */
+
+#ifndef RUU_BENCH_TABLE_SWEEP_COMMON_HH
+#define RUU_BENCH_TABLE_SWEEP_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "bench/paper_data.hh"
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+namespace ruu::benchsupport
+{
+
+/** Run one table's sweep and print the comparison. */
+inline int
+runTable(const std::string &title, CoreKind kind, UarchConfig config,
+         const std::vector<unsigned> &sizes,
+         const std::vector<PaperRow> &paper_rows)
+{
+    const auto &workloads = livermoreWorkloads();
+    AggregateResult baseline =
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+    std::printf("baseline (simple issue): %llu cycles, %llu "
+                "instructions, issue rate %.3f\n\n",
+                static_cast<unsigned long long>(baseline.cycles),
+                static_cast<unsigned long long>(baseline.instructions),
+                baseline.issueRate());
+
+    auto points = sweepPoolSize(kind, config, sizes, workloads,
+                                baseline.cycles);
+    std::printf("%s\n",
+                renderComparison(title, paper_rows, points).c_str());
+    return 0;
+}
+
+} // namespace ruu::benchsupport
+
+#endif // RUU_BENCH_TABLE_SWEEP_COMMON_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Textual-assembly playground: assemble a .s file (or a built-in
+ * sample), print the listing, run it functionally, simulate it on a
+ * chosen core, and optionally archive the trace.
+ *
+ *   $ ./build/examples/asm_playground                   # built-in demo
+ *   $ ./build/examples/asm_playground prog.s ruu 20     # your program
+ *   $ ./build/examples/asm_playground prog.s rstu 10 trace.txt
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "asm/parser.hh"
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "trace/trace_io.hh"
+
+using namespace ruu;
+
+namespace
+{
+
+const char *kDemoSource = R"(; dot product of two 32-element vectors
+.program dot
+.fword 100, 0.0
+    amovi A1, 0
+    amovi A6, 1
+    amovi A5, 32
+    smovi S4, 0
+loop:
+    lds  S1, 1000(A1)
+    lds  S2, 2000(A1)
+    fmul S1, S1, S2
+    fadd S4, S4, S1
+    aadd A1, A1, A6
+    asub A0, A1, A5
+    jam  loop
+    amovi A3, 0
+    sts  100(A3), S4
+    halt
+)";
+
+CoreKind
+parseCoreKind(const char *name)
+{
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu}) {
+        if (std::strcmp(name, coreKindName(kind)) == 0)
+            return kind;
+    }
+    ruu_fatal("unknown core '%s' (simple, tomasulo, rstu, ruu, "
+              "spec_ruu)", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string source;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in)
+            ruu_fatal("cannot open '%s'", argv[1]);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        source = buffer.str();
+    } else {
+        source = kDemoSource;
+        // Fill the demo's input vectors.
+        std::string data;
+        for (int i = 0; i < 32; ++i) {
+            data += ".fword " + std::to_string(1000 + i) + ", " +
+                    std::to_string(0.25 * (i + 1)) + "\n";
+            data += ".fword " + std::to_string(2000 + i) + ", 2.0\n";
+        }
+        source += data;
+    }
+
+    AsmResult assembled = assemble(source);
+    if (!assembled.ok()) {
+        for (const auto &error : assembled.errors)
+            std::fprintf(stderr, "%s\n", error.toString().c_str());
+        return 1;
+    }
+
+    std::printf("%s\n", assembled.program->listing().c_str());
+    Workload workload = makeWorkload(std::move(*assembled.program));
+    std::printf("functional run: %zu dynamic instructions\n",
+                workload.trace().size());
+
+    CoreKind kind = argc > 2 ? parseCoreKind(argv[2]) : CoreKind::Ruu;
+    UarchConfig config = UarchConfig::cray1();
+    if (argc > 3)
+        config.poolEntries = static_cast<unsigned>(atoi(argv[3]));
+
+    auto core = makeCore(kind, config);
+    RunResult run = core->run(workload.trace());
+    if (!matchesFunctional(run, workload.func))
+        ruu_fatal("core committed the wrong state");
+    std::printf("%s (%u entries): %llu cycles, issue rate %.3f\n",
+                core->name(), config.poolEntries,
+                static_cast<unsigned long long>(run.cycles),
+                run.issueRate());
+    std::printf("\nper-run statistics:\n%s", core->stats().dump().c_str());
+
+    if (argc > 4) {
+        if (saveTraceFile(workload.trace(), argv[4]))
+            std::printf("trace written to %s\n", argv[4]);
+        else
+            std::fprintf(stderr, "could not write %s\n", argv[4]);
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * What "interruptible" in the paper's title buys you: an operating
+ * system can stop a program at an *arbitrary* dynamic instruction,
+ * run something else, and transparently resume — because the RUU
+ * guarantees a precise architectural state at every instruction
+ * boundary.
+ *
+ * This scenario round-robins two Livermore loops on one RUU core with
+ * a "timer interrupt" every few thousand instructions (modeled as a
+ * precise trap at the scheduling boundary, exactly the mechanism a
+ * page fault uses), context-switching between their saved register
+ * and memory states. Both programs must finish bit-identical to
+ * uninterrupted runs.
+ *
+ *   $ ./build/examples/context_switch
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "kernels/lll.hh"
+#include "sim/machine.hh"
+
+using namespace ruu;
+
+namespace
+{
+
+/** One runnable process: a workload plus its saved context. */
+struct Process
+{
+    const Workload *workload;
+    SeqNum resumeAt = 0;    //!< next dynamic instruction to execute
+    ArchState state;        //!< saved registers
+    Memory memory;          //!< saved memory image
+    bool started = false;
+    bool finished = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    constexpr SeqNum kTimeSlice = 1500; // instructions per quantum
+
+    const Workload &a = livermoreWorkloads()[0]; // lll01
+    const Workload &b = livermoreWorkloads()[2]; // lll03
+    std::vector<Process> processes(2);
+    processes[0].workload = &a;
+    processes[1].workload = &b;
+
+    UarchConfig config = UarchConfig::cray1();
+    config.poolEntries = 15;
+    auto core = makeCore(CoreKind::Ruu, config);
+
+    std::printf("round-robin scheduling %s (%zu instrs) and %s "
+                "(%zu instrs), quantum = %llu instructions\n\n",
+                a.name.c_str(), a.trace().size(), b.name.c_str(),
+                b.trace().size(),
+                static_cast<unsigned long long>(kTimeSlice));
+
+    unsigned switches = 0;
+    Cycle total_cycles = 0;
+    for (unsigned turn = 0;; ++turn) {
+        Process &process = processes[turn % 2];
+        if (process.finished) {
+            if (processes[0].finished && processes[1].finished)
+                break;
+            continue;
+        }
+
+        // Arm the "timer": a precise trap at the end of the quantum.
+        const Trace &trace = process.workload->trace();
+        Trace sliced = trace;
+        // The trap must land on an instruction that reaches the RUU
+        // (branches resolve in decode), so round the deadline forward.
+        SeqNum deadline =
+            nextFaultable(trace, process.resumeAt + kTimeSlice);
+        if (deadline != kNoSeqNum && deadline < trace.size())
+            sliced.injectFault(deadline, Fault::PageFault);
+
+        RunOptions options;
+        options.startSeq = process.resumeAt;
+        if (process.started) {
+            options.initialState = &process.state;
+            options.initialMemory = &process.memory;
+        }
+        RunResult run = core->run(sliced, options);
+        total_cycles += run.cycles;
+
+        if (run.interrupted) {
+            // Save the precise context and yield.
+            process.resumeAt = run.faultSeq;
+            process.state = run.state;
+            process.memory = run.memory;
+            process.started = true;
+            ++switches;
+            std::printf("  %s preempted at instruction %llu (pc %u)\n",
+                        process.workload->name.c_str(),
+                        static_cast<unsigned long long>(run.faultSeq),
+                        run.faultPc);
+        } else {
+            process.finished = true;
+            if (!matchesFunctional(run, process.workload->func))
+                ruu_fatal("%s finished with the wrong state!",
+                          process.workload->name.c_str());
+            std::printf("  %s finished; final state matches an "
+                        "uninterrupted run\n",
+                        process.workload->name.c_str());
+        }
+    }
+
+    std::printf("\n%u context switches, %llu total cycles; both "
+                "programs bit-exact.\n",
+                switches, static_cast<unsigned long long>(total_cycles));
+    std::printf("This is the property the paper's title promises: "
+                "high performance *and*\ninterruptibility at every "
+                "instruction boundary.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Design-space explorer: compare every issue mechanism across window
+ * sizes on one Livermore loop (or all of them), the way an architect
+ * would size the structure.
+ *
+ *   $ ./build/examples/issue_logic_explorer          # all 14 loops
+ *   $ ./build/examples/issue_logic_explorer lll05    # one loop
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace ruu;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Workload> workloads;
+    if (argc > 1) {
+        for (const auto &workload : livermoreWorkloads())
+            if (workload.name == argv[1])
+                workloads.push_back(workload);
+        if (workloads.empty()) {
+            std::fprintf(stderr,
+                         "unknown kernel '%s' (use lll01..lll14)\n",
+                         argv[1]);
+            return 1;
+        }
+    } else {
+        workloads = livermoreWorkloads();
+    }
+
+    AggregateResult baseline =
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+    std::printf("baseline (simple issue): %llu cycles, issue rate "
+                "%.3f\n\n",
+                static_cast<unsigned long long>(baseline.cycles),
+                baseline.issueRate());
+
+    TextTable table({"Entries", "Tomasulo", "RSTU", "RSTU 2-path",
+                     "RUU full", "RUU limited", "RUU none",
+                     "Spec RUU"});
+    table.setTitle("Relative speedup over simple issue, by mechanism "
+                   "and window size");
+
+    for (unsigned entries : {4u, 8u, 12u, 20u, 30u, 50u}) {
+        auto speedup = [&](CoreKind kind, auto mutate) {
+            UarchConfig config = UarchConfig::cray1();
+            config.poolEntries = entries;
+            config.tuEntries = entries;
+            config.rsPerFu = std::max(1u, entries / 11);
+            mutate(config);
+            return runSuite(kind, config, workloads)
+                .speedupOver(baseline.cycles);
+        };
+        auto nothing = [](UarchConfig &) {};
+        table.addRow(
+            {TextTable::fmt(std::uint64_t{entries}),
+             TextTable::fmt(speedup(CoreKind::Tomasulo, nothing)),
+             TextTable::fmt(speedup(CoreKind::Rstu, nothing)),
+             TextTable::fmt(speedup(CoreKind::Rstu,
+                                    [](UarchConfig &c) {
+                                        c.dispatchPaths = 2;
+                                    })),
+             TextTable::fmt(speedup(CoreKind::Ruu, nothing)),
+             TextTable::fmt(speedup(CoreKind::Ruu,
+                                    [](UarchConfig &c) {
+                                        c.bypass = BypassMode::LimitedA;
+                                    })),
+             TextTable::fmt(speedup(CoreKind::Ruu,
+                                    [](UarchConfig &c) {
+                                        c.bypass = BypassMode::None;
+                                    })),
+             TextTable::fmt(speedup(CoreKind::SpecRuu, nothing))});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,17 @@
+; Iterative Fibonacci: store fib(0..23) to memory at 2000, leave
+; fib(23) in S1. Demonstrates the textual assembler syntax.
+.program fib
+    smovi S1, 0          ; fib(i-1)
+    smovi S2, 1          ; fib(i)
+    amovi A1, 0          ; i
+    amovi A6, 1
+    amovi A5, 24         ; n
+loop:
+    sts   2000(A1), S1
+    sadd  S3, S1, S2     ; next
+    movs  S1, S2
+    movs  S2, S3
+    aadd  A1, A1, A6
+    asub  A0, A1, A5
+    jam   loop
+    halt

@@ -1,0 +1,40 @@
+; Horner evaluation of a degree-7 polynomial at 32 points.
+; Coefficients at 100..107 (c7 first), inputs at 1000, outputs at 2000.
+.program polyeval
+.fword 100, 0.5
+.fword 101, -1.25
+.fword 102, 2.0
+.fword 103, 0.125
+.fword 104, -0.75
+.fword 105, 1.5
+.fword 106, -0.25
+.fword 107, 3.0
+.fword 1000, 0.1
+.fword 1001, 0.2
+.fword 1002, 0.3
+.fword 1003, 0.4
+.fword 1004, 0.5
+.fword 1005, 0.6
+.fword 1006, 0.7
+.fword 1007, 0.8
+    amovi A1, 0          ; point index
+    amovi A6, 1
+    amovi A5, 8          ; points
+    amovi A3, 0
+outer:
+    lds   S1, 1000(A1)   ; x
+    lds   S2, 100(A3)    ; acc = c7
+    amovi A2, 1          ; coefficient index
+    amovi A4, 8
+inner:
+    fmul  S2, S2, S1     ; acc *= x
+    lds   S3, 100(A2)    ; c[k]
+    fadd  S2, S2, S3     ; acc += c[k]
+    aadd  A2, A2, A6
+    asub  A0, A2, A4
+    jam   inner
+    sts   2000(A1), S2
+    aadd  A1, A1, A6
+    asub  A0, A1, A5
+    jam   outer
+    halt

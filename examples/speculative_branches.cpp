@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The §7 extension in action: watch the RUU nullify wrong-path work.
+ *
+ * Runs a data-dependent branchy loop (taken/not-taken decided by the
+ * data) on the base RUU and on the speculative RUU with different
+ * predictors, printing prediction accuracy, squashed instructions, and
+ * the cycles each configuration needs.
+ *
+ *   $ ./build/examples/speculative_branches
+ */
+
+#include <cstdio>
+
+#include "asm/builder.hh"
+#include "kernels/data.hh"
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "stats/table.hh"
+
+using namespace ruu;
+
+namespace
+{
+
+/**
+ * sum += data[i] > 0.5 ? data[i]*2 : -data[i]  over 500 elements.
+ * The if/else makes a data-dependent branch the predictor must learn.
+ */
+Workload
+makeBranchyWorkload()
+{
+    constexpr int n = 500;
+    DataGen gen(0x5eed);
+    ProgramBuilder b("branchy");
+    initArray(b, 1000, gen.vec(n, 0.0, 1.0));
+    b.fword(100, 0.5);
+    b.fword(101, 0.0);
+
+    b.amovi(regA(3), 0);
+    b.lds(regS(4), regA(3), 100);        // 0.5
+    b.smovi(regS(5), 0);                 // sum
+    b.amovi(regA(1), 0);
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), n);
+
+    b.label("loop");
+    b.lds(regS(1), regA(1), 1000);       // data[i]
+    b.fsub(regS(0), regS(1), regS(4));   // S0 = data[i] - 0.5
+    b.jsm("small");                      // data-dependent direction
+    b.fadd(regS(2), regS(1), regS(1));   // big: 2*data[i]
+    b.j("accumulate");
+    b.label("small");
+    b.smovi(regS(2), 0);
+    b.fsub(regS(2), regS(2), regS(1));   // small: -data[i]
+    b.label("accumulate");
+    b.fadd(regS(5), regS(5), regS(2));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.sts(regA(3), 200, regS(5));
+    b.halt();
+    return makeWorkload(b.build());
+}
+
+} // namespace
+
+int
+main()
+{
+    Workload workload = makeBranchyWorkload();
+    std::printf("branchy workload: %zu dynamic instructions, %zu "
+                "conditional branches\n",
+                workload.trace().size(),
+                workload.trace().countCondBranches());
+    std::printf("sum = %g\n\n", workload.func.finalMemory.atDouble(200));
+
+    UarchConfig config = UarchConfig::cray1();
+    config.poolEntries = 20;
+
+    auto ruu = makeCore(CoreKind::Ruu, config);
+    RunResult base = ruu->run(workload.trace());
+    std::printf("base RUU (stall on every branch): %llu cycles\n\n",
+                static_cast<unsigned long long>(base.cycles));
+
+    TextTable table({"Predictor", "Cycles", "Speedup vs base RUU",
+                     "Mispredicts", "Squashed Entries"});
+    table.setAlign(0, Align::Left);
+    for (PredictorKind predictor :
+         {PredictorKind::AlwaysNotTaken, PredictorKind::AlwaysTaken,
+          PredictorKind::Btfn, PredictorKind::Smith2Bit}) {
+        config.predictor = predictor;
+        auto spec = makeCore(CoreKind::SpecRuu, config);
+        RunResult run = spec->run(workload.trace());
+        if (!matchesFunctional(run, workload.func))
+            ruu_fatal("speculative run committed the wrong state");
+        table.addRow(
+            {predictorKindName(predictor), TextTable::fmt(run.cycles),
+             TextTable::fmt(static_cast<double>(base.cycles) /
+                            static_cast<double>(run.cycles)),
+             TextTable::fmt(spec->stats().value("mispredicts")),
+             TextTable::fmt(spec->stats().value("squashed_entries"))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nEvery configuration commits the identical "
+                "architectural state: wrong-path\nwork is nullified by "
+                "the RUU, never committed (§7).\n");
+    return 0;
+}

@@ -1,0 +1,215 @@
+#include "arch/executor.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+const char *
+faultName(Fault fault)
+{
+    switch (fault) {
+      case Fault::None: return "none";
+      case Fault::PageFault: return "page_fault";
+      case Fault::Arithmetic: return "arithmetic";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Evaluate a conditional branch's predicate against its test value. */
+bool
+branchTaken(Opcode op, std::int64_t test)
+{
+    switch (op) {
+      case Opcode::J:   return true;
+      case Opcode::JAZ:
+      case Opcode::JSZ: return test == 0;
+      case Opcode::JAN:
+      case Opcode::JSN: return test != 0;
+      case Opcode::JAP:
+      case Opcode::JSP: return test >= 0;
+      case Opcode::JAM:
+      case Opcode::JSM: return test < 0;
+      default:
+        ruu_panic("branchTaken on non-branch %s", mnemonic(op));
+    }
+}
+
+} // namespace
+
+ExecOutcome
+execute(const Program &program, std::size_t index, ArchState &state,
+        Memory &memory)
+{
+    const Instruction &inst = program.inst(index);
+    ExecOutcome out;
+    out.nextIndex = index + 1;
+
+    auto writeDst = [&](Word value) {
+        out.value = value;
+        state.write(inst.dst, value);
+    };
+    auto writeDstInt = [&](std::int64_t v) {
+        writeDst(static_cast<Word>(v));
+    };
+    auto writeDstFp = [&](double v) { writeDst(doubleToWord(v)); };
+
+    switch (inst.op) {
+      case Opcode::AADD:
+      case Opcode::SADD:
+        writeDstInt(state.readInt(inst.src1) + state.readInt(inst.src2));
+        break;
+      case Opcode::ASUB:
+      case Opcode::SSUB:
+        writeDstInt(state.readInt(inst.src1) - state.readInt(inst.src2));
+        break;
+      case Opcode::AMUL:
+        writeDstInt(state.readInt(inst.src1) * state.readInt(inst.src2));
+        break;
+      case Opcode::AMOVI:
+      case Opcode::SMOVI:
+        writeDstInt(inst.imm);
+        break;
+      case Opcode::MOVA:
+      case Opcode::MOVS:
+      case Opcode::MOVSA:
+      case Opcode::MOVAS:
+      case Opcode::MOVBA:
+      case Opcode::MOVAB:
+      case Opcode::MOVTS:
+      case Opcode::MOVST:
+        writeDst(state.read(inst.src1));
+        break;
+
+      case Opcode::SAND:
+        writeDst(state.read(inst.src1) & state.read(inst.src2));
+        break;
+      case Opcode::SOR:
+        writeDst(state.read(inst.src1) | state.read(inst.src2));
+        break;
+      case Opcode::SXOR:
+        writeDst(state.read(inst.src1) ^ state.read(inst.src2));
+        break;
+      case Opcode::SSHL:
+        writeDst(state.read(inst.src1)
+                 << static_cast<unsigned>(inst.imm));
+        break;
+      case Opcode::SSHR:
+        writeDst(state.read(inst.src1)
+                 >> static_cast<unsigned>(inst.imm));
+        break;
+      case Opcode::SPOP:
+        writeDst(static_cast<Word>(std::popcount(state.read(inst.src1))));
+        break;
+      case Opcode::SLZ:
+        writeDst(static_cast<Word>(std::countl_zero(
+            state.read(inst.src1))));
+        break;
+
+      case Opcode::FADD:
+        writeDstFp(state.readDouble(inst.src1) +
+                   state.readDouble(inst.src2));
+        break;
+      case Opcode::FSUB:
+        writeDstFp(state.readDouble(inst.src1) -
+                   state.readDouble(inst.src2));
+        break;
+      case Opcode::FMUL:
+        writeDstFp(state.readDouble(inst.src1) *
+                   state.readDouble(inst.src2));
+        break;
+      case Opcode::FRECIP: {
+        double v = state.readDouble(inst.src1);
+        if (v == 0.0 || std::isnan(v)) {
+            out.fault = Fault::Arithmetic;
+            out.nextIndex.reset();
+            return out;
+        }
+        writeDstFp(1.0 / v);
+        break;
+      }
+      case Opcode::SFIX: {
+        double v = state.readDouble(inst.src1);
+        if (std::isnan(v) || v >= 9.2233720368547758e18 ||
+            v <= -9.2233720368547758e18) {
+            out.fault = Fault::Arithmetic;
+            out.nextIndex.reset();
+            return out;
+        }
+        writeDstInt(static_cast<std::int64_t>(v));
+        break;
+      }
+      case Opcode::SFLT:
+        writeDstFp(static_cast<double>(state.readInt(inst.src1)));
+        break;
+
+      case Opcode::LDA:
+      case Opcode::LDS: {
+        std::int64_t base = state.readInt(inst.src1);
+        out.memAddr = static_cast<Addr>(base + inst.imm);
+        auto loaded = memory.load(out.memAddr);
+        if (!loaded) {
+            out.fault = Fault::PageFault;
+            out.nextIndex.reset();
+            return out;
+        }
+        writeDst(*loaded);
+        break;
+      }
+      case Opcode::STA:
+      case Opcode::STS: {
+        std::int64_t base = state.readInt(inst.src1);
+        out.memAddr = static_cast<Addr>(base + inst.imm);
+        out.storeValue = state.read(inst.src2);
+        if (!memory.store(out.memAddr, out.storeValue)) {
+            out.fault = Fault::PageFault;
+            out.nextIndex.reset();
+            return out;
+        }
+        break;
+      }
+
+      case Opcode::J:
+      case Opcode::JAZ:
+      case Opcode::JAN:
+      case Opcode::JAP:
+      case Opcode::JAM:
+      case Opcode::JSZ:
+      case Opcode::JSN:
+      case Opcode::JSP:
+      case Opcode::JSM: {
+        std::int64_t test =
+            inst.src1.valid() ? state.readInt(inst.src1) : 0;
+        out.taken = branchTaken(inst.op, test);
+        if (out.taken) {
+            auto target = program.indexOfPc(inst.target);
+            ruu_assert(target.has_value(),
+                       "branch target %u is not an instruction boundary",
+                       inst.target);
+            out.nextIndex = *target;
+        }
+        break;
+      }
+
+      case Opcode::HALT:
+        out.halted = true;
+        out.nextIndex.reset();
+        break;
+      case Opcode::NOP:
+        break;
+
+      case Opcode::NumOpcodes:
+        ruu_panic("executed NumOpcodes sentinel");
+    }
+
+    return out;
+}
+
+} // namespace ruu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional (untimed) execution of single instructions.
+ *
+ * The executor defines the ISA's semantics. It is used by the
+ * functional simulator to generate traces, by the test oracles, and —
+ * indirectly through trace values — to verify that every timing core
+ * commits exactly the sequential results.
+ */
+
+#ifndef RUU_ARCH_EXECUTOR_HH
+#define RUU_ARCH_EXECUTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/memory.hh"
+#include "arch/state.hh"
+#include "asm/program.hh"
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** Instruction-generated traps of the model machine. */
+enum class Fault : std::uint8_t
+{
+    None,       //!< no fault
+    PageFault,  //!< memory access to an unmapped address
+    Arithmetic, //!< reciprocal of zero, conversion overflow
+};
+
+/** Printable fault name. */
+const char *faultName(Fault fault);
+
+/** Everything that happened when one instruction executed. */
+struct ExecOutcome
+{
+    /** Fault raised; when not None no architectural change was made. */
+    Fault fault = Fault::None;
+
+    /** Destination value (valid when the instruction writes a register). */
+    Word value = 0;
+
+    /** Word address touched (valid for loads and stores). */
+    Addr memAddr = 0;
+
+    /** Value written to memory (valid for stores). */
+    Word storeValue = 0;
+
+    /** Branch outcome (valid for branches; J is always taken). */
+    bool taken = false;
+
+    /** The instruction was HALT. */
+    bool halted = false;
+
+    /**
+     * Static index of the next instruction to execute; unset after
+     * HALT or a fault.
+     */
+    std::optional<std::size_t> nextIndex;
+};
+
+/**
+ * Execute instruction @p index of @p program against @p state and
+ * @p memory, applying its architectural side effects.
+ *
+ * On a fault no side effect is applied, matching the precise-interrupt
+ * requirement that the faulting instruction not change the state.
+ */
+ExecOutcome execute(const Program &program, std::size_t index,
+                    ArchState &state, Memory &memory);
+
+} // namespace ruu
+
+#endif // RUU_ARCH_EXECUTOR_HH

@@ -1,0 +1,91 @@
+#include "arch/func_sim.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+namespace
+{
+
+FuncResult
+run(std::shared_ptr<const Program> program, std::uint64_t limit,
+    const FuncSimOptions &options)
+{
+    ruu_assert(program != nullptr, "null program");
+    FuncResult result;
+    result.trace = Trace(program);
+    result.finalMemory = Memory(options.memoryWords);
+
+    for (const auto &init : program->dataInits()) {
+        if (!result.finalMemory.store(init.addr, init.value))
+            ruu_fatal("data init at %llu is outside memory (%zu words)",
+                      static_cast<unsigned long long>(init.addr),
+                      result.finalMemory.sizeWords());
+    }
+
+    if (program->empty())
+        return result;
+
+    std::size_t index = 0;
+    std::uint64_t executed = 0;
+    while (executed < limit) {
+        ExecOutcome out = execute(*program, index, result.finalState,
+                                  result.finalMemory);
+
+        TraceRecord record;
+        record.inst = program->inst(index);
+        record.staticIndex = index;
+        record.pc = program->pc(index);
+        record.memAddr = out.memAddr;
+        record.result = out.value;
+        record.storeValue = out.storeValue;
+        record.taken = out.taken;
+        record.fault = out.fault;
+
+        if (out.fault != Fault::None) {
+            // A faulting instruction is recorded (the timing cores need
+            // to see it to raise the interrupt) but has no side effects
+            // and ends the functional run.
+            result.trace.append(record);
+            result.fault = out.fault;
+            result.faultSeq = result.trace.size() - 1;
+            return result;
+        }
+
+        result.trace.append(record);
+        ++executed;
+
+        if (out.halted) {
+            result.halted = true;
+            return result;
+        }
+        ruu_assert(out.nextIndex.has_value(),
+                   "no successor for a non-halting instruction");
+        index = *out.nextIndex;
+        ruu_assert(index < program->size(),
+                   "control fell off the end of program '%s'",
+                   program->name().c_str());
+    }
+    return result;
+}
+
+} // namespace
+
+FuncResult
+runFunctional(std::shared_ptr<const Program> program,
+              const FuncSimOptions &options)
+{
+    return run(std::move(program), options.maxInstructions, options);
+}
+
+FuncResult
+runPrefix(std::shared_ptr<const Program> program, std::uint64_t count,
+          const FuncSimOptions &options)
+{
+    std::uint64_t limit = std::min<std::uint64_t>(count,
+                                                  options.maxInstructions);
+    return run(std::move(program), limit, options);
+}
+
+} // namespace ruu

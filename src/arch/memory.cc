@@ -1,0 +1,58 @@
+#include "arch/memory.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+Memory::Memory(std::size_t words) : _words(words, 0)
+{
+}
+
+std::optional<Word>
+Memory::load(Addr addr) const
+{
+    if (!mapped(addr))
+        return std::nullopt;
+    return _words[addr];
+}
+
+bool
+Memory::store(Addr addr, Word value)
+{
+    if (!mapped(addr))
+        return false;
+    _words[addr] = value;
+    return true;
+}
+
+Word
+Memory::at(Addr addr) const
+{
+    ruu_assert(mapped(addr), "unmapped address %llu",
+               static_cast<unsigned long long>(addr));
+    return _words[addr];
+}
+
+void
+Memory::set(Addr addr, Word value)
+{
+    ruu_assert(mapped(addr), "unmapped address %llu",
+               static_cast<unsigned long long>(addr));
+    _words[addr] = value;
+}
+
+double
+Memory::atDouble(Addr addr) const
+{
+    return wordToDouble(at(addr));
+}
+
+void
+Memory::clear()
+{
+    std::fill(_words.begin(), _words.end(), 0);
+}
+
+} // namespace ruu

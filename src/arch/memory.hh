@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Data memory of the model machine.
+ *
+ * Memory is word-addressed (64-bit words) and flat, with a fixed
+ * capacity; accesses beyond the capacity raise a page fault. The paper
+ * assumes no memory-bank conflicts (§2.2 assumption (i)), so there is
+ * no banking model — the memory functional unit's latency lives in
+ * UarchConfig.
+ */
+
+#ifndef RUU_ARCH_MEMORY_HH
+#define RUU_ARCH_MEMORY_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** Flat word-addressed data memory. */
+class Memory
+{
+  public:
+    /** Default capacity: 1 Mi words (8 MiB). */
+    static constexpr std::size_t kDefaultWords = 1u << 20;
+
+    explicit Memory(std::size_t words = kDefaultWords);
+
+    /** Capacity in words. */
+    std::size_t sizeWords() const { return _words.size(); }
+
+    /** True when @p addr is in range. */
+    bool mapped(Addr addr) const { return addr < _words.size(); }
+
+    /**
+     * Read the word at @p addr.
+     * @return nullopt on a page fault (unmapped address).
+     */
+    std::optional<Word> load(Addr addr) const;
+
+    /**
+     * Write @p value at @p addr.
+     * @return false on a page fault.
+     */
+    bool store(Addr addr, Word value);
+
+    /** Unchecked read used by test oracles; panics when unmapped. */
+    Word at(Addr addr) const;
+
+    /** Unchecked write used when loading program images. */
+    void set(Addr addr, Word value);
+
+    /** Read the word as an IEEE double (test convenience). */
+    double atDouble(Addr addr) const;
+
+    /** Zero all of memory. */
+    void clear();
+
+    bool operator==(const Memory &other) const = default;
+
+  private:
+    std::vector<Word> _words;
+};
+
+} // namespace ruu
+
+#endif // RUU_ARCH_MEMORY_HH

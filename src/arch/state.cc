@@ -1,0 +1,64 @@
+#include "arch/state.hh"
+
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+Word
+ArchState::read(RegId reg) const
+{
+    ruu_assert(reg.valid(), "read of the invalid register");
+    return _regs[reg.flat()];
+}
+
+std::int64_t
+ArchState::readInt(RegId reg) const
+{
+    return static_cast<std::int64_t>(read(reg));
+}
+
+double
+ArchState::readDouble(RegId reg) const
+{
+    return wordToDouble(read(reg));
+}
+
+void
+ArchState::write(RegId reg, Word value)
+{
+    ruu_assert(reg.valid(), "write of the invalid register");
+    _regs[reg.flat()] = value;
+}
+
+void
+ArchState::writeInt(RegId reg, std::int64_t value)
+{
+    write(reg, static_cast<Word>(value));
+}
+
+void
+ArchState::writeDouble(RegId reg, double value)
+{
+    write(reg, doubleToWord(value));
+}
+
+std::string
+ArchState::dump() const
+{
+    std::ostringstream os;
+    for (unsigned flat = 0; flat < kNumArchRegs; ++flat) {
+        if (_regs[flat] == 0)
+            continue;
+        RegId reg = RegId::fromFlat(flat);
+        os << reg.toString() << " = 0x" << std::hex << _regs[flat]
+           << std::dec << " (" << static_cast<std::int64_t>(_regs[flat])
+           << ", " << wordToDouble(_regs[flat]) << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace ruu

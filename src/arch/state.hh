@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Architectural register state of the model machine.
+ *
+ * ArchState is the *precise* state: the contents of all 144 registers.
+ * The RUU's guarantee (the paper's §5) is that at any interrupt an
+ * ArchState exists that equals the sequential execution of every
+ * committed instruction and nothing else — tests compare states for
+ * exactly that property.
+ */
+
+#ifndef RUU_ARCH_STATE_HH
+#define RUU_ARCH_STATE_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/reg.hh"
+
+namespace ruu
+{
+
+/** The 144 architectural registers, addressed by RegId. */
+class ArchState
+{
+  public:
+    ArchState() { _regs.fill(0); }
+
+    /** Contents of register @p reg. */
+    Word read(RegId reg) const;
+
+    /** Contents of @p reg interpreted as a signed integer. */
+    std::int64_t readInt(RegId reg) const;
+
+    /** Contents of @p reg interpreted as an IEEE double. */
+    double readDouble(RegId reg) const;
+
+    /** Set register @p reg to @p value. */
+    void write(RegId reg, Word value);
+
+    /** Set @p reg to the signed integer @p value. */
+    void writeInt(RegId reg, std::int64_t value);
+
+    /** Set @p reg to the IEEE double @p value. */
+    void writeDouble(RegId reg, double value);
+
+    /** Zero every register. */
+    void clear() { _regs.fill(0); }
+
+    bool operator==(const ArchState &other) const = default;
+
+    /** Multi-line dump of the non-zero registers, for test failures. */
+    std::string dump() const;
+
+  private:
+    std::array<Word, kNumArchRegs> _regs;
+};
+
+} // namespace ruu
+
+#endif // RUU_ARCH_STATE_HH

@@ -1,0 +1,204 @@
+#include "asm/builder.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace ruu
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    _program._name = std::move(name);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    bool fresh = _program.bindLabel(name);
+    ruu_assert(fresh, "duplicate label '%s' in program '%s'",
+               name.c_str(), _program.name().c_str());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::word(Addr addr, Word value)
+{
+    _program._data.push_back({addr, value});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::fword(Addr addr, double value)
+{
+    return word(addr, doubleToWord(value));
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(const Instruction &inst)
+{
+    ruu_assert(!_built, "builder already finished");
+    _program.append(inst);
+    return *this;
+}
+
+#define RUU_BUILDER_RRR(method, opcode) \
+    ProgramBuilder & \
+    ProgramBuilder::method(RegId d, RegId a, RegId b) \
+    { \
+        return emit(Instruction::rrr(Opcode::opcode, d, a, b)); \
+    }
+
+RUU_BUILDER_RRR(aadd, AADD)
+RUU_BUILDER_RRR(asub, ASUB)
+RUU_BUILDER_RRR(amul, AMUL)
+RUU_BUILDER_RRR(sadd, SADD)
+RUU_BUILDER_RRR(ssub, SSUB)
+RUU_BUILDER_RRR(sand, SAND)
+RUU_BUILDER_RRR(sor, SOR)
+RUU_BUILDER_RRR(sxor, SXOR)
+RUU_BUILDER_RRR(fadd, FADD)
+RUU_BUILDER_RRR(fsub, FSUB)
+RUU_BUILDER_RRR(fmul, FMUL)
+
+#undef RUU_BUILDER_RRR
+
+#define RUU_BUILDER_RR(method, opcode) \
+    ProgramBuilder & \
+    ProgramBuilder::method(RegId d, RegId s) \
+    { \
+        return emit(Instruction::rr(Opcode::opcode, d, s)); \
+    }
+
+RUU_BUILDER_RR(mova, MOVA)
+RUU_BUILDER_RR(movs, MOVS)
+RUU_BUILDER_RR(spop, SPOP)
+RUU_BUILDER_RR(slz, SLZ)
+RUU_BUILDER_RR(frecip, FRECIP)
+RUU_BUILDER_RR(sfix, SFIX)
+RUU_BUILDER_RR(sflt, SFLT)
+RUU_BUILDER_RR(movsa, MOVSA)
+RUU_BUILDER_RR(movas, MOVAS)
+RUU_BUILDER_RR(movba, MOVBA)
+RUU_BUILDER_RR(movab, MOVAB)
+RUU_BUILDER_RR(movts, MOVTS)
+RUU_BUILDER_RR(movst, MOVST)
+
+#undef RUU_BUILDER_RR
+
+ProgramBuilder &
+ProgramBuilder::amovi(RegId d, std::int64_t imm)
+{
+    return emit(Instruction::rimm(Opcode::AMOVI, d, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::smovi(RegId d, std::int64_t imm)
+{
+    return emit(Instruction::rimm(Opcode::SMOVI, d, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::sshl(RegId r, unsigned count)
+{
+    return emit(Instruction::shift(Opcode::SSHL, r, count));
+}
+
+ProgramBuilder &
+ProgramBuilder::sshr(RegId r, unsigned count)
+{
+    return emit(Instruction::shift(Opcode::SSHR, r, count));
+}
+
+ProgramBuilder &
+ProgramBuilder::lda(RegId d, RegId base, std::int64_t disp)
+{
+    return emit(Instruction::load(Opcode::LDA, d, base, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::lds(RegId d, RegId base, std::int64_t disp)
+{
+    return emit(Instruction::load(Opcode::LDS, d, base, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::sta(RegId base, std::int64_t disp, RegId data)
+{
+    return emit(Instruction::store(Opcode::STA, base, disp, data));
+}
+
+ProgramBuilder &
+ProgramBuilder::sts(RegId base, std::int64_t disp, RegId data)
+{
+    return emit(Instruction::store(Opcode::STS, base, disp, data));
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, const std::string &target)
+{
+    std::size_t index = _program.size();
+    emit(Instruction::branch(op, 0));
+    _pendingBranches.emplace_back(index, target);
+    return *this;
+}
+
+ProgramBuilder &ProgramBuilder::j(const std::string &t)
+{ return emitBranch(Opcode::J, t); }
+ProgramBuilder &ProgramBuilder::jaz(const std::string &t)
+{ return emitBranch(Opcode::JAZ, t); }
+ProgramBuilder &ProgramBuilder::jan(const std::string &t)
+{ return emitBranch(Opcode::JAN, t); }
+ProgramBuilder &ProgramBuilder::jap(const std::string &t)
+{ return emitBranch(Opcode::JAP, t); }
+ProgramBuilder &ProgramBuilder::jam(const std::string &t)
+{ return emitBranch(Opcode::JAM, t); }
+ProgramBuilder &ProgramBuilder::jsz(const std::string &t)
+{ return emitBranch(Opcode::JSZ, t); }
+ProgramBuilder &ProgramBuilder::jsn(const std::string &t)
+{ return emitBranch(Opcode::JSN, t); }
+ProgramBuilder &ProgramBuilder::jsp(const std::string &t)
+{ return emitBranch(Opcode::JSP, t); }
+ProgramBuilder &ProgramBuilder::jsm(const std::string &t)
+{ return emitBranch(Opcode::JSM, t); }
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit(Instruction::bare(Opcode::HALT));
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(Instruction::bare(Opcode::NOP));
+}
+
+Program
+ProgramBuilder::build()
+{
+    ruu_assert(!_built, "builder already finished");
+    _built = true;
+    for (const auto &[index, target] : _pendingBranches) {
+        auto addr = _program.labelAddr(target);
+        ruu_assert(addr.has_value(),
+                   "unresolved label '%s' in program '%s'",
+                   target.c_str(), _program.name().c_str());
+        _program._insts[index].target = *addr;
+    }
+    for (std::size_t i = 0; i < _program.size(); ++i) {
+        const Instruction &inst = _program.inst(i);
+        ruu_assert(encodable(inst),
+                   "instruction %zu of '%s' (%s) not encodable",
+                   i, _program.name().c_str(), mnemonic(inst.op));
+        if (isBranch(inst.op)) {
+            ruu_assert(_program.indexOfPc(inst.target).has_value(),
+                       "branch %zu of '%s' targets parcel %u, which is "
+                       "not an instruction boundary",
+                       i, _program.name().c_str(), inst.target);
+        }
+    }
+    return std::move(_program);
+}
+
+} // namespace ruu

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A C++ builder DSL for constructing model-ISA programs.
+ *
+ * This is how the Lawrence Livermore loop kernels are "hand-compiled":
+ * each mnemonic is a method, labels may be referenced before they are
+ * bound, and build() resolves every branch and validates the result.
+ *
+ * @code
+ *   ProgramBuilder b("sum");
+ *   b.amovi(regA(1), 0);          // i = 0
+ *   b.label("loop");
+ *   b.lds(regS(1), regA(1), 100); // S1 = x[i]
+ *   b.fadd(regS(2), regS(2), regS(1));
+ *   b.aadd(regA(1), regA(1), regA(2));
+ *   b.asub(regA(0), regA(1), regA(3));
+ *   b.jam("loop");                // while (i - n < 0)
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef RUU_ASM_BUILDER_HH
+#define RUU_ASM_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/instruction.hh"
+
+namespace ruu
+{
+
+/** Incrementally builds a Program; see file comment for usage. */
+class ProgramBuilder
+{
+  public:
+    /** Start a program called @p name. */
+    explicit ProgramBuilder(std::string name);
+
+    // --- structure ------------------------------------------------------
+
+    /** Bind @p name to the address of the next emitted instruction. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Initialize data memory word @p addr to raw @p value. */
+    ProgramBuilder &word(Addr addr, Word value);
+
+    /** Initialize data memory word @p addr to the double @p value. */
+    ProgramBuilder &fword(Addr addr, double value);
+
+    /** Emit an arbitrary pre-built instruction (tests, fuzzing). */
+    ProgramBuilder &emit(const Instruction &inst);
+
+    // --- address arithmetic ----------------------------------------------
+
+    ProgramBuilder &aadd(RegId d, RegId a, RegId b);
+    ProgramBuilder &asub(RegId d, RegId a, RegId b);
+    ProgramBuilder &amul(RegId d, RegId a, RegId b);
+    ProgramBuilder &amovi(RegId d, std::int64_t imm);
+    ProgramBuilder &mova(RegId d, RegId s);
+
+    // --- scalar integer ---------------------------------------------------
+
+    ProgramBuilder &sadd(RegId d, RegId a, RegId b);
+    ProgramBuilder &ssub(RegId d, RegId a, RegId b);
+    ProgramBuilder &sand(RegId d, RegId a, RegId b);
+    ProgramBuilder &sor(RegId d, RegId a, RegId b);
+    ProgramBuilder &sxor(RegId d, RegId a, RegId b);
+    ProgramBuilder &sshl(RegId r, unsigned count);
+    ProgramBuilder &sshr(RegId r, unsigned count);
+    ProgramBuilder &spop(RegId d, RegId s);
+    ProgramBuilder &slz(RegId d, RegId s);
+    ProgramBuilder &smovi(RegId d, std::int64_t imm);
+    ProgramBuilder &movs(RegId d, RegId s);
+
+    // --- floating point ---------------------------------------------------
+
+    ProgramBuilder &fadd(RegId d, RegId a, RegId b);
+    ProgramBuilder &fsub(RegId d, RegId a, RegId b);
+    ProgramBuilder &fmul(RegId d, RegId a, RegId b);
+    ProgramBuilder &frecip(RegId d, RegId s);
+    ProgramBuilder &sfix(RegId d, RegId s);
+    ProgramBuilder &sflt(RegId d, RegId s);
+
+    // --- inter-file moves --------------------------------------------------
+
+    ProgramBuilder &movsa(RegId d, RegId s); //!< Si <- Ak
+    ProgramBuilder &movas(RegId d, RegId s); //!< Ai <- Sk
+    ProgramBuilder &movba(RegId d, RegId s); //!< Bjk <- Ai
+    ProgramBuilder &movab(RegId d, RegId s); //!< Ai <- Bjk
+    ProgramBuilder &movts(RegId d, RegId s); //!< Tjk <- Si
+    ProgramBuilder &movst(RegId d, RegId s); //!< Si <- Tjk
+
+    // --- memory -------------------------------------------------------------
+
+    ProgramBuilder &lda(RegId d, RegId base, std::int64_t disp);
+    ProgramBuilder &lds(RegId d, RegId base, std::int64_t disp);
+    ProgramBuilder &sta(RegId base, std::int64_t disp, RegId data);
+    ProgramBuilder &sts(RegId base, std::int64_t disp, RegId data);
+
+    // --- control --------------------------------------------------------------
+
+    ProgramBuilder &j(const std::string &target);
+    ProgramBuilder &jaz(const std::string &target);
+    ProgramBuilder &jan(const std::string &target);
+    ProgramBuilder &jap(const std::string &target);
+    ProgramBuilder &jam(const std::string &target);
+    ProgramBuilder &jsz(const std::string &target);
+    ProgramBuilder &jsn(const std::string &target);
+    ProgramBuilder &jsp(const std::string &target);
+    ProgramBuilder &jsm(const std::string &target);
+    ProgramBuilder &halt();
+    ProgramBuilder &nop();
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return _program.size(); }
+
+    /**
+     * Resolve labels and return the finished program.
+     * Panics on unresolved labels or unencodable operands: kernels are
+     * internal code, so such errors are ruusim bugs, not user input.
+     */
+    Program build();
+
+  private:
+    Program _program;
+    std::vector<std::pair<std::size_t, std::string>> _pendingBranches;
+    bool _built = false;
+
+    ProgramBuilder &emitBranch(Opcode op, const std::string &target);
+};
+
+} // namespace ruu
+
+#endif // RUU_ASM_BUILDER_HH

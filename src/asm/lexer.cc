@@ -1,0 +1,143 @@
+#include "asm/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ruu
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](TokKind kind, std::string text = "") {
+        Token tok;
+        tok.kind = kind;
+        tok.text = std::move(text);
+        tok.line = line;
+        tokens.push_back(std::move(tok));
+    };
+
+    auto pushNewline = [&]() {
+        if (!tokens.empty() && tokens.back().kind != TokKind::Newline)
+            push(TokKind::Newline);
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            pushNewline();
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+        if (c == ';' || c == '#') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == ',') { push(TokKind::Comma); ++i; continue; }
+        if (c == ':') { push(TokKind::Colon); ++i; continue; }
+        if (c == '(') { push(TokKind::LParen); ++i; continue; }
+        if (c == ')') { push(TokKind::RParen); ++i; continue; }
+
+        if (c == '.') {
+            std::size_t start = i++;
+            while (i < n && identChar(source[i]))
+                ++i;
+            push(TokKind::Directive, source.substr(start, i - start));
+            continue;
+        }
+
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < n && identChar(source[i]))
+                ++i;
+            push(TokKind::Ident, source.substr(start, i - start));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+            std::size_t start = i;
+            if (c == '-' || c == '+')
+                ++i;
+            bool is_float = false;
+            bool is_hex = false;
+            if (i + 1 < n && source[i] == '0' &&
+                (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+                is_hex = true;
+                i += 2;
+                while (i < n &&
+                       std::isxdigit(static_cast<unsigned char>(source[i])))
+                    ++i;
+            } else {
+                while (i < n &&
+                       (std::isdigit(static_cast<unsigned char>(source[i]))
+                        || source[i] == '.' || source[i] == 'e' ||
+                        source[i] == 'E' ||
+                        ((source[i] == '-' || source[i] == '+') && i > start
+                         && (source[i - 1] == 'e' || source[i - 1] == 'E'))))
+                {
+                    if (source[i] == '.' || source[i] == 'e' ||
+                        source[i] == 'E')
+                        is_float = true;
+                    ++i;
+                }
+            }
+            std::string text = source.substr(start, i - start);
+            if (text == "-" || text == "+") {
+                push(TokKind::Error, "stray '" + text + "'");
+                continue;
+            }
+            Token tok;
+            tok.line = line;
+            tok.text = text;
+            if (is_float) {
+                tok.kind = TokKind::Float;
+                tok.floatValue = std::strtod(text.c_str(), nullptr);
+            } else {
+                tok.kind = TokKind::Int;
+                tok.intValue = std::strtoll(text.c_str(), nullptr,
+                                            is_hex ? 16 : 10);
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        push(TokKind::Error, std::string("unexpected character '") + c +
+                                 "'");
+        ++i;
+    }
+
+    pushNewline();
+    push(TokKind::End);
+    return tokens;
+}
+
+} // namespace ruu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tokenizer for the textual assembly language.
+ *
+ * The language is line-oriented: one instruction, label, or directive
+ * per line; ';' and '#' start comments that run to end of line.
+ */
+
+#ifndef RUU_ASM_LEXER_HH
+#define RUU_ASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruu
+{
+
+/** Token categories produced by the Lexer. */
+enum class TokKind : std::uint8_t
+{
+    Ident,     //!< mnemonic, register name, or label reference
+    Directive, //!< ".word", ".fword", ".program"
+    Int,       //!< decimal or 0x hex integer (value in Token::intValue)
+    Float,     //!< floating-point literal (value in Token::floatValue)
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Newline,   //!< end of a logical line
+    End,       //!< end of input
+    Error,     //!< bad character; message in Token::text
+};
+
+/** One lexical token with its source line for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;        //!< identifier/directive text or error message
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;            //!< 1-based source line
+};
+
+/**
+ * Tokenize @p source completely.
+ * Consecutive newlines are collapsed into one Newline token and the
+ * stream always ends with End.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace ruu
+
+#endif // RUU_ASM_LEXER_HH

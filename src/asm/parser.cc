@@ -1,0 +1,397 @@
+#include "asm/parser.hh"
+
+#include "asm/lexer.hh"
+#include "common/bitfield.hh"
+#include "isa/encoding.hh"
+
+namespace ruu
+{
+
+std::string
+AsmError::toString() const
+{
+    return "line " + std::to_string(line) + ": " + message;
+}
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    Parser(const std::string &source, const std::string &default_name)
+        : _tokens(lex(source))
+    {
+        _program._name = default_name;
+    }
+
+    AsmResult
+    run()
+    {
+        while (peek().kind != TokKind::End)
+            parseLine();
+
+        AsmResult result;
+        if (_errors.empty()) {
+            resolveBranches();
+        }
+        if (_errors.empty()) {
+            result.program = std::move(_program);
+        }
+        result.errors = std::move(_errors);
+        return result;
+    }
+
+  private:
+    std::vector<Token> _tokens;
+    std::size_t _pos = 0;
+    Program _program;
+    std::vector<std::pair<std::size_t, Token>> _pendingBranches;
+    std::vector<AsmError> _errors;
+
+    const Token &peek(unsigned ahead = 0) const
+    {
+        std::size_t idx = _pos + ahead;
+        if (idx >= _tokens.size())
+            idx = _tokens.size() - 1;
+        return _tokens[idx];
+    }
+
+    const Token &next() { const Token &t = peek(); advance(); return t; }
+
+    void
+    advance()
+    {
+        if (_pos + 1 < _tokens.size())
+            ++_pos;
+    }
+
+    void
+    error(const Token &at, const std::string &message)
+    {
+        _errors.push_back({at.line, message});
+    }
+
+    /** Skip to just past the next newline, for error recovery. */
+    void
+    skipLine()
+    {
+        while (peek().kind != TokKind::Newline && peek().kind != TokKind::End)
+            advance();
+        if (peek().kind == TokKind::Newline)
+            advance();
+    }
+
+    bool
+    expect(TokKind kind, const char *what)
+    {
+        if (peek().kind != kind) {
+            error(peek(), std::string("expected ") + what);
+            return false;
+        }
+        advance();
+        return true;
+    }
+
+    void
+    parseLine()
+    {
+        if (peek().kind == TokKind::Newline) {
+            advance();
+            return;
+        }
+        if (peek().kind == TokKind::Error) {
+            error(peek(), peek().text);
+            skipLine();
+            return;
+        }
+        if (peek().kind == TokKind::Directive) {
+            parseDirective();
+            return;
+        }
+        if (peek().kind == TokKind::Ident &&
+            peek(1).kind == TokKind::Colon) {
+            Token name = next();
+            advance(); // colon
+            if (!_program.bindLabel(name.text))
+                error(name, "duplicate label '" + name.text + "'");
+            // A statement may follow the label on the same line.
+            if (peek().kind != TokKind::Newline &&
+                peek().kind != TokKind::End)
+                parseLine();
+            return;
+        }
+        if (peek().kind == TokKind::Ident) {
+            parseInstruction();
+            return;
+        }
+        error(peek(), "expected instruction, label, or directive");
+        skipLine();
+    }
+
+    void
+    parseDirective()
+    {
+        Token dir = next();
+        if (dir.text == ".program") {
+            if (peek().kind != TokKind::Ident) {
+                error(peek(), ".program expects a name");
+                skipLine();
+                return;
+            }
+            _program._name = next().text;
+        } else if (dir.text == ".word" || dir.text == ".fword") {
+            if (peek().kind != TokKind::Int) {
+                error(peek(), dir.text + " expects an integer address");
+                skipLine();
+                return;
+            }
+            std::int64_t addr = next().intValue;
+            if (addr < 0) {
+                error(dir, "negative data address");
+                skipLine();
+                return;
+            }
+            if (!expect(TokKind::Comma, "','")) {
+                skipLine();
+                return;
+            }
+            Word value;
+            if (peek().kind == TokKind::Int) {
+                std::int64_t v = next().intValue;
+                value = dir.text == ".fword"
+                            ? doubleToWord(static_cast<double>(v))
+                            : static_cast<Word>(v);
+            } else if (peek().kind == TokKind::Float &&
+                       dir.text == ".fword") {
+                value = doubleToWord(next().floatValue);
+            } else {
+                error(peek(), dir.text + " expects a value");
+                skipLine();
+                return;
+            }
+            _program._data.push_back({static_cast<Addr>(addr), value});
+        } else {
+            error(dir, "unknown directive '" + dir.text + "'");
+            skipLine();
+            return;
+        }
+        endOfLine();
+    }
+
+    void
+    endOfLine()
+    {
+        if (peek().kind == TokKind::Newline) {
+            advance();
+        } else if (peek().kind != TokKind::End) {
+            error(peek(), "trailing tokens on line");
+            skipLine();
+        }
+    }
+
+    std::optional<RegId>
+    parseReg(RegFile expected_file, const char *what)
+    {
+        if (peek().kind != TokKind::Ident) {
+            error(peek(), std::string("expected ") + what);
+            return std::nullopt;
+        }
+        Token tok = next();
+        auto reg = RegId::parse(tok.text);
+        if (!reg) {
+            error(tok, "bad register name '" + tok.text + "'");
+            return std::nullopt;
+        }
+        if (reg->file() != expected_file) {
+            error(tok, std::string("expected ") + what + ", got '" +
+                           tok.text + "'");
+            return std::nullopt;
+        }
+        return reg;
+    }
+
+    std::optional<std::int64_t>
+    parseInt(const char *what)
+    {
+        if (peek().kind != TokKind::Int) {
+            error(peek(), std::string("expected ") + what);
+            return std::nullopt;
+        }
+        return next().intValue;
+    }
+
+    /** Register file of the dst/src operands of each opcode. */
+    static RegFile
+    dstFile(Opcode op)
+    {
+        switch (op) {
+          case Opcode::AADD: case Opcode::ASUB: case Opcode::AMUL:
+          case Opcode::AMOVI: case Opcode::MOVA: case Opcode::MOVAS:
+          case Opcode::MOVAB: case Opcode::LDA:
+            return RegFile::A;
+          case Opcode::MOVBA:
+            return RegFile::B;
+          case Opcode::MOVTS:
+            return RegFile::T;
+          default:
+            return RegFile::S;
+        }
+    }
+
+    static RegFile
+    srcFile(Opcode op)
+    {
+        switch (op) {
+          case Opcode::AADD: case Opcode::ASUB: case Opcode::AMUL:
+          case Opcode::MOVA: case Opcode::MOVSA: case Opcode::MOVBA:
+            return RegFile::A;
+          case Opcode::MOVAB:
+            return RegFile::B;
+          case Opcode::MOVST:
+            return RegFile::T;
+          default:
+            return RegFile::S;
+        }
+    }
+
+    void
+    parseInstruction()
+    {
+        Token mnem = next();
+        auto op = opcodeFromMnemonic(mnem.text);
+        if (!op) {
+            error(mnem, "unknown mnemonic '" + mnem.text + "'");
+            skipLine();
+            return;
+        }
+        const OpInfo &info = opInfo(*op);
+        switch (info.form) {
+          case OperandForm::Rrr: {
+            auto d = parseReg(dstFile(*op), "destination register");
+            if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto a = parseReg(srcFile(*op), "source register");
+            if (!a || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto b = parseReg(srcFile(*op), "source register");
+            if (!b) { skipLine(); return; }
+            _program.append(Instruction::rrr(*op, *d, *a, *b));
+            break;
+          }
+          case OperandForm::Rr: {
+            auto d = parseReg(dstFile(*op), "destination register");
+            if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto s = parseReg(srcFile(*op), "source register");
+            if (!s) { skipLine(); return; }
+            _program.append(Instruction::rr(*op, *d, *s));
+            break;
+          }
+          case OperandForm::RImm: {
+            auto d = parseReg(dstFile(*op), "destination register");
+            if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto imm = parseInt("immediate");
+            if (!imm) { skipLine(); return; }
+            if (*imm < kImmMin || *imm > kImmMax) {
+                error(mnem, "immediate out of 22-bit range");
+                skipLine();
+                return;
+            }
+            _program.append(Instruction::rimm(*op, *d, *imm));
+            break;
+          }
+          case OperandForm::RShift: {
+            auto d = parseReg(RegFile::S, "S register");
+            if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto count = parseInt("shift count");
+            if (!count) { skipLine(); return; }
+            if (*count < 0 || *count > 63) {
+                error(mnem, "shift count out of range 0..63");
+                skipLine();
+                return;
+            }
+            _program.append(Instruction::shift(
+                *op, *d, static_cast<unsigned>(*count)));
+            break;
+          }
+          case OperandForm::MemLoad: {
+            auto d = parseReg(dstFile(*op), "destination register");
+            if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
+            auto addr = parseMemOperand();
+            if (!addr) { skipLine(); return; }
+            _program.append(Instruction::load(*op, *d, addr->first,
+                                              addr->second));
+            break;
+          }
+          case OperandForm::MemStore: {
+            auto addr = parseMemOperand();
+            if (!addr || !expect(TokKind::Comma, "','")) {
+                skipLine();
+                return;
+            }
+            auto data = parseReg(*op == Opcode::STA ? RegFile::A
+                                                    : RegFile::S,
+                                 "data register");
+            if (!data) { skipLine(); return; }
+            _program.append(Instruction::store(*op, addr->first,
+                                               addr->second, *data));
+            break;
+          }
+          case OperandForm::Branch: {
+            if (peek().kind != TokKind::Ident) {
+                error(peek(), "expected branch target label");
+                skipLine();
+                return;
+            }
+            Token target = next();
+            std::size_t index = _program.append(
+                Instruction::branch(*op, 0));
+            _pendingBranches.emplace_back(index, target);
+            break;
+          }
+          case OperandForm::Bare:
+            _program.append(Instruction::bare(*op));
+            break;
+        }
+        endOfLine();
+    }
+
+    /** Parse "disp(Areg)"; returns (base, disp). */
+    std::optional<std::pair<RegId, std::int64_t>>
+    parseMemOperand()
+    {
+        std::int64_t disp = 0;
+        if (peek().kind == TokKind::Int)
+            disp = next().intValue;
+        if (disp < kDispMin || disp > kDispMax) {
+            error(peek(), "displacement out of 19-bit range");
+            return std::nullopt;
+        }
+        if (!expect(TokKind::LParen, "'('"))
+            return std::nullopt;
+        auto base = parseReg(RegFile::A, "A base register");
+        if (!base)
+            return std::nullopt;
+        if (!expect(TokKind::RParen, "')'"))
+            return std::nullopt;
+        return std::make_pair(*base, disp);
+    }
+
+    void
+    resolveBranches()
+    {
+        for (const auto &[index, target] : _pendingBranches) {
+            auto addr = _program.labelAddr(target.text);
+            if (!addr) {
+                error(target, "undefined label '" + target.text + "'");
+                continue;
+            }
+            _program._insts[index].target = *addr;
+        }
+    }
+};
+
+AsmResult
+assemble(const std::string &source, const std::string &default_name)
+{
+    Parser parser(source, default_name);
+    return parser.run();
+}
+
+} // namespace ruu

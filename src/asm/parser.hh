@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Parser for the textual assembly language.
+ *
+ * Grammar (line oriented):
+ * @code
+ *   program   := { line }
+ *   line      := [label ':'] [stmt] NEWLINE
+ *   stmt      := directive | instruction
+ *   directive := ".program" ident
+ *              | ".word"  int ',' int      ; mem[addr] = integer
+ *              | ".fword" int ',' number   ; mem[addr] = double
+ *   instruction follows the disassembler syntax, e.g.:
+ *       fadd S1, S2, S3
+ *       sshl S3, 5
+ *       smovi S2, -100
+ *       lds S1, 8(A2)
+ *       sts -4(A3), S2
+ *       jam loop
+ * @endcode
+ *
+ * Errors are collected (not thrown); a program is only returned when
+ * there are none.
+ */
+
+#ifndef RUU_ASM_PARSER_HH
+#define RUU_ASM_PARSER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace ruu
+{
+
+/** One assembler diagnostic. */
+struct AsmError
+{
+    int line;            //!< 1-based source line
+    std::string message;
+
+    /** "line 12: unknown mnemonic 'fadx'". */
+    std::string toString() const;
+};
+
+/** Result of assembling a source file. */
+struct AsmResult
+{
+    std::optional<Program> program; //!< set only when errors is empty
+    std::vector<AsmError> errors;
+
+    /** True when assembly succeeded. */
+    bool ok() const { return program.has_value(); }
+};
+
+/**
+ * Assemble @p source.
+ * @param default_name program name used when no ".program" directive
+ *        appears.
+ */
+AsmResult assemble(const std::string &source,
+                   const std::string &default_name = "program");
+
+} // namespace ruu
+
+#endif // RUU_ASM_PARSER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoder and the
+ * floating-point executor.
+ */
+
+#ifndef RUU_COMMON_BITFIELD_HH
+#define RUU_COMMON_BITFIELD_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** Extract bits [lo, lo+width) of @p value (lo = 0 is the LSB). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned lo, unsigned width,
+           std::uint64_t field)
+{
+    std::uint64_t mask = (width >= 64) ? ~std::uint64_t{0}
+                                       : ((std::uint64_t{1} << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<std::int64_t>(value);
+    std::uint64_t sign = std::uint64_t{1} << (width - 1);
+    std::uint64_t masked = bits(value, 0, width);
+    return static_cast<std::int64_t>((masked ^ sign) - sign);
+}
+
+/** Reinterpret a 64-bit word as an IEEE double. */
+inline double
+wordToDouble(Word w)
+{
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+}
+
+/** Reinterpret an IEEE double as a 64-bit word. */
+inline Word
+doubleToWord(double d)
+{
+    Word w;
+    std::memcpy(&w, &d, sizeof(w));
+    return w;
+}
+
+} // namespace ruu
+
+#endif // RUU_COMMON_BITFIELD_HH

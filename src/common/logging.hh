@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal simulator invariant was violated (a ruusim bug);
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, malformed program); exits with status 1.
+ * warn()   — something suspicious happened but simulation continues.
+ * inform() — status information for the user.
+ */
+
+#ifndef RUU_COMMON_LOGGING_HH
+#define RUU_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ruu
+{
+
+namespace detail
+{
+
+/** Format, print, and abort. Implementation for the panic/fatal macros. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace ruu
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define ruu_panic(...) \
+    ::ruu::detail::panicImpl(__FILE__, __LINE__, \
+                             ::ruu::detail::vformat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user error (bad config or input). */
+#define ruu_fatal(...) \
+    ::ruu::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::ruu::detail::vformat(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define ruu_warn(...) \
+    ::ruu::detail::warnImpl(::ruu::detail::vformat(__VA_ARGS__))
+
+/** Print an informational message. */
+#define ruu_inform(...) \
+    ::ruu::detail::informImpl(::ruu::detail::vformat(__VA_ARGS__))
+
+/** Panic when @p cond is false; message describes the broken invariant. */
+#define ruu_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            ruu_panic(__VA_ARGS__); \
+    } while (0)
+
+#endif // RUU_COMMON_LOGGING_HH

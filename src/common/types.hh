@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ruusim subsystem.
+ *
+ * The model architecture is a CRAY-1-like scalar machine: memory is
+ * word-addressed (64-bit words), instructions are composed of 16-bit
+ * parcels, and time advances in integral clock cycles.
+ */
+
+#ifndef RUU_COMMON_TYPES_HH
+#define RUU_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ruu
+{
+
+/** A simulation clock cycle. Cycle 0 is the first cycle of execution. */
+using Cycle = std::uint64_t;
+
+/** A word address in the model machine's data memory. */
+using Addr = std::uint64_t;
+
+/**
+ * A parcel address in instruction memory. Instructions occupy one or two
+ * 16-bit parcels; branch targets are parcel addresses.
+ */
+using ParcelAddr = std::uint32_t;
+
+/** Raw 64-bit register/memory contents (integer or IEEE double bits). */
+using Word = std::uint64_t;
+
+/** A 16-bit instruction parcel. */
+using Parcel = std::uint16_t;
+
+/** Index of a dynamic instruction within a trace (0-based). */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no dynamic instruction". */
+inline constexpr SeqNum kNoSeqNum = std::numeric_limits<SeqNum>::max();
+
+} // namespace ruu
+
+#endif // RUU_COMMON_TYPES_HH

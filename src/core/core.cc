@@ -1,0 +1,41 @@
+#include "core/core.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+Core::Core(const UarchConfig &config) : _config(config)
+{
+    std::string problem = config.validate();
+    if (!problem.empty())
+        ruu_fatal("bad UarchConfig: %s", problem.c_str());
+}
+
+RunResult
+Core::run(const Trace &trace, const RunOptions &options)
+{
+    ruu_assert(options.startSeq <= trace.size(),
+               "startSeq %llu beyond trace end",
+               static_cast<unsigned long long>(options.startSeq));
+    _stats.reset();
+    return runImpl(trace, options);
+}
+
+RunResult
+Core::makeInitialResult(const Trace &trace,
+                        const RunOptions &options) const
+{
+    RunResult result;
+    if (options.initialState)
+        result.state = *options.initialState;
+    if (options.initialMemory) {
+        result.memory = *options.initialMemory;
+    } else if (trace.programPtr()) {
+        for (const auto &init : trace.program().dataInits())
+            result.memory.set(init.addr, init.value);
+    }
+    return result;
+}
+
+} // namespace ruu

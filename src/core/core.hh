@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The common interface of every issue-logic core.
+ *
+ * A core is a trace-driven, cycle-level timing model of one of the
+ * paper's instruction-issue mechanisms. All cores consume the same
+ * Trace, commit the architecturally correct values carried in it, and
+ * report cycle counts plus detailed stall statistics through a StatSet.
+ */
+
+#ifndef RUU_CORE_CORE_HH
+#define RUU_CORE_CORE_HH
+
+#include <memory>
+
+#include "arch/memory.hh"
+#include "arch/state.hh"
+#include "stats/stat_set.hh"
+#include "trace/trace.hh"
+#include "uarch/config.hh"
+
+namespace ruu
+{
+
+/** Options controlling one timing run. */
+struct RunOptions
+{
+    /** First dynamic instruction to execute (resume after interrupt). */
+    SeqNum startSeq = 0;
+
+    /** Register state to start from (resume); zeroed when null. */
+    const ArchState *initialState = nullptr;
+
+    /**
+     * Memory image to start from (resume); when null, memory is built
+     * from the trace's program data initializers.
+     */
+    const Memory *initialMemory = nullptr;
+
+    /** Model the CRAY-1 instruction buffers instead of assuming hits. */
+    bool modelIBuffers = false;
+
+    /** Safety valve against simulator livelock. */
+    std::uint64_t maxCycles = 2'000'000'000ull;
+};
+
+/** Outcome of one timing run. */
+struct RunResult
+{
+    /** Total clock cycles consumed. */
+    Cycle cycles = 0;
+
+    /** Dynamic instructions completed/committed (includes HALT). */
+    std::uint64_t instructions = 0;
+
+    /** An instruction-generated trap surfaced. */
+    bool interrupted = false;
+
+    /** Kind of trap (valid when interrupted). */
+    Fault fault = Fault::None;
+
+    /** Dynamic index of the faulting instruction. */
+    SeqNum faultSeq = kNoSeqNum;
+
+    /** Parcel address of the faulting instruction (the precise PC). */
+    ParcelAddr faultPc = 0;
+
+    /**
+     * Register state at the end of the run. For the RUU this is the
+     * precise committed state; for the imprecise cores it is whatever
+     * the register file contains when the machine stops.
+     */
+    ArchState state;
+
+    /** Memory state at the end of the run. */
+    Memory memory;
+
+    /** Instructions per cycle ("instruction issue rate" in the paper). */
+    double issueRate() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Abstract issue-logic core. */
+class Core
+{
+  public:
+    explicit Core(const UarchConfig &config);
+    virtual ~Core() = default;
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Short machine-readable name ("simple", "rstu", "ruu", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Simulate @p trace.
+     * Statistics are reset at the start of every run.
+     */
+    RunResult run(const Trace &trace, const RunOptions &options = {});
+
+    /** Statistics of the most recent run. */
+    const StatSet &stats() const { return _stats; }
+    StatSet &stats() { return _stats; }
+
+    /** The configuration this core was built with. */
+    const UarchConfig &config() const { return _config; }
+
+  protected:
+    /** Subclass timing loop. */
+    virtual RunResult runImpl(const Trace &trace,
+                              const RunOptions &options) = 0;
+
+    /**
+     * Build the initial RunResult: state/memory from the options or
+     * from the trace's program image.
+     */
+    RunResult makeInitialResult(const Trace &trace,
+                                const RunOptions &options) const;
+
+    /** Dead cycles after a branch with outcome @p taken. */
+    unsigned branchPenalty(bool taken) const
+    {
+        return taken ? _config.branchTakenPenalty
+                     : _config.branchUntakenPenalty;
+    }
+
+    UarchConfig _config;
+    StatSet _stats;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_CORE_HH

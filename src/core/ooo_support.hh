@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared machinery of the out-of-order cores (Tomasulo, RSTU, RUU).
+ *
+ * InflightOp is one reservation-station's worth of state: source
+ * operands waiting on tags, memory-disambiguation status, and dispatch/
+ * execution progress. The memory-resolution helper implements the
+ * paper's §3.2.1.2 load-register protocol, which is identical in all
+ * three organizations.
+ */
+
+#ifndef RUU_CORE_OOO_SUPPORT_HH
+#define RUU_CORE_OOO_SUPPORT_HH
+
+#include <array>
+
+#include "common/logging.hh"
+#include "trace/trace.hh"
+#include "uarch/load_regs.hh"
+#include "uarch/result_bus.hh"
+#include "uarch/scoreboard.hh"
+
+namespace ruu
+{
+
+/** One source operand of an in-flight instruction. */
+struct SrcOperand
+{
+    bool needed = false; //!< the instruction has this operand
+    bool ready = true;   //!< value available (or not needed)
+    Tag tag = kNoTag;    //!< tag monitored while not ready
+};
+
+/** One in-flight instruction (a reservation station's contents). */
+struct InflightOp
+{
+    bool valid = false;
+    SeqNum seq = kNoSeqNum;
+    const TraceRecord *rec = nullptr;
+
+    /** Destination tag broadcast with the result (kNoTag for stores). */
+    Tag destTag = kNoTag;
+
+    /** Source operands: [0] = src1 (or base), [1] = src2 (or data). */
+    std::array<SrcOperand, 2> src;
+
+    // --- memory state (§3.2.1.2) ---------------------------------------
+    bool isLoad = false;
+    bool isStore = false;
+    bool addrResolved = false;  //!< load-register lookup performed
+    bool forwarded = false;     //!< load satisfied without memory
+    bool fwdDataReady = false;  //!< forwarded data arrived
+    Tag fwdTag = kNoTag;        //!< tag the forwarded load monitors
+    int loadReg = -1;           //!< load register index in use
+
+    // --- progress --------------------------------------------------------
+    bool dispatched = false;
+    bool executed = false;
+    bool faulted = false;
+    bool lrReleased = false; //!< load-register pending already returned
+    Cycle completeCycle = kNoCycle;
+
+    bool isMem() const { return isLoad || isStore; }
+
+    /**
+     * True when the operation may be selected for dispatch:
+     * loads need a resolved address (and, if forwarded, their data);
+     * stores need a resolved address and their data operand; everything
+     * else needs all register sources.
+     */
+    bool
+    readyToDispatch() const
+    {
+        if (dispatched)
+            return false;
+        if (isLoad)
+            return addrResolved && (!forwarded || fwdDataReady);
+        if (isStore)
+            return addrResolved && src[1].ready;
+        return src[0].ready && src[1].ready;
+    }
+
+    /**
+     * A value with @p tag was broadcast: satisfy matching sources and
+     * forwarded-load waits.
+     */
+    void
+    wakeup(Tag tag)
+    {
+        for (auto &s : src) {
+            if (s.needed && !s.ready && s.tag == tag)
+                s.ready = true;
+        }
+        if (forwarded && !fwdDataReady && fwdTag == tag)
+            fwdDataReady = true;
+    }
+};
+
+/** Store pseudo-tag for dynamic instruction @p seq. */
+inline Tag
+storeTagFor(SeqNum seq)
+{
+    return kStoreTagBit | static_cast<Tag>(seq & 0x7fffffffu);
+}
+
+/**
+ * Perform the load-register lookup for memory operation @p op (§3.2.1.2).
+ *
+ * Callers guarantee program order among memory operations: this is
+ * invoked for the oldest unresolved memory op only, and only once its
+ * address (base register) is available.
+ *
+ * @return false when a load register is needed but none is free — the
+ *         op stays unresolved and blocks younger memory ops.
+ */
+inline bool
+resolveMemOp(InflightOp &op, LoadRegisters &load_regs)
+{
+    ruu_assert(op.isMem() && !op.addrResolved,
+               "resolveMemOp on a non-memory or resolved op");
+    Addr addr = op.rec->memAddr;
+    auto match = load_regs.find(addr);
+
+    if (op.isLoad) {
+        if (match) {
+            // A pending operation already targets this address: take its
+            // tag (or its latched data) and never touch memory.
+            const LoadRegEntry &entry = load_regs.entry(*match);
+            op.forwarded = true;
+            op.fwdTag = entry.tag;
+            op.fwdDataReady = entry.hasValue;
+            op.loadReg = static_cast<int>(*match);
+            load_regs.join(*match, std::nullopt);
+        } else {
+            if (!load_regs.hasFree())
+                return false;
+            op.loadReg = static_cast<int>(
+                load_regs.allocate(addr, op.destTag));
+        }
+    } else {
+        Tag tag = storeTagFor(op.seq);
+        if (match) {
+            // The store becomes the newest producer of the address.
+            op.loadReg = static_cast<int>(*match);
+            load_regs.join(*match, tag);
+        } else {
+            if (!load_regs.hasFree())
+                return false;
+            op.loadReg = static_cast<int>(load_regs.allocate(addr, tag));
+        }
+    }
+    op.addrResolved = true;
+    return true;
+}
+
+} // namespace ruu
+
+#endif // RUU_CORE_OOO_SUPPORT_HH

@@ -1,0 +1,68 @@
+#include "core/predictor.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+std::unique_ptr<BranchPredictor>
+BranchPredictor::make(PredictorKind kind, unsigned table_bits)
+{
+    if (kind == PredictorKind::Smith2Bit)
+        return std::make_unique<SmithPredictor>(table_bits);
+    return std::make_unique<StaticPredictor>(kind);
+}
+
+SmithPredictor::SmithPredictor(unsigned table_bits)
+    : _table(std::size_t{1} << table_bits, 2),
+      _mask((1u << table_bits) - 1)
+{
+    ruu_assert(table_bits >= 1 && table_bits <= 20,
+               "predictor table bits %u out of range", table_bits);
+}
+
+bool
+SmithPredictor::predict(ParcelAddr pc, bool /*target_backward*/)
+{
+    return _table[pc & _mask] >= 2;
+}
+
+void
+SmithPredictor::update(ParcelAddr pc, bool taken)
+{
+    std::uint8_t &counter = _table[pc & _mask];
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+}
+
+unsigned
+SmithPredictor::counterAt(ParcelAddr pc) const
+{
+    return _table[pc & _mask];
+}
+
+StaticPredictor::StaticPredictor(PredictorKind kind) : _kind(kind)
+{
+    ruu_assert(kind != PredictorKind::Smith2Bit,
+               "SmithPredictor handles the dynamic kind");
+}
+
+bool
+StaticPredictor::predict(ParcelAddr /*pc*/, bool target_backward)
+{
+    switch (_kind) {
+      case PredictorKind::AlwaysTaken: return true;
+      case PredictorKind::AlwaysNotTaken: return false;
+      case PredictorKind::Btfn: return target_backward;
+      default: return true;
+    }
+}
+
+void
+StaticPredictor::update(ParcelAddr /*pc*/, bool /*taken*/)
+{
+}
+
+} // namespace ruu

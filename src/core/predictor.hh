@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Branch predictors for the paper's §7 extension (conditional
+ * execution of instructions from a predicted branch path).
+ *
+ * The paper cites Smith's branch-prediction study [6]; the dynamic
+ * predictor here is the classic Smith 2-bit saturating-counter table.
+ * Static always-taken / never-taken / backward-taken-forward-not-taken
+ * variants exist for the predictor ablation bench.
+ */
+
+#ifndef RUU_CORE_PREDICTOR_HH
+#define RUU_CORE_PREDICTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/config.hh"
+
+namespace ruu
+{
+
+/** A direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the branch at parcel address @p pc.
+     * @param target_backward true when the branch target is at a lower
+     *        address than the branch (loop-closing), for BTFN.
+     */
+    virtual bool predict(ParcelAddr pc, bool target_backward) = 0;
+
+    /** Train with the resolved outcome. */
+    virtual void update(ParcelAddr pc, bool taken) = 0;
+
+    /** Factory over PredictorKind. */
+    static std::unique_ptr<BranchPredictor> make(PredictorKind kind,
+                                                 unsigned table_bits);
+};
+
+/** Table of 2-bit saturating counters, indexed by low PC bits. */
+class SmithPredictor : public BranchPredictor
+{
+  public:
+    /** @param table_bits log2 of the table size. */
+    explicit SmithPredictor(unsigned table_bits);
+
+    bool predict(ParcelAddr pc, bool target_backward) override;
+    void update(ParcelAddr pc, bool taken) override;
+
+    /** Counter value at @p pc's slot (tests). */
+    unsigned counterAt(ParcelAddr pc) const;
+
+  private:
+    std::vector<std::uint8_t> _table; //!< counters initialized weakly taken
+    unsigned _mask;
+};
+
+/** The static predictors (always taken / never taken / BTFN). */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticPredictor(PredictorKind kind);
+
+    bool predict(ParcelAddr pc, bool target_backward) override;
+    void update(ParcelAddr pc, bool taken) override;
+
+  private:
+    PredictorKind _kind;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_PREDICTOR_HH

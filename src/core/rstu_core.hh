@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The RSTU: merged reservation-station pool + Tag Unit (§3.2.3,
+ * Figure 4, Tables 2 and 3).
+ *
+ * Every issued instruction obtains one pool entry that is
+ * simultaneously its tag and its reservation station. Source operands
+ * of busy registers take the tag of the pool entry holding the latest
+ * copy of that register (an associative lookup in hardware; a direct
+ * map here). Entries dispatch to the functional units — up to
+ * `dispatchPaths` per cycle through shared data paths — and are freed
+ * when their result is delivered over the single result bus and
+ * written to the register file.
+ *
+ * Results update the register file as soon as they complete, out of
+ * program order: the RSTU resolves dependencies but is *imprecise*.
+ * The fault experiments use it to show the state corruption the RUU
+ * eliminates.
+ */
+
+#ifndef RUU_CORE_RSTU_CORE_HH
+#define RUU_CORE_RSTU_CORE_HH
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** Merged reservation-station/tag-unit core (paper §3.2.3). */
+class RstuCore : public Core
+{
+  public:
+    explicit RstuCore(const UarchConfig &config);
+
+    const char *name() const override { return "rstu"; }
+
+  protected:
+    RunResult runImpl(const Trace &trace,
+                      const RunOptions &options) override;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_RSTU_CORE_HH

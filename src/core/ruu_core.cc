@@ -1,0 +1,387 @@
+#include "core/ruu_core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ooo_support.hh"
+#include "uarch/banks.hh"
+#include "uarch/fu.hh"
+#include "uarch/ibuffer.hh"
+#include "uarch/scoreboard.hh"
+
+namespace ruu
+{
+
+RuuCore::RuuCore(const UarchConfig &config) : Core(config)
+{
+}
+
+RunResult
+RuuCore::runImpl(const Trace &trace, const RunOptions &options)
+{
+    RunResult result = makeInitialResult(trace, options);
+    const unsigned ruu_size = _config.poolEntries;
+    const BypassMode bypass = _config.bypass;
+
+    // The RUU proper: a circular queue of reservation-station entries.
+    std::vector<InflightOp> ruu(ruu_size);
+    unsigned head = 0, tail = 0, count = 0;
+
+    std::vector<unsigned> mem_queue; //!< RUU slots of live memory ops
+    InstanceCounters counters(_config.counterBits);
+    LoadRegisters load_regs(_config.loadRegisters);
+    FuPipes pipes(_config);
+    MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
+    ResultBus bus(_config.resultBuses);
+    IBuffers ibuffers;
+
+    // The duplicated register files: §6.3's A future file (LimitedA
+    // covers the eight A registers) or §4's full future file
+    // (FutureFile covers all 144). Indexed by flat register number; a
+    // register's duplicate is valid when its latest instance's value
+    // has appeared on the result bus.
+    std::array<bool, kNumArchRegs> future_valid;
+    future_valid.fill(true);
+    auto future_covers = [bypass](RegId reg) {
+        if (bypass == BypassMode::FutureFile)
+            return true;
+        return bypass == BypassMode::LimitedA &&
+               reg.file() == RegFile::A;
+    };
+
+    // Tags broadcast this cycle on either bus; a branch stalled in
+    // decode watches these to pick its condition value off a bus.
+    std::vector<Tag> cycle_tags;
+
+    Counter &c_insts = _stats.counter("instructions");
+    Counter &c_branches = _stats.counter("branches");
+    Counter &c_dead = _stats.counter("branch_dead_cycles");
+    Counter &c_branch_wait = _stats.counter("stall_branch_cond_cycles");
+    Counter &c_no_slot = _stats.counter("stall_ruu_full_cycles");
+    Counter &c_no_lr = _stats.counter("stall_no_load_reg_cycles");
+    Counter &c_ni = _stats.counter("stall_ni_saturated_cycles");
+    Counter &c_dispatched = _stats.counter("dispatches");
+    Counter &c_forwarded = _stats.counter("forwarded_loads");
+    Counter &c_bypass = _stats.counter("bypass_reads");
+    Counter &c_future = _stats.counter("future_file_reads");
+    Counter &c_commits = _stats.counter("commits");
+    Histogram &h_occupancy = _stats.histogram("ruu_occupancy");
+
+    SeqNum decode_seq = options.startSeq;
+    Cycle next_decode = 0;
+    Cycle last_event = 0;
+    bool done = false;
+    const auto &records = trace.records();
+
+    /** Pool entry currently holding tag @p tag, or nullptr. */
+    auto entry_with_tag = [&](Tag tag) -> InflightOp * {
+        for (auto &e : ruu)
+            if (e.valid && e.destTag == tag)
+                return &e;
+        return nullptr;
+    };
+
+    /**
+     * Can a value of @p reg be obtained right now by the decode stage
+     * (for a source operand or a branch condition)?
+     */
+    auto readable = [&](RegId reg) {
+        if (!counters.busy(reg))
+            return true; // architectural register file
+        Tag tag = counters.latestTag(reg);
+        switch (bypass) {
+          case BypassMode::Full: {
+            InflightOp *producer = entry_with_tag(tag);
+            if (producer && producer->executed && !producer->faulted) {
+                ++c_bypass;
+                return true;
+            }
+            return false;
+          }
+          case BypassMode::LimitedA:
+          case BypassMode::FutureFile:
+            if (future_covers(reg) && future_valid[reg.flat()]) {
+                ++c_future;
+                return true;
+            }
+            return false;
+          case BypassMode::None:
+            return false;
+        }
+        return false;
+    };
+
+    /** Deliver a broadcast of (@p tag, @p value) to all monitors. */
+    auto broadcast = [&](Tag tag, Word value) {
+        for (auto &e : ruu)
+            if (e.valid)
+                e.wakeup(tag);
+        load_regs.onBroadcast(tag, value);
+        cycle_tags.push_back(tag);
+    };
+
+    for (Cycle cycle = 0; !done; ++cycle) {
+        if (cycle > options.maxCycles)
+            ruu_panic("RUU exceeded %llu cycles — livelock",
+                      static_cast<unsigned long long>(options.maxCycles));
+        cycle_tags.clear();
+
+        // ---- phase 4: dispatch to the functional units -------------------
+        {
+            std::vector<unsigned> candidates;
+            for (unsigned i = 0; i < ruu_size; ++i) {
+                const InflightOp &e = ruu[i];
+                if (e.valid && !e.executed && e.readyToDispatch())
+                    candidates.push_back(i);
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [&](unsigned a, unsigned b) {
+                          bool am = ruu[a].isMem(), bm = ruu[b].isMem();
+                          if (am != bm)
+                              return am; // §5: loads/stores first
+                          return ruu[a].seq < ruu[b].seq;
+                      });
+            unsigned started = 0;
+            for (unsigned slot : candidates) {
+                if (started == _config.dispatchPaths)
+                    break;
+                InflightOp &e = ruu[slot];
+                FuKind kind = e.isMem() ? FuKind::Memory
+                                        : e.rec->inst.fu();
+                unsigned latency =
+                    e.isStore ? _config.storeLatency
+                    : e.forwarded ? _config.forwardLatency
+                                  : _config.latency(kind);
+                if (!pipes.canStart(kind, cycle))
+                    continue;
+                // Memory operations also need their bank (when bank
+                // conflicts are modeled); forwarded loads skip memory.
+                bool to_memory = e.isMem() && !e.forwarded;
+                if (to_memory && !banks.canAccess(e.rec->memAddr, cycle))
+                    continue;
+                bool needs_bus = !e.isStore;
+                if (needs_bus && !bus.free(cycle + latency))
+                    continue;
+                pipes.start(kind, cycle);
+                if (needs_bus)
+                    bus.reserve(cycle + latency, e.destTag,
+                                e.rec->result, e.seq);
+                if (to_memory)
+                    banks.access(e.rec->memAddr, cycle);
+                e.dispatched = true;
+                e.completeCycle = cycle + latency;
+                ++c_dispatched;
+                ++started;
+            }
+        }
+        // ---- phase 1: completions (functional-unit result bus) ---------
+        for (auto &e : ruu) {
+            if (!e.valid || !e.dispatched || e.executed ||
+                e.completeCycle != cycle) {
+                continue;
+            }
+            e.executed = true;
+            last_event = cycle;
+
+            if (e.rec->fault != Fault::None) {
+                // Detected in the unit; surfaced only when the entry
+                // reaches the head, keeping the interrupt precise.
+                e.faulted = true;
+                continue;
+            }
+
+            Tag tag = e.isStore ? storeTagFor(e.seq) : e.destTag;
+            Word value = e.isStore ? e.rec->storeValue : e.rec->result;
+            broadcast(tag, value);
+
+            // Loads are finished with their load register once their
+            // data is delivered; stores hold theirs until commit.
+            if (e.isLoad)
+                load_regs.complete(static_cast<unsigned>(e.loadReg));
+
+            // Maintain the future file(s) (§6.3 / §4).
+            RegId dst = e.rec->inst.dst;
+            if (dst.valid() && future_covers(dst) &&
+                counters.latestTag(dst) == e.destTag) {
+                future_valid[dst.flat()] = true;
+            }
+        }
+
+        // ---- phase 2: in-order commit from the head ---------------------
+        for (unsigned w = 0; w < _config.commitWidth && count > 0; ++w) {
+            InflightOp &e = ruu[head];
+            if (!e.executed)
+                break;
+
+            if (e.faulted) {
+                // Precise interrupt: the committed state is exactly the
+                // sequential execution of instructions [start, seq).
+                result.interrupted = true;
+                result.fault = e.rec->fault;
+                result.faultSeq = e.seq;
+                result.faultPc = e.rec->pc;
+                result.cycles = cycle + 1;
+                done = true;
+                break;
+            }
+
+            const TraceRecord &rec = *e.rec;
+            if (rec.inst.dst.valid()) {
+                result.state.write(rec.inst.dst, rec.result);
+                counters.release(rec.inst.dst);
+                // The RUU-to-register-file bus is itself monitored by
+                // the reservation stations (§6.2), so commitment is a
+                // second broadcast of the same tag.
+                broadcast(e.destTag, rec.result);
+            }
+            if (e.isStore) {
+                bool ok = result.memory.store(rec.memAddr,
+                                              rec.storeValue);
+                ruu_assert(ok, "store to unmapped address in trace");
+                load_regs.complete(static_cast<unsigned>(e.loadReg));
+            }
+
+            ++c_commits;
+            ++c_insts;
+            ++result.instructions;
+            last_event = cycle;
+
+            bool was_halt = rec.inst.op == Opcode::HALT;
+            e.valid = false;
+            std::erase(mem_queue, head);
+            head = (head + 1) % ruu_size;
+            --count;
+
+            if (was_halt) {
+                result.cycles = cycle + 1;
+                done = true;
+                break;
+            }
+        }
+        if (done)
+            break;
+
+        // ---- phase 3: memory-address resolution, in program order ------
+        for (unsigned slot : mem_queue) {
+            InflightOp &e = ruu[slot];
+            if (e.addrResolved)
+                continue;
+            if (!e.src[0].ready)
+                break;
+            if (!resolveMemOp(e, load_regs))
+                break;
+            if (e.forwarded)
+                ++c_forwarded;
+        }
+
+
+        // ---- phase 5: decode and issue (one instruction per cycle) ------
+        if (decode_seq < records.size() && cycle >= next_decode) {
+            const TraceRecord &rec = records[decode_seq];
+            const Instruction &inst = rec.inst;
+            bool stalled = false;
+
+            if (options.modelIBuffers) {
+                Cycle avail = ibuffers.fetch(rec.pc, cycle);
+                if (avail > cycle) {
+                    next_decode = avail;
+                    stalled = true;
+                }
+            }
+
+            if (!stalled && isBranch(inst.op)) {
+                // Branches resolve in the decode-and-issue stage once
+                // the condition register value can be obtained — from
+                // the register file, a bypass path, or a bus broadcast
+                // happening this cycle.
+                bool cond_ok = !inst.src1.valid() || readable(inst.src1);
+                if (!cond_ok && inst.src1.valid() &&
+                    counters.busy(inst.src1)) {
+                    Tag watch = counters.latestTag(inst.src1);
+                    cond_ok = std::find(cycle_tags.begin(),
+                                        cycle_tags.end(),
+                                        watch) != cycle_tags.end();
+                }
+                if (cond_ok) {
+                    ++c_branches;
+                    ++c_insts;
+                    ++result.instructions;
+                    unsigned penalty = branchPenalty(rec.taken);
+                    c_dead += penalty;
+                    next_decode = cycle + penalty;
+                    last_event = std::max(last_event, cycle);
+                    ++decode_seq;
+                } else {
+                    ++c_branch_wait;
+                }
+            } else if (!stalled) {
+                bool can_issue = true;
+                if (count == ruu_size) {
+                    ++c_no_slot;
+                    can_issue = false;
+                } else if (inst.dst.valid() &&
+                           !counters.canAllocate(inst.dst)) {
+                    ++c_ni;
+                    can_issue = false;
+                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                    ++c_no_lr;
+                    can_issue = false;
+                }
+
+                if (can_issue) {
+                    InflightOp &e = ruu[tail];
+                    e = InflightOp{};
+                    e.valid = true;
+                    e.seq = decode_seq;
+                    e.rec = &rec;
+                    e.isLoad = isLoad(inst.op);
+                    e.isStore = isStore(inst.op);
+
+                    for (unsigned s = 0; s < 2; ++s) {
+                        RegId reg = s == 0 ? inst.src1 : inst.src2;
+                        if (!reg.valid())
+                            continue;
+                        e.src[s].needed = true;
+                        if (counters.busy(reg) && !readable(reg)) {
+                            e.src[s].ready = false;
+                            e.src[s].tag = counters.latestTag(reg);
+                        }
+                    }
+
+                    if (inst.dst.valid()) {
+                        unsigned instance = counters.allocate(inst.dst);
+                        e.destTag = counters.makeTag(inst.dst, instance);
+                        if (future_covers(inst.dst))
+                            future_valid[inst.dst.flat()] = false;
+                    }
+
+                    // Instructions with no functional unit (NOP, HALT)
+                    // are complete on arrival and only wait to commit.
+                    if (inst.fu() == FuKind::None)
+                        e.executed = true;
+
+                    if (e.isMem())
+                        mem_queue.push_back(tail);
+
+                    tail = (tail + 1) % ruu_size;
+                    ++count;
+                    ++decode_seq;
+                    next_decode = cycle + 1;
+                }
+            }
+        }
+
+        h_occupancy.sample(count);
+
+        if (decode_seq >= records.size() && count == 0) {
+            result.cycles = last_event + 1;
+            break;
+        }
+        bus.retireBefore(cycle);
+    }
+
+    _stats.counter("cycles") += result.cycles;
+    return result;
+}
+
+} // namespace ruu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Register Update Unit (§5–§6, Figure 5, Tables 4–6) — the paper's
+ * central contribution.
+ *
+ * The RUU is the RSTU managed as a circular queue: instructions enter
+ * at the tail in program order, execute out of order, and *commit* —
+ * update the register file and memory — strictly in program order from
+ * the head. In-order commitment makes every interrupt precise; it also
+ * eliminates the associative tag search, because per-register NI/LI
+ * instance counters (uarch/scoreboard.hh) generate tags directly.
+ *
+ * Three source-operand bypass variants are modeled, matching the
+ * paper's evaluation:
+ *  - BypassMode::Full     (Table 4): executed results are readable out
+ *    of the RUU at issue time.
+ *  - BypassMode::None     (Table 5): waiting operands monitor the
+ *    functional-unit result bus *and* the RUU-to-register-file commit
+ *    bus (the paper's deadlock-avoidance extension), but completed
+ *    results sitting in the RUU are not readable.
+ *  - BypassMode::LimitedA (Table 6): no RUU read, but a duplicated
+ *    A register file — a future file for the eight A registers — is
+ *    updated from the result bus and serves A-register operands and
+ *    branch conditions.
+ *
+ * A fault annotated on a dynamic instruction surfaces when that
+ * instruction reaches the head: everything younger is discarded and
+ * the architectural state equals the sequential prefix — the precise-
+ * interrupt guarantee the tests verify.
+ */
+
+#ifndef RUU_CORE_RUU_CORE_HH
+#define RUU_CORE_RUU_CORE_HH
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** The Register Update Unit core (paper §5). */
+class RuuCore : public Core
+{
+  public:
+    explicit RuuCore(const UarchConfig &config);
+
+    const char *name() const override { return "ruu"; }
+
+  protected:
+    RunResult runImpl(const Trace &trace,
+                      const RunOptions &options) override;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_RUU_CORE_HH

@@ -1,0 +1,171 @@
+#include "core/simple_core.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+#include "uarch/banks.hh"
+#include "uarch/ibuffer.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu
+{
+
+SimpleCore::SimpleCore(const UarchConfig &config) : Core(config)
+{
+}
+
+RunResult
+SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
+{
+    RunResult result = makeInitialResult(trace, options);
+
+    // Cycle at which each register's pending write completes (readable
+    // from that cycle on). Zero means available now.
+    std::array<Cycle, kNumArchRegs> reg_ready{};
+    reg_ready.fill(0);
+
+    ResultBus bus(_config.resultBuses);
+    IBuffers ibuffers;
+    MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
+
+    Counter &c_insts = _stats.counter("instructions");
+    Counter &c_branches = _stats.counter("branches");
+    Counter &c_taken = _stats.counter("taken_branches");
+    Counter &c_src = _stats.counter("stall_src_cycles");
+    Counter &c_dst = _stats.counter("stall_dst_cycles");
+    Counter &c_bus = _stats.counter("stall_bus_cycles");
+    Counter &c_branch_wait = _stats.counter("stall_branch_cond_cycles");
+    Counter &c_dead = _stats.counter("branch_dead_cycles");
+    Counter &c_ibuf = _stats.counter("ibuffer_miss_cycles");
+
+    Cycle next_issue = 0;  //!< earliest cycle the next instruction issues
+    Cycle last_event = 0;  //!< latest issue or completion cycle seen
+    Cycle fault_cycle = kNoCycle; //!< detection time of a raised fault
+
+    auto src_ready = [&](const Instruction &inst) {
+        Cycle ready = 0;
+        if (inst.src1.valid())
+            ready = std::max(ready, reg_ready[inst.src1.flat()]);
+        if (inst.src2.valid())
+            ready = std::max(ready, reg_ready[inst.src2.flat()]);
+        return ready;
+    };
+
+    const auto &records = trace.records();
+    for (SeqNum seq = options.startSeq; seq < records.size(); ++seq) {
+        const TraceRecord &record = records[seq];
+        const Instruction &inst = record.inst;
+
+        // The decode stage stops accepting work once a fault has been
+        // detected; everything issued before that drains.
+        if (fault_cycle != kNoCycle && next_issue >= fault_cycle)
+            break;
+
+        if (options.modelIBuffers) {
+            Cycle avail = ibuffers.fetch(record.pc, next_issue);
+            c_ibuf += avail - next_issue;
+            next_issue = avail;
+        }
+
+        bus.retireBefore(next_issue);
+
+        if (inst.op == Opcode::HALT) {
+            last_event = std::max(last_event, next_issue);
+            ++c_insts;
+            ++result.instructions;
+            break;
+        }
+
+        if (inst.op == Opcode::NOP) {
+            last_event = std::max(last_event, next_issue);
+            ++c_insts;
+            ++result.instructions;
+            next_issue += 1;
+            continue;
+        }
+
+        if (isBranch(inst.op)) {
+            Cycle cond_ready = src_ready(inst);
+            Cycle t = std::max(next_issue, cond_ready);
+            c_branch_wait += t - next_issue;
+            ++c_branches;
+            if (record.taken)
+                ++c_taken;
+            unsigned penalty = branchPenalty(record.taken);
+            c_dead += penalty;
+            next_issue = t + penalty;
+            last_event = std::max(last_event, t);
+            ++c_insts;
+            ++result.instructions;
+            continue;
+        }
+
+        // Register-interlock issue conditions.
+        Cycle t_src = src_ready(inst);
+        Cycle t_dst = inst.dst.valid() ? reg_ready[inst.dst.flat()] : 0;
+        Cycle t0 = std::max({next_issue, t_src, t_dst});
+        c_src += std::max(t_src, next_issue) - next_issue;
+        c_dst += t0 - std::max(t_src, next_issue);
+
+        unsigned latency = isStore(inst.op)
+                               ? _config.latency(FuKind::Memory)
+                               : _config.latency(inst.fu());
+
+        // Reserve a result-bus delivery slot (stores produce no
+        // register result) and, for memory operations, a free bank.
+        Cycle t = t0;
+        bool is_mem = isMemory(inst.op);
+        auto constraints_ok = [&](Cycle at) {
+            if (!isStore(inst.op) && !bus.free(at + latency))
+                return false;
+            if (is_mem && !banks.canAccess(record.memAddr, at))
+                return false;
+            return true;
+        };
+        while (!constraints_ok(t))
+            ++t;
+        c_bus += t - t0;
+        if (!isStore(inst.op))
+            bus.reserve(t + latency, kNoTag, record.result, seq);
+        if (is_mem)
+            banks.access(record.memAddr, t);
+
+        Cycle completion = t + latency;
+        last_event = std::max(last_event, completion);
+
+        if (record.fault != Fault::None) {
+            // Fault detected when the instruction reaches the faulting
+            // point in its unit (its completion slot). No register or
+            // memory update happens; issue continues until detection —
+            // this is exactly the imprecise-interrupt behaviour.
+            result.interrupted = true;
+            result.fault = record.fault;
+            result.faultSeq = seq;
+            result.faultPc = record.pc;
+            fault_cycle = completion;
+            next_issue = t + 1;
+            continue;
+        }
+
+        if (inst.dst.valid()) {
+            reg_ready[inst.dst.flat()] = completion;
+            result.state.write(inst.dst, record.result);
+        }
+        if (isStore(inst.op)) {
+            bool ok = result.memory.store(record.memAddr,
+                                          record.storeValue);
+            ruu_assert(ok, "store to unmapped address in trace");
+        }
+
+        ++c_insts;
+        ++result.instructions;
+        next_issue = t + 1;
+    }
+
+    result.cycles = last_event + 1;
+    _stats.counter("cycles") += result.cycles;
+    return result;
+}
+
+} // namespace ruu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's baseline: the simple in-order issue mechanism of the
+ * CRAY-1-like model architecture (§2, Table 1).
+ *
+ * One instruction is decoded per cycle, in program order. An
+ * instruction issues — and starts its functional unit the same cycle —
+ * only when (i) all its source registers are available, (ii) its
+ * destination register is not reserved by an earlier instruction,
+ * and (iii) the single result bus is free at issue + latency. A blocked
+ * instruction waits in the decode-and-issue stage, stalling everything
+ * behind it. Branches resolve in the issue stage once their condition
+ * register is available and are followed by dead fetch cycles.
+ *
+ * Instructions issue in order but complete out of order, so this
+ * machine's interrupts are imprecise — the fault experiments use it to
+ * demonstrate the problem the RUU solves.
+ */
+
+#ifndef RUU_CORE_SIMPLE_CORE_HH
+#define RUU_CORE_SIMPLE_CORE_HH
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** In-order, blocking issue (the paper's Table 1 machine). */
+class SimpleCore : public Core
+{
+  public:
+    explicit SimpleCore(const UarchConfig &config);
+
+    const char *name() const override { return "simple"; }
+
+  protected:
+    RunResult runImpl(const Trace &trace,
+                      const RunOptions &options) override;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_SIMPLE_CORE_HH

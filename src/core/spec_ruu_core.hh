@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's §7 extension: conditional execution of instructions from
+ * a predicted branch path, with RUU-based nullification.
+ *
+ * The base RuuCore stalls decode on every conditional branch until the
+ * condition register can be read, then pays dead fetch cycles. Here a
+ * branch predictor lets decode continue past unresolved branches:
+ * conditional branches occupy RUU entries, instructions behind them
+ * issue and execute in conditional mode, and in-order commit stops at
+ * the oldest unresolved branch so no conditional instruction can ever
+ * update the architectural state. When a branch resolves:
+ *
+ *  - predicted correctly: the branch commits and the conditional
+ *    instructions behind it become unconditional;
+ *  - mispredicted: every younger RUU entry is *nullified* — exactly
+ *    the mechanism the paper says makes conditional execution "very
+ *    easy" — the NI/LI instance counters roll back, load-register
+ *    claims are returned, pending result-bus deliveries are cancelled,
+ *    and fetch redirects to the correct path.
+ *
+ * Wrong-path instructions are genuinely fetched from the static
+ * program image (the trace only records the correct path), so
+ * mispredicted work competes for RUU slots, register instances,
+ * functional units, and the result bus, as it would in hardware.
+ * Wrong-path memory operations occupy entries but do not probe the
+ * load registers (their addresses are unknowable), and conditional
+ * stores do not resolve until every older branch is decided — a store
+ * that has updated a load-register tag cannot be nullified.
+ *
+ * There is no limit on outstanding predicted branches: as the paper
+ * notes, the instance counters provide register copies per path.
+ * Precise interrupts are preserved unchanged.
+ *
+ * This core requires a trace whose Program is available (not a stub)
+ * and uses full bypass.
+ */
+
+#ifndef RUU_CORE_SPEC_RUU_CORE_HH
+#define RUU_CORE_SPEC_RUU_CORE_HH
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** RUU with branch prediction and conditional execution (paper §7). */
+class SpecRuuCore : public Core
+{
+  public:
+    explicit SpecRuuCore(const UarchConfig &config);
+
+    const char *name() const override { return "spec_ruu"; }
+
+  protected:
+    RunResult runImpl(const Trace &trace,
+                      const RunOptions &options) override;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_SPEC_RUU_CORE_HH

@@ -1,0 +1,352 @@
+#include "core/tomasulo_core.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "core/ooo_support.hh"
+#include "uarch/banks.hh"
+#include "uarch/fu.hh"
+#include "uarch/ibuffer.hh"
+#include "uarch/scoreboard.hh"
+
+namespace ruu
+{
+
+namespace
+{
+
+/** One Tag Unit entry (§3.2.1): a tag for a currently active register. */
+struct TuEntry
+{
+    bool free = true;
+    bool latest = false;  //!< newest tag for its register
+    unsigned regFlat = 0; //!< flat register number
+};
+
+} // namespace
+
+TomasuloCore::TomasuloCore(const UarchConfig &config) : Core(config)
+{
+}
+
+RunResult
+TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
+{
+    RunResult result = makeInitialResult(trace, options);
+
+    // Tag Unit.
+    std::vector<TuEntry> tu(_config.tuEntries);
+    std::array<int, kNumArchRegs> latest_slot;
+    latest_slot.fill(-1);
+    BusyBits busy;
+
+    // Distributed reservation stations: one private pool per unit.
+    std::array<std::vector<InflightOp>, kNumFuKinds> rs;
+    for (auto &pool : rs)
+        pool.resize(_config.rsPerFu);
+
+    // Dispatched instructions in their functional units.
+    std::vector<InflightOp> flight;
+
+    // Unresolved memory operations, in program order (RS indices in
+    // the memory unit's pool).
+    std::deque<unsigned> mem_queue;
+
+    // Undispatched stores, in program order: stores reach memory in
+    // program order so same-address updates land in sequence.
+    std::deque<SeqNum> store_queue;
+
+    LoadRegisters load_regs(_config.loadRegisters);
+    FuPipes pipes(_config);
+    MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
+    ResultBus bus(_config.resultBuses);
+    IBuffers ibuffers;
+
+    Counter &c_insts = _stats.counter("instructions");
+    Counter &c_branches = _stats.counter("branches");
+    Counter &c_dead = _stats.counter("branch_dead_cycles");
+    Counter &c_branch_wait = _stats.counter("stall_branch_cond_cycles");
+    Counter &c_no_rs = _stats.counter("stall_no_rs_cycles");
+    Counter &c_no_tu = _stats.counter("stall_no_tu_cycles");
+    Counter &c_no_lr = _stats.counter("stall_no_load_reg_cycles");
+    Counter &c_dispatched = _stats.counter("dispatches");
+    Counter &c_forwarded = _stats.counter("forwarded_loads");
+    Histogram &h_rs_busy = _stats.histogram("rs_occupancy");
+
+    SeqNum decode_seq = options.startSeq;
+    Cycle next_decode = 0;
+    Cycle last_event = 0;
+    bool halted = false;
+    bool fault_raised = false;
+    const auto &records = trace.records();
+
+    auto rs_occupancy = [&]() {
+        unsigned n = 0;
+        for (const auto &pool : rs)
+            for (const auto &e : pool)
+                n += e.valid ? 1 : 0;
+        return n;
+    };
+
+    auto wake_all = [&](Tag tag) {
+        for (auto &pool : rs)
+            for (auto &e : pool)
+                if (e.valid)
+                    e.wakeup(tag);
+    };
+
+    for (Cycle cycle = 0;; ++cycle) {
+        if (cycle > options.maxCycles)
+            ruu_panic("Tomasulo exceeded %llu cycles — livelock",
+                      static_cast<unsigned long long>(options.maxCycles));
+
+        // ---- phase 3: dispatch (each unit may accept one per cycle) ----
+        // The memory unit gets bus priority (§5), then the other units.
+        static constexpr std::array<FuKind, 11> kDispatchOrder = {
+            FuKind::Memory,    FuKind::AddrAdd,   FuKind::AddrMul,
+            FuKind::ScalarAdd, FuKind::ScalarLogical,
+            FuKind::ScalarShift, FuKind::PopLz,   FuKind::FpAdd,
+            FuKind::FpMul,     FuKind::FpRecip,   FuKind::Transmit,
+        };
+        for (FuKind kind : kDispatchOrder) {
+            auto &pool = rs[static_cast<unsigned>(kind)];
+            int best = -1;
+            for (unsigned i = 0; i < pool.size(); ++i) {
+                if (pool[i].valid && pool[i].readyToDispatch() &&
+                    (best < 0 || pool[i].seq <
+                                     pool[static_cast<unsigned>(best)]
+                                         .seq)) {
+                    best = static_cast<int>(i);
+                }
+            }
+            if (best < 0)
+                continue;
+            InflightOp &e = pool[static_cast<unsigned>(best)];
+            if (e.isStore && (store_queue.empty() ||
+                              store_queue.front() != e.seq)) {
+                continue;
+            }
+            unsigned latency = e.isStore ? _config.storeLatency
+                               : e.forwarded
+                                   ? _config.forwardLatency
+                                   : _config.latency(kind);
+            if (!pipes.canStart(kind, cycle))
+                continue;
+            bool to_memory = e.isMem() && !e.forwarded;
+            if (to_memory && !banks.canAccess(e.rec->memAddr, cycle))
+                continue;
+            bool needs_bus = !e.isStore;
+            if (needs_bus && !bus.free(cycle + latency))
+                continue;
+            pipes.start(kind, cycle);
+            if (needs_bus)
+                bus.reserve(cycle + latency, e.destTag, e.rec->result,
+                            e.seq);
+            if (to_memory)
+                banks.access(e.rec->memAddr, cycle);
+            e.dispatched = true;
+            e.completeCycle = cycle + latency;
+            if (e.isStore)
+                store_queue.pop_front();
+            ++c_dispatched;
+            // The reservation station is released at dispatch (§3.1).
+            flight.push_back(e);
+            e.valid = false;
+        }
+        // ---- phase 1: completions ----------------------------------------
+        for (auto it = flight.begin(); it != flight.end();) {
+            InflightOp &e = *it;
+            if (e.completeCycle != cycle) {
+                ++it;
+                continue;
+            }
+            last_event = cycle;
+
+            if (e.rec->fault != Fault::None) {
+                result.interrupted = true;
+                result.fault = e.rec->fault;
+                result.faultSeq = e.seq;
+                result.faultPc = e.rec->pc;
+                fault_raised = true;
+                ++it;
+                continue;
+            }
+
+            Tag tag = e.isStore ? storeTagFor(e.seq) : e.destTag;
+            Word value = e.isStore ? e.rec->storeValue : e.rec->result;
+            wake_all(tag);
+            load_regs.onBroadcast(tag, value);
+
+            RegId dst = e.rec->inst.dst;
+            if (dst.valid()) {
+                TuEntry &slot = tu[e.destTag];
+                if (slot.latest) {
+                    result.state.write(dst, e.rec->result);
+                    busy.clear(dst);
+                    latest_slot[dst.flat()] = -1;
+                }
+                slot = TuEntry{}; // release the tag
+            }
+            if (e.isStore) {
+                bool ok = result.memory.store(e.rec->memAddr,
+                                              e.rec->storeValue);
+                ruu_assert(ok, "store to unmapped address in trace");
+            }
+            if (e.isMem())
+                load_regs.complete(static_cast<unsigned>(e.loadReg));
+
+            ++c_insts;
+            ++result.instructions;
+            it = flight.erase(it);
+        }
+
+        if (fault_raised) {
+            result.cycles = cycle + 1;
+            break;
+        }
+
+        // ---- phase 2: memory-address resolution, in program order ------
+        auto &mem_rs = rs[static_cast<unsigned>(FuKind::Memory)];
+        while (!mem_queue.empty()) {
+            InflightOp &e = mem_rs[mem_queue.front()];
+            if (!e.src[0].ready)
+                break;
+            if (!resolveMemOp(e, load_regs))
+                break;
+            if (e.forwarded)
+                ++c_forwarded;
+            mem_queue.pop_front();
+        }
+
+
+        // ---- phase 4: decode and issue ------------------------------------
+        if (!halted && decode_seq < records.size() &&
+            cycle >= next_decode) {
+            const TraceRecord &rec = records[decode_seq];
+            const Instruction &inst = rec.inst;
+            bool stalled = false;
+
+            if (options.modelIBuffers) {
+                Cycle avail = ibuffers.fetch(rec.pc, cycle);
+                if (avail > cycle) {
+                    next_decode = avail;
+                    stalled = true;
+                }
+            }
+
+            if (!stalled && inst.op == Opcode::HALT) {
+                halted = true;
+                last_event = std::max(last_event, cycle);
+                ++c_insts;
+                ++result.instructions;
+                ++decode_seq;
+            } else if (!stalled && inst.op == Opcode::NOP) {
+                last_event = std::max(last_event, cycle);
+                ++c_insts;
+                ++result.instructions;
+                ++decode_seq;
+                next_decode = cycle + 1;
+            } else if (!stalled && isBranch(inst.op)) {
+                if (inst.src1.valid() && busy.busy(inst.src1)) {
+                    ++c_branch_wait;
+                } else {
+                    ++c_branches;
+                    ++c_insts;
+                    ++result.instructions;
+                    unsigned penalty = branchPenalty(rec.taken);
+                    c_dead += penalty;
+                    next_decode = cycle + penalty;
+                    last_event = std::max(last_event, cycle);
+                    ++decode_seq;
+                }
+            } else if (!stalled) {
+                FuKind kind = isMemory(inst.op) ? FuKind::Memory
+                                                : inst.fu();
+                auto &pool = rs[static_cast<unsigned>(kind)];
+                int rs_slot = -1;
+                for (unsigned i = 0; i < pool.size(); ++i) {
+                    if (!pool[i].valid) {
+                        rs_slot = static_cast<int>(i);
+                        break;
+                    }
+                }
+                int tu_slot = -1;
+                if (inst.dst.valid()) {
+                    for (unsigned i = 0; i < tu.size(); ++i) {
+                        if (tu[i].free) {
+                            tu_slot = static_cast<int>(i);
+                            break;
+                        }
+                    }
+                }
+
+                if (rs_slot < 0) {
+                    ++c_no_rs;
+                } else if (inst.dst.valid() && tu_slot < 0) {
+                    ++c_no_tu;
+                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                    ++c_no_lr;
+                } else {
+                    InflightOp &e = pool[static_cast<unsigned>(rs_slot)];
+                    e = InflightOp{};
+                    e.valid = true;
+                    e.seq = decode_seq;
+                    e.rec = &rec;
+                    e.isLoad = isLoad(inst.op);
+                    e.isStore = isStore(inst.op);
+
+                    for (unsigned s = 0; s < 2; ++s) {
+                        RegId reg = s == 0 ? inst.src1 : inst.src2;
+                        if (!reg.valid())
+                            continue;
+                        e.src[s].needed = true;
+                        if (busy.busy(reg)) {
+                            int producer = latest_slot[reg.flat()];
+                            ruu_assert(producer >= 0,
+                                       "busy register %s without a tag",
+                                       reg.toString().c_str());
+                            e.src[s].ready = false;
+                            e.src[s].tag = static_cast<Tag>(producer);
+                        }
+                    }
+
+                    if (inst.dst.valid()) {
+                        int prev = latest_slot[inst.dst.flat()];
+                        if (prev >= 0)
+                            tu[static_cast<unsigned>(prev)].latest =
+                                false;
+                        tu[static_cast<unsigned>(tu_slot)] =
+                            TuEntry{false, true, inst.dst.flat()};
+                        latest_slot[inst.dst.flat()] = tu_slot;
+                        busy.setBusy(inst.dst);
+                        e.destTag = static_cast<Tag>(tu_slot);
+                    }
+                    if (e.isMem())
+                        mem_queue.push_back(
+                            static_cast<unsigned>(rs_slot));
+                    if (e.isStore)
+                        store_queue.push_back(e.seq);
+
+                    ++decode_seq;
+                    next_decode = cycle + 1;
+                }
+            }
+        }
+
+        h_rs_busy.sample(rs_occupancy());
+
+        if ((halted || decode_seq >= records.size()) &&
+            rs_occupancy() == 0 && flight.empty()) {
+            result.cycles = last_event + 1;
+            break;
+        }
+        bus.retireBefore(cycle);
+    }
+
+    _stats.counter("cycles") += result.cycles;
+    return result;
+}
+
+} // namespace ruu

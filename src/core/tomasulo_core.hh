@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tomasulo's algorithm with a separate Tag Unit and distributed
+ * reservation stations (§3.1–§3.2.1, Figure 2).
+ *
+ * Instead of tagging every one of the 144 registers, a common pool of
+ * tags — the Tag Unit — holds one entry per *currently active*
+ * destination register (§3.2.1). Each functional unit owns a private
+ * set of reservation stations; issue blocks when the target unit's
+ * stations are full or the Tag Unit has no free tag, even if stations
+ * of other units sit idle — the inefficiency that motivates merging
+ * the pools (§3.2.2) and that the distributed-vs-merged ablation bench
+ * quantifies. Unlike the merged RSTU, a station is released as soon as
+ * its instruction dispatches, and each unit can accept one instruction
+ * per cycle (subject to the shared result bus).
+ *
+ * Like the RSTU, this machine updates registers out of program order
+ * and is therefore imprecise.
+ */
+
+#ifndef RUU_CORE_TOMASULO_CORE_HH
+#define RUU_CORE_TOMASULO_CORE_HH
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** Tag Unit + distributed reservation stations (paper Figure 2). */
+class TomasuloCore : public Core
+{
+  public:
+    explicit TomasuloCore(const UarchConfig &config);
+
+    const char *name() const override { return "tomasulo"; }
+
+  protected:
+    RunResult runImpl(const Trace &trace,
+                      const RunOptions &options) override;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_TOMASULO_CORE_HH

@@ -1,0 +1,44 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace ruu
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << mnemonic(inst.op);
+    switch (opInfo(inst.op).form) {
+      case OperandForm::Rrr:
+        os << " " << inst.dst.toString() << ", " << inst.src1.toString()
+           << ", " << inst.src2.toString();
+        break;
+      case OperandForm::Rr:
+        os << " " << inst.dst.toString() << ", " << inst.src1.toString();
+        break;
+      case OperandForm::RImm:
+        os << " " << inst.dst.toString() << ", " << inst.imm;
+        break;
+      case OperandForm::RShift:
+        os << " " << inst.dst.toString() << ", " << inst.imm;
+        break;
+      case OperandForm::MemLoad:
+        os << " " << inst.dst.toString() << ", " << inst.imm << "("
+           << inst.src1.toString() << ")";
+        break;
+      case OperandForm::MemStore:
+        os << " " << inst.imm << "(" << inst.src1.toString() << "), "
+           << inst.src2.toString();
+        break;
+      case OperandForm::Branch:
+        os << " @" << inst.target;
+        break;
+      case OperandForm::Bare:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ruu

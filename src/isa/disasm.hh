@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual disassembly of model-ISA instructions, in the same syntax the
+ * assembler (src/asm) accepts, so disassemble -> assemble round-trips.
+ */
+
+#ifndef RUU_ISA_DISASM_HH
+#define RUU_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace ruu
+{
+
+/**
+ * Render @p inst as assembler text, e.g. "fadd S1, S2, S3" or
+ * "lds S4, 16(A2)". Branch targets are printed as "@<parcel-addr>".
+ */
+std::string disassemble(const Instruction &inst);
+
+} // namespace ruu
+
+#endif // RUU_ISA_DISASM_HH

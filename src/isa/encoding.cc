@@ -1,0 +1,277 @@
+#include "isa/encoding.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+namespace
+{
+
+/** Register files used by each opcode's (dst, src) operands. */
+struct RegFiles
+{
+    RegFile dst;
+    RegFile src;
+};
+
+/** Operand register files for Rr / Rrr / RImm / RShift opcodes. */
+RegFiles
+operandFiles(Opcode op)
+{
+    switch (op) {
+      case Opcode::AADD:
+      case Opcode::ASUB:
+      case Opcode::AMUL:
+      case Opcode::AMOVI:
+      case Opcode::MOVA:
+        return {RegFile::A, RegFile::A};
+      case Opcode::MOVSA:
+        return {RegFile::S, RegFile::A};
+      case Opcode::MOVAS:
+        return {RegFile::A, RegFile::S};
+      case Opcode::MOVBA:
+        return {RegFile::B, RegFile::A};
+      case Opcode::MOVAB:
+        return {RegFile::A, RegFile::B};
+      case Opcode::MOVTS:
+        return {RegFile::T, RegFile::S};
+      case Opcode::MOVST:
+        return {RegFile::S, RegFile::T};
+      default:
+        // All remaining register-register opcodes operate on S registers.
+        return {RegFile::S, RegFile::S};
+    }
+}
+
+/** Data register file for loads/stores (LDA/STA use A, LDS/STS use S). */
+RegFile
+memDataFile(Opcode op)
+{
+    return (op == Opcode::LDA || op == Opcode::STA) ? RegFile::A : RegFile::S;
+}
+
+/** True when either operand of @p op indexes a 64-entry (B/T) file. */
+bool
+usesWideIndex(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOVBA:
+      case Opcode::MOVAB:
+      case Opcode::MOVTS:
+      case Opcode::MOVST:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+encodable(const Instruction &inst)
+{
+    switch (opInfo(inst.op).form) {
+      case OperandForm::RImm:
+        return inst.imm >= kImmMin && inst.imm <= kImmMax;
+      case OperandForm::MemLoad:
+      case OperandForm::MemStore:
+        return inst.imm >= kDispMin && inst.imm <= kDispMax;
+      case OperandForm::Branch:
+        return inst.target <= kTargetMax;
+      default:
+        return true;
+    }
+}
+
+unsigned
+encode(const Instruction &inst, Parcel out[2])
+{
+    ruu_assert(encodable(inst), "operand of %s out of encodable range",
+               mnemonic(inst.op));
+
+    std::uint64_t p1 = 0;
+    p1 = insertBits(p1, 9, 7, static_cast<std::uint64_t>(inst.op));
+    std::uint64_t p2 = 0;
+    unsigned parcels = opInfo(inst.op).parcels;
+
+    switch (opInfo(inst.op).form) {
+      case OperandForm::Rrr:
+        p1 = insertBits(p1, 6, 3, inst.dst.index());
+        p1 = insertBits(p1, 3, 3, inst.src1.index());
+        p1 = insertBits(p1, 0, 3, inst.src2.index());
+        break;
+      case OperandForm::Rr:
+        if (usesWideIndex(inst.op)) {
+            // The 64-entry-file operand goes in the 6-bit jk field; the
+            // 8-entry-file operand goes in the i field.
+            bool dst_wide = inst.dst.file() == RegFile::B ||
+                            inst.dst.file() == RegFile::T;
+            if (dst_wide) {
+                p1 = insertBits(p1, 0, 6, inst.dst.index());
+                p1 = insertBits(p1, 6, 3, inst.src1.index());
+            } else {
+                p1 = insertBits(p1, 6, 3, inst.dst.index());
+                p1 = insertBits(p1, 0, 6, inst.src1.index());
+            }
+        } else {
+            p1 = insertBits(p1, 6, 3, inst.dst.index());
+            p1 = insertBits(p1, 0, 3, inst.src1.index());
+        }
+        break;
+      case OperandForm::RImm:
+        p1 = insertBits(p1, 6, 3, inst.dst.index());
+        p1 = insertBits(p1, 0, 6,
+                        bits(static_cast<std::uint64_t>(inst.imm), 16, 6));
+        p2 = bits(static_cast<std::uint64_t>(inst.imm), 0, 16);
+        break;
+      case OperandForm::RShift:
+        p1 = insertBits(p1, 6, 3, inst.dst.index());
+        p1 = insertBits(p1, 0, 6, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case OperandForm::MemLoad:
+        p1 = insertBits(p1, 6, 3, inst.dst.index());
+        p1 = insertBits(p1, 3, 3, inst.src1.index());
+        p1 = insertBits(p1, 0, 3,
+                        bits(static_cast<std::uint64_t>(inst.imm), 16, 3));
+        p2 = bits(static_cast<std::uint64_t>(inst.imm), 0, 16);
+        break;
+      case OperandForm::MemStore:
+        p1 = insertBits(p1, 6, 3, inst.src2.index());
+        p1 = insertBits(p1, 3, 3, inst.src1.index());
+        p1 = insertBits(p1, 0, 3,
+                        bits(static_cast<std::uint64_t>(inst.imm), 16, 3));
+        p2 = bits(static_cast<std::uint64_t>(inst.imm), 0, 16);
+        break;
+      case OperandForm::Branch:
+        p1 = insertBits(p1, 0, 6, bits(inst.target, 16, 6));
+        p2 = bits(inst.target, 0, 16);
+        break;
+      case OperandForm::Bare:
+        break;
+    }
+
+    out[0] = static_cast<Parcel>(p1);
+    if (parcels == 2)
+        out[1] = static_cast<Parcel>(p2);
+    return parcels;
+}
+
+std::optional<std::pair<Instruction, unsigned>>
+decode(const Parcel *parcels, std::size_t avail)
+{
+    if (avail == 0)
+        return std::nullopt;
+    std::uint64_t p1 = parcels[0];
+    unsigned opnum = static_cast<unsigned>(bits(p1, 9, 7));
+    if (opnum >= kNumOpcodes)
+        return std::nullopt;
+    Opcode op = static_cast<Opcode>(opnum);
+    const OpInfo &info = opInfo(op);
+    if (info.parcels == 2 && avail < 2)
+        return std::nullopt;
+    std::uint64_t p2 = info.parcels == 2 ? parcels[1] : 0;
+
+    Instruction inst;
+    inst.op = op;
+    RegFiles files = operandFiles(op);
+
+    switch (info.form) {
+      case OperandForm::Rrr:
+        inst.dst = RegId(files.dst, static_cast<unsigned>(bits(p1, 6, 3)));
+        inst.src1 = RegId(files.src, static_cast<unsigned>(bits(p1, 3, 3)));
+        inst.src2 = RegId(files.src, static_cast<unsigned>(bits(p1, 0, 3)));
+        break;
+      case OperandForm::Rr:
+        if (usesWideIndex(op)) {
+            bool dst_wide = files.dst == RegFile::B ||
+                            files.dst == RegFile::T;
+            if (dst_wide) {
+                inst.dst = RegId(files.dst,
+                                 static_cast<unsigned>(bits(p1, 0, 6)));
+                inst.src1 = RegId(files.src,
+                                  static_cast<unsigned>(bits(p1, 6, 3)));
+            } else {
+                inst.dst = RegId(files.dst,
+                                 static_cast<unsigned>(bits(p1, 6, 3)));
+                inst.src1 = RegId(files.src,
+                                  static_cast<unsigned>(bits(p1, 0, 6)));
+            }
+        } else {
+            inst.dst = RegId(files.dst,
+                             static_cast<unsigned>(bits(p1, 6, 3)));
+            inst.src1 = RegId(files.src,
+                              static_cast<unsigned>(bits(p1, 0, 3)));
+        }
+        break;
+      case OperandForm::RImm:
+        inst.dst = RegId(files.dst, static_cast<unsigned>(bits(p1, 6, 3)));
+        inst.imm = sext((bits(p1, 0, 6) << 16) | p2, 22);
+        break;
+      case OperandForm::RShift:
+        inst.dst = RegId(files.dst, static_cast<unsigned>(bits(p1, 6, 3)));
+        inst.src1 = inst.dst;
+        inst.imm = static_cast<std::int64_t>(bits(p1, 0, 6));
+        break;
+      case OperandForm::MemLoad:
+        inst.dst = RegId(memDataFile(op),
+                         static_cast<unsigned>(bits(p1, 6, 3)));
+        inst.src1 = RegId(RegFile::A, static_cast<unsigned>(bits(p1, 3, 3)));
+        inst.imm = sext((bits(p1, 0, 3) << 16) | p2, 19);
+        break;
+      case OperandForm::MemStore:
+        inst.src2 = RegId(memDataFile(op),
+                          static_cast<unsigned>(bits(p1, 6, 3)));
+        inst.src1 = RegId(RegFile::A, static_cast<unsigned>(bits(p1, 3, 3)));
+        inst.imm = sext((bits(p1, 0, 3) << 16) | p2, 19);
+        break;
+      case OperandForm::Branch:
+        inst.target = static_cast<ParcelAddr>((bits(p1, 0, 6) << 16) | p2);
+        switch (info.cond) {
+          case CondReg::A0:
+            inst.src1 = regA(0);
+            break;
+          case CondReg::S0:
+            inst.src1 = regS(0);
+            break;
+          default:
+            break;
+        }
+        break;
+      case OperandForm::Bare:
+        break;
+    }
+    return std::make_pair(inst, info.parcels);
+}
+
+std::vector<Parcel>
+encodeAll(const std::vector<Instruction> &insts)
+{
+    std::vector<Parcel> image;
+    image.reserve(insts.size() * 2);
+    for (const auto &inst : insts) {
+        Parcel buf[2];
+        unsigned n = encode(inst, buf);
+        for (unsigned i = 0; i < n; ++i)
+            image.push_back(buf[i]);
+    }
+    return image;
+}
+
+std::optional<std::vector<Instruction>>
+decodeAll(const std::vector<Parcel> &parcels)
+{
+    std::vector<Instruction> insts;
+    std::size_t pos = 0;
+    while (pos < parcels.size()) {
+        auto dec = decode(parcels.data() + pos, parcels.size() - pos);
+        if (!dec)
+            return std::nullopt;
+        insts.push_back(dec->first);
+        pos += dec->second;
+    }
+    return insts;
+}
+
+} // namespace ruu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary encoding of model-ISA instructions into 16-bit parcels.
+ *
+ * Layout of the first parcel: bits [15:9] hold the opcode, bits [8:0]
+ * hold up to three 3-bit register fields (i, j, k) or an i field plus a
+ * 6-bit jk field (B/T register indices, shift counts, immediate high
+ * bits). Two-parcel instructions carry the low 16 bits of their
+ * immediate, displacement, or branch target in the second parcel:
+ *
+ *  - RImm:     22-bit signed immediate  (6 high bits in parcel 1)
+ *  - MemLoad/MemStore: 19-bit signed displacement (3 high bits)
+ *  - Branch:   22-bit parcel-address target (6 high bits)
+ *
+ * The encoding exists so the instruction buffers can be modeled with
+ * real parcel occupancy and so programs round-trip through a binary
+ * image; the simulators otherwise work on decoded Instruction values.
+ */
+
+#ifndef RUU_ISA_ENCODING_HH
+#define RUU_ISA_ENCODING_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ruu
+{
+
+/** Immediate range limits implied by the encoding. */
+inline constexpr std::int64_t kImmMax = (1 << 21) - 1;
+inline constexpr std::int64_t kImmMin = -(1 << 21);
+inline constexpr std::int64_t kDispMax = (1 << 18) - 1;
+inline constexpr std::int64_t kDispMin = -(1 << 18);
+inline constexpr ParcelAddr kTargetMax = (1u << 22) - 1;
+
+/** True when @p inst's immediate/displacement/target fits the encoding. */
+bool encodable(const Instruction &inst);
+
+/**
+ * Encode @p inst into @p out (room for 2 parcels).
+ * @return the number of parcels written (1 or 2).
+ * Panics when the instruction is not encodable; callers validate first.
+ */
+unsigned encode(const Instruction &inst, Parcel out[2]);
+
+/**
+ * Decode one instruction starting at @p parcels.
+ *
+ * @param parcels  pointer to at least @p avail parcels
+ * @param avail    parcels available
+ * @return the decoded instruction and its parcel count, or nullopt on an
+ *         illegal opcode or truncated two-parcel instruction.
+ */
+std::optional<std::pair<Instruction, unsigned>>
+decode(const Parcel *parcels, std::size_t avail);
+
+/** Encode a whole instruction sequence into a parcel image. */
+std::vector<Parcel> encodeAll(const std::vector<Instruction> &insts);
+
+/**
+ * Decode an entire parcel image; returns nullopt when any instruction
+ * is malformed.
+ */
+std::optional<std::vector<Instruction>>
+decodeAll(const std::vector<Parcel> &parcels);
+
+} // namespace ruu
+
+#endif // RUU_ISA_ENCODING_HH

@@ -1,0 +1,162 @@
+#include "isa/opcode.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+namespace
+{
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    // mnemonic  fu                     form                 parcels cond
+    {"aadd",   FuKind::AddrAdd,       OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"asub",   FuKind::AddrAdd,       OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"amul",   FuKind::AddrMul,       OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"amovi",  FuKind::Transmit,      OperandForm::RImm,     2,
+     CondReg::NotABranch},
+    {"mova",   FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+
+    {"sadd",   FuKind::ScalarAdd,     OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"ssub",   FuKind::ScalarAdd,     OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"sand",   FuKind::ScalarLogical, OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"sor",    FuKind::ScalarLogical, OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"sxor",   FuKind::ScalarLogical, OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"sshl",   FuKind::ScalarShift,   OperandForm::RShift,   1,
+     CondReg::NotABranch},
+    {"sshr",   FuKind::ScalarShift,   OperandForm::RShift,   1,
+     CondReg::NotABranch},
+    {"spop",   FuKind::PopLz,         OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"slz",    FuKind::PopLz,         OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"smovi",  FuKind::Transmit,      OperandForm::RImm,     2,
+     CondReg::NotABranch},
+    {"movs",   FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+
+    {"fadd",   FuKind::FpAdd,         OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"fsub",   FuKind::FpAdd,         OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"fmul",   FuKind::FpMul,         OperandForm::Rrr,      1,
+     CondReg::NotABranch},
+    {"frecip", FuKind::FpRecip,       OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"sfix",   FuKind::FpAdd,         OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"sflt",   FuKind::FpAdd,         OperandForm::Rr,       1,
+     CondReg::NotABranch},
+
+    {"movsa",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"movas",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"movba",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"movab",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"movts",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+    {"movst",  FuKind::Transmit,      OperandForm::Rr,       1,
+     CondReg::NotABranch},
+
+    {"lda",    FuKind::Memory,        OperandForm::MemLoad,  2,
+     CondReg::NotABranch},
+    {"lds",    FuKind::Memory,        OperandForm::MemLoad,  2,
+     CondReg::NotABranch},
+    {"sta",    FuKind::Memory,        OperandForm::MemStore, 2,
+     CondReg::NotABranch},
+    {"sts",    FuKind::Memory,        OperandForm::MemStore, 2,
+     CondReg::NotABranch},
+
+    {"j",      FuKind::None,          OperandForm::Branch,   2,
+     CondReg::Always},
+    {"jaz",    FuKind::None,          OperandForm::Branch,   2, CondReg::A0},
+    {"jan",    FuKind::None,          OperandForm::Branch,   2, CondReg::A0},
+    {"jap",    FuKind::None,          OperandForm::Branch,   2, CondReg::A0},
+    {"jam",    FuKind::None,          OperandForm::Branch,   2, CondReg::A0},
+    {"jsz",    FuKind::None,          OperandForm::Branch,   2, CondReg::S0},
+    {"jsn",    FuKind::None,          OperandForm::Branch,   2, CondReg::S0},
+    {"jsp",    FuKind::None,          OperandForm::Branch,   2, CondReg::S0},
+    {"jsm",    FuKind::None,          OperandForm::Branch,   2, CondReg::S0},
+    {"halt",   FuKind::None,          OperandForm::Bare,     1,
+     CondReg::NotABranch},
+    {"nop",    FuKind::None,          OperandForm::Bare,     1,
+     CondReg::NotABranch},
+}};
+
+constexpr std::array<const char *, kNumFuKinds> kFuNames = {{
+    "addr_add", "addr_mul", "scalar_add", "scalar_logical", "scalar_shift",
+    "pop_lz", "fp_add", "fp_mul", "fp_recip", "memory", "transmit", "none",
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    unsigned idx = static_cast<unsigned>(op);
+    ruu_assert(idx < kNumOpcodes, "bad opcode %u", idx);
+    return kOpTable[idx];
+}
+
+const char *
+fuKindName(FuKind kind)
+{
+    unsigned idx = static_cast<unsigned>(kind);
+    ruu_assert(idx < kNumFuKinds, "bad FU kind %u", idx);
+    return kFuNames[idx];
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(const std::string &name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (unsigned i = 0; i < kNumOpcodes; ++i)
+        if (lower == kOpTable[i].mnemonic)
+            return static_cast<Opcode>(i);
+    return std::nullopt;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return opInfo(op).form == OperandForm::Branch;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    CondReg c = opInfo(op).cond;
+    return c == CondReg::A0 || c == CondReg::S0;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LDA || op == Opcode::LDS;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STA || op == Opcode::STS;
+}
+
+} // namespace ruu

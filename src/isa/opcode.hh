@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The model architecture's instruction set.
+ *
+ * The ISA follows the CRAY-1 scalar unit the paper models: three-address
+ * register arithmetic on A and S registers, single-parcel moves between
+ * the primary (A/S) and backup (B/T) register files, two-parcel
+ * immediate loads, base+displacement scalar memory operations, and
+ * two-parcel branches that test register A0 or S0.
+ *
+ * Each opcode carries static traits: its operand form (how the
+ * assembler and encoder interpret the operand fields), the functional
+ * unit class that executes it, and classification bits used by the
+ * issue-logic simulators.
+ */
+
+#ifndef RUU_ISA_OPCODE_HH
+#define RUU_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ruu
+{
+
+/** Every instruction in the model ISA. */
+enum class Opcode : std::uint8_t
+{
+    // --- address (A-register) arithmetic -------------------------------
+    AADD,   //!< Ai <- Aj + Ak            (address add unit)
+    ASUB,   //!< Ai <- Aj - Ak            (address add unit)
+    AMUL,   //!< Ai <- Aj * Ak            (address multiply unit)
+    AMOVI,  //!< Ai <- imm22              (transmit, two parcels)
+    MOVA,   //!< Ai <- Ak                 (transmit)
+
+    // --- scalar (S-register) integer arithmetic ------------------------
+    SADD,   //!< Si <- Sj + Sk            (scalar add unit)
+    SSUB,   //!< Si <- Sj - Sk            (scalar add unit)
+    SAND,   //!< Si <- Sj & Sk            (scalar logical unit)
+    SOR,    //!< Si <- Sj | Sk            (scalar logical unit)
+    SXOR,   //!< Si <- Sj ^ Sk            (scalar logical unit)
+    SSHL,   //!< Si <- Si << jk           (scalar shift unit, in place)
+    SSHR,   //!< Si <- Si >> jk logical   (scalar shift unit, in place)
+    SPOP,   //!< Si <- popcount(Sj)       (population/leading-zero unit)
+    SLZ,    //!< Si <- countl_zero(Sj)    (population/leading-zero unit)
+    SMOVI,  //!< Si <- imm22 sign-extended (transmit, two parcels)
+    MOVS,   //!< Si <- Sk                 (transmit)
+
+    // --- floating point (IEEE double in S registers) -------------------
+    FADD,   //!< Si <- Sj +f Sk           (floating add unit)
+    FSUB,   //!< Si <- Sj -f Sk           (floating add unit)
+    FMUL,   //!< Si <- Sj *f Sk           (floating multiply unit)
+    FRECIP, //!< Si <- 1.0 / Sj           (reciprocal approximation unit)
+    SFIX,   //!< Si <- (int64) Sj_fp      (floating add unit)
+    SFLT,   //!< Si <- (double) Sj_int    (floating add unit)
+
+    // --- inter-file moves ----------------------------------------------
+    MOVSA,  //!< Si <- Ak                 (transmit)
+    MOVAS,  //!< Ai <- Sk                 (transmit; truncates)
+    MOVBA,  //!< Bjk <- Ai                (transmit)
+    MOVAB,  //!< Ai <- Bjk                (transmit)
+    MOVTS,  //!< Tjk <- Si                (transmit)
+    MOVST,  //!< Si <- Tjk                (transmit)
+
+    // --- memory ---------------------------------------------------------
+    LDA,    //!< Ai <- mem[Ah + disp22]   (memory unit, two parcels)
+    LDS,    //!< Si <- mem[Ah + disp22]
+    STA,    //!< mem[Ah + disp22] <- Ai
+    STS,    //!< mem[Ah + disp22] <- Si
+
+    // --- control --------------------------------------------------------
+    J,      //!< unconditional jump (two parcels)
+    JAZ,    //!< jump when A0 == 0
+    JAN,    //!< jump when A0 != 0
+    JAP,    //!< jump when A0 >= 0 (plus)
+    JAM,    //!< jump when A0 <  0 (minus)
+    JSZ,    //!< jump when S0 == 0
+    JSN,    //!< jump when S0 != 0
+    JSP,    //!< jump when S0 >= 0
+    JSM,    //!< jump when S0 <  0
+    HALT,   //!< stop the program (CRAY EX)
+    NOP,    //!< no operation
+
+    NumOpcodes,
+};
+
+/** Number of opcodes, as a plain constant for table sizing. */
+inline constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/**
+ * Functional unit classes. These are the paper's CRAY-1 scalar units;
+ * per-class latencies live in UarchConfig (defaults match the CRAY-1).
+ */
+enum class FuKind : std::uint8_t
+{
+    AddrAdd,       //!< address add/subtract
+    AddrMul,       //!< address multiply
+    ScalarAdd,     //!< 64-bit integer add/subtract
+    ScalarLogical, //!< and/or/xor
+    ScalarShift,   //!< shifts
+    PopLz,         //!< population count / leading zero
+    FpAdd,         //!< floating add/subtract and conversions
+    FpMul,         //!< floating multiply
+    FpRecip,       //!< reciprocal approximation
+    Memory,        //!< loads and stores
+    Transmit,      //!< register moves and immediates
+    None,          //!< branches / HALT / NOP: handled in the issue stage
+    NumFuKinds,
+};
+
+/** Number of functional-unit classes, for table sizing. */
+inline constexpr unsigned kNumFuKinds =
+    static_cast<unsigned>(FuKind::NumFuKinds);
+
+/** Human-readable functional-unit class name. */
+const char *fuKindName(FuKind kind);
+
+/**
+ * How the operand fields of an instruction are populated; drives the
+ * assembler syntax, the encoder layout, and the executor.
+ */
+enum class OperandForm : std::uint8_t
+{
+    Rrr,      //!< dst, src1, src2        (AADD, FADD, ...)
+    Rr,       //!< dst, src1              (FRECIP, SPOP, MOVA, ...)
+    RImm,     //!< dst, imm22             (AMOVI, SMOVI; two parcels)
+    RShift,   //!< dst(=src1), shift count in imm (SSHL/SSHR)
+    MemLoad,  //!< dst, disp22(base A)    (LDA, LDS; two parcels)
+    MemStore, //!< disp22(base A), data   (STA, STS; two parcels)
+    Branch,   //!< label target; conditional forms read A0 or S0
+    Bare,     //!< no operands            (HALT, NOP)
+};
+
+/** Which register a conditional branch tests. */
+enum class CondReg : std::uint8_t { NotABranch, A0, S0, Always };
+
+/** Static traits of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;  //!< lower-case assembler mnemonic
+    FuKind fu;             //!< executing functional-unit class
+    OperandForm form;      //!< operand layout
+    std::uint8_t parcels;  //!< 1 or 2 (16 or 32 bits)
+    CondReg cond;          //!< branch condition source
+};
+
+/** Trait record for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Assembler mnemonic for @p op. */
+inline const char *mnemonic(Opcode op) { return opInfo(op).mnemonic; }
+
+/** Look an opcode up by (case-insensitive) mnemonic. */
+std::optional<Opcode> opcodeFromMnemonic(const std::string &name);
+
+/** True for J and all conditional jumps. */
+bool isBranch(Opcode op);
+
+/** True for the eight conditional jumps (not J). */
+bool isCondBranch(Opcode op);
+
+/** True for LDA / LDS. */
+bool isLoad(Opcode op);
+
+/** True for STA / STS. */
+bool isStore(Opcode op);
+
+/** True for loads and stores. */
+inline bool isMemory(Opcode op) { return isLoad(op) || isStore(op); }
+
+} // namespace ruu
+
+#endif // RUU_ISA_OPCODE_HH

@@ -1,0 +1,60 @@
+#include "isa/reg.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ruu
+{
+
+namespace
+{
+
+char
+fileLetter(RegFile file)
+{
+    switch (file) {
+      case RegFile::A: return 'A';
+      case RegFile::S: return 'S';
+      case RegFile::B: return 'B';
+      case RegFile::T: return 'T';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+RegId::toString() const
+{
+    if (!valid())
+        return "-";
+    return std::string(1, fileLetter(_file)) + std::to_string(_index);
+}
+
+std::optional<RegId>
+RegId::parse(const std::string &text)
+{
+    if (text.size() < 2)
+        return std::nullopt;
+    RegFile file;
+    switch (std::toupper(static_cast<unsigned char>(text[0]))) {
+      case 'A': file = RegFile::A; break;
+      case 'S': file = RegFile::S; break;
+      case 'B': file = RegFile::B; break;
+      case 'T': file = RegFile::T; break;
+      default: return std::nullopt;
+    }
+    unsigned index = 0;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i])))
+            return std::nullopt;
+        index = index * 10 + static_cast<unsigned>(text[i] - '0');
+        if (index >= 64)
+            return std::nullopt;
+    }
+    if (index >= regFileSize(file))
+        return std::nullopt;
+    return RegId(file, index);
+}
+
+} // namespace ruu

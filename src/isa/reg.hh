@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Register identifiers for the model architecture.
+ *
+ * The register file mirrors the CRAY-1 scalar unit used in the paper:
+ * 8 A (address) registers, 8 S (scalar) registers, 64 B (address-save)
+ * registers and 64 T (scalar-save) registers — 144 registers total,
+ * the number the paper uses when sizing tag hardware.
+ */
+
+#ifndef RUU_ISA_REG_HH
+#define RUU_ISA_REG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ruu
+{
+
+/** The four architectural register files. */
+enum class RegFile : std::uint8_t
+{
+    A, //!< 8 address registers (loop counters, memory addressing)
+    S, //!< 8 scalar registers (integer and floating-point data)
+    B, //!< 64 address-save registers
+    T, //!< 64 scalar-save registers
+};
+
+/** Number of registers in @p file. */
+constexpr unsigned
+regFileSize(RegFile file)
+{
+    return (file == RegFile::A || file == RegFile::S) ? 8u : 64u;
+}
+
+/** Total architectural registers across all files. */
+inline constexpr unsigned kNumArchRegs = 8 + 8 + 64 + 64;
+
+/**
+ * A single architectural register: file + index.
+ *
+ * A default-constructed RegId is invalid and represents "no register"
+ * (e.g. the destination of a store or branch).
+ */
+class RegId
+{
+  public:
+    /** The invalid register. */
+    constexpr RegId() : _file(RegFile::A), _index(kInvalidIndex) {}
+
+    /** Register @p index of @p file; panics on out-of-range (checked). */
+    constexpr RegId(RegFile file, unsigned index)
+        : _file(file), _index(static_cast<std::uint8_t>(index))
+    {}
+
+    /** True when this names a real register. */
+    constexpr bool valid() const { return _index != kInvalidIndex; }
+
+    /** Register file; only meaningful when valid(). */
+    constexpr RegFile file() const { return _file; }
+
+    /** Index within the file; only meaningful when valid(). */
+    constexpr unsigned index() const { return _index; }
+
+    /**
+     * Flat register number in [0, 144): A0..A7 = 0..7, S0..S7 = 8..15,
+     * B0..B63 = 16..79, T0..T63 = 80..143. Used by scoreboards and the
+     * tag units, which treat the register space uniformly.
+     */
+    constexpr unsigned flat() const
+    {
+        switch (_file) {
+          case RegFile::A: return _index;
+          case RegFile::S: return 8u + _index;
+          case RegFile::B: return 16u + _index;
+          case RegFile::T: return 80u + _index;
+        }
+        return 0;
+    }
+
+    /** Inverse of flat(). */
+    static constexpr RegId fromFlat(unsigned flat_num)
+    {
+        if (flat_num < 8)
+            return RegId(RegFile::A, flat_num);
+        if (flat_num < 16)
+            return RegId(RegFile::S, flat_num - 8);
+        if (flat_num < 80)
+            return RegId(RegFile::B, flat_num - 16);
+        return RegId(RegFile::T, flat_num - 80);
+    }
+
+    constexpr bool operator==(const RegId &other) const = default;
+
+    /** "A3", "T17", or "-" for the invalid register. */
+    std::string toString() const;
+
+    /** Parse "A3" / "b12" style names; nullopt on malformed input. */
+    static std::optional<RegId> parse(const std::string &text);
+
+  private:
+    static constexpr std::uint8_t kInvalidIndex = 0xff;
+
+    RegFile _file;
+    std::uint8_t _index;
+};
+
+/** Shorthand constructors used heavily by the kernel builder code. */
+constexpr RegId regA(unsigned i) { return RegId(RegFile::A, i); }
+constexpr RegId regS(unsigned i) { return RegId(RegFile::S, i); }
+constexpr RegId regB(unsigned i) { return RegId(RegFile::B, i); }
+constexpr RegId regT(unsigned i) { return RegId(RegFile::T, i); }
+
+} // namespace ruu
+
+#endif // RUU_ISA_REG_HH

@@ -1,0 +1,59 @@
+#include "kernels/data.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+DataGen::DataGen(std::uint64_t seed) : _state(seed ? seed : 0x9e3779b9u)
+{
+}
+
+double
+DataGen::next(double lo, double hi)
+{
+    _state ^= _state >> 12;
+    _state ^= _state << 25;
+    _state ^= _state >> 27;
+    std::uint64_t bits = _state * 0x2545f4914f6cdd1dull;
+    double unit = static_cast<double>(bits >> 11) /
+                  static_cast<double>(1ull << 53);
+    return lo + unit * (hi - lo);
+}
+
+std::vector<double>
+DataGen::vec(std::size_t n, double lo, double hi)
+{
+    std::vector<double> values(n);
+    for (auto &v : values)
+        v = next(lo, hi);
+    return values;
+}
+
+void
+initArray(ProgramBuilder &builder, Addr base,
+          const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        builder.fword(base + i, values[i]);
+}
+
+std::vector<std::pair<Addr, Word>>
+expectArray(Addr base, const std::vector<double> &values)
+{
+    std::vector<std::pair<Addr, Word>> expected;
+    expected.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        expected.emplace_back(base + i, doubleToWord(values[i]));
+    return expected;
+}
+
+void
+appendExpect(std::vector<std::pair<Addr, Word>> &into,
+             const std::vector<std::pair<Addr, Word>> &more)
+{
+    into.insert(into.end(), more.begin(), more.end());
+}
+
+} // namespace ruu

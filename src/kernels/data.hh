@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic input-data generation for the Livermore kernels.
+ *
+ * The paper's inputs came from the LLL FORTRAN harness; any fixed data
+ * with non-degenerate values exercises the same dependence structure.
+ * A seeded xorshift generator makes every build of every kernel
+ * bit-reproducible, which the functional-vs-reference tests rely on.
+ */
+
+#ifndef RUU_KERNELS_DATA_HH
+#define RUU_KERNELS_DATA_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** Deterministic xorshift64* stream of doubles. */
+class DataGen
+{
+  public:
+    explicit DataGen(std::uint64_t seed);
+
+    /** Next double uniformly in [lo, hi). */
+    double next(double lo = 0.01, double hi = 1.0);
+
+    /** A vector of @p n doubles in [lo, hi). */
+    std::vector<double> vec(std::size_t n, double lo = 0.01,
+                            double hi = 1.0);
+
+  private:
+    std::uint64_t _state;
+};
+
+/**
+ * Write @p values into the program's data image starting at word
+ * address @p base (one double per word).
+ */
+void initArray(ProgramBuilder &builder, Addr base,
+               const std::vector<double> &values);
+
+/** Expected-memory entries for @p values at @p base (test oracles). */
+std::vector<std::pair<Addr, Word>>
+expectArray(Addr base, const std::vector<double> &values);
+
+/** Append @p more expectations onto @p into. */
+void appendExpect(std::vector<std::pair<Addr, Word>> &into,
+                  const std::vector<std::pair<Addr, Word>> &more);
+
+} // namespace ruu
+
+#endif // RUU_KERNELS_DATA_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LLL1 — hydro fragment:
+ *
+ *   DO 1 k = 1,n
+ * 1 X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+ *
+ * Straight-line vectorizable loop; every iteration is independent, so
+ * it rewards any mechanism that lets loads run ahead of the FP chain.
+ *
+ * Memory map: X @1000, Y @3000, Z @5000; Q,R,T @100..102.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll01()
+{
+    constexpr std::size_t n = 600;
+    constexpr Addr x_base = 1000, y_base = 3000, z_base = 5000;
+    constexpr Addr const_base = 100;
+
+    DataGen gen(0x11);
+    std::vector<double> y = gen.vec(n);
+    std::vector<double> z = gen.vec(n + 11);
+    const double q = gen.next(), r = gen.next(), t = gen.next();
+
+    ProgramBuilder b("lll01");
+    initArray(b, y_base, y);
+    initArray(b, z_base, z);
+    b.fword(const_base + 0, q);
+    b.fword(const_base + 1, r);
+    b.fword(const_base + 2, t);
+
+    // Prologue: constants into S4..S6, loop registers A1=k, A5=n, A6=1.
+    b.amovi(regA(3), 0);
+    b.lds(regS(4), regA(3), const_base + 0); // Q
+    b.lds(regS(5), regA(3), const_base + 1); // R
+    b.lds(regS(6), regA(3), const_base + 2); // T
+    b.amovi(regA(1), 0);
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+
+    // The loop body is list-scheduled the way CFT would emit it: all
+    // loads first, the loop-control address arithmetic hoisted under
+    // them (the store compensates with displacement -1), then the FP
+    // expression tree.
+    b.label("loop");
+    b.lds(regS(1), regA(1), z_base + 10);     // Z(k+10)
+    b.lds(regS(2), regA(1), z_base + 11);     // Z(k+11)
+    b.lds(regS(3), regA(1), y_base);          // Y(k)
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.fmul(regS(1), regS(5), regS(1));        // R*Z(k+10)
+    b.fmul(regS(2), regS(6), regS(2));        // T*Z(k+11)
+    b.fadd(regS(1), regS(1), regS(2));
+    b.fmul(regS(1), regS(3), regS(1));
+    b.fadd(regS(1), regS(4), regS(1));        // Q + ...
+    b.sts(regA(1), x_base - 1, regS(1));      // X(k)
+    b.jam("loop");
+    b.halt();
+
+    // Reference, mirroring the assembly's operation order.
+    std::vector<double> x(n);
+    for (std::size_t k = 0; k < n; ++k)
+        x[k] = q + (y[k] * ((r * z[k + 10]) + (t * z[k + 11])));
+
+    Kernel kernel;
+    kernel.name = "lll01";
+    kernel.description = "hydro fragment";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

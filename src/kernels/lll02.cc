@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LLL2 — incomplete Cholesky conjugate gradient excerpt:
+ *
+ *   ii = n; ipntp = 0;
+ *   do {
+ *       ipnt = ipntp; ipntp += ii; ii /= 2; i = ipntp;
+ *       for (k = ipnt + 1; k < ipntp; k += 2) {
+ *           ++i;
+ *           x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1];
+ *       }
+ *   } while (ii > 0);
+ *
+ * A log-halving reduction with strided accesses. The ii/2 is done by
+ * moving the counter through an S register for the shift unit — the
+ * CRAY-1 has no address-register shifter either.
+ *
+ * Memory map: X @1000 (2n words), V @4000 (n+2 words).
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll02()
+{
+    constexpr std::size_t n = 512;
+    constexpr Addr x_base = 1000, v_base = 4000;
+
+    DataGen gen(0x22);
+    std::vector<double> x = gen.vec(2 * n);
+    std::vector<double> v = gen.vec(2 * n, 0.01, 0.2);
+
+    ProgramBuilder b("lll02");
+    initArray(b, x_base, x);
+    initArray(b, v_base, v);
+
+    // A1=k, A2=i, A4=ii, A5=ipntp, A6=1, A7=2.
+    b.amovi(regA(4), static_cast<std::int64_t>(n)); // ii = n
+    b.amovi(regA(5), 0);                            // ipntp = 0
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), 2);
+
+    b.label("outer");
+    b.aadd(regA(1), regA(5), regA(6));  // k = ipnt + 1 (ipnt = old ipntp)
+    b.aadd(regA(5), regA(5), regA(4));  // ipntp += ii
+    b.movsa(regS(7), regA(4));          // ii /= 2 through the shift unit
+    b.sshr(regS(7), 1);
+    b.movas(regA(4), regS(7));
+    b.mova(regA(2), regA(5));           // i = ipntp
+    b.asub(regA(0), regA(1), regA(5));  // skip empty inner loops
+    b.jap("outer_test");
+
+    // Inner body list-scheduled: all five loads first, then the two
+    // multiply/subtract pairs.
+    b.label("inner");
+    b.lds(regS(1), regA(1), x_base);        // x[k]
+    b.lds(regS(2), regA(1), v_base);        // v[k]
+    b.lds(regS(3), regA(1), x_base - 1);    // x[k-1]
+    b.lds(regS(4), regA(1), v_base + 1);    // v[k+1]
+    b.lds(regS(5), regA(1), x_base + 1);    // x[k+1]
+    b.aadd(regA(2), regA(2), regA(6));      // ++i
+    b.fmul(regS(2), regS(2), regS(3));      // v[k]*x[k-1]
+    b.fsub(regS(1), regS(1), regS(2));
+    b.fmul(regS(4), regS(4), regS(5));      // v[k+1]*x[k+1]
+    b.fsub(regS(1), regS(1), regS(4));
+    b.sts(regA(2), x_base, regS(1));        // x[i]
+    b.aadd(regA(1), regA(1), regA(7));      // k += 2
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("inner");
+
+    b.label("outer_test");
+    b.mova(regA(0), regA(4));           // while (ii > 0)
+    b.jan("outer");
+    b.halt();
+
+    // Reference (same operation order as the assembly).
+    {
+        long ii = static_cast<long>(n);
+        long ipntp = 0;
+        do {
+            long ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            long i = ipntp;
+            for (long k = ipnt + 1; k < ipntp; k += 2) {
+                ++i;
+                x[static_cast<std::size_t>(i)] =
+                    (x[k] - (v[k] * x[k - 1])) - (v[k + 1] * x[k + 1]);
+            }
+        } while (ii > 0);
+    }
+
+    Kernel kernel;
+    kernel.name = "lll02";
+    kernel.description = "incomplete Cholesky conjugate gradient";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LLL3 — inner product:
+ *
+ *   Q = 0
+ *   DO 3 k = 1,n
+ * 3 Q = Q + Z(k)*X(k)
+ *
+ * A single serial accumulation chain through the 6-cycle FP adder: the
+ * classic dependence-limited loop. The loop bound lives in a B
+ * register and is moved to an A register every iteration before the
+ * branch test — the CFT idiom the paper's §6.3 calls out as the
+ * pattern that keeps branch conditions dependent on B-to-A transfers.
+ *
+ * Memory map: Z @1000, X @3000; result Q stored to @100.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll03()
+{
+    constexpr std::size_t n = 1000;
+    constexpr Addr z_base = 1000, x_base = 3000, q_addr = 100;
+
+    DataGen gen(0x33);
+    std::vector<double> z = gen.vec(n);
+    std::vector<double> x = gen.vec(n);
+
+    ProgramBuilder b("lll03");
+    initArray(b, z_base, z);
+    initArray(b, x_base, x);
+
+    b.smovi(regS(4), 0);                 // Q = 0.0 (bit pattern 0)
+    b.amovi(regA(1), 0);                 // k
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.movba(regB(1), regA(5));           // loop bound parked in B1
+
+    b.label("loop");
+    b.lds(regS(1), regA(1), z_base);
+    b.lds(regS(2), regA(1), x_base);
+    b.fmul(regS(1), regS(1), regS(2));
+    b.fadd(regS(4), regS(4), regS(1));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.movab(regA(4), regB(1));           // bound back from B1 (§6.3 idiom)
+    b.asub(regA(0), regA(1), regA(4));
+    b.jam("loop");
+    b.amovi(regA(3), 0);
+    b.sts(regA(3), q_addr, regS(4));
+    b.halt();
+
+    // Reference.
+    double q = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+        q = q + (z[k] * x[k]);
+
+    Kernel kernel;
+    kernel.name = "lll03";
+    kernel.description = "inner product";
+    kernel.program = b.build();
+    kernel.expected = expectArray(q_addr, {q});
+    return kernel;
+}
+
+} // namespace ruu

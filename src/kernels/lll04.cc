@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LLL4 — banded linear equations:
+ *
+ *   DO 4 k = 7,107,50
+ *     LW = k - 6
+ *     TEMP = X(k-1)
+ *     DO 44 j = 5,n,5
+ *       TEMP = TEMP - X(LW)*Y(j)
+ * 44    LW = LW + 1
+ * 4   X(k-1) = Y(5)*TEMP
+ *
+ * Three long strided reduction chains. The whole band solve repeats
+ * twice (the LLL harness's outer repetition) to reach a dynamic
+ * instruction count comparable to the paper's.
+ *
+ * Memory map: X @1000 (n+8 words), Y @3000 (n words).
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll04()
+{
+    constexpr std::size_t n = 1001;
+    constexpr long reps = 2;
+    constexpr Addr x_base = 1000, y_base = 3000;
+
+    DataGen gen(0x44);
+    std::vector<double> x = gen.vec(n + 8, 0.1, 0.5);
+    std::vector<double> y = gen.vec(n, 0.001, 0.01);
+
+    ProgramBuilder b("lll04");
+    initArray(b, x_base, x);
+    initArray(b, y_base, y);
+
+    // A1=j, A2=lw, A3=k, A4=rep counter, A5=n, A6=1, A7=5; k step in B2.
+    b.amovi(regA(4), reps);
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), 5);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.amovi(regA(3), 50);
+    b.movba(regB(2), regA(3));           // k step = 50
+    b.amovi(regA(3), 107);
+    b.movba(regB(3), regA(3));           // k limit = 107
+
+    b.label("rep");
+    b.amovi(regA(3), 6);                 // k (0-based: 6, 56, 106)
+
+    b.label("band");
+    b.asub(regA(2), regA(3), regA(7));   // lw = k - 5
+    b.asub(regA(2), regA(2), regA(6));   //    ... - 1 = k - 6
+    b.lds(regS(1), regA(3), x_base - 1); // temp = x[k-1]
+    b.amovi(regA(1), 4);                 // j = 4 (0-based FORTRAN j=5)
+
+    b.label("inner");
+    b.lds(regS(2), regA(2), x_base);     // x[lw]
+    b.lds(regS(3), regA(1), y_base);     // y[j]
+    b.fmul(regS(2), regS(2), regS(3));
+    b.fsub(regS(1), regS(1), regS(2));   // temp -= x[lw]*y[j]
+    b.aadd(regA(2), regA(2), regA(6));   // lw++
+    b.aadd(regA(1), regA(1), regA(7));   // j += 5
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("inner");
+
+    b.lds(regS(2), regA(7), y_base - 1); // y[4] via base A7=5, disp -1
+    b.fmul(regS(1), regS(2), regS(1));   // y[4]*temp
+    b.sts(regA(3), x_base - 1, regS(1)); // x[k-1]
+    b.movab(regA(2), regB(2));           // k += 50
+    b.aadd(regA(3), regA(3), regA(2));
+    b.movab(regA(2), regB(3));           // k <= 106 ?
+    b.asub(regA(0), regA(3), regA(2));
+    b.jam("band");
+
+    b.asub(regA(4), regA(4), regA(6));   // rep--
+    b.mova(regA(0), regA(4));
+    b.jan("rep");
+    b.halt();
+
+    // Reference.
+    for (long rep = 0; rep < reps; ++rep) {
+        for (long k = 6; k < 107; k += 50) {
+            long lw = k - 6;
+            double temp = x[k - 1];
+            for (long j = 4; j < static_cast<long>(n); j += 5) {
+                temp = temp - (x[lw] * y[j]);
+                ++lw;
+            }
+            x[k - 1] = y[4] * temp;
+        }
+    }
+
+    Kernel kernel;
+    kernel.name = "lll04";
+    kernel.description = "banded linear equations";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

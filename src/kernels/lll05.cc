@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LLL5 — tri-diagonal elimination, below diagonal:
+ *
+ *   DO 5 i = 2,n
+ * 5 X(i) = Z(i)*(Y(i) - X(i-1))
+ *
+ * A first-order linear recurrence: each iteration consumes the value
+ * the previous one produced. The compiler keeps X(i-1) live in a
+ * register across iterations, so the chain runs fsub -> fmul without
+ * touching memory — the loop the no-bypass RUU handles worst.
+ *
+ * Memory map: X @1000, Y @3000, Z @5000.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll05()
+{
+    constexpr std::size_t n = 1200;
+    constexpr Addr x_base = 1000, y_base = 3000, z_base = 5000;
+
+    DataGen gen(0x55);
+    std::vector<double> x = gen.vec(n, 0.1, 1.0);
+    std::vector<double> y = gen.vec(n);
+    std::vector<double> z = gen.vec(n, 0.2, 0.9);
+
+    ProgramBuilder b("lll05");
+    initArray(b, x_base, x);
+    initArray(b, y_base, y);
+    initArray(b, z_base, z);
+
+    b.amovi(regA(1), 1);                 // i = 1 (0-based)
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.amovi(regA(3), 0);
+    b.lds(regS(1), regA(3), x_base);     // S1 = x[0], carried value
+
+    b.label("loop");
+    b.lds(regS(2), regA(1), y_base);     // y[i]
+    b.lds(regS(3), regA(1), z_base);     // z[i]
+    b.fsub(regS(2), regS(2), regS(1));   // y[i] - x[i-1]
+    b.fmul(regS(1), regS(3), regS(2));   // x[i] = z[i]*(...)
+    b.sts(regA(1), x_base, regS(1));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference.
+    for (std::size_t i = 1; i < n; ++i)
+        x[i] = z[i] * (y[i] - x[i - 1]);
+
+    Kernel kernel;
+    kernel.name = "lll05";
+    kernel.description = "tri-diagonal elimination, below diagonal";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LLL6 — general linear recurrence equations:
+ *
+ *   DO 6 i = 2,n
+ *     W(i) = 0.01
+ *     DO 6 k = 1,i-1
+ * 6   W(i) = W(i) + B(k,i)*W(i-k)
+ *
+ * Triangular doubly nested recurrence: the inner trip count grows with
+ * i, and w[i] depends on every earlier element. The zero constant for
+ * resetting the inner induction register is parked in B0.
+ *
+ * Memory map: W @1000 (n words), B @2000 (n*n words, row-major
+ * b[k][i] at 2000 + k*n + i).
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll06()
+{
+    constexpr std::size_t n = 48;
+    constexpr Addr w_base = 1000, b_base = 2000;
+    constexpr Addr seed_addr = 100;
+
+    DataGen gen(0x66);
+    std::vector<double> w = gen.vec(n, 0.1, 0.5);
+    std::vector<double> bm = gen.vec(n * n, 0.0001, 0.01);
+    const double w_init = 0.01;
+
+    ProgramBuilder b("lll06");
+    initArray(b, w_base, w);
+    initArray(b, b_base, bm);
+    b.fword(seed_addr, w_init);
+
+    // A1=i, A2=k, A3=index of b[k][i], A4=index of w[i-k-1],
+    // A5=n, A6=1, A7=n (row stride); zero constant in B0.
+    b.amovi(regA(3), 0);
+    b.movba(regB(0), regA(3));
+    b.lds(regS(4), regA(3), seed_addr);      // 0.01
+    b.amovi(regA(1), 1);                     // i = 1 (0-based)
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.amovi(regA(7), static_cast<std::int64_t>(n)); // row stride
+
+    b.label("outer");
+    b.movs(regS(1), regS(4));                // w[i] = 0.01
+    b.mova(regA(3), regA(1));                // b index starts at b[0][i]
+    b.asub(regA(4), regA(1), regA(6));       // w index = i-1
+    b.movab(regA(2), regB(0));               // k = 0
+
+    b.label("inner");
+    b.lds(regS(2), regA(3), b_base);         // b[k][i]
+    b.lds(regS(3), regA(4), w_base);         // w[(i-k)-1]
+    b.fmul(regS(2), regS(2), regS(3));
+    b.fadd(regS(1), regS(1), regS(2));
+    b.aadd(regA(3), regA(3), regA(7));       // next row
+    b.asub(regA(4), regA(4), regA(6));       // earlier w
+    b.aadd(regA(2), regA(2), regA(6));       // ++k
+    b.asub(regA(0), regA(2), regA(1));       // k - i
+    b.jam("inner");
+
+    b.sts(regA(1), w_base, regS(1));         // w[i]
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("outer");
+    b.halt();
+
+    // Reference.
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = w_init;
+        for (std::size_t k = 0; k < i; ++k)
+            acc = acc + (bm[k * n + i] * w[(i - k) - 1]);
+        w[i] = acc;
+    }
+
+    Kernel kernel;
+    kernel.name = "lll06";
+    kernel.description = "general linear recurrence equations";
+    kernel.program = b.build();
+    kernel.expected = expectArray(w_base, w);
+    return kernel;
+}
+
+} // namespace ruu

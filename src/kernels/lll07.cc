@@ -1,0 +1,113 @@
+/**
+ * @file
+ * LLL7 — equation of state fragment:
+ *
+ *   X(k) = U(k) + R*(Z(k) + R*Y(k)) +
+ *          T*(U(k+3) + R*(U(k+2) + R*U(k+1)) +
+ *             T*(U(k+6) + R*(U(k+5) + R*U(k+4))))
+ *
+ * The ILP-rich loop of the suite: a wide expression tree of 8 loads
+ * and 15 FP operations per fully independent iteration. This is where
+ * a larger RSTU/RUU pays off most.
+ *
+ * Memory map: X @1000, Y @3000, Z @5000, U @7000; R,T @100..101.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll07()
+{
+    constexpr std::size_t n = 250;
+    constexpr Addr x_base = 1000, y_base = 3000, z_base = 5000;
+    constexpr Addr u_base = 7000, const_base = 100;
+
+    DataGen gen(0x77);
+    std::vector<double> y = gen.vec(n);
+    std::vector<double> z = gen.vec(n);
+    std::vector<double> u = gen.vec(n + 6);
+    const double r = gen.next(0.1, 0.9), t = gen.next(0.1, 0.9);
+
+    ProgramBuilder b("lll07");
+    initArray(b, y_base, y);
+    initArray(b, z_base, z);
+    initArray(b, u_base, u);
+    b.fword(const_base + 0, r);
+    b.fword(const_base + 1, t);
+
+    b.amovi(regA(3), 0);
+    b.lds(regS(4), regA(3), const_base + 0); // R
+    b.lds(regS(5), regA(3), const_base + 1); // T
+    b.amovi(regA(1), 0);
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+
+    // List-scheduled body: the two inner Horner chains (through u[k+4..6]
+    // in S1 and u[k+1..3] in S6) are interleaved so the FP adder and
+    // multiplier overlap, with loads hoisted ahead of their uses.
+    b.label("loop");
+    b.lds(regS(1), regA(1), u_base + 4);  // u[k+4]
+    b.lds(regS(2), regA(1), u_base + 5);
+    b.lds(regS(3), regA(1), u_base + 6);
+    b.lds(regS(6), regA(1), u_base + 1);  // u[k+1]
+    b.lds(regS(7), regA(1), u_base + 2);
+    b.fmul(regS(1), regS(4), regS(1));    // R*u4
+    b.fmul(regS(6), regS(4), regS(6));    // R*u1
+    b.fadd(regS(1), regS(2), regS(1));    // u5 + R*u4
+    b.fadd(regS(6), regS(7), regS(6));    // u2 + R*u1
+    b.lds(regS(2), regA(1), u_base + 3);
+    b.lds(regS(7), regA(1), y_base);
+    b.fmul(regS(1), regS(4), regS(1));    // R*(u5 + R*u4)
+    b.fmul(regS(6), regS(4), regS(6));    // R*(u2 + R*u1)
+    b.fadd(regS(1), regS(3), regS(1));    // u6 + ...
+    b.fadd(regS(6), regS(2), regS(6));    // u3 + ...
+    b.lds(regS(3), regA(1), z_base);
+    b.lds(regS(2), regA(1), u_base);
+    b.fmul(regS(1), regS(5), regS(1));    // T*(inner)
+    b.fmul(regS(7), regS(4), regS(7));    // R*y
+    b.fadd(regS(1), regS(6), regS(1));    // (u3+..) + T*(..)
+    b.fadd(regS(7), regS(3), regS(7));    // z + R*y
+    b.fmul(regS(1), regS(5), regS(1));    // T*(...)
+    b.fmul(regS(7), regS(4), regS(7));    // R*(z+R*y)
+    b.fadd(regS(7), regS(2), regS(7));    // u + ...
+    b.fadd(regS(1), regS(7), regS(1));    // + T*(...)
+    b.sts(regA(1), x_base, regS(1));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference, mirroring the assembly's operation order.
+    std::vector<double> x(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        double s1 = r * u[k + 4];
+        s1 = u[k + 5] + s1;
+        s1 = r * s1;
+        s1 = u[k + 6] + s1;
+        s1 = t * s1;
+        double s2 = r * u[k + 1];
+        s2 = u[k + 2] + s2;
+        s2 = r * s2;
+        s2 = u[k + 3] + s2;
+        s1 = s2 + s1;
+        s1 = t * s1;
+        s2 = r * y[k];
+        s2 = z[k] + s2;
+        s2 = r * s2;
+        s2 = u[k] + s2;
+        x[k] = s2 + s1;
+    }
+
+    Kernel kernel;
+    kernel.name = "lll07";
+    kernel.description = "equation of state fragment";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * LLL8 — ADI integration:
+ *
+ *   DO 8 kx = 2,3
+ *   DO 8 ky = 2,n
+ *     DU1(ky) = U1(kx,ky+1,1) - U1(kx,ky-1,1)   (and DU2, DU3)
+ *     U1(kx,ky,2) = U1(kx,ky,1) + A11*DU1 + A12*DU2 + A13*DU3
+ *                 + SIG*(U1(kx+1,ky,1) - 2*U1(kx,ky,1) + U1(kx-1,ky,1))
+ *     (and the U2, U3 rows with A21..A33)
+ *
+ * The heaviest loop body of the suite: ~75 instructions per iteration,
+ * with nine alternating-direction coefficients and SIG held in the T
+ * register file and fetched through the transmit unit each use.
+ *
+ * Memory map (3D arrays [2][ny+1][4], plane stride (ny+1)*4):
+ * U1 @2000, U2 @3000, U3 @4000; DU1 @5000, DU2 @5200, DU3 @5400;
+ * constants @100..110.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll08()
+{
+    constexpr long ny = 40;
+    constexpr long plane = (ny + 1) * 4;
+    constexpr Addr u1_base = 2000, u2_base = 3000, u3_base = 4000;
+    constexpr Addr du1_base = 5000, du2_base = 5200, du3_base = 5400;
+    constexpr Addr const_base = 100;
+
+    DataGen gen(0x88);
+    std::vector<double> u1 = gen.vec(2 * plane);
+    std::vector<double> u2 = gen.vec(2 * plane);
+    std::vector<double> u3 = gen.vec(2 * plane);
+    std::vector<double> a(9); // a11 a12 a13 a21 a22 a23 a31 a32 a33
+    for (auto &c : a)
+        c = gen.next(0.001, 0.02);
+    const double sig = gen.next(0.1, 0.3);
+    const double two = 2.0;
+
+    ProgramBuilder b("lll08");
+    initArray(b, u1_base, u1);
+    initArray(b, u2_base, u2);
+    initArray(b, u3_base, u3);
+    for (unsigned i = 0; i < 9; ++i)
+        b.fword(const_base + i, a[i]);
+    b.fword(const_base + 9, sig);
+    b.fword(const_base + 10, two);
+
+    // Prologue: constants into T0..T10 through S7.
+    b.amovi(regA(3), 0);
+    for (unsigned i = 0; i < 11; ++i) {
+        b.lds(regS(7), regA(3), const_base + i);
+        b.movts(regT(i), regS(7));
+    }
+
+    // A1 = ky*4+kx offset, A2 = ky (du index), A4 = kx, A5 = ny,
+    // A6 = 1, A7 = 4.
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), 4);
+    b.amovi(regA(5), ny);
+    b.amovi(regA(4), 1); // kx = 1 (0-based)
+
+    b.label("kx_loop");
+    b.aadd(regA(1), regA(7), regA(4));   // offset = 1*4 + kx
+    b.amovi(regA(2), 1);                 // ky = 1
+
+    b.label("ky_loop");
+
+    /** Emit "S<dst> = u[.][ky+1][kx] - u[.][ky-1][kx]; du[ky] = it". */
+    auto emit_du = [&](Addr u_base, Addr du_base, unsigned sreg) {
+        b.lds(regS(sreg), regA(1), u_base + 4);
+        b.lds(regS(7), regA(1), u_base - 4);
+        b.fsub(regS(sreg), regS(sreg), regS(7));
+        b.sts(regA(2), du_base, regS(sreg));
+    };
+    emit_du(u1_base, du1_base, 1); // du1 -> S1
+    emit_du(u2_base, du2_base, 2); // du2 -> S2
+    emit_du(u3_base, du3_base, 3); // du3 -> S3
+
+    /**
+     * Emit one output row with coefficients T[c0..c0+2]; the three u
+     * loads are hoisted ahead of the coefficient chain (S1..S3 hold
+     * the du values across all three rows, so the row works in S4..S7).
+     */
+    auto emit_row = [&](Addr u_base, unsigned c0) {
+        b.lds(regS(5), regA(1), u_base + 1); // u[kx+1]
+        b.lds(regS(6), regA(1), u_base - 1); // u[kx-1]
+        b.movst(regS(4), regT(c0 + 0));
+        b.fmul(regS(4), regS(4), regS(1));   // a_1*du1
+        b.movst(regS(7), regT(c0 + 1));
+        b.fmul(regS(7), regS(7), regS(2));   // a_2*du2
+        b.fadd(regS(4), regS(4), regS(7));
+        b.movst(regS(7), regT(c0 + 2));
+        b.fmul(regS(7), regS(7), regS(3));   // a_3*du3
+        b.fadd(regS(4), regS(4), regS(7));
+        b.fadd(regS(5), regS(5), regS(6));
+        b.lds(regS(6), regA(1), u_base);     // center
+        b.movst(regS(7), regT(10));          // 2.0
+        b.fmul(regS(7), regS(7), regS(6));
+        b.fsub(regS(5), regS(5), regS(7));   // laplacian
+        b.movst(regS(7), regT(9));           // sig
+        b.fmul(regS(5), regS(7), regS(5));
+        b.fadd(regS(4), regS(4), regS(5));
+        b.fadd(regS(4), regS(6), regS(4));   // center + ...
+        b.sts(regA(1), u_base + plane, regS(4)); // write plane 1
+    };
+    emit_row(u1_base, 0);
+    emit_row(u2_base, 3);
+    emit_row(u3_base, 6);
+
+    b.aadd(regA(1), regA(1), regA(7));   // next ky row
+    b.aadd(regA(2), regA(2), regA(6));
+    b.asub(regA(0), regA(2), regA(5));
+    b.jam("ky_loop");
+
+    b.aadd(regA(4), regA(4), regA(6));   // next kx
+    b.amovi(regA(3), 3);
+    b.asub(regA(0), regA(4), regA(3));   // kx - 3 < 0 -> loop
+    b.jam("kx_loop");
+    b.halt();
+
+    // Reference, mirroring the assembly exactly.
+    std::vector<double> du1(ny + 1), du2(ny + 1), du3(ny + 1);
+    for (long kx = 1; kx <= 2; ++kx) {
+        for (long ky = 1; ky < ny; ++ky) {
+            long idx = ky * 4 + kx;
+            du1[ky] = u1[idx + 4] - u1[idx - 4];
+            du2[ky] = u2[idx + 4] - u2[idx - 4];
+            du3[ky] = u3[idx + 4] - u3[idx - 4];
+            auto row = [&](std::vector<double> &u, unsigned c0) {
+                double acc = (a[c0] * du1[ky]) + (a[c0 + 1] * du2[ky]);
+                acc = acc + (a[c0 + 2] * du3[ky]);
+                double lap = (u[idx + 1] + u[idx - 1]) -
+                             (two * u[idx]);
+                acc = acc + (sig * lap);
+                u[plane + idx] = u[idx] + acc;
+            };
+            row(u1, 0);
+            row(u2, 3);
+            row(u3, 6);
+        }
+    }
+
+    Kernel kernel;
+    kernel.name = "lll08";
+    kernel.description = "ADI integration";
+    kernel.program = b.build();
+    kernel.expected = expectArray(u1_base, u1);
+    appendExpect(kernel.expected, expectArray(u2_base, u2));
+    appendExpect(kernel.expected, expectArray(u3_base, u3));
+    appendExpect(kernel.expected,
+                 expectArray(du1_base + 1,
+                             {du1.begin() + 1, du1.end() - 1}));
+    appendExpect(kernel.expected,
+                 expectArray(du2_base + 1,
+                             {du2.begin() + 1, du2.end() - 1}));
+    appendExpect(kernel.expected,
+                 expectArray(du3_base + 1,
+                             {du3.begin() + 1, du3.end() - 1}));
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * LLL9 — integrate predictors:
+ *
+ *   PX(1,i) = DM28*PX(13,i) + DM27*PX(12,i) + DM26*PX(11,i) +
+ *             DM25*PX(10,i) + DM24*PX( 9,i) + DM23*PX( 8,i) +
+ *             DM22*PX( 7,i) + C0*(PX(5,i) + PX(6,i)) + PX(3,i)
+ *
+ * Independent iterations, each a 9-load, 8-multiply-add reduction.
+ * The eight coefficients live in T0..T7 and are fetched through the
+ * transmit unit per use, CFT style.
+ *
+ * Memory map: PX @2000, row-major px[i][j], row stride 16;
+ * constants @100..107 (dm28..dm22, c0).
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll09()
+{
+    constexpr std::size_t n = 250;
+    constexpr long stride = 16;
+    constexpr Addr px_base = 2000, const_base = 100;
+
+    DataGen gen(0x99);
+    std::vector<double> px = gen.vec(n * stride);
+    std::vector<double> dm(7); // dm28 dm27 dm26 dm25 dm24 dm23 dm22
+    for (auto &c : dm)
+        c = gen.next(0.01, 0.2);
+    const double c0 = gen.next(0.1, 0.5);
+
+    ProgramBuilder b("lll09");
+    initArray(b, px_base, px);
+    for (unsigned i = 0; i < 7; ++i)
+        b.fword(const_base + i, dm[i]);
+    b.fword(const_base + 7, c0);
+
+    b.amovi(regA(3), 0);
+    for (unsigned i = 0; i < 8; ++i) {
+        b.lds(regS(7), regA(3), const_base + i);
+        b.movts(regT(i), regS(7));
+    }
+    b.amovi(regA(1), 0);                  // row offset i*stride
+    b.amovi(regA(2), 0);                  // i
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), stride);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+
+    // List-scheduled body: the tail operands (px[4], px[5], px[2]) are
+    // hoisted to the top and the reduction pipelines its px loads one
+    // step ahead through alternating registers S3/S6.
+    b.label("loop");
+    b.lds(regS(3), regA(1), px_base + 12);
+    b.lds(regS(6), regA(1), px_base + 11);
+    b.lds(regS(4), regA(1), px_base + 4);
+    b.lds(regS(5), regA(1), px_base + 5);
+    b.lds(regS(7), regA(1), px_base + 2);
+    b.movst(regS(1), regT(0));
+    b.fmul(regS(1), regS(1), regS(3));    // acc = dm28*px[12]
+    for (unsigned c = 1; c < 7; ++c) {
+        // acc += dm(28-c)*px[12-c], next px load issued a step early
+        RegId cur = (c % 2 == 1) ? regS(6) : regS(3);
+        RegId nxt = (c % 2 == 1) ? regS(3) : regS(6);
+        if (c < 6)
+            b.lds(nxt, regA(1), px_base + 12 - c - 1);
+        b.movst(regS(2), regT(c));
+        b.fmul(regS(2), regS(2), cur);
+        b.fadd(regS(1), regS(1), regS(2));
+    }
+    b.fadd(regS(4), regS(4), regS(5));    // px[4] + px[5]
+    b.movst(regS(5), regT(7));            // c0
+    b.fmul(regS(4), regS(5), regS(4));
+    b.fadd(regS(1), regS(1), regS(4));
+    b.fadd(regS(1), regS(1), regS(7));    // + px[2]
+    b.sts(regA(1), px_base + 0, regS(1)); // px[i][0]
+    b.aadd(regA(1), regA(1), regA(7));
+    b.aadd(regA(2), regA(2), regA(6));
+    b.asub(regA(0), regA(2), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference.
+    for (std::size_t i = 0; i < n; ++i) {
+        double *row = px.data() + i * stride;
+        double acc = dm[0] * row[12];
+        for (unsigned c = 1; c < 7; ++c)
+            acc = acc + (dm[c] * row[12 - c]);
+        acc = acc + (c0 * (row[4] + row[5]));
+        acc = acc + row[2];
+        row[0] = acc;
+    }
+
+    Kernel kernel;
+    kernel.name = "lll09";
+    kernel.description = "integrate predictors";
+    kernel.program = b.build();
+    kernel.expected = expectArray(px_base, px);
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LLL10 — difference predictors:
+ *
+ *   AR = CX(5,i);  BR = AR - PX(5,i);  PX(5,i) = AR
+ *   CR = BR - PX(6,i);  PX(6,i) = BR
+ *   ... (the chain continues through column 13) ...
+ *   PX(14,i) = CR - PX(13,i);  PX(13,i) = CR
+ *
+ * A serial chain of subtractions per iteration, but independent across
+ * iterations — load/store heavy, exercising the load registers.
+ *
+ * Memory map: PX @2000, CX @8000, row-major, row stride 16.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll10()
+{
+    constexpr std::size_t n = 250;
+    constexpr long stride = 16;
+    constexpr Addr px_base = 2000, cx_base = 8000;
+
+    DataGen gen(0xaa);
+    std::vector<double> px = gen.vec(n * stride);
+    std::vector<double> cx = gen.vec(n * stride);
+
+    ProgramBuilder b("lll10");
+    initArray(b, px_base, px);
+    initArray(b, cx_base, cx);
+
+    b.amovi(regA(1), 0);                   // row offset
+    b.amovi(regA(2), 0);                   // i
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), stride);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+
+    // Chain: new = prev - px[j]; px[j] = prev; for j = 4..12. The
+    // FORTRAN rotates the running difference through AR, BR, CR — here
+    // S1, S2, S5 — and the independent px loads are pipelined a step
+    // ahead through S3/S4 so the subtract chain hides memory latency.
+    b.label("loop");
+    const RegId value_regs[3] = {regS(1), regS(2), regS(5)};
+    b.lds(regS(3), regA(1), px_base + 4);
+    b.lds(regS(1), regA(1), cx_base + 4);  // ar = cx[i][4]
+    for (unsigned j = 4; j <= 12; ++j) {
+        unsigned k = j - 4;
+        RegId cur_val = value_regs[k % 3];
+        RegId nxt_val = value_regs[(k + 1) % 3];
+        RegId cur_px = (k % 2 == 0) ? regS(3) : regS(4);
+        RegId nxt_px = (k % 2 == 0) ? regS(4) : regS(3);
+        if (j < 12)
+            b.lds(nxt_px, regA(1), px_base + j + 1);
+        b.fsub(nxt_val, cur_val, cur_px);    // next = prev - px[j]
+        b.sts(regA(1), px_base + j, cur_val); // px[j] = prev
+    }
+    // After j = 12 (k = 8) the final difference sits in value_regs[0].
+    b.sts(regA(1), px_base + 13, regS(1)); // px[i][13]
+    b.aadd(regA(1), regA(1), regA(7));
+    b.aadd(regA(2), regA(2), regA(6));
+    b.asub(regA(0), regA(2), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference.
+    for (std::size_t i = 0; i < n; ++i) {
+        double *row = px.data() + i * stride;
+        double prev = cx[i * stride + 4];
+        for (unsigned j = 4; j <= 12; ++j) {
+            double next = prev - row[j];
+            row[j] = prev;
+            prev = next;
+        }
+        row[13] = prev;
+    }
+
+    Kernel kernel;
+    kernel.name = "lll10";
+    kernel.description = "difference predictors";
+    kernel.program = b.build();
+    kernel.expected = expectArray(px_base, px);
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LLL11 — first sum:
+ *
+ *   X(1) = Y(1)
+ *   DO 11 k = 2,n
+ * 11 X(k) = X(k-1) + Y(k)
+ *
+ * A prefix sum: the tightest recurrence of the suite — one load, one
+ * dependent 6-cycle add, one store per iteration. The running sum
+ * stays in S1; the loop bound is parked in B1 and transferred back
+ * through an A register for the branch test (§6.3 idiom).
+ *
+ * Memory map: X @1000, Y @3000.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll11()
+{
+    constexpr std::size_t n = 1500;
+    constexpr Addr x_base = 1000, y_base = 3000;
+
+    DataGen gen(0xbb);
+    std::vector<double> y = gen.vec(n);
+
+    ProgramBuilder b("lll11");
+    initArray(b, y_base, y);
+
+    b.amovi(regA(1), 1);                 // k = 1
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.movba(regB(1), regA(5));
+    b.amovi(regA(3), 0);
+    b.lds(regS(1), regA(3), y_base);     // x[0] = y[0]
+    b.sts(regA(3), x_base, regS(1));
+
+    b.label("loop");
+    b.lds(regS(2), regA(1), y_base);     // y[k]
+    b.fadd(regS(1), regS(1), regS(2));   // x[k] = x[k-1] + y[k]
+    b.sts(regA(1), x_base, regS(1));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.movab(regA(4), regB(1));
+    b.asub(regA(0), regA(1), regA(4));
+    b.jam("loop");
+    b.halt();
+
+    // Reference.
+    std::vector<double> x(n);
+    x[0] = y[0];
+    for (std::size_t k = 1; k < n; ++k)
+        x[k] = x[k - 1] + y[k];
+
+    Kernel kernel;
+    kernel.name = "lll11";
+    kernel.description = "first sum";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

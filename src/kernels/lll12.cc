@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LLL12 — first difference:
+ *
+ *   DO 12 k = 1,n
+ * 12 X(k) = Y(k+1) - Y(k)
+ *
+ * Fully parallel; Y(k) is kept live across iterations (it was the
+ * previous Y(k+1)), so each iteration is one load, one subtract, one
+ * register copy, and one store.
+ *
+ * Memory map: X @1000, Y @3000 (n+1 words).
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll12()
+{
+    constexpr std::size_t n = 1500;
+    constexpr Addr x_base = 1000, y_base = 3000;
+
+    DataGen gen(0xcc);
+    std::vector<double> y = gen.vec(n + 1);
+
+    ProgramBuilder b("lll12");
+    initArray(b, y_base, y);
+
+    b.amovi(regA(1), 0);                 // k
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+    b.amovi(regA(3), 0);
+    b.lds(regS(1), regA(3), y_base);     // y[0]
+
+    b.label("loop");
+    b.lds(regS(2), regA(1), y_base + 1); // y[k+1]
+    b.fsub(regS(3), regS(2), regS(1));   // y[k+1] - y[k]
+    b.movs(regS(1), regS(2));            // carry y[k+1] forward
+    b.sts(regA(1), x_base, regS(3));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference.
+    std::vector<double> x(n);
+    for (std::size_t k = 0; k < n; ++k)
+        x[k] = y[k + 1] - y[k];
+
+    Kernel kernel;
+    kernel.name = "lll12";
+    kernel.description = "first difference";
+    kernel.program = b.build();
+    kernel.expected = expectArray(x_base, x);
+    return kernel;
+}
+
+} // namespace ruu

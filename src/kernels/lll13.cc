@@ -1,0 +1,151 @@
+/**
+ * @file
+ * LLL13 — 2-D particle in cell:
+ *
+ *   i1 = P(1,ip); j1 = P(2,ip)                (float -> int, mod 64)
+ *   P(3,ip) = P(3,ip) + B(i1,j1)
+ *   i2 = P(3,ip); j2 = P(4,ip)                (float -> int, mod 64)
+ *   P(1,ip) = P(1,ip) + Y(i2+32)
+ *   P(2,ip) = P(2,ip) + Z(j2+32)
+ *   i2 = i2 + E(i2+32); j2 = j2 + F(j2+32)
+ *   H(i2,j2) = H(i2,j2) + 1.0
+ *
+ * Scatter/gather with data-dependent addressing: indices come from
+ * float-to-int conversions (SFIX on the FP-add unit), masking runs on
+ * the scalar-logical unit, and the 2-D index arithmetic uses the shift
+ * and scalar-add units — the widest functional-unit mix in the suite.
+ * H rows are padded to stride 80 so the E/F displacements stay in
+ * bounds without the original's implicit dimension assumptions.
+ *
+ * Memory map: P @1000 (n x 4), Y @2000, Z @2200, E @2400, F @2600,
+ * B @3000 (64x64), H @8000 (80x80); 1.0 @100.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll13()
+{
+    constexpr std::size_t n = 200;
+    constexpr Addr p_base = 1000, y_base = 2000, z_base = 2200;
+    constexpr Addr e_base = 2400, f_base = 2600, b_base = 3000;
+    constexpr Addr h_base = 8000, one_addr = 100;
+
+    DataGen gen(0xdd);
+    std::vector<double> p(n * 4);
+    for (std::size_t ip = 0; ip < n; ++ip) {
+        p[ip * 4 + 0] = gen.next(0.0, 64.0);
+        p[ip * 4 + 1] = gen.next(0.0, 64.0);
+        p[ip * 4 + 2] = gen.next(0.0, 64.0);
+        p[ip * 4 + 3] = gen.next(0.0, 64.0);
+    }
+    std::vector<double> y = gen.vec(96, -0.5, 0.5);
+    std::vector<double> z = gen.vec(96, -0.5, 0.5);
+    std::vector<double> e = gen.vec(96, 1.0, 8.0);
+    std::vector<double> f = gen.vec(96, 1.0, 8.0);
+    std::vector<double> bb = gen.vec(64 * 64, 0.0, 0.9);
+    std::vector<double> h(80 * 80, 0.0);
+
+    ProgramBuilder b("lll13");
+    initArray(b, p_base, p);
+    initArray(b, y_base, y);
+    initArray(b, z_base, z);
+    initArray(b, e_base, e);
+    initArray(b, f_base, f);
+    initArray(b, b_base, bb);
+    b.fword(one_addr, 1.0);
+
+    // T0 = integer mask 63, T1 = 1.0.
+    b.smovi(regS(7), 63);
+    b.movts(regT(0), regS(7));
+    b.amovi(regA(3), 0);
+    b.lds(regS(7), regA(3), one_addr);
+    b.movts(regT(1), regS(7));
+
+    b.amovi(regA(1), 0);  // ip*4
+    b.amovi(regA(6), 1);
+    b.amovi(regA(7), 4);
+    b.amovi(regA(4), 80); // H row stride, for the address multiplier
+    b.amovi(regA(5), static_cast<std::int64_t>(n * 4));
+
+    // The three independent particle loads are hoisted to the top of
+    // the body so the conversion/mask chains overlap them.
+    b.label("loop");
+    b.lds(regS(1), regA(1), p_base + 0);   // p0
+    b.lds(regS(4), regA(1), p_base + 1);   // p1
+    b.lds(regS(7), regA(1), p_base + 2);   // p2
+    b.sfix(regS(2), regS(1));
+    b.movst(regS(3), regT(0));             // mask
+    b.sand(regS(2), regS(2), regS(3));     // i1
+    b.sfix(regS(5), regS(4));
+    b.sand(regS(5), regS(5), regS(3));     // j1
+    b.movs(regS(6), regS(5));
+    b.sshl(regS(6), 6);                    // j1*64
+    b.sadd(regS(6), regS(6), regS(2));     // + i1
+    b.movas(regA(2), regS(6));
+    b.lds(regS(6), regA(2), b_base);       // b[j1][i1]
+    b.fadd(regS(7), regS(7), regS(6));
+    b.sts(regA(1), p_base + 2, regS(7));   // p2 += b[j1][i1]
+    b.sfix(regS(6), regS(7));
+    b.sand(regS(6), regS(6), regS(3));     // i2
+    b.lds(regS(7), regA(1), p_base + 3);   // p3
+    b.sfix(regS(7), regS(7));
+    b.sand(regS(7), regS(7), regS(3));     // j2
+    b.movas(regA(2), regS(6));             // i2
+    b.lds(regS(2), regA(2), y_base + 32);  // y[i2+32]
+    b.fadd(regS(1), regS(1), regS(2));
+    b.sts(regA(1), p_base + 0, regS(1));   // p0 += y[i2+32]
+    b.movas(regA(3), regS(7));             // j2
+    b.lds(regS(2), regA(3), z_base + 32);  // z[j2+32]
+    b.fadd(regS(4), regS(4), regS(2));
+    b.sts(regA(1), p_base + 1, regS(4));   // p1 += z[j2+32]
+    b.lds(regS(2), regA(2), e_base + 32);  // e[i2+32]
+    b.sfix(regS(2), regS(2));
+    b.sadd(regS(6), regS(6), regS(2));     // i2 += (int)e
+    b.lds(regS(2), regA(3), f_base + 32);  // f[j2+32]
+    b.sfix(regS(2), regS(2));
+    b.sadd(regS(7), regS(7), regS(2));     // j2 += (int)f
+    // The H row address goes through the address-multiply unit, the
+    // way CFT indexes 2-D arrays with a non-power-of-two stride.
+    b.movas(regA(2), regS(7));             // j2
+    b.amul(regA(2), regA(2), regA(4));     // j2*80 (A4 = row stride)
+    b.movas(regA(3), regS(6));             // i2
+    b.aadd(regA(2), regA(2), regA(3));     // j2*80 + i2
+    b.lds(regS(2), regA(2), h_base);       // h[j2][i2]
+    b.movst(regS(5), regT(1));             // 1.0
+    b.fadd(regS(2), regS(2), regS(5));
+    b.sts(regA(2), h_base, regS(2));
+    b.aadd(regA(1), regA(1), regA(7));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.halt();
+
+    // Reference, mirroring the assembly exactly.
+    for (std::size_t ip = 0; ip < n; ++ip) {
+        double *row = p.data() + ip * 4;
+        std::int64_t i1 = static_cast<std::int64_t>(row[0]) & 63;
+        std::int64_t j1 = static_cast<std::int64_t>(row[1]) & 63;
+        row[2] = row[2] + bb[j1 * 64 + i1];
+        std::int64_t i2 = static_cast<std::int64_t>(row[2]) & 63;
+        std::int64_t j2 = static_cast<std::int64_t>(row[3]) & 63;
+        row[0] = row[0] + y[i2 + 32];
+        row[1] = row[1] + z[j2 + 32];
+        i2 += static_cast<std::int64_t>(e[i2 + 32]);
+        j2 += static_cast<std::int64_t>(f[j2 + 32]);
+        h[j2 * 80 + i2] = h[j2 * 80 + i2] + 1.0;
+    }
+
+    Kernel kernel;
+    kernel.name = "lll13";
+    kernel.description = "2-D particle in cell";
+    kernel.program = b.build();
+    kernel.expected = expectArray(p_base, p);
+    appendExpect(kernel.expected, expectArray(h_base, h));
+    return kernel;
+}
+
+} // namespace ruu

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * LLL14 — 1-D particle in cell, in its three phases:
+ *
+ *   phase 1 (gather):   ix = GRD(k); xi = FLOAT(ix);
+ *                       ex1(k) = EX(ix-1); dex1(k) = DEX(ix-1)
+ *   phase 2 (push):     vx = ex1(k) + (0 - xi(k))*dex1(k)
+ *                       xx = vx + flx
+ *                       ir = INT(xx); rx = xx - FLOAT(ir)
+ *                       ir = AND(ir, 2047) + 1; xx(k) = rx + FLOAT(ir)
+ *   phase 3 (scatter):  RH(ir-1) += 1.0 - rx;  RH(ir) += rx
+ *
+ * Three separate loops over the particles: a gather with
+ * data-dependent loads, an arithmetic push with float<->int
+ * conversions both ways, and a scatter with read-modify-write to
+ * data-dependent addresses (classic load-register forwarding food).
+ *
+ * Memory map: GRD @1000, EX @2000, DEX @3000, EX1 @4000, DEX1 @4400,
+ * XI @4800, IR @5200, RX @5600, XX @6000, RH @7000; flx, 1.0 @100.
+ */
+
+#include "kernels/data.hh"
+#include "kernels/lll.hh"
+
+namespace ruu
+{
+
+Kernel
+makeLll14()
+{
+    constexpr std::size_t n = 150;
+    constexpr std::size_t grid = 512;
+    constexpr Addr grd_base = 1000, ex_base = 2000, dex_base = 3000;
+    constexpr Addr ex1_base = 4000, dex1_base = 4400, xi_base = 4800;
+    constexpr Addr ir_base = 5200, rx_base = 5600, xx_base = 6000;
+    constexpr Addr rh_base = 7000, const_base = 100;
+
+    DataGen gen(0xee);
+    std::vector<double> grd = gen.vec(n, 2.0, grid - 2.0);
+    std::vector<double> ex = gen.vec(grid, -1.0, 1.0);
+    std::vector<double> dex = gen.vec(grid, -0.1, 0.1);
+    const double flx = gen.next(100.0, 300.0);
+
+    ProgramBuilder b("lll14");
+    initArray(b, grd_base, grd);
+    initArray(b, ex_base, ex);
+    initArray(b, dex_base, dex);
+    b.fword(const_base + 0, flx);
+    b.fword(const_base + 1, 1.0);
+
+    b.amovi(regA(3), 0);
+    b.lds(regS(7), regA(3), const_base + 0);
+    b.movts(regT(0), regS(7));           // flx
+    b.lds(regS(7), regA(3), const_base + 1);
+    b.movts(regT(1), regS(7));           // 1.0
+    b.smovi(regS(7), 2047);
+    b.movts(regT(2), regS(7));           // integer mask
+
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), static_cast<std::int64_t>(n));
+
+    // ---- phase 1: gather ------------------------------------------------
+    b.amovi(regA(1), 0);
+    b.label("gather");
+    b.lds(regS(1), regA(1), grd_base);   // grd[k]
+    b.sfix(regS(2), regS(1));            // ix
+    b.sflt(regS(3), regS(2));            // xi = (double)ix
+    b.sts(regA(1), xi_base, regS(3));
+    b.movas(regA(2), regS(2));           // ix as address index
+    b.lds(regS(4), regA(2), ex_base - 1);   // ex[ix-1]
+    b.sts(regA(1), ex1_base, regS(4));
+    b.lds(regS(4), regA(2), dex_base - 1);  // dex[ix-1]
+    b.sts(regA(1), dex1_base, regS(4));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("gather");
+
+    // ---- phase 2: push ---------------------------------------------------
+    b.amovi(regA(1), 0);
+    b.label("push");
+    b.lds(regS(2), regA(1), xi_base);
+    b.lds(regS(3), regA(1), dex1_base);
+    b.lds(regS(6), regA(1), ex1_base);
+    b.smovi(regS(1), 0);                  // vx = 0.0, xx = 0.0
+    b.fsub(regS(2), regS(1), regS(2));    // 0 - xi
+    b.fmul(regS(2), regS(2), regS(3));    // (xx-xi)*dex1
+    b.fadd(regS(2), regS(6), regS(2));    // vx = vx + ex1 + ...
+    b.movst(regS(3), regT(0));            // flx
+    b.fadd(regS(2), regS(2), regS(3));    // xx = xx + vx + flx
+    b.sfix(regS(4), regS(2));             // ir = (int) xx
+    b.sflt(regS(5), regS(4));
+    b.fsub(regS(5), regS(2), regS(5));    // rx = xx - (double) ir
+    b.movst(regS(3), regT(2));            // mask 2047
+    b.sand(regS(4), regS(4), regS(3));
+    b.smovi(regS(3), 1);
+    b.sadd(regS(4), regS(4), regS(3));    // ir = (ir & 2047) + 1
+    b.sts(regA(1), ir_base, regS(4));
+    b.sts(regA(1), rx_base, regS(5));
+    b.sflt(regS(3), regS(4));
+    b.fadd(regS(3), regS(5), regS(3));    // xx = rx + (double) ir
+    b.sts(regA(1), xx_base, regS(3));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("push");
+
+    // ---- phase 3: scatter -------------------------------------------------
+    b.amovi(regA(1), 0);
+    b.label("scatter");
+    b.lds(regS(1), regA(1), ir_base);     // ir (integer word)
+    b.movas(regA(2), regS(1));
+    b.lds(regS(2), regA(1), rx_base);     // rx
+    b.lds(regS(3), regA(2), rh_base - 1); // rh[ir-1]
+    b.movst(regS(4), regT(1));            // 1.0
+    b.fsub(regS(4), regS(4), regS(2));    // 1.0 - rx
+    b.fadd(regS(3), regS(3), regS(4));
+    b.sts(regA(2), rh_base - 1, regS(3));
+    b.lds(regS(3), regA(2), rh_base);     // rh[ir]
+    b.fadd(regS(3), regS(3), regS(2));
+    b.sts(regA(2), rh_base, regS(3));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("scatter");
+    b.halt();
+
+    // Reference, mirroring the assembly exactly.
+    std::vector<double> xi(n), ex1(n), dex1(n), rx(n), xx(n);
+    std::vector<std::int64_t> ir(n);
+    std::vector<double> rh(2050, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::int64_t ix = static_cast<std::int64_t>(grd[k]);
+        xi[k] = static_cast<double>(ix);
+        ex1[k] = ex[ix - 1];
+        dex1[k] = dex[ix - 1];
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        double vx = ex1[k] + ((0.0 - xi[k]) * dex1[k]);
+        double x = vx + flx;
+        std::int64_t iri = static_cast<std::int64_t>(x);
+        rx[k] = x - static_cast<double>(iri);
+        iri = (iri & 2047) + 1;
+        ir[k] = iri;
+        xx[k] = rx[k] + static_cast<double>(iri);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        rh[ir[k] - 1] = rh[ir[k] - 1] + (1.0 - rx[k]);
+        rh[ir[k]] = rh[ir[k]] + rx[k];
+    }
+
+    Kernel kernel;
+    kernel.name = "lll14";
+    kernel.description = "1-D particle in cell";
+    kernel.program = b.build();
+    kernel.expected = expectArray(xx_base, xx);
+    appendExpect(kernel.expected, expectArray(rx_base, rx));
+    appendExpect(kernel.expected, expectArray(rh_base, rh));
+    for (std::size_t k = 0; k < n; ++k)
+        kernel.expected.emplace_back(ir_base + k,
+                                     static_cast<Word>(ir[k]));
+    return kernel;
+}
+
+} // namespace ruu

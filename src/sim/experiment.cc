@@ -1,0 +1,48 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+AggregateResult
+runSuite(CoreKind kind, const UarchConfig &config,
+         const std::vector<Workload> &workloads)
+{
+    AggregateResult total;
+    auto core = makeCore(kind, config);
+    for (const auto &workload : workloads) {
+        RunResult run = core->run(workload.trace());
+        if (run.interrupted)
+            ruu_fatal("workload '%s' unexpectedly interrupted on %s",
+                      workload.name.c_str(), core->name());
+        if (!matchesFunctional(run, workload.func))
+            ruu_fatal("workload '%s' committed wrong state on %s "
+                      "(simulator bug)",
+                      workload.name.c_str(), core->name());
+        total.cycles += run.cycles;
+        total.instructions += run.instructions;
+    }
+    return total;
+}
+
+std::vector<SweepPoint>
+sweepPoolSize(CoreKind kind, UarchConfig config,
+              const std::vector<unsigned> &sizes,
+              const std::vector<Workload> &workloads,
+              Cycle baseline_cycles)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(sizes.size());
+    for (unsigned size : sizes) {
+        config.poolEntries = size;
+        SweepPoint point;
+        point.entries = size;
+        point.total = runSuite(kind, config, workloads);
+        point.speedup = point.total.speedupOver(baseline_cycles);
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace ruu

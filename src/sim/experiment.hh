@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment-sweep helpers used by the paper-reproduction benches:
+ * run a set of workloads through a core configuration and aggregate
+ * cycles/instructions the way the paper does (totals over all loops,
+ * speedups relative to the simple issue mechanism).
+ */
+
+#ifndef RUU_SIM_EXPERIMENT_HH
+#define RUU_SIM_EXPERIMENT_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ruu
+{
+
+/** Aggregate outcome of running many workloads on one configuration. */
+struct AggregateResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Instructions per cycle over the whole suite. */
+    double issueRate() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Speedup of this configuration relative to @p baseline cycles. */
+    double speedupOver(Cycle baseline) const
+    {
+        return cycles ? static_cast<double>(baseline) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** One row of a pool-size sweep. */
+struct SweepPoint
+{
+    unsigned entries = 0;   //!< pool/RUU size
+    AggregateResult total;  //!< suite aggregate at this size
+    double speedup = 0.0;   //!< vs the provided baseline cycles
+};
+
+/**
+ * Run every workload on a fresh core of @p kind configured by
+ * @p config; fatal when any run fails value verification against its
+ * functional execution (the benches must never report numbers from a
+ * broken simulation).
+ */
+AggregateResult runSuite(CoreKind kind, const UarchConfig &config,
+                         const std::vector<Workload> &workloads);
+
+/**
+ * Sweep `config.poolEntries` over @p sizes.
+ * @param baseline_cycles cycles of the simple issue mechanism on the
+ *        same workloads (denominator of the paper's relative speedup).
+ */
+std::vector<SweepPoint> sweepPoolSize(CoreKind kind, UarchConfig config,
+                                      const std::vector<unsigned> &sizes,
+                                      const std::vector<Workload> &workloads,
+                                      Cycle baseline_cycles);
+
+} // namespace ruu
+
+#endif // RUU_SIM_EXPERIMENT_HH

@@ -1,0 +1,109 @@
+#include "sim/json.hh"
+
+#include <sstream>
+
+namespace ruu
+{
+
+namespace
+{
+
+/** Escape a string for a JSON literal (names here are ASCII). */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+configToJson(const UarchConfig &config)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"pool_entries\": " << config.poolEntries;
+    os << ", \"dispatch_paths\": " << config.dispatchPaths;
+    os << ", \"commit_width\": " << config.commitWidth;
+    os << ", \"result_buses\": " << config.resultBuses;
+    os << ", \"load_registers\": " << config.loadRegisters;
+    os << ", \"counter_bits\": " << config.counterBits;
+    os << ", \"history_entries\": " << config.historyEntries;
+    os << ", \"tu_entries\": " << config.tuEntries;
+    os << ", \"rs_per_fu\": " << config.rsPerFu;
+    os << ", \"memory_banks\": " << config.memoryBanks;
+    os << ", \"bypass\": \"" << bypassModeName(config.bypass) << "\"";
+    os << ", \"predictor\": \"" << predictorKindName(config.predictor)
+       << "\"";
+    os << ", \"branch_taken_penalty\": " << config.branchTakenPenalty;
+    os << ", \"branch_untaken_penalty\": "
+       << config.branchUntakenPenalty;
+    os << ", \"fu_latency\": {";
+    for (unsigned i = 0; i + 1 < kNumFuKinds; ++i) {
+        os << (i ? ", " : "") << "\""
+           << fuKindName(static_cast<FuKind>(i))
+           << "\": " << config.fuLatency[i];
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+runToJson(const std::string &workload, const std::string &core_name,
+          const RunResult &result, const StatSet &stats)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << escape(workload) << "\"";
+    os << ", \"core\": \"" << escape(core_name) << "\"";
+    os << ", \"cycles\": " << result.cycles;
+    os << ", \"instructions\": " << result.instructions;
+    os << ", \"issue_rate\": " << result.issueRate();
+    os << ", \"interrupted\": "
+       << (result.interrupted ? "true" : "false");
+    if (result.interrupted) {
+        os << ", \"fault\": {\"kind\": \"" << faultName(result.fault)
+           << "\", \"seq\": " << result.faultSeq
+           << ", \"pc\": " << result.faultPc << "}";
+    }
+    os << ", \"counters\": {";
+    bool first = true;
+    for (const auto &name : stats.counterNames()) {
+        os << (first ? "" : ", ") << "\"" << escape(name)
+           << "\": " << stats.value(name);
+        first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &name : stats.histogramNames()) {
+        const Histogram &histogram = stats.histogramAt(name);
+        os << (first ? "" : ", ") << "\"" << escape(name)
+           << "\": {\"mean\": " << histogram.mean()
+           << ", \"min\": " << histogram.min()
+           << ", \"max\": " << histogram.max()
+           << ", \"count\": " << histogram.count() << "}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace ruu

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Machine-readable (JSON) export of run results, statistics, and
+ * configurations, for plotting and regression tooling around the
+ * benches (`ruusim run ... --json`).
+ */
+
+#ifndef RUU_SIM_JSON_HH
+#define RUU_SIM_JSON_HH
+
+#include <string>
+
+#include "core/core.hh"
+
+namespace ruu
+{
+
+/** Serialize @p config as a JSON object. */
+std::string configToJson(const UarchConfig &config);
+
+/**
+ * Serialize one run as a JSON object:
+ * `{"workload": ..., "core": ..., "cycles": ..., "instructions": ...,
+ *   "issue_rate": ..., "interrupted": ..., "fault": {...}?,
+ *   "counters": {...}, "histograms": {...}}`.
+ */
+std::string runToJson(const std::string &workload,
+                      const std::string &core_name,
+                      const RunResult &result, const StatSet &stats);
+
+} // namespace ruu
+
+#endif // RUU_SIM_JSON_HH

@@ -1,0 +1,153 @@
+#include "sim/machine.hh"
+
+#include "asm/parser.hh"
+#include "common/logging.hh"
+#include "core/history_core.hh"
+#include "core/rstu_core.hh"
+#include "core/ruu_core.hh"
+#include "core/simple_core.hh"
+#include "core/spec_ruu_core.hh"
+#include "core/tomasulo_core.hh"
+
+namespace ruu
+{
+
+const char *
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::Simple: return "simple";
+      case CoreKind::Tomasulo: return "tomasulo";
+      case CoreKind::Rstu: return "rstu";
+      case CoreKind::Ruu: return "ruu";
+      case CoreKind::SpecRuu: return "spec_ruu";
+      case CoreKind::History: return "history";
+    }
+    return "?";
+}
+
+std::unique_ptr<Core>
+makeCore(CoreKind kind, const UarchConfig &config)
+{
+    switch (kind) {
+      case CoreKind::Simple:
+        return std::make_unique<SimpleCore>(config);
+      case CoreKind::Tomasulo:
+        return std::make_unique<TomasuloCore>(config);
+      case CoreKind::Rstu:
+        return std::make_unique<RstuCore>(config);
+      case CoreKind::Ruu:
+        return std::make_unique<RuuCore>(config);
+      case CoreKind::SpecRuu:
+        return std::make_unique<SpecRuuCore>(config);
+      case CoreKind::History:
+        return std::make_unique<HistoryCore>(config);
+    }
+    ruu_panic("unknown core kind");
+}
+
+Workload
+makeWorkload(Program program, const FuncSimOptions &options)
+{
+    Workload workload;
+    workload.name = program.name();
+    workload.program =
+        std::make_shared<const Program>(std::move(program));
+    workload.func = runFunctional(workload.program, options);
+    if (workload.func.fault != Fault::None)
+        ruu_fatal("program '%s' faulted (%s) at dynamic instruction %llu",
+                  workload.name.c_str(),
+                  faultName(workload.func.fault),
+                  static_cast<unsigned long long>(workload.func.faultSeq));
+    if (!workload.func.halted)
+        ruu_fatal("program '%s' did not halt within the instruction "
+                  "limit", workload.name.c_str());
+    return workload;
+}
+
+Workload
+workloadFromSource(const std::string &source, const std::string &name)
+{
+    AsmResult assembled = assemble(source, name);
+    if (!assembled.ok()) {
+        std::string all;
+        for (const auto &error : assembled.errors)
+            all += "\n  " + error.toString();
+        ruu_fatal("assembly of '%s' failed:%s", name.c_str(),
+                  all.c_str());
+    }
+    return makeWorkload(std::move(*assembled.program));
+}
+
+bool
+matchesFunctional(const RunResult &run, const FuncResult &func)
+{
+    return run.state == func.finalState && run.memory == func.finalMemory;
+}
+
+std::vector<SeqNum>
+faultableSeqs(const Trace &trace)
+{
+    std::vector<SeqNum> seqs;
+    for (SeqNum seq = 0; seq < trace.size(); ++seq) {
+        const Instruction &inst = trace.at(seq).inst;
+        if (isBranch(inst.op) || inst.op == Opcode::HALT ||
+            inst.op == Opcode::NOP) {
+            continue;
+        }
+        seqs.push_back(seq);
+    }
+    return seqs;
+}
+
+SeqNum
+nextFaultable(const Trace &trace, SeqNum from)
+{
+    for (SeqNum seq = from; seq < trace.size(); ++seq) {
+        const Instruction &inst = trace.at(seq).inst;
+        if (isBranch(inst.op) || inst.op == Opcode::HALT ||
+            inst.op == Opcode::NOP) {
+            continue;
+        }
+        return seq;
+    }
+    return kNoSeqNum;
+}
+
+FaultExperiment
+runFaultAndResume(Core &core, const Workload &workload, SeqNum seq,
+                  Fault fault)
+{
+    ruu_assert(fault != Fault::None, "injecting Fault::None");
+    FaultExperiment experiment;
+
+    Trace faulty = workload.trace();
+    faulty.injectFault(seq, fault);
+    experiment.faulted = core.run(faulty);
+
+    if (!experiment.faulted.interrupted)
+        return experiment;
+
+    // Preciseness: the interrupted state must equal the sequential
+    // execution of everything before the faulting instruction.
+    FuncResult prefix = runPrefix(workload.program, seq);
+    experiment.precise =
+        experiment.faulted.state == prefix.finalState &&
+        experiment.faulted.memory == prefix.finalMemory &&
+        experiment.faulted.faultSeq == seq;
+
+    // Service the fault (clear the annotation) and restart from the
+    // faulting instruction with the interrupted machine state.
+    RunOptions resume;
+    resume.startSeq = experiment.faulted.faultSeq;
+    resume.initialState = &experiment.faulted.state;
+    resume.initialMemory = &experiment.faulted.memory;
+    experiment.resumed = core.run(workload.trace(), resume);
+
+    experiment.resumedExact =
+        !experiment.resumed.interrupted &&
+        matchesFunctional(experiment.resumed, workload.func);
+    return experiment;
+}
+
+} // namespace ruu

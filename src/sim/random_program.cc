@@ -1,0 +1,173 @@
+#include "sim/random_program.hh"
+
+#include <string>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+namespace
+{
+
+/** Small deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : _state(seed ? seed : 1) {}
+
+    std::uint64_t
+    next()
+    {
+        _state ^= _state >> 12;
+        _state ^= _state << 25;
+        _state ^= _state >> 27;
+        return _state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). */
+    unsigned pick(unsigned bound) { return next() % bound; }
+
+  private:
+    std::uint64_t _state;
+};
+
+/**
+ * Register conventions inside generated code:
+ *  - A5 holds the constant 1, A7 the loop down-counter: never random
+ *    destinations.
+ *  - A6 is the memory base, written only by controlled AMOVIs.
+ *  - everything else (A0-A4, S0-S7, a few B/T) is fair game.
+ */
+RegId
+randomDstA(Rng &rng)
+{
+    return regA(rng.pick(5)); // A0..A4
+}
+
+RegId
+randomSrcA(Rng &rng)
+{
+    return regA(rng.pick(7)); // A0..A6 (reading the base is fine)
+}
+
+RegId
+randomS(Rng &rng)
+{
+    return regS(rng.pick(8));
+}
+
+void
+emitRandomInstruction(ProgramBuilder &b, Rng &rng,
+                      const RandomProgramOptions &options)
+{
+    switch (rng.pick(16)) {
+      case 0:
+        b.aadd(randomDstA(rng), randomSrcA(rng), randomSrcA(rng));
+        break;
+      case 1:
+        b.asub(randomDstA(rng), randomSrcA(rng), randomSrcA(rng));
+        break;
+      case 2:
+        b.amul(randomDstA(rng), randomSrcA(rng), randomSrcA(rng));
+        break;
+      case 3:
+        b.sadd(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 4:
+        b.ssub(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 5:
+        b.sand(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 6:
+        b.sxor(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 7:
+        b.fadd(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 8:
+        b.fmul(randomS(rng), randomS(rng), randomS(rng));
+        break;
+      case 9:
+        b.sshl(randomS(rng), rng.pick(8));
+        break;
+      case 10:
+        b.smovi(randomS(rng), static_cast<int>(rng.pick(2000)) - 1000);
+        break;
+      case 11: // controlled re-point of the memory base
+        b.amovi(regA(6), static_cast<int>(
+                             rng.pick(options.dataWords / 2)));
+        break;
+      case 12:
+        b.lds(randomS(rng), regA(6),
+              static_cast<std::int64_t>(options.dataBase +
+                                        rng.pick(options.dataWords / 2)));
+        break;
+      case 13:
+        b.lda(randomDstA(rng), regA(6),
+              static_cast<std::int64_t>(options.dataBase +
+                                        rng.pick(options.dataWords / 2)));
+        break;
+      case 14:
+        b.sts(regA(6),
+              static_cast<std::int64_t>(options.dataBase +
+                                        rng.pick(options.dataWords / 2)),
+              randomS(rng));
+        break;
+      default: { // inter-file traffic
+        unsigned which = rng.pick(4);
+        if (which == 0)
+            b.movba(regB(rng.pick(8)), randomSrcA(rng));
+        else if (which == 1)
+            b.movab(randomDstA(rng), regB(rng.pick(8)));
+        else if (which == 2)
+            b.movts(regT(rng.pick(8)), randomS(rng));
+        else
+            b.movst(randomS(rng), regT(rng.pick(8)));
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Program
+generateRandomProgram(std::uint64_t seed,
+                      const RandomProgramOptions &options)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz" + std::to_string(seed));
+
+    // Seed the data window and a few registers deterministically.
+    for (unsigned i = 0; i < options.dataWords; ++i)
+        b.fword(options.dataBase + i,
+                0.25 + static_cast<double>(rng.pick(1000)) / 64.0);
+    b.amovi(regA(5), 1);
+    b.amovi(regA(6), 0);
+    for (unsigned i = 0; i < 8; ++i)
+        b.smovi(regS(i), static_cast<int>(rng.pick(512)));
+    for (unsigned i = 0; i < 5; ++i)
+        b.amovi(regA(i), static_cast<int>(rng.pick(64)));
+
+    for (unsigned loop = 0; loop < options.loops; ++loop) {
+        for (unsigned i = 0; i < options.straightLength; ++i)
+            emitRandomInstruction(b, rng, options);
+
+        std::string label = "loop" + std::to_string(loop);
+        b.amovi(regA(7), static_cast<int>(options.iterations));
+        b.label(label);
+        for (unsigned i = 0; i < options.bodyLength; ++i)
+            emitRandomInstruction(b, rng, options);
+        b.asub(regA(7), regA(7), regA(5));
+        b.mova(regA(0), regA(7));
+        b.jan(label);
+    }
+    for (unsigned i = 0; i < options.straightLength; ++i)
+        emitRandomInstruction(b, rng, options);
+    b.halt();
+    return b.build();
+}
+
+} // namespace ruu

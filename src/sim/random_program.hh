@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Random-program generation for differential testing.
+ *
+ * Generates well-formed, always-halting model-ISA programs: counted
+ * loops and straight-line segments filled with random arithmetic,
+ * logical, move, and memory instructions over controlled registers.
+ * Memory accesses stay inside a small window; the two faulting-prone
+ * opcodes (FRECIP, SFIX) are excluded so generated programs never trap
+ * organically. Every timing core must commit exactly the functional
+ * result on every generated program — the strongest correctness net
+ * the library has (tests/test_fuzz.cc).
+ */
+
+#ifndef RUU_SIM_RANDOM_PROGRAM_HH
+#define RUU_SIM_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+
+#include "asm/program.hh"
+
+namespace ruu
+{
+
+/** Tunables for the generator. */
+struct RandomProgramOptions
+{
+    /** Loops in the program (run back to back). */
+    unsigned loops = 2;
+
+    /** Random instructions per loop body. */
+    unsigned bodyLength = 12;
+
+    /** Iterations per loop (kept small; total work is loops*body*iter). */
+    unsigned iterations = 6;
+
+    /** Straight-line instructions between loops. */
+    unsigned straightLength = 8;
+
+    /** Word window [dataBase, dataBase+dataWords) for loads/stores. */
+    Addr dataBase = 1000;
+    unsigned dataWords = 256;
+};
+
+/**
+ * Generate a program from @p seed. Deterministic: the same seed and
+ * options always produce the same program.
+ */
+Program generateRandomProgram(std::uint64_t seed,
+                              const RandomProgramOptions &options = {});
+
+} // namespace ruu
+
+#endif // RUU_SIM_RANDOM_PROGRAM_HH

@@ -1,0 +1,67 @@
+#include "sim/report.hh"
+
+#include "stats/table.hh"
+
+namespace ruu
+{
+
+std::string
+renderComparison(const std::string &title,
+                 const std::vector<PaperRow> &paper,
+                 const std::vector<SweepPoint> &measured)
+{
+    TextTable table({"Entries", "Paper Speedup", "Measured Speedup",
+                     "Paper Issue Rate", "Measured Issue Rate"});
+    table.setTitle(title);
+
+    auto paper_at = [&](unsigned entries) -> std::optional<PaperRow> {
+        for (const auto &row : paper)
+            if (row.entries == entries)
+                return row;
+        return std::nullopt;
+    };
+
+    for (const auto &point : measured) {
+        auto row = paper_at(point.entries);
+        table.addRow({TextTable::fmt(std::uint64_t{point.entries}),
+                      row ? TextTable::fmt(row->speedup) : "-",
+                      TextTable::fmt(point.speedup),
+                      row ? TextTable::fmt(row->issueRate) : "-",
+                      TextTable::fmt(point.total.issueRate())});
+    }
+    return table.render();
+}
+
+std::string
+renderBaseline(const std::string &title,
+               const std::vector<BaselineRow> &rows)
+{
+    TextTable table({"Benchmark", "Instructions", "Clock Cycles",
+                     "Issue Rate"});
+    table.setTitle(title);
+    table.setAlign(0, Align::Left);
+
+    std::uint64_t total_insts = 0;
+    Cycle total_cycles = 0;
+    for (const auto &row : rows) {
+        total_insts += row.instructions;
+        total_cycles += row.cycles;
+        double rate = row.cycles
+                          ? static_cast<double>(row.instructions) /
+                                static_cast<double>(row.cycles)
+                          : 0.0;
+        table.addRow({row.name, TextTable::fmt(row.instructions),
+                      TextTable::fmt(row.cycles),
+                      TextTable::fmt(rate)});
+    }
+    double total_rate = total_cycles
+                            ? static_cast<double>(total_insts) /
+                                  static_cast<double>(total_cycles)
+                            : 0.0;
+    table.addRow({"Total", TextTable::fmt(total_insts),
+                  TextTable::fmt(total_cycles),
+                  TextTable::fmt(total_rate)});
+    return table.render();
+}
+
+} // namespace ruu

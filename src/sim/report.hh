@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper-versus-measured reporting for the reproduction benches.
+ *
+ * Each bench prints the rows the paper's table reports next to the
+ * values this reproduction measures, so the shape comparison (who
+ * wins, where saturation sets in) is visible in one place. The same
+ * renderer feeds EXPERIMENTS.md.
+ */
+
+#ifndef RUU_SIM_REPORT_HH
+#define RUU_SIM_REPORT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ruu
+{
+
+/** One row of a table in the paper. */
+struct PaperRow
+{
+    unsigned entries;  //!< pool/RUU size
+    double speedup;    //!< relative speedup the paper reports
+    double issueRate;  //!< issue rate the paper reports
+};
+
+/**
+ * Render a sweep next to the paper's numbers.
+ * Rows are matched by entry count; measured-only or paper-only rows
+ * are rendered with blanks.
+ */
+std::string renderComparison(const std::string &title,
+                             const std::vector<PaperRow> &paper,
+                             const std::vector<SweepPoint> &measured);
+
+/**
+ * Render a per-workload baseline table (the paper's Table 1 layout:
+ * instructions, cycles, and issue rate per loop plus a total row).
+ */
+struct BaselineRow
+{
+    std::string name;
+    std::uint64_t instructions;
+    Cycle cycles;
+};
+
+std::string renderBaseline(const std::string &title,
+                           const std::vector<BaselineRow> &rows);
+
+} // namespace ruu
+
+#endif // RUU_SIM_REPORT_HH

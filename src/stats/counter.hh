@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lightweight named statistics counters.
+ *
+ * Every core exposes its cycle/instruction/stall counters through a
+ * StatSet so tests and benches can interrogate them uniformly.
+ */
+
+#ifndef RUU_STATS_COUNTER_HH
+#define RUU_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ruu
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n events (default one). */
+    void increment(std::uint64_t n = 1) { _value += n; }
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    /** Current event count. */
+    std::uint64_t value() const { return _value; }
+
+    /** Reset to zero (used when a core is reused across runs). */
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+} // namespace ruu
+
+#endif // RUU_STATS_COUNTER_HH

@@ -1,0 +1,78 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    if (value >= _buckets.size())
+        _buckets.resize(value + 1, 0);
+    ++_buckets[value];
+    ++_count;
+    _sum += value;
+    _max = std::max(_max, value);
+    _min = _count == 1 ? value : std::min(_min, value);
+}
+
+double
+Histogram::mean() const
+{
+    return _count ? static_cast<double>(_sum) / static_cast<double>(_count)
+                  : 0.0;
+}
+
+std::uint64_t
+Histogram::bucket(std::uint64_t value) const
+{
+    return value < _buckets.size() ? _buckets[value] : 0;
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    ruu_assert(fraction >= 0.0 && fraction <= 1.0,
+               "percentile fraction %f out of range", fraction);
+    if (_count == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(fraction * static_cast<double>(_count));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::uint64_t v = 0; v < _buckets.size(); ++v) {
+        seen += _buckets[v];
+        if (seen >= target)
+            return v;
+    }
+    return _max;
+}
+
+void
+Histogram::reset()
+{
+    _buckets.clear();
+    _count = 0;
+    _sum = 0;
+    _max = 0;
+    _min = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "mean=%.3f min=%llu max=%llu n=%llu",
+                  mean(),
+                  static_cast<unsigned long long>(min()),
+                  static_cast<unsigned long long>(max()),
+                  static_cast<unsigned long long>(count()));
+    return buf;
+}
+
+} // namespace ruu

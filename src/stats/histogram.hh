@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Integer-valued histogram for occupancy and latency distributions
+ * (e.g. RUU occupancy per cycle, commit-to-issue distance).
+ */
+
+#ifndef RUU_STATS_HISTOGRAM_HH
+#define RUU_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruu
+{
+
+/** A dense histogram over small non-negative integer samples. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one sample of @p value. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return _count; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return _sum; }
+
+    /** Arithmetic mean of the samples (0 when empty). */
+    double mean() const;
+
+    /** Largest sample seen (0 when empty). */
+    std::uint64_t max() const { return _max; }
+
+    /** Smallest sample seen (0 when empty). */
+    std::uint64_t min() const { return _count ? _min : 0; }
+
+    /** Occurrences of exactly @p value. */
+    std::uint64_t bucket(std::uint64_t value) const;
+
+    /**
+     * Smallest v such that at least @p fraction of samples are <= v.
+     * @param fraction in [0, 1].
+     */
+    std::uint64_t percentile(double fraction) const;
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Render as "mean=… max=… n=…" for logs. */
+    std::string summary() const;
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _max = 0;
+    std::uint64_t _min = 0;
+};
+
+} // namespace ruu
+
+#endif // RUU_STATS_HISTOGRAM_HH

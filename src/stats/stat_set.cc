@@ -1,0 +1,84 @@
+#include "stats/stat_set.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    return _counters[name];
+}
+
+Histogram &
+StatSet::histogram(const std::string &name)
+{
+    return _histograms[name];
+}
+
+std::uint64_t
+StatSet::value(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+bool
+StatSet::hasCounter(const std::string &name) const
+{
+    return _counters.count(name) != 0;
+}
+
+std::vector<std::string>
+StatSet::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_counters.size());
+    for (const auto &kv : _counters)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+StatSet::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_histograms.size());
+    for (const auto &kv : _histograms)
+        names.push_back(kv.first);
+    return names;
+}
+
+const Histogram &
+StatSet::histogramAt(const std::string &name) const
+{
+    auto it = _histograms.find(name);
+    ruu_assert(it != _histograms.end(), "no histogram named '%s'",
+               name.c_str());
+    return it->second;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : _counters)
+        kv.second.reset();
+    for (auto &kv : _histograms)
+        kv.second.reset();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : _counters)
+        os << kv.first << " = " << kv.second.value() << "\n";
+    for (const auto &kv : _histograms)
+        os << kv.first << " : " << kv.second.summary() << "\n";
+    return os.str();
+}
+
+} // namespace ruu

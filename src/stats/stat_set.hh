@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A named collection of counters and histograms.
+ *
+ * Cores register their statistics in a StatSet; the harness and the
+ * benches read them back by name without knowing the core's type.
+ */
+
+#ifndef RUU_STATS_STAT_SET_HH
+#define RUU_STATS_STAT_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+
+namespace ruu
+{
+
+/** Registry of named statistics owned by one simulated component. */
+class StatSet
+{
+  public:
+    /**
+     * Create (or fetch) the counter called @p name.
+     * The returned reference stays valid for the StatSet's lifetime.
+     */
+    Counter &counter(const std::string &name);
+
+    /** Create (or fetch) the histogram called @p name. */
+    Histogram &histogram(const std::string &name);
+
+    /** Value of counter @p name; 0 when it was never created. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** True when a counter called @p name exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Names of all registered counters, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** Names of all registered histograms, sorted. */
+    std::vector<std::string> histogramNames() const;
+
+    /** Histogram by name; panics when missing. */
+    const Histogram &histogramAt(const std::string &name) const;
+
+    /** Reset every counter and histogram to its initial state. */
+    void reset();
+
+    /** Render all counters as "name = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Histogram> _histograms;
+};
+
+} // namespace ruu
+
+#endif // RUU_STATS_STAT_SET_HH

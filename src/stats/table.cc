@@ -1,0 +1,91 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers)), _aligns(_headers.size(), Align::Right)
+{
+    ruu_assert(!_headers.empty(), "a table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ruu_assert(cells.size() == _headers.size(),
+               "row arity %zu does not match header arity %zu",
+               cells.size(), _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::fmt(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+void
+TextTable::setAlign(std::size_t col, Align align)
+{
+    ruu_assert(col < _aligns.size(), "column %zu out of range", col);
+    _aligns[col] = align;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto pad = [&](const std::string &s, std::size_t c) {
+        std::string out;
+        std::size_t fill = widths[c] - s.size();
+        if (_aligns[c] == Align::Right)
+            out = std::string(fill, ' ') + s;
+        else
+            out = s + std::string(fill, ' ');
+        return out;
+    };
+
+    std::ostringstream os;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 3 : 0);
+
+    if (!_title.empty())
+        os << _title << "\n";
+    os << std::string(total, '-') << "\n";
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        os << (c ? " | " : "") << pad(_headers[c], c);
+    os << "\n" << std::string(total, '-') << "\n";
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? " | " : "") << pad(row[c], c);
+        os << "\n";
+    }
+    os << std::string(total, '-') << "\n";
+    return os.str();
+}
+
+} // namespace ruu

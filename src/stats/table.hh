@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text table formatter used by the paper-reproduction benches to
+ * print rows in the same layout as the tables in Sohi's paper.
+ */
+
+#ifndef RUU_STATS_TABLE_HH
+#define RUU_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ruu
+{
+
+/** Column alignment for TextTable. */
+enum class Align { Left, Right };
+
+/**
+ * An incrementally built, monospace-rendered table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Entries", "Speedup", "Issue Rate"});
+ *   t.addRow({"3", "0.965", "0.423"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Convenience: format an unsigned integer. */
+    static std::string fmt(std::uint64_t value);
+
+    /** Set a title line printed above the table. */
+    void setTitle(std::string title) { _title = std::move(title); }
+
+    /** Column alignment (defaults to Right for all columns). */
+    void setAlign(std::size_t col, Align align);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render the whole table, including title and separator rules. */
+    std::string render() const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+    std::vector<Align> _aligns;
+};
+
+} // namespace ruu
+
+#endif // RUU_STATS_TABLE_HH

@@ -1,0 +1,104 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace ruu
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "ruutrace";
+constexpr int kVersion = 1;
+
+int
+regToInt(RegId reg)
+{
+    return reg.valid() ? static_cast<int>(reg.flat()) : -1;
+}
+
+RegId
+regFromInt(int value)
+{
+    if (value < 0 || value >= static_cast<int>(kNumArchRegs))
+        return RegId();
+    return RegId::fromFlat(static_cast<unsigned>(value));
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, std::ostream &os)
+{
+    os << kMagic << " " << kVersion << " "
+       << (trace.programPtr() ? trace.program().name() : "unknown") << " "
+       << trace.size() << "\n";
+    for (const auto &r : trace.records()) {
+        os << static_cast<unsigned>(r.inst.op) << " "
+           << regToInt(r.inst.dst) << " " << regToInt(r.inst.src1) << " "
+           << regToInt(r.inst.src2) << " " << r.inst.imm << " "
+           << r.inst.target << " " << r.staticIndex << " " << r.pc << " "
+           << r.memAddr << " " << r.result << " " << r.storeValue << " "
+           << (r.taken ? 1 : 0) << " " << static_cast<unsigned>(r.fault)
+           << "\n";
+    }
+}
+
+bool
+saveTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    saveTrace(trace, os);
+    return os.good();
+}
+
+std::optional<Trace>
+loadTrace(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    std::string name;
+    std::size_t count = 0;
+    if (!(is >> magic >> version >> name >> count))
+        return std::nullopt;
+    if (magic != kMagic || version != kVersion)
+        return std::nullopt;
+
+    // Loaded traces reference a stub program carrying only the name.
+    auto stub = std::make_shared<Program>();
+    Trace trace(stub);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        unsigned op, fault;
+        int dst, src1, src2, taken;
+        TraceRecord r;
+        if (!(is >> op >> dst >> src1 >> src2 >> r.inst.imm
+                 >> r.inst.target >> r.staticIndex >> r.pc >> r.memAddr
+                 >> r.result >> r.storeValue >> taken >> fault))
+            return std::nullopt;
+        if (op >= kNumOpcodes || fault > 2)
+            return std::nullopt;
+        r.inst.op = static_cast<Opcode>(op);
+        r.inst.dst = regFromInt(dst);
+        r.inst.src1 = regFromInt(src1);
+        r.inst.src2 = regFromInt(src2);
+        r.taken = taken != 0;
+        r.fault = static_cast<Fault>(fault);
+        trace.append(r);
+    }
+    return trace;
+}
+
+std::optional<Trace>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    return loadTrace(is);
+}
+
+} // namespace ruu

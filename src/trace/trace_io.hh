@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text serialization of dynamic traces.
+ *
+ * The format is line-oriented and versioned, so traces can be archived
+ * and replayed without re-running the functional simulator (loaded
+ * traces carry a stub Program and therefore support every trace-driven
+ * core, but not the speculative core, which needs the static program
+ * image for wrong-path fetch).
+ */
+
+#ifndef RUU_TRACE_TRACE_IO_HH
+#define RUU_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace ruu
+{
+
+/** Serialize @p trace to @p os. */
+void saveTrace(const Trace &trace, std::ostream &os);
+
+/** Serialize @p trace to the file @p path; false on I/O failure. */
+bool saveTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace previously written by saveTrace.
+ * @return nullopt on malformed input.
+ */
+std::optional<Trace> loadTrace(std::istream &is);
+
+/** Load a trace from the file @p path. */
+std::optional<Trace> loadTraceFile(const std::string &path);
+
+} // namespace ruu
+
+#endif // RUU_TRACE_TRACE_IO_HH

@@ -1,0 +1,43 @@
+#include "uarch/banks.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+MemoryBanks::MemoryBanks(unsigned count, unsigned busy_cycles)
+    : _busyCycles(busy_cycles), _freeAt(count, 0)
+{
+    if (count != 0) {
+        ruu_assert((count & (count - 1)) == 0,
+                   "bank count %u must be a power of two", count);
+        ruu_assert(busy_cycles >= 1, "bank busy time must be positive");
+    }
+}
+
+bool
+MemoryBanks::canAccess(Addr addr, Cycle cycle) const
+{
+    if (!enabled())
+        return true;
+    return _freeAt[bankOf(addr)] <= cycle;
+}
+
+void
+MemoryBanks::access(Addr addr, Cycle cycle)
+{
+    if (!enabled())
+        return;
+    ruu_assert(canAccess(addr, cycle), "bank busy at access time");
+    _freeAt[bankOf(addr)] = cycle + _busyCycles;
+}
+
+void
+MemoryBanks::reset()
+{
+    for (auto &free_at : _freeAt)
+        free_at = 0;
+    _conflicts = 0;
+}
+
+} // namespace ruu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Interleaved memory banks.
+ *
+ * The paper assumes no memory-bank conflicts (§2.2 assumption (i)).
+ * This model lifts that assumption for the ablation bench: memory is
+ * word-interleaved across `count` banks and a bank stays busy for
+ * `busyCycles` after an access (the CRAY-1 had 16 banks with a 4-cycle
+ * bank cycle time). A memory operation may not start while its bank is
+ * busy. Disabled (count = 0) by default, matching the paper.
+ */
+
+#ifndef RUU_UARCH_BANKS_HH
+#define RUU_UARCH_BANKS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** Word-interleaved memory banks with a fixed recovery time. */
+class MemoryBanks
+{
+  public:
+    /**
+     * @param count       banks (power of two; 0 disables the model)
+     * @param busy_cycles bank recovery time after an access
+     */
+    explicit MemoryBanks(unsigned count = 0, unsigned busy_cycles = 4);
+
+    /** True when bank conflicts are modeled at all. */
+    bool enabled() const { return !_freeAt.empty(); }
+
+    /** True when the bank holding @p addr can start at @p cycle. */
+    bool canAccess(Addr addr, Cycle cycle) const;
+
+    /** Record an access to @p addr's bank starting at @p cycle. */
+    void access(Addr addr, Cycle cycle);
+
+    /** Conflicts observed so far (diagnostics). */
+    std::uint64_t conflicts() const { return _conflicts; }
+
+    /** Clear all bank state. */
+    void reset();
+
+  private:
+    unsigned _busyCycles;
+    std::vector<Cycle> _freeAt;
+    std::uint64_t _conflicts = 0;
+
+    std::size_t bankOf(Addr addr) const
+    {
+        return static_cast<std::size_t>(addr) & (_freeAt.size() - 1);
+    }
+};
+
+} // namespace ruu
+
+#endif // RUU_UARCH_BANKS_HH

@@ -1,0 +1,37 @@
+#include "uarch/fu.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+FuPipes::FuPipes(const UarchConfig &config) : _config(config)
+{
+    reset();
+}
+
+bool
+FuPipes::canStart(FuKind kind, Cycle cycle) const
+{
+    unsigned idx = static_cast<unsigned>(kind);
+    ruu_assert(kind != FuKind::None, "FuKind::None never dispatches");
+    return _lastStart[idx] == kNoCycle || _lastStart[idx] != cycle;
+}
+
+void
+FuPipes::start(FuKind kind, Cycle cycle)
+{
+    unsigned idx = static_cast<unsigned>(kind);
+    ruu_assert(canStart(kind, cycle),
+               "unit %s already started an operation at cycle %llu",
+               fuKindName(kind), static_cast<unsigned long long>(cycle));
+    _lastStart[idx] = cycle;
+}
+
+void
+FuPipes::reset()
+{
+    _lastStart.fill(kNoCycle);
+}
+
+} // namespace ruu

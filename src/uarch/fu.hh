@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional-unit pipeline model.
+ *
+ * The CRAY-1 scalar functional units the paper models are fully
+ * pipelined with an initiation interval of one: each unit can accept
+ * one new operation per cycle and delivers its result a fixed number of
+ * cycles later. The only structural hazard is therefore starting two
+ * operations on the *same* unit in the same cycle (possible only with
+ * more than one dispatch path) — plus the shared result bus, which is
+ * modeled separately in result_bus.hh.
+ */
+
+#ifndef RUU_UARCH_FU_HH
+#define RUU_UARCH_FU_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+#include "uarch/config.hh"
+
+namespace ruu
+{
+
+/** Tracks per-unit initiation so one operation starts per cycle. */
+class FuPipes
+{
+  public:
+    explicit FuPipes(const UarchConfig &config);
+
+    /** True when unit @p kind can start an operation at @p cycle. */
+    bool canStart(FuKind kind, Cycle cycle) const;
+
+    /** Record that unit @p kind started an operation at @p cycle. */
+    void start(FuKind kind, Cycle cycle);
+
+    /** Result latency of @p kind. */
+    unsigned latency(FuKind kind) const { return _config.latency(kind); }
+
+    /** Forget all initiations (reset between runs). */
+    void reset();
+
+  private:
+    UarchConfig _config;
+    std::array<Cycle, kNumFuKinds> _lastStart;
+};
+
+} // namespace ruu
+
+#endif // RUU_UARCH_FU_HH

@@ -1,0 +1,53 @@
+#include "uarch/ibuffer.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+IBuffers::IBuffers(unsigned count, unsigned parcels_each,
+                   unsigned miss_penalty)
+    : _parcelsEach(parcels_each), _missPenalty(miss_penalty),
+      _base(count, 0), _valid(count, false)
+{
+    ruu_assert(count >= 1, "at least one instruction buffer is required");
+    ruu_assert(parcels_each >= 2 &&
+                   (parcels_each & (parcels_each - 1)) == 0,
+               "buffer size %u must be a power of two", parcels_each);
+}
+
+bool
+IBuffers::present(ParcelAddr pc) const
+{
+    ParcelAddr base = pc & ~static_cast<ParcelAddr>(_parcelsEach - 1);
+    for (std::size_t i = 0; i < _base.size(); ++i)
+        if (_valid[i] && _base[i] == base)
+            return true;
+    return false;
+}
+
+Cycle
+IBuffers::fetch(ParcelAddr pc, Cycle now)
+{
+    ++_accesses;
+    if (present(pc))
+        return now;
+
+    ++_misses;
+    ParcelAddr base = pc & ~static_cast<ParcelAddr>(_parcelsEach - 1);
+    _base[_nextVictim] = base;
+    _valid[_nextVictim] = true;
+    _nextVictim = (_nextVictim + 1) % static_cast<unsigned>(_base.size());
+    return now + _missPenalty;
+}
+
+void
+IBuffers::reset()
+{
+    std::fill(_valid.begin(), _valid.end(), false);
+    _nextVictim = 0;
+    _misses = 0;
+    _accesses = 0;
+}
+
+} // namespace ruu

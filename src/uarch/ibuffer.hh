@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CRAY-1-style instruction buffers.
+ *
+ * The paper assumes every instruction reference hits the buffers (§2.2
+ * assumptions (ii)–(iii)), so the cores run with this model disabled by
+ * default; it exists for the fetch-penalty ablation bench, which lifts
+ * the assumption and measures the effect of out-of-buffer branches.
+ *
+ * The CRAY-1 has four buffers of 64 parcels each, filled as aligned
+ * blocks; a fetch that misses replaces the least-recently-filled buffer
+ * and pays a fixed refill penalty.
+ */
+
+#ifndef RUU_UARCH_IBUFFER_HH
+#define RUU_UARCH_IBUFFER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/** The instruction-buffer array. */
+class IBuffers
+{
+  public:
+    /**
+     * @param count        number of buffers (CRAY-1: 4)
+     * @param parcels_each parcels per buffer (CRAY-1: 64; power of two)
+     * @param miss_penalty cycles to refill a buffer on a miss
+     */
+    IBuffers(unsigned count = 4, unsigned parcels_each = 64,
+             unsigned miss_penalty = 14);
+
+    /**
+     * Fetch the parcel at @p pc at time @p now.
+     * @return the cycle at which the parcel is available (now on a hit,
+     *         now + missPenalty on a miss; the miss fills a buffer).
+     */
+    Cycle fetch(ParcelAddr pc, Cycle now);
+
+    /** True when @p pc currently hits a buffer (no state change). */
+    bool present(ParcelAddr pc) const;
+
+    /** Fetches that missed (diagnostics). */
+    std::uint64_t misses() const { return _misses; }
+
+    /** Total fetches (diagnostics). */
+    std::uint64_t accesses() const { return _accesses; }
+
+    /** Refill penalty in cycles. */
+    unsigned missPenalty() const { return _missPenalty; }
+
+    /** Invalidate all buffers and zero the counters. */
+    void reset();
+
+  private:
+    unsigned _parcelsEach;
+    unsigned _missPenalty;
+    unsigned _nextVictim = 0;
+    std::vector<ParcelAddr> _base; //!< aligned base per buffer
+    std::vector<bool> _valid;
+    std::uint64_t _misses = 0;
+    std::uint64_t _accesses = 0;
+};
+
+} // namespace ruu
+
+#endif // RUU_UARCH_IBUFFER_HH

@@ -1,0 +1,107 @@
+#include "uarch/load_regs.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+LoadRegisters::LoadRegisters(unsigned count) : _entries(count)
+{
+    ruu_assert(count >= 1, "at least one load register is required");
+}
+
+bool
+LoadRegisters::hasFree() const
+{
+    for (const auto &entry : _entries)
+        if (!entry.active)
+            return true;
+    return false;
+}
+
+std::optional<unsigned>
+LoadRegisters::find(Addr addr) const
+{
+    for (unsigned i = 0; i < _entries.size(); ++i)
+        if (_entries[i].active && _entries[i].addr == addr)
+            return i;
+    return std::nullopt;
+}
+
+unsigned
+LoadRegisters::allocate(Addr addr, Tag tag)
+{
+    ruu_assert(!find(addr).has_value(),
+               "address %llu already has a load register",
+               static_cast<unsigned long long>(addr));
+    for (unsigned i = 0; i < _entries.size(); ++i) {
+        if (!_entries[i].active) {
+            _entries[i] = LoadRegEntry{true, addr, tag, 1, false, 0};
+            return i;
+        }
+    }
+    ruu_panic("no free load register (callers must check hasFree())");
+}
+
+void
+LoadRegisters::join(unsigned index, std::optional<Tag> new_tag)
+{
+    ruu_assert(index < _entries.size(), "load register %u out of range",
+               index);
+    LoadRegEntry &entry = _entries[index];
+    ruu_assert(entry.active, "join on a free load register");
+    ++entry.pending;
+    if (new_tag) {
+        entry.tag = *new_tag;
+        entry.hasValue = false;
+    }
+}
+
+void
+LoadRegisters::complete(unsigned index)
+{
+    ruu_assert(index < _entries.size(), "load register %u out of range",
+               index);
+    LoadRegEntry &entry = _entries[index];
+    ruu_assert(entry.active && entry.pending > 0,
+               "complete on an idle load register");
+    if (--entry.pending == 0)
+        entry = LoadRegEntry{};
+}
+
+void
+LoadRegisters::onBroadcast(Tag tag, Word value)
+{
+    for (auto &entry : _entries) {
+        if (entry.active && entry.tag == tag) {
+            entry.hasValue = true;
+            entry.value = value;
+        }
+    }
+}
+
+const LoadRegEntry &
+LoadRegisters::entry(unsigned index) const
+{
+    ruu_assert(index < _entries.size(), "load register %u out of range",
+               index);
+    return _entries[index];
+}
+
+unsigned
+LoadRegisters::countActive() const
+{
+    unsigned n = 0;
+    for (const auto &entry : _entries)
+        n += entry.active ? 1 : 0;
+    return n;
+}
+
+void
+LoadRegisters::reset()
+{
+    for (auto &entry : _entries)
+        entry = LoadRegEntry{};
+}
+
+} // namespace ruu

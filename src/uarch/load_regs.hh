@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Load registers — the paper's memory-disambiguation mechanism
+ * (§3.2.1.2).
+ *
+ * A load register holds the address of a "currently active" memory
+ * location, the tag of the newest in-flight producer of that location,
+ * and a count of in-flight memory operations referencing it. A load
+ * whose address matches an active register is *not* submitted to
+ * memory: it takes the register's tag (or its already-latched value)
+ * and completes by forwarding. A store that matches becomes the newest
+ * producer by replacing the tag. A register frees when no pending load
+ * or store references its address.
+ */
+
+#ifndef RUU_UARCH_LOAD_REGS_HH
+#define RUU_UARCH_LOAD_REGS_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu
+{
+
+/** One load register. */
+struct LoadRegEntry
+{
+    bool active = false;   //!< holds a currently active address
+    Addr addr = 0;         //!< the memory word address
+    Tag tag = kNoTag;      //!< tag of the newest in-flight producer
+    unsigned pending = 0;  //!< in-flight memory ops on this address
+    bool hasValue = false; //!< producer's data already latched
+    Word value = 0;        //!< latched data (valid when hasValue)
+};
+
+/** The set of load registers. */
+class LoadRegisters
+{
+  public:
+    /** @param count number of registers (the paper uses 6). */
+    explicit LoadRegisters(unsigned count);
+
+    /** Number of registers. */
+    unsigned size() const { return static_cast<unsigned>(_entries.size()); }
+
+    /** True when at least one register is free. */
+    bool hasFree() const;
+
+    /** Index of the active register holding @p addr, if any. */
+    std::optional<unsigned> find(Addr addr) const;
+
+    /**
+     * Allocate a free register for @p addr with producer @p tag
+     * (pending = 1). Panics when none is free — callers check
+     * hasFree() and stall otherwise.
+     * @return the register index.
+     */
+    unsigned allocate(Addr addr, Tag tag);
+
+    /**
+     * A new producer (store) or consumer (forwarded load) joined
+     * register @p index: pending++. When @p new_tag is given the
+     * operation is a store and becomes the newest producer, replacing
+     * the tag and invalidating any latched value.
+     */
+    void join(unsigned index, std::optional<Tag> new_tag);
+
+    /**
+     * One memory operation on register @p index completed: pending--;
+     * the register frees when the count reaches zero.
+     */
+    void complete(unsigned index);
+
+    /**
+     * A result-bus or commit-bus delivery: latch @p value into any
+     * register whose current tag is @p tag.
+     */
+    void onBroadcast(Tag tag, Word value);
+
+    /** Entry @p index (diagnostics and tests). */
+    const LoadRegEntry &entry(unsigned index) const;
+
+    /** Number of active registers. */
+    unsigned countActive() const;
+
+    /** Free everything (reset between runs / after an interrupt). */
+    void reset();
+
+  private:
+    std::vector<LoadRegEntry> _entries;
+};
+
+} // namespace ruu
+
+#endif // RUU_UARCH_LOAD_REGS_HH

@@ -1,0 +1,54 @@
+#include "uarch/result_bus.hh"
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+ResultBus::ResultBus(unsigned width) : _width(width)
+{
+    ruu_assert(width >= 1, "at least one result bus is required");
+}
+
+void
+ResultBus::reserve(Cycle cycle, Tag tag, Word value, SeqNum seq)
+{
+    ruu_assert(free(cycle),
+               "all %u result-bus slots at cycle %llu already reserved",
+               _width, static_cast<unsigned long long>(cycle));
+    _schedule.emplace(cycle, Broadcast{tag, value, seq});
+}
+
+unsigned
+ResultBus::countAt(Cycle cycle) const
+{
+    return static_cast<unsigned>(_schedule.count(cycle));
+}
+
+std::optional<Broadcast>
+ResultBus::at(Cycle cycle) const
+{
+    auto it = _schedule.find(cycle);
+    if (it == _schedule.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultBus::retireBefore(Cycle cycle)
+{
+    _schedule.erase(_schedule.begin(), _schedule.lower_bound(cycle));
+}
+
+void
+ResultBus::cancelFrom(SeqNum seq)
+{
+    for (auto it = _schedule.begin(); it != _schedule.end();) {
+        if (it->second.seq != kNoSeqNum && it->second.seq >= seq)
+            it = _schedule.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace ruu

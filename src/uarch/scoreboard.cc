@@ -1,0 +1,74 @@
+#include "uarch/scoreboard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+unsigned
+BusyBits::countBusy() const
+{
+    unsigned n = 0;
+    for (bool b : _busy)
+        n += b ? 1 : 0;
+    return n;
+}
+
+InstanceCounters::InstanceCounters(unsigned bits) : _bits(bits)
+{
+    ruu_assert(bits >= 1 && bits <= 8, "counter width %u out of range",
+               bits);
+    reset();
+}
+
+unsigned
+InstanceCounters::allocate(RegId reg)
+{
+    unsigned flat = reg.flat();
+    ruu_assert(canAllocate(reg), "NI counter of %s saturated",
+               reg.toString().c_str());
+    ++_ni[flat];
+    _li[flat] = static_cast<std::uint8_t>((_li[flat] + 1) &
+                                          ((1u << _bits) - 1));
+    return _li[flat];
+}
+
+void
+InstanceCounters::release(RegId reg)
+{
+    unsigned flat = reg.flat();
+    ruu_assert(_ni[flat] > 0, "release of %s with NI == 0",
+               reg.toString().c_str());
+    --_ni[flat];
+}
+
+void
+InstanceCounters::rollback(RegId reg)
+{
+    unsigned flat = reg.flat();
+    ruu_assert(_ni[flat] > 0, "rollback of %s with NI == 0",
+               reg.toString().c_str());
+    --_ni[flat];
+    unsigned mask = (1u << _bits) - 1;
+    _li[flat] = static_cast<std::uint8_t>((_li[flat] + mask) & mask);
+}
+
+Tag
+InstanceCounters::makeTag(RegId reg, unsigned instance) const
+{
+    ruu_assert(instance < (1u << _bits), "instance %u out of range",
+               instance);
+    return (static_cast<Tag>(reg.flat()) << _bits) |
+           static_cast<Tag>(instance);
+}
+
+void
+InstanceCounters::reset()
+{
+    _ni.fill(0);
+    _li.fill(0);
+}
+
+} // namespace ruu

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Register scoreboards.
+ *
+ * BusyBits is the classic per-register busy flag used by the simple
+ * issue mechanism and by the Tag-Unit cores (Tomasulo/RSTU): a register
+ * is busy while an outstanding instruction will write it.
+ *
+ * InstanceCounters is the paper's §5 replacement for associative tag
+ * search in the RUU: each register carries two n-bit counters, the
+ * Number of Instances (NI) and the Latest Instance (LI). A tag is then
+ * simply (register, LI) — no associative lookup needed — and issue
+ * blocks when NI saturates at 2^n - 1.
+ */
+
+#ifndef RUU_UARCH_SCOREBOARD_HH
+#define RUU_UARCH_SCOREBOARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/reg.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu
+{
+
+/** Per-register busy flags (one outstanding-writer bit per register). */
+class BusyBits
+{
+  public:
+    BusyBits() { reset(); }
+
+    /** True while some in-flight instruction will write @p reg. */
+    bool busy(RegId reg) const { return _busy[reg.flat()]; }
+
+    /** Mark @p reg busy (a writer issued). */
+    void setBusy(RegId reg) { _busy[reg.flat()] = true; }
+
+    /** Clear @p reg (the latest writer delivered its result). */
+    void clear(RegId reg) { _busy[reg.flat()] = false; }
+
+    /** Number of busy registers (diagnostics). */
+    unsigned countBusy() const;
+
+    /** Clear everything. */
+    void reset() { _busy.fill(false); }
+
+  private:
+    std::array<bool, kNumArchRegs> _busy;
+};
+
+/**
+ * NI/LI instance counters for every architectural register (§5).
+ *
+ * Tags formed by makeTag() are (flat register << n) | instance, which
+ * keeps them unique across registers and distinguishable from the
+ * store pseudo-tags (kStoreTagBit set) used for memory forwarding.
+ */
+class InstanceCounters
+{
+  public:
+    /** @param bits counter width n; at most 2^n - 1 live instances. */
+    explicit InstanceCounters(unsigned bits);
+
+    /** Counter width n. */
+    unsigned bits() const { return _bits; }
+
+    /** Maximum simultaneously live instances (2^n - 1). */
+    unsigned maxInstances() const { return (1u << _bits) - 1; }
+
+    /** True while any instruction in the RUU will write @p reg. */
+    bool busy(RegId reg) const { return _ni[reg.flat()] != 0; }
+
+    /** Current NI counter of @p reg. */
+    unsigned instances(RegId reg) const { return _ni[reg.flat()]; }
+
+    /** Current LI counter of @p reg. */
+    unsigned latest(RegId reg) const { return _li[reg.flat()]; }
+
+    /** True when another instance of @p reg may be created. */
+    bool canAllocate(RegId reg) const
+    {
+        return _ni[reg.flat()] < maxInstances();
+    }
+
+    /**
+     * Create a new instance of @p reg: NI++ and LI++ (mod 2^n).
+     * @return the new instance number (the new LI).
+     */
+    unsigned allocate(RegId reg);
+
+    /** Release one instance of @p reg at commit: NI--. */
+    void release(RegId reg);
+
+    /**
+     * Undo the most recent allocate() of @p reg: NI-- and LI--
+     * (mod 2^n). Used when nullifying conditionally issued
+     * instructions (§7) — undo must run newest-first.
+     */
+    void rollback(RegId reg);
+
+    /** Tag of instance @p instance of @p reg. */
+    Tag makeTag(RegId reg, unsigned instance) const;
+
+    /** Tag of the *latest* instance of @p reg. */
+    Tag latestTag(RegId reg) const
+    {
+        return makeTag(reg, latest(reg));
+    }
+
+    /** Reset all counters (new run or post-interrupt recovery). */
+    void reset();
+
+  private:
+    unsigned _bits;
+    std::array<std::uint8_t, kNumArchRegs> _ni;
+    std::array<std::uint8_t, kNumArchRegs> _li;
+};
+
+/** High bit marking a store pseudo-tag (memory forwarding namespace). */
+inline constexpr Tag kStoreTagBit = 0x8000'0000u;
+
+} // namespace ruu
+
+#endif // RUU_UARCH_SCOREBOARD_HH

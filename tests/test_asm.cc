@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the textual assembler (lexer + parser), the builder DSL,
+ * and the disassemble -> assemble round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "asm/lexer.hh"
+#include "asm/parser.hh"
+#include "common/bitfield.hh"
+#include "isa/disasm.hh"
+
+namespace ruu
+{
+namespace
+{
+
+// --- lexer -------------------------------------------------------------
+
+TEST(Lexer, TokenizesBasicLine)
+{
+    auto tokens = lex("fadd S1, S2, S3\n");
+    ASSERT_GE(tokens.size(), 7u);
+    EXPECT_EQ(tokens[0].kind, TokKind::Ident);
+    EXPECT_EQ(tokens[0].text, "fadd");
+    EXPECT_EQ(tokens[1].text, "S1");
+    EXPECT_EQ(tokens[2].kind, TokKind::Comma);
+    EXPECT_EQ(tokens.back().kind, TokKind::End);
+}
+
+TEST(Lexer, HandlesCommentsAndBlankLines)
+{
+    auto tokens = lex("; whole line\n\n  # another\nnop ; tail\n");
+    // Only: "nop", Newline, End.
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "nop");
+}
+
+TEST(Lexer, ParsesNumbers)
+{
+    auto tokens = lex("-42 0x1f 3.5 1e3");
+    EXPECT_EQ(tokens[0].kind, TokKind::Int);
+    EXPECT_EQ(tokens[0].intValue, -42);
+    EXPECT_EQ(tokens[1].intValue, 31);
+    EXPECT_EQ(tokens[2].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(tokens[2].floatValue, 3.5);
+    EXPECT_EQ(tokens[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(tokens[3].floatValue, 1000.0);
+}
+
+TEST(Lexer, ReportsBadCharacters)
+{
+    auto tokens = lex("fadd S1 @ S2");
+    bool saw_error = false;
+    for (const auto &tok : tokens)
+        saw_error |= tok.kind == TokKind::Error;
+    EXPECT_TRUE(saw_error);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto tokens = lex("nop\nnop\nnop\n");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[2].line, 2);
+    EXPECT_EQ(tokens[4].line, 3);
+}
+
+// --- parser: valid programs --------------------------------------------
+
+TEST(Parser, AssemblesACompleteProgram)
+{
+    AsmResult r = assemble(R"(
+.program demo
+.fword 100, 2.5
+.word 101, 42
+    amovi A1, 0
+    amovi A6, 1
+    amovi A5, 10
+loop:
+    lds S1, 100(A1)
+    fadd S2, S2, S1
+    aadd A1, A1, A6
+    asub A0, A1, A5
+    jam loop
+    sts 200(A1), S2
+    halt
+)");
+    ASSERT_TRUE(r.ok()) << (r.errors.empty()
+                                ? ""
+                                : r.errors[0].toString());
+    const Program &p = *r.program;
+    EXPECT_EQ(p.name(), "demo");
+    EXPECT_EQ(p.size(), 10u);
+    EXPECT_EQ(p.dataInits().size(), 2u);
+    EXPECT_EQ(p.dataInits()[0].value, doubleToWord(2.5));
+    EXPECT_EQ(p.dataInits()[1].value, 42u);
+    ASSERT_TRUE(p.labelAddr("loop").has_value());
+    // The branch targets the label.
+    const Instruction &jam = p.inst(7);
+    EXPECT_EQ(jam.op, Opcode::JAM);
+    EXPECT_EQ(jam.target, *p.labelAddr("loop"));
+}
+
+TEST(Parser, SupportsLabelOnSameLineAsInstruction)
+{
+    AsmResult r = assemble("start: nop\n j start\n halt\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.program->inst(1).target, 0u);
+}
+
+TEST(Parser, ParsesEveryOperandForm)
+{
+    AsmResult r = assemble(R"(
+    aadd A1, A2, A3
+    mova A4, A5
+    frecip S1, S2
+    movba B12, A1
+    movab A2, B12
+    movts T60, S3
+    movst S3, T60
+    smovi S2, -1000
+    sshl S2, 7
+    lds S1, -4(A2)
+    sta 8(A3), A1
+    jsz out
+out:
+    halt
+)");
+    ASSERT_TRUE(r.ok()) << r.errors[0].toString();
+    EXPECT_EQ(r.program->size(), 13u);
+    EXPECT_EQ(r.program->inst(3).dst, regB(12));
+    EXPECT_EQ(r.program->inst(9).imm, -4);
+    EXPECT_EQ(r.program->inst(10).src2, regA(1));
+}
+
+// --- parser: error paths --------------------------------------------------
+
+void
+expectError(const std::string &source, const std::string &needle)
+{
+    AsmResult r = assemble(source);
+    EXPECT_FALSE(r.ok()) << "expected failure for: " << source;
+    bool found = false;
+    for (const auto &error : r.errors)
+        found |= error.message.find(needle) != std::string::npos;
+    EXPECT_TRUE(found) << "no error containing '" << needle << "' for '"
+                       << source << "'; got: "
+                       << (r.errors.empty() ? "none"
+                                            : r.errors[0].toString());
+}
+
+TEST(Parser, RejectsUnknownMnemonic)
+{
+    expectError("fadx S1, S2, S3\n", "unknown mnemonic");
+}
+
+TEST(Parser, RejectsBadRegisters)
+{
+    expectError("fadd S1, S2, A3\n", "expected");
+    expectError("fadd S9, S2, S3\n", "bad register");
+    expectError("lds S1, 4(S2)\n", "expected A base register");
+}
+
+TEST(Parser, RejectsDuplicateAndUndefinedLabels)
+{
+    expectError("x: nop\nx: nop\n", "duplicate label");
+    expectError("jam nowhere\n", "undefined label");
+}
+
+TEST(Parser, RejectsOutOfRangeOperands)
+{
+    expectError("smovi S1, 99999999\n", "out of 22-bit range");
+    expectError("sshl S1, 64\n", "out of range");
+    expectError("lds S1, 9999999(A1)\n", "out of 19-bit range");
+}
+
+TEST(Parser, RejectsMalformedDirectives)
+{
+    expectError(".word abc, 1\n", "expects an integer address");
+    expectError(".word 100\n", "expected ','");
+    expectError(".bogus 1, 2\n", "unknown directive");
+    expectError(".program\n", "expects a name");
+}
+
+TEST(Parser, RejectsTrailingTokens)
+{
+    expectError("nop nop\n", "trailing tokens");
+}
+
+TEST(Parser, CollectsMultipleErrors)
+{
+    // Label resolution is suppressed once syntax errors exist, so the
+    // undefined-label error on line 3 is not reported here.
+    AsmResult r = assemble("fadx S1\nnop extra\njam gone\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_GE(r.errors.size(), 2u);
+    EXPECT_EQ(r.errors[0].line, 1);
+    EXPECT_EQ(r.errors[1].line, 2);
+}
+
+// --- builder <-> parser equivalence ----------------------------------------
+
+TEST(Builder, ProducesSameProgramAsParser)
+{
+    ProgramBuilder b("demo");
+    b.amovi(regA(1), 0);
+    b.label("loop");
+    b.lds(regS(1), regA(1), 100);
+    b.fadd(regS(2), regS(2), regS(1));
+    b.jam("loop");
+    b.halt();
+    Program built = b.build();
+
+    AsmResult parsed = assemble(R"(.program demo
+    amovi A1, 0
+loop:
+    lds S1, 100(A1)
+    fadd S2, S2, S1
+    jam loop
+    halt
+)");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(built.instructions(), parsed.program->instructions());
+    EXPECT_EQ(built.totalParcels(), parsed.program->totalParcels());
+}
+
+TEST(Builder, AssignsParcelAddresses)
+{
+    ProgramBuilder b("pc");
+    b.amovi(regA(1), 0); // 2 parcels at 0
+    b.nop();             // 1 parcel at 2
+    b.halt();            // 1 parcel at 3
+    Program p = b.build();
+    EXPECT_EQ(p.pc(0), 0u);
+    EXPECT_EQ(p.pc(1), 2u);
+    EXPECT_EQ(p.pc(2), 3u);
+    EXPECT_EQ(p.totalParcels(), 4u);
+    EXPECT_EQ(p.indexOfPc(2), std::optional<std::size_t>(1));
+    EXPECT_FALSE(p.indexOfPc(1).has_value()); // mid-instruction
+}
+
+TEST(BuilderDeath, UnresolvedLabelPanics)
+{
+    ProgramBuilder b("bad");
+    b.jam("nowhere");
+    b.halt();
+    EXPECT_DEATH(b.build(), "unresolved label");
+}
+
+TEST(BuilderDeath, DuplicateLabelPanics)
+{
+    ProgramBuilder b("bad");
+    b.label("x");
+    EXPECT_DEATH(b.label("x"), "duplicate label");
+}
+
+// --- disassembler round trip ------------------------------------------------
+
+TEST(Disasm, OutputReassembles)
+{
+    // Disassemble a non-branch program and feed the text back through
+    // the assembler (branch targets print as addresses, not labels, so
+    // branches are excluded from this round trip).
+    ProgramBuilder b("rt");
+    b.aadd(regA(1), regA(2), regA(3));
+    b.smovi(regS(2), -17);
+    b.sshr(regS(2), 3);
+    b.lds(regS(1), regA(1), 64);
+    b.sts(regA(1), -64, regS(1));
+    b.movts(regT(33), regS(2));
+    b.halt();
+    Program p = b.build();
+
+    std::string text;
+    for (const auto &inst : p.instructions())
+        text += disassemble(inst) + "\n";
+    AsmResult r = assemble(text);
+    ASSERT_TRUE(r.ok()) << r.errors[0].toString();
+    EXPECT_EQ(r.program->instructions(), p.instructions());
+}
+
+TEST(Program, ListingShowsLabelsAndAddresses)
+{
+    ProgramBuilder b("listing");
+    b.label("entry");
+    b.nop();
+    b.halt();
+    Program p = b.build();
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("entry:"), std::string::npos);
+    EXPECT_NE(listing.find("nop"), std::string::npos);
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers in common/bitfield.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/bitfield.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(Bitfield, BitsExtractsRanges)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0u);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(~0ull, 63, 1), 1u);
+}
+
+TEST(Bitfield, InsertBitsReplacesField)
+{
+    EXPECT_EQ(insertBits(0, 4, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xffff, 4, 4, 0), 0xff0fu);
+    // Field wider than value: truncated to the field width.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1ff), 0xfu);
+}
+
+TEST(Bitfield, InsertThenExtractRoundTrips)
+{
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        unsigned lo = static_cast<unsigned>(rng() % 60);
+        unsigned width = 1 + static_cast<unsigned>(rng() % (63 - lo));
+        std::uint64_t base = rng();
+        std::uint64_t field = rng() & ((1ull << width) - 1);
+        std::uint64_t combined = insertBits(base, lo, width, field);
+        EXPECT_EQ(bits(combined, lo, width), field);
+    }
+}
+
+TEST(Bitfield, SextSignExtends)
+{
+    EXPECT_EQ(sext(0x3f, 6), -1);
+    EXPECT_EQ(sext(0x1f, 6), 0x1f);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0, 1), 0);
+    EXPECT_EQ(sext(1, 1), -1);
+}
+
+TEST(Bitfield, SextRoundTripsEncodableValues)
+{
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        unsigned width = 2 + static_cast<unsigned>(rng() % 62);
+        std::int64_t max = width >= 64
+                               ? std::numeric_limits<std::int64_t>::max()
+                               : (std::int64_t{1} << (width - 1)) - 1;
+        std::int64_t value =
+            static_cast<std::int64_t>(rng()) % (max + 1);
+        EXPECT_EQ(sext(static_cast<std::uint64_t>(value), width), value);
+    }
+}
+
+TEST(Bitfield, DoubleWordConversionRoundTrips)
+{
+    for (double d : {0.0, 1.0, -1.5, 3.14159, 1e300, -1e-300}) {
+        EXPECT_EQ(wordToDouble(doubleToWord(d)), d);
+    }
+    // Bit-exactness, not just value equality.
+    EXPECT_EQ(doubleToWord(-0.0) >> 63, 1u);
+}
+
+} // namespace
+} // namespace ruu

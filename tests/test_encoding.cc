@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the 16-bit parcel encoding (isa/encoding.hh), including a
+ * randomized round-trip property over every operand form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace ruu
+{
+namespace
+{
+
+void
+expectRoundTrip(const Instruction &inst)
+{
+    ASSERT_TRUE(encodable(inst)) << disassemble(inst);
+    Parcel buf[2] = {0, 0};
+    unsigned n = encode(inst, buf);
+    EXPECT_EQ(n, inst.parcels());
+    auto decoded = decode(buf, n);
+    ASSERT_TRUE(decoded.has_value()) << disassemble(inst);
+    EXPECT_EQ(decoded->second, n);
+    EXPECT_EQ(decoded->first, inst)
+        << "want: " << disassemble(inst)
+        << "  got: " << disassemble(decoded->first);
+}
+
+TEST(Encoding, RoundTripsEveryFormOnce)
+{
+    expectRoundTrip(Instruction::rrr(Opcode::AADD, regA(1), regA(2),
+                                     regA(3)));
+    expectRoundTrip(Instruction::rrr(Opcode::FMUL, regS(7), regS(0),
+                                     regS(5)));
+    expectRoundTrip(Instruction::rr(Opcode::FRECIP, regS(1), regS(2)));
+    expectRoundTrip(Instruction::rr(Opcode::MOVBA, regB(42), regA(3)));
+    expectRoundTrip(Instruction::rr(Opcode::MOVAB, regA(3), regB(63)));
+    expectRoundTrip(Instruction::rr(Opcode::MOVTS, regT(17), regS(6)));
+    expectRoundTrip(Instruction::rr(Opcode::MOVST, regS(6), regT(17)));
+    expectRoundTrip(Instruction::rimm(Opcode::AMOVI, regA(4), -100000));
+    expectRoundTrip(Instruction::rimm(Opcode::SMOVI, regS(3), kImmMax));
+    expectRoundTrip(Instruction::rimm(Opcode::SMOVI, regS(3), kImmMin));
+    expectRoundTrip(Instruction::shift(Opcode::SSHR, regS(2), 63));
+    expectRoundTrip(Instruction::load(Opcode::LDA, regA(1), regA(2),
+                                      kDispMax));
+    expectRoundTrip(Instruction::load(Opcode::LDS, regS(1), regA(2),
+                                      kDispMin));
+    expectRoundTrip(Instruction::store(Opcode::STA, regA(2), -1,
+                                       regA(5)));
+    expectRoundTrip(Instruction::store(Opcode::STS, regA(7), 77,
+                                       regS(6)));
+    expectRoundTrip(Instruction::branch(Opcode::JAM, kTargetMax));
+    expectRoundTrip(Instruction::branch(Opcode::J, 0));
+    expectRoundTrip(Instruction::bare(Opcode::HALT));
+    expectRoundTrip(Instruction::bare(Opcode::NOP));
+}
+
+TEST(Encoding, RandomInstructionsRoundTrip)
+{
+    std::mt19937_64 rng(42);
+    auto rand_a = [&] { return regA(static_cast<unsigned>(rng() % 8)); };
+    auto rand_s = [&] { return regS(static_cast<unsigned>(rng() % 8)); };
+
+    for (int i = 0; i < 5000; ++i) {
+        switch (rng() % 8) {
+          case 0:
+            expectRoundTrip(Instruction::rrr(Opcode::AADD, rand_a(),
+                                             rand_a(), rand_a()));
+            break;
+          case 1:
+            expectRoundTrip(Instruction::rrr(Opcode::FSUB, rand_s(),
+                                             rand_s(), rand_s()));
+            break;
+          case 2:
+            expectRoundTrip(Instruction::rimm(
+                Opcode::SMOVI, rand_s(),
+                static_cast<std::int64_t>(rng() % (kImmMax - kImmMin)) +
+                    kImmMin));
+            break;
+          case 3:
+            expectRoundTrip(Instruction::load(
+                Opcode::LDS, rand_s(), rand_a(),
+                static_cast<std::int64_t>(rng() % (kDispMax - kDispMin)) +
+                    kDispMin));
+            break;
+          case 4:
+            expectRoundTrip(Instruction::store(
+                Opcode::STA, rand_a(),
+                static_cast<std::int64_t>(rng() % kDispMax), rand_a()));
+            break;
+          case 5:
+            expectRoundTrip(Instruction::branch(
+                Opcode::JSN, static_cast<ParcelAddr>(rng() % kTargetMax)));
+            break;
+          case 6:
+            expectRoundTrip(Instruction::rr(
+                Opcode::MOVTS, regT(static_cast<unsigned>(rng() % 64)),
+                rand_s()));
+            break;
+          default:
+            expectRoundTrip(Instruction::shift(
+                Opcode::SSHL, rand_s(),
+                static_cast<unsigned>(rng() % 64)));
+            break;
+        }
+    }
+}
+
+TEST(Encoding, EncodableRejectsOutOfRangeOperands)
+{
+    Instruction imm = Instruction::rimm(Opcode::AMOVI, regA(0), 0);
+    imm.imm = kImmMax + 1;
+    EXPECT_FALSE(encodable(imm));
+    imm.imm = kImmMin - 1;
+    EXPECT_FALSE(encodable(imm));
+
+    Instruction mem = Instruction::load(Opcode::LDS, regS(0), regA(0), 0);
+    mem.imm = kDispMax + 1;
+    EXPECT_FALSE(encodable(mem));
+
+    Instruction br = Instruction::branch(Opcode::J, 0);
+    br.target = kTargetMax + 1;
+    EXPECT_FALSE(encodable(br));
+}
+
+TEST(Encoding, DecodeRejectsTruncatedAndIllegalInput)
+{
+    EXPECT_FALSE(decode(nullptr, 0).has_value());
+
+    // A two-parcel instruction with only one parcel available.
+    Parcel buf[2];
+    encode(Instruction::rimm(Opcode::SMOVI, regS(1), 5), buf);
+    EXPECT_FALSE(decode(buf, 1).has_value());
+
+    // An illegal opcode number in the opcode field.
+    Parcel bad = static_cast<Parcel>(0x7f << 9);
+    EXPECT_FALSE(decode(&bad, 1).has_value());
+}
+
+TEST(Encoding, EncodeAllDecodeAllRoundTripsPrograms)
+{
+    std::vector<Instruction> program = {
+        Instruction::rimm(Opcode::AMOVI, regA(1), 10),
+        Instruction::rrr(Opcode::AADD, regA(2), regA(1), regA(1)),
+        Instruction::load(Opcode::LDS, regS(1), regA(2), 100),
+        Instruction::branch(Opcode::JAN, 2),
+        Instruction::bare(Opcode::HALT),
+    };
+    std::vector<Parcel> image = encodeAll(program);
+    // 2 + 1 + 2 + 2 + 1 parcels.
+    EXPECT_EQ(image.size(), 8u);
+    auto decoded = decodeAll(image);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, program);
+
+    image.pop_back(); // truncate the trailing HALT's parcel? (1-parcel)
+    auto truncated = decodeAll(image);
+    ASSERT_TRUE(truncated.has_value()); // HALT gone, rest intact
+    EXPECT_EQ(truncated->size(), 4u);
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Semantics tests for the functional executor: one test per opcode
+ * group, plus fault and branch-predicate edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/executor.hh"
+#include "asm/builder.hh"
+#include "common/bitfield.hh"
+
+namespace ruu
+{
+namespace
+{
+
+/** Run a one-instruction program against prepared state. */
+ExecOutcome
+exec1(const Instruction &inst, ArchState &state, Memory &memory)
+{
+    ProgramBuilder b("t");
+    b.emit(inst);
+    Program p = b.build();
+    return execute(p, 0, state, memory);
+}
+
+class ExecutorTest : public ::testing::Test
+{
+  protected:
+    ArchState state;
+    Memory memory{4096};
+};
+
+TEST_F(ExecutorTest, IntegerArithmetic)
+{
+    state.writeInt(regA(1), 7);
+    state.writeInt(regA(2), -3);
+    exec1(Instruction::rrr(Opcode::AADD, regA(3), regA(1), regA(2)),
+          state, memory);
+    EXPECT_EQ(state.readInt(regA(3)), 4);
+    exec1(Instruction::rrr(Opcode::ASUB, regA(3), regA(1), regA(2)),
+          state, memory);
+    EXPECT_EQ(state.readInt(regA(3)), 10);
+    exec1(Instruction::rrr(Opcode::AMUL, regA(3), regA(1), regA(2)),
+          state, memory);
+    EXPECT_EQ(state.readInt(regA(3)), -21);
+
+    state.writeInt(regS(1), 1000);
+    state.writeInt(regS(2), 24);
+    exec1(Instruction::rrr(Opcode::SADD, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_EQ(state.readInt(regS(3)), 1024);
+    exec1(Instruction::rrr(Opcode::SSUB, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_EQ(state.readInt(regS(3)), 976);
+}
+
+TEST_F(ExecutorTest, LogicalAndShifts)
+{
+    state.write(regS(1), 0xf0f0);
+    state.write(regS(2), 0x0ff0);
+    exec1(Instruction::rrr(Opcode::SAND, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_EQ(state.read(regS(3)), 0x00f0u);
+    exec1(Instruction::rrr(Opcode::SOR, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_EQ(state.read(regS(3)), 0xfff0u);
+    exec1(Instruction::rrr(Opcode::SXOR, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_EQ(state.read(regS(3)), 0xff00u);
+
+    state.write(regS(4), 0x1);
+    exec1(Instruction::shift(Opcode::SSHL, regS(4), 12), state, memory);
+    EXPECT_EQ(state.read(regS(4)), 0x1000u);
+    exec1(Instruction::shift(Opcode::SSHR, regS(4), 4), state, memory);
+    EXPECT_EQ(state.read(regS(4)), 0x100u);
+    // Logical (not arithmetic) right shift.
+    state.write(regS(4), ~Word{0});
+    exec1(Instruction::shift(Opcode::SSHR, regS(4), 63), state, memory);
+    EXPECT_EQ(state.read(regS(4)), 1u);
+}
+
+TEST_F(ExecutorTest, PopulationAndLeadingZeroCounts)
+{
+    state.write(regS(1), 0xff00000000000000ull);
+    exec1(Instruction::rr(Opcode::SPOP, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.read(regS(2)), 8u);
+    exec1(Instruction::rr(Opcode::SLZ, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.read(regS(2)), 0u);
+    state.write(regS(1), 1);
+    exec1(Instruction::rr(Opcode::SLZ, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.read(regS(2)), 63u);
+    state.write(regS(1), 0);
+    exec1(Instruction::rr(Opcode::SLZ, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.read(regS(2)), 64u);
+}
+
+TEST_F(ExecutorTest, FloatingPoint)
+{
+    state.writeDouble(regS(1), 2.5);
+    state.writeDouble(regS(2), 4.0);
+    exec1(Instruction::rrr(Opcode::FADD, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(3)), 6.5);
+    exec1(Instruction::rrr(Opcode::FSUB, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(3)), -1.5);
+    exec1(Instruction::rrr(Opcode::FMUL, regS(3), regS(1), regS(2)),
+          state, memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(3)), 10.0);
+    exec1(Instruction::rr(Opcode::FRECIP, regS(3), regS(2)), state,
+          memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(3)), 0.25);
+}
+
+TEST_F(ExecutorTest, Conversions)
+{
+    state.writeDouble(regS(1), 3.99);
+    exec1(Instruction::rr(Opcode::SFIX, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.readInt(regS(2)), 3); // truncation toward zero
+    state.writeDouble(regS(1), -3.99);
+    exec1(Instruction::rr(Opcode::SFIX, regS(2), regS(1)), state, memory);
+    EXPECT_EQ(state.readInt(regS(2)), -3);
+    state.writeInt(regS(1), -17);
+    exec1(Instruction::rr(Opcode::SFLT, regS(2), regS(1)), state, memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(2)), -17.0);
+}
+
+TEST_F(ExecutorTest, MovesAcrossFiles)
+{
+    state.writeInt(regA(1), 123);
+    exec1(Instruction::rr(Opcode::MOVSA, regS(1), regA(1)), state,
+          memory);
+    EXPECT_EQ(state.readInt(regS(1)), 123);
+    exec1(Instruction::rr(Opcode::MOVBA, regB(9), regA(1)), state,
+          memory);
+    EXPECT_EQ(state.readInt(regB(9)), 123);
+    exec1(Instruction::rr(Opcode::MOVAB, regA(2), regB(9)), state,
+          memory);
+    EXPECT_EQ(state.readInt(regA(2)), 123);
+    state.writeDouble(regS(2), 2.75);
+    exec1(Instruction::rr(Opcode::MOVTS, regT(40), regS(2)), state,
+          memory);
+    exec1(Instruction::rr(Opcode::MOVST, regS(3), regT(40)), state,
+          memory);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(3)), 2.75);
+}
+
+TEST_F(ExecutorTest, Immediates)
+{
+    exec1(Instruction::rimm(Opcode::AMOVI, regA(1), -12345), state,
+          memory);
+    EXPECT_EQ(state.readInt(regA(1)), -12345);
+    exec1(Instruction::rimm(Opcode::SMOVI, regS(1), 99), state, memory);
+    EXPECT_EQ(state.readInt(regS(1)), 99);
+}
+
+TEST_F(ExecutorTest, LoadsAndStores)
+{
+    memory.set(100, doubleToWord(6.25));
+    state.writeInt(regA(2), 90);
+    ExecOutcome out = exec1(
+        Instruction::load(Opcode::LDS, regS(1), regA(2), 10), state,
+        memory);
+    EXPECT_EQ(out.memAddr, 100u);
+    EXPECT_DOUBLE_EQ(state.readDouble(regS(1)), 6.25);
+
+    state.writeInt(regA(3), 55);
+    out = exec1(Instruction::store(Opcode::STA, regA(2), -40, regA(3)),
+                state, memory);
+    EXPECT_EQ(out.memAddr, 50u);
+    EXPECT_EQ(out.storeValue, 55u);
+    EXPECT_EQ(memory.at(50), 55u);
+}
+
+TEST_F(ExecutorTest, PageFaultsLeaveStateUntouched)
+{
+    state.writeInt(regA(2), 1 << 20);
+    state.writeInt(regS(1), 7);
+    ExecOutcome out = exec1(
+        Instruction::load(Opcode::LDS, regS(1), regA(2), 0), state,
+        memory);
+    EXPECT_EQ(out.fault, Fault::PageFault);
+    EXPECT_FALSE(out.nextIndex.has_value());
+    EXPECT_EQ(state.readInt(regS(1)), 7); // destination untouched
+
+    out = exec1(Instruction::store(Opcode::STS, regA(2), 0, regS(1)),
+                state, memory);
+    EXPECT_EQ(out.fault, Fault::PageFault);
+}
+
+TEST_F(ExecutorTest, ArithmeticFaults)
+{
+    state.writeDouble(regS(1), 0.0);
+    ExecOutcome out = exec1(
+        Instruction::rr(Opcode::FRECIP, regS(2), regS(1)), state,
+        memory);
+    EXPECT_EQ(out.fault, Fault::Arithmetic);
+
+    state.writeDouble(regS(1), 1e30); // too large for int64
+    out = exec1(Instruction::rr(Opcode::SFIX, regS(2), regS(1)), state,
+                memory);
+    EXPECT_EQ(out.fault, Fault::Arithmetic);
+}
+
+TEST_F(ExecutorTest, BranchPredicates)
+{
+    ProgramBuilder b("branches");
+    b.label("top");
+    b.jaz("top");
+    b.jan("top");
+    b.jap("top");
+    b.jam("top");
+    b.halt();
+    Program p = b.build();
+
+    struct Case { std::int64_t a0; bool jaz, jan, jap, jam; };
+    for (const Case &c : {Case{0, true, false, true, false},
+                          Case{5, false, true, true, false},
+                          Case{-5, false, true, false, true}}) {
+        state.writeInt(regA(0), c.a0);
+        EXPECT_EQ(execute(p, 0, state, memory).taken, c.jaz) << c.a0;
+        EXPECT_EQ(execute(p, 1, state, memory).taken, c.jan) << c.a0;
+        EXPECT_EQ(execute(p, 2, state, memory).taken, c.jap) << c.a0;
+        EXPECT_EQ(execute(p, 3, state, memory).taken, c.jam) << c.a0;
+    }
+}
+
+TEST_F(ExecutorTest, TakenBranchRedirects)
+{
+    ProgramBuilder b("redir");
+    b.nop();          // index 0
+    b.label("dest");
+    b.nop();          // index 1
+    b.jsm("dest");    // index 2
+    b.halt();
+    Program p = b.build();
+
+    state.writeInt(regS(0), -1);
+    ExecOutcome out = execute(p, 2, state, memory);
+    EXPECT_TRUE(out.taken);
+    EXPECT_EQ(out.nextIndex, std::optional<std::size_t>(1));
+
+    state.writeInt(regS(0), 1);
+    out = execute(p, 2, state, memory);
+    EXPECT_FALSE(out.taken);
+    EXPECT_EQ(out.nextIndex, std::optional<std::size_t>(3));
+}
+
+TEST_F(ExecutorTest, HaltStopsExecution)
+{
+    ExecOutcome out = exec1(Instruction::bare(Opcode::HALT), state,
+                            memory);
+    EXPECT_TRUE(out.halted);
+    EXPECT_FALSE(out.nextIndex.has_value());
+    EXPECT_EQ(out.fault, Fault::None);
+}
+
+TEST(FaultNames, AreHumanReadable)
+{
+    EXPECT_STREQ(faultName(Fault::None), "none");
+    EXPECT_STREQ(faultName(Fault::PageFault), "page_fault");
+    EXPECT_STREQ(faultName(Fault::Arithmetic), "arithmetic");
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Differential fuzzing: every issue-logic core must commit exactly the
+ * sequential architectural state on randomly generated programs, for
+ * many seeds, across aggressive configurations (tiny pools to force
+ * wraparound and structural stalls, wide dispatch, narrow counters,
+ * banked memory). The random programs mix every instruction class,
+ * loops, inter-file traffic, and memory reuse (store-to-load
+ * forwarding triggers constantly inside the small data window).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "sim/machine.hh"
+#include "sim/random_program.hh"
+
+namespace ruu
+{
+namespace
+{
+
+class FuzzSeeds : public ::testing::TestWithParam<int>
+{
+  protected:
+    Workload
+    workload() const
+    {
+        return makeWorkload(generateRandomProgram(
+            static_cast<std::uint64_t>(GetParam()) * 977 + 13));
+    }
+};
+
+TEST_P(FuzzSeeds, EveryCoreMatchesTheFunctionalSimulator)
+{
+    Workload w = workload();
+    ASSERT_TRUE(w.func.halted);
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 6; // small: force wraparound and stalls
+        config.historyEntries = 6;
+        config.tuEntries = 6;
+        auto core = makeCore(kind, config);
+        RunResult run = core->run(w.trace());
+        EXPECT_FALSE(run.interrupted) << core->name();
+        EXPECT_TRUE(matchesFunctional(run, w.func))
+            << core->name() << " diverged on " << w.name;
+        EXPECT_EQ(run.instructions, w.trace().size()) << core->name();
+    }
+}
+
+TEST_P(FuzzSeeds, AggressiveConfigurationsStayCorrect)
+{
+    Workload w = workload();
+    struct Variant
+    {
+        const char *label;
+        void (*mutate)(UarchConfig &);
+    };
+    for (const Variant &variant : {
+             Variant{"wide", [](UarchConfig &c) {
+                 c.poolEntries = 40;
+                 c.dispatchPaths = 2;
+                 c.resultBuses = 2;
+             }},
+             Variant{"narrow-counters", [](UarchConfig &c) {
+                 c.poolEntries = 20;
+                 c.counterBits = 1;
+             }},
+             Variant{"banked", [](UarchConfig &c) {
+                 c.poolEntries = 12;
+                 c.memoryBanks = 4;
+                 c.bankBusyCycles = 6;
+             }},
+             Variant{"starved", [](UarchConfig &c) {
+                 c.poolEntries = 3;
+                 c.loadRegisters = 1;
+             }},
+         }) {
+        UarchConfig config = UarchConfig::cray1();
+        variant.mutate(config);
+        for (CoreKind kind :
+             {CoreKind::Rstu, CoreKind::Ruu, CoreKind::SpecRuu}) {
+            auto core = makeCore(kind, config);
+            RunResult run = core->run(w.trace());
+            EXPECT_TRUE(matchesFunctional(run, w.func))
+                << core->name() << " / " << variant.label;
+        }
+    }
+}
+
+TEST_P(FuzzSeeds, GeneratedProgramsEncodeAndDecode)
+{
+    Workload w = workload();
+    auto image = encodeAll(w.program->instructions());
+    auto decoded = decodeAll(image);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, w.program->instructions());
+}
+
+TEST_P(FuzzSeeds, FaultsArePreciseOnRandomPrograms)
+{
+    Workload w = workload();
+    auto positions = faultableSeqs(w.trace());
+    ASSERT_FALSE(positions.empty());
+    SeqNum seq = positions[positions.size() / 2];
+    for (CoreKind kind : {CoreKind::Ruu, CoreKind::History}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 8;
+        config.historyEntries = 8;
+        auto core = makeCore(kind, config);
+        FaultExperiment experiment =
+            runFaultAndResume(*core, w, seq, Fault::PageFault);
+        EXPECT_TRUE(experiment.faulted.interrupted) << core->name();
+        EXPECT_TRUE(experiment.precise) << core->name();
+        EXPECT_TRUE(experiment.resumedExact) << core->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds, ::testing::Range(0, 24));
+
+TEST(FuzzGenerator, IsDeterministic)
+{
+    Program a = generateRandomProgram(42);
+    Program b = generateRandomProgram(42);
+    EXPECT_EQ(a.instructions(), b.instructions());
+    Program c = generateRandomProgram(43);
+    EXPECT_NE(a.instructions(), c.instructions());
+}
+
+TEST(FuzzGenerator, RespectsOptions)
+{
+    RandomProgramOptions options;
+    options.loops = 1;
+    options.bodyLength = 4;
+    options.iterations = 3;
+    options.straightLength = 2;
+    Workload w = makeWorkload(generateRandomProgram(7, options));
+    EXPECT_TRUE(w.func.halted);
+    // prologue + 2 straight + (1 + 3*(4+3)) + 2 straight + halt, give
+    // or take the loop skeleton: just bound it loosely.
+    EXPECT_LT(w.trace().size(), 200u);
+}
+
+} // namespace
+} // namespace ruu

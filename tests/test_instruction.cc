@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the Instruction value type and its checked
+ * constructors (isa/instruction.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(Instruction, RrrPopulatesAllFields)
+{
+    Instruction i = Instruction::rrr(Opcode::FADD, regS(1), regS(2),
+                                     regS(3));
+    EXPECT_EQ(i.op, Opcode::FADD);
+    EXPECT_EQ(i.dst, regS(1));
+    EXPECT_EQ(i.src1, regS(2));
+    EXPECT_EQ(i.src2, regS(3));
+    EXPECT_EQ(i.numSrcs(), 2u);
+    EXPECT_EQ(i.src(0), regS(2));
+    EXPECT_EQ(i.src(1), regS(3));
+    EXPECT_TRUE(i.writesReg());
+    EXPECT_EQ(i.parcels(), 1u);
+    EXPECT_EQ(i.fu(), FuKind::FpAdd);
+}
+
+TEST(Instruction, ShiftIsInPlace)
+{
+    Instruction i = Instruction::shift(Opcode::SSHL, regS(4), 12);
+    EXPECT_EQ(i.dst, regS(4));
+    EXPECT_EQ(i.src1, regS(4));
+    EXPECT_EQ(i.imm, 12);
+}
+
+TEST(Instruction, LoadUsesBaseAsFirstSource)
+{
+    Instruction i = Instruction::load(Opcode::LDS, regS(1), regA(2), -8);
+    EXPECT_EQ(i.dst, regS(1));
+    EXPECT_EQ(i.src1, regA(2));
+    EXPECT_EQ(i.imm, -8);
+    EXPECT_EQ(i.numSrcs(), 1u);
+}
+
+TEST(Instruction, StoreHasNoDestination)
+{
+    Instruction i = Instruction::store(Opcode::STS, regA(3), 5, regS(6));
+    EXPECT_FALSE(i.writesReg());
+    EXPECT_EQ(i.src1, regA(3));
+    EXPECT_EQ(i.src2, regS(6));
+    EXPECT_EQ(i.numSrcs(), 2u);
+}
+
+TEST(Instruction, CondBranchesReadTheirConditionRegister)
+{
+    Instruction jam = Instruction::branch(Opcode::JAM, 42);
+    EXPECT_EQ(jam.src1, regA(0));
+    EXPECT_EQ(jam.target, 42u);
+    Instruction jsz = Instruction::branch(Opcode::JSZ, 7);
+    EXPECT_EQ(jsz.src1, regS(0));
+    Instruction j = Instruction::branch(Opcode::J, 9);
+    EXPECT_FALSE(j.src1.valid());
+    EXPECT_EQ(j.numSrcs(), 0u);
+}
+
+TEST(Instruction, BareFormsHaveNoOperands)
+{
+    Instruction halt = Instruction::bare(Opcode::HALT);
+    EXPECT_FALSE(halt.writesReg());
+    EXPECT_EQ(halt.numSrcs(), 0u);
+}
+
+TEST(InstructionDeath, ConstructorFormMismatchPanics)
+{
+    EXPECT_DEATH(Instruction::rrr(Opcode::LDS, regS(1), regS(2), regS(3)),
+                 "not a three-register");
+    EXPECT_DEATH(Instruction::rr(Opcode::FADD, regS(1), regS(2)),
+                 "not a two-register");
+    EXPECT_DEATH(Instruction::load(Opcode::STA, regA(1), regA(2), 0),
+                 "not a load");
+    EXPECT_DEATH(Instruction::branch(Opcode::FADD, 0), "not a branch");
+    EXPECT_DEATH(Instruction::shift(Opcode::SSHL, regS(1), 64),
+                 "out of range");
+    EXPECT_DEATH(Instruction::load(Opcode::LDS, regS(1), regS(2), 0),
+                 "base must be an A register");
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the opcode trait table (isa/opcode.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(Opcode, MnemonicsAreUniqueAndRoundTrip)
+{
+    std::set<std::string> seen;
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        std::string name = mnemonic(op);
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate mnemonic " << name;
+        EXPECT_EQ(opcodeFromMnemonic(name), op);
+    }
+    EXPECT_FALSE(opcodeFromMnemonic("bogus").has_value());
+    EXPECT_FALSE(opcodeFromMnemonic("").has_value());
+}
+
+TEST(Opcode, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(opcodeFromMnemonic("FADD"), Opcode::FADD);
+    EXPECT_EQ(opcodeFromMnemonic("FaDd"), Opcode::FADD);
+}
+
+TEST(Opcode, BranchClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::J));
+    EXPECT_FALSE(isCondBranch(Opcode::J));
+    for (Opcode op : {Opcode::JAZ, Opcode::JAN, Opcode::JAP, Opcode::JAM,
+                      Opcode::JSZ, Opcode::JSN, Opcode::JSP, Opcode::JSM}) {
+        EXPECT_TRUE(isBranch(op)) << mnemonic(op);
+        EXPECT_TRUE(isCondBranch(op)) << mnemonic(op);
+    }
+    EXPECT_FALSE(isBranch(Opcode::FADD));
+    EXPECT_FALSE(isBranch(Opcode::HALT));
+}
+
+TEST(Opcode, BranchConditionRegisters)
+{
+    EXPECT_EQ(opInfo(Opcode::JAZ).cond, CondReg::A0);
+    EXPECT_EQ(opInfo(Opcode::JAM).cond, CondReg::A0);
+    EXPECT_EQ(opInfo(Opcode::JSZ).cond, CondReg::S0);
+    EXPECT_EQ(opInfo(Opcode::JSM).cond, CondReg::S0);
+    EXPECT_EQ(opInfo(Opcode::J).cond, CondReg::Always);
+    EXPECT_EQ(opInfo(Opcode::FADD).cond, CondReg::NotABranch);
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LDA));
+    EXPECT_TRUE(isLoad(Opcode::LDS));
+    EXPECT_TRUE(isStore(Opcode::STA));
+    EXPECT_TRUE(isStore(Opcode::STS));
+    EXPECT_TRUE(isMemory(Opcode::LDA));
+    EXPECT_TRUE(isMemory(Opcode::STS));
+    EXPECT_FALSE(isMemory(Opcode::FADD));
+    EXPECT_FALSE(isLoad(Opcode::STA));
+    EXPECT_FALSE(isStore(Opcode::LDS));
+}
+
+TEST(Opcode, FunctionalUnitAssignmentsMatchTheCray1Model)
+{
+    EXPECT_EQ(opInfo(Opcode::AADD).fu, FuKind::AddrAdd);
+    EXPECT_EQ(opInfo(Opcode::AMUL).fu, FuKind::AddrMul);
+    EXPECT_EQ(opInfo(Opcode::SADD).fu, FuKind::ScalarAdd);
+    EXPECT_EQ(opInfo(Opcode::SAND).fu, FuKind::ScalarLogical);
+    EXPECT_EQ(opInfo(Opcode::SSHL).fu, FuKind::ScalarShift);
+    EXPECT_EQ(opInfo(Opcode::SPOP).fu, FuKind::PopLz);
+    EXPECT_EQ(opInfo(Opcode::FADD).fu, FuKind::FpAdd);
+    EXPECT_EQ(opInfo(Opcode::SFIX).fu, FuKind::FpAdd);
+    EXPECT_EQ(opInfo(Opcode::FMUL).fu, FuKind::FpMul);
+    EXPECT_EQ(opInfo(Opcode::FRECIP).fu, FuKind::FpRecip);
+    EXPECT_EQ(opInfo(Opcode::LDS).fu, FuKind::Memory);
+    EXPECT_EQ(opInfo(Opcode::MOVST).fu, FuKind::Transmit);
+    EXPECT_EQ(opInfo(Opcode::JAM).fu, FuKind::None);
+}
+
+TEST(Opcode, ParcelCounts)
+{
+    // Immediates, memory operations and branches are two parcels;
+    // register-register instructions are one.
+    EXPECT_EQ(opInfo(Opcode::FADD).parcels, 1u);
+    EXPECT_EQ(opInfo(Opcode::MOVBA).parcels, 1u);
+    EXPECT_EQ(opInfo(Opcode::AMOVI).parcels, 2u);
+    EXPECT_EQ(opInfo(Opcode::LDS).parcels, 2u);
+    EXPECT_EQ(opInfo(Opcode::STA).parcels, 2u);
+    EXPECT_EQ(opInfo(Opcode::JAM).parcels, 2u);
+    EXPECT_EQ(opInfo(Opcode::HALT).parcels, 1u);
+}
+
+TEST(Opcode, FuKindNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < kNumFuKinds; ++i)
+        names.insert(fuKindName(static_cast<FuKind>(i)));
+    EXPECT_EQ(names.size(), kNumFuKinds);
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The precise-interrupt experiments — the heart of the paper's
+ * contribution. For the RUU (every bypass mode) and the speculative
+ * RUU, a fault injected at any dynamic instruction must surface with
+ * the architectural state equal to the sequential execution of
+ * everything before it, and a resumed run must finish bit-identically
+ * to a fault-free one. The simple and RSTU machines demonstrate the
+ * problem: their interrupts are imprecise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/lll.hh"
+#include "sim/machine.hh"
+
+namespace ruu
+{
+namespace
+{
+
+/** Deterministic sample of fault positions across a trace. */
+std::vector<SeqNum>
+samplePositions(const Workload &workload, unsigned count)
+{
+    std::vector<SeqNum> all = faultableSeqs(workload.trace());
+    std::vector<SeqNum> picks;
+    picks.push_back(all.front());
+    for (unsigned i = 1; i + 1 < count; ++i)
+        picks.push_back(all[all.size() * i / count]);
+    picks.push_back(all.back());
+    return picks;
+}
+
+class PreciseInterruptTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PreciseInterruptTest, RuuIsPreciseAndRestartableEverywhere)
+{
+    const Workload &workload =
+        livermoreWorkloads()[static_cast<std::size_t>(GetParam())];
+    for (BypassMode bypass :
+         {BypassMode::Full, BypassMode::None, BypassMode::LimitedA}) {
+        UarchConfig config;
+        config.poolEntries = 12;
+        config.bypass = bypass;
+        auto core = makeCore(CoreKind::Ruu, config);
+        for (SeqNum seq : samplePositions(workload, 4)) {
+            FaultExperiment experiment = runFaultAndResume(
+                *core, workload, seq, Fault::PageFault);
+            EXPECT_TRUE(experiment.faulted.interrupted)
+                << workload.name << " seq=" << seq;
+            EXPECT_TRUE(experiment.precise)
+                << workload.name << " seq=" << seq << " bypass="
+                << bypassModeName(bypass);
+            EXPECT_TRUE(experiment.resumedExact)
+                << workload.name << " seq=" << seq << " bypass="
+                << bypassModeName(bypass);
+        }
+    }
+}
+
+TEST_P(PreciseInterruptTest, SpeculativeRuuStaysPrecise)
+{
+    // §7: nullification handles faults and mispredictions with the
+    // same machinery; speculation must not erode preciseness.
+    const Workload &workload =
+        livermoreWorkloads()[static_cast<std::size_t>(GetParam())];
+    UarchConfig config;
+    config.poolEntries = 16;
+    auto core = makeCore(CoreKind::SpecRuu, config);
+    for (SeqNum seq : samplePositions(workload, 3)) {
+        FaultExperiment experiment = runFaultAndResume(
+            *core, workload, seq, Fault::PageFault);
+        EXPECT_TRUE(experiment.faulted.interrupted);
+        EXPECT_TRUE(experiment.precise)
+            << workload.name << " seq=" << seq;
+        EXPECT_TRUE(experiment.resumedExact)
+            << workload.name << " seq=" << seq;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, PreciseInterruptTest,
+                         ::testing::Range(0, 14),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return livermoreWorkloads()
+                                 [static_cast<std::size_t>(info.param)]
+                                     .name;
+                         });
+
+TEST(PreciseInterrupts, ArithmeticFaultsAreAlsoPrecise)
+{
+    const Workload &workload = livermoreWorkloads()[6]; // FP-heavy lll07
+    UarchConfig config;
+    config.poolEntries = 20;
+    auto core = makeCore(CoreKind::Ruu, config);
+    for (SeqNum seq : samplePositions(workload, 3)) {
+        FaultExperiment experiment = runFaultAndResume(
+            *core, workload, seq, Fault::Arithmetic);
+        EXPECT_TRUE(experiment.precise);
+        EXPECT_TRUE(experiment.resumedExact);
+        EXPECT_EQ(experiment.faulted.fault, Fault::Arithmetic);
+    }
+}
+
+TEST(PreciseInterrupts, FaultOnTheFirstInstruction)
+{
+    const Workload &workload = livermoreWorkloads()[0];
+    SeqNum first = faultableSeqs(workload.trace()).front();
+    UarchConfig config;
+    auto core = makeCore(CoreKind::Ruu, config);
+    FaultExperiment experiment = runFaultAndResume(
+        *core, workload, first, Fault::PageFault);
+    EXPECT_TRUE(experiment.precise);
+    EXPECT_TRUE(experiment.resumedExact);
+}
+
+TEST(PreciseInterrupts, FaultPcIsTheFaultingInstructionsAddress)
+{
+    const Workload &workload = livermoreWorkloads()[2];
+    SeqNum seq = faultableSeqs(workload.trace())[100];
+    auto core = makeCore(CoreKind::Ruu, UarchConfig{});
+    Trace faulty = workload.trace();
+    faulty.injectFault(seq, Fault::PageFault);
+    RunResult r = core->run(faulty);
+    ASSERT_TRUE(r.interrupted);
+    EXPECT_EQ(r.faultSeq, seq);
+    EXPECT_EQ(r.faultPc, workload.trace().at(seq).pc);
+    // Exactly the instructions before the fault committed.
+    EXPECT_EQ(r.instructions, seq);
+}
+
+TEST(PreciseInterrupts, DoubleFaultIsHandled)
+{
+    // Resume after the first fault runs into a second fault: both
+    // interrupts must be precise and the second resume completes.
+    const Workload &workload = livermoreWorkloads()[0];
+    auto positions = faultableSeqs(workload.trace());
+    SeqNum first = positions[positions.size() / 3];
+    SeqNum second = positions[2 * positions.size() / 3];
+
+    auto core = makeCore(CoreKind::Ruu, UarchConfig{});
+    Trace faulty = workload.trace();
+    faulty.injectFault(first, Fault::PageFault);
+    faulty.injectFault(second, Fault::PageFault);
+
+    RunResult run1 = core->run(faulty);
+    ASSERT_TRUE(run1.interrupted);
+    EXPECT_EQ(run1.faultSeq, first);
+
+    faulty.clearFaults();
+    faulty.injectFault(second, Fault::PageFault);
+    RunOptions resume1;
+    resume1.startSeq = first;
+    resume1.initialState = &run1.state;
+    resume1.initialMemory = &run1.memory;
+    RunResult run2 = core->run(faulty, resume1);
+    ASSERT_TRUE(run2.interrupted);
+    EXPECT_EQ(run2.faultSeq, second);
+
+    RunOptions resume2;
+    resume2.startSeq = second;
+    resume2.initialState = &run2.state;
+    resume2.initialMemory = &run2.memory;
+    RunResult run3 = core->run(workload.trace(), resume2);
+    EXPECT_FALSE(run3.interrupted);
+    EXPECT_TRUE(matchesFunctional(run3, workload.func));
+}
+
+TEST(ImpreciseInterrupts, RstuStateMatchesNoSequentialPrefix)
+{
+    // The demonstration the RUU exists for: pick a fault deep in a
+    // kernel; with the RSTU, younger instructions have already updated
+    // the register file, so the interrupted state differs from the
+    // sequential prefix at the fault.
+    const Workload &workload = livermoreWorkloads()[0];
+    auto positions = faultableSeqs(workload.trace());
+    SeqNum seq = positions[positions.size() / 2];
+
+    UarchConfig config;
+    config.poolEntries = 20;
+    auto core = makeCore(CoreKind::Rstu, config);
+    Trace faulty = workload.trace();
+    faulty.injectFault(seq, Fault::PageFault);
+    RunResult r = core->run(faulty);
+    ASSERT_TRUE(r.interrupted);
+
+    FuncResult prefix = runPrefix(workload.program, seq);
+    EXPECT_FALSE(r.state == prefix.finalState &&
+                 r.memory == prefix.finalMemory)
+        << "the RSTU should be imprecise here";
+}
+
+TEST(ImpreciseInterrupts, SimpleIssueIsImpreciseToo)
+{
+    // In-order issue does not mean in-order completion: a short-latency
+    // instruction behind a faulting load updates the register file
+    // before the fault is detected.
+    const Workload &workload = livermoreWorkloads()[4];
+    const Trace &trace = workload.trace();
+    // Find a load followed closely by a short-latency register writer.
+    SeqNum pick = kNoSeqNum;
+    for (SeqNum seq = 0; seq + 2 < trace.size(); ++seq) {
+        if (isLoad(trace.at(seq).inst.op) &&
+            trace.at(seq + 1).inst.dst.valid() &&
+            !isMemory(trace.at(seq + 1).inst.op) &&
+            !isBranch(trace.at(seq + 1).inst.op)) {
+            pick = seq;
+            break;
+        }
+    }
+    ASSERT_NE(pick, kNoSeqNum);
+
+    auto core = makeCore(CoreKind::Simple, UarchConfig{});
+    Trace faulty = trace;
+    faulty.injectFault(pick, Fault::PageFault);
+    RunResult r = core->run(faulty);
+    ASSERT_TRUE(r.interrupted);
+    FuncResult prefix = runPrefix(workload.program, pick);
+    EXPECT_FALSE(r.state == prefix.finalState)
+        << "simple issue should be imprecise here";
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the branch predictors of the §7 extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(SmithPredictor, StartsWeaklyTaken)
+{
+    SmithPredictor predictor(4);
+    EXPECT_TRUE(predictor.predict(0, false));
+    EXPECT_EQ(predictor.counterAt(0), 2u);
+}
+
+TEST(SmithPredictor, SaturatesBothWays)
+{
+    SmithPredictor predictor(4);
+    for (int i = 0; i < 10; ++i)
+        predictor.update(5, true);
+    EXPECT_EQ(predictor.counterAt(5), 3u);
+    EXPECT_TRUE(predictor.predict(5, false));
+
+    for (int i = 0; i < 10; ++i)
+        predictor.update(5, false);
+    EXPECT_EQ(predictor.counterAt(5), 0u);
+    EXPECT_FALSE(predictor.predict(5, false));
+}
+
+TEST(SmithPredictor, HysteresisSurvivesOneFlip)
+{
+    SmithPredictor predictor(4);
+    predictor.update(9, true); // now strongly taken (3)
+    predictor.update(9, false); // back to weakly taken (2)
+    EXPECT_TRUE(predictor.predict(9, false));
+}
+
+TEST(SmithPredictor, TableIndexAliasing)
+{
+    SmithPredictor predictor(2); // 4 entries
+    for (int i = 0; i < 5; ++i)
+        predictor.update(0, false);
+    // pc 4 aliases pc 0 with a 4-entry table.
+    EXPECT_FALSE(predictor.predict(4, false));
+    EXPECT_TRUE(predictor.predict(1, false)); // untouched slot
+}
+
+TEST(StaticPredictor, FixedPolicies)
+{
+    StaticPredictor taken(PredictorKind::AlwaysTaken);
+    EXPECT_TRUE(taken.predict(0, false));
+    EXPECT_TRUE(taken.predict(0, true));
+
+    StaticPredictor not_taken(PredictorKind::AlwaysNotTaken);
+    EXPECT_FALSE(not_taken.predict(0, false));
+    EXPECT_FALSE(not_taken.predict(0, true));
+
+    StaticPredictor btfn(PredictorKind::Btfn);
+    EXPECT_TRUE(btfn.predict(0, true));   // backward: loop-closing
+    EXPECT_FALSE(btfn.predict(0, false)); // forward
+
+    // Updates are ignored by static predictors.
+    not_taken.update(0, true);
+    EXPECT_FALSE(not_taken.predict(0, false));
+}
+
+TEST(PredictorFactory, BuildsTheRequestedKind)
+{
+    auto smith = BranchPredictor::make(PredictorKind::Smith2Bit, 8);
+    EXPECT_TRUE(smith->predict(3, false)); // weakly taken default
+    auto btfn = BranchPredictor::make(PredictorKind::Btfn, 8);
+    EXPECT_FALSE(btfn->predict(3, false));
+    EXPECT_TRUE(btfn->predict(3, true));
+}
+
+} // namespace
+} // namespace ruu

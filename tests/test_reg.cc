@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for register identifiers (isa/reg.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/reg.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(RegId, DefaultIsInvalid)
+{
+    RegId r;
+    EXPECT_FALSE(r.valid());
+    EXPECT_EQ(r.toString(), "-");
+}
+
+TEST(RegId, FlatNumberingMatchesThePaper)
+{
+    // 8 A + 8 S + 64 B + 64 T = 144 registers (§3.1 sizing argument).
+    EXPECT_EQ(kNumArchRegs, 144u);
+    EXPECT_EQ(regA(0).flat(), 0u);
+    EXPECT_EQ(regA(7).flat(), 7u);
+    EXPECT_EQ(regS(0).flat(), 8u);
+    EXPECT_EQ(regB(0).flat(), 16u);
+    EXPECT_EQ(regB(63).flat(), 79u);
+    EXPECT_EQ(regT(0).flat(), 80u);
+    EXPECT_EQ(regT(63).flat(), 143u);
+}
+
+TEST(RegId, FlatRoundTripsForAllRegisters)
+{
+    for (unsigned flat = 0; flat < kNumArchRegs; ++flat) {
+        RegId r = RegId::fromFlat(flat);
+        EXPECT_TRUE(r.valid());
+        EXPECT_EQ(r.flat(), flat);
+        EXPECT_LT(r.index(), regFileSize(r.file()));
+    }
+}
+
+TEST(RegId, ParsesValidNames)
+{
+    EXPECT_EQ(RegId::parse("A3"), regA(3));
+    EXPECT_EQ(RegId::parse("a3"), regA(3));
+    EXPECT_EQ(RegId::parse("S7"), regS(7));
+    EXPECT_EQ(RegId::parse("B63"), regB(63));
+    EXPECT_EQ(RegId::parse("t0"), regT(0));
+}
+
+TEST(RegId, RejectsMalformedNames)
+{
+    EXPECT_FALSE(RegId::parse("").has_value());
+    EXPECT_FALSE(RegId::parse("A").has_value());
+    EXPECT_FALSE(RegId::parse("A8").has_value());   // only A0..A7
+    EXPECT_FALSE(RegId::parse("S12").has_value());
+    EXPECT_FALSE(RegId::parse("B64").has_value());
+    EXPECT_FALSE(RegId::parse("X1").has_value());
+    EXPECT_FALSE(RegId::parse("A1x").has_value());
+    EXPECT_FALSE(RegId::parse("A-1").has_value());
+}
+
+TEST(RegId, ToStringAndParseAreInverse)
+{
+    for (unsigned flat = 0; flat < kNumArchRegs; ++flat) {
+        RegId r = RegId::fromFlat(flat);
+        EXPECT_EQ(RegId::parse(r.toString()), r);
+    }
+}
+
+TEST(RegId, EqualityDistinguishesFiles)
+{
+    EXPECT_EQ(regA(1), regA(1));
+    EXPECT_NE(regA(1), regS(1));
+    EXPECT_NE(regB(1), regT(1));
+}
+
+} // namespace
+} // namespace ruu

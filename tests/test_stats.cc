@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the statistics module: counters, histograms, stat
+ * sets, and the text-table renderer the benches use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/stat_set.hh"
+#include "stats/table.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    c.increment();
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, TracksMomentsAndExtremes)
+{
+    Histogram h;
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    for (std::uint64_t v : {3u, 1u, 4u, 1u, 5u})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 14u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.8);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 5u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(99), 0u);
+}
+
+TEST(Histogram, PercentileFindsOrderStatistics)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    Histogram h;
+    h.sample(7);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.bucket(7), 0u);
+}
+
+TEST(StatSet, CountersAreStableAndNamed)
+{
+    StatSet stats;
+    Counter &a = stats.counter("alpha");
+    ++a;
+    ++stats.counter("alpha");
+    EXPECT_EQ(stats.value("alpha"), 2u);
+    EXPECT_EQ(stats.value("missing"), 0u);
+    EXPECT_TRUE(stats.hasCounter("alpha"));
+    EXPECT_FALSE(stats.hasCounter("missing"));
+}
+
+TEST(StatSet, ResetClearsAllMembers)
+{
+    StatSet stats;
+    stats.counter("c") += 5;
+    stats.histogram("h").sample(3);
+    stats.reset();
+    EXPECT_EQ(stats.value("c"), 0u);
+    EXPECT_EQ(stats.histogramAt("h").count(), 0u);
+}
+
+TEST(StatSet, NamesAreSorted)
+{
+    StatSet stats;
+    stats.counter("zeta");
+    stats.counter("alpha");
+    auto names = stats.counterNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"Name", "Value"});
+    t.setAlign(0, Align::Left);
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("longer |    22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::fmt(1.5, 3), "1.500");
+    EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+}
+
+TEST(TextTableDeath, RowArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace ruu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the Tag Unit + distributed reservation-station core
+ * (core/tomasulo_core.hh), including the paper's §3.2.2 motivation:
+ * distributed stations strand capacity that a merged pool can use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/bitfield.hh"
+#include "kernels/lll.hh"
+#include "sim/experiment.hh"
+
+namespace ruu
+{
+namespace
+{
+
+RunResult
+runTomasulo(ProgramBuilder &builder, UarchConfig config = {},
+            StatSet *stats_out = nullptr)
+{
+    Workload workload = makeWorkload(builder.build());
+    auto core = makeCore(CoreKind::Tomasulo, config);
+    RunResult result = core->run(workload.trace());
+    EXPECT_TRUE(matchesFunctional(result, workload.func));
+    if (stats_out)
+        *stats_out = core->stats();
+    return result;
+}
+
+TEST(TomasuloCore, SingleInstructionTiming)
+{
+    // Same pipeline depth as the RSTU: decode 0, dispatch 1, result 3.
+    ProgramBuilder b("t");
+    b.aadd(regA(1), regA(7), regA(7));
+    b.halt();
+    RunResult r = runTomasulo(b);
+    EXPECT_EQ(r.cycles, 4u);
+}
+
+TEST(TomasuloCore, DifferentUnitsDispatchInTheSameCycle)
+{
+    // Unlike the one-path RSTU, each unit accepts an instruction per
+    // cycle; two independent ops on different units with different
+    // latencies share the bus without conflict.
+    ProgramBuilder b("t");
+    b.aadd(regA(1), regA(7), regA(7));    // addr add, lat 2
+    b.sadd(regS(1), regS(7), regS(7));    // scalar add, lat 3
+    b.halt();
+    // decode 0/1; AADD dispatches 1 (bus 3), SADD dispatches 2 (bus 5).
+    // With one dispatch path the SADD would leave at the same time
+    // here — the distributed advantage shows with deeper pools; this
+    // test pins the basic timing.
+    RunResult r = runTomasulo(b);
+    EXPECT_EQ(r.cycles, 6u);
+}
+
+TEST(TomasuloCore, TagUnitExhaustionBlocksIssue)
+{
+    // §3.2.1: issue blocks when the Tag Unit has no free tag.
+    UarchConfig config;
+    config.tuEntries = 1;
+    ProgramBuilder b("t");
+    b.aadd(regA(1), regA(7), regA(7));
+    b.aadd(regA(2), regA(7), regA(6));
+    b.halt();
+    StatSet stats;
+    runTomasulo(b, config, &stats);
+    EXPECT_GT(stats.value("stall_no_tu_cycles"), 0u);
+}
+
+TEST(TomasuloCore, PrivateStationsBlockTheirUnitOnly)
+{
+    // One station per unit: a second FP add waits for the first to
+    // dispatch, while an address add sails through unaffected.
+    UarchConfig config;
+    config.rsPerFu = 1;
+    ProgramBuilder b("t");
+    b.fword(100, 4.0);
+    b.amovi(regA(2), 0);
+    b.lds(regS(6), regA(2), 100);
+    b.frecip(regS(1), regS(6));         // long chain through the load
+    b.fadd(regS(2), regS(1), regS(1));  // waits for S1 in the FpAdd RS
+    b.fadd(regS(3), regS(6), regS(6));  // blocked: FpAdd RS is full
+    b.aadd(regA(1), regA(7), regA(7));  // different unit: unaffected
+    b.halt();
+    StatSet stats;
+    RunResult r = runTomasulo(b, config, &stats);
+    EXPECT_GT(stats.value("stall_no_rs_cycles"), 0u);
+    EXPECT_EQ(r.state.readInt(regA(1)), 0);
+}
+
+TEST(TomasuloCore, StoresDoNotConsumeTagUnitEntries)
+{
+    // Stores have no destination register: with a single TU entry the
+    // sequence load -> store -> store must not deadlock on tags.
+    UarchConfig config;
+    config.tuEntries = 1;
+    ProgramBuilder b("t");
+    b.fword(100, 5.0);
+    b.amovi(regA(1), 0);
+    b.lds(regS(1), regA(1), 100);
+    b.sts(regA(1), 101, regS(1));
+    b.sts(regA(1), 102, regS(1));
+    b.halt();
+    RunResult r = runTomasulo(b, config);
+    EXPECT_DOUBLE_EQ(wordToDouble(r.memory.at(101)), 5.0);
+    EXPECT_DOUBLE_EQ(wordToDouble(r.memory.at(102)), 5.0);
+}
+
+class TomasuloKernelTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TomasuloKernelTest, CommitsTheSequentialStateOnEveryKernel)
+{
+    const Workload &workload =
+        livermoreWorkloads()[static_cast<std::size_t>(GetParam())];
+    for (unsigned stations : {1u, 2u, 4u}) {
+        UarchConfig config;
+        config.rsPerFu = stations;
+        config.tuEntries = 12;
+        auto core = makeCore(CoreKind::Tomasulo, config);
+        RunResult r = core->run(workload.trace());
+        EXPECT_TRUE(matchesFunctional(r, workload.func))
+            << workload.name << " rsPerFu=" << stations;
+        EXPECT_EQ(r.instructions, workload.trace().size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, TomasuloKernelTest,
+                         ::testing::Range(0, 14));
+
+TEST(TomasuloShape, MergedPoolBeatsDistributedStationsOfEqualCapacity)
+{
+    // §3.2.2: "it is likely that some functional unit will run out of
+    // reservation stations while the reservation stations associated
+    // with another functional unit are idle". Compare 11 units x 1
+    // station + 11 tags against a merged RSTU pool of 11 entries.
+    const auto &workloads = livermoreWorkloads();
+
+    UarchConfig distributed;
+    distributed.rsPerFu = 1;
+    distributed.tuEntries = 11;
+    AggregateResult tomasulo = runSuite(CoreKind::Tomasulo, distributed,
+                                        workloads);
+
+    UarchConfig merged;
+    merged.poolEntries = 11;
+    AggregateResult rstu = runSuite(CoreKind::Rstu, merged, workloads);
+
+    EXPECT_LT(rstu.cycles, tomasulo.cycles);
+}
+
+} // namespace
+} // namespace ruu

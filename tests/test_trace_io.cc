@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for trace serialization (trace/trace_io.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/func_sim.hh"
+#include "asm/builder.hh"
+#include "trace/trace_io.hh"
+
+namespace ruu
+{
+namespace
+{
+
+Trace
+makeTrace()
+{
+    ProgramBuilder b("io");
+    b.fword(100, 1.25);
+    b.amovi(regA(1), 0);
+    b.amovi(regA(6), 1);
+    b.amovi(regA(5), 4);
+    b.label("loop");
+    b.lds(regS(1), regA(1), 100);
+    b.fadd(regS(2), regS(2), regS(1));
+    b.sts(regA(1), 200, regS(2));
+    b.aadd(regA(1), regA(1), regA(6));
+    b.asub(regA(0), regA(1), regA(5));
+    b.jam("loop");
+    b.halt();
+    auto program = std::make_shared<const Program>(b.build());
+    return runFunctional(program).trace;
+}
+
+TEST(TraceIo, RoundTripsThroughText)
+{
+    Trace original = makeTrace();
+    original.injectFault(5, Fault::Arithmetic);
+
+    std::stringstream buffer;
+    saveTrace(original, buffer);
+    auto loaded = loadTrace(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), original.size());
+
+    for (SeqNum i = 0; i < original.size(); ++i) {
+        const TraceRecord &a = original.at(i);
+        const TraceRecord &b = loaded->at(i);
+        EXPECT_EQ(a.inst, b.inst) << "record " << i;
+        EXPECT_EQ(a.staticIndex, b.staticIndex);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.memAddr, b.memAddr);
+        EXPECT_EQ(a.result, b.result);
+        EXPECT_EQ(a.storeValue, b.storeValue);
+        EXPECT_EQ(a.taken, b.taken);
+        EXPECT_EQ(a.fault, b.fault);
+    }
+}
+
+TEST(TraceIo, RejectsMalformedInput)
+{
+    {
+        std::stringstream s("not-a-trace 1 x 0\n");
+        EXPECT_FALSE(loadTrace(s).has_value());
+    }
+    {
+        std::stringstream s("ruutrace 99 x 0\n"); // bad version
+        EXPECT_FALSE(loadTrace(s).has_value());
+    }
+    {
+        std::stringstream s("ruutrace 1 x 5\n1 2 3\n"); // truncated
+        EXPECT_FALSE(loadTrace(s).has_value());
+    }
+    {
+        // Opcode number out of range.
+        std::stringstream s(
+            "ruutrace 1 x 1\n200 -1 -1 -1 0 0 0 0 0 0 0 0 0\n");
+        EXPECT_FALSE(loadTrace(s).has_value());
+    }
+    {
+        std::stringstream s("");
+        EXPECT_FALSE(loadTrace(s).has_value());
+    }
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace original = makeTrace();
+    std::string path = testing::TempDir() + "/ruu_trace_test.txt";
+    ASSERT_TRUE(saveTraceFile(original, path));
+    auto loaded = loadTraceFile(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), original.size());
+    EXPECT_FALSE(loadTraceFile("/nonexistent/path").has_value());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ruu

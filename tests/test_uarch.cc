@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the microarchitecture substrate: functional-unit pipes,
+ * the result bus, busy bits, the NI/LI instance counters, the load
+ * registers, the instruction buffers, and the configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/banks.hh"
+#include "uarch/config.hh"
+#include "uarch/fu.hh"
+#include "uarch/ibuffer.hh"
+#include "uarch/load_regs.hh"
+#include "uarch/result_bus.hh"
+#include "uarch/scoreboard.hh"
+
+namespace ruu
+{
+namespace
+{
+
+// --- configuration -------------------------------------------------------
+
+TEST(Config, DefaultsMatchTheCray1Model)
+{
+    UarchConfig config = UarchConfig::cray1();
+    EXPECT_EQ(config.latency(FuKind::AddrAdd), 2u);
+    EXPECT_EQ(config.latency(FuKind::ScalarLogical), 1u);
+    EXPECT_EQ(config.latency(FuKind::FpAdd), 6u);
+    EXPECT_EQ(config.latency(FuKind::FpMul), 7u);
+    EXPECT_EQ(config.latency(FuKind::FpRecip), 14u);
+    EXPECT_EQ(config.latency(FuKind::Memory), 11u);
+    EXPECT_EQ(config.loadRegisters, 6u);
+    EXPECT_EQ(config.counterBits, 3u); // up to 7 instances (§5)
+    EXPECT_EQ(config.validate(), "");
+}
+
+TEST(Config, ValidateCatchesBadValues)
+{
+    UarchConfig config;
+    config.poolEntries = 0;
+    EXPECT_NE(config.validate(), "");
+    config = UarchConfig{};
+    config.counterBits = 0;
+    EXPECT_NE(config.validate(), "");
+    config = UarchConfig{};
+    config.dispatchPaths = 9;
+    EXPECT_NE(config.validate(), "");
+    config = UarchConfig{};
+    config.fuLatency[0] = 0;
+    EXPECT_NE(config.validate(), "");
+}
+
+TEST(Config, NamesForEnums)
+{
+    EXPECT_STREQ(bypassModeName(BypassMode::Full), "full");
+    EXPECT_STREQ(bypassModeName(BypassMode::None), "none");
+    EXPECT_STREQ(bypassModeName(BypassMode::LimitedA), "limited_a");
+    EXPECT_STREQ(predictorKindName(PredictorKind::Smith2Bit),
+                 "smith_2bit");
+    EXPECT_STREQ(predictorKindName(PredictorKind::Btfn), "btfn");
+}
+
+// --- functional-unit pipes --------------------------------------------------
+
+TEST(FuPipes, OneInitiationPerUnitPerCycle)
+{
+    FuPipes pipes{UarchConfig{}};
+    EXPECT_TRUE(pipes.canStart(FuKind::FpAdd, 5));
+    pipes.start(FuKind::FpAdd, 5);
+    EXPECT_FALSE(pipes.canStart(FuKind::FpAdd, 5));
+    EXPECT_TRUE(pipes.canStart(FuKind::FpAdd, 6)); // fully pipelined
+    EXPECT_TRUE(pipes.canStart(FuKind::FpMul, 5)); // other units free
+    pipes.reset();
+    EXPECT_TRUE(pipes.canStart(FuKind::FpAdd, 5));
+}
+
+// --- result bus -----------------------------------------------------------------
+
+TEST(ResultBus, SingleDeliveryPerCycle)
+{
+    ResultBus bus;
+    EXPECT_TRUE(bus.free(10));
+    bus.reserve(10, 3, 0xabc, 0);
+    EXPECT_FALSE(bus.free(10));
+    EXPECT_TRUE(bus.free(11));
+
+    auto b = bus.at(10);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->tag, 3u);
+    EXPECT_EQ(b->value, 0xabcu);
+    EXPECT_FALSE(bus.at(11).has_value());
+}
+
+TEST(ResultBus, RetireAndCancel)
+{
+    ResultBus bus;
+    bus.reserve(5, 1, 0, 100);
+    bus.reserve(6, 2, 0, 101);
+    bus.reserve(7, 3, 0, 102);
+    bus.retireBefore(6);
+    EXPECT_TRUE(bus.free(5));
+    EXPECT_FALSE(bus.free(6));
+
+    // Squash support: cancel deliveries of young instructions only.
+    bus.cancelFrom(102);
+    EXPECT_FALSE(bus.free(6));
+    EXPECT_TRUE(bus.free(7));
+    bus.reset();
+    EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(ResultBusDeath, DoubleReservationPanics)
+{
+    ResultBus bus;
+    bus.reserve(4, 1, 0, 0);
+    EXPECT_DEATH(bus.reserve(4, 2, 0, 1), "already reserved");
+}
+
+TEST(ResultBus, WiderBusAllowsMultipleDeliveriesPerCycle)
+{
+    ResultBus bus(2);
+    EXPECT_EQ(bus.width(), 2u);
+    bus.reserve(9, 1, 0, 0);
+    EXPECT_TRUE(bus.free(9));
+    bus.reserve(9, 2, 0, 1);
+    EXPECT_FALSE(bus.free(9));
+    EXPECT_EQ(bus.countAt(9), 2u);
+    EXPECT_TRUE(bus.free(10));
+}
+
+// --- memory banks ---------------------------------------------------------------
+
+TEST(MemoryBanks, DisabledModelNeverConflicts)
+{
+    MemoryBanks banks(0);
+    EXPECT_FALSE(banks.enabled());
+    EXPECT_TRUE(banks.canAccess(1234, 0));
+    banks.access(1234, 0); // no-op
+    EXPECT_TRUE(banks.canAccess(1234, 0));
+}
+
+TEST(MemoryBanks, BankRecoveryBlocksSameBank)
+{
+    MemoryBanks banks(8, 4);
+    EXPECT_TRUE(banks.enabled());
+    banks.access(16, 10);             // bank 0 busy until 14
+    EXPECT_FALSE(banks.canAccess(24, 12)); // 24 % 8 == 0: same bank
+    EXPECT_TRUE(banks.canAccess(17, 12));  // bank 1 is free
+    EXPECT_TRUE(banks.canAccess(24, 14));  // recovered
+    banks.reset();
+    EXPECT_TRUE(banks.canAccess(24, 10));
+}
+
+TEST(MemoryBanksDeath, NonPowerOfTwoCountPanics)
+{
+    EXPECT_DEATH(MemoryBanks(6, 4), "power of two");
+}
+
+// --- busy bits ----------------------------------------------------------------
+
+TEST(BusyBits, TracksPerRegisterState)
+{
+    BusyBits busy;
+    EXPECT_FALSE(busy.busy(regS(3)));
+    busy.setBusy(regS(3));
+    busy.setBusy(regT(60));
+    EXPECT_TRUE(busy.busy(regS(3)));
+    EXPECT_TRUE(busy.busy(regT(60)));
+    EXPECT_FALSE(busy.busy(regS(4)));
+    EXPECT_EQ(busy.countBusy(), 2u);
+    busy.clear(regS(3));
+    EXPECT_FALSE(busy.busy(regS(3)));
+    busy.reset();
+    EXPECT_EQ(busy.countBusy(), 0u);
+}
+
+// --- NI/LI instance counters (§5) ----------------------------------------------
+
+TEST(InstanceCounters, AllocateReleaseLifecycle)
+{
+    InstanceCounters counters(3);
+    EXPECT_EQ(counters.maxInstances(), 7u);
+    EXPECT_FALSE(counters.busy(regS(1)));
+
+    unsigned first = counters.allocate(regS(1));
+    EXPECT_EQ(first, 1u); // LI starts at 0 and increments
+    EXPECT_TRUE(counters.busy(regS(1)));
+    EXPECT_EQ(counters.instances(regS(1)), 1u);
+    EXPECT_EQ(counters.latest(regS(1)), 1u);
+
+    unsigned second = counters.allocate(regS(1));
+    EXPECT_EQ(second, 2u);
+    EXPECT_EQ(counters.instances(regS(1)), 2u);
+
+    counters.release(regS(1));
+    counters.release(regS(1));
+    EXPECT_FALSE(counters.busy(regS(1)));
+    // LI is a modulo counter and does not reset on release.
+    EXPECT_EQ(counters.latest(regS(1)), 2u);
+}
+
+TEST(InstanceCounters, SaturatesAtSevenWithThreeBits)
+{
+    InstanceCounters counters(3);
+    for (unsigned i = 0; i < 7; ++i) {
+        ASSERT_TRUE(counters.canAllocate(regA(2)));
+        counters.allocate(regA(2));
+    }
+    EXPECT_FALSE(counters.canAllocate(regA(2)));
+    counters.release(regA(2));
+    EXPECT_TRUE(counters.canAllocate(regA(2)));
+}
+
+TEST(InstanceCounters, LiWrapsModulo2N)
+{
+    InstanceCounters counters(2); // instances mod 4
+    for (unsigned round = 0; round < 10; ++round) {
+        unsigned instance = counters.allocate(regS(5));
+        EXPECT_EQ(instance, (round + 1) % 4);
+        counters.release(regS(5));
+    }
+}
+
+TEST(InstanceCounters, RollbackUndoesAllocationOrder)
+{
+    InstanceCounters counters(3);
+    counters.allocate(regS(1)); // LI=1
+    counters.allocate(regS(1)); // LI=2
+    counters.rollback(regS(1));
+    EXPECT_EQ(counters.latest(regS(1)), 1u);
+    EXPECT_EQ(counters.instances(regS(1)), 1u);
+    counters.rollback(regS(1));
+    EXPECT_FALSE(counters.busy(regS(1)));
+    EXPECT_EQ(counters.latest(regS(1)), 0u);
+}
+
+TEST(InstanceCounters, TagsAreUniqueAcrossRegistersAndInstances)
+{
+    InstanceCounters counters(3);
+    // Tag layout: flat register in the high bits, instance below.
+    Tag a = counters.makeTag(regS(1), 3);
+    Tag b = counters.makeTag(regS(1), 4);
+    Tag c = counters.makeTag(regS(2), 3);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    // Tags never collide with store pseudo-tags.
+    EXPECT_EQ(counters.makeTag(regT(63), 7) & kStoreTagBit, 0u);
+}
+
+TEST(InstanceCountersDeath, MisuseIsCaught)
+{
+    InstanceCounters counters(3);
+    EXPECT_DEATH(counters.release(regS(1)), "NI == 0");
+    EXPECT_DEATH(counters.rollback(regS(1)), "NI == 0");
+    for (unsigned i = 0; i < 7; ++i)
+        counters.allocate(regS(1));
+    EXPECT_DEATH(counters.allocate(regS(1)), "saturated");
+}
+
+// --- load registers (§3.2.1.2) -----------------------------------------------------
+
+TEST(LoadRegisters, AllocateFindComplete)
+{
+    LoadRegisters regs(3);
+    EXPECT_TRUE(regs.hasFree());
+    EXPECT_FALSE(regs.find(100).has_value());
+
+    unsigned idx = regs.allocate(100, 7);
+    EXPECT_EQ(regs.find(100), std::optional<unsigned>(idx));
+    EXPECT_EQ(regs.entry(idx).tag, 7u);
+    EXPECT_EQ(regs.entry(idx).pending, 1u);
+    EXPECT_EQ(regs.countActive(), 1u);
+
+    regs.complete(idx);
+    EXPECT_FALSE(regs.find(100).has_value());
+    EXPECT_EQ(regs.countActive(), 0u);
+}
+
+TEST(LoadRegisters, StoreJoinReplacesTheProducer)
+{
+    LoadRegisters regs(2);
+    unsigned idx = regs.allocate(50, 1); // a load in flight
+    regs.onBroadcast(1, 0xAA);           // its data arrives
+    EXPECT_TRUE(regs.entry(idx).hasValue);
+
+    // A store to the same address becomes the newest producer: the tag
+    // changes and the latched value is invalidated.
+    regs.join(idx, Tag{kStoreTagBit | 9});
+    EXPECT_EQ(regs.entry(idx).tag, kStoreTagBit | 9);
+    EXPECT_FALSE(regs.entry(idx).hasValue);
+    EXPECT_EQ(regs.entry(idx).pending, 2u);
+
+    regs.onBroadcast(kStoreTagBit | 9, 0xBB);
+    EXPECT_TRUE(regs.entry(idx).hasValue);
+    EXPECT_EQ(regs.entry(idx).value, 0xBBu);
+
+    regs.complete(idx);
+    EXPECT_TRUE(regs.find(50).has_value()); // still one pending op
+    regs.complete(idx);
+    EXPECT_FALSE(regs.find(50).has_value());
+}
+
+TEST(LoadRegisters, ForwardedLoadJoinKeepsTheTag)
+{
+    LoadRegisters regs(2);
+    unsigned idx = regs.allocate(80, 5);
+    regs.join(idx, std::nullopt); // a forwarded load
+    EXPECT_EQ(regs.entry(idx).tag, 5u);
+    EXPECT_EQ(regs.entry(idx).pending, 2u);
+}
+
+TEST(LoadRegisters, ExhaustionAndReset)
+{
+    LoadRegisters regs(2);
+    regs.allocate(1, 1);
+    regs.allocate(2, 2);
+    EXPECT_FALSE(regs.hasFree());
+    regs.reset();
+    EXPECT_TRUE(regs.hasFree());
+    EXPECT_EQ(regs.countActive(), 0u);
+}
+
+TEST(LoadRegistersDeath, MisuseIsCaught)
+{
+    LoadRegisters regs(1);
+    unsigned idx = regs.allocate(9, 1);
+    EXPECT_DEATH(regs.allocate(9, 2), "already has a load register");
+    regs.complete(idx);
+    EXPECT_DEATH(regs.complete(idx), "idle load register");
+}
+
+// --- instruction buffers -------------------------------------------------------------
+
+TEST(IBuffers, HitsAfterFill)
+{
+    IBuffers buffers(4, 64, 14);
+    EXPECT_FALSE(buffers.present(10));
+    EXPECT_EQ(buffers.fetch(10, 100), 114u); // miss: fill penalty
+    EXPECT_TRUE(buffers.present(10));
+    EXPECT_TRUE(buffers.present(63));  // same 64-parcel block
+    EXPECT_FALSE(buffers.present(64)); // next block
+    EXPECT_EQ(buffers.fetch(20, 200), 200u); // hit
+    EXPECT_EQ(buffers.misses(), 1u);
+    EXPECT_EQ(buffers.accesses(), 2u);
+}
+
+TEST(IBuffers, RoundRobinReplacement)
+{
+    IBuffers buffers(2, 64, 10);
+    buffers.fetch(0, 0);    // block 0 -> buffer 0
+    buffers.fetch(64, 0);   // block 1 -> buffer 1
+    buffers.fetch(128, 0);  // block 2 evicts block 0
+    EXPECT_FALSE(buffers.present(0));
+    EXPECT_TRUE(buffers.present(64));
+    EXPECT_TRUE(buffers.present(128));
+    buffers.reset();
+    EXPECT_FALSE(buffers.present(64));
+}
+
+} // namespace
+} // namespace ruu
