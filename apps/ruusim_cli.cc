@@ -7,6 +7,7 @@
  *          [--bypass M] [--predictor P] [--ibuffers] [--stats]
  *   ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes a,b,c]
  *   ruusim disasm <prog.s>
+ *   ruusim lint <prog.s|lllNN|suite> [--Werror]
  *   ruusim trace <prog.s|lllNN> <out.trace>
  *   ruusim list
  *
@@ -26,6 +27,7 @@
 #include "common/logging.hh"
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
+#include "lint/analyze.hh"
 #include "sim/experiment.hh"
 #include "sim/json.hh"
 #include "stats/table.hh"
@@ -46,6 +48,7 @@ usage()
         "  ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes "
         "a,b,c,...]\n"
         "  ruusim disasm <prog.s>\n"
+        "  ruusim lint <prog.s|lllNN|suite> [--Werror]\n"
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
         "  ruusim list\n"
         "options:\n"
@@ -60,7 +63,8 @@ usage()
         "smith_2bit\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
-        "  --json            emit one JSON object per run\n");
+        "  --json            emit one JSON object per run\n"
+        "  --Werror          lint: treat warnings as errors\n");
     std::exit(2);
 }
 
@@ -137,6 +141,7 @@ struct Cli
     bool ibuffers = false;
     bool stats = false;
     bool json = false;
+    bool werror = false;
     std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
     std::vector<std::string> positional;
 };
@@ -181,6 +186,8 @@ parseArgs(int argc, char **argv)
             cli.stats = true;
         } else if (arg == "--json") {
             cli.json = true;
+        } else if (arg == "--Werror") {
+            cli.werror = true;
         } else if (arg == "--sizes") {
             cli.sizes.clear();
             std::stringstream list(value());
@@ -283,6 +290,55 @@ cmdDisasm(const Cli &cli)
     return 0;
 }
 
+/**
+ * Statically verify workloads without simulating them: kernel names
+ * resolve straight to the built-in Program; assembly files are only
+ * assembled, never traced.
+ */
+int
+cmdLint(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    const std::string &name = cli.positional[0];
+
+    std::vector<std::pair<std::string, Program>> targets;
+    if (name == "suite") {
+        for (const Kernel &kernel : livermoreKernels())
+            targets.emplace_back(kernel.name, kernel.program);
+    } else {
+        for (const Kernel &kernel : livermoreKernels())
+            if (kernel.name == name)
+                targets.emplace_back(kernel.name, kernel.program);
+        if (targets.empty()) {
+            AsmResult assembled = assemble(readFile(name), name);
+            if (!assembled.ok()) {
+                for (const auto &error : assembled.errors)
+                    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                                 error.toString().c_str());
+                return 1;
+            }
+            targets.emplace_back(name, std::move(*assembled.program));
+        }
+    }
+
+    unsigned errors = 0, warnings = 0;
+    for (const auto &[subject, program] : targets) {
+        auto diags = lint::analyze(program);
+        std::printf("%s",
+                    lint::formatDiagnostics(subject, diags).c_str());
+        for (const auto &diag : diags) {
+            if (diag.severity == lint::Severity::Error)
+                ++errors;
+            else
+                ++warnings;
+        }
+    }
+    std::printf("%zu program(s): %u error(s), %u warning(s)\n",
+                targets.size(), errors, warnings);
+    return errors || (cli.werror && warnings) ? 1 : 0;
+}
+
 int
 cmdTrace(const Cli &cli)
 {
@@ -324,6 +380,8 @@ main(int argc, char **argv)
         return cmdSweep(cli);
     if (command == "disasm")
         return cmdDisasm(cli);
+    if (command == "lint")
+        return cmdLint(cli);
     if (command == "trace")
         return cmdTrace(cli);
     if (command == "list")

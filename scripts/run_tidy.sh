@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run clang-tidy (config: .clang-tidy) over the simulator sources.
+#
+#   scripts/run_tidy.sh [build-dir] [file...]
+#
+# Uses the compile_commands.json of build-dir (default: build). With no
+# file arguments, checks every .cc under src/ and apps/. Degrades to a
+# no-op with a message when clang-tidy is not installed, so CI and
+# developer machines without LLVM don't fail spuriously.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_tidy.sh: clang-tidy not found; skipping (install LLVM to enable)"
+    exit 0
+fi
+
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy.sh: generating compile_commands.json in $build_dir"
+    cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ $# -gt 0 ]; then
+    files="$*"
+else
+    files=$(find src apps -name '*.cc' | sort)
+fi
+
+status=0
+for f in $files; do
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status

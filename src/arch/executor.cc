@@ -62,16 +62,18 @@ execute(const Program &program, std::size_t index, ArchState &state,
     auto writeDstFp = [&](double v) { writeDst(doubleToWord(v)); };
 
     switch (inst.op) {
+      // Integer add/sub/mul wrap two's-complement: compute on the
+      // unsigned words so overflow is defined (same bit patterns).
       case Opcode::AADD:
       case Opcode::SADD:
-        writeDstInt(state.readInt(inst.src1) + state.readInt(inst.src2));
+        writeDst(state.read(inst.src1) + state.read(inst.src2));
         break;
       case Opcode::ASUB:
       case Opcode::SSUB:
-        writeDstInt(state.readInt(inst.src1) - state.readInt(inst.src2));
+        writeDst(state.read(inst.src1) - state.read(inst.src2));
         break;
       case Opcode::AMUL:
-        writeDstInt(state.readInt(inst.src1) * state.readInt(inst.src2));
+        writeDst(state.read(inst.src1) * state.read(inst.src2));
         break;
       case Opcode::AMOVI:
       case Opcode::SMOVI:
@@ -152,8 +154,9 @@ execute(const Program &program, std::size_t index, ArchState &state,
 
       case Opcode::LDA:
       case Opcode::LDS: {
-        std::int64_t base = state.readInt(inst.src1);
-        out.memAddr = static_cast<Addr>(base + inst.imm);
+        // Effective addresses wrap like the registers that hold them.
+        Word base = state.read(inst.src1);
+        out.memAddr = static_cast<Addr>(base + static_cast<Word>(inst.imm));
         auto loaded = memory.load(out.memAddr);
         if (!loaded) {
             out.fault = Fault::PageFault;
@@ -165,8 +168,8 @@ execute(const Program &program, std::size_t index, ArchState &state,
       }
       case Opcode::STA:
       case Opcode::STS: {
-        std::int64_t base = state.readInt(inst.src1);
-        out.memAddr = static_cast<Addr>(base + inst.imm);
+        Word base = state.read(inst.src1);
+        out.memAddr = static_cast<Addr>(base + static_cast<Word>(inst.imm));
         out.storeValue = state.read(inst.src2);
         if (!memory.store(out.memAddr, out.storeValue)) {
             out.fault = Fault::PageFault;

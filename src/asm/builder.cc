@@ -3,6 +3,7 @@
 #include "common/bitfield.hh"
 #include "common/logging.hh"
 #include "isa/encoding.hh"
+#include "lint/analyze.hh"
 
 namespace ruu
 {
@@ -38,8 +39,41 @@ ProgramBuilder &
 ProgramBuilder::emit(const Instruction &inst)
 {
     ruu_assert(!_built, "builder already finished");
-    _program.append(inst);
+    std::size_t index = _program.append(inst);
+    for (std::string &check : _pendingAllows)
+        _program._lintAllows.emplace(_program.pc(index),
+                                     std::move(check));
+    _pendingAllows.clear();
     return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::allow(const std::string &check)
+{
+    _pendingAllows.push_back(check);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::allowProgram(const std::string &check)
+{
+    _program._lintGlobalAllows.insert(check);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::strict(bool on)
+{
+    _strict = on;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::branchTo(Opcode op, ParcelAddr target)
+{
+    ruu_assert(isBranch(op), "branchTo needs a branch opcode");
+    _rawBranches.insert(_program.size());
+    return emit(Instruction::branch(op, target));
 }
 
 #define RUU_BUILDER_RRR(method, opcode) \
@@ -191,12 +225,23 @@ ProgramBuilder::build()
         ruu_assert(encodable(inst),
                    "instruction %zu of '%s' (%s) not encodable",
                    i, _program.name().c_str(), mnemonic(inst.op));
-        if (isBranch(inst.op)) {
+        if (isBranch(inst.op) && !_rawBranches.count(i)) {
             ruu_assert(_program.indexOfPc(inst.target).has_value(),
                        "branch %zu of '%s' targets parcel %u, which is "
                        "not an instruction boundary",
                        i, _program.name().c_str(), inst.target);
         }
+    }
+    if (_strict) {
+        std::vector<lint::Diagnostic> diags = lint::analyze(_program);
+        std::erase_if(diags, [](const lint::Diagnostic &d) {
+            return d.severity != lint::Severity::Error;
+        });
+        if (!diags.empty())
+            ruu_panic("strict build of '%s' failed lint:\n%s",
+                      _program.name().c_str(),
+                      lint::formatDiagnostics(_program.name(), diags)
+                          .c_str());
     }
     return std::move(_program);
 }

@@ -23,6 +23,7 @@
 #ifndef RUU_ASM_BUILDER_HH
 #define RUU_ASM_BUILDER_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,33 @@ class ProgramBuilder
 
     /** Emit an arbitrary pre-built instruction (tests, fuzzing). */
     ProgramBuilder &emit(const Instruction &inst);
+
+    // --- lint integration ------------------------------------------------
+
+    /**
+     * Suppress lint check @p check (id "RUU-W102" or name "dead_def")
+     * on the next emitted instruction. May be repeated for several
+     * checks before one instruction.
+     */
+    ProgramBuilder &allow(const std::string &check);
+
+    /** Suppress @p check for the whole program ("all" for every one). */
+    ProgramBuilder &allowProgram(const std::string &check);
+
+    /**
+     * Make build() run the static analyzer (lint/analyze.hh) and panic
+     * on any unsuppressed error-severity diagnostic.
+     */
+    ProgramBuilder &strict(bool on = true);
+
+    /**
+     * Emit a branch whose parcel-address target is already resolved —
+     * possibly to an invalid address. build() skips its usual
+     * branch-boundary validation for branches emitted this way; the
+     * lint fixtures and fuzzers use this to construct the broken
+     * programs the analyzer must diagnose.
+     */
+    ProgramBuilder &branchTo(Opcode op, ParcelAddr target);
 
     // --- address arithmetic ----------------------------------------------
 
@@ -127,7 +155,10 @@ class ProgramBuilder
   private:
     Program _program;
     std::vector<std::pair<std::size_t, std::string>> _pendingBranches;
+    std::vector<std::string> _pendingAllows;
+    std::set<std::size_t> _rawBranches;
     bool _built = false;
+    bool _strict = false;
 
     ProgramBuilder &emitBranch(Opcode op, const std::string &target);
 };

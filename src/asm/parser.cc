@@ -3,6 +3,7 @@
 #include "asm/lexer.hh"
 #include "common/bitfield.hh"
 #include "isa/encoding.hh"
+#include "lint/analyze.hh"
 
 namespace ruu
 {
@@ -17,8 +18,9 @@ AsmError::toString() const
 class Parser
 {
   public:
-    Parser(const std::string &source, const std::string &default_name)
-        : _tokens(lex(source))
+    Parser(const std::string &source, const std::string &default_name,
+           const AsmOptions &options)
+        : _tokens(lex(source)), _options(options)
     {
         _program._name = default_name;
     }
@@ -33,6 +35,9 @@ class Parser
         if (_errors.empty()) {
             resolveBranches();
         }
+        if (_errors.empty() && _options.lint) {
+            runLint();
+        }
         if (_errors.empty()) {
             result.program = std::move(_program);
         }
@@ -43,8 +48,11 @@ class Parser
   private:
     std::vector<Token> _tokens;
     std::size_t _pos = 0;
+    AsmOptions _options;
     Program _program;
     std::vector<std::pair<std::size_t, Token>> _pendingBranches;
+    std::vector<std::string> _pendingAllows;
+    std::vector<int> _instLines; //!< instruction index -> source line
     std::vector<AsmError> _errors;
 
     const Token &peek(unsigned ahead = 0) const
@@ -78,6 +86,34 @@ class Parser
             advance();
         if (peek().kind == TokKind::Newline)
             advance();
+    }
+
+    /** Append @p inst, binding pending `.lint allow`s and the line. */
+    std::size_t
+    appendInst(const Instruction &inst, int line)
+    {
+        std::size_t index = _program.append(inst);
+        _instLines.push_back(line);
+        for (std::string &check : _pendingAllows)
+            _program._lintAllows.emplace(_program.pc(index),
+                                         std::move(check));
+        _pendingAllows.clear();
+        return index;
+    }
+
+    /** Strict mode: fold lint errors into the assembler diagnostics. */
+    void
+    runLint()
+    {
+        for (const lint::Diagnostic &d : lint::analyze(_program)) {
+            if (d.severity != lint::Severity::Error)
+                continue;
+            int line = d.index < _instLines.size()
+                           ? _instLines[d.index]
+                           : 0;
+            _errors.push_back({line, std::string("lint: [") + d.id() +
+                                         "] " + d.message});
+        }
     }
 
     bool
@@ -169,6 +205,38 @@ class Parser
                 return;
             }
             _program._data.push_back({static_cast<Addr>(addr), value});
+        } else if (dir.text == ".lint") {
+            // ".lint allow <check>" suppresses <check> on the next
+            // instruction; ".lint allow_program <check>" on the whole
+            // program. Checks go by id or name with '_' for '-'
+            // (identifiers cannot contain '-'): "RUU_W102", "dead_def",
+            // or "all".
+            if (peek().kind != TokKind::Ident ||
+                (peek().text != "allow" &&
+                 peek().text != "allow_program")) {
+                error(peek(), ".lint expects 'allow' or "
+                              "'allow_program'");
+                skipLine();
+                return;
+            }
+            bool whole_program = next().text == "allow_program";
+            if (peek().kind != TokKind::Ident) {
+                error(peek(), ".lint expects a check id or name");
+                skipLine();
+                return;
+            }
+            Token check = next();
+            if (lint::normalizeCheckName(check.text) != "all" &&
+                !lint::checkFromString(check.text)) {
+                error(check,
+                      "unknown lint check '" + check.text + "'");
+                skipLine();
+                return;
+            }
+            if (whole_program)
+                _program._lintGlobalAllows.insert(check.text);
+            else
+                _pendingAllows.push_back(check.text);
         } else {
             error(dir, "unknown directive '" + dir.text + "'");
             skipLine();
@@ -272,7 +340,8 @@ class Parser
             if (!a || !expect(TokKind::Comma, "','")) { skipLine(); return; }
             auto b = parseReg(srcFile(*op), "source register");
             if (!b) { skipLine(); return; }
-            _program.append(Instruction::rrr(*op, *d, *a, *b));
+            appendInst(Instruction::rrr(*op, *d, *a, *b),
+                       mnem.line);
             break;
           }
           case OperandForm::Rr: {
@@ -280,7 +349,7 @@ class Parser
             if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
             auto s = parseReg(srcFile(*op), "source register");
             if (!s) { skipLine(); return; }
-            _program.append(Instruction::rr(*op, *d, *s));
+            appendInst(Instruction::rr(*op, *d, *s), mnem.line);
             break;
           }
           case OperandForm::RImm: {
@@ -293,7 +362,8 @@ class Parser
                 skipLine();
                 return;
             }
-            _program.append(Instruction::rimm(*op, *d, *imm));
+            appendInst(Instruction::rimm(*op, *d, *imm),
+                       mnem.line);
             break;
           }
           case OperandForm::RShift: {
@@ -306,8 +376,9 @@ class Parser
                 skipLine();
                 return;
             }
-            _program.append(Instruction::shift(
-                *op, *d, static_cast<unsigned>(*count)));
+            appendInst(Instruction::shift(
+                           *op, *d, static_cast<unsigned>(*count)),
+                       mnem.line);
             break;
           }
           case OperandForm::MemLoad: {
@@ -315,8 +386,9 @@ class Parser
             if (!d || !expect(TokKind::Comma, "','")) { skipLine(); return; }
             auto addr = parseMemOperand();
             if (!addr) { skipLine(); return; }
-            _program.append(Instruction::load(*op, *d, addr->first,
-                                              addr->second));
+            appendInst(Instruction::load(*op, *d, addr->first,
+                                         addr->second),
+                       mnem.line);
             break;
           }
           case OperandForm::MemStore: {
@@ -329,8 +401,9 @@ class Parser
                                                     : RegFile::S,
                                  "data register");
             if (!data) { skipLine(); return; }
-            _program.append(Instruction::store(*op, addr->first,
-                                               addr->second, *data));
+            appendInst(Instruction::store(*op, addr->first,
+                                          addr->second, *data),
+                       mnem.line);
             break;
           }
           case OperandForm::Branch: {
@@ -340,13 +413,13 @@ class Parser
                 return;
             }
             Token target = next();
-            std::size_t index = _program.append(
-                Instruction::branch(*op, 0));
+            std::size_t index = appendInst(
+                Instruction::branch(*op, 0), mnem.line);
             _pendingBranches.emplace_back(index, target);
             break;
           }
           case OperandForm::Bare:
-            _program.append(Instruction::bare(*op));
+            appendInst(Instruction::bare(*op), mnem.line);
             break;
         }
         endOfLine();
@@ -388,9 +461,10 @@ class Parser
 };
 
 AsmResult
-assemble(const std::string &source, const std::string &default_name)
+assemble(const std::string &source, const std::string &default_name,
+         const AsmOptions &options)
 {
-    Parser parser(source, default_name);
+    Parser parser(source, default_name, options);
     return parser.run();
 }
 

@@ -55,13 +55,25 @@ struct AsmResult
     bool ok() const { return program.has_value(); }
 };
 
+/** Assembler knobs. */
+struct AsmOptions
+{
+    /**
+     * Strict mode: run the static program verifier (lint/analyze.hh)
+     * after assembly and report unsuppressed error-severity findings
+     * as assembly errors on the offending source lines.
+     */
+    bool lint = false;
+};
+
 /**
  * Assemble @p source.
  * @param default_name program name used when no ".program" directive
  *        appears.
  */
 AsmResult assemble(const std::string &source,
-                   const std::string &default_name = "program");
+                   const std::string &default_name = "program",
+                   const AsmOptions &options = {});
 
 } // namespace ruu
 

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,6 +76,23 @@ class Program
     /** Initial data-memory image. */
     const std::vector<DataInit> &dataInits() const { return _data; }
 
+    /**
+     * Lint suppressions bound to single instructions: parcel address
+     * of the annotated instruction -> check id or name as written
+     * (`.lint allow <check>` in assembly, ProgramBuilder::allow()).
+     * Matching is done by the analyzer (lint/analyze.hh).
+     */
+    const std::multimap<ParcelAddr, std::string> &lintAllows() const
+    {
+        return _lintAllows;
+    }
+
+    /** Program-wide lint suppressions ("all" suppresses everything). */
+    const std::set<std::string> &lintGlobalAllows() const
+    {
+        return _lintGlobalAllows;
+    }
+
     /** Render an assembler-style listing with addresses and labels. */
     std::string listing() const;
 
@@ -88,6 +106,8 @@ class Program
     std::map<ParcelAddr, std::size_t> _pcToIndex;
     std::map<std::string, ParcelAddr> _labels;
     std::vector<DataInit> _data;
+    std::multimap<ParcelAddr, std::string> _lintAllows;
+    std::set<std::string> _lintGlobalAllows;
     ParcelAddr _nextPc = 0;
 
     /** Append an instruction, assigning its parcel address. */

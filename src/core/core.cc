@@ -1,9 +1,23 @@
 #include "core/core.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace ruu
 {
+
+namespace
+{
+
+bool
+invariantsForced()
+{
+    const char *env = std::getenv("RUU_CHECK_INVARIANTS");
+    return env && *env != '\0' && std::string(env) != "0";
+}
+
+} // namespace
 
 Core::Core(const UarchConfig &config) : _config(config)
 {
@@ -19,7 +33,24 @@ Core::run(const Trace &trace, const RunOptions &options)
                "startSeq %llu beyond trace end",
                static_cast<unsigned long long>(options.startSeq));
     _stats.reset();
-    return runImpl(trace, options);
+    _invariants.reset();
+    if (_config.checkInvariants || invariantsForced()) {
+        lint::InvariantChecker::Limits limits;
+        limits.resultBuses = _config.resultBuses;
+        limits.commitWidth = _config.commitWidth;
+        _invariants = std::make_unique<lint::InvariantChecker>(name(),
+                                                               limits);
+    }
+    RunResult result = runImpl(trace, options);
+    if (_invariants) {
+        _invariants->onRunEnd(result.interrupted);
+        if (!_invariants->ok())
+            ruu_panic("%s: %zu microarchitectural invariant "
+                      "violation(s):\n%s",
+                      name(), _invariants->violations().size(),
+                      _invariants->report().c_str());
+    }
+    return result;
 }
 
 RunResult

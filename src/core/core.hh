@@ -15,6 +15,7 @@
 
 #include "arch/memory.hh"
 #include "arch/state.hh"
+#include "lint/invariant_checker.hh"
 #include "stats/stat_set.hh"
 #include "trace/trace.hh"
 #include "uarch/config.hh"
@@ -122,6 +123,14 @@ class Core
     RunResult makeInitialResult(const Trace &trace,
                                 const RunOptions &options) const;
 
+    /**
+     * The run's invariant checker, or null when checking is off
+     * (UarchConfig::checkInvariants / RUU_CHECK_INVARIANTS). Core
+     * timing loops report tag, bus, commit, and scoreboard events to
+     * it; run() panics when a run ends with violations.
+     */
+    lint::InvariantChecker *invariants() { return _invariants.get(); }
+
     /** Dead cycles after a branch with outcome @p taken. */
     unsigned branchPenalty(bool taken) const
     {
@@ -131,6 +140,9 @@ class Core
 
     UarchConfig _config;
     StatSet _stats;
+
+  private:
+    std::unique_ptr<lint::InvariantChecker> _invariants;
 };
 
 } // namespace ruu

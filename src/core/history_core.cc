@@ -79,6 +79,10 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
     bool draining = false;  //!< a fault reached the head; unwinding soon
     bool unwinding = false; //!< restoring old values, one per cycle
     const auto &records = trace.records();
+    lint::InvariantChecker *ck = invariants();
+    // A faulted or cancelled op leaves its busy bit set until the
+    // unwind; the scoreboard cross-check is meaningless from then on.
+    bool fault_seen = false;
 
     auto occupancy = [&]() {
         unsigned n = 0;
@@ -94,10 +98,14 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         return -1;
     };
 
+    std::vector<unsigned> candidates; // reused every cycle
+    std::vector<unsigned> completing; // reused every cycle
     for (Cycle cycle = 0;; ++cycle) {
         if (cycle > options.maxCycles)
             ruu_panic("history machine exceeded %llu cycles — livelock",
                       static_cast<unsigned long long>(options.maxCycles));
+        if (ck)
+            ck->beginCycle(cycle);
 
         // ---- rollback: unwind the buffer one entry per cycle ---------
         if (unwinding) {
@@ -131,7 +139,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         // ---- dispatch (before completions: wakeup-to-select takes a
         //      cycle, as in the other out-of-order cores) --------------
         {
-            std::vector<unsigned> candidates;
+            candidates.clear();
             for (unsigned i = 0; i < pool_size; ++i)
                 if (pool[i].valid && pool[i].readyToDispatch())
                     candidates.push_back(i);
@@ -188,7 +196,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
 
         // ---- completions (in seq order within the cycle) --------------
         {
-            std::vector<unsigned> completing;
+            completing.clear();
             for (unsigned i = 0; i < pool_size; ++i) {
                 const InflightOp &e = pool[i];
                 if (e.valid && e.dispatched && !e.executed &&
@@ -211,6 +219,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     // when it reaches the buffer head.
                     h.done = true;
                     h.faulted = true;
+                    fault_seen = true;
                     if (e.isMem())
                         load_regs.complete(
                             static_cast<unsigned>(e.loadReg));
@@ -226,6 +235,15 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     if (other.valid)
                         other.wakeup(tag);
                 load_regs.onBroadcast(tag, value);
+                if (ck) {
+                    if (e.isStore)
+                        ck->onStoreBroadcast(tag);
+                    else
+                        ck->onResultBroadcast(cycle, tag);
+                    // The register file updates right here, so the tag
+                    // dies with its broadcast.
+                    ck->onTagReleased(tag);
+                }
 
                 // The register file updates immediately — this is the
                 // defining difference from the RUU.
@@ -281,6 +299,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     unwinding = true;
                 break;
             }
+            if (ck)
+                ck->onCommit(hb[hb_head].seq);
             hb[hb_head].valid = false;
             hb_head = (hb_head + 1) % hb_size;
             --hb_count;
@@ -352,6 +372,10 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.destTag = inst.dst.valid()
                                     ? static_cast<Tag>(inst.dst.flat())
                                     : kNoTag;
+                    if (ck && e.destTag != kNoTag)
+                        ck->onTagAllocated(e.destTag, e.seq);
+                    if (ck && e.isStore)
+                        ck->onTagAllocated(storeTagFor(e.seq), e.seq);
 
                     for (unsigned s = 0; s < 2; ++s) {
                         RegId reg = s == 0 ? inst.src1 : inst.src2;
@@ -394,6 +418,18 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         h_hb.sample(hb_count);
+
+        if (ck && !fault_seen) {
+            // The scoreboard's busy bits must match the set of
+            // in-flight register writers (§4's one-writer interlock).
+            unsigned writers = 0;
+            for (const InflightOp &e : pool)
+                if (e.valid && e.rec->inst.dst.valid())
+                    ++writers;
+            ck->onScoreboardSample(busy.countBusy(), writers);
+            ck->require(hb_count <= hb_size,
+                        "history buffer exceeds capacity");
+        }
 
         if ((halted || decode_seq >= records.size()) &&
             occupancy() == 0 && hb_count == 0) {

@@ -65,6 +65,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
     bool halted = false;
     bool fault_raised = false;
     const auto &records = trace.records();
+    lint::InvariantChecker *ck = invariants();
 
     auto occupancy = [&]() {
         unsigned n = 0;
@@ -80,14 +81,17 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         return -1;
     };
 
+    std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0;; ++cycle) {
         if (cycle > options.maxCycles)
             ruu_panic("RSTU exceeded %llu cycles — livelock",
                       static_cast<unsigned long long>(options.maxCycles));
+        if (ck)
+            ck->beginCycle(cycle);
 
         // ---- phase 3: dispatch up to dispatchPaths ready entries --------
         {
-            std::vector<unsigned> candidates;
+            candidates.clear();
             for (unsigned i = 0; i < pool_size; ++i)
                 if (pool[i].valid && pool[i].readyToDispatch())
                     candidates.push_back(i);
@@ -175,6 +179,15 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                     other.wakeup(tag);
             }
             load_regs.onBroadcast(tag, value);
+            if (ck) {
+                if (e.isStore)
+                    ck->onStoreBroadcast(tag);
+                else
+                    ck->onResultBroadcast(cycle, tag);
+                // The pool slot doubles as the tag; completion frees
+                // both, so the entry never outlives its broadcast.
+                ck->onTagReleased(tag);
+            }
 
             if (e.rec->inst.dst.valid()) {
                 // Only the latest copy may update the register file and
@@ -281,6 +294,10 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.destTag = inst.dst.valid()
                                     ? static_cast<Tag>(slot)
                                     : kNoTag;
+                    if (ck && e.destTag != kNoTag)
+                        ck->onTagAllocated(e.destTag, e.seq);
+                    if (ck && e.isStore)
+                        ck->onTagAllocated(storeTagFor(e.seq), e.seq);
 
                     for (unsigned s = 0; s < 2; ++s) {
                         RegId reg = s == 0 ? inst.src1 : inst.src2;
@@ -322,6 +339,14 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         h_occupancy.sample(occupancy());
+
+        if (ck) {
+            // One busy bit per register with a latest-copy pool entry.
+            unsigned with_latest = 0;
+            for (int slot : latest_slot)
+                with_latest += slot >= 0 ? 1 : 0;
+            ck->onScoreboardSample(busy.countBusy(), with_latest);
+        }
 
         // ---- termination -------------------------------------------------
         if ((halted || decode_seq >= records.size()) &&

@@ -72,6 +72,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
     Cycle last_event = 0;
     bool done = false;
     const auto &records = trace.records();
+    lint::InvariantChecker *ck = invariants();
 
     /** Pool entry currently holding tag @p tag, or nullptr. */
     auto entry_with_tag = [&](Tag tag) -> InflightOp * {
@@ -120,15 +121,18 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         cycle_tags.push_back(tag);
     };
 
+    std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0; !done; ++cycle) {
         if (cycle > options.maxCycles)
             ruu_panic("RUU exceeded %llu cycles — livelock",
                       static_cast<unsigned long long>(options.maxCycles));
         cycle_tags.clear();
+        if (ck)
+            ck->beginCycle(cycle);
 
         // ---- phase 4: dispatch to the functional units -------------------
         {
-            std::vector<unsigned> candidates;
+            candidates.clear();
             for (unsigned i = 0; i < ruu_size; ++i) {
                 const InflightOp &e = ruu[i];
                 if (e.valid && !e.executed && e.readyToDispatch())
@@ -193,6 +197,12 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
             Tag tag = e.isStore ? storeTagFor(e.seq) : e.destTag;
             Word value = e.isStore ? e.rec->storeValue : e.rec->result;
             broadcast(tag, value);
+            if (ck) {
+                if (e.isStore)
+                    ck->onStoreBroadcast(tag);
+                else
+                    ck->onResultBroadcast(cycle, tag);
+            }
 
             // Loads are finished with their load register once their
             // data is delivered; stores hold theirs until commit.
@@ -226,6 +236,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
             }
 
             const TraceRecord &rec = *e.rec;
+            if (ck)
+                ck->onCommit(e.seq);
             if (rec.inst.dst.valid()) {
                 result.state.write(rec.inst.dst, rec.result);
                 counters.release(rec.inst.dst);
@@ -233,12 +245,18 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 // the reservation stations (§6.2), so commitment is a
                 // second broadcast of the same tag.
                 broadcast(e.destTag, rec.result);
+                if (ck) {
+                    ck->onCommitBroadcast(cycle, e.destTag);
+                    ck->onTagReleased(e.destTag);
+                }
             }
             if (e.isStore) {
                 bool ok = result.memory.store(rec.memAddr,
                                               rec.storeValue);
                 ruu_assert(ok, "store to unmapped address in trace");
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
+                if (ck)
+                    ck->onTagReleased(storeTagFor(e.seq));
             }
 
             ++c_commits;
@@ -353,7 +371,11 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                         e.destTag = counters.makeTag(inst.dst, instance);
                         if (future_covers(inst.dst))
                             future_valid[inst.dst.flat()] = false;
+                        if (ck)
+                            ck->onTagAllocated(e.destTag, e.seq);
                     }
+                    if (ck && e.isStore)
+                        ck->onTagAllocated(storeTagFor(e.seq), e.seq);
 
                     // Instructions with no functional unit (NOP, HALT)
                     // are complete on arrival and only wait to commit.
@@ -372,6 +394,21 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         h_occupancy.sample(count);
+
+        if (ck) {
+            // §5: the NI counters must agree with the set of RUU
+            // entries holding an uncommitted register writer.
+            unsigned writers = 0;
+            for (const InflightOp &e : ruu)
+                if (e.valid && e.rec && e.rec->inst.dst.valid())
+                    ++writers;
+            unsigned ni_total = 0;
+            for (unsigned f = 0; f < kNumArchRegs; ++f)
+                ni_total += counters.instances(RegId::fromFlat(f));
+            ck->onScoreboardSample(ni_total, writers);
+            ck->require(count <= ruu_size,
+                        "RUU occupancy exceeds capacity");
+        }
 
         if (decode_seq >= records.size() && count == 0) {
             result.cycles = last_event + 1;

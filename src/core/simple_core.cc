@@ -42,6 +42,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
     Cycle next_issue = 0;  //!< earliest cycle the next instruction issues
     Cycle last_event = 0;  //!< latest issue or completion cycle seen
     Cycle fault_cycle = kNoCycle; //!< detection time of a raised fault
+    lint::InvariantChecker *ck = invariants();
 
     auto src_ready = [&](const Instruction &inst) {
         Cycle ready = 0;
@@ -69,11 +70,15 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         bus.retireBefore(next_issue);
+        if (ck)
+            ck->beginCycle(next_issue);
 
         if (inst.op == Opcode::HALT) {
             last_event = std::max(last_event, next_issue);
             ++c_insts;
             ++result.instructions;
+            if (ck)
+                ck->onCommit(seq);
             break;
         }
 
@@ -81,6 +86,8 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             last_event = std::max(last_event, next_issue);
             ++c_insts;
             ++result.instructions;
+            if (ck)
+                ck->onCommit(seq);
             next_issue += 1;
             continue;
         }
@@ -98,6 +105,8 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             last_event = std::max(last_event, t);
             ++c_insts;
             ++result.instructions;
+            if (ck)
+                ck->onCommit(seq);
             continue;
         }
 
@@ -126,8 +135,13 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         while (!constraints_ok(t))
             ++t;
         c_bus += t - t0;
-        if (!isStore(inst.op))
+        if (!isStore(inst.op)) {
             bus.reserve(t + latency, kNoTag, record.result, seq);
+            // Independent recount of the Weiss-Smith reservation: the
+            // delivery cycle must still have a bus available.
+            if (ck)
+                ck->onResultBroadcast(t + latency, kNoTag);
+        }
         if (is_mem)
             banks.access(record.memAddr, t);
 
@@ -160,6 +174,8 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
 
         ++c_insts;
         ++result.instructions;
+        if (ck)
+            ck->onCommit(seq);
         next_issue = t + 1;
     }
 

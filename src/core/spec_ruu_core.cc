@@ -86,6 +86,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
     std::size_t wp_index = 0;    //!< static index being fetched
 
     const auto &records = trace.records();
+    lint::InvariantChecker *ck = invariants();
 
     /** Queue position (0 = head) of slot @p slot. */
     auto queue_pos = [&](unsigned slot) {
@@ -144,6 +145,10 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
             RegId dst = e.inst().dst;
             if (dst.valid())
                 counters.rollback(dst);
+            if (ck && dst.valid())
+                ck->onTagSquashed(e.destTag);
+            if (ck && e.isStore)
+                ck->onTagSquashed(storeTagFor(e.seq));
             if (e.isMem() && e.addrResolved && !e.lrReleased)
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
             e.valid = false;
@@ -155,14 +160,17 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         count = keep;
     };
 
+    std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0; !done; ++cycle) {
         if (cycle > options.maxCycles)
             ruu_panic("SpecRuu exceeded %llu cycles — livelock",
                       static_cast<unsigned long long>(options.maxCycles));
+        if (ck)
+            ck->beginCycle(cycle);
 
         // ---- phase 5: dispatch -------------------------------------------
         {
-            std::vector<unsigned> candidates;
+            candidates.clear();
             for (unsigned i = 0; i < ruu_size; ++i) {
                 const SpecEntry &e = ruu[i];
                 if (e.valid && !e.executed && !e.isBranchEntry &&
@@ -231,6 +239,12 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                          : e.isStore ? e.rec->storeValue
                                      : e.rec->result;
             broadcast(tag, value);
+            if (ck) {
+                if (e.isStore)
+                    ck->onStoreBroadcast(tag);
+                else
+                    ck->onResultBroadcast(cycle, tag);
+            }
             if (e.isLoad && !e.lrReleased) {
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
                 e.lrReleased = true;
@@ -287,16 +301,24 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
             }
 
             const TraceRecord &rec = *e.rec;
+            if (ck)
+                ck->onCommit(e.seq);
             if (rec.inst.dst.valid()) {
                 result.state.write(rec.inst.dst, rec.result);
                 counters.release(rec.inst.dst);
                 broadcast(e.destTag, rec.result);
+                if (ck) {
+                    ck->onCommitBroadcast(cycle, e.destTag);
+                    ck->onTagReleased(e.destTag);
+                }
             }
             if (e.isStore) {
                 bool ok = result.memory.store(rec.memAddr,
                                               rec.storeValue);
                 ruu_assert(ok, "store to unmapped address in trace");
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
+                if (ck)
+                    ck->onTagReleased(storeTagFor(e.seq));
             }
             ++c_commits;
             ++c_insts;
@@ -391,6 +413,10 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 if (inst.dst.valid())
                     e.destTag = counters.makeTag(
                         inst.dst, counters.allocate(inst.dst));
+                if (ck && inst.dst.valid())
+                    ck->onTagAllocated(e.destTag, e.seq);
+                if (ck && e.isStore)
+                    ck->onTagAllocated(storeTagFor(e.seq), e.seq);
 
                 if (inst.fu() == FuKind::None && !is_cond)
                     e.executed = true; // NOP, HALT, J
@@ -467,6 +493,22 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         h_occupancy.sample(count);
+
+        if (ck) {
+            // §5: the NI counters must agree with the set of RUU
+            // entries (correct or wrong path) holding a register
+            // writer whose instance is not yet committed or squashed.
+            unsigned writers = 0;
+            for (const SpecEntry &e : ruu)
+                if (e.valid && e.inst().dst.valid())
+                    ++writers;
+            unsigned ni_total = 0;
+            for (unsigned f = 0; f < kNumArchRegs; ++f)
+                ni_total += counters.instances(RegId::fromFlat(f));
+            ck->onScoreboardSample(ni_total, writers);
+            ck->require(count <= ruu_size,
+                        "RUU occupancy exceeds capacity");
+        }
 
         if (decode_seq >= records.size() && !wp_active && count == 0) {
             result.cycles = last_event + 1;

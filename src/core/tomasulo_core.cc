@@ -81,6 +81,7 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
     bool halted = false;
     bool fault_raised = false;
     const auto &records = trace.records();
+    lint::InvariantChecker *ck = invariants();
 
     auto rs_occupancy = [&]() {
         unsigned n = 0;
@@ -101,6 +102,8 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
         if (cycle > options.maxCycles)
             ruu_panic("Tomasulo exceeded %llu cycles — livelock",
                       static_cast<unsigned long long>(options.maxCycles));
+        if (ck)
+            ck->beginCycle(cycle);
 
         // ---- phase 3: dispatch (each unit may accept one per cycle) ----
         // The memory unit gets bus priority (§5), then the other units.
@@ -178,6 +181,12 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
             Word value = e.isStore ? e.rec->storeValue : e.rec->result;
             wake_all(tag);
             load_regs.onBroadcast(tag, value);
+            if (ck) {
+                if (e.isStore)
+                    ck->onStoreBroadcast(tag);
+                else
+                    ck->onResultBroadcast(cycle, tag);
+            }
 
             RegId dst = e.rec->inst.dst;
             if (dst.valid()) {
@@ -188,7 +197,11 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     latest_slot[dst.flat()] = -1;
                 }
                 slot = TuEntry{}; // release the tag
+                if (ck)
+                    ck->onTagReleased(e.destTag);
             }
+            if (ck && e.isStore)
+                ck->onTagReleased(tag);
             if (e.isStore) {
                 bool ok = result.memory.store(e.rec->memAddr,
                                               e.rec->storeValue);
@@ -322,7 +335,11 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                         latest_slot[inst.dst.flat()] = tu_slot;
                         busy.setBusy(inst.dst);
                         e.destTag = static_cast<Tag>(tu_slot);
+                        if (ck)
+                            ck->onTagAllocated(e.destTag, e.seq);
                     }
+                    if (ck && e.isStore)
+                        ck->onTagAllocated(storeTagFor(e.seq), e.seq);
                     if (e.isMem())
                         mem_queue.push_back(
                             static_cast<unsigned>(rs_slot));
@@ -336,6 +353,14 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         h_rs_busy.sample(rs_occupancy());
+
+        if (ck) {
+            // One busy bit per register with a latest Tag Unit entry.
+            unsigned with_tag = 0;
+            for (int slot : latest_slot)
+                with_tag += slot >= 0 ? 1 : 0;
+            ck->onScoreboardSample(busy.countBusy(), with_tag);
+        }
 
         if ((halted || decode_seq >= records.size()) &&
             rs_occupancy() == 0 && flight.empty()) {

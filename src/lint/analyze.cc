@@ -1,0 +1,470 @@
+#include "lint/analyze.hh"
+
+#include <algorithm>
+#include <bitset>
+#include <map>
+
+#include "lint/cfg.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+namespace
+{
+
+using RegSet = std::bitset<kNumArchRegs>;
+
+/** True when @p inst reads @p reg through either source slot. */
+bool
+reads(const Instruction &inst, RegId reg)
+{
+    for (RegId src : inst.rawSrcs())
+        if (src.valid() && src == reg)
+            return true;
+    return false;
+}
+
+std::string
+describeInst(const Program &program, std::size_t index)
+{
+    const Instruction &inst = program.inst(index);
+    return std::string(mnemonic(inst.op)) + " at parcel " +
+           std::to_string(program.pc(index));
+}
+
+/** Shared state for one analyze() run. */
+class Analyzer
+{
+  public:
+    Analyzer(const Program &program, std::vector<Diagnostic> &out)
+        : _program(program), _cfg(Cfg::build(program)), _out(out)
+    {}
+
+    void
+    run()
+    {
+        checkBranchTargets();
+        checkDataImage();
+        checkReachability();
+        checkUseBeforeDef();
+        checkDeadDefs();
+        checkCondRegStyle();
+        checkLoopSaveRegStyle();
+    }
+
+  private:
+    void
+    report(Check check, std::size_t index, std::string message,
+           std::string fix_hint)
+    {
+        Diagnostic d;
+        d.check = check;
+        d.severity = checkInfo(check).severity;
+        d.index = index;
+        d.pc = index == Diagnostic::kNoIndex ? 0 : _program.pc(index);
+        d.message = std::move(message);
+        d.fixHint = std::move(fix_hint);
+        _out.push_back(std::move(d));
+    }
+
+    // --- RUU-E002 / RUU-E003 ------------------------------------------
+
+    void
+    checkBranchTargets()
+    {
+        for (std::size_t i = 0; i < _program.size(); ++i) {
+            const Instruction &inst = _program.inst(i);
+            if (!isBranch(inst.op))
+                continue;
+            if (inst.target >= _program.totalParcels()) {
+                report(Check::BranchOutOfRange, i,
+                       describeInst(_program, i) + " targets parcel " +
+                           std::to_string(inst.target) +
+                           ", past the program end (" +
+                           std::to_string(_program.totalParcels()) +
+                           " parcels)",
+                       "branch to a label bound inside the program");
+            } else if (!_program.indexOfPc(inst.target)) {
+                report(Check::BranchMidInstruction, i,
+                       describeInst(_program, i) + " targets parcel " +
+                           std::to_string(inst.target) +
+                           ", the second parcel of a two-parcel "
+                           "instruction",
+                       "branch targets must be instruction boundaries");
+            }
+        }
+    }
+
+    // --- RUU-E004 / RUU-W103 ------------------------------------------
+
+    void
+    checkDataImage()
+    {
+        std::map<Addr, Word> seen;
+        for (const DataInit &init : _program.dataInits()) {
+            auto [it, inserted] = seen.emplace(init.addr, init.value);
+            if (inserted)
+                continue;
+            if (it->second != init.value) {
+                report(Check::DataOverlap, Diagnostic::kNoIndex,
+                       "data word " + std::to_string(init.addr) +
+                           " initialized twice with different values (0x" +
+                           toHex(it->second) + " then 0x" +
+                           toHex(init.value) + ")",
+                       "drop one initializer or use distinct addresses");
+                it->second = init.value; // report each conflict once
+            } else {
+                report(Check::DataDuplicate, Diagnostic::kNoIndex,
+                       "data word " + std::to_string(init.addr) +
+                           " initialized twice with the same value",
+                       "drop the redundant initializer");
+            }
+        }
+    }
+
+    static std::string
+    toHex(Word value)
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out;
+        do {
+            out.insert(out.begin(), digits[value & 0xf]);
+            value >>= 4;
+        } while (value != 0);
+        return out;
+    }
+
+    // --- RUU-W101 / RUU-E005 ------------------------------------------
+
+    void
+    checkReachability()
+    {
+        for (const BasicBlock &block : _cfg.blocks) {
+            if (!block.reachable) {
+                report(Check::UnreachableCode, block.first,
+                       "no control-flow path reaches this block (" +
+                           std::to_string(block.last - block.first + 1) +
+                           " instruction(s))",
+                       "delete the block or branch to it");
+            } else if (block.fallsOffEnd) {
+                report(Check::FallOffEnd, block.last,
+                       "control flow runs past the last instruction "
+                       "after " +
+                           describeInst(_program, block.last),
+                       "end every path with HALT or a branch");
+            }
+        }
+    }
+
+    // --- RUU-E001 ------------------------------------------------------
+
+    /**
+     * May-defined forward dataflow: union at joins, empty at entry.
+     * A register absent from the set at a use site has no defining
+     * instruction on *any* path — a definite use-before-def, so this
+     * check never false-positives on merge points.
+     */
+    void
+    checkUseBeforeDef()
+    {
+        const std::size_t nb = _cfg.size();
+        std::vector<RegSet> out(nb);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t b = 0; b < nb; ++b) {
+                const BasicBlock &block = _cfg.blocks[b];
+                RegSet in;
+                for (std::size_t p : block.preds)
+                    in |= out[p];
+                RegSet now = in;
+                for (std::size_t i = block.first; i <= block.last; ++i) {
+                    RegId dst = _program.inst(i).dst;
+                    if (dst.valid())
+                        now.set(dst.flat());
+                }
+                if (now != out[b]) {
+                    out[b] = now;
+                    changed = true;
+                }
+            }
+        }
+
+        for (std::size_t b = 0; b < nb; ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable)
+                continue;
+            RegSet defined;
+            for (std::size_t p : block.preds)
+                defined |= out[p];
+            for (std::size_t i = block.first; i <= block.last; ++i) {
+                const Instruction &inst = _program.inst(i);
+                RegId reported;
+                for (RegId src : inst.rawSrcs()) {
+                    if (!src.valid() || defined.test(src.flat()) ||
+                        src == reported)
+                        continue;
+                    report(Check::UseBeforeDef, i,
+                           describeInst(_program, i) + " reads " +
+                               src.toString() +
+                               ", which no instruction writes before "
+                               "this point on any path",
+                           "initialize " + src.toString() +
+                               " before the first use");
+                    reported = src;
+                }
+                if (inst.dst.valid())
+                    defined.set(inst.dst.flat());
+            }
+        }
+    }
+
+    // --- RUU-W102 ------------------------------------------------------
+
+    /**
+     * Backward liveness. Program exits (HALT, falling off the end) are
+     * treated as reading every register, so a write is flagged only
+     * when every path overwrites it before any read — values parked in
+     * registers at HALT are legitimate results, not dead defs.
+     */
+    void
+    checkDeadDefs()
+    {
+        const std::size_t nb = _cfg.size();
+        _liveIn.assign(nb, RegSet());
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t b = nb; b-- > 0;) {
+                const BasicBlock &block = _cfg.blocks[b];
+                RegSet live = blockLiveOut(b);
+                for (std::size_t i = block.last + 1; i-- > block.first;) {
+                    const Instruction &inst = _program.inst(i);
+                    if (inst.dst.valid())
+                        live.reset(inst.dst.flat());
+                    for (RegId src : inst.rawSrcs())
+                        if (src.valid())
+                            live.set(src.flat());
+                }
+                if (live != _liveIn[b]) {
+                    _liveIn[b] = live;
+                    changed = true;
+                }
+            }
+        }
+
+        for (std::size_t b = 0; b < nb; ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable)
+                continue;
+            RegSet live = blockLiveOut(b);
+            for (std::size_t i = block.last + 1; i-- > block.first;) {
+                const Instruction &inst = _program.inst(i);
+                if (inst.dst.valid()) {
+                    if (!live.test(inst.dst.flat())) {
+                        report(Check::DeadDef, i,
+                               describeInst(_program, i) + " writes " +
+                                   inst.dst.toString() +
+                                   ", but every path overwrites the "
+                                   "value before reading it",
+                               "delete the write or use the value");
+                    }
+                    live.reset(inst.dst.flat());
+                }
+                for (RegId src : inst.rawSrcs())
+                    if (src.valid())
+                        live.set(src.flat());
+            }
+        }
+    }
+
+    RegSet
+    blockLiveOut(std::size_t b) const
+    {
+        const BasicBlock &block = _cfg.blocks[b];
+        RegSet live;
+        if (block.fallsOffEnd ||
+            _program.inst(block.last).op == Opcode::HALT) {
+            live.set(); // program exit: every register value may matter
+            return live;
+        }
+        for (std::size_t s : block.succs)
+            live |= _liveIn[s];
+        return live;
+    }
+
+    // --- RUU-W201 ------------------------------------------------------
+
+    /**
+     * CFT style: A0/S0 are the branch condition registers (docs/ISA.md).
+     * A write to one whose value is read — but never by a conditional
+     * branch — clobbers the condition slot for ordinary data. Writes
+     * whose value is never read at all are left to dead_def.
+     */
+    void
+    checkCondRegStyle()
+    {
+        for (std::size_t b = 0; b < _cfg.size(); ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable)
+                continue;
+            for (std::size_t i = block.first; i <= block.last; ++i) {
+                RegId dst = _program.inst(i).dst;
+                if (!dst.valid() || dst.index() != 0)
+                    continue;
+                if (dst.file() != RegFile::A && dst.file() != RegFile::S)
+                    continue;
+                bool any_use = false;
+                bool branch_use = false;
+                scanUses(b, i + 1, dst, any_use, branch_use);
+                if (any_use && !branch_use) {
+                    report(Check::CondRegClobber, i,
+                           describeInst(_program, i) + " writes " +
+                               dst.toString() +
+                               ", but no conditional branch ever tests "
+                               "the value",
+                           "keep " + dst.toString() +
+                               " for branch conditions; use another "
+                               "register for data");
+                }
+            }
+        }
+    }
+
+    /**
+     * Follow @p reg forward from instruction @p start of block @p b
+     * until every path redefines it, recording whether any reached
+     * reader exists and whether one is a conditional branch.
+     */
+    void
+    scanUses(std::size_t b, std::size_t start, RegId reg, bool &any_use,
+             bool &branch_use)
+    {
+        std::vector<bool> visited(_cfg.size(), false);
+        std::vector<std::pair<std::size_t, std::size_t>> work;
+        work.emplace_back(b, start);
+        while (!work.empty()) {
+            auto [blk, idx] = work.back();
+            work.pop_back();
+            const BasicBlock &block = _cfg.blocks[blk];
+            bool killed = false;
+            for (std::size_t i = idx; i <= block.last; ++i) {
+                const Instruction &inst = _program.inst(i);
+                if (reads(inst, reg)) {
+                    any_use = true;
+                    if (isCondBranch(inst.op))
+                        branch_use = true;
+                }
+                if (inst.dst.valid() && inst.dst == reg) {
+                    killed = true;
+                    break;
+                }
+            }
+            if (killed)
+                continue;
+            for (std::size_t s : block.succs) {
+                if (!visited[s]) {
+                    visited[s] = true;
+                    work.emplace_back(s, _cfg.blocks[s].first);
+                }
+            }
+        }
+    }
+
+    // --- RUU-W202 ------------------------------------------------------
+
+    /**
+     * CFT style: B/T are save registers for loop invariants; writing
+     * one inside a loop body defeats that. Loop bodies are the ranges
+     * [target, branch] of backward branches.
+     */
+    void
+    checkLoopSaveRegStyle()
+    {
+        std::vector<bool> in_loop(_program.size(), false);
+        for (std::size_t i = 0; i < _program.size(); ++i) {
+            const Instruction &inst = _program.inst(i);
+            if (!isBranch(inst.op))
+                continue;
+            auto t = _program.indexOfPc(inst.target);
+            if (!t || *t > i)
+                continue;
+            for (std::size_t j = *t; j <= i; ++j)
+                in_loop[j] = true;
+        }
+        for (std::size_t i = 0; i < _program.size(); ++i) {
+            if (!in_loop[i] || !_cfg.blocks[_cfg.blockOf[i]].reachable)
+                continue;
+            RegId dst = _program.inst(i).dst;
+            if (!dst.valid() ||
+                (dst.file() != RegFile::B && dst.file() != RegFile::T))
+                continue;
+            report(Check::LoopSaveRegWrite, i,
+                   describeInst(_program, i) + " writes save register " +
+                       dst.toString() + " inside a loop body",
+                   "hoist the write out of the loop or keep the value "
+                   "in A/S registers");
+        }
+    }
+
+    const Program &_program;
+    Cfg _cfg;
+    std::vector<RegSet> _liveIn;
+    std::vector<Diagnostic> &_out;
+};
+
+/** True when the program's annotations suppress @p diagnostic. */
+bool
+suppressed(const Program &program, const Diagnostic &diagnostic)
+{
+    auto matches = [&diagnostic](const std::string &text) {
+        std::string norm = normalizeCheckName(text);
+        if (norm == "all")
+            return true;
+        auto check = checkFromString(norm);
+        return check && *check == diagnostic.check;
+    };
+    for (const std::string &text : program.lintGlobalAllows())
+        if (matches(text))
+            return true;
+    if (diagnostic.index == Diagnostic::kNoIndex)
+        return false; // data-image findings: global suppression only
+    auto [lo, hi] = program.lintAllows().equal_range(diagnostic.pc);
+    for (auto it = lo; it != hi; ++it)
+        if (matches(it->second))
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+analyze(const Program &program, const Options &options)
+{
+    std::vector<Diagnostic> out;
+    if (program.empty())
+        return out;
+
+    Analyzer(program, out).run();
+
+    if (!options.includeSuppressed) {
+        std::erase_if(out, [&program](const Diagnostic &d) {
+            return suppressed(program, d);
+        });
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.index != b.index)
+                             return a.index < b.index;
+                         if (a.severity != b.severity)
+                             return a.severity < b.severity;
+                         return a.check < b.check;
+                     });
+    return out;
+}
+
+} // namespace lint
+} // namespace ruu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static program verifier for the model ISA.
+ *
+ * analyze() builds a basic-block CFG (lint/cfg.hh) and runs forward and
+ * backward dataflow over it:
+ *
+ *  - RUU-E001 use_before_def: a register is read on some path from the
+ *    entry along which no instruction has written it (forward
+ *    may-defined analysis; reported only in reachable blocks).
+ *  - RUU-E002/E003 branch targets: outside the program, or into the
+ *    second parcel of a two-parcel instruction.
+ *  - RUU-E004/W103 data image: two DataInit entries name the same word
+ *    address with different (error) or identical (warning) values.
+ *  - RUU-E005 fall_off_end: a reachable block's straight-line exit runs
+ *    past the last instruction.
+ *  - RUU-W101 unreachable_code: a block no path from the entry reaches.
+ *  - RUU-W102 dead_def: a register write whose value cannot reach any
+ *    read (backward liveness).
+ *  - RUU-W201 cond_reg_clobber / RUU-W202 loop_save_reg_write: the CFT
+ *    calling-style conventions from docs/ISA.md — A0/S0 are branch
+ *    condition registers, B/T hold loop invariants.
+ *
+ * Diagnostics suppressed by the program's lint annotations (a `.lint
+ * allow <check>` directive in assembly, ProgramBuilder::allow() /
+ * allowProgram() in the DSL) are filtered out unless
+ * Options::includeSuppressed is set.
+ */
+
+#ifndef RUU_LINT_ANALYZE_HH
+#define RUU_LINT_ANALYZE_HH
+
+#include <vector>
+
+#include "asm/program.hh"
+#include "lint/diagnostic.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+/** Knobs for analyze(). */
+struct Options
+{
+    /** Report findings even when the program annotates them away. */
+    bool includeSuppressed = false;
+};
+
+/**
+ * Run every static check over @p program. Diagnostics come back sorted
+ * by instruction index (data-image findings last), errors before
+ * warnings at the same instruction.
+ */
+std::vector<Diagnostic> analyze(const Program &program,
+                                const Options &options = {});
+
+} // namespace lint
+} // namespace ruu
+
+#endif // RUU_LINT_ANALYZE_HH

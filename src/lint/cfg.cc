@@ -1,0 +1,85 @@
+#include "lint/cfg.hh"
+
+#include <vector>
+
+namespace ruu
+{
+namespace lint
+{
+
+Cfg
+Cfg::build(const Program &program)
+{
+    Cfg cfg;
+    const std::size_t n = program.size();
+    if (n == 0)
+        return cfg;
+
+    // Pass 1: leaders. The entry, every valid branch target, and every
+    // instruction after a branch or HALT starts a block.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction &inst = program.inst(i);
+        if (isBranch(inst.op)) {
+            if (auto t = program.indexOfPc(inst.target))
+                leader[*t] = true;
+            if (i + 1 < n)
+                leader[i + 1] = true;
+        } else if (inst.op == Opcode::HALT && i + 1 < n) {
+            leader[i + 1] = true;
+        }
+    }
+
+    // Pass 2: block ranges.
+    cfg.blockOf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock block;
+            block.first = i;
+            cfg.blocks.push_back(block);
+        }
+        cfg.blockOf[i] = cfg.blocks.size() - 1;
+        cfg.blocks.back().last = i;
+    }
+
+    // Pass 3: edges.
+    auto addEdge = [&cfg](std::size_t from, std::size_t to) {
+        cfg.blocks[from].succs.push_back(to);
+        cfg.blocks[to].preds.push_back(from);
+    };
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &block = cfg.blocks[b];
+        const Instruction &last = program.inst(block.last);
+        if (last.op == Opcode::HALT)
+            continue;
+        if (isBranch(last.op)) {
+            if (auto t = program.indexOfPc(last.target))
+                addEdge(b, cfg.blockOf[*t]);
+            if (!isCondBranch(last.op))
+                continue; // J: no fall-through
+        }
+        if (block.last + 1 < n)
+            addEdge(b, cfg.blockOf[block.last + 1]);
+        else
+            block.fallsOffEnd = true;
+    }
+
+    // Pass 4: reachability from the entry block.
+    std::vector<std::size_t> stack = {0};
+    cfg.blocks[0].reachable = true;
+    while (!stack.empty()) {
+        std::size_t b = stack.back();
+        stack.pop_back();
+        for (std::size_t s : cfg.blocks[b].succs) {
+            if (!cfg.blocks[s].reachable) {
+                cfg.blocks[s].reachable = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return cfg;
+}
+
+} // namespace lint
+} // namespace ruu

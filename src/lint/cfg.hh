@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Basic-block control-flow graph over a ruu::Program.
+ *
+ * Blocks are maximal straight-line instruction ranges: a new block
+ * starts at the program entry, at every branch target, and after every
+ * branch or HALT. Edges follow the model ISA's control flow — branches
+ * resolve in the decode stage, J is unconditional, the eight Jxx forms
+ * are conditional with fall-through, HALT terminates.
+ *
+ * Branches whose target is not a valid instruction boundary get no
+ * target edge (the analyzer reports them separately); a block whose
+ * straight-line successor would run past the last instruction is marked
+ * fallsOffEnd.
+ */
+
+#ifndef RUU_LINT_CFG_HH
+#define RUU_LINT_CFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+/** One basic block: instructions [first, last] inclusive. */
+struct BasicBlock
+{
+    std::size_t first = 0; //!< static index of the first instruction
+    std::size_t last = 0;  //!< static index of the last instruction
+    std::vector<std::size_t> succs; //!< successor block ids
+    std::vector<std::size_t> preds; //!< predecessor block ids
+    bool fallsOffEnd = false; //!< straight-line exit past program end
+    bool reachable = false;   //!< some path from the entry reaches it
+};
+
+/** Control-flow graph of a program. */
+struct Cfg
+{
+    std::vector<BasicBlock> blocks; //!< block 0 is the entry block
+    std::vector<std::size_t> blockOf; //!< instruction index -> block id
+
+    /** Number of blocks. */
+    std::size_t size() const { return blocks.size(); }
+
+    /** Build the CFG for @p program (empty CFG for an empty program). */
+    static Cfg build(const Program &program);
+};
+
+} // namespace lint
+} // namespace ruu
+
+#endif // RUU_LINT_CFG_HH

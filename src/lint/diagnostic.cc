@@ -1,0 +1,121 @@
+#include "lint/diagnostic.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+namespace
+{
+
+const CheckInfo kCatalog[kNumChecks] = {
+    {"RUU-E001", "use_before_def", Severity::Error,
+     "register read on a path where it is never written"},
+    {"RUU-E002", "branch_out_of_range", Severity::Error,
+     "branch target lies outside the program"},
+    {"RUU-E003", "branch_mid_instruction", Severity::Error,
+     "branch target splits a two-parcel instruction"},
+    {"RUU-E004", "data_overlap", Severity::Error,
+     "two data initializers write different values to one address"},
+    {"RUU-E005", "fall_off_end", Severity::Error,
+     "control flow can run past the last instruction"},
+    {"RUU-W101", "unreachable_code", Severity::Warning,
+     "no control-flow path reaches this block"},
+    {"RUU-W102", "dead_def", Severity::Warning,
+     "register written but the value is never read"},
+    {"RUU-W103", "data_duplicate", Severity::Warning,
+     "data initializer repeats an address with the same value"},
+    {"RUU-W201", "cond_reg_clobber", Severity::Style,
+     "A0/S0 written but the value is never tested by a branch"},
+    {"RUU-W202", "loop_save_reg_write", Severity::Style,
+     "B/T save register written inside a loop body"},
+};
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Style: return "style";
+    }
+    return "?";
+}
+
+const CheckInfo &
+checkInfo(Check check)
+{
+    unsigned i = static_cast<unsigned>(check);
+    ruu_assert(i < kNumChecks, "bad lint check %u", i);
+    return kCatalog[i];
+}
+
+std::string
+normalizeCheckName(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text)
+        out.push_back(c == '-'
+                          ? '_'
+                          : static_cast<char>(std::tolower(
+                                static_cast<unsigned char>(c))));
+    return out;
+}
+
+std::optional<Check>
+checkFromString(const std::string &text)
+{
+    std::string norm = normalizeCheckName(text);
+    for (unsigned i = 0; i < kNumChecks; ++i) {
+        if (norm == normalizeCheckName(kCatalog[i].id) ||
+            norm == kCatalog[i].name)
+            return static_cast<Check>(i);
+    }
+    return std::nullopt;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out = "[";
+    out += id();
+    out += "] ";
+    out += severityName(severity);
+    if (index != kNoIndex)
+        out += " at parcel " + std::to_string(pc) + " (inst #" +
+               std::to_string(index) + ")";
+    out += ": " + message;
+    if (!fixHint.empty())
+        out += " (hint: " + fixHint + ")";
+    return out;
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diagnostics)
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+std::string
+formatDiagnostics(const std::string &subject,
+                  const std::vector<Diagnostic> &diagnostics)
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics) {
+        out += subject + ": " + d.toString() + "\n";
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace ruu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Diagnostics produced by the static program verifier (lint/analyze.hh).
+ *
+ * Every check has a stable identifier ("RUU-E001"), a severity, and a
+ * short name usable in suppression annotations. Identifiers are part of
+ * the tool's interface: tests assert on them, docs/LINT.md catalogs
+ * them, and programs reference them in `.lint allow` directives or
+ * ProgramBuilder::allow() calls.
+ */
+
+#ifndef RUU_LINT_DIAGNOSTIC_HH
+#define RUU_LINT_DIAGNOSTIC_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t
+{
+    Error,   //!< the program is wrong (would misbehave or trap)
+    Warning, //!< almost certainly unintended (dead code, shadowed data)
+    Style,   //!< violates the CFT calling conventions (docs/ISA.md)
+};
+
+/** Printable severity name ("error", "warning", "style"). */
+const char *severityName(Severity severity);
+
+/** Every check the static analyzer performs. */
+enum class Check : std::uint8_t
+{
+    UseBeforeDef,         //!< RUU-E001: register read, never written
+    BranchOutOfRange,     //!< RUU-E002: target outside the program
+    BranchMidInstruction, //!< RUU-E003: target splits a parcel pair
+    DataOverlap,          //!< RUU-E004: conflicting DataInit values
+    FallOffEnd,           //!< RUU-E005: control runs past the program
+    UnreachableCode,      //!< RUU-W101: block no path reaches
+    DeadDef,              //!< RUU-W102: register written, never read
+    DataDuplicate,        //!< RUU-W103: DataInit repeated, same value
+    CondRegClobber,       //!< RUU-W201: A0/S0 value never branched on
+    LoopSaveRegWrite,     //!< RUU-W202: B/T written inside a loop body
+    NumChecks,
+};
+
+/** Number of checks, for table sizing. */
+inline constexpr unsigned kNumChecks =
+    static_cast<unsigned>(Check::NumChecks);
+
+/** Static catalog record of one check. */
+struct CheckInfo
+{
+    const char *id;       //!< stable identifier, e.g. "RUU-E001"
+    const char *name;     //!< suppression name, e.g. "use_before_def"
+    Severity severity;    //!< default severity
+    const char *summary;  //!< one-line description for --catalog
+};
+
+/** Catalog record of @p check. */
+const CheckInfo &checkInfo(Check check);
+
+/**
+ * Look a check up by identifier or name. Matching is case-insensitive
+ * and treats '-' and '_' as equal, so "RUU-E001", "ruu_e001" and
+ * "use-before-def" all resolve. Returns nullopt for unknown text
+ * (including the "all" wildcard, which suppression matching handles
+ * separately).
+ */
+std::optional<Check> checkFromString(const std::string &text);
+
+/** Canonical form used when matching suppressions: lower, '-'→'_'. */
+std::string normalizeCheckName(const std::string &text);
+
+/** One finding of the static analyzer. */
+struct Diagnostic
+{
+    Check check = Check::UseBeforeDef;
+    Severity severity = Severity::Error;
+
+    /** Static instruction index, or kNoIndex for data diagnostics. */
+    static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+    std::size_t index = kNoIndex;
+
+    /** Parcel address of the instruction (0 for data diagnostics). */
+    ParcelAddr pc = 0;
+
+    /** What is wrong, with concrete registers/addresses. */
+    std::string message;
+
+    /** How to fix it (may be empty). */
+    std::string fixHint;
+
+    /** Stable identifier of the violated check ("RUU-E001"). */
+    const char *id() const { return checkInfo(check).id; }
+
+    /** "[RUU-E001] error at parcel 12: ... (hint: ...)". */
+    std::string toString() const;
+};
+
+/** True when any diagnostic has Severity::Error. */
+bool hasErrors(const std::vector<Diagnostic> &diagnostics);
+
+/** Render @p diagnostics one per line, prefixed with @p subject. */
+std::string formatDiagnostics(const std::string &subject,
+                              const std::vector<Diagnostic> &diagnostics);
+
+} // namespace lint
+} // namespace ruu
+
+#endif // RUU_LINT_DIAGNOSTIC_HH

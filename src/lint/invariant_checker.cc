@@ -1,0 +1,181 @@
+#include "lint/invariant_checker.hh"
+
+#include "uarch/scoreboard.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+namespace
+{
+
+std::string
+tagName(Tag tag)
+{
+    if (tag == kNoTag)
+        return "<none>";
+    if (tag & kStoreTagBit)
+        return "store#" + std::to_string(tag & ~kStoreTagBit);
+    return "tag " + std::to_string(tag);
+}
+
+} // namespace
+
+void
+InvariantChecker::violate(std::string message)
+{
+    if (_violations.size() >= kMaxViolations) {
+        if (!_overflowed) {
+            _overflowed = true;
+            _violations.push_back(
+                {_cycle, "(further violations suppressed)"});
+        }
+        return;
+    }
+    _violations.push_back({_cycle, std::move(message)});
+}
+
+void
+InvariantChecker::beginCycle(Cycle cycle)
+{
+    _cycle = cycle;
+    // Bus accounting for cycles already in the past can no longer
+    // change; drop it so long runs stay O(pipeline depth).
+    _resultCount.erase(_resultCount.begin(),
+                       _resultCount.lower_bound(cycle));
+    _commitCount.erase(_commitCount.begin(),
+                       _commitCount.lower_bound(cycle));
+}
+
+void
+InvariantChecker::onTagAllocated(Tag tag, SeqNum seq)
+{
+    if (tag == kNoTag) {
+        violate("allocated the null tag");
+        return;
+    }
+    auto [it, inserted] = _live.emplace(tag, LiveTag{seq, false});
+    if (!inserted)
+        violate(tagName(tag) + " allocated twice (first for seq " +
+                std::to_string(it->second.seq) + ", again for seq " +
+                std::to_string(seq) + ")");
+}
+
+void
+InvariantChecker::onResultBroadcast(Cycle cycle, Tag tag)
+{
+    unsigned count = ++_resultCount[cycle];
+    if (count > _limits.resultBuses)
+        violate("result bus double-grant: " + std::to_string(count) +
+                " broadcasts in cycle " + std::to_string(cycle) +
+                " on " + std::to_string(_limits.resultBuses) +
+                " bus(es)");
+    if (tag == kNoTag)
+        return;
+    auto it = _live.find(tag);
+    if (it == _live.end()) {
+        violate(tagName(tag) + " broadcast but never allocated");
+        return;
+    }
+    it->second.broadcast = true;
+}
+
+void
+InvariantChecker::onCommitBroadcast(Cycle cycle, Tag tag)
+{
+    unsigned count = ++_commitCount[cycle];
+    if (count > _limits.commitWidth)
+        violate("commit bus double-grant: " + std::to_string(count) +
+                " broadcasts in cycle " + std::to_string(cycle) +
+                " with commit width " +
+                std::to_string(_limits.commitWidth));
+    if (tag != kNoTag && !_live.count(tag))
+        violate(tagName(tag) + " commit-broadcast but not live");
+}
+
+void
+InvariantChecker::onStoreBroadcast(Tag tag)
+{
+    auto it = _live.find(tag);
+    if (it == _live.end()) {
+        violate(tagName(tag) + " published but never allocated");
+        return;
+    }
+    it->second.broadcast = true;
+}
+
+void
+InvariantChecker::onTagReleased(Tag tag)
+{
+    auto it = _live.find(tag);
+    if (it == _live.end()) {
+        violate(tagName(tag) + " released but not live "
+                               "(double release or never allocated)");
+        return;
+    }
+    if (!it->second.broadcast)
+        violate(tagName(tag) + " (seq " +
+                std::to_string(it->second.seq) +
+                ") released before its result was ever broadcast");
+    _live.erase(it);
+}
+
+void
+InvariantChecker::onTagSquashed(Tag tag)
+{
+    if (_live.erase(tag) == 0)
+        violate(tagName(tag) + " squashed but not live");
+}
+
+void
+InvariantChecker::onCommit(SeqNum seq)
+{
+    if (_lastCommit != kNoSeqNum && seq <= _lastCommit)
+        violate("out-of-program-order commit: seq " +
+                std::to_string(seq) + " after seq " +
+                std::to_string(_lastCommit));
+    _lastCommit = seq;
+}
+
+void
+InvariantChecker::onScoreboardSample(unsigned busy_bits,
+                                     unsigned outstanding_writers)
+{
+    if (busy_bits != outstanding_writers)
+        violate("scoreboard mismatch: " + std::to_string(busy_bits) +
+                " busy register instance(s) vs " +
+                std::to_string(outstanding_writers) +
+                " outstanding register-writing op(s)");
+}
+
+void
+InvariantChecker::require(bool condition, const char *what)
+{
+    if (!condition)
+        violate(std::string("requirement failed: ") + what);
+}
+
+void
+InvariantChecker::onRunEnd(bool interrupted)
+{
+    if (interrupted)
+        return; // faulted runs legitimately strand in-flight state
+    for (const auto &[tag, live] : _live)
+        violate(tagName(tag) + " (seq " + std::to_string(live.seq) +
+                ") leaked: allocated but never released or squashed");
+    _live.clear();
+}
+
+std::string
+InvariantChecker::report() const
+{
+    std::string out;
+    for (const Violation &v : _violations)
+        out += "  [" + _coreName + " @ cycle " +
+               std::to_string(v.cycle) + "] " + v.message + "\n";
+    return out;
+}
+
+} // namespace lint
+} // namespace ruu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cycle-level microarchitectural invariant checker.
+ *
+ * The six issue-logic cores share an architectural contract the paper's
+ * results rely on: results commit in program order, no reservation
+ * station / Tag Unit / RUU entry outlives its result broadcast, result
+ * and commit buses never carry more values in a cycle than they are
+ * configured wide, and scoreboard state matches the set of in-flight
+ * register writers. Each core reports its events to an
+ * InvariantChecker (when UarchConfig::checkInvariants is set or the
+ * RUU_CHECK_INVARIANTS environment variable is non-empty, see
+ * core/core.hh) and Core::run() panics when any run finishes with
+ * violations.
+ *
+ * The checker records violations instead of asserting so unit tests
+ * can exercise it directly (tests/test_lint.cc).
+ */
+
+#ifndef RUU_LINT_INVARIANT_CHECKER_HH
+#define RUU_LINT_INVARIANT_CHECKER_HH
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu
+{
+namespace lint
+{
+
+/** One broken invariant, with the cycle it was detected in. */
+struct Violation
+{
+    Cycle cycle = 0;
+    std::string message;
+};
+
+/** Validates the cross-core microarchitectural contract. */
+class InvariantChecker
+{
+  public:
+    /** Per-cycle structural limits of the checked core. */
+    struct Limits
+    {
+        unsigned resultBuses = 1; //!< max FU result broadcasts / cycle
+        unsigned commitWidth = 1; //!< max commits / cycle
+    };
+
+    InvariantChecker(std::string core_name, Limits limits)
+        : _coreName(std::move(core_name)), _limits(limits)
+    {}
+
+    /** Advance to @p cycle; prunes per-cycle bus accounting. */
+    void beginCycle(Cycle cycle);
+
+    // --- tag lifecycle -------------------------------------------------
+
+    /** @p tag was handed to a new in-flight destination (or store). */
+    void onTagAllocated(Tag tag, SeqNum seq);
+
+    /**
+     * A functional-unit result for @p tag goes out on a result bus in
+     * @p cycle. Counted against Limits::resultBuses. kNoTag counts bus
+     * usage without tag tracking (in-order cores reserve slots but
+     * carry no tags).
+     */
+    void onResultBroadcast(Cycle cycle, Tag tag);
+
+    /** Commit-time re-broadcast of @p tag (RUU commit bus). */
+    void onCommitBroadcast(Cycle cycle, Tag tag);
+
+    /** Store-data publish for @p tag; not a result-bus transfer. */
+    void onStoreBroadcast(Tag tag);
+
+    /** @p tag's entry retired; its result must have been broadcast. */
+    void onTagReleased(Tag tag);
+
+    /** @p tag's entry was squashed (misprediction / fault recovery). */
+    void onTagSquashed(Tag tag);
+
+    // --- ordering ------------------------------------------------------
+
+    /** Dynamic instruction @p seq committed; must strictly increase. */
+    void onCommit(SeqNum seq);
+
+    // --- cross-structure -----------------------------------------------
+
+    /**
+     * Scoreboard sample: @p busy_bits registers marked busy vs
+     * @p outstanding_writers in-flight register-writing operations.
+     */
+    void onScoreboardSample(unsigned busy_bits,
+                            unsigned outstanding_writers);
+
+    /** Core-specific structural assertion. */
+    void require(bool condition, const char *what);
+
+    /**
+     * Run finished. On a clean (non-interrupted) run every allocated
+     * tag must have been released or squashed; interrupted runs leave
+     * in-flight state behind by design.
+     */
+    void onRunEnd(bool interrupted);
+
+    // --- results -------------------------------------------------------
+
+    bool ok() const { return _violations.empty(); }
+    const std::vector<Violation> &violations() const
+    {
+        return _violations;
+    }
+
+    /** All violations, one per line, for panic messages. */
+    std::string report() const;
+
+  private:
+    struct LiveTag
+    {
+        SeqNum seq = kNoSeqNum;
+        bool broadcast = false;
+    };
+
+    void violate(std::string message);
+
+    std::string _coreName;
+    Limits _limits;
+    Cycle _cycle = 0;
+    SeqNum _lastCommit = kNoSeqNum;
+    std::unordered_map<Tag, LiveTag> _live;
+    std::map<Cycle, unsigned> _resultCount; //!< keyed by delivery cycle
+    std::map<Cycle, unsigned> _commitCount;
+    std::vector<Violation> _violations;
+
+    /** Keep panic messages bounded on badly broken cores. */
+    static constexpr std::size_t kMaxViolations = 32;
+    bool _overflowed = false;
+};
+
+} // namespace lint
+} // namespace ruu
+
+#endif // RUU_LINT_INVARIANT_CHECKER_HH

@@ -150,6 +150,12 @@ generateRandomProgram(std::uint64_t seed,
         b.smovi(regS(i), static_cast<int>(rng.pick(512)));
     for (unsigned i = 0; i < 5; ++i)
         b.amovi(regA(i), static_cast<int>(rng.pick(64)));
+    // The random mix reads B0-7/T0-7 (movab/movst): give every one a
+    // defined value so generated programs pass the use-before-def lint.
+    for (unsigned i = 0; i < 8; ++i) {
+        b.movba(regB(i), regA(i % 5));
+        b.movts(regT(i), regS(i));
+    }
 
     for (unsigned loop = 0; loop < options.loops; ++loop) {
         for (unsigned i = 0; i < options.straightLength; ++i)

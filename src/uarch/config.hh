@@ -146,6 +146,14 @@ struct UarchConfig
     /** Dead cycles from a mispredicted branch's resolution to redirect. */
     unsigned mispredictPenalty = 5;
 
+    /**
+     * Run the microarchitectural invariant checker
+     * (lint/invariant_checker.hh) every cycle; Core::run panics when a
+     * run finishes with violations. Also enabled for every core by
+     * setting the RUU_CHECK_INVARIANTS environment variable non-empty.
+     */
+    bool checkInvariants = false;
+
     /** Latency of @p kind. */
     unsigned latency(FuKind kind) const
     {

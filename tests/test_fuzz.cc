@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "isa/encoding.hh"
+#include "lint/analyze.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
 
@@ -42,6 +43,7 @@ TEST_P(FuzzSeeds, EveryCoreMatchesTheFunctionalSimulator)
         config.poolEntries = 6; // small: force wraparound and stalls
         config.historyEntries = 6;
         config.tuEntries = 6;
+        config.checkInvariants = true; // panic on tag/bus/order bugs
         auto core = makeCore(kind, config);
         RunResult run = core->run(w.trace());
         EXPECT_FALSE(run.interrupted) << core->name();
@@ -89,6 +91,19 @@ TEST_P(FuzzSeeds, AggressiveConfigurationsStayCorrect)
                 << core->name() << " / " << variant.label;
         }
     }
+}
+
+TEST_P(FuzzSeeds, GeneratedProgramsPassTheLinter)
+{
+    // The generator's register conventions (every B/T source
+    // initialized in the prologue, A5/A6/A7 controlled) must keep
+    // random programs free of static errors; style warnings about
+    // B/T writes inside random loop bodies are expected.
+    Workload w = workload();
+    auto diags = lint::analyze(*w.program);
+    for (const auto &diag : diags)
+        EXPECT_NE(diag.severity, lint::Severity::Error)
+            << w.name << ": " << diag.toString();
 }
 
 TEST_P(FuzzSeeds, GeneratedProgramsEncodeAndDecode)

@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Unit tests of the static program verifier (lint/analyze.hh): every
+ * diagnostic in the catalog fires on a purpose-built broken fixture,
+ * suppressions work through both the builder DSL and the `.lint`
+ * assembler directive, and the cycle-level InvariantChecker flags each
+ * class of microarchitectural contract violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "asm/parser.hh"
+#include "lint/analyze.hh"
+#include "lint/invariant_checker.hh"
+
+namespace ruu
+{
+namespace
+{
+
+using lint::Check;
+using lint::Diagnostic;
+using lint::Severity;
+
+bool
+has(const std::vector<Diagnostic> &diags, Check check)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [check](const Diagnostic &d) {
+                           return d.check == check;
+                       });
+}
+
+unsigned
+countOf(const std::vector<Diagnostic> &diags, Check check)
+{
+    return static_cast<unsigned>(
+        std::count_if(diags.begin(), diags.end(),
+                      [check](const Diagnostic &d) {
+                          return d.check == check;
+                      }));
+}
+
+// --- catalog ----------------------------------------------------------
+
+TEST(LintCatalog, IdsAndNamesRoundTrip)
+{
+    for (unsigned c = 0; c < lint::kNumChecks; ++c) {
+        Check check = static_cast<Check>(c);
+        const lint::CheckInfo &info = lint::checkInfo(check);
+        EXPECT_EQ(lint::checkFromString(info.id), check);
+        EXPECT_EQ(lint::checkFromString(info.name), check);
+    }
+    EXPECT_EQ(lint::checkFromString("ruu_e001"), Check::UseBeforeDef);
+    EXPECT_EQ(lint::checkFromString("Dead-Def"), Check::DeadDef);
+    EXPECT_FALSE(lint::checkFromString("no_such_check"));
+    EXPECT_FALSE(lint::checkFromString("all"));
+}
+
+// --- RUU-E001 use_before_def ------------------------------------------
+
+TEST(Lint, UseBeforeDefFiresPerUndefinedSource)
+{
+    ProgramBuilder b("e001");
+    b.sadd(regS(1), regS(2), regS(3));
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_EQ(countOf(diags, Check::UseBeforeDef), 2u); // S2 and S3
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_STREQ(diags[0].id(), "RUU-E001");
+    EXPECT_EQ(diags[0].index, 0u);
+}
+
+TEST(Lint, UseBeforeDefIsDefiniteOnlyAcrossJoins)
+{
+    // S1 is defined on the fall-through path only; a may-defined
+    // register must not be reported (the analysis has no false
+    // positives at merge points by construction).
+    ProgramBuilder b("e001-join");
+    b.amovi(regA(0), 1);
+    b.jaz("skip");
+    b.smovi(regS(1), 5);
+    b.label("skip");
+    b.sadd(regS(2), regS(1), regS(1));
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_FALSE(has(diags, Check::UseBeforeDef));
+}
+
+TEST(Lint, SameRegisterInBothSourcesReportsOnce)
+{
+    ProgramBuilder b("e001-dup");
+    b.sadd(regS(1), regS(2), regS(2));
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_EQ(countOf(diags, Check::UseBeforeDef), 1u);
+}
+
+// --- RUU-E002 / RUU-E003 branch targets -------------------------------
+
+TEST(Lint, BranchOutOfRange)
+{
+    ProgramBuilder b("e002");
+    b.amovi(regA(0), 0);
+    b.branchTo(Opcode::JAZ, 9999);
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    ASSERT_TRUE(has(diags, Check::BranchOutOfRange));
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+}
+
+TEST(Lint, BranchMidInstruction)
+{
+    ProgramBuilder b("e003");
+    b.amovi(regA(0), 0);
+    b.smovi(regS(1), 12345);
+    Program probe = ProgramBuilder("probe")
+                        .amovi(regA(0), 0)
+                        .smovi(regS(1), 12345)
+                        .halt()
+                        .build();
+    // The fixture aims at the second parcel of the smovi.
+    ASSERT_FALSE(probe.indexOfPc(probe.pc(1) + 1));
+    b.branchTo(Opcode::JAZ, probe.pc(1) + 1);
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::BranchMidInstruction));
+    EXPECT_FALSE(has(diags, Check::BranchOutOfRange));
+}
+
+// --- RUU-E004 / RUU-W103 data image -----------------------------------
+
+TEST(Lint, DataOverlapAndDuplicate)
+{
+    ProgramBuilder b("data");
+    b.word(100, 1);
+    b.word(100, 2); // conflicting value: error
+    b.word(200, 7);
+    b.word(200, 7); // redundant value: warning
+    b.amovi(regA(1), 0);
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_EQ(countOf(diags, Check::DataOverlap), 1u);
+    EXPECT_EQ(countOf(diags, Check::DataDuplicate), 1u);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.index, Diagnostic::kNoIndex);
+}
+
+// --- RUU-E005 fall_off_end --------------------------------------------
+
+TEST(Lint, FallOffEnd)
+{
+    ProgramBuilder b("e005");
+    b.amovi(regA(1), 3);
+    auto diags = lint::analyze(b.build());
+    ASSERT_TRUE(has(diags, Check::FallOffEnd));
+}
+
+TEST(Lint, ConditionalBranchAtEndCanFallOff)
+{
+    ProgramBuilder b("e005-cond");
+    b.amovi(regA(0), 0);
+    b.label("top");
+    b.jaz("top"); // not-taken path runs past the program
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::FallOffEnd));
+}
+
+// --- RUU-W101 unreachable_code ----------------------------------------
+
+TEST(Lint, UnreachableBlock)
+{
+    ProgramBuilder b("w101");
+    b.amovi(regA(1), 0);
+    b.j("end");
+    b.sadd(regS(1), regS(2), regS(3)); // skipped forever
+    b.label("end");
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::UnreachableCode));
+    // Dataflow checks must not pile onto code that never runs.
+    EXPECT_FALSE(has(diags, Check::UseBeforeDef));
+}
+
+// --- RUU-W102 dead_def ------------------------------------------------
+
+TEST(Lint, DeadDefFlagsOnlyShadowedWrites)
+{
+    ProgramBuilder b("w102");
+    b.smovi(regS(1), 1); // overwritten before any read: dead
+    b.smovi(regS(1), 2); // value is live at HALT: not dead
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    ASSERT_EQ(countOf(diags, Check::DeadDef), 1u);
+    auto it = std::find_if(diags.begin(), diags.end(),
+                           [](const Diagnostic &d) {
+                               return d.check == Check::DeadDef;
+                           });
+    EXPECT_EQ(it->index, 0u);
+    EXPECT_EQ(it->severity, Severity::Warning);
+}
+
+// --- RUU-W201 cond_reg_clobber ----------------------------------------
+
+TEST(Lint, CondRegUsedAsDataIsStyleFlagged)
+{
+    ProgramBuilder b("w201");
+    b.smovi(regS(0), 3);               // S0 is the condition register,
+    b.sadd(regS(1), regS(0), regS(0)); // but only feeds arithmetic
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    ASSERT_EQ(countOf(diags, Check::CondRegClobber), 1u);
+    EXPECT_EQ(diags[0].check, Check::CondRegClobber);
+    EXPECT_EQ(diags[0].severity, Severity::Style);
+}
+
+TEST(Lint, CondRegFeedingABranchIsClean)
+{
+    ProgramBuilder b("w201-ok");
+    b.amovi(regA(1), 4);
+    b.amovi(regA(5), 1);
+    b.label("spin");
+    b.asub(regA(1), regA(1), regA(5));
+    b.mova(regA(0), regA(1)); // A0 written, then tested by jan
+    b.jan("spin");
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_FALSE(has(diags, Check::CondRegClobber));
+}
+
+// --- RUU-W202 loop_save_reg_write -------------------------------------
+
+TEST(Lint, SaveRegisterWrittenInLoopBody)
+{
+    ProgramBuilder b("w202");
+    b.amovi(regA(1), 4);
+    b.amovi(regA(5), 1);
+    b.label("loop");
+    b.movba(regB(2), regA(1)); // B write inside the loop: style
+    b.asub(regA(1), regA(1), regA(5));
+    b.mova(regA(0), regA(1));
+    b.jan("loop");
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    ASSERT_EQ(countOf(diags, Check::LoopSaveRegWrite), 1u);
+}
+
+// --- suppression ------------------------------------------------------
+
+TEST(LintSuppression, BuilderAllowHidesNextInstruction)
+{
+    ProgramBuilder b("allow");
+    b.allow("dead_def");
+    b.smovi(regS(1), 1);
+    b.smovi(regS(1), 2);
+    b.halt();
+    Program p = b.build();
+    EXPECT_FALSE(has(lint::analyze(p), Check::DeadDef));
+
+    lint::Options show;
+    show.includeSuppressed = true;
+    EXPECT_TRUE(has(lint::analyze(p, show), Check::DeadDef));
+}
+
+TEST(LintSuppression, AllowMatchesIdAndNameSpellings)
+{
+    for (const char *spelling : {"RUU-W102", "ruu_w102", "Dead-Def"}) {
+        ProgramBuilder b("allow-spelling");
+        b.allow(spelling);
+        b.smovi(regS(1), 1);
+        b.smovi(regS(1), 2);
+        b.halt();
+        EXPECT_FALSE(has(lint::analyze(b.build()), Check::DeadDef))
+            << spelling;
+    }
+}
+
+TEST(LintSuppression, AllowOnOtherInstructionDoesNotHide)
+{
+    ProgramBuilder b("allow-misplaced");
+    b.smovi(regS(1), 1);
+    b.allow("dead_def"); // binds to the second smovi, not the first
+    b.smovi(regS(1), 2);
+    b.halt();
+    EXPECT_TRUE(has(lint::analyze(b.build()), Check::DeadDef));
+}
+
+TEST(LintSuppression, AllowProgramAllSilencesEverything)
+{
+    ProgramBuilder b("allow-all");
+    b.allowProgram("all");
+    b.word(100, 1);
+    b.word(100, 2);
+    b.smovi(regS(1), 1);
+    b.smovi(regS(1), 2);
+    b.sadd(regS(2), regS(3), regS(3));
+    b.halt();
+    EXPECT_TRUE(lint::analyze(b.build()).empty());
+}
+
+TEST(LintSuppression, DataDiagnosticsNeedGlobalSuppression)
+{
+    ProgramBuilder b("data-allow");
+    b.allowProgram("data_overlap");
+    b.word(100, 1);
+    b.word(100, 2);
+    b.amovi(regA(1), 0);
+    b.halt();
+    EXPECT_FALSE(has(lint::analyze(b.build()), Check::DataOverlap));
+}
+
+// --- builder strict mode ----------------------------------------------
+
+TEST(LintStrict, BuildPanicsOnErrorDiagnostics)
+{
+    ProgramBuilder b("strict");
+    b.strict();
+    b.sadd(regS(1), regS(2), regS(3));
+    b.halt();
+    EXPECT_DEATH(b.build(), "RUU-E001");
+}
+
+TEST(LintStrict, WarningsDoNotStopStrictBuilds)
+{
+    ProgramBuilder b("strict-warn");
+    b.strict();
+    b.smovi(regS(1), 1); // dead def: warning only
+    b.smovi(regS(1), 2);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 3u);
+}
+
+// --- assembler integration --------------------------------------------
+
+TEST(LintAsm, DirectiveSuppressesNextInstruction)
+{
+    const char *source = ".program directive\n"
+                         ".lint allow dead_def\n"
+                         "  smovi S1, 1\n"
+                         "  smovi S1, 2\n"
+                         "  halt\n";
+    AsmResult assembled = assemble(source, "test");
+    ASSERT_TRUE(assembled.ok());
+    EXPECT_FALSE(has(lint::analyze(*assembled.program), Check::DeadDef));
+}
+
+TEST(LintAsm, WholeProgramDirective)
+{
+    const char *source = ".program directive\n"
+                         ".lint allow_program RUU_W102\n"
+                         "  smovi S1, 1\n"
+                         "  smovi S1, 2\n"
+                         "  smovi S1, 3\n"
+                         "  halt\n";
+    AsmResult assembled = assemble(source, "test");
+    ASSERT_TRUE(assembled.ok());
+    EXPECT_FALSE(has(lint::analyze(*assembled.program), Check::DeadDef));
+}
+
+TEST(LintAsm, UnknownCheckNameIsAnAssemblyError)
+{
+    const char *source = ".program bad\n"
+                         ".lint allow not_a_check\n"
+                         "  halt\n";
+    AsmResult assembled = assemble(source, "test");
+    ASSERT_FALSE(assembled.ok());
+    EXPECT_NE(assembled.errors[0].message.find("unknown lint check"),
+              std::string::npos);
+}
+
+TEST(LintAsm, StrictModeTurnsLintErrorsIntoAsmErrors)
+{
+    const char *source = ".program strict\n"
+                         "  sadd S1, S2, S3\n"
+                         "  halt\n";
+    AsmOptions options;
+    options.lint = true;
+    AsmResult assembled = assemble(source, "test", options);
+    ASSERT_FALSE(assembled.ok());
+    EXPECT_NE(assembled.errors[0].message.find("RUU-E001"),
+              std::string::npos);
+    EXPECT_EQ(assembled.errors[0].line, 2);
+
+    // The same program assembles fine without strict linting.
+    EXPECT_TRUE(assemble(source, "test").ok());
+}
+
+// --- ordering / formatting --------------------------------------------
+
+TEST(Lint, DiagnosticsAreSortedByInstruction)
+{
+    ProgramBuilder b("sort");
+    b.smovi(regS(1), 1);
+    b.smovi(regS(1), 2);               // W102 at #0
+    b.sadd(regS(2), regS(3), regS(3)); // E001 at #2
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    ASSERT_GE(diags.size(), 2u);
+    for (std::size_t i = 1; i < diags.size(); ++i)
+        EXPECT_LE(diags[i - 1].index, diags[i].index);
+}
+
+TEST(Lint, EmptyProgramHasNoDiagnostics)
+{
+    Program empty;
+    EXPECT_TRUE(lint::analyze(empty).empty());
+}
+
+// --- invariant checker ------------------------------------------------
+
+class InvariantCheckerTest : public ::testing::Test
+{
+  protected:
+    lint::InvariantChecker::Limits limits;
+
+    lint::InvariantChecker
+    make(unsigned buses = 1, unsigned commits = 1)
+    {
+        limits.resultBuses = buses;
+        limits.commitWidth = commits;
+        return lint::InvariantChecker("test", limits);
+    }
+};
+
+TEST_F(InvariantCheckerTest, CleanLifecyclePasses)
+{
+    auto ck = make();
+    ck.beginCycle(0);
+    ck.onTagAllocated(7, 0);
+    ck.beginCycle(3);
+    ck.onResultBroadcast(3, 7);
+    ck.beginCycle(4);
+    ck.onTagReleased(7);
+    ck.onCommit(0);
+    ck.onRunEnd(false);
+    EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST_F(InvariantCheckerTest, DoubleAllocationIsAViolation)
+{
+    auto ck = make();
+    ck.onTagAllocated(7, 0);
+    ck.onTagAllocated(7, 1);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, ResultBusOverGrant)
+{
+    auto ck = make(/*buses=*/1);
+    ck.beginCycle(5);
+    ck.onTagAllocated(1, 0);
+    ck.onTagAllocated(2, 1);
+    ck.onResultBroadcast(5, 1);
+    EXPECT_TRUE(ck.ok());
+    ck.onResultBroadcast(5, 2); // second grant, same cycle, one bus
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, TwoBusesAllowTwoGrantsPerCycle)
+{
+    auto ck = make(/*buses=*/2);
+    ck.beginCycle(5);
+    ck.onTagAllocated(1, 0);
+    ck.onTagAllocated(2, 1);
+    ck.onResultBroadcast(5, 1);
+    ck.onResultBroadcast(5, 2);
+    EXPECT_TRUE(ck.ok()) << ck.report();
+    ck.beginCycle(6);
+    ck.onResultBroadcast(6, 1); // fresh cycle: counter reset
+    EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST_F(InvariantCheckerTest, ReleaseBeforeBroadcastIsAViolation)
+{
+    auto ck = make();
+    ck.onTagAllocated(7, 0);
+    ck.onTagReleased(7); // the entry outlived... nothing: no result yet
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, BroadcastOfUnallocatedTag)
+{
+    auto ck = make();
+    ck.beginCycle(1);
+    ck.onResultBroadcast(1, 42);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, OutOfOrderCommitIsAViolation)
+{
+    auto ck = make();
+    ck.onCommit(5);
+    EXPECT_TRUE(ck.ok());
+    ck.onCommit(3);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, CommitWidthOverGrant)
+{
+    auto ck = make(/*buses=*/4, /*commits=*/1);
+    ck.beginCycle(2);
+    ck.onTagAllocated(1, 0);
+    ck.onTagAllocated(2, 1);
+    ck.onResultBroadcast(2, 1);
+    ck.onResultBroadcast(2, 2);
+    ck.onCommitBroadcast(2, 1);
+    EXPECT_TRUE(ck.ok()) << ck.report();
+    ck.onCommitBroadcast(2, 2);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, LeakedTagFailsCleanRuns)
+{
+    auto ck = make();
+    ck.onTagAllocated(7, 0);
+    ck.onRunEnd(false);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, InterruptedRunsMayLeaveLiveTags)
+{
+    auto ck = make();
+    ck.onTagAllocated(7, 0);
+    ck.onRunEnd(true); // precise interrupt: in-flight state abandoned
+    EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST_F(InvariantCheckerTest, SquashedTagsAreNotLeaks)
+{
+    auto ck = make();
+    ck.onTagAllocated(7, 0);
+    ck.onTagSquashed(7);
+    ck.onRunEnd(false);
+    EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST_F(InvariantCheckerTest, ScoreboardMismatchIsAViolation)
+{
+    auto ck = make();
+    ck.onScoreboardSample(2, 2);
+    EXPECT_TRUE(ck.ok());
+    ck.onScoreboardSample(2, 3);
+    EXPECT_FALSE(ck.ok());
+}
+
+TEST_F(InvariantCheckerTest, RequireRecordsCoreSpecificChecks)
+{
+    auto ck = make();
+    ck.require(true, "fine");
+    EXPECT_TRUE(ck.ok());
+    ck.require(false, "occupancy exceeded");
+    ASSERT_FALSE(ck.ok());
+    EXPECT_NE(ck.report().find("occupancy exceeded"),
+              std::string::npos);
+}
+
+TEST_F(InvariantCheckerTest, ViolationListIsBounded)
+{
+    auto ck = make();
+    for (unsigned i = 0; i < 100; ++i)
+        ck.require(false, "spam");
+    EXPECT_LE(ck.violations().size(), 33u); // cap + overflow marker
+}
+
+} // namespace
+} // namespace ruu

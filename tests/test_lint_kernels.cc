@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The shipped workloads must be lint-clean: the 14 hand-compiled
+ * Livermore kernels and the sample assembly programs produce zero
+ * diagnostics (not even suppressed warnings — the kernels are the
+ * style reference for the whole ISA). A checker-enabled timing run
+ * over a kernel on every core doubles as an end-to-end test of the
+ * microarchitectural invariant checker on real code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "asm/parser.hh"
+#include "kernels/lll.hh"
+#include "lint/analyze.hh"
+#include "sim/machine.hh"
+
+namespace ruu
+{
+namespace
+{
+
+TEST(LintKernels, AllFourteenKernelsAreClean)
+{
+    for (const Kernel &kernel : livermoreKernels()) {
+        auto diags = lint::analyze(kernel.program);
+        EXPECT_TRUE(diags.empty())
+            << kernel.name << ":\n"
+            << lint::formatDiagnostics(kernel.name, diags);
+    }
+}
+
+TEST(LintKernels, KernelsHaveNoSuppressedFindingsEither)
+{
+    // The kernels are the idiom reference: they must be clean without
+    // leaning on `.lint allow` annotations.
+    lint::Options options;
+    options.includeSuppressed = true;
+    for (const Kernel &kernel : livermoreKernels()) {
+        auto diags = lint::analyze(kernel.program, options);
+        EXPECT_TRUE(diags.empty())
+            << kernel.name << ":\n"
+            << lint::formatDiagnostics(kernel.name, diags);
+    }
+}
+
+TEST(LintKernels, SampleProgramsAreClean)
+{
+    for (const char *name : {"fib.s", "polyeval.s"}) {
+        std::string source;
+        for (const std::string &prefix :
+             {std::string("../examples/programs/"),
+              std::string("examples/programs/"),
+              std::string("../../examples/programs/")}) {
+            std::ifstream in(prefix + name);
+            if (in) {
+                std::stringstream buffer;
+                buffer << in.rdbuf();
+                source = buffer.str();
+                break;
+            }
+        }
+        if (source.empty())
+            GTEST_SKIP() << "sample programs not found from this cwd";
+        AsmResult assembled = assemble(source, name);
+        ASSERT_TRUE(assembled.ok()) << name;
+        auto diags = lint::analyze(*assembled.program);
+        EXPECT_TRUE(diags.empty())
+            << lint::formatDiagnostics(name, diags);
+    }
+}
+
+TEST(LintKernels, SampleProgramsAssembleUnderStrictLint)
+{
+    std::string source;
+    for (const std::string &prefix :
+         {std::string("../examples/programs/"),
+          std::string("examples/programs/"),
+          std::string("../../examples/programs/")}) {
+        std::ifstream in(prefix + "fib.s");
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            source = buffer.str();
+            break;
+        }
+    }
+    if (source.empty())
+        GTEST_SKIP() << "sample programs not found from this cwd";
+    AsmOptions options;
+    options.lint = true;
+    EXPECT_TRUE(assemble(source, "fib.s", options).ok());
+}
+
+TEST(LintKernels, CheckerEnabledKernelRunsAcrossAllCores)
+{
+    // lll03 (inner product) exercises loads, FP chains, and a tight
+    // loop; a violation-free run on every core under checkInvariants
+    // is the acceptance gate for the checker instrumentation.
+    const std::vector<Workload> &workloads = livermoreWorkloads();
+    const Workload &w = workloads[2];
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.checkInvariants = true; // Core::run panics on violations
+        auto core = makeCore(kind, config);
+        RunResult run = core->run(w.trace());
+        EXPECT_TRUE(matchesFunctional(run, w.func)) << core->name();
+    }
+}
+
+} // namespace
+} // namespace ruu
