@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruulint_cli.dir/ruulint_cli.cc.o"
+  "CMakeFiles/ruulint_cli.dir/ruulint_cli.cc.o.d"
+  "ruulint"
+  "ruulint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruulint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

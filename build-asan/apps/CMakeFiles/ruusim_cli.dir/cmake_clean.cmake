@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruusim_cli.dir/ruusim_cli.cc.o"
+  "CMakeFiles/ruusim_cli.dir/ruusim_cli.cc.o.d"
+  "ruusim"
+  "ruusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruusim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

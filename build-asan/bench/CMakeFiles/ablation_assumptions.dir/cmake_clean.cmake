@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assumptions.dir/ablation_assumptions.cc.o"
+  "CMakeFiles/ablation_assumptions.dir/ablation_assumptions.cc.o.d"
+  "ablation_assumptions"
+  "ablation_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_penalty.dir/ablation_branch_penalty.cc.o"
+  "CMakeFiles/ablation_branch_penalty.dir/ablation_branch_penalty.cc.o.d"
+  "ablation_branch_penalty"
+  "ablation_branch_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

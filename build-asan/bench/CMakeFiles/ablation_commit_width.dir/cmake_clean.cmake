@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commit_width.dir/ablation_commit_width.cc.o"
+  "CMakeFiles/ablation_commit_width.dir/ablation_commit_width.cc.o.d"
+  "ablation_commit_width"
+  "ablation_commit_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commit_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

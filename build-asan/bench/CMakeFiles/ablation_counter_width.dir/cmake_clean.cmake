@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_width.dir/ablation_counter_width.cc.o"
+  "CMakeFiles/ablation_counter_width.dir/ablation_counter_width.cc.o.d"
+  "ablation_counter_width"
+  "ablation_counter_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dependency_distance.dir/ablation_dependency_distance.cc.o"
+  "CMakeFiles/ablation_dependency_distance.dir/ablation_dependency_distance.cc.o.d"
+  "ablation_dependency_distance"
+  "ablation_dependency_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dependency_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed_vs_merged.dir/ablation_distributed_vs_merged.cc.o"
+  "CMakeFiles/ablation_distributed_vs_merged.dir/ablation_distributed_vs_merged.cc.o.d"
+  "ablation_distributed_vs_merged"
+  "ablation_distributed_vs_merged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_vs_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

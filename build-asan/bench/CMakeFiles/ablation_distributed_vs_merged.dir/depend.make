@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_distributed_vs_merged.
+# This may be replaced when dependencies are built.

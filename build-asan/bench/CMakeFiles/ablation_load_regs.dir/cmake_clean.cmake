@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_regs.dir/ablation_load_regs.cc.o"
+  "CMakeFiles/ablation_load_regs.dir/ablation_load_regs.cc.o.d"
+  "ablation_load_regs"
+  "ablation_load_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precise_schemes.dir/ablation_precise_schemes.cc.o"
+  "CMakeFiles/ablation_precise_schemes.dir/ablation_precise_schemes.cc.o.d"
+  "ablation_precise_schemes"
+  "ablation_precise_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precise_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_result_buses.dir/ablation_result_buses.cc.o"
+  "CMakeFiles/ablation_result_buses.dir/ablation_result_buses.cc.o.d"
+  "ablation_result_buses"
+  "ablation_result_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_result_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_result_buses.
+# This may be replaced when dependencies are built.

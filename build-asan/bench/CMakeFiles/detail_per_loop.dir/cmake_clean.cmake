@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detail_per_loop.dir/detail_per_loop.cc.o"
+  "CMakeFiles/detail_per_loop.dir/detail_per_loop.cc.o.d"
+  "detail_per_loop"
+  "detail_per_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detail_per_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for detail_per_loop.
+# This may be replaced when dependencies are built.

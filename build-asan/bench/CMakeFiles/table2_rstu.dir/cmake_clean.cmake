@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rstu.dir/table2_rstu.cc.o"
+  "CMakeFiles/table2_rstu.dir/table2_rstu.cc.o.d"
+  "table2_rstu"
+  "table2_rstu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rstu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

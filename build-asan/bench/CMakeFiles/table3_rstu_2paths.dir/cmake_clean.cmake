@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rstu_2paths.dir/table3_rstu_2paths.cc.o"
+  "CMakeFiles/table3_rstu_2paths.dir/table3_rstu_2paths.cc.o.d"
+  "table3_rstu_2paths"
+  "table3_rstu_2paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rstu_2paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_rstu_2paths.
+# This may be replaced when dependencies are built.

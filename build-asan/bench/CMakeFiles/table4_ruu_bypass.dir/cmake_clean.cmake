@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ruu_bypass.dir/table4_ruu_bypass.cc.o"
+  "CMakeFiles/table4_ruu_bypass.dir/table4_ruu_bypass.cc.o.d"
+  "table4_ruu_bypass"
+  "table4_ruu_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ruu_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

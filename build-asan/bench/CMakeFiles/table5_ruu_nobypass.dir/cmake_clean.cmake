@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ruu_nobypass.dir/table5_ruu_nobypass.cc.o"
+  "CMakeFiles/table5_ruu_nobypass.dir/table5_ruu_nobypass.cc.o.d"
+  "table5_ruu_nobypass"
+  "table5_ruu_nobypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ruu_nobypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

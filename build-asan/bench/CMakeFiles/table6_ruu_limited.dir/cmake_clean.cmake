@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ruu_limited.dir/table6_ruu_limited.cc.o"
+  "CMakeFiles/table6_ruu_limited.dir/table6_ruu_limited.cc.o.d"
+  "table6_ruu_limited"
+  "table6_ruu_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ruu_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

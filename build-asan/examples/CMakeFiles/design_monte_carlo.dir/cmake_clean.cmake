@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_monte_carlo.dir/design_monte_carlo.cpp.o"
+  "CMakeFiles/design_monte_carlo.dir/design_monte_carlo.cpp.o.d"
+  "design_monte_carlo"
+  "design_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_logic_explorer.dir/issue_logic_explorer.cpp.o"
+  "CMakeFiles/issue_logic_explorer.dir/issue_logic_explorer.cpp.o.d"
+  "issue_logic_explorer"
+  "issue_logic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_logic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

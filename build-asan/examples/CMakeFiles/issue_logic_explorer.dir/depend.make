@@ -1,0 +1,2 @@
+# Empty dependencies file for issue_logic_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precise_interrupts.dir/precise_interrupts.cpp.o"
+  "CMakeFiles/precise_interrupts.dir/precise_interrupts.cpp.o.d"
+  "precise_interrupts"
+  "precise_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precise_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_branches.dir/speculative_branches.cpp.o"
+  "CMakeFiles/speculative_branches.dir/speculative_branches.cpp.o.d"
+  "speculative_branches"
+  "speculative_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/executor.cc" "src/CMakeFiles/ruusim.dir/arch/executor.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/arch/executor.cc.o.d"
+  "/root/repo/src/arch/func_sim.cc" "src/CMakeFiles/ruusim.dir/arch/func_sim.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/arch/func_sim.cc.o.d"
+  "/root/repo/src/arch/memory.cc" "src/CMakeFiles/ruusim.dir/arch/memory.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/arch/memory.cc.o.d"
+  "/root/repo/src/arch/state.cc" "src/CMakeFiles/ruusim.dir/arch/state.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/arch/state.cc.o.d"
+  "/root/repo/src/asm/builder.cc" "src/CMakeFiles/ruusim.dir/asm/builder.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/asm/builder.cc.o.d"
+  "/root/repo/src/asm/lexer.cc" "src/CMakeFiles/ruusim.dir/asm/lexer.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/asm/lexer.cc.o.d"
+  "/root/repo/src/asm/parser.cc" "src/CMakeFiles/ruusim.dir/asm/parser.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/asm/parser.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/CMakeFiles/ruusim.dir/asm/program.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/asm/program.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ruusim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/common/logging.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/ruusim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/core.cc.o.d"
+  "/root/repo/src/core/history_core.cc" "src/CMakeFiles/ruusim.dir/core/history_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/history_core.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/ruusim.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/rstu_core.cc" "src/CMakeFiles/ruusim.dir/core/rstu_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/rstu_core.cc.o.d"
+  "/root/repo/src/core/ruu_core.cc" "src/CMakeFiles/ruusim.dir/core/ruu_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/ruu_core.cc.o.d"
+  "/root/repo/src/core/simple_core.cc" "src/CMakeFiles/ruusim.dir/core/simple_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/simple_core.cc.o.d"
+  "/root/repo/src/core/spec_ruu_core.cc" "src/CMakeFiles/ruusim.dir/core/spec_ruu_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/spec_ruu_core.cc.o.d"
+  "/root/repo/src/core/tomasulo_core.cc" "src/CMakeFiles/ruusim.dir/core/tomasulo_core.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/core/tomasulo_core.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/ruusim.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/ruusim.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/ruusim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/ruusim.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/reg.cc" "src/CMakeFiles/ruusim.dir/isa/reg.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/isa/reg.cc.o.d"
+  "/root/repo/src/kernels/data.cc" "src/CMakeFiles/ruusim.dir/kernels/data.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/data.cc.o.d"
+  "/root/repo/src/kernels/lll.cc" "src/CMakeFiles/ruusim.dir/kernels/lll.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll.cc.o.d"
+  "/root/repo/src/kernels/lll01.cc" "src/CMakeFiles/ruusim.dir/kernels/lll01.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll01.cc.o.d"
+  "/root/repo/src/kernels/lll02.cc" "src/CMakeFiles/ruusim.dir/kernels/lll02.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll02.cc.o.d"
+  "/root/repo/src/kernels/lll03.cc" "src/CMakeFiles/ruusim.dir/kernels/lll03.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll03.cc.o.d"
+  "/root/repo/src/kernels/lll04.cc" "src/CMakeFiles/ruusim.dir/kernels/lll04.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll04.cc.o.d"
+  "/root/repo/src/kernels/lll05.cc" "src/CMakeFiles/ruusim.dir/kernels/lll05.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll05.cc.o.d"
+  "/root/repo/src/kernels/lll06.cc" "src/CMakeFiles/ruusim.dir/kernels/lll06.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll06.cc.o.d"
+  "/root/repo/src/kernels/lll07.cc" "src/CMakeFiles/ruusim.dir/kernels/lll07.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll07.cc.o.d"
+  "/root/repo/src/kernels/lll08.cc" "src/CMakeFiles/ruusim.dir/kernels/lll08.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll08.cc.o.d"
+  "/root/repo/src/kernels/lll09.cc" "src/CMakeFiles/ruusim.dir/kernels/lll09.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll09.cc.o.d"
+  "/root/repo/src/kernels/lll10.cc" "src/CMakeFiles/ruusim.dir/kernels/lll10.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll10.cc.o.d"
+  "/root/repo/src/kernels/lll11.cc" "src/CMakeFiles/ruusim.dir/kernels/lll11.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll11.cc.o.d"
+  "/root/repo/src/kernels/lll12.cc" "src/CMakeFiles/ruusim.dir/kernels/lll12.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll12.cc.o.d"
+  "/root/repo/src/kernels/lll13.cc" "src/CMakeFiles/ruusim.dir/kernels/lll13.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll13.cc.o.d"
+  "/root/repo/src/kernels/lll14.cc" "src/CMakeFiles/ruusim.dir/kernels/lll14.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/kernels/lll14.cc.o.d"
+  "/root/repo/src/lint/analyze.cc" "src/CMakeFiles/ruusim.dir/lint/analyze.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/lint/analyze.cc.o.d"
+  "/root/repo/src/lint/cfg.cc" "src/CMakeFiles/ruusim.dir/lint/cfg.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/lint/cfg.cc.o.d"
+  "/root/repo/src/lint/diagnostic.cc" "src/CMakeFiles/ruusim.dir/lint/diagnostic.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/lint/diagnostic.cc.o.d"
+  "/root/repo/src/lint/invariant_checker.cc" "src/CMakeFiles/ruusim.dir/lint/invariant_checker.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/lint/invariant_checker.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/ruusim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/json.cc" "src/CMakeFiles/ruusim.dir/sim/json.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/sim/json.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/ruusim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/random_program.cc" "src/CMakeFiles/ruusim.dir/sim/random_program.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/sim/random_program.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/ruusim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/sim/report.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/ruusim.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stat_set.cc" "src/CMakeFiles/ruusim.dir/stats/stat_set.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/stats/stat_set.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/ruusim.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/ruusim.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/ruusim.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/uarch/banks.cc" "src/CMakeFiles/ruusim.dir/uarch/banks.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/banks.cc.o.d"
+  "/root/repo/src/uarch/config.cc" "src/CMakeFiles/ruusim.dir/uarch/config.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/config.cc.o.d"
+  "/root/repo/src/uarch/fu.cc" "src/CMakeFiles/ruusim.dir/uarch/fu.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/fu.cc.o.d"
+  "/root/repo/src/uarch/ibuffer.cc" "src/CMakeFiles/ruusim.dir/uarch/ibuffer.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/ibuffer.cc.o.d"
+  "/root/repo/src/uarch/load_regs.cc" "src/CMakeFiles/ruusim.dir/uarch/load_regs.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/load_regs.cc.o.d"
+  "/root/repo/src/uarch/result_bus.cc" "src/CMakeFiles/ruusim.dir/uarch/result_bus.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/result_bus.cc.o.d"
+  "/root/repo/src/uarch/scoreboard.cc" "src/CMakeFiles/ruusim.dir/uarch/scoreboard.cc.o" "gcc" "src/CMakeFiles/ruusim.dir/uarch/scoreboard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

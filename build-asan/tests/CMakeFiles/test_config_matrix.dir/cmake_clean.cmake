@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_matrix.dir/test_config_matrix.cc.o"
+  "CMakeFiles/test_config_matrix.dir/test_config_matrix.cc.o.d"
+  "test_config_matrix"
+  "test_config_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func_sim.dir/test_func_sim.cc.o"
+  "CMakeFiles/test_func_sim.dir/test_func_sim.cc.o.d"
+  "test_func_sim"
+  "test_func_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_core.dir/test_history_core.cc.o"
+  "CMakeFiles/test_history_core.dir/test_history_core.cc.o.d"
+  "test_history_core"
+  "test_history_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

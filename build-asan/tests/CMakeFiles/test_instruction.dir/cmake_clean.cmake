@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instruction.dir/test_instruction.cc.o"
+  "CMakeFiles/test_instruction.dir/test_instruction.cc.o.d"
+  "test_instruction"
+  "test_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_structure.dir/test_kernel_structure.cc.o"
+  "CMakeFiles/test_kernel_structure.dir/test_kernel_structure.cc.o.d"
+  "test_kernel_structure"
+  "test_kernel_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lint_kernels.dir/test_lint_kernels.cc.o"
+  "CMakeFiles/test_lint_kernels.dir/test_lint_kernels.cc.o.d"
+  "test_lint_kernels"
+  "test_lint_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lint_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precise_interrupts.dir/test_precise_interrupts.cc.o"
+  "CMakeFiles/test_precise_interrupts.dir/test_precise_interrupts.cc.o.d"
+  "test_precise_interrupts"
+  "test_precise_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precise_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

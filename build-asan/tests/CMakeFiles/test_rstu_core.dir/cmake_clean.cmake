@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rstu_core.dir/test_rstu_core.cc.o"
+  "CMakeFiles/test_rstu_core.dir/test_rstu_core.cc.o.d"
+  "test_rstu_core"
+  "test_rstu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rstu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ruu_core.dir/test_ruu_core.cc.o"
+  "CMakeFiles/test_ruu_core.dir/test_ruu_core.cc.o.d"
+  "test_ruu_core"
+  "test_ruu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ruu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_core.dir/test_simple_core.cc.o"
+  "CMakeFiles/test_simple_core.dir/test_simple_core.cc.o.d"
+  "test_simple_core"
+  "test_simple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_core.dir/test_spec_core.cc.o"
+  "CMakeFiles/test_spec_core.dir/test_spec_core.cc.o.d"
+  "test_spec_core"
+  "test_spec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
