@@ -6,6 +6,8 @@
  *          [--banks N] [--load-regs N] [--counter-bits N]
  *          [--bypass M] [--predictor P] [--ibuffers] [--stats]
  *   ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes a,b,c]
+ *   ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep]
+ *          [--points N]
  *   ruusim disasm <prog.s>
  *   ruusim lint <prog.s|lllNN|suite> [--Werror]
  *   ruusim trace <prog.s|lllNN> <out.trace>
@@ -28,6 +30,7 @@
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
+#include "oracle/verify.hh"
 #include "sim/experiment.hh"
 #include "sim/json.hh"
 #include "stats/table.hh"
@@ -47,6 +50,8 @@ usage()
         "  ruusim run <prog.s|lllNN> [options]\n"
         "  ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes "
         "a,b,c,...]\n"
+        "  ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep] "
+        "[--points N]\n"
         "  ruusim disasm <prog.s>\n"
         "  ruusim lint <prog.s|lllNN|suite> [--Werror]\n"
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
@@ -61,6 +66,10 @@ usage()
         "  --bypass M        full|none|limited_a|future_file\n"
         "  --predictor P     always_taken|always_not_taken|btfn|"
         "smith_2bit\n"
+        "  --sweep           verify: also sweep interrupts over every "
+        "point\n"
+        "  --points N        verify: interrupt points per core "
+        "(0 = all; default 32)\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
         "  --json            emit one JSON object per run\n"
@@ -137,11 +146,14 @@ parsePredictor(const std::string &name)
 struct Cli
 {
     CoreKind core = CoreKind::Ruu;
+    bool coreSet = false;
     UarchConfig config = UarchConfig::cray1();
     bool ibuffers = false;
     bool stats = false;
     bool json = false;
     bool werror = false;
+    bool interruptSweep = false;
+    std::size_t sweepPoints = 32;
     std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
     std::vector<std::string> positional;
 };
@@ -159,6 +171,12 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--core") {
             cli.core = parseCore(value());
+            cli.coreSet = true;
+        } else if (arg == "--sweep") {
+            cli.interruptSweep = true;
+        } else if (arg == "--points") {
+            cli.sweepPoints =
+                static_cast<std::size_t>(atoi(value().c_str()));
         } else if (arg == "--entries") {
             unsigned n = static_cast<unsigned>(atoi(value().c_str()));
             cli.config.poolEntries = n;
@@ -274,6 +292,82 @@ cmdSweep(const Cli &cli)
     return 0;
 }
 
+/**
+ * Run every workload through the full verification stack — lockstep
+ * commit oracle, dataflow lower bound, optionally the interrupt sweep —
+ * on every core (or the one named by --core). Exit 1 on any failure.
+ */
+int
+cmdVerify(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+
+    oracle::VerifyOptions options;
+    options.config = cli.config;
+    if (cli.coreSet)
+        options.cores = {cli.core};
+    options.sweep = cli.interruptSweep;
+    options.sweepOptions.maxPoints = cli.sweepPoints;
+
+    std::vector<std::string> headers = {"Workload", "Core",  "Cycles",
+                                        "Bound",    "%Limit", "Oracle"};
+    if (cli.interruptSweep) {
+        headers.push_back("Sweep");
+        headers.push_back("Precise");
+    }
+    TextTable table(std::move(headers));
+    table.setTitle(cli.interruptSweep
+                       ? "verify: commit oracle + dataflow bound + "
+                         "interrupt sweep"
+                       : "verify: commit oracle + dataflow bound");
+    table.setAlign(0, Align::Left);
+    table.setAlign(1, Align::Left);
+
+    bool ok = true;
+    std::string firstFailure;
+    for (const auto &workload : workloads) {
+        auto cases = oracle::verifyWorkload(workload, options);
+        for (const auto &vc : cases) {
+            std::vector<std::string> row = {
+                vc.workload,
+                coreKindName(vc.kind),
+                TextTable::fmt(vc.cycles),
+                TextTable::fmt(vc.bound.cycles),
+                TextTable::fmt(vc.pctOfLimit, 1),
+                vc.oracleOk && vc.matchesFunc && vc.boundOk ? "ok"
+                                                            : "FAIL",
+            };
+            if (cli.interruptSweep) {
+                row.push_back(
+                    vc.sweep.ok()
+                        ? TextTable::fmt(
+                              std::uint64_t{vc.sweep.points}) + " pts"
+                        : "FAIL");
+                row.push_back(
+                    TextTable::fmt(100.0 * vc.sweep.preciseFraction(),
+                                   0) + "%");
+            }
+            table.addRow(std::move(row));
+            if (!vc.ok) {
+                ok = false;
+                if (firstFailure.empty())
+                    firstFailure = vc.workload + " on " +
+                                   coreKindName(vc.kind) + ": " +
+                                   vc.message;
+            }
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    if (!ok)
+        std::fprintf(stderr, "verify FAILED: %s\n",
+                     firstFailure.c_str());
+    else
+        std::printf("verify: all checks passed\n");
+    return ok ? 0 : 1;
+}
+
 int
 cmdDisasm(const Cli &cli)
 {
@@ -378,6 +472,8 @@ main(int argc, char **argv)
         return cmdRun(cli);
     if (command == "sweep")
         return cmdSweep(cli);
+    if (command == "verify")
+        return cmdVerify(cli);
     if (command == "disasm")
         return cmdDisasm(cli);
     if (command == "lint")

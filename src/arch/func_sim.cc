@@ -9,25 +9,17 @@ namespace
 {
 
 FuncResult
-run(std::shared_ptr<const Program> program, std::uint64_t limit,
-    const FuncSimOptions &options)
+runFrom(std::shared_ptr<const Program> program, std::size_t start,
+        std::uint64_t limit, FuncResult result,
+        const FuncSimOptions &options)
 {
     ruu_assert(program != nullptr, "null program");
-    FuncResult result;
     result.trace = Trace(program);
-    result.finalMemory = Memory(options.memoryWords);
-
-    for (const auto &init : program->dataInits()) {
-        if (!result.finalMemory.store(init.addr, init.value))
-            ruu_fatal("data init at %llu is outside memory (%zu words)",
-                      static_cast<unsigned long long>(init.addr),
-                      result.finalMemory.sizeWords());
-    }
 
     if (program->empty())
         return result;
 
-    std::size_t index = 0;
+    std::size_t index = start;
     std::uint64_t executed = 0;
     while (executed < limit) {
         ExecOutcome out = execute(*program, index, result.finalState,
@@ -70,6 +62,22 @@ run(std::shared_ptr<const Program> program, std::uint64_t limit,
     return result;
 }
 
+FuncResult
+run(std::shared_ptr<const Program> program, std::uint64_t limit,
+    const FuncSimOptions &options)
+{
+    FuncResult initial;
+    initial.finalMemory = Memory(options.memoryWords);
+    for (const auto &init : program->dataInits()) {
+        if (!initial.finalMemory.store(init.addr, init.value))
+            ruu_fatal("data init at %llu is outside memory (%zu words)",
+                      static_cast<unsigned long long>(init.addr),
+                      initial.finalMemory.sizeWords());
+    }
+    return runFrom(std::move(program), 0, limit, std::move(initial),
+                   options);
+}
+
 } // namespace
 
 FuncResult
@@ -86,6 +94,20 @@ runPrefix(std::shared_ptr<const Program> program, std::uint64_t count,
     std::uint64_t limit = std::min<std::uint64_t>(count,
                                                   options.maxInstructions);
     return run(std::move(program), limit, options);
+}
+
+FuncResult
+resumeFunctional(std::shared_ptr<const Program> program,
+                 std::size_t startIndex, const ArchState &state,
+                 const Memory &memory, const FuncSimOptions &options)
+{
+    ruu_assert(program && startIndex < program->size(),
+               "resumeFunctional start index out of range");
+    FuncResult initial;
+    initial.finalState = state;
+    initial.finalMemory = memory;
+    return runFrom(std::move(program), startIndex,
+                   options.maxInstructions, std::move(initial), options);
 }
 
 } // namespace ruu

@@ -64,6 +64,22 @@ FuncResult runPrefix(std::shared_ptr<const Program> program,
                      std::uint64_t count,
                      const FuncSimOptions &options = {});
 
+/**
+ * Execute @p program from static instruction @p startIndex, starting
+ * from the given architectural @p state and @p memory, until HALT, a
+ * fault, or the instruction limit.
+ *
+ * This is the interrupt-service model of the sweep harness
+ * (oracle/sweep.hh): reconstruct the architectural state a timing core
+ * reported at an interrupt, hand it to the sequential machine, and let
+ * it finish the program. For a precise core the result must be
+ * bit-identical to an uninterrupted run.
+ */
+FuncResult resumeFunctional(std::shared_ptr<const Program> program,
+                            std::size_t startIndex,
+                            const ArchState &state, const Memory &memory,
+                            const FuncSimOptions &options = {});
+
 } // namespace ruu
 
 #endif // RUU_ARCH_FUNC_SIM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The architectural-commit observation hook of the timing cores.
+ *
+ * Every core reports each architecturally-committed dynamic instruction
+ * to an optional CommitObserver (RunOptions::observer). The observer
+ * sees the commit *stream* — the order in which the machine made
+ * instructions architectural — which is the core's side of the paper's
+ * central contract: the RUU commits strictly in program order (that is
+ * what makes its interrupts precise), while the §2/§3 machines update
+ * state in completion order.
+ *
+ * The primary consumer is oracle::CommitOracle (src/oracle), which runs
+ * the functional simulator in lockstep against the stream; but the hook
+ * is deliberately minimal so tracers, profilers, or custom checkers can
+ * attach the same way.
+ */
+
+#ifndef RUU_CORE_COMMIT_OBSERVER_HH
+#define RUU_CORE_COMMIT_OBSERVER_HH
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+struct TraceRecord;
+
+/**
+ * The order discipline of a core's commit stream, declared by each core
+ * (Core::commitOrder) and enforced by the commit oracle.
+ */
+enum class CommitOrder
+{
+    /**
+     * Every dynamic instruction commits in trace-sequence order
+     * (SimpleCore: sequential issue; SpecRuuCore: everything, branches
+     * included, retires from the RUU head).
+     */
+    Total,
+
+    /**
+     * State-changing instructions (register writers and stores) commit
+     * in trace-sequence order among themselves, but effect-free
+     * instructions — branches, NOP, HALT — may be reported early, from
+     * the decode stage, while older state-changers are still in flight
+     * (RuuCore: branches resolve at decode; HistoryCore: branches, NOP
+     * and HALT never enter the history buffer). Each of the two
+     * subsequences must still be internally ordered.
+     */
+    DataInOrder,
+
+    /**
+     * Commits happen in completion order with no ordering guarantee —
+     * the imprecise machines of §2/§3 (TomasuloCore, RstuCore).
+     */
+    None,
+};
+
+/** Printable commit-order name. */
+const char *commitOrderName(CommitOrder order);
+
+/** Receives every architecturally-committed instruction of one run. */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+
+    /**
+     * Dynamic instruction @p seq became architectural. @p record is the
+     * trace record the core committed (its seq-th record).
+     */
+    virtual void onCommit(SeqNum seq, const TraceRecord &record) = 0;
+};
+
+} // namespace ruu
+
+#endif // RUU_CORE_COMMIT_OBSERVER_HH

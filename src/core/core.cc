@@ -19,6 +19,17 @@ invariantsForced()
 
 } // namespace
 
+const char *
+commitOrderName(CommitOrder order)
+{
+    switch (order) {
+      case CommitOrder::Total: return "total";
+      case CommitOrder::DataInOrder: return "data_in_order";
+      case CommitOrder::None: return "none";
+    }
+    return "?";
+}
+
 Core::Core(const UarchConfig &config) : _config(config)
 {
     std::string problem = config.validate();
@@ -34,6 +45,7 @@ Core::run(const Trace &trace, const RunOptions &options)
                static_cast<unsigned long long>(options.startSeq));
     _stats.reset();
     _invariants.reset();
+    _observer = options.observer;
     if (_config.checkInvariants || invariantsForced()) {
         lint::InvariantChecker::Limits limits;
         limits.resultBuses = _config.resultBuses;

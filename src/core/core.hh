@@ -15,6 +15,7 @@
 
 #include "arch/memory.hh"
 #include "arch/state.hh"
+#include "core/commit_observer.hh"
 #include "lint/invariant_checker.hh"
 #include "stats/stat_set.hh"
 #include "trace/trace.hh"
@@ -40,6 +41,12 @@ struct RunOptions
 
     /** Model the CRAY-1 instruction buffers instead of assuming hits. */
     bool modelIBuffers = false;
+
+    /**
+     * Receives every architecturally-committed instruction of the run
+     * (oracle::CommitOracle attaches here); null disables observation.
+     */
+    CommitObserver *observer = nullptr;
 
     /** Safety valve against simulator livelock. */
     std::uint64_t maxCycles = 2'000'000'000ull;
@@ -99,6 +106,22 @@ class Core
     virtual const char *name() const = 0;
 
     /**
+     * The ordering discipline of this core's commit stream; the commit
+     * oracle (src/oracle) verifies the stream against it.
+     */
+    virtual CommitOrder commitOrder() const = 0;
+
+    /**
+     * True when the core guarantees precise interrupts: at any fault
+     * the architectural state equals the sequential execution of every
+     * instruction before the faulting one, and nothing else (§5). The
+     * interrupt-sweep harness holds precise cores to that contract at
+     * every interrupt point and only *measures* imprecision on the
+     * others.
+     */
+    virtual bool preciseInterrupts() const = 0;
+
+    /**
      * Simulate @p trace.
      * Statistics are reset at the start of every run.
      */
@@ -131,6 +154,20 @@ class Core
      */
     lint::InvariantChecker *invariants() { return _invariants.get(); }
 
+    /**
+     * Report that dynamic instruction @p seq architecturally committed
+     * @p record. Cores call this at every commit point — including
+     * branches, NOP and HALT, which carry no state change but occupy a
+     * position in the sequential execution the lockstep oracle replays.
+     * Also feeds the invariant checker's commit-order check for cores
+     * whose stream is totally ordered.
+     */
+    void notifyCommit(SeqNum seq, const TraceRecord &record)
+    {
+        if (_observer)
+            _observer->onCommit(seq, record);
+    }
+
     /** Dead cycles after a branch with outcome @p taken. */
     unsigned branchPenalty(bool taken) const
     {
@@ -143,6 +180,7 @@ class Core
 
   private:
     std::unique_ptr<lint::InvariantChecker> _invariants;
+    CommitObserver *_observer = nullptr;
 };
 
 } // namespace ruu

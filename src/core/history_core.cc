@@ -301,6 +301,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
             }
             if (ck)
                 ck->onCommit(hb[hb_head].seq);
+            notifyCommit(hb[hb_head].seq, records[hb[hb_head].seq]);
             hb[hb_head].valid = false;
             hb_head = (hb_head + 1) % hb_size;
             --hb_count;
@@ -330,11 +331,13 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
             } else if (inst.op == Opcode::NOP) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
             } else if (isBranch(inst.op)) {
@@ -344,6 +347,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++c_branches;
                     ++c_insts;
                     ++result.instructions;
+                    notifyCommit(decode_seq, rec);
                     unsigned penalty = branchPenalty(rec.taken);
                     c_dead += penalty;
                     next_decode = cycle + penalty;

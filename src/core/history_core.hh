@@ -45,6 +45,19 @@ class HistoryCore : public Core
 
     const char *name() const override { return "history"; }
 
+    /**
+     * Buffered instructions retire from the history-buffer head in
+     * order; branches, NOP and HALT never enter the buffer and are
+     * reported from decode.
+     */
+    CommitOrder commitOrder() const override
+    {
+        return CommitOrder::DataInOrder;
+    }
+
+    /** §4: the history buffer restores the precise state on a fault. */
+    bool preciseInterrupts() const override { return true; }
+
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;

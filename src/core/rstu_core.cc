@@ -209,6 +209,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
 
             ++c_insts;
             ++result.instructions;
+            notifyCommit(e.seq, *e.rec);
             e.valid = false;
             std::erase(mem_queue, i);
         }
@@ -255,11 +256,13 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
             } else if (!stalled && inst.op == Opcode::NOP) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
             } else if (!stalled && isBranch(inst.op)) {
@@ -271,6 +274,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++c_branches;
                     ++c_insts;
                     ++result.instructions;
+                    notifyCommit(decode_seq, rec);
                     unsigned penalty = branchPenalty(rec.taken);
                     c_dead += penalty;
                     next_decode = cycle + penalty;

@@ -238,6 +238,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
             const TraceRecord &rec = *e.rec;
             if (ck)
                 ck->onCommit(e.seq);
+            notifyCommit(e.seq, rec);
             if (rec.inst.dst.valid()) {
                 result.state.write(rec.inst.dst, rec.result);
                 counters.release(rec.inst.dst);
@@ -324,6 +325,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++c_branches;
                     ++c_insts;
                     ++result.instructions;
+                    notifyCommit(decode_seq, rec);
                     unsigned penalty = branchPenalty(rec.taken);
                     c_dead += penalty;
                     next_decode = cycle + penalty;

@@ -45,6 +45,18 @@ class RuuCore : public Core
 
     const char *name() const override { return "ruu"; }
 
+    /**
+     * State-changers commit in order from the head; branches resolve
+     * (and are reported) in the decode-and-issue stage.
+     */
+    CommitOrder commitOrder() const override
+    {
+        return CommitOrder::DataInOrder;
+    }
+
+    /** The paper's guarantee: every interrupt is precise (§5). */
+    bool preciseInterrupts() const override { return true; }
+
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;

@@ -79,6 +79,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             ++result.instructions;
             if (ck)
                 ck->onCommit(seq);
+            notifyCommit(seq, record);
             break;
         }
 
@@ -88,6 +89,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             ++result.instructions;
             if (ck)
                 ck->onCommit(seq);
+            notifyCommit(seq, record);
             next_issue += 1;
             continue;
         }
@@ -107,6 +109,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             ++result.instructions;
             if (ck)
                 ck->onCommit(seq);
+            notifyCommit(seq, record);
             continue;
         }
 
@@ -176,6 +179,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         ++result.instructions;
         if (ck)
             ck->onCommit(seq);
+        notifyCommit(seq, record);
         next_issue = t + 1;
     }
 

@@ -33,6 +33,15 @@ class SimpleCore : public Core
 
     const char *name() const override { return "simple"; }
 
+    /** Sequential issue: every instruction commits strictly in order. */
+    CommitOrder commitOrder() const override
+    {
+        return CommitOrder::Total;
+    }
+
+    /** In-order issue is not in-order completion: imprecise (§2). */
+    bool preciseInterrupts() const override { return false; }
+
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;

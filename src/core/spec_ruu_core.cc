@@ -303,6 +303,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
             const TraceRecord &rec = *e.rec;
             if (ck)
                 ck->onCommit(e.seq);
+            notifyCommit(e.seq, rec);
             if (rec.inst.dst.valid()) {
                 result.state.write(rec.inst.dst, rec.result);
                 counters.release(rec.inst.dst);

@@ -52,6 +52,18 @@ class SpecRuuCore : public Core
 
     const char *name() const override { return "spec_ruu"; }
 
+    /**
+     * Everything — branches included — enters the RUU and retires from
+     * the head, so the commit stream is totally ordered.
+     */
+    CommitOrder commitOrder() const override
+    {
+        return CommitOrder::Total;
+    }
+
+    /** §7: speculation reuses the RUU's machinery; still precise. */
+    bool preciseInterrupts() const override { return true; }
+
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;

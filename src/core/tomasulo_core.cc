@@ -212,6 +212,7 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
 
             ++c_insts;
             ++result.instructions;
+            notifyCommit(e.seq, *e.rec);
             it = flight.erase(it);
         }
 
@@ -254,11 +255,13 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
             } else if (!stalled && inst.op == Opcode::NOP) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
+                notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
             } else if (!stalled && isBranch(inst.op)) {
@@ -268,6 +271,7 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++c_branches;
                     ++c_insts;
                     ++result.instructions;
+                    notifyCommit(decode_seq, rec);
                     unsigned penalty = branchPenalty(rec.taken);
                     c_dead += penalty;
                     next_decode = cycle + penalty;

@@ -34,6 +34,12 @@ class TomasuloCore : public Core
 
     const char *name() const override { return "tomasulo"; }
 
+    /** The register file updates in completion order (§3.2.1). */
+    CommitOrder commitOrder() const override { return CommitOrder::None; }
+
+    /** Out-of-order completion: imprecise by construction. */
+    bool preciseInterrupts() const override { return false; }
+
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;

@@ -1,0 +1,132 @@
+#include "oracle/sweep.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "oracle/commit_oracle.hh"
+
+namespace ruu::oracle
+{
+
+using detail::vformat;
+
+namespace
+{
+
+/** Evenly sample @p seqs down to @p budget positions (0 = keep all). */
+std::vector<SeqNum>
+samplePoints(const std::vector<SeqNum> &seqs, std::size_t budget)
+{
+    if (budget == 0 || seqs.size() <= budget)
+        return seqs;
+    std::vector<SeqNum> picked;
+    picked.reserve(budget);
+    // Walk the index space in budget even strides; the first and last
+    // faultable positions are always included — interrupts at the very
+    // start and very end of a run are the classic corner cases.
+    for (std::size_t i = 0; i < budget; ++i) {
+        std::size_t index = i * (seqs.size() - 1) / (budget - 1);
+        if (picked.empty() || seqs[index] != picked.back())
+            picked.push_back(seqs[index]);
+    }
+    return picked;
+}
+
+} // namespace
+
+SweepResult
+sweepInterrupts(Core &core, const Workload &workload,
+                const SweepOptions &options)
+{
+    SweepResult result;
+    const FuncResult &golden = workload.func;
+    std::vector<SeqNum> all = faultableSeqs(workload.trace());
+    result.faultable = all.size();
+    std::vector<SeqNum> points = samplePoints(all, options.maxPoints);
+
+    auto failPoint = [&](SeqNum seq, std::string message) {
+        ++result.failures;
+        if (result.firstFailure.empty()) {
+            result.firstFailure = std::move(message);
+            result.firstFailureSeq = seq;
+        }
+    };
+
+    Trace faulty = workload.trace(); // private copy for annotation
+    for (SeqNum seq : points) {
+        ++result.points;
+        faulty.clearFaults();
+        faulty.injectFault(seq, options.fault);
+
+        RunOptions runOptions;
+        CommitOracle oracle(faulty, core, runOptions);
+        if (options.checkOracle)
+            runOptions.observer = &oracle;
+        RunResult faulted = core.run(faulty, runOptions);
+
+        // Every core, precise or not, must surface the interrupt and
+        // identify the faulting instruction and its PC.
+        if (!faulted.interrupted) {
+            failPoint(seq, vformat("fault at seq %llu never surfaced",
+                                   static_cast<unsigned long long>(seq)));
+            continue;
+        }
+        if (faulted.fault != options.fault ||
+            faulted.faultSeq != seq ||
+            faulted.faultPc != faulty.at(seq).pc) {
+            failPoint(seq,
+                      vformat("fault bookkeeping wrong at seq %llu: "
+                              "reported %s at seq %llu pc %llu",
+                              static_cast<unsigned long long>(seq),
+                              faultName(faulted.fault),
+                              static_cast<unsigned long long>(
+                                  faulted.faultSeq),
+                              static_cast<unsigned long long>(
+                                  faulted.faultPc)));
+            continue;
+        }
+        if (options.checkOracle && !oracle.finish(faulted)) {
+            failPoint(seq, oracle.report());
+            continue;
+        }
+
+        // Is the interrupted state the sequential prefix?
+        FuncResult prefix = runPrefix(workload.program, seq);
+        bool precise = faulted.state == prefix.finalState &&
+                       faulted.memory == prefix.finalMemory;
+        if (precise)
+            ++result.precisePoints;
+        if (core.preciseInterrupts() && !precise) {
+            failPoint(seq,
+                      vformat("imprecise interrupt at seq %llu on a "
+                              "core that guarantees precision",
+                              static_cast<unsigned long long>(seq)));
+            continue;
+        }
+
+        // Service the fault in software: resume the *functional*
+        // machine from the interrupted state. A precise interrupt, by
+        // definition, lets the sequential machine finish the program
+        // bit-exactly.
+        FuncResult resumed =
+            resumeFunctional(workload.program,
+                             faulty.at(seq).staticIndex, faulted.state,
+                             faulted.memory);
+        bool exact = resumed.halted &&
+                     resumed.finalState == golden.finalState &&
+                     resumed.finalMemory == golden.finalMemory;
+        if (exact)
+            ++result.resumedExact;
+        if (core.preciseInterrupts() && !exact) {
+            failPoint(seq,
+                      vformat("functional resume from the interrupt at "
+                              "seq %llu does not reproduce the golden "
+                              "run",
+                              static_cast<unsigned long long>(seq)));
+            continue;
+        }
+    }
+    return result;
+}
+
+} // namespace ruu::oracle

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Exhaustive (or sampled) interrupt-sweep verification.
+ *
+ * The paper's claim for the RUU (§5) is not that *some* interrupt is
+ * precise but that *every* interrupt is: at any fault the machine can
+ * be stopped, the architectural state handed to software, and
+ * execution resumed with no lost or duplicated work. The sweep harness
+ * checks exactly that, mechanically: for every faultable dynamic
+ * instruction (loads and arithmetic ops — or an evenly-sampled subset
+ * when the budget is capped), it
+ *
+ *   1. injects a fault there and runs the timing core to the interrupt,
+ *      with the lockstep commit oracle attached;
+ *   2. requires correct fault bookkeeping (interrupted flag, fault
+ *      kind, faulting seq, precise PC) from every core;
+ *   3. compares the interrupted state against the sequential prefix
+ *      (runPrefix) — *required* for cores that declare
+ *      preciseInterrupts(), *measured* for the imprecise ones, whose
+ *      imprecision frequency is the experiment's datum;
+ *   4. reconstructs execution in the functional simulator from the
+ *      interrupted state (resumeFunctional) and requires the final
+ *      state to match the uninterrupted golden run — again required
+ *      only of precise cores.
+ */
+
+#ifndef RUU_ORACLE_SWEEP_HH
+#define RUU_ORACLE_SWEEP_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace ruu::oracle
+{
+
+/** Options for one interrupt sweep. */
+struct SweepOptions
+{
+    /**
+     * Interrupt-point budget; faultable positions are sampled evenly
+     * down to this many. 0 sweeps every faultable instruction.
+     */
+    std::size_t maxPoints = 32;
+
+    /** Fault kind to inject. */
+    Fault fault = Fault::PageFault;
+
+    /** Attach the lockstep commit oracle to every interrupted run. */
+    bool checkOracle = true;
+};
+
+/** Aggregate outcome of a sweep over one core and workload. */
+struct SweepResult
+{
+    std::size_t points = 0;       //!< interrupt points exercised
+    std::size_t faultable = 0;    //!< faultable positions in the trace
+    std::size_t failures = 0;     //!< contract violations (ok == false)
+    std::size_t precisePoints = 0; //!< state == sequential prefix
+    std::size_t resumedExact = 0; //!< functional resume == golden run
+
+    /** First contract violation, empty when none. */
+    std::string firstFailure;
+    SeqNum firstFailureSeq = kNoSeqNum;
+
+    bool ok() const { return failures == 0; }
+
+    /** Fraction of interrupt points that were precise. */
+    double preciseFraction() const
+    {
+        return points ? static_cast<double>(precisePoints) /
+                            static_cast<double>(points)
+                      : 1.0;
+    }
+};
+
+/**
+ * Sweep interrupts over @p workload on @p core.
+ *
+ * For a precise core every point must be precise and resumable; for an
+ * imprecise core the sweep fails only on broken fault bookkeeping or a
+ * commit-oracle divergence, and reports how often the interrupted
+ * state happened to be precise.
+ */
+SweepResult sweepInterrupts(Core &core, const Workload &workload,
+                            const SweepOptions &options = {});
+
+} // namespace ruu::oracle
+
+#endif // RUU_ORACLE_SWEEP_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The verification driver behind `ruusim verify` and the oracle tests:
+ * run a workload through each issue mechanism with the full checking
+ * stack attached —
+ *
+ *   - the lockstep commit oracle on a clean run (oracle/commit_oracle.hh),
+ *   - the static dataflow bound, asserted as cycles >= bound
+ *     (lint/dataflow_bound.hh), reported as "% of dataflow limit",
+ *   - optionally the interrupt sweep (oracle/sweep.hh)
+ *
+ * — and report one row per (workload, core) pair.
+ */
+
+#ifndef RUU_ORACLE_VERIFY_HH
+#define RUU_ORACLE_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/dataflow_bound.hh"
+#include "oracle/sweep.hh"
+#include "sim/machine.hh"
+
+namespace ruu::oracle
+{
+
+/** What to verify and on which mechanisms. */
+struct VerifyOptions
+{
+    UarchConfig config = UarchConfig::cray1();
+
+    /** Cores to verify; empty means all six. */
+    std::vector<CoreKind> cores;
+
+    /** Also run the interrupt sweep. */
+    bool sweep = false;
+
+    SweepOptions sweepOptions;
+};
+
+/** Verdict for one (workload, core) pair. */
+struct VerifyCase
+{
+    std::string workload;
+    CoreKind kind = CoreKind::Simple;
+
+    std::uint64_t cycles = 0;       //!< clean-run cycle count
+    std::uint64_t instructions = 0; //!< clean-run commits
+
+    bool oracleOk = false;     //!< lockstep commit oracle verdict
+    bool matchesFunc = false;  //!< final state == functional machine
+
+    lint::DataflowBound bound; //!< static dataflow bound of the trace
+    bool boundOk = false;      //!< cycles >= bound.cycles
+    double pctOfLimit = 0.0;   //!< bound.cycles / cycles, in percent
+
+    bool sweepRan = false;
+    SweepResult sweep;
+
+    /** Everything that was checked passed. */
+    bool ok = false;
+
+    /** First failure detail; empty when ok. */
+    std::string message;
+};
+
+/** All six issue mechanisms, in the paper's order. */
+const std::vector<CoreKind> &allCoreKinds();
+
+/** Verify @p workload on every core in @p options (default: all six). */
+std::vector<VerifyCase> verifyWorkload(const Workload &workload,
+                                       const VerifyOptions &options = {});
+
+/** True when every case passed. */
+bool allOk(const std::vector<VerifyCase> &cases);
+
+} // namespace ruu::oracle
+
+#endif // RUU_ORACLE_VERIFY_HH

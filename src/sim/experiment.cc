@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/logging.hh"
+#include "lint/dataflow_bound.hh"
 
 namespace ruu
 {
@@ -20,6 +21,19 @@ runSuite(CoreKind kind, const UarchConfig &config,
             ruu_fatal("workload '%s' committed wrong state on %s "
                       "(simulator bug)",
                       workload.name.c_str(), core->name());
+        // No issue mechanism can beat the program's dataflow: a cycle
+        // count below the static dependence bound means the core (or
+        // the bound) is broken, and the tables must not be printed
+        // from it.
+        lint::DataflowBound bound =
+            lint::dataflowBound(workload.trace(), config);
+        if (run.cycles < bound.cycles)
+            ruu_fatal("workload '%s' on %s finished in %llu cycles, "
+                      "below its dataflow lower bound of %llu "
+                      "(simulator bug)",
+                      workload.name.c_str(), core->name(),
+                      static_cast<unsigned long long>(run.cycles),
+                      static_cast<unsigned long long>(bound.cycles));
         total.cycles += run.cycles;
         total.instructions += run.instructions;
     }

@@ -13,6 +13,7 @@
 
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
+#include "oracle/commit_oracle.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
 
@@ -50,6 +51,32 @@ TEST_P(FuzzSeeds, EveryCoreMatchesTheFunctionalSimulator)
         EXPECT_TRUE(matchesFunctional(run, w.func))
             << core->name() << " diverged on " << w.name;
         EXPECT_EQ(run.instructions, w.trace().size()) << core->name();
+    }
+}
+
+TEST_P(FuzzSeeds, DifferentialCommitOracleAcceptsEveryCore)
+{
+    // Lockstep differential mode: the commit oracle re-executes every
+    // random program instruction-by-instruction against each core's
+    // commit stream, checking order discipline, per-commit values, and
+    // the final architectural state — a much sharper net than the
+    // end-of-run comparison above.
+    Workload w = workload();
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 6; // small: force wraparound and stalls
+        config.historyEntries = 6;
+        config.tuEntries = 6;
+        auto core = makeCore(kind, config);
+        RunOptions options;
+        oracle::CommitOracle oracle(w.trace(), *core, options);
+        options.observer = &oracle;
+        RunResult run = core->run(w.trace(), options);
+        EXPECT_TRUE(oracle.finish(run))
+            << core->name() << " on " << w.name << ":\n"
+            << oracle.report();
     }
 }
 
