@@ -8,15 +8,23 @@
  *   ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes a,b,c]
  *   ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep]
  *          [--points N]
+ *   ruusim storm <prog.s|lllNN|suite> [--core K] [--points N]
  *   ruusim disasm <prog.s>
  *   ruusim lint <prog.s|lllNN|suite> [--Werror]
  *   ruusim trace <prog.s|lllNN> <out.trace>
+ *   ruusim trace <in.trace>
  *   ruusim list
  *
  * Workloads are either a textual-assembly file or a built-in Livermore
  * kernel name (lll01..lll14); "suite" means all fourteen.
+ *
+ * Malformed input — unknown flags and names, unreadable files, broken
+ * trace files, truncated JSON configs, programs that fault organically —
+ * is diagnosed on stderr and exits with status 2. Status 1 is reserved
+ * for verification failures on well-formed input.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "asm/parser.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
@@ -35,6 +44,7 @@
 #include "sim/json.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
+#include "trap/controller.hh"
 
 using namespace ruu;
 
@@ -52,12 +62,17 @@ usage()
         "a,b,c,...]\n"
         "  ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep] "
         "[--points N]\n"
+        "  ruusim storm <prog.s|lllNN|suite> [--core K] [--points N]\n"
         "  ruusim disasm <prog.s>\n"
         "  ruusim lint <prog.s|lllNN|suite> [--Werror]\n"
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
+        "  ruusim trace <in.trace>\n"
         "  ruusim list\n"
         "options:\n"
         "  --core K          simple|tomasulo|rstu|ruu|spec_ruu|history\n"
+        "  --config FILE     load a JSON config (as emitted in --json "
+        "runs);\n"
+        "                    flags after --config override its fields\n"
         "  --entries N       pool/RUU/history entries (default 10)\n"
         "  --buses N         result buses (default 1)\n"
         "  --banks N         memory banks, 0 = ideal (default 0)\n"
@@ -70,6 +85,9 @@ usage()
         "point\n"
         "  --points N        verify: interrupt points per core "
         "(0 = all; default 32)\n"
+        "                    storm: arrival rates K = 16*4^i, i < N, "
+        "capped at 10000\n"
+        "                    (default 4: K in {16, 64, 256, 1024})\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
         "  --json            emit one JSON object per run\n"
@@ -77,12 +95,24 @@ usage()
     std::exit(2);
 }
 
+/**
+ * Diagnose bad input on stderr and exit with status 2 — the recoverable
+ * counterpart of ruu_fatal (which is reserved for simulator bugs and
+ * exits 1).
+ */
+#define cliFail(...)                                                  \
+    do {                                                              \
+        std::fprintf(stderr, "ruusim: error: %s\n",                   \
+                     ::ruu::detail::vformat(__VA_ARGS__).c_str());    \
+        std::exit(2);                                                 \
+    } while (0)
+
 std::string
 readFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        ruu_fatal("cannot open '%s'", path.c_str());
+        cliFail("cannot open '%s'", path.c_str());
     std::stringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
@@ -102,9 +132,26 @@ resolveWorkloads(const std::string &name)
         for (const auto &error : assembled.errors)
             std::fprintf(stderr, "%s: %s\n", name.c_str(),
                          error.toString().c_str());
-        std::exit(1);
+        std::exit(2);
     }
-    return {makeWorkload(std::move(*assembled.program))};
+
+    // Build the workload by hand instead of via makeWorkload: a
+    // user-supplied program that faults or never halts is bad input,
+    // not a simulator bug.
+    Workload workload;
+    workload.name = name;
+    workload.program =
+        std::make_shared<Program>(std::move(*assembled.program));
+    workload.func = runFunctional(workload.program);
+    if (workload.func.fault != Fault::None) {
+        cliFail("'%s' faults organically (%s at dynamic instruction "
+                "%llu); it cannot run as a workload",
+                name.c_str(), faultName(workload.func.fault),
+                static_cast<unsigned long long>(workload.func.faultSeq));
+    }
+    if (!workload.func.halted)
+        cliFail("'%s' never reaches HALT", name.c_str());
+    return {std::move(workload)};
 }
 
 CoreKind
@@ -116,7 +163,7 @@ parseCore(const std::string &name)
         if (name == coreKindName(kind))
             return kind;
     }
-    ruu_fatal("unknown core '%s'", name.c_str());
+    cliFail("unknown core '%s'", name.c_str());
 }
 
 BypassMode
@@ -128,7 +175,7 @@ parseBypass(const std::string &name)
         if (name == bypassModeName(mode))
             return mode;
     }
-    ruu_fatal("unknown bypass mode '%s'", name.c_str());
+    cliFail("unknown bypass mode '%s'", name.c_str());
 }
 
 PredictorKind
@@ -140,7 +187,7 @@ parsePredictor(const std::string &name)
         if (name == predictorKindName(kind))
             return kind;
     }
-    ruu_fatal("unknown predictor '%s'", name.c_str());
+    cliFail("unknown predictor '%s'", name.c_str());
 }
 
 struct Cli
@@ -154,6 +201,7 @@ struct Cli
     bool werror = false;
     bool interruptSweep = false;
     std::size_t sweepPoints = 32;
+    bool pointsSet = false;
     std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
     std::vector<std::string> positional;
 };
@@ -177,6 +225,16 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--points") {
             cli.sweepPoints =
                 static_cast<std::size_t>(atoi(value().c_str()));
+            cli.pointsSet = true;
+        } else if (arg == "--config") {
+            std::string path = value();
+            Expected<UarchConfig> parsed =
+                parseUarchConfig(readFile(path));
+            if (!parsed) {
+                cliFail("%s: %s", path.c_str(),
+                        parsed.error().message().c_str());
+            }
+            cli.config = parsed.take();
         } else if (arg == "--entries") {
             unsigned n = static_cast<unsigned>(atoi(value().c_str()));
             cli.config.poolEntries = n;
@@ -433,17 +491,186 @@ cmdLint(const Cli &cli)
     return errors || (cli.werror && warnings) ? 1 : 0;
 }
 
+/**
+ * Two positionals: dump a workload's trace to a file. One positional:
+ * load and validate a previously dumped trace, diagnosing malformed
+ * files instead of silently rejecting them.
+ */
 int
 cmdTrace(const Cli &cli)
 {
+    if (cli.positional.size() == 1) {
+        Expected<Trace> loaded =
+            loadTraceFileChecked(cli.positional[0]);
+        if (!loaded)
+            cliFail("%s", loaded.error().message().c_str());
+        const Trace &trace = loaded.value();
+        std::size_t faults = 0;
+        for (const auto &record : trace.records())
+            if (record.fault != Fault::None)
+                ++faults;
+        std::printf("%s: valid trace, %zu records, %zu fault "
+                    "annotation(s)\n",
+                    cli.positional[0].c_str(), trace.size(), faults);
+        return 0;
+    }
     if (cli.positional.size() != 2)
         usage();
     auto workloads = resolveWorkloads(cli.positional[0]);
     if (!saveTraceFile(workloads[0].trace(), cli.positional[1]))
-        ruu_fatal("cannot write '%s'", cli.positional[1].c_str());
+        cliFail("cannot write '%s'", cli.positional[1].c_str());
     std::printf("wrote %zu records to %s\n", workloads[0].trace().size(),
                 cli.positional[1].c_str());
     return 0;
+}
+
+/**
+ * Interrupt-storm sweep: run every workload on every core (or the one
+ * named by --core) under periodic external interrupts with arrival
+ * periods K = 16*4^i (i < --points, capped at 10000 cycles), servicing
+ * each delivery with the stock counter handler. Every run is checked
+ * two ways — the per-segment lockstep commit oracle, and a bit-exact
+ * functional replay of the full delivery log — and reported with its
+ * handler-latency and throughput-degradation numbers. Exit 1 when any
+ * check fails.
+ */
+int
+cmdStorm(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+
+    std::vector<CoreKind> kinds = {CoreKind::Simple,  CoreKind::Tomasulo,
+                                   CoreKind::Rstu,    CoreKind::Ruu,
+                                   CoreKind::SpecRuu, CoreKind::History};
+    if (cli.coreSet)
+        kinds = {cli.core};
+
+    std::size_t points = cli.pointsSet ? cli.sweepPoints : 4;
+    if (points == 0)
+        usage();
+    std::vector<Cycle> periods;
+    for (std::size_t i = 0; i < points; ++i) {
+        std::uint64_t k = 16ull << (2 * i);
+        periods.push_back(std::min<std::uint64_t>(k, 10000));
+        if (k >= 10000)
+            break;
+    }
+
+    TextTable table({"Workload", "Core", "K", "Deliveries", "Hdl mean",
+                     "Hdl max", "Cycles", "Degrade%", "Check"});
+    table.setTitle("interrupt storm: periodic external interrupts, "
+                   "counter handler, oracle + replay checked");
+    table.setAlign(0, Align::Left);
+    table.setAlign(1, Align::Left);
+
+    bool ok = true;
+    std::string firstFailure;
+    for (const auto &workload : workloads) {
+        // A compact data memory makes the per-delivery core restarts
+        // cheap; fall back to the default layout for programs whose
+        // data reaches up into it.
+        trap::TrapConfig tconfig;
+        tconfig.checkOracle = true;
+        Addr maxAddr = 0;
+        for (const auto &record : workload.trace().records())
+            maxAddr = std::max(maxAddr, record.memAddr);
+        for (const auto &init : workload.program->dataInits())
+            maxAddr = std::max(maxAddr, init.addr);
+        if (maxAddr < 0xe000) {
+            tconfig.layout.exchangeBase = 0xf000;
+            tconfig.layout.scratchBase = 0xf800;
+            tconfig.memoryWords = 1u << 16;
+        }
+
+        for (CoreKind kind : kinds) {
+            auto core = makeCore(kind, cli.config);
+            RunResult baseline = core->run(workload.trace());
+
+            for (Cycle period : periods) {
+                trap::TrapController controller(*core, tconfig);
+                auto res = controller.run(
+                    workload.trace(),
+                    trap::InterruptSource::periodic(period, 1));
+
+                bool good = res.ok();
+                std::string why = res.error;
+                if (good && !res.oracleFailure.empty()) {
+                    good = false;
+                    why = res.oracleFailure;
+                }
+                if (good) {
+                    auto replay = trap::replayFunctional(
+                        workload.program, tconfig, res.deliveries);
+                    if (!replay.ok) {
+                        good = false;
+                        why = replay.error;
+                    } else if (replay.state != res.state ||
+                               replay.memory != res.memory ||
+                               replay.trapRegs != res.trapRegs) {
+                        good = false;
+                        why = "timing run and functional replay "
+                              "disagree on the final state";
+                    }
+                }
+                double degrade =
+                    baseline.cycles
+                        ? 100.0 *
+                              (static_cast<double>(res.cycles) -
+                               static_cast<double>(baseline.cycles)) /
+                              static_cast<double>(baseline.cycles)
+                        : 0.0;
+
+                if (cli.json) {
+                    std::printf(
+                        "{\"workload\": \"%s\", \"core\": \"%s\", "
+                        "\"k\": %llu, \"deliveries\": %zu, "
+                        "\"handler_mean_cycles\": %.2f, "
+                        "\"handler_max_cycles\": %llu, "
+                        "\"cycles\": %llu, \"baseline_cycles\": %llu, "
+                        "\"degradation_pct\": %.2f, \"ok\": %s}\n",
+                        workload.name.c_str(), coreKindName(kind),
+                        static_cast<unsigned long long>(period),
+                        res.deliveries.size(), res.meanHandlerCycles(),
+                        static_cast<unsigned long long>(
+                            res.maxHandlerCycles()),
+                        static_cast<unsigned long long>(res.cycles),
+                        static_cast<unsigned long long>(baseline.cycles),
+                        degrade, good ? "true" : "false");
+                } else {
+                    table.addRow(
+                        {workload.name, coreKindName(kind),
+                         TextTable::fmt(std::uint64_t{period}),
+                         TextTable::fmt(
+                             std::uint64_t{res.deliveries.size()}),
+                         TextTable::fmt(res.meanHandlerCycles(), 1),
+                         TextTable::fmt(
+                             std::uint64_t{res.maxHandlerCycles()}),
+                         TextTable::fmt(res.cycles),
+                         TextTable::fmt(degrade, 1),
+                         good ? "ok" : "FAIL"});
+                }
+                if (!good) {
+                    ok = false;
+                    if (firstFailure.empty()) {
+                        firstFailure = workload.name + " on " +
+                                       coreKindName(kind) + " (K=" +
+                                       std::to_string(period) +
+                                       "): " + why;
+                    }
+                }
+            }
+        }
+    }
+    if (!cli.json)
+        std::printf("%s", table.render().c_str());
+    if (!ok)
+        std::fprintf(stderr, "storm FAILED: %s\n", firstFailure.c_str());
+    else if (!cli.json)
+        std::printf("storm: all runs serviced, oracle-checked, and "
+                    "replayed bit-exactly\n");
+    return ok ? 0 : 1;
 }
 
 int
@@ -466,7 +693,7 @@ main(int argc, char **argv)
     Cli cli = parseArgs(argc, argv);
     std::string problem = cli.config.validate();
     if (!problem.empty())
-        ruu_fatal("bad configuration: %s", problem.c_str());
+        cliFail("bad configuration: %s", problem.c_str());
 
     if (command == "run")
         return cmdRun(cli);
@@ -474,6 +701,8 @@ main(int argc, char **argv)
         return cmdSweep(cli);
     if (command == "verify")
         return cmdVerify(cli);
+    if (command == "storm")
+        return cmdStorm(cli);
     if (command == "disasm")
         return cmdDisasm(cli);
     if (command == "lint")

@@ -16,8 +16,20 @@ faultName(Fault fault)
       case Fault::None: return "none";
       case Fault::PageFault: return "page_fault";
       case Fault::Arithmetic: return "arithmetic";
+      case Fault::Interrupt: return "interrupt";
+      case Fault::NumFaults: break;
     }
     return "?";
+}
+
+Word
+causeForFault(Fault fault)
+{
+    switch (fault) {
+      case Fault::PageFault: return kCausePageFault;
+      case Fault::Arithmetic: return kCauseArithmetic;
+      default: return kCauseNone;
+    }
 }
 
 namespace
@@ -46,7 +58,7 @@ branchTaken(Opcode op, std::int64_t test)
 
 ExecOutcome
 execute(const Program &program, std::size_t index, ArchState &state,
-        Memory &memory)
+        Memory &memory, TrapRegs *trap)
 {
     const Instruction &inst = program.inst(index);
     ExecOutcome out;
@@ -206,6 +218,28 @@ execute(const Program &program, std::size_t index, ArchState &state,
         out.nextIndex.reset();
         break;
       case Opcode::NOP:
+        break;
+
+      // The trap opcodes. Their real work — the exchange-package swap
+      // and the return to the interrupted flow — happens in the trap
+      // layer (src/trap); here RTI only raises its outcome flag so the
+      // handler-trace generator can stop on it.
+      case Opcode::RTI:
+        out.rti = true;
+        break;
+      case Opcode::EINT:
+        if (trap)
+            trap->setIe(true);
+        break;
+      case Opcode::DINT:
+        if (trap)
+            trap->setIe(false);
+        break;
+      case Opcode::MFEPC:
+        writeDst(trap ? trap->epc : 0);
+        break;
+      case Opcode::MFCAUSE:
+        writeDst(trap ? trap->cause : 0);
         break;
 
       case Opcode::NumOpcodes:

@@ -16,6 +16,7 @@
 
 #include "arch/memory.hh"
 #include "arch/state.hh"
+#include "arch/trap_regs.hh"
 #include "asm/program.hh"
 #include "common/types.hh"
 
@@ -28,10 +29,19 @@ enum class Fault : std::uint8_t
     None,       //!< no fault
     PageFault,  //!< memory access to an unmapped address
     Arithmetic, //!< reciprocal of zero, conversion overflow
+    Interrupt,  //!< asynchronous external interrupt (not a trace fault)
+    NumFaults,
 };
+
+/** Number of fault kinds, for validating serialized traces. */
+inline constexpr unsigned kNumFaults =
+    static_cast<unsigned>(Fault::NumFaults);
 
 /** Printable fault name. */
 const char *faultName(Fault fault);
+
+/** Cause-register code for synchronous fault @p fault. */
+Word causeForFault(Fault fault);
 
 /** Everything that happened when one instruction executed. */
 struct ExecOutcome
@@ -54,6 +64,9 @@ struct ExecOutcome
     /** The instruction was HALT. */
     bool halted = false;
 
+    /** The instruction was RTI (interpreted by the trap layer). */
+    bool rti = false;
+
     /**
      * Static index of the next instruction to execute; unset after
      * HALT or a fault.
@@ -67,9 +80,15 @@ struct ExecOutcome
  *
  * On a fault no side effect is applied, matching the precise-interrupt
  * requirement that the faulting instruction not change the state.
+ *
+ * @param trap Trap-register context for MFEPC / MFCAUSE / EINT / DINT.
+ *             Outside a trap context (nullptr) the reads return 0 and
+ *             the enables are no-ops, so plain functional runs remain
+ *             deterministic.
  */
 ExecOutcome execute(const Program &program, std::size_t index,
-                    ArchState &state, Memory &memory);
+                    ArchState &state, Memory &memory,
+                    TrapRegs *trap = nullptr);
 
 } // namespace ruu
 

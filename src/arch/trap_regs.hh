@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The trap architecture's register file: exception PC, cause, and
+ * status (docs/INTERRUPTS.md).
+ *
+ * These three registers are the architectural interface between an
+ * interrupted program and its handler. Delivery (src/trap/trap.hh)
+ * saves them into the active exchange package, loads the handler's
+ * view (EPC = interrupted PC, CAUSE = cause code, STATUS = handler
+ * level with interrupts disabled), and RTI restores them — so nesting
+ * needs no in-register stack, the per-level exchange packages are the
+ * stack, exactly as on the CRAY-1.
+ *
+ * The trap registers are deliberately *not* part of ArchState: the
+ * timing cores replay traces and never touch them. All reads and
+ * writes happen in the functional layers (the executor's MFEPC /
+ * MFCAUSE / EINT / DINT cases and the trap controller), so the cores'
+ * precise-state contract is unchanged.
+ */
+
+#ifndef RUU_ARCH_TRAP_REGS_HH
+#define RUU_ARCH_TRAP_REGS_HH
+
+#include "common/types.hh"
+
+namespace ruu
+{
+
+/**
+ * Cause codes reported in the CAUSE register. Synchronous faults use
+ * the small codes; an asynchronous external interrupt at priority p
+ * reports kCauseExternal + p.
+ */
+inline constexpr Word kCauseNone = 0;
+inline constexpr Word kCausePageFault = 1;
+inline constexpr Word kCauseArithmetic = 2;
+inline constexpr Word kCauseExternal = 16;
+
+/** The exception PC / cause / status register triple. */
+struct TrapRegs
+{
+    Word epc = 0;    //!< parcel address of the interrupted instruction
+    Word cause = 0;  //!< cause code of the last delivered trap
+    Word status = 0; //!< interrupt-enable bit and active trap level
+
+    static constexpr Word kStatusIe = 1;         //!< bit 0: IE
+    static constexpr unsigned kLevelShift = 8;   //!< bits 8..15: level
+    static constexpr Word kLevelMask = Word{0xff} << kLevelShift;
+
+    /** Interrupts enabled? */
+    bool ie() const { return (status & kStatusIe) != 0; }
+
+    void
+    setIe(bool on)
+    {
+        status = on ? (status | kStatusIe) : (status & ~kStatusIe);
+    }
+
+    /** Active trap level: 0 in the interrupted program, 1+ in handlers. */
+    unsigned
+    level() const
+    {
+        return static_cast<unsigned>((status & kLevelMask) >> kLevelShift);
+    }
+
+    void
+    setLevel(unsigned level)
+    {
+        status = (status & ~kLevelMask) |
+                 ((static_cast<Word>(level) << kLevelShift) & kLevelMask);
+    }
+
+    bool operator==(const TrapRegs &other) const = default;
+};
+
+} // namespace ruu
+
+#endif // RUU_ARCH_TRAP_REGS_HH

@@ -208,6 +208,36 @@ ProgramBuilder::nop()
     return emit(Instruction::bare(Opcode::NOP));
 }
 
+ProgramBuilder &
+ProgramBuilder::rti()
+{
+    return emit(Instruction::bare(Opcode::RTI));
+}
+
+ProgramBuilder &
+ProgramBuilder::eint()
+{
+    return emit(Instruction::bare(Opcode::EINT));
+}
+
+ProgramBuilder &
+ProgramBuilder::dint()
+{
+    return emit(Instruction::bare(Opcode::DINT));
+}
+
+ProgramBuilder &
+ProgramBuilder::mfepc(RegId d)
+{
+    return emit(Instruction::rdst(Opcode::MFEPC, d));
+}
+
+ProgramBuilder &
+ProgramBuilder::mfcause(RegId d)
+{
+    return emit(Instruction::rdst(Opcode::MFCAUSE, d));
+}
+
 Program
 ProgramBuilder::build()
 {

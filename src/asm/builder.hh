@@ -142,6 +142,14 @@ class ProgramBuilder
     ProgramBuilder &halt();
     ProgramBuilder &nop();
 
+    // --- trap architecture (docs/INTERRUPTS.md) ---------------------------
+
+    ProgramBuilder &rti();            //!< return from interrupt
+    ProgramBuilder &eint();           //!< enable interrupts
+    ProgramBuilder &dint();           //!< disable interrupts
+    ProgramBuilder &mfepc(RegId d);   //!< Si <- exception PC
+    ProgramBuilder &mfcause(RegId d); //!< Si <- exception cause
+
     /** Number of instructions emitted so far. */
     std::size_t size() const { return _program.size(); }
 

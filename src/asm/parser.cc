@@ -421,6 +421,12 @@ class Parser
           case OperandForm::Bare:
             appendInst(Instruction::bare(*op), mnem.line);
             break;
+          case OperandForm::RDst: {
+            auto d = parseReg(dstFile(*op), "destination register");
+            if (!d) { skipLine(); return; }
+            appendInst(Instruction::rdst(*op, *d), mnem.line);
+            break;
+          }
         }
         endOfLine();
     }

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Recoverable error values.
+ *
+ * The gem5-style macros in common/logging.hh terminate the process:
+ * panic() for simulator bugs, fatal() for unrecoverable user errors.
+ * That is the right behavior deep inside a timing loop, but not for
+ * the I/O boundary — a malformed trace file or a truncated JSON
+ * configuration is ordinary hostile input, and the tools must report
+ * it and exit cleanly (the CLI convention is status 2) rather than
+ * abort. Error/Expected carry such diagnostics to the caller.
+ */
+
+#ifndef RUU_COMMON_ERROR_HH
+#define RUU_COMMON_ERROR_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace ruu
+{
+
+/** A human-readable diagnostic for a recoverable failure. */
+class Error
+{
+  public:
+    Error() = default;
+
+    explicit Error(std::string message) : _message(std::move(message)) {}
+
+    const std::string &message() const { return _message; }
+
+    /** Prefix the diagnostic with "<what>: " (outermost first). */
+    Error &
+    context(const std::string &what)
+    {
+        _message = what + ": " + _message;
+        return *this;
+    }
+
+  private:
+    std::string _message;
+};
+
+/**
+ * A value of type T, or the Error explaining why it could not be
+ * produced. The minimal subset of std::expected (C++23) the tools
+ * need, for a C++20 toolchain.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : _value(std::move(value)) {}
+
+    Expected(Error error) : _error(std::move(error)) {}
+
+    bool ok() const { return _value.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const
+    {
+        ruu_assert(ok(), "Expected::value() on an error result");
+        return *_value;
+    }
+
+    /** Move the value out (consumes the Expected). */
+    T
+    take()
+    {
+        ruu_assert(ok(), "Expected::take() on an error result");
+        return std::move(*_value);
+    }
+
+    const Error &
+    error() const
+    {
+        ruu_assert(!ok(), "Expected::error() on a success result");
+        return _error;
+    }
+
+  private:
+    std::optional<T> _value;
+    Error _error;
+};
+
+} // namespace ruu
+
+#endif // RUU_COMMON_ERROR_HH

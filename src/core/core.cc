@@ -1,8 +1,10 @@
 #include "core/core.hh"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "isa/disasm.hh"
 
 namespace ruu
 {
@@ -54,7 +56,10 @@ Core::run(const Trace &trace, const RunOptions &options)
                                                                limits);
     }
     RunResult result = runImpl(trace, options);
-    if (_invariants) {
+    // A wedged run was stopped mid-flight: its in-flight bookkeeping
+    // (unfreed tags, unretired entries) is expected, not a bug — the
+    // watchdog diagnostic is the report.
+    if (_invariants && !result.wedged) {
         _invariants->onRunEnd(result.interrupted);
         if (!_invariants->ok())
             ruu_panic("%s: %zu microarchitectural invariant "
@@ -63,6 +68,30 @@ Core::run(const Trace &trace, const RunOptions &options)
                       _invariants->report().c_str());
     }
     return result;
+}
+
+void
+Core::markWedged(RunResult &result, const Trace &trace, Cycle cycle,
+                 const RunOptions &options, SeqNum decodeSeq,
+                 const std::string &detail) const
+{
+    std::ostringstream os;
+    os << "watchdog: core '" << name() << "' exceeded its cycle budget\n"
+       << "  cycle " << cycle << " of " << options.maxCycles
+       << " allowed; " << result.instructions << " of " << trace.size()
+       << " instruction(s) committed\n";
+    if (decodeSeq < trace.size()) {
+        const TraceRecord &rec = trace.at(decodeSeq);
+        os << "  next undecoded: seq " << decodeSeq << " pc " << rec.pc
+           << "  " << disassemble(rec.inst) << "\n";
+    } else {
+        os << "  decode finished; the pipeline never drained\n";
+    }
+    if (!detail.empty())
+        os << detail;
+    result.wedged = true;
+    result.diagnostic = os.str();
+    result.cycles = cycle;
 }
 
 RunResult
@@ -74,9 +103,12 @@ Core::makeInitialResult(const Trace &trace,
         result.state = *options.initialState;
     if (options.initialMemory) {
         result.memory = *options.initialMemory;
-    } else if (trace.programPtr()) {
-        for (const auto &init : trace.program().dataInits())
-            result.memory.set(init.addr, init.value);
+    } else {
+        result.memory = Memory();
+        if (trace.programPtr()) {
+            for (const auto &init : trace.program().dataInits())
+                result.memory.set(init.addr, init.value);
+        }
     }
     return result;
 }

@@ -12,6 +12,7 @@
 #define RUU_CORE_CORE_HH
 
 #include <memory>
+#include <string>
 
 #include "arch/memory.hh"
 #include "arch/state.hh"
@@ -48,8 +49,36 @@ struct RunOptions
      */
     CommitObserver *observer = nullptr;
 
-    /** Safety valve against simulator livelock. */
+    /**
+     * Watchdog budget: when a run exceeds this many cycles the core
+     * stops with RunResult::wedged set and a structured pipeline dump
+     * instead of hanging (or aborting) the simulator.
+     */
     std::uint64_t maxCycles = 2'000'000'000ull;
+
+    /**
+     * Cycle at which an asynchronous external interrupt arrives
+     * (kNoCycle: never). From that cycle on the core stops decoding new
+     * instructions, drains every instruction already fetched to
+     * completion, and reports Fault::Interrupt with faultSeq = the
+     * first undecoded dynamic instruction — which makes the interrupt
+     * *precise on every core*, since the drained state equals the
+     * sequential prefix. A synchronous fault that surfaces while
+     * draining wins (it is architecturally older); the interrupt then
+     * stays pending with its source. Trap delivery itself — exchange
+     * package, handler trace, RTI — is the trap controller's job
+     * (src/trap/controller.hh); the core only provides the drain.
+     */
+    Cycle interruptAt = kNoCycle;
+
+    /**
+     * Earliest dynamic instruction allowed to be cut off by
+     * interruptAt. The drain point p satisfies p >= interruptMinSeq:
+     * decode keeps running until then even past the interrupt cycle.
+     * The controller uses this to keep a nested interrupt from landing
+     * before the EINT that re-enabled interrupts inside a handler.
+     */
+    SeqNum interruptMinSeq = 0;
 };
 
 /** Outcome of one timing run. */
@@ -80,8 +109,24 @@ struct RunResult
      */
     ArchState state;
 
-    /** Memory state at the end of the run. */
-    Memory memory;
+    /**
+     * Memory state at the end of the run. Empty (zero words) until
+     * Core::makeInitialResult materializes it — a default-sized image
+     * is 8 MiB of memset, paid once per core restart, and the trap
+     * controller restarts the core once per interrupt delivery.
+     */
+    Memory memory{0};
+
+    /**
+     * The watchdog fired: the run exceeded RunOptions::maxCycles
+     * without finishing. The partial results above are whatever the
+     * machine held when it was stopped; diagnostic carries the
+     * structured pipeline-state dump.
+     */
+    bool wedged = false;
+
+    /** Pipeline-state dump of a wedged run (empty otherwise). */
+    std::string diagnostic;
 
     /** Instructions per cycle ("instruction issue rate" in the paper). */
     double issueRate() const
@@ -167,6 +212,18 @@ class Core
         if (_observer)
             _observer->onCommit(seq, record);
     }
+
+    /**
+     * Fill in @p result for a run the watchdog stopped at @p cycle:
+     * sets wedged and builds the pipeline-state dump from the header
+     * (core, cycle budget, next undecoded instruction of @p trace at
+     * @p decodeSeq) plus the core-specific occupancy lines in
+     * @p detail (one per line: per-FU busy state, per-entry contents,
+     * oldest unissued instruction).
+     */
+    void markWedged(RunResult &result, const Trace &trace, Cycle cycle,
+                    const RunOptions &options, SeqNum decodeSeq,
+                    const std::string &detail) const;
 
     /** Dead cycles after a branch with outcome @p taken. */
     unsigned branchPenalty(bool taken) const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 #include <vector>
 
 #include "core/ooo_support.hh"
@@ -98,12 +99,38 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         return -1;
     };
 
+    auto wedge_detail = [&]() {
+        std::ostringstream os;
+        os << "  pool occupancy " << occupancy() << "/" << pool_size
+           << ", history buffer " << hb_count << "/" << hb_size
+           << (unwinding  ? ", unwinding"
+               : draining ? ", draining after fault"
+                          : "")
+           << "\n";
+        for (unsigned i = 0; i < pool_size; ++i) {
+            const InflightOp &e = pool[i];
+            if (!e.valid)
+                continue;
+            FuKind kind = e.isMem() ? FuKind::Memory : e.rec->inst.fu();
+            os << "    slot " << i << ": seq " << e.seq << " "
+               << fuKindName(kind)
+               << (e.executed          ? " executed"
+                   : e.dispatched      ? " dispatched"
+                   : e.readyToDispatch() ? " ready (no unit/bus)"
+                                         : " waiting on operands")
+               << "\n";
+        }
+        return os.str();
+    };
+
     std::vector<unsigned> candidates; // reused every cycle
     std::vector<unsigned> completing; // reused every cycle
     for (Cycle cycle = 0;; ++cycle) {
-        if (cycle > options.maxCycles)
-            ruu_panic("history machine exceeded %llu cycles — livelock",
-                      static_cast<unsigned long long>(options.maxCycles));
+        if (cycle > options.maxCycles) {
+            markWedged(result, trace, cycle, options, decode_seq,
+                       wedge_detail());
+            return result;
+        }
         if (ck)
             ck->beginCycle(cycle);
 
@@ -129,6 +156,12 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                 bool ok = result.memory.store(e.memAddr, e.oldMemValue);
                 ruu_assert(ok, "rollback store out of range");
             }
+            // The entry was counted when it executed, but it is no
+            // longer part of the committed prefix the interrupted
+            // RunResult reports (the "instructions" stat keeps its
+            // executed semantics; c_rollback records the difference).
+            if (e.wroteReg || e.memWritten)
+                --result.instructions;
             e.valid = false;
             --hb_count;
             ++c_rollback;
@@ -321,8 +354,16 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         // ---- decode and issue ------------------------------------------
-        if (!halted && !draining && decode_seq < records.size() &&
-            cycle >= next_decode) {
+        // An external interrupt stops decode; everything already issued
+        // drains and retires through the history buffer, so the cut at
+        // decode_seq is the sequential prefix. A synchronous fault
+        // surfacing during the drain wins (it is architecturally older
+        // and takes the rollback path instead).
+        const bool irq_stop = options.interruptAt != kNoCycle &&
+                              cycle >= options.interruptAt &&
+                              decode_seq >= options.interruptMinSeq;
+        if (!irq_stop && !halted && !draining &&
+            decode_seq < records.size() && cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];
             const Instruction &inst = rec.inst;
 
@@ -333,7 +374,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (inst.op == Opcode::NOP) {
+            } else if (isNopLike(inst.op)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
@@ -435,8 +476,14 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                         "history buffer exceeds capacity");
         }
 
-        if ((halted || decode_seq >= records.size()) &&
+        if ((halted || decode_seq >= records.size() || irq_stop) &&
             occupancy() == 0 && hb_count == 0) {
+            if (irq_stop && !halted && decode_seq < records.size()) {
+                result.interrupted = true;
+                result.fault = Fault::Interrupt;
+                result.faultSeq = decode_seq;
+                result.faultPc = records[decode_seq].pc;
+            }
             result.cycles = last_event + 1;
             break;
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 #include <vector>
 
 #include "core/ooo_support.hh"
@@ -81,11 +82,33 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         return -1;
     };
 
+    auto wedge_detail = [&]() {
+        std::ostringstream os;
+        os << "  pool occupancy " << occupancy() << "/" << pool_size
+           << "\n";
+        for (unsigned i = 0; i < pool_size; ++i) {
+            const RstuEntry &e = pool[i];
+            if (!e.valid)
+                continue;
+            FuKind kind = e.isMem() ? FuKind::Memory : e.rec->inst.fu();
+            os << "    slot " << i << ": seq " << e.seq << " "
+               << fuKindName(kind)
+               << (e.executed          ? " executed"
+                   : e.dispatched      ? " dispatched"
+                   : e.readyToDispatch() ? " ready (no unit/bus)"
+                                         : " waiting on operands")
+               << "\n";
+        }
+        return os.str();
+    };
+
     std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0;; ++cycle) {
-        if (cycle > options.maxCycles)
-            ruu_panic("RSTU exceeded %llu cycles — livelock",
-                      static_cast<unsigned long long>(options.maxCycles));
+        if (cycle > options.maxCycles) {
+            markWedged(result, trace, cycle, options, decode_seq,
+                       wedge_detail());
+            return result;
+        }
         if (ck)
             ck->beginCycle(cycle);
 
@@ -236,7 +259,14 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
 
 
         // ---- phase 4: decode and issue (one instruction per cycle) ------
-        if (!halted && decode_seq < records.size() &&
+        // An external interrupt stops decode; everything already in the
+        // pool drains, so the cut at decode_seq is the sequential
+        // prefix. A synchronous fault raised during the drain wins (it
+        // is architecturally older).
+        const bool irq_stop = options.interruptAt != kNoCycle &&
+                              cycle >= options.interruptAt &&
+                              decode_seq >= options.interruptMinSeq;
+        if (!irq_stop && !halted && decode_seq < records.size() &&
             cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];
             const Instruction &inst = rec.inst;
@@ -258,7 +288,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (!stalled && inst.op == Opcode::NOP) {
+            } else if (!stalled && isNopLike(inst.op)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
@@ -353,8 +383,14 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
         // ---- termination -------------------------------------------------
-        if ((halted || decode_seq >= records.size()) &&
+        if ((halted || decode_seq >= records.size() || irq_stop) &&
             occupancy() == 0) {
+            if (irq_stop && !halted && decode_seq < records.size()) {
+                result.interrupted = true;
+                result.fault = Fault::Interrupt;
+                result.faultSeq = decode_seq;
+                result.faultPc = records[decode_seq].pc;
+            }
             result.cycles = last_event + 1;
             break;
         }

@@ -121,11 +121,34 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         cycle_tags.push_back(tag);
     };
 
+    /** Watchdog dump: one line per live RUU entry, oldest first. */
+    auto wedge_detail = [&]() {
+        std::string out = "  ruu occupancy " + std::to_string(count) +
+                          "/" + std::to_string(ruu_size) + "\n";
+        for (unsigned k = 0; k < count; ++k) {
+            const InflightOp &e = ruu[(head + k) % ruu_size];
+            if (!e.valid)
+                continue;
+            out += "  entry " + std::to_string((head + k) % ruu_size) +
+                   ": seq " + std::to_string(e.seq) + " fu " +
+                   fuKindName(e.isMem() ? FuKind::Memory
+                                        : e.rec->inst.fu()) +
+                   (e.executed ? " executed"
+                    : e.dispatched ? " dispatched"
+                    : e.readyToDispatch() ? " ready (no unit/bus)"
+                                          : " waiting on operands") +
+                   (e.faulted ? " faulted" : "") + "\n";
+        }
+        return out;
+    };
+
     std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0; !done; ++cycle) {
-        if (cycle > options.maxCycles)
-            ruu_panic("RUU exceeded %llu cycles — livelock",
-                      static_cast<unsigned long long>(options.maxCycles));
+        if (cycle > options.maxCycles) {
+            markWedged(result, trace, cycle, options, decode_seq,
+                       wedge_detail());
+            return result;
+        }
         cycle_tags.clear();
         if (ck)
             ck->beginCycle(cycle);
@@ -294,8 +317,19 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         }
 
 
+        // An external interrupt gates decode from its arrival cycle on
+        // (but never before interruptMinSeq); the entries already in
+        // the RUU drain to completion below, so the cut at decode_seq
+        // is the sequential prefix. A synchronous fault reaching the
+        // head during the drain is older and wins — the commit phase
+        // above runs first and sets done.
+        const bool irq_stop = options.interruptAt != kNoCycle &&
+                              cycle >= options.interruptAt &&
+                              decode_seq >= options.interruptMinSeq;
+
         // ---- phase 5: decode and issue (one instruction per cycle) ------
-        if (decode_seq < records.size() && cycle >= next_decode) {
+        if (!irq_stop && decode_seq < records.size() &&
+            cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];
             const Instruction &inst = rec.inst;
             bool stalled = false;
@@ -412,7 +446,13 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                         "RUU occupancy exceeds capacity");
         }
 
-        if (decode_seq >= records.size() && count == 0) {
+        if ((decode_seq >= records.size() || irq_stop) && count == 0) {
+            if (decode_seq < records.size()) {
+                result.interrupted = true;
+                result.fault = Fault::Interrupt;
+                result.faultSeq = decode_seq;
+                result.faultPc = records[decode_seq].pc;
+            }
             result.cycles = last_event + 1;
             break;
         }

@@ -63,6 +63,26 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         if (fault_cycle != kNoCycle && next_issue >= fault_cycle)
             break;
 
+        // An external interrupt stops decode. Everything older has
+        // already updated the state in program order, so the cut at
+        // this seq is the sequential prefix — precise by construction.
+        // A previously-detected synchronous fault is architecturally
+        // older and wins; the interrupt stays pending with its source.
+        if (options.interruptAt != kNoCycle && fault_cycle == kNoCycle &&
+            next_issue >= options.interruptAt &&
+            seq >= options.interruptMinSeq) {
+            result.interrupted = true;
+            result.fault = Fault::Interrupt;
+            result.faultSeq = seq;
+            result.faultPc = record.pc;
+            break;
+        }
+
+        if (next_issue > options.maxCycles) {
+            markWedged(result, trace, next_issue, options, seq, "");
+            return result;
+        }
+
         if (options.modelIBuffers) {
             Cycle avail = ibuffers.fetch(record.pc, next_issue);
             c_ibuf += avail - next_issue;
@@ -83,7 +103,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             break;
         }
 
-        if (inst.op == Opcode::NOP) {
+        if (isNopLike(inst.op)) {
             last_event = std::max(last_event, next_issue);
             ++c_insts;
             ++result.instructions;

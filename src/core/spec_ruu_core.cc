@@ -1,6 +1,7 @@
 #include "core/spec_ruu_core.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "core/ooo_support.hh"
@@ -160,11 +161,43 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         count = keep;
     };
 
+    auto wedge_detail = [&]() {
+        std::ostringstream os;
+        os << "  ruu occupancy " << count << "/" << ruu_size;
+        if (wp_active)
+            os << " (wrong-path fetch" << (wp_stuck ? ", stuck" : "")
+               << ")";
+        os << "\n";
+        for (unsigned i = 0, slot = head; i < count;
+             ++i, slot = (slot + 1) % ruu_size) {
+            const SpecEntry &e = ruu[slot];
+            if (!e.valid)
+                continue;
+            FuKind kind = e.isMem() ? FuKind::Memory : e.inst().fu();
+            os << "    slot " << slot << ": seq ";
+            if (e.seq == kNoSeqNum)
+                os << "wrong-path";
+            else
+                os << e.seq;
+            os << " " << fuKindName(kind)
+               << (e.isBranchEntry && !e.resolvedBranch
+                       ? " unresolved branch"
+                   : e.executed          ? " executed"
+                   : e.dispatched        ? " dispatched"
+                   : e.readyToDispatch() ? " ready (no unit/bus)"
+                                         : " waiting on operands")
+               << (e.faulted ? ", faulted" : "") << "\n";
+        }
+        return os.str();
+    };
+
     std::vector<unsigned> candidates; // reused every cycle
     for (Cycle cycle = 0; !done; ++cycle) {
-        if (cycle > options.maxCycles)
-            ruu_panic("SpecRuu exceeded %llu cycles — livelock",
-                      static_cast<unsigned long long>(options.maxCycles));
+        if (cycle > options.maxCycles) {
+            markWedged(result, trace, cycle, options, decode_seq,
+                       wedge_detail());
+            return result;
+        }
         if (ck)
             ck->beginCycle(cycle);
 
@@ -359,9 +392,18 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
 
         // ---- phase 6: decode --------------------------------------------
+        // An external interrupt stops both fetch streams; in-flight
+        // work drains (unresolved branches resolve, wrong-path entries
+        // squash) and everything older commits, so the cut at
+        // decode_seq is the sequential prefix. A synchronous fault
+        // reaching the RUU head during the drain wins (it is
+        // architecturally older).
+        const bool irq_stop = options.interruptAt != kNoCycle &&
+                              cycle >= options.interruptAt &&
+                              decode_seq >= options.interruptMinSeq;
         bool on_trace = !wp_active && decode_seq < records.size();
         bool on_wrong = wp_active && !wp_stuck;
-        if ((on_trace || on_wrong) && cycle >= next_decode) {
+        if (!irq_stop && (on_trace || on_wrong) && cycle >= next_decode) {
             const TraceRecord *rec = on_trace ? &records[decode_seq]
                                               : nullptr;
             const Instruction &inst = on_trace ? rec->inst
@@ -383,7 +425,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 can_issue = false;
             }
 
-            if (can_issue && on_wrong && inst.op == Opcode::HALT) {
+            if (can_issue && on_wrong && isProgramExit(inst.op)) {
                 wp_stuck = true; // wrong path ran into program end
             } else if (can_issue) {
                 SpecEntry &e = ruu[tail];
@@ -488,7 +530,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 next_decode = cycle + 1 +
                               (taken_fetch ? _config.predictedTakenPenalty
                                            : 0);
-                if (on_trace && inst.op == Opcode::HALT)
+                if (on_trace && isProgramExit(inst.op))
                     decode_seq = records.size(); // stop trace fetch
             }
         }
@@ -511,7 +553,14 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                         "RUU occupancy exceeds capacity");
         }
 
-        if (decode_seq >= records.size() && !wp_active && count == 0) {
+        if ((decode_seq >= records.size() || irq_stop) && !wp_active &&
+            count == 0) {
+            if (decode_seq < records.size()) {
+                result.interrupted = true;
+                result.fault = Fault::Interrupt;
+                result.faultSeq = decode_seq;
+                result.faultPc = records[decode_seq].pc;
+            }
             result.cycles = last_event + 1;
             break;
         }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <sstream>
 #include <vector>
 
 #include "core/ooo_support.hh"
@@ -98,10 +99,39 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.wakeup(tag);
     };
 
+    auto wedge_detail = [&]() {
+        std::ostringstream os;
+        for (unsigned k = 0; k < kNumFuKinds; ++k) {
+            const auto &pool = rs[k];
+            unsigned n = 0;
+            for (const auto &e : pool)
+                n += e.valid ? 1 : 0;
+            if (n == 0)
+                continue;
+            os << "  " << fuKindName(static_cast<FuKind>(k))
+               << " rs: " << n << "/" << pool.size() << " busy\n";
+            for (const auto &e : pool) {
+                if (!e.valid)
+                    continue;
+                os << "    seq " << e.seq
+                   << (e.readyToDispatch() ? " ready (no unit/bus)"
+                                           : " waiting on operands")
+                   << "\n";
+            }
+        }
+        os << "  in flight: " << flight.size() << " op(s)\n";
+        for (const auto &e : flight)
+            os << "    seq " << e.seq << " completes cycle "
+               << e.completeCycle << "\n";
+        return os.str();
+    };
+
     for (Cycle cycle = 0;; ++cycle) {
-        if (cycle > options.maxCycles)
-            ruu_panic("Tomasulo exceeded %llu cycles — livelock",
-                      static_cast<unsigned long long>(options.maxCycles));
+        if (cycle > options.maxCycles) {
+            markWedged(result, trace, cycle, options, decode_seq,
+                       wedge_detail());
+            return result;
+        }
         if (ck)
             ck->beginCycle(cycle);
 
@@ -236,7 +266,14 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
 
 
         // ---- phase 4: decode and issue ------------------------------------
-        if (!halted && decode_seq < records.size() &&
+        // An external interrupt stops decode; everything already in the
+        // machine drains, so the cut at decode_seq is the sequential
+        // prefix. A synchronous fault raised during the drain wins (it
+        // is architecturally older).
+        const bool irq_stop = options.interruptAt != kNoCycle &&
+                              cycle >= options.interruptAt &&
+                              decode_seq >= options.interruptMinSeq;
+        if (!irq_stop && !halted && decode_seq < records.size() &&
             cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];
             const Instruction &inst = rec.inst;
@@ -257,7 +294,7 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (!stalled && inst.op == Opcode::NOP) {
+            } else if (!stalled && isNopLike(inst.op)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
@@ -366,8 +403,14 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
             ck->onScoreboardSample(busy.countBusy(), with_tag);
         }
 
-        if ((halted || decode_seq >= records.size()) &&
+        if ((halted || decode_seq >= records.size() || irq_stop) &&
             rs_occupancy() == 0 && flight.empty()) {
+            if (irq_stop && !halted && decode_seq < records.size()) {
+                result.interrupted = true;
+                result.fault = Fault::Interrupt;
+                result.faultSeq = decode_seq;
+                result.faultPc = records[decode_seq].pc;
+            }
             result.cycles = last_event + 1;
             break;
         }

@@ -37,6 +37,9 @@ disassemble(const Instruction &inst)
         break;
       case OperandForm::Bare:
         break;
+      case OperandForm::RDst:
+        os << " " << inst.dst.toString();
+        break;
     }
     return os.str();
 }

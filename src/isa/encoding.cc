@@ -150,6 +150,9 @@ encode(const Instruction &inst, Parcel out[2])
         break;
       case OperandForm::Bare:
         break;
+      case OperandForm::RDst:
+        p1 = insertBits(p1, 6, 3, inst.dst.index());
+        break;
     }
 
     out[0] = static_cast<Parcel>(p1);
@@ -240,6 +243,10 @@ decode(const Parcel *parcels, std::size_t avail)
         }
         break;
       case OperandForm::Bare:
+        break;
+      case OperandForm::RDst:
+        inst.dst = RegId(files.dst,
+                         static_cast<unsigned>(bits(p1, 6, 3)));
         break;
     }
     return std::make_pair(inst, info.parcels);

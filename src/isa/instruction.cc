@@ -136,4 +136,15 @@ Instruction::bare(Opcode op)
     return inst;
 }
 
+Instruction
+Instruction::rdst(Opcode op, RegId dst)
+{
+    ruu_assert(opInfo(op).form == OperandForm::RDst,
+               "%s is not a destination-only opcode", mnemonic(op));
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    return inst;
+}
+
 } // namespace ruu

@@ -91,8 +91,11 @@ struct Instruction
     /** Branch with an already-resolved parcel-address target. */
     static Instruction branch(Opcode op, ParcelAddr target);
 
-    /** Bare form (HALT, NOP). */
+    /** Bare form (HALT, NOP, RTI, EINT, DINT). */
     static Instruction bare(Opcode op);
+
+    /** Destination-only form (MFEPC, MFCAUSE). */
+    static Instruction rdst(Opcode op, RegId dst);
 };
 
 } // namespace ruu

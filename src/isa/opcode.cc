@@ -97,6 +97,17 @@ constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
      CondReg::NotABranch},
     {"nop",    FuKind::None,          OperandForm::Bare,     1,
      CondReg::NotABranch},
+
+    {"rti",    FuKind::None,          OperandForm::Bare,     1,
+     CondReg::NotABranch},
+    {"eint",   FuKind::None,          OperandForm::Bare,     1,
+     CondReg::NotABranch},
+    {"dint",   FuKind::None,          OperandForm::Bare,     1,
+     CondReg::NotABranch},
+    {"mfepc",  FuKind::Transmit,      OperandForm::RDst,     1,
+     CondReg::NotABranch},
+    {"mfcause", FuKind::Transmit,     OperandForm::RDst,     1,
+     CondReg::NotABranch},
 }};
 
 constexpr std::array<const char *, kNumFuKinds> kFuNames = {{
@@ -157,6 +168,19 @@ bool
 isStore(Opcode op)
 {
     return op == Opcode::STA || op == Opcode::STS;
+}
+
+bool
+isNopLike(Opcode op)
+{
+    return op == Opcode::NOP || op == Opcode::RTI ||
+           op == Opcode::EINT || op == Opcode::DINT;
+}
+
+bool
+isProgramExit(Opcode op)
+{
+    return op == Opcode::HALT || op == Opcode::RTI;
 }
 
 } // namespace ruu

@@ -82,6 +82,13 @@ enum class Opcode : std::uint8_t
     HALT,   //!< stop the program (CRAY EX)
     NOP,    //!< no operation
 
+    // --- trap architecture (docs/INTERRUPTS.md) -------------------------
+    RTI,    //!< return from interrupt: restore the exchange package
+    EINT,   //!< enable interrupts (status.IE <- 1)
+    DINT,   //!< disable interrupts (status.IE <- 0)
+    MFEPC,  //!< Si <- exception PC       (transmit)
+    MFCAUSE,//!< Si <- exception cause    (transmit)
+
     NumOpcodes,
 };
 
@@ -130,7 +137,8 @@ enum class OperandForm : std::uint8_t
     MemLoad,  //!< dst, disp22(base A)    (LDA, LDS; two parcels)
     MemStore, //!< disp22(base A), data   (STA, STS; two parcels)
     Branch,   //!< label target; conditional forms read A0 or S0
-    Bare,     //!< no operands            (HALT, NOP)
+    Bare,     //!< no operands            (HALT, NOP, RTI, EINT, DINT)
+    RDst,     //!< dst only               (MFEPC, MFCAUSE)
 };
 
 /** Which register a conditional branch tests. */
@@ -169,6 +177,19 @@ bool isStore(Opcode op);
 
 /** True for loads and stores. */
 inline bool isMemory(Opcode op) { return isLoad(op) || isStore(op); }
+
+/**
+ * True for bare opcodes the issue stage retires directly, like NOP:
+ * NOP itself plus RTI / EINT / DINT, whose architectural effect lives
+ * in the trap layer (src/trap) and is invisible to the timing cores.
+ */
+bool isNopLike(Opcode op);
+
+/**
+ * True when control cannot continue past @p op within the same
+ * program: HALT ends a program, RTI ends a handler kernel.
+ */
+bool isProgramExit(Opcode op);
 
 } // namespace ruu
 

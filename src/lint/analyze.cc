@@ -286,7 +286,7 @@ class Analyzer
         const BasicBlock &block = _cfg.blocks[b];
         RegSet live;
         if (block.fallsOffEnd ||
-            _program.inst(block.last).op == Opcode::HALT) {
+            isProgramExit(_program.inst(block.last).op)) {
             live.set(); // program exit: every register value may matter
             return live;
         }

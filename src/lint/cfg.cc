@@ -16,7 +16,8 @@ Cfg::build(const Program &program)
         return cfg;
 
     // Pass 1: leaders. The entry, every valid branch target, and every
-    // instruction after a branch or HALT starts a block.
+    // instruction after a branch or program exit (HALT/RTI) starts a
+    // block.
     std::vector<bool> leader(n, false);
     leader[0] = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -26,7 +27,7 @@ Cfg::build(const Program &program)
                 leader[*t] = true;
             if (i + 1 < n)
                 leader[i + 1] = true;
-        } else if (inst.op == Opcode::HALT && i + 1 < n) {
+        } else if (isProgramExit(inst.op) && i + 1 < n) {
             leader[i + 1] = true;
         }
     }
@@ -51,7 +52,7 @@ Cfg::build(const Program &program)
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
         BasicBlock &block = cfg.blocks[b];
         const Instruction &last = program.inst(block.last);
-        if (last.op == Opcode::HALT)
+        if (isProgramExit(last.op))
             continue;
         if (isBranch(last.op)) {
             if (auto t = program.indexOfPc(last.target))

@@ -34,7 +34,7 @@ minCost(const TraceRecord &record, const UarchConfig &config)
                                        config.forwardLatency);
     }
     if (isStore(inst.op) || isBranch(inst.op) ||
-        inst.op == Opcode::NOP || inst.op == Opcode::HALT) {
+        isNopLike(inst.op) || inst.op == Opcode::HALT) {
         return 0;
     }
     return config.latency(inst.fu());

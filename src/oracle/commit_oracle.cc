@@ -206,7 +206,8 @@ CommitOracle::stepOne(SeqNum seq)
         return false;
     }
 
-    ExecOutcome out = execute(program, rec.staticIndex, _state, _memory);
+    ExecOutcome out = execute(program, rec.staticIndex, _state, _memory,
+                              _trap ? &*_trap : nullptr);
 
     if (out.fault != Fault::None) {
         fail(seq, vformat("lockstep execution faults (%s) where the "
@@ -263,7 +264,13 @@ CommitOracle::finish(const RunResult &result)
             return false;
         }
         const TraceRecord &frec = _trace.at(result.faultSeq);
-        if (frec.fault != result.fault) {
+        if (result.fault == Fault::Interrupt) {
+            // Asynchronous cut: the core stopped decoding at the cut
+            // seq, so even a fault annotation on that record is moot —
+            // the instruction never issued. (A cut past an annotated
+            // record cannot happen: the older synchronous fault wins
+            // and takes the other branch.)
+        } else if (frec.fault != result.fault) {
             fail(result.faultSeq,
                  vformat("reported fault %s but the trace faults with "
                          "%s at seq %llu",
@@ -280,11 +287,16 @@ CommitOracle::finish(const RunResult &result)
                          static_cast<unsigned long long>(frec.pc)));
             return false;
         }
-        if (!_precise)
-            return ok(); // imprecision is measured elsewhere, not failed
+        // An asynchronous drain must land on the sequential prefix on
+        // EVERY core — the machine keeps nothing speculative in flight
+        // once decode stops, so even the imprecise cores are held to
+        // the exact-prefix contract here. Synchronous faults on an
+        // imprecise core are merely measured, not failed.
+        if (!_precise && result.fault != Fault::Interrupt)
+            return ok();
 
-        // A precise core must have committed exactly the state-changing
-        // instructions older than the fault, and nothing younger.
+        // Exactly the state-changing instructions older than the fault
+        // must have committed, and nothing younger.
         for (SeqNum seq = _startSeq; seq < result.faultSeq; ++seq) {
             if (isEffectful(_trace.at(seq)) && !_committed[seq]) {
                 fail(seq, vformat("precise interrupt lost seq %llu, "

@@ -73,6 +73,15 @@ class CommitOracle : public CommitObserver
     std::uint64_t commits() const { return _commits; }
 
     /**
+     * Seed the lockstep machine's trap-register context. Unseeded,
+     * lockstep MFEPC / MFCAUSE read 0 — matching traces produced by
+     * the plain functional simulator. The trap controller seeds every
+     * handler segment with the live trap registers so the lockstep
+     * values match the handler trace it generated from them.
+     */
+    void seedTrapRegs(const TrapRegs &regs) { _trap = regs; }
+
+    /**
      * Human-readable verdict: "ok" or the first divergence, with a
      * disassembled trace window around it.
      */
@@ -91,6 +100,7 @@ class CommitOracle : public CommitObserver
     // Lockstep sequential machine.
     ArchState _state;
     Memory _memory;
+    std::optional<TrapRegs> _trap; //!< trap context (seedTrapRegs)
     SeqNum _stepped; //!< next dynamic instruction to re-execute
     std::optional<std::size_t> _expectIndex; //!< successor static index
 

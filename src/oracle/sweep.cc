@@ -19,6 +19,10 @@ samplePoints(const std::vector<SeqNum> &seqs, std::size_t budget)
 {
     if (budget == 0 || seqs.size() <= budget)
         return seqs;
+    // Both endpoints are mandatory, so the smallest honest sample is
+    // two points; a budget of 1 would also divide by zero below.
+    if (budget == 1)
+        budget = 2;
     std::vector<SeqNum> picked;
     picked.reserve(budget);
     // Walk the index space in budget even strides; the first and last

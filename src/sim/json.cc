@@ -1,5 +1,9 @@
 #include "sim/json.hh"
 
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <optional>
 #include <sstream>
 
 namespace ruu
@@ -64,6 +68,266 @@ configToJson(const UarchConfig &config)
     }
     os << "}}";
     return os.str();
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent reader for the configToJson subset of JSON: one
+ * object whose values are unsigned numbers, strings, or one level of
+ * nested number-valued objects. Errors carry the byte offset so a
+ * truncated or hand-edited file points at the damage.
+ */
+class ConfigReader
+{
+  public:
+    explicit ConfigReader(const std::string &text) : _text(text) {}
+
+    bool failed() const { return _failed; }
+    Error takeError() { return std::move(_error); }
+
+    void
+    fail(const std::string &what)
+    {
+        if (_failed)
+            return;
+        _failed = true;
+        _error = Error("offset " + std::to_string(_pos) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    bool atEnd() { skipSpace(); return _pos >= _text.size(); }
+
+    bool
+    peekIs(char c)
+    {
+        skipSpace();
+        return _pos < _text.size() && _text[_pos] == c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (_pos >= _text.size()) {
+            fail(std::string("unexpected end of input, expected '") +
+                 c + "'");
+            return;
+        }
+        if (_text[_pos] != c) {
+            fail(std::string("expected '") + c + "', found '" +
+                 _text[_pos] + "'");
+            return;
+        }
+        ++_pos;
+    }
+
+    std::string
+    readString()
+    {
+        expect('"');
+        std::string out;
+        while (!_failed) {
+            if (_pos >= _text.size()) {
+                fail("unterminated string");
+                break;
+            }
+            char c = _text[_pos++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (_pos >= _text.size()) {
+                    fail("unterminated escape");
+                    break;
+                }
+                c = _text[_pos++];
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    std::uint64_t
+    readUnsigned()
+    {
+        skipSpace();
+        std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+        if (_pos == start) {
+            fail("expected a non-negative integer");
+            return 0;
+        }
+        return std::strtoull(_text.c_str() + start, nullptr, 10);
+    }
+
+    /**
+     * Read `{"key": value, ...}` handing each key to @p member, which
+     * consumes the value (and may fail() on an unknown key).
+     */
+    template <typename Fn>
+    void
+    readObject(Fn &&member)
+    {
+        expect('{');
+        if (peekIs('}')) {
+            ++_pos;
+            return;
+        }
+        while (!_failed) {
+            member(readString());
+            if (_failed)
+                return;
+            if (peekIs(',')) {
+                ++_pos;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+  private:
+    const std::string &_text;
+    std::size_t _pos = 0;
+    bool _failed = false;
+    Error _error;
+};
+
+std::optional<BypassMode>
+bypassFromName(const std::string &name)
+{
+    for (auto mode : {BypassMode::Full, BypassMode::None,
+                      BypassMode::LimitedA, BypassMode::FutureFile}) {
+        if (name == bypassModeName(mode))
+            return mode;
+    }
+    return std::nullopt;
+}
+
+std::optional<PredictorKind>
+predictorFromName(const std::string &name)
+{
+    for (auto kind :
+         {PredictorKind::AlwaysTaken, PredictorKind::AlwaysNotTaken,
+          PredictorKind::Btfn, PredictorKind::Smith2Bit}) {
+        if (name == predictorKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<FuKind>
+fuKindFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumFuKinds; ++i)
+        if (name == fuKindName(static_cast<FuKind>(i)))
+            return static_cast<FuKind>(i);
+    return std::nullopt;
+}
+
+} // namespace
+
+Expected<UarchConfig>
+parseUarchConfig(const std::string &text)
+{
+    UarchConfig config = UarchConfig::cray1();
+    ConfigReader r(text);
+
+    auto number = [&](unsigned &field) {
+        r.expect(':');
+        std::uint64_t v = r.readUnsigned();
+        if (v > std::numeric_limits<unsigned>::max())
+            r.fail("value " + std::to_string(v) + " out of range");
+        else
+            field = static_cast<unsigned>(v);
+    };
+
+    r.readObject([&](const std::string &key) {
+        if (key == "pool_entries") {
+            number(config.poolEntries);
+        } else if (key == "dispatch_paths") {
+            number(config.dispatchPaths);
+        } else if (key == "commit_width") {
+            number(config.commitWidth);
+        } else if (key == "result_buses") {
+            number(config.resultBuses);
+        } else if (key == "load_registers") {
+            number(config.loadRegisters);
+        } else if (key == "counter_bits") {
+            number(config.counterBits);
+        } else if (key == "history_entries") {
+            number(config.historyEntries);
+        } else if (key == "tu_entries") {
+            number(config.tuEntries);
+        } else if (key == "rs_per_fu") {
+            number(config.rsPerFu);
+        } else if (key == "memory_banks") {
+            number(config.memoryBanks);
+        } else if (key == "bank_busy_cycles") {
+            number(config.bankBusyCycles);
+        } else if (key == "store_latency") {
+            number(config.storeLatency);
+        } else if (key == "forward_latency") {
+            number(config.forwardLatency);
+        } else if (key == "branch_taken_penalty") {
+            number(config.branchTakenPenalty);
+        } else if (key == "branch_untaken_penalty") {
+            number(config.branchUntakenPenalty);
+        } else if (key == "predictor_table_bits") {
+            number(config.predictorTableBits);
+        } else if (key == "predicted_taken_penalty") {
+            number(config.predictedTakenPenalty);
+        } else if (key == "mispredict_penalty") {
+            number(config.mispredictPenalty);
+        } else if (key == "bypass") {
+            r.expect(':');
+            std::string name = r.readString();
+            if (auto mode = bypassFromName(name))
+                config.bypass = *mode;
+            else
+                r.fail("unknown bypass mode '" + name + "'");
+        } else if (key == "predictor") {
+            r.expect(':');
+            std::string name = r.readString();
+            if (auto kind = predictorFromName(name))
+                config.predictor = *kind;
+            else
+                r.fail("unknown predictor '" + name + "'");
+        } else if (key == "fu_latency") {
+            r.expect(':');
+            r.readObject([&](const std::string &fu) {
+                if (auto kind = fuKindFromName(fu)) {
+                    unsigned idx = static_cast<unsigned>(*kind);
+                    number(config.fuLatency[idx]);
+                } else {
+                    r.fail("unknown functional unit '" + fu + "'");
+                }
+            });
+        } else {
+            r.fail("unknown config key '" + key + "'");
+        }
+    });
+    if (!r.failed() && !r.atEnd())
+        r.fail("trailing characters after the config object");
+    if (r.failed())
+        return r.takeError().context("config JSON");
+
+    std::string invalid = config.validate();
+    if (!invalid.empty())
+        return Error(invalid).context("config JSON");
+    return config;
 }
 
 std::string

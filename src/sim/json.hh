@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/error.hh"
 #include "core/core.hh"
 
 namespace ruu
@@ -17,6 +18,15 @@ namespace ruu
 
 /** Serialize @p config as a JSON object. */
 std::string configToJson(const UarchConfig &config);
+
+/**
+ * Parse a UarchConfig from the JSON object emitted by configToJson
+ * (`ruusim run --config file.json` round-trips). Keys are optional and
+ * default to UarchConfig::cray1(); unknown keys, type mismatches,
+ * truncated input, and range errors (UarchConfig::validate) are
+ * reported with their position in the text.
+ */
+Expected<UarchConfig> parseUarchConfig(const std::string &text);
 
 /**
  * Serialize one run as a JSON object:

@@ -55,17 +55,23 @@ saveTraceFile(const Trace &trace, const std::string &path)
     return os.good();
 }
 
-std::optional<Trace>
-loadTrace(std::istream &is)
+Expected<Trace>
+loadTraceChecked(std::istream &is)
 {
     std::string magic;
     int version = 0;
     std::string name;
     std::size_t count = 0;
     if (!(is >> magic >> version >> name >> count))
-        return std::nullopt;
-    if (magic != kMagic || version != kVersion)
-        return std::nullopt;
+        return Error("malformed trace header (expected "
+                     "'ruutrace <version> <name> <count>')");
+    if (magic != kMagic)
+        return Error("not a ruutrace file (magic '" + magic + "')");
+    if (version != kVersion) {
+        return Error("unsupported trace version " +
+                     std::to_string(version) + " (expected " +
+                     std::to_string(kVersion) + ")");
+    }
 
     // Loaded traces reference a stub program carrying only the name.
     auto stub = std::make_shared<Program>();
@@ -77,10 +83,21 @@ loadTrace(std::istream &is)
         TraceRecord r;
         if (!(is >> op >> dst >> src1 >> src2 >> r.inst.imm
                  >> r.inst.target >> r.staticIndex >> r.pc >> r.memAddr
-                 >> r.result >> r.storeValue >> taken >> fault))
-            return std::nullopt;
-        if (op >= kNumOpcodes || fault > 2)
-            return std::nullopt;
+                 >> r.result >> r.storeValue >> taken >> fault)) {
+            return Error("record " + std::to_string(i) + " of " +
+                         std::to_string(count) +
+                         " is truncated or non-numeric");
+        }
+        if (op >= kNumOpcodes) {
+            return Error("record " + std::to_string(i) +
+                         ": opcode " + std::to_string(op) +
+                         " out of range");
+        }
+        if (fault >= kNumFaults) {
+            return Error("record " + std::to_string(i) +
+                         ": fault code " + std::to_string(fault) +
+                         " out of range");
+        }
         r.inst.op = static_cast<Opcode>(op);
         r.inst.dst = regFromInt(dst);
         r.inst.src1 = regFromInt(src1);
@@ -90,6 +107,27 @@ loadTrace(std::istream &is)
         trace.append(r);
     }
     return trace;
+}
+
+Expected<Trace>
+loadTraceFileChecked(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return Error("cannot open '" + path + "'");
+    Expected<Trace> trace = loadTraceChecked(is);
+    if (!trace)
+        return Error(trace.error()).context(path);
+    return trace;
+}
+
+std::optional<Trace>
+loadTrace(std::istream &is)
+{
+    Expected<Trace> trace = loadTraceChecked(is);
+    if (!trace)
+        return std::nullopt;
+    return trace.take();
 }
 
 std::optional<Trace>

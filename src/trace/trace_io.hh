@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "common/error.hh"
 #include "trace/trace.hh"
 
 namespace ruu
@@ -28,8 +29,19 @@ void saveTrace(const Trace &trace, std::ostream &os);
 bool saveTraceFile(const Trace &trace, const std::string &path);
 
 /**
+ * Parse a trace previously written by saveTrace, reporting where and
+ * why malformed input was rejected (bad magic, truncated record list,
+ * out-of-range opcode or fault code, ...).
+ */
+Expected<Trace> loadTraceChecked(std::istream &is);
+
+/** Load and validate a trace from the file @p path. */
+Expected<Trace> loadTraceFileChecked(const std::string &path);
+
+/**
  * Parse a trace previously written by saveTrace.
- * @return nullopt on malformed input.
+ * @return nullopt on malformed input (no diagnostic; prefer
+ *         loadTraceChecked when the cause matters).
  */
 std::optional<Trace> loadTrace(std::istream &is);
 

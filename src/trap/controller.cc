@@ -1,0 +1,629 @@
+#include "trap/controller.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "arch/executor.hh"
+#include "arch/func_sim.hh"
+#include "oracle/commit_oracle.hh"
+
+namespace ruu::trap
+{
+
+namespace
+{
+
+/** One live execution context: the outer program or a handler level. */
+struct Ctx
+{
+    std::shared_ptr<const Program> prog;
+    Trace trace;              //!< remaining dynamic instructions
+    SeqNum segStart = 0;      //!< next dynamic instruction to run
+    unsigned level = 0;       //!< 0 = the interrupted program
+    bool ieAtTraceStart = true;
+    bool needsRegen = false;  //!< an RTI ran; trace values may be stale
+    bool rtiShadow = false;   //!< one instruction guaranteed post-RTI
+    std::uint64_t committed = 0; //!< instructions committed, this ctx
+    std::size_t deliveryIndex = 0; //!< handler ctx: its Delivery entry
+    Cycle entryCycle = 0;     //!< handler ctx: global cycle of the cut
+};
+
+/** Interrupt-eligible cut range [minSeq, maxSeq] within a trace. */
+struct IrqWindow
+{
+    bool open = false;
+    SeqNum minSeq = 0;
+    SeqNum maxSeq = 0;
+};
+
+/**
+ * Compute where in @p trace (from @p segStart) an asynchronous cut may
+ * legally land, given the EINT/DINT instructions the trace itself
+ * carries. A cut at seq s commits exactly [segStart, s), so a cut at a
+ * DINT's own seq is still inside the window — the DINT has not
+ * committed yet.
+ */
+IrqWindow
+irqWindow(const Trace &trace, SeqNum segStart, bool ieInitial)
+{
+    bool ie = ieInitial;
+    for (SeqNum s = 0; s < segStart && s < trace.size(); ++s) {
+        Opcode op = trace.at(s).inst.op;
+        if (op == Opcode::EINT)
+            ie = true;
+        else if (op == Opcode::DINT)
+            ie = false;
+    }
+
+    IrqWindow win;
+    if (ie) {
+        win.minSeq = segStart;
+    } else {
+        SeqNum eint = kNoSeqNum;
+        for (SeqNum s = segStart; s < trace.size(); ++s) {
+            if (trace.at(s).inst.op == Opcode::EINT) {
+                eint = s;
+                break;
+            }
+        }
+        if (eint == kNoSeqNum)
+            return win;
+        win.minSeq = eint + 1;
+    }
+    win.open = true;
+    win.maxSeq = trace.size();
+    for (SeqNum s = win.minSeq; s < trace.size(); ++s) {
+        if (trace.at(s).inst.op == Opcode::DINT) {
+            win.maxSeq = s;
+            break;
+        }
+    }
+    return win;
+}
+
+/** A functionally generated handler trace, or why it could not be. */
+struct HandlerGen
+{
+    Trace trace;
+    bool ok = false;
+    std::string error;
+};
+
+/**
+ * Execute the handler functionally from @p startIndex on *copies* of
+ * the architectural triple and record its trace, stopping at RTI. The
+ * live trap registers are passed by value for the same reason: MFEPC /
+ * MFCAUSE read them, and generation must not disturb the real machine.
+ * A fault mid-handler is recorded and generation stops — the timing
+ * core will surface it and the controller reports the double fault.
+ */
+HandlerGen
+generateHandlerTrace(const std::shared_ptr<const Program> &prog,
+                     std::size_t startIndex, const ArchState &state,
+                     const Memory &memory, TrapRegs trap,
+                     std::uint64_t maxInstructions)
+{
+    HandlerGen gen;
+    gen.trace = Trace(prog);
+    ArchState st = state;
+    Memory mem = memory;
+    std::size_t index = startIndex;
+    while (true) {
+        if (gen.trace.size() >= maxInstructions) {
+            std::ostringstream oss;
+            oss << "handler '" << prog->name() << "' ran "
+                << maxInstructions << " instructions without RTI";
+            gen.error = oss.str();
+            return gen;
+        }
+        if (index >= prog->size()) {
+            gen.error = "handler control flow ran off the program end";
+            return gen;
+        }
+        ExecOutcome out = execute(*prog, index, st, mem, &trap);
+        TraceRecord rec;
+        rec.inst = prog->inst(index);
+        rec.staticIndex = index;
+        rec.pc = prog->pc(index);
+        rec.memAddr = out.memAddr;
+        rec.result = out.value;
+        rec.storeValue = out.storeValue;
+        rec.taken = out.taken;
+        rec.fault = out.fault;
+        gen.trace.append(rec);
+        if (out.fault != Fault::None || out.rti) {
+            gen.ok = true;
+            return gen;
+        }
+        if (out.halted) {
+            gen.error = "handler reached HALT; handlers must end in RTI";
+            return gen;
+        }
+        index = *out.nextIndex;
+    }
+}
+
+/**
+ * Annotate the one-shot injected faults that fall inside @p trace.
+ * Positions count committed outer instructions, so a position j maps
+ * to trace seq j - @p committed after each regeneration.
+ */
+void
+annotateInjects(Trace &trace, const std::vector<SeqNum> &injects,
+                std::uint64_t committed, Fault kind)
+{
+    for (SeqNum seq : injects) {
+        if (seq >= committed && seq - committed < trace.size())
+            trace.injectFault(seq - committed, kind);
+    }
+}
+
+} // namespace
+
+double
+TrapRunResult::meanHandlerCycles() const
+{
+    if (deliveries.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Delivery &d : deliveries)
+        sum += static_cast<double>(d.handlerCycles);
+    return sum / static_cast<double>(deliveries.size());
+}
+
+Cycle
+TrapRunResult::maxHandlerCycles() const
+{
+    Cycle best = 0;
+    for (const Delivery &d : deliveries)
+        best = std::max(best, d.handlerCycles);
+    return best;
+}
+
+TrapController::TrapController(Core &core, TrapConfig config)
+    : _core(core), _config(std::move(config))
+{
+}
+
+TrapRunResult
+TrapController::run(const Trace &trace, InterruptSource source,
+                    const std::vector<SeqNum> &injectAt, Fault injectKind)
+{
+    TrapRunResult res;
+    if (!trace.programPtr()) {
+        res.failed = true;
+        res.error = "trap controller needs a trace bound to its program";
+        return res;
+    }
+
+    std::shared_ptr<const Program> handlerProg =
+        _config.handler
+            ? _config.handler
+            : std::make_shared<const Program>(counterHandler());
+
+    // The architectural triple every segment threads through.
+    ArchState state;
+    Memory memory(_config.memoryWords);
+    for (const auto &init : trace.program().dataInits())
+        memory.set(init.addr, init.value);
+    if (!initTrapMemory(memory, _config.layout)) {
+        res.failed = true;
+        res.error = "exchange packages do not fit in data memory";
+        return res;
+    }
+    TrapRegs regs;
+    regs.setIe(true);
+
+    std::vector<SeqNum> injects(injectAt.begin(), injectAt.end());
+    std::sort(injects.begin(), injects.end());
+    injects.erase(std::unique(injects.begin(), injects.end()),
+                  injects.end());
+
+    std::vector<Ctx> stack;
+    {
+        Ctx outer;
+        outer.prog = trace.programPtr();
+        outer.trace = trace;
+        annotateInjects(outer.trace, injects, 0, injectKind);
+        stack.push_back(std::move(outer));
+    }
+
+    Cycle now = 0;
+    std::uint64_t globalInstr = 0;
+
+    // Progress marker of the last synchronous delivery, for detecting
+    // a fault whose handler did not repair it (outer instructions
+    // committed is the progress measure — the global count also moves
+    // with handler instructions and would mask the loop).
+    bool sawSync = false;
+    std::uint64_t lastSyncCommitted = 0;
+    ParcelAddr lastSyncEpc = 0;
+
+    auto fail = [&res](std::string message) {
+        res.failed = true;
+        res.error = std::move(message);
+    };
+
+    while (true) {
+        Ctx &ctx = stack.back();
+
+        if (ctx.needsRegen) {
+            // The handler underneath may have written memory this
+            // trace's precomputed values depend on, or edited the
+            // saved epc/frame in its exchange package — so the rest of
+            // the context is always re-derived from the restored
+            // architectural state. This is also exactly what makes a
+            // repaired restartable fault work.
+            auto index = ctx.prog->indexOfPc(
+                static_cast<ParcelAddr>(regs.epc));
+            if (!index) {
+                std::ostringstream oss;
+                oss << "restored epc " << regs.epc
+                    << " is not an instruction boundary of '"
+                    << ctx.prog->name() << "'";
+                fail(oss.str());
+                break;
+            }
+            if (ctx.level == 0) {
+                FuncResult fr =
+                    resumeFunctional(ctx.prog, *index, state, memory);
+                ctx.trace = std::move(fr.trace);
+                annotateInjects(ctx.trace, injects, ctx.committed,
+                                injectKind);
+            } else {
+                HandlerGen gen = generateHandlerTrace(
+                    ctx.prog, *index, state, memory, regs,
+                    _config.maxHandlerInstructions);
+                if (!gen.ok) {
+                    fail(std::move(gen.error));
+                    break;
+                }
+                ctx.trace = std::move(gen.trace);
+            }
+            ctx.segStart = 0;
+            ctx.ieAtTraceStart = regs.ie();
+            ctx.needsRegen = false;
+        }
+
+        if (res.deliveries.size() >= _config.maxDeliveries) {
+            std::ostringstream oss;
+            oss << "delivery storm: " << res.deliveries.size()
+                << " deliveries without completing '"
+                << stack.front().prog->name() << "'";
+            fail(oss.str());
+            break;
+        }
+
+        IrqWindow win =
+            irqWindow(ctx.trace, ctx.segStart, ctx.ieAtTraceStart);
+        bool canNest = ctx.level + 1 < _config.layout.maxLevels;
+        std::optional<InterruptEvent> event;
+        if (win.open && canNest)
+            event = source.next(ctx.level);
+
+        RunOptions opts;
+        opts.startSeq = ctx.segStart;
+        opts.initialState = &state;
+        opts.initialMemory = &memory;
+        opts.maxCycles = _config.maxCyclesPerSegment;
+        if (event) {
+            opts.interruptAt = event->cycle > now ? event->cycle - now : 0;
+            opts.interruptMinSeq = win.minSeq;
+            // The instruction shadow of RTI: the resumed context always
+            // commits at least one instruction before the next delivery,
+            // so an interrupt storm degrades throughput instead of
+            // starving the program forever.
+            if (ctx.rtiShadow)
+                opts.interruptMinSeq =
+                    std::max(opts.interruptMinSeq, ctx.segStart + 1);
+        }
+        ctx.rtiShadow = false;
+
+        std::optional<oracle::CommitOracle> orc;
+        if (_config.checkOracle && res.oracleFailure.empty()) {
+            orc.emplace(ctx.trace, _core, opts);
+            orc->seedTrapRegs(regs);
+            opts.observer = &*orc;
+        }
+
+        RunResult seg = _core.run(ctx.trace, opts);
+
+        now += seg.cycles;
+        globalInstr += seg.instructions;
+        ctx.committed += seg.instructions;
+        if (ctx.level > 0)
+            res.handlerInstructions += seg.instructions;
+
+        if (seg.wedged) {
+            res.wedged = true;
+            res.error = seg.diagnostic;
+            state = std::move(seg.state);
+            memory = std::move(seg.memory);
+            break;
+        }
+
+        if (orc && !orc->finish(seg))
+            res.oracleFailure = orc->report();
+
+        state = std::move(seg.state);
+        memory = std::move(seg.memory);
+
+        if (!seg.interrupted) {
+            if (ctx.level == 0) {
+                res.completed = true;
+                break;
+            }
+            // The handler drained through its RTI: exchange back and
+            // resume the interrupted context below.
+            if (!returnFromTrap(state, memory, regs, _config.layout)) {
+                fail("RTI executed outside an active trap level");
+                break;
+            }
+            now += _config.exchangeCycles;
+            res.deliveries[ctx.deliveryIndex].handlerCycles =
+                now - ctx.entryCycle;
+            stack.pop_back();
+            stack.back().needsRegen = true;
+            stack.back().rtiShadow = true;
+            continue;
+        }
+
+        if (seg.fault == Fault::Interrupt) {
+            // Asynchronous cut: instructions [segStart, faultSeq) have
+            // committed and the drained state is the sequential prefix.
+            ctx.segStart = seg.faultSeq;
+            bool within = event && seg.faultSeq >= win.minSeq &&
+                          seg.faultSeq <= win.maxSeq;
+            if (!within)
+                continue; // window closed first; the event stays pending
+
+            unsigned level = ctx.level + 1;
+            Word cause = kCauseExternal + event->priority;
+            regs.setIe(true); // the cut point was interrupt-enabled
+            if (!deliverTrap(state, memory, regs, _config.layout, level,
+                             cause, seg.faultPc)) {
+                fail("trap delivery failed: exchange package unmapped");
+                break;
+            }
+            source.delivered(*event, now);
+            now += _config.exchangeCycles;
+
+            Delivery d;
+            d.cause = cause;
+            d.level = level;
+            d.sync = false;
+            d.epc = seg.faultPc;
+            d.globalInstr = globalInstr;
+            d.cycle = now;
+            res.deliveries.push_back(d);
+            res.maxDepth = std::max(res.maxDepth, level);
+
+            HandlerGen gen = generateHandlerTrace(
+                handlerProg, 0, state, memory, regs,
+                _config.maxHandlerInstructions);
+            if (!gen.ok) {
+                fail(std::move(gen.error));
+                break;
+            }
+            Ctx h;
+            h.prog = handlerProg;
+            h.trace = std::move(gen.trace);
+            h.level = level;
+            h.ieAtTraceStart = false;
+            h.deliveryIndex = res.deliveries.size() - 1;
+            h.entryCycle = now - _config.exchangeCycles;
+            stack.push_back(std::move(h));
+            continue;
+        }
+
+        // A synchronous fault surfaced.
+        if (ctx.level > 0) {
+            std::ostringstream oss;
+            oss << "double fault: handler at level " << ctx.level
+                << " raised " << faultName(seg.fault) << " at pc "
+                << seg.faultPc;
+            fail(oss.str());
+            break;
+        }
+        if (!_core.preciseInterrupts())
+            ++res.impreciseSyncDeliveries;
+
+        // An unrepaired fault re-fires at the same spot with no
+        // progress in between; catch the loop at its second lap.
+        if (sawSync && lastSyncCommitted == ctx.committed &&
+            lastSyncEpc == seg.faultPc) {
+            std::ostringstream oss;
+            oss << "unrepaired " << faultName(seg.fault) << " at pc "
+                << seg.faultPc
+                << ": the instruction faulted again after its handler "
+                   "returned";
+            fail(oss.str());
+            break;
+        }
+        sawSync = true;
+        lastSyncCommitted = ctx.committed;
+        lastSyncEpc = seg.faultPc;
+
+        unsigned level = ctx.level + 1;
+        Word cause = causeForFault(seg.fault);
+        if (!deliverTrap(state, memory, regs, _config.layout, level,
+                         cause, seg.faultPc)) {
+            fail("trap delivery failed: exchange package unmapped");
+            break;
+        }
+        now += _config.exchangeCycles;
+
+        Delivery d;
+        d.cause = cause;
+        d.level = level;
+        d.sync = true;
+        d.epc = seg.faultPc;
+        d.globalInstr = globalInstr;
+        d.cycle = now;
+        res.deliveries.push_back(d);
+        res.maxDepth = std::max(res.maxDepth, level);
+
+        // If this position was an injected fault, it has now fired;
+        // the regenerated trace restarts the instruction cleanly, which
+        // models the handler repairing the cause (mapping the page).
+        auto it =
+            std::find(injects.begin(), injects.end(), ctx.committed);
+        if (it != injects.end())
+            injects.erase(it);
+
+        ctx.needsRegen = true; // resume is epc-driven after the RTI
+
+        HandlerGen gen =
+            generateHandlerTrace(handlerProg, 0, state, memory, regs,
+                                 _config.maxHandlerInstructions);
+        if (!gen.ok) {
+            fail(std::move(gen.error));
+            break;
+        }
+        Ctx h;
+        h.prog = handlerProg;
+        h.trace = std::move(gen.trace);
+        h.level = level;
+        h.ieAtTraceStart = false;
+        h.deliveryIndex = res.deliveries.size() - 1;
+        h.entryCycle = now - _config.exchangeCycles;
+        stack.push_back(std::move(h));
+    }
+
+    res.cycles = now;
+    res.instructions = globalInstr;
+    res.dropped = source.pendingCount();
+    res.state = std::move(state);
+    res.memory = std::move(memory);
+    res.trapRegs = regs;
+    return res;
+}
+
+ReplayResult
+replayFunctional(std::shared_ptr<const Program> program,
+                 const TrapConfig &config,
+                 const std::vector<Delivery> &deliveries)
+{
+    ReplayResult res;
+    if (!program || program->size() == 0) {
+        res.error = "replay needs a non-empty program";
+        return res;
+    }
+    std::shared_ptr<const Program> handlerProg =
+        config.handler ? config.handler
+                       : std::make_shared<const Program>(counterHandler());
+
+    ArchState state;
+    Memory memory(config.memoryWords);
+    for (const auto &init : program->dataInits())
+        memory.set(init.addr, init.value);
+    if (!initTrapMemory(memory, config.layout)) {
+        res.error = "exchange packages do not fit in data memory";
+        return res;
+    }
+    TrapRegs regs;
+    regs.setIe(true);
+
+    struct Frame
+    {
+        std::shared_ptr<const Program> prog;
+        std::size_t index = 0;
+        bool handler = false;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({program, 0, false});
+
+    std::uint64_t count = 0;
+    std::size_t nextDelivery = 0;
+    // Hard stop so a corrupt delivery log cannot hang the replay.
+    const std::uint64_t limit =
+        50'000'000ull + static_cast<std::uint64_t>(deliveries.size()) *
+                            config.maxHandlerInstructions;
+
+    bool halted = false;
+    while (!halted) {
+        // Perform every exchange logged at this commit count. The
+        // faulting instruction of a sync delivery is *not* executed
+        // first — the cut lands before it, and after the handler's RTI
+        // it restarts from the restored epc.
+        while (nextDelivery < deliveries.size() &&
+               deliveries[nextDelivery].globalInstr == count) {
+            const Delivery &d = deliveries[nextDelivery];
+            regs.setIe(true);
+            if (!deliverTrap(state, memory, regs, config.layout, d.level,
+                             d.cause, d.epc)) {
+                res.error = "replay: trap delivery failed";
+                return res;
+            }
+            stack.push_back({handlerProg, 0, true});
+            ++nextDelivery;
+        }
+
+        Frame &frame = stack.back();
+        if (frame.index >= frame.prog->size()) {
+            res.error = "replay: control flow ran off the program end";
+            return res;
+        }
+        // Handlers execute against the live trap registers; the outer
+        // program runs with a null trap context, exactly as its trace
+        // was generated.
+        ExecOutcome out = execute(*frame.prog, frame.index, state, memory,
+                                  frame.handler ? &regs : nullptr);
+        if (out.fault != Fault::None) {
+            std::ostringstream oss;
+            oss << "replay: unserviced " << faultName(out.fault)
+                << " at pc " << frame.prog->pc(frame.index);
+            res.error = oss.str();
+            return res;
+        }
+        ++count;
+        if (count > limit) {
+            res.error = "replay: instruction limit exceeded";
+            return res;
+        }
+        if (out.rti) {
+            if (!frame.handler || stack.size() < 2) {
+                res.error = "replay: RTI outside a handler";
+                return res;
+            }
+            if (!returnFromTrap(state, memory, regs, config.layout)) {
+                res.error = "replay: RTI with no active trap level";
+                return res;
+            }
+            stack.pop_back();
+            Frame &parent = stack.back();
+            auto index = parent.prog->indexOfPc(
+                static_cast<ParcelAddr>(regs.epc));
+            if (!index) {
+                res.error =
+                    "replay: restored epc is not an instruction boundary";
+                return res;
+            }
+            parent.index = *index;
+            continue;
+        }
+        if (out.halted) {
+            if (stack.size() != 1) {
+                res.error = "replay: HALT inside a handler";
+                return res;
+            }
+            halted = true;
+            continue;
+        }
+        frame.index = *out.nextIndex;
+    }
+
+    if (nextDelivery != deliveries.size()) {
+        res.error = "replay: program halted before every logged delivery";
+        return res;
+    }
+    res.ok = true;
+    res.state = std::move(state);
+    res.memory = std::move(memory);
+    res.trapRegs = regs;
+    res.instructions = count;
+    return res;
+}
+
+} // namespace ruu::trap

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * End-to-end interrupt servicing over the trace-driven timing cores.
+ *
+ * The cores are trace replayers: they can stop decoding at a cycle
+ * (RunOptions::interruptAt) and drain to the sequential prefix, but
+ * they cannot fetch a handler — there is no handler in their trace.
+ * The TrapController closes the loop by running the machine as a
+ * sequence of *segments*:
+ *
+ *   1. run the core on the current context's trace, with interruptAt
+ *      set to the next eligible InterruptSource event (or to nothing);
+ *   2. at an interrupt cut — or a synchronous fault on a precise
+ *      core — perform the architectural delivery between segments:
+ *      exchange packages (trap/trap.hh), cause/epc update, a charged
+ *      exchange latency;
+ *   3. generate the handler's trace functionally (the handler is a
+ *      real in-ISA program; MFEPC/MFCAUSE read the live trap
+ *      registers) and run it as the next segment *on the same core* —
+ *      handlers pay the same structural hazards as any other code;
+ *   4. at the handler's RTI, exchange back and resume the interrupted
+ *      context at the restored epc, regenerating its remaining trace
+ *      (the handler may have written memory the pre-computed trace
+ *      values no longer reflect — or edited the saved frame/epc, which
+ *      is how a handler repairs a restartable fault);
+ *   5. nested interrupts: inside a handler's EINT..DINT window a
+ *      higher-priority event may cut the handler segment itself, and
+ *      delivery recurses one level deeper. The per-level exchange
+ *      packages are the nesting stack.
+ *
+ * Every delivery is recorded in a log ordered by global committed-
+ * instruction count; replayFunctional() re-executes the whole run —
+ * program, handlers, exchanges — on the sequential machine from that
+ * log alone. A timing run and its replay must agree bit-exactly on
+ * final registers, memory and trap state; that is the storm sweep's
+ * whole-run oracle.
+ */
+
+#ifndef RUU_TRAP_CONTROLLER_HH
+#define RUU_TRAP_CONTROLLER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "trap/handlers.hh"
+#include "trap/interrupt_source.hh"
+#include "trap/trap.hh"
+
+namespace ruu::trap
+{
+
+/** Controller configuration. */
+struct TrapConfig
+{
+    TrapLayout layout;
+
+    /** Cycles charged for each exchange (delivery and RTI). */
+    Cycle exchangeCycles = 8;
+
+    /**
+     * Data-memory capacity in words for the run and its replay. The
+     * exchange packages must fit below it (TrapLayout::fits). Storm
+     * sweeps restart the core once per delivery, and every restart
+     * copies the memory image — a compact memory makes a
+     * thousand-delivery sweep dramatically cheaper.
+     */
+    std::size_t memoryWords = Memory::kDefaultWords;
+
+    /** The handler kernel; counterHandler() when null. */
+    std::shared_ptr<const Program> handler;
+
+    /** Per-segment watchdog budget (RunOptions::maxCycles). */
+    std::uint64_t maxCyclesPerSegment = 2'000'000'000ull;
+
+    /** Handler runaway guard (dynamic instructions per activation). */
+    std::uint64_t maxHandlerInstructions = 100'000;
+
+    /** Total-delivery guard against synchronous fault storms. */
+    std::uint64_t maxDeliveries = 1u << 20;
+
+    /** Attach the lockstep commit oracle to every segment. */
+    bool checkOracle = false;
+};
+
+/** One delivered interrupt or fault, in chronological (DFS) order. */
+struct Delivery
+{
+    Word cause = 0;
+    unsigned level = 0;   //!< handler level entered
+    bool sync = false;    //!< synchronous fault (else external)
+    ParcelAddr epc = 0;   //!< saved exception PC
+
+    /**
+     * Instructions committed — across all contexts — before this
+     * delivery. replayFunctional() steps the sequential machine to
+     * exactly this count before performing the exchange.
+     */
+    std::uint64_t globalInstr = 0;
+
+    Cycle cycle = 0;        //!< global delivery cycle
+    Cycle handlerCycles = 0; //!< delivery to matching RTI, nested incl.
+};
+
+/** Outcome of one interrupt-serviced run. */
+struct TrapRunResult
+{
+    bool completed = false; //!< the program ran to HALT
+    bool failed = false;    //!< unrecoverable servicing error
+    bool wedged = false;    //!< a segment tripped the cycle watchdog
+    std::string error;      //!< diagnostic when failed or wedged
+
+    Cycle cycles = 0;                  //!< total, exchanges included
+    std::uint64_t instructions = 0;    //!< committed, all contexts
+    std::uint64_t handlerInstructions = 0;
+    std::uint64_t dropped = 0; //!< events pending at program end
+    unsigned maxDepth = 0;     //!< deepest handler level reached
+
+    /**
+     * Synchronous deliveries taken from an imprecise machine state
+     * (non-precise core): serviced best-effort, but the run is no
+     * longer replayable bit-exactly.
+     */
+    std::uint64_t impreciseSyncDeliveries = 0;
+
+    ArchState state;
+    Memory memory;
+    TrapRegs trapRegs;
+    std::vector<Delivery> deliveries;
+
+    /** First per-segment commit-oracle divergence (empty when none). */
+    std::string oracleFailure;
+
+    bool ok() const
+    {
+        return completed && !failed && !wedged && oracleFailure.empty();
+    }
+
+    double meanHandlerCycles() const;
+    Cycle maxHandlerCycles() const;
+};
+
+/** Segmented trap-servicing executor over one timing core. */
+class TrapController
+{
+  public:
+    TrapController(Core &core, TrapConfig config);
+
+    /**
+     * Run @p trace's program on the core, delivering interrupts from
+     * @p source and servicing synchronous faults.
+     *
+     * @p injectAt lists outer-program dynamic-instruction positions to
+     * annotate with @p injectKind — positions count committed outer
+     * instructions, so they stay meaningful across the resume
+     * boundaries where the trace is regenerated. Each injected fault
+     * fires once and is then considered repaired by the handler.
+     */
+    TrapRunResult run(const Trace &trace, InterruptSource source,
+                      const std::vector<SeqNum> &injectAt = {},
+                      Fault injectKind = Fault::PageFault);
+
+    const TrapConfig &config() const { return _config; }
+
+  private:
+    Core &_core;
+    TrapConfig _config;
+};
+
+/** Outcome of a functional replay of a delivery log. */
+struct ReplayResult
+{
+    bool ok = false;
+    std::string error;
+    ArchState state;
+    Memory memory;
+    TrapRegs trapRegs;
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Re-execute a TrapController run purely functionally: the program and
+ * handler step on the sequential machine, and each logged delivery's
+ * exchange is performed when the global committed-instruction count
+ * reaches its recorded position. The delivery log alone determines the
+ * replay — injected faults need no replica here, because a faulting
+ * instruction never executes before its delivery and restarts cleanly
+ * from the restored epc afterwards. The timing run's final state,
+ * memory and trap registers must match this bit-exactly (async-only
+ * runs and precise-core sync runs; see
+ * TrapRunResult::impreciseSyncDeliveries).
+ */
+ReplayResult replayFunctional(std::shared_ptr<const Program> program,
+                              const TrapConfig &config,
+                              const std::vector<Delivery> &deliveries);
+
+} // namespace ruu::trap
+
+#endif // RUU_TRAP_CONTROLLER_HH

@@ -1,0 +1,54 @@
+#include "trap/handlers.hh"
+
+#include "asm/builder.hh"
+#include "isa/reg.hh"
+
+namespace ruu::trap
+{
+
+// Both handlers live in the frame their exchange package provides:
+// A7 = package base (unused here, but the contract of every handler),
+// A6 = scratch base. Neither A6 nor A7 is clobbered, so the frame
+// swapped back into the package at RTI keeps the anchors intact for
+// the next delivery.
+
+Program
+counterHandler()
+{
+    ProgramBuilder b("trap_counter_handler");
+    b.mfcause(regS(1));                    // S1 = cause code
+    b.movas(regA(1), regS(1));             // A1 = cause
+    b.aadd(regA(2), regA(6), regA(1));     // A2 = &scratch[cause]
+    b.lds(regS(2), regA(2), 0);
+    b.smovi(regS(3), 1);
+    b.sadd(regS(2), regS(2), regS(3));
+    b.sts(regA(2), 0, regS(2));            // scratch[cause]++
+    b.mfepc(regS(4));
+    b.sts(regA(6), kScratchLastEpc, regS(4));
+    b.rti();
+    return b.build();
+}
+
+Program
+nestedCounterHandler()
+{
+    ProgramBuilder b("trap_nested_handler");
+    // Snapshot cause and epc while still masked; a nested delivery
+    // would save and restore them anyway, but reading first keeps the
+    // handler's data flow independent of preemption points.
+    b.mfcause(regS(1));
+    b.mfepc(regS(4));
+    b.eint();                              // preemption window opens
+    b.movas(regA(1), regS(1));
+    b.aadd(regA(2), regA(6), regA(1));
+    b.lds(regS(2), regA(2), 0);
+    b.smovi(regS(3), 1);
+    b.sadd(regS(2), regS(2), regS(3));
+    b.sts(regA(2), 0, regS(2));
+    b.sts(regA(6), kScratchLastEpc, regS(4));
+    b.dint();                              // window closes
+    b.rti();
+    return b.build();
+}
+
+} // namespace ruu::trap

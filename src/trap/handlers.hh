@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Hand-compiled in-ISA interrupt handler kernels.
+ *
+ * These are real model-ISA programs, built with the same ProgramBuilder
+ * DSL as the Livermore kernels, executed by the same functional
+ * simulator and timing cores as any other code. Their register frame is
+ * whatever the exchange package holds (trap/trap.hh): A7 = the
+ * handler's own package base, A6 = the scratch base, both pre-set by
+ * initTrapMemory.
+ *
+ * Scratch-area layout (word offsets from TrapLayout::scratchBase):
+ *   [cause]            delivery count for that cause code, cause < 32
+ *   [kScratchLastEpc]  exception PC of the most recent delivery
+ */
+
+#ifndef RUU_TRAP_HANDLERS_HH
+#define RUU_TRAP_HANDLERS_HH
+
+#include "asm/program.hh"
+
+namespace ruu::trap
+{
+
+/** Scratch slots reserved for per-cause delivery counters. */
+inline constexpr unsigned kScratchCauseSlots = 32;
+
+/** Scratch slot recording the last delivery's exception PC. */
+inline constexpr unsigned kScratchLastEpc = 32;
+
+/** Total scratch words the stock handlers use. */
+inline constexpr unsigned kScratchWords = 33;
+
+/**
+ * The stock handler: reads MFCAUSE and MFEPC, bumps the per-cause
+ * delivery counter in the scratch area, records the exception PC, and
+ * returns with RTI. Runs entirely with interrupts masked.
+ */
+Program counterHandler();
+
+/**
+ * The nesting handler: same bookkeeping, but opens an EINT..DINT
+ * window around the counter update so a higher-priority interrupt may
+ * preempt it mid-service. Precise cores must survive a delivery inside
+ * the window and resume this handler bit-exactly.
+ */
+Program nestedCounterHandler();
+
+} // namespace ruu::trap
+
+#endif // RUU_TRAP_HANDLERS_HH

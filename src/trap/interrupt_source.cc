@@ -1,0 +1,57 @@
+#include "trap/interrupt_source.hh"
+
+#include <algorithm>
+
+namespace ruu::trap
+{
+
+InterruptSource
+InterruptSource::periodic(Cycle period, unsigned priority)
+{
+    InterruptSource source;
+    source._period = period > 0 ? period : 1;
+    source._priority = priority;
+    source._nextTick = source._period;
+    return source;
+}
+
+InterruptSource
+InterruptSource::schedule(std::vector<InterruptEvent> events)
+{
+    InterruptSource source;
+    source._events = std::move(events);
+    std::sort(source._events.begin(), source._events.end(),
+              [](const InterruptEvent &a, const InterruptEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  return a.priority > b.priority;
+              });
+    return source;
+}
+
+std::optional<InterruptEvent>
+InterruptSource::next(unsigned minPriority) const
+{
+    for (const InterruptEvent &e : _events)
+        if (e.priority > minPriority)
+            return e;
+    if (_period != 0 && _priority > minPriority)
+        return InterruptEvent{_nextTick, _priority};
+    return std::nullopt;
+}
+
+void
+InterruptSource::delivered(const InterruptEvent &event, Cycle at)
+{
+    ++_delivered;
+    for (auto it = _events.begin(); it != _events.end(); ++it) {
+        if (it->cycle == event.cycle && it->priority == event.priority) {
+            _events.erase(it);
+            return;
+        }
+    }
+    if (_period != 0)
+        _nextTick = (at / _period + 1) * _period;
+}
+
+} // namespace ruu::trap

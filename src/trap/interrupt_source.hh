@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Asynchronous interrupt arrival schedules.
+ *
+ * An InterruptSource models external devices raising interrupts at
+ * predetermined cycles with priorities. The trap controller polls it at
+ * segment boundaries: the earliest pending event whose priority exceeds
+ * the current interrupt level becomes the next delivery target, and
+ * lower-priority events simply stay pending until the level drops.
+ *
+ * Two schedule shapes cover the experiments:
+ *   - explicit: a fixed list of (cycle, priority) events, for tests;
+ *   - periodic: a device firing every K cycles, for the `ruusim storm`
+ *     arrival-rate sweeps. Ticks missed while the machine is masked
+ *     coalesce — after a delivery, the next tick is the first multiple
+ *     of K strictly after the delivery cycle, as a level-triggered
+ *     device line would behave.
+ *
+ * Everything is deterministic: the same schedule replayed against the
+ * same machine produces the same deliveries.
+ */
+
+#ifndef RUU_TRAP_INTERRUPT_SOURCE_HH
+#define RUU_TRAP_INTERRUPT_SOURCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu::trap
+{
+
+/** One asynchronous interrupt request. */
+struct InterruptEvent
+{
+    Cycle cycle = 0;       //!< global cycle the request is raised
+    unsigned priority = 1; //!< delivery eligibility: priority > level
+};
+
+/** A deterministic schedule of interrupt requests. */
+class InterruptSource
+{
+  public:
+    /** A source that never fires. */
+    InterruptSource() = default;
+
+    /** A device firing every @p period cycles at @p priority. */
+    static InterruptSource periodic(Cycle period, unsigned priority = 1);
+
+    /** An explicit event list (any order; sorted internally). */
+    static InterruptSource
+    schedule(std::vector<InterruptEvent> events);
+
+    /**
+     * The earliest pending event with priority > @p minPriority; ties
+     * on cycle go to the highest priority. nullopt when none pends.
+     */
+    std::optional<InterruptEvent> next(unsigned minPriority) const;
+
+    /**
+     * Mark @p event delivered at global cycle @p at. For a periodic
+     * source this coalesces missed ticks: the next request is the
+     * first multiple of the period strictly after @p at.
+     */
+    void delivered(const InterruptEvent &event, Cycle at);
+
+    /** Requests delivered so far. */
+    std::uint64_t deliveredCount() const { return _delivered; }
+
+    /** Pending explicit events (periodic sources always pend). */
+    std::size_t pendingCount() const { return _events.size(); }
+
+    /** True when no event can ever fire again. */
+    bool exhausted() const { return _period == 0 && _events.empty(); }
+
+  private:
+    // Explicit schedule, kept sorted by (cycle, -priority).
+    std::vector<InterruptEvent> _events;
+
+    // Periodic mode (0 = disabled).
+    Cycle _period = 0;
+    unsigned _priority = 1;
+    Cycle _nextTick = 0;
+
+    std::uint64_t _delivered = 0;
+};
+
+} // namespace ruu::trap
+
+#endif // RUU_TRAP_INTERRUPT_SOURCE_HH

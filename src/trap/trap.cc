@@ -1,0 +1,90 @@
+#include "trap/trap.hh"
+
+#include "isa/reg.hh"
+
+namespace ruu::trap
+{
+
+namespace
+{
+
+/** Swap the live A0..A7 / S0..S7 with package words [0..15]. */
+void
+exchangeFrame(ArchState &state, Memory &memory, Addr pkg)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        RegId a = regA(i);
+        Word live = state.read(a);
+        state.write(a, memory.at(pkg + kPkgA + i));
+        memory.set(pkg + kPkgA + i, live);
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+        RegId s = regS(i);
+        Word live = state.read(s);
+        state.write(s, memory.at(pkg + kPkgS + i));
+        memory.set(pkg + kPkgS + i, live);
+    }
+}
+
+} // namespace
+
+bool
+initTrapMemory(Memory &memory, const TrapLayout &layout)
+{
+    if (layout.maxLevels < 2 || !layout.fits(memory) ||
+        !memory.mapped(layout.scratchBase)) {
+        return false;
+    }
+    for (unsigned level = 1; level < layout.maxLevels; ++level) {
+        Addr pkg = layout.packageBase(level);
+        for (unsigned w = 0; w < kExchangeWords; ++w)
+            memory.set(pkg + w, 0);
+        // The handler frame's anchors: its own package (so it can read
+        // and patch the interrupted context) and the scratch area.
+        memory.set(pkg + kPkgA + 7, pkg);
+        memory.set(pkg + kPkgA + 6, layout.scratchBase);
+    }
+    return true;
+}
+
+bool
+deliverTrap(ArchState &state, Memory &memory, TrapRegs &trap,
+            const TrapLayout &layout, unsigned level, Word cause,
+            Word epc)
+{
+    if (level == 0 || level >= layout.maxLevels || !layout.fits(memory))
+        return false;
+    Addr pkg = layout.packageBase(level);
+    exchangeFrame(state, memory, pkg);
+    // The interrupted context's resume point and the delivery cause
+    // ride in the package — RTI reads them back from there, which is
+    // exactly how a handler's store to the saved epc (or a frame slot)
+    // becomes architectural. Status carries the interrupted context's
+    // IE bit and level, so RTI re-enters it unchanged.
+    memory.set(pkg + kPkgEpc, epc);
+    memory.set(pkg + kPkgCause, cause);
+    memory.set(pkg + kPkgStatus, trap.status);
+    trap.epc = epc;
+    trap.cause = cause;
+    trap.status = 0;
+    trap.setIe(false);
+    trap.setLevel(level);
+    return true;
+}
+
+bool
+returnFromTrap(ArchState &state, Memory &memory, TrapRegs &trap,
+               const TrapLayout &layout)
+{
+    unsigned level = trap.level();
+    if (level == 0 || level >= layout.maxLevels || !layout.fits(memory))
+        return false;
+    Addr pkg = layout.packageBase(level);
+    trap.epc = memory.at(pkg + kPkgEpc);
+    trap.cause = memory.at(pkg + kPkgCause);
+    trap.status = memory.at(pkg + kPkgStatus);
+    exchangeFrame(state, memory, pkg);
+    return true;
+}
+
+} // namespace ruu::trap

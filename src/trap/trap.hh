@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Exchange packages: the architectural mechanism of trap entry/return.
+ *
+ * Following the CRAY-1's exchange-package design, every interrupt level
+ * owns a fixed block of memory words that holds a complete A/S register
+ * frame plus the saved trap registers. Delivering a trap at level L
+ * swaps the live A and S registers with level L's package, saves the
+ * interrupted context's epc/cause/status into the package, and loads
+ * the handler's trap state; RTI performs the inverse swap. Two
+ * consequences carry the whole design:
+ *
+ *   - The handler needs no free registers to save state into — the
+ *     exchange *is* the save. Its package is pre-set (initTrapMemory)
+ *     with its working frame, including A7 = its own package base, so
+ *     the handler can inspect and patch the interrupted context's
+ *     registers with plain loads and stores into [A7].
+ *   - The per-level packages are the nesting stack: a level-2 trap
+ *     arriving inside the level-1 handler exchanges through a different
+ *     package, so nothing is ever overwritten.
+ *
+ * B and T registers are not exchanged (handlers must not touch them),
+ * exactly as the CRAY-1 exchange package covered only a subset of the
+ * register space.
+ *
+ * These routines mutate an (ArchState, Memory, TrapRegs) triple
+ * directly; they are invoked *between* timing segments by the trap
+ * controller (trap/controller.hh), never by the cores — the cores only
+ * provide the drain-to-precise-state cut (RunOptions::interruptAt).
+ */
+
+#ifndef RUU_TRAP_TRAP_HH
+#define RUU_TRAP_TRAP_HH
+
+#include "arch/memory.hh"
+#include "arch/state.hh"
+#include "arch/trap_regs.hh"
+
+namespace ruu::trap
+{
+
+/** Words per exchange package. */
+inline constexpr unsigned kExchangeWords = 24;
+
+/** Package word offsets. */
+inline constexpr unsigned kPkgA = 0;       //!< words 0..7:  A0..A7
+inline constexpr unsigned kPkgS = 8;       //!< words 8..15: S0..S7
+inline constexpr unsigned kPkgEpc = 16;    //!< saved exception PC
+inline constexpr unsigned kPkgCause = 17;  //!< saved cause
+inline constexpr unsigned kPkgStatus = 18; //!< saved status
+                                           //   words 19..23 reserved
+
+/** Where the trap machinery lives in data memory. */
+struct TrapLayout
+{
+    /** Base of the per-level exchange packages. */
+    Addr exchangeBase = 0xff000;
+
+    /** Nesting depth: levels 1..maxLevels-1 are handler levels. */
+    unsigned maxLevels = 4;
+
+    /**
+     * Base of the handler scratch area (cause counters and the like;
+     * see trap/handlers.hh for the layout the stock handlers use).
+     */
+    Addr scratchBase = 0xff800;
+
+    /** Package base address of @p level. */
+    Addr packageBase(unsigned level) const
+    {
+        return exchangeBase + static_cast<Addr>(level) * kExchangeWords;
+    }
+
+    /** True when every package fits in @p memory. */
+    bool fits(const Memory &memory) const
+    {
+        return memory.mapped(packageBase(maxLevels - 1) +
+                             kExchangeWords - 1);
+    }
+};
+
+/**
+ * Pre-set the exchange packages in @p memory: every handler level's
+ * package gets a clean working frame with A7 = its own package base
+ * and A6 = the scratch base. Call once before the first delivery.
+ * @return false when the packages do not fit in @p memory.
+ */
+bool initTrapMemory(Memory &memory, const TrapLayout &layout);
+
+/**
+ * Deliver a trap: exchange the A/S frame with level @p level's
+ * package, save the interrupted context's trap registers into it, and
+ * enter the handler context (epc = @p epc, cause = @p cause, IE off,
+ * level = @p level).
+ * @return false when @p level is out of range or the package is
+ *         unmapped; no state is changed then.
+ */
+bool deliverTrap(ArchState &state, Memory &memory, TrapRegs &trap,
+                 const TrapLayout &layout, unsigned level, Word cause,
+                 Word epc);
+
+/**
+ * Return from the current trap level: exchange the A/S frame back and
+ * restore epc/cause/status from the package. Handler stores into the
+ * package (e.g. patching the interrupted context's A3, or editing the
+ * saved epc to skip an instruction) thereby become architectural.
+ * @return false when no trap is active (level 0) or the package is
+ *         unmapped; no state is changed then.
+ */
+bool returnFromTrap(ArchState &state, Memory &memory, TrapRegs &trap,
+                    const TrapLayout &layout);
+
+} // namespace ruu::trap
+
+#endif // RUU_TRAP_TRAP_HH

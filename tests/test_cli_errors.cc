@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end CLI robustness tests.
+ *
+ * These spawn the real `ruusim` binary and assert on exit codes: the
+ * contract is that malformed input of any kind — unknown flags and
+ * names, unreadable files, broken trace files, truncated JSON configs,
+ * organically faulting programs — produces a diagnostic and status 2,
+ * never an abort, while well-formed runs exit 0 (or 1 for genuine
+ * verification failures). The tests run from build/tests, next to
+ * build/apps/ruusim; they skip when the binary is missing (e.g. a
+ * library-only build).
+ */
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "uarch/config.hh"
+
+namespace
+{
+
+const char *kBinary = "../apps/ruusim";
+
+bool
+binaryExists()
+{
+    std::ifstream probe(kBinary);
+    return probe.good();
+}
+
+/** Run `ruusim <args>` silenced; return its exit status (-1 on spawn
+ * failure or abnormal termination, so a crash never looks like a
+ * clean exit code). */
+int
+runCli(const std::string &args)
+{
+    std::string cmd =
+        std::string(kBinary) + " " + args + " >/dev/null 2>&1";
+    int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << text;
+}
+
+#define REQUIRE_BINARY()                                              \
+    do {                                                              \
+        if (!binaryExists())                                          \
+            GTEST_SKIP() << "ruusim binary not built";                \
+    } while (0)
+
+TEST(CliErrors, NoArgumentsExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli(""), 2);
+}
+
+TEST(CliErrors, UnknownCommandExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("frobnicate lll01"), 2);
+}
+
+TEST(CliErrors, UnknownFlagExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("run lll01 --frobnicate"), 2);
+}
+
+TEST(CliErrors, UnknownCoreExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("run lll01 --core warp"), 2);
+}
+
+TEST(CliErrors, MissingProgramFileExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("run no_such_program.s"), 2);
+}
+
+TEST(CliErrors, BadConfigurationValueExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("run lll01 --entries 0"), 2);
+}
+
+TEST(CliErrors, MalformedTraceMagicExitsTwo)
+{
+    REQUIRE_BINARY();
+    writeFile("bad_magic.trace", "not_a_trace 1 x 0\n");
+    EXPECT_EQ(runCli("trace bad_magic.trace"), 2);
+}
+
+TEST(CliErrors, TruncatedTraceExitsTwo)
+{
+    REQUIRE_BINARY();
+    // Header promises five records; the body carries half of one.
+    writeFile("truncated.trace", "ruutrace 1 demo 5\n1 2 3\n");
+    EXPECT_EQ(runCli("trace truncated.trace"), 2);
+}
+
+TEST(CliErrors, TraceWithBogusOpcodeExitsTwo)
+{
+    REQUIRE_BINARY();
+    writeFile("bogus_op.trace",
+              "ruutrace 1 demo 1\n"
+              "9999 -1 -1 -1 0 0 0 0 0 0 0 0 0\n");
+    EXPECT_EQ(runCli("trace bogus_op.trace"), 2);
+}
+
+TEST(CliErrors, TraceRoundTripValidates)
+{
+    REQUIRE_BINARY();
+    ASSERT_EQ(runCli("trace lll01 roundtrip.trace"), 0);
+    EXPECT_EQ(runCli("trace roundtrip.trace"), 0);
+}
+
+TEST(CliErrors, TruncatedJsonConfigExitsTwo)
+{
+    REQUIRE_BINARY();
+    writeFile("truncated.json", "{\"pool_entries\": 12, ");
+    EXPECT_EQ(runCli("run lll01 --config truncated.json"), 2);
+}
+
+TEST(CliErrors, UnknownJsonConfigKeyExitsTwo)
+{
+    REQUIRE_BINARY();
+    writeFile("unknown_key.json", "{\"pool_entrees\": 12}");
+    EXPECT_EQ(runCli("run lll01 --config unknown_key.json"), 2);
+}
+
+TEST(CliErrors, EmittedConfigRoundTrips)
+{
+    REQUIRE_BINARY();
+    writeFile("roundtrip.json",
+              ruu::configToJson(ruu::UarchConfig::cray1()));
+    EXPECT_EQ(runCli("run lll01 --config roundtrip.json"), 0);
+}
+
+TEST(CliErrors, OrganicallyFaultingProgramExitsTwo)
+{
+    REQUIRE_BINARY();
+    // Double A1 past the 1 Mi-word memory, then load through it.
+    writeFile("oob.s",
+              ".program oob\n"
+              "    amovi A1, 262143\n"
+              "    aadd  A1, A1, A1\n"
+              "    aadd  A1, A1, A1\n"
+              "    aadd  A1, A1, A1\n"
+              "    lds   S1, 0(A1)\n"
+              "    halt\n");
+    EXPECT_EQ(runCli("run oob.s"), 2);
+}
+
+TEST(CliErrors, StormSmokeRunsClean)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("storm lll01 --core ruu --points 2"), 0);
+}
+
+} // namespace

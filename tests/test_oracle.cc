@@ -223,6 +223,36 @@ TEST(CommitOracle, CatchesAWrongCommittedValue)
         << why;
 }
 
+TEST(InterruptSweep, SampledSweepIncludesBothEndpoints)
+{
+    // Regression: the sampler's stride used to be i * n / budget, which
+    // can never land on the final faultable instruction — interrupts at
+    // the very end of a run went unexercised at every budget (and a
+    // budget of 1 divided by zero). This program's dropped store is
+    // detectable only at the last faultable position, so a sample that
+    // skips the endpoint passes a core that drops stores.
+    Workload w = workloadFromSource(R"(
+.program tail
+    amovi A1, 0
+    smovi S1, 7
+    sadd S2, S1, S1
+    sts 100(A1), S2
+    sadd S3, S1, S1
+    halt
+)",
+                                    "tail");
+    ToyCore core(UarchConfig::cray1(), ToyCore::Bug::DropStore);
+    for (std::size_t budget : {std::size_t{1}, std::size_t{2}}) {
+        oracle::SweepOptions options;
+        options.maxPoints = budget;
+        oracle::SweepResult sweep =
+            oracle::sweepInterrupts(core, w, options);
+        EXPECT_EQ(sweep.points, 2u) << "budget " << budget;
+        EXPECT_FALSE(sweep.ok()) << "budget " << budget;
+        EXPECT_EQ(sweep.firstFailureSeq, 4u) << "budget " << budget;
+    }
+}
+
 TEST(InterruptSweep, CatchesTheDroppedStore)
 {
     Workload w = toyWorkload();
