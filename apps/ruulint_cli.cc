@@ -9,18 +9,17 @@
  * (lll01..lll14), or "suite" for all fourteen. Exit status: 0 when no
  * diagnostics of Error severity were produced (warnings allowed),
  * 1 when at least one target has errors (or any diagnostic at all
- * under --Werror), 2 on usage errors.
+ * under --Werror), 2 on malformed input: usage errors, unreadable
+ * files, and programs that fail to assemble.
  */
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "asm/parser.hh"
-#include "common/logging.hh"
+#include "common/file.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
 
@@ -43,17 +42,6 @@ usage()
         "allow\n"
         "  --catalog          print the diagnostic catalog and exit\n");
     std::exit(2);
-}
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        ruu_fatal("cannot open '%s'", path.c_str());
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
 }
 
 void
@@ -89,12 +77,20 @@ resolveTargets(const std::string &name)
             return targets;
         }
     }
-    AsmResult assembled = assemble(readFile(name), name);
+    // Malformed input — an unreadable file or a program that fails to
+    // assemble — exits 2, matching the ruusim CLI contract.
+    Expected<std::string> source = readTextFile(name);
+    if (!source.ok()) {
+        std::fprintf(stderr, "ruulint: %s\n",
+                     source.error().message().c_str());
+        std::exit(2);
+    }
+    AsmResult assembled = assemble(*source, name);
     if (!assembled.ok()) {
         for (const auto &error : assembled.errors)
             std::fprintf(stderr, "%s: %s\n", name.c_str(),
                          error.toString().c_str());
-        std::exit(1);
+        std::exit(2);
     }
     targets.emplace_back(name, std::move(*assembled.program));
     return targets;

@@ -29,13 +29,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "asm/parser.hh"
 #include "common/error.hh"
+#include "common/file.hh"
 #include "common/logging.hh"
+#include "inject/campaign.hh"
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
@@ -63,6 +66,11 @@ usage()
         "  ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep] "
         "[--points N]\n"
         "  ruusim storm <prog.s|lllNN|suite> [--core K] [--points N]\n"
+        "  ruusim inject <prog.s|lllNN|suite> [--cores a,b,...] "
+        "[--trials N]\n"
+        "         [--seed S] [--journal FILE] [--timeout-ms N]\n"
+        "         [--stop-after K] [--replay-trial N] [--bench-out "
+        "FILE]\n"
         "  ruusim disasm <prog.s>\n"
         "  ruusim lint <prog.s|lllNN|suite> [--Werror]\n"
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
@@ -88,6 +96,17 @@ usage()
         "                    storm: arrival rates K = 16*4^i, i < N, "
         "capped at 10000\n"
         "                    (default 4: K in {16, 64, 256, 1024})\n"
+        "  --cores LIST      inject: comma list of cores (default: all "
+        "six)\n"
+        "  --trials N        inject: campaign trial count (default "
+        "1000)\n"
+        "  --seed S          inject: campaign seed (default 1)\n"
+        "  --journal FILE    inject: JSONL journal to stream/resume\n"
+        "  --timeout-ms N    inject: per-trial wall-clock watchdog "
+        "(default 10000)\n"
+        "  --stop-after K    inject: stop after K new trials (exit 3)\n"
+        "  --replay-trial N  inject: re-run one trial and report it\n"
+        "  --bench-out FILE  inject: write the campaign summary JSON\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
         "  --json            emit one JSON object per run\n"
@@ -110,12 +129,10 @@ usage()
 std::string
 readFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        cliFail("cannot open '%s'", path.c_str());
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
+    Expected<std::string> text = readTextFile(path);
+    if (!text)
+        cliFail("%s", text.error().message().c_str());
+    return text.take();
 }
 
 /** Resolve a workload argument: kernel name or assembly file. */
@@ -204,6 +221,17 @@ struct Cli
     bool pointsSet = false;
     std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
     std::vector<std::string> positional;
+
+    // inject
+    std::vector<CoreKind> injectCores;
+    std::uint64_t trials = 1000;
+    std::uint64_t seed = 1;
+    std::string journal;
+    unsigned timeoutMs = 10'000;
+    std::uint64_t stopAfter = 0;
+    std::uint64_t replayTrial = 0;
+    bool replaySet = false;
+    std::string benchOut;
 };
 
 Cli
@@ -256,6 +284,30 @@ parseArgs(int argc, char **argv)
             cli.config.bypass = parseBypass(value());
         } else if (arg == "--predictor") {
             cli.config.predictor = parsePredictor(value());
+        } else if (arg == "--cores") {
+            std::stringstream list(value());
+            std::string item;
+            while (std::getline(list, item, ','))
+                cli.injectCores.push_back(parseCore(item));
+            if (cli.injectCores.empty())
+                usage();
+        } else if (arg == "--trials") {
+            cli.trials = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cli.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--journal") {
+            cli.journal = value();
+        } else if (arg == "--timeout-ms") {
+            cli.timeoutMs =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--stop-after") {
+            cli.stopAfter = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--replay-trial") {
+            cli.replayTrial =
+                std::strtoull(value().c_str(), nullptr, 10);
+            cli.replaySet = true;
+        } else if (arg == "--bench-out") {
+            cli.benchOut = value();
         } else if (arg == "--ibuffers") {
             cli.ibuffers = true;
         } else if (arg == "--stats") {
@@ -434,9 +486,10 @@ cmdDisasm(const Cli &cli)
     AsmResult assembled =
         assemble(readFile(cli.positional[0]), cli.positional[0]);
     if (!assembled.ok()) {
+        // Malformed input, not a verification failure.
         for (const auto &error : assembled.errors)
             std::fprintf(stderr, "%s\n", error.toString().c_str());
-        return 1;
+        return 2;
     }
     std::printf("%s", assembled.program->listing().c_str());
     return 0;
@@ -465,10 +518,11 @@ cmdLint(const Cli &cli)
         if (targets.empty()) {
             AsmResult assembled = assemble(readFile(name), name);
             if (!assembled.ok()) {
+                // Malformed input, not a lint finding.
                 for (const auto &error : assembled.errors)
                     std::fprintf(stderr, "%s: %s\n", name.c_str(),
                                  error.toString().c_str());
-                return 1;
+                return 2;
             }
             targets.emplace_back(name, std::move(*assembled.program));
         }
@@ -673,6 +727,216 @@ cmdStorm(const Cli &cli)
     return ok ? 0 : 1;
 }
 
+/** One trial in human-readable form. */
+void
+printTrial(const inject::TrialResult &trial)
+{
+    std::printf("trial %llu: %s/%s cycle %llu bit %llu\n"
+                "  port:    %s\n"
+                "  flip:    0x%llx -> 0x%llx\n"
+                "  outcome: %s (%llu cycles, %llu retries)\n",
+                static_cast<unsigned long long>(trial.point.index),
+                trial.point.core.c_str(), trial.point.workload.c_str(),
+                static_cast<unsigned long long>(trial.point.cycle),
+                static_cast<unsigned long long>(trial.point.bit),
+                trial.port.c_str(),
+                static_cast<unsigned long long>(trial.before),
+                static_cast<unsigned long long>(trial.after),
+                inject::outcomeName(trial.outcome),
+                static_cast<unsigned long long>(trial.cycles),
+                static_cast<unsigned long long>(trial.retries));
+    if (!trial.detail.empty())
+        std::printf("  detail:  %s\n", trial.detail.c_str());
+}
+
+/**
+ * Soft-error fault-injection campaign (docs/FAULTS.md). Samples
+ * (core, workload, cycle, bit) points from --seed, runs each in a
+ * crash-contained sandbox, classifies it against the detector stack,
+ * and streams results to --journal for resumability. Exit 0 when the
+ * campaign completes fully classified, 1 when any trial ends
+ * unclassified, 2 on malformed input (including a corrupt or
+ * mismatched journal), 3 when --stop-after cut the campaign short.
+ */
+int
+cmdInject(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    inject::CampaignOptions options;
+    options.workloads = resolveWorkloads(cli.positional[0]);
+    if (!cli.injectCores.empty())
+        options.cores = cli.injectCores;
+    else if (cli.coreSet)
+        options.cores = {cli.core};
+    else
+        options.cores = {CoreKind::Simple,  CoreKind::Tomasulo,
+                         CoreKind::Rstu,    CoreKind::Ruu,
+                         CoreKind::SpecRuu, CoreKind::History};
+    options.trials = cli.trials;
+    options.seed = cli.seed;
+    options.timeoutMs = cli.timeoutMs;
+    options.journalPath = cli.journal;
+    options.stopAfter = cli.stopAfter;
+    options.config = cli.config;
+    options.modelIBuffers = cli.ibuffers;
+
+    if (cli.replaySet) {
+        Expected<inject::TrialResult> trial =
+            inject::replayTrial(options, cli.replayTrial);
+        if (!trial)
+            cliFail("%s", trial.error().message().c_str());
+        if (cli.json)
+            std::printf("%s\n", inject::trialToLine(*trial).c_str());
+        else
+            printTrial(*trial);
+        return trial->outcome == inject::Outcome::Unclassified ? 1 : 0;
+    }
+
+    if (!cli.json) {
+        std::uint64_t step = std::max<std::uint64_t>(1,
+                                                     cli.trials / 20);
+        options.progress = [step](std::uint64_t done,
+                                  std::uint64_t total,
+                                  const inject::TrialResult &last) {
+            if (done % step == 0 || done == total)
+                std::fprintf(stderr,
+                             "inject: %llu/%llu trials (last: %s)\n",
+                             static_cast<unsigned long long>(done),
+                             static_cast<unsigned long long>(total),
+                             inject::outcomeName(last.outcome));
+        };
+    }
+
+    Expected<inject::CampaignSummary> summary =
+        inject::runCampaign(options);
+    if (!summary)
+        cliFail("%s", summary.error().message().c_str());
+
+    const std::vector<inject::Outcome> kOutcomes = {
+        inject::Outcome::Masked,
+        inject::Outcome::DetectedInvariant,
+        inject::Outcome::DetectedOracle,
+        inject::Outcome::Trapped,
+        inject::Outcome::Hung,
+        inject::Outcome::Sdc,
+        inject::Outcome::Unclassified,
+    };
+
+    // Per-core outcome tallies (the AVF-style vulnerability view).
+    std::map<std::string, std::map<inject::Outcome, std::uint64_t>>
+        byCore;
+    for (const auto &trial : summary->trials)
+        ++byCore[trial.point.core][trial.outcome];
+    auto total = inject::tallyOutcomes(summary->trials);
+    std::uint64_t unclassified = total[inject::Outcome::Unclassified];
+
+    if (cli.json) {
+        std::ostringstream os;
+        os << "{\"seed\": " << options.seed
+           << ", \"trials\": " << options.trials
+           << ", \"completed\": " << summary->trials.size()
+           << ", \"resumed\": " << summary->resumed
+           << ", \"executed\": " << summary->executed
+           << ", \"stopped_early\": "
+           << (summary->stoppedEarly ? "true" : "false")
+           << ", \"wall_seconds\": " << summary->wallSeconds
+           << ", \"trials_per_sec\": " << summary->trialsPerSecond()
+           << ", \"outcomes\": {";
+        bool first = true;
+        for (inject::Outcome o : kOutcomes) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "\"" << inject::outcomeName(o)
+               << "\": " << total[o];
+        }
+        os << "}, \"by_core\": {";
+        first = true;
+        for (auto &[core, tally] : byCore) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "\"" << core << "\": {";
+            bool inner = true;
+            for (inject::Outcome o : kOutcomes) {
+                if (!inner)
+                    os << ", ";
+                inner = false;
+                os << "\"" << inject::outcomeName(o)
+                   << "\": " << tally[o];
+            }
+            os << "}";
+        }
+        os << "}}";
+        std::printf("%s\n", os.str().c_str());
+        if (!cli.benchOut.empty()) {
+            std::ofstream out(cli.benchOut);
+            if (!out)
+                cliFail("cannot write '%s'", cli.benchOut.c_str());
+            out << os.str() << "\n";
+        }
+    } else {
+        TextTable table({"Core", "Trials", "Masked", "Det-inv",
+                         "Det-orc", "Trapped", "Hung", "SDC",
+                         "Unclass", "Unmasked%"});
+        table.setTitle("fault-injection campaign: seed " +
+                       std::to_string(options.seed) + ", " +
+                       std::to_string(summary->trials.size()) + "/" +
+                       std::to_string(options.trials) + " trials");
+        table.setAlign(0, Align::Left);
+        for (auto &[core, tally] : byCore) {
+            std::uint64_t n = 0;
+            for (auto &[o, count] : tally)
+                n += count;
+            double unmasked =
+                n ? 100.0 *
+                        static_cast<double>(
+                            n - tally[inject::Outcome::Masked]) /
+                        static_cast<double>(n)
+                  : 0.0;
+            table.addRow(
+                {core, TextTable::fmt(n),
+                 TextTable::fmt(tally[inject::Outcome::Masked]),
+                 TextTable::fmt(
+                     tally[inject::Outcome::DetectedInvariant]),
+                 TextTable::fmt(tally[inject::Outcome::DetectedOracle]),
+                 TextTable::fmt(tally[inject::Outcome::Trapped]),
+                 TextTable::fmt(tally[inject::Outcome::Hung]),
+                 TextTable::fmt(tally[inject::Outcome::Sdc]),
+                 TextTable::fmt(tally[inject::Outcome::Unclassified]),
+                 TextTable::fmt(unmasked, 1)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("inject: %llu trials in %.1fs (%.1f trials/sec), "
+                    "%llu resumed from journal\n",
+                    static_cast<unsigned long long>(summary->executed),
+                    summary->wallSeconds, summary->trialsPerSecond(),
+                    static_cast<unsigned long long>(summary->resumed));
+        if (!cli.benchOut.empty()) {
+            std::ofstream out(cli.benchOut);
+            if (!out)
+                cliFail("cannot write '%s'", cli.benchOut.c_str());
+            out << "{\"seed\": " << options.seed
+                << ", \"trials\": " << options.trials
+                << ", \"completed\": " << summary->trials.size()
+                << ", \"wall_seconds\": " << summary->wallSeconds
+                << ", \"trials_per_sec\": "
+                << summary->trialsPerSecond() << "}\n";
+        }
+    }
+
+    if (unclassified) {
+        std::fprintf(stderr,
+                     "inject: %llu trial(s) ended unclassified\n",
+                     static_cast<unsigned long long>(unclassified));
+        return 1;
+    }
+    if (summary->stoppedEarly)
+        return 3;
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -703,6 +967,8 @@ main(int argc, char **argv)
         return cmdVerify(cli);
     if (command == "storm")
         return cmdStorm(cli);
+    if (command == "inject")
+        return cmdInject(cli);
     if (command == "disasm")
         return cmdDisasm(cli);
     if (command == "lint")

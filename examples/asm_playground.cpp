@@ -11,10 +11,9 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "asm/parser.hh"
+#include "common/file.hh"
 #include "common/logging.hh"
 #include "sim/machine.hh"
 #include "trace/trace_io.hh"
@@ -64,12 +63,13 @@ main(int argc, char **argv)
 {
     std::string source;
     if (argc > 1) {
-        std::ifstream in(argv[1]);
-        if (!in)
-            ruu_fatal("cannot open '%s'", argv[1]);
-        std::stringstream buffer;
-        buffer << in.rdbuf();
-        source = buffer.str();
+        Expected<std::string> loaded = readTextFile(argv[1]);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         loaded.error().message().c_str());
+            return 2;
+        }
+        source = *loaded;
     } else {
         source = kDemoSource;
         // Fill the demo's input vectors.
@@ -86,7 +86,7 @@ main(int argc, char **argv)
     if (!assembled.ok()) {
         for (const auto &error : assembled.errors)
             std::fprintf(stderr, "%s\n", error.toString().c_str());
-        return 1;
+        return 2;
     }
 
     std::printf("%s\n", assembled.program->listing().c_str());

@@ -4,6 +4,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -12,6 +13,8 @@ Word
 ArchState::read(RegId reg) const
 {
     ruu_assert(reg.valid(), "read of the invalid register");
+    ruu_assert(reg.flat() < kNumArchRegs,
+               "read of out-of-range register %u", reg.flat());
     return _regs[reg.flat()];
 }
 
@@ -31,6 +34,8 @@ void
 ArchState::write(RegId reg, Word value)
 {
     ruu_assert(reg.valid(), "write of the invalid register");
+    ruu_assert(reg.flat() < kNumArchRegs,
+               "write of out-of-range register %u", reg.flat());
     _regs[reg.flat()] = value;
 }
 
@@ -59,6 +64,15 @@ ArchState::dump() const
            << ", " << wordToDouble(_regs[flat]) << ")\n";
     }
     return os.str();
+}
+
+void
+ArchState::exposePorts(inject::FaultPortSet &ports,
+                       const std::string &prefix)
+{
+    for (unsigned flat = 0; flat < kNumArchRegs; ++flat)
+        ports.add(prefix + "." + RegId::fromFlat(flat).toString(),
+                  inject::PortClass::Data, _regs[flat], 64);
 }
 
 } // namespace ruu

@@ -21,6 +21,11 @@
 namespace ruu
 {
 
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
+
 /** The 144 architectural registers, addressed by RegId. */
 class ArchState
 {
@@ -52,6 +57,10 @@ class ArchState
 
     /** Multi-line dump of the non-zero registers, for test failures. */
     std::string dump() const;
+
+    /** Register every architectural register as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     std::array<Word, kNumArchRegs> _regs;

@@ -83,6 +83,12 @@ class Expected
         return _error;
     }
 
+    /** The error, or nullptr on success — for batch validation. */
+    const Error *errorOrNull() const { return ok() ? nullptr : &_error; }
+
+    const T &operator*() const { return value(); }
+    const T *operator->() const { return &value(); }
+
   private:
     std::optional<T> _value;
     Error _error;

@@ -1,0 +1,22 @@
+#include "common/file.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace ruu
+{
+
+Expected<std::string>
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Error("cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return Error("read error while loading '" + path + "'");
+    return buffer.str();
+}
+
+} // namespace ruu

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Checked file loading. Every path that pulls bytes off the filesystem
+ * (CLI inputs, test fixtures, journals) goes through readTextFile so a
+ * missing or unreadable file surfaces as a diagnosable Error instead of
+ * an empty string or a crash downstream.
+ */
+
+#ifndef RUU_COMMON_FILE_HH
+#define RUU_COMMON_FILE_HH
+
+#include <string>
+
+#include "common/error.hh"
+
+namespace ruu
+{
+
+/**
+ * Read the whole of @p path as text. Errors name the path and the
+ * failure (nonexistent, unreadable, read error mid-stream).
+ */
+Expected<std::string> readTextFile(const std::string &path);
+
+} // namespace ruu
+
+#endif // RUU_COMMON_FILE_HH

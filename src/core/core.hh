@@ -25,6 +25,11 @@
 namespace ruu
 {
 
+namespace inject
+{
+class MachineTap;
+} // namespace inject
+
 /** Options controlling one timing run. */
 struct RunOptions
 {
@@ -79,6 +84,15 @@ struct RunOptions
      * before the EINT that re-enabled interrupts inside a handler.
      */
     SeqNum interruptMinSeq = 0;
+
+    /**
+     * Machine tap for fault injection and snapshot/restore
+     * (src/inject): when set, the core registers every flippable state
+     * bit of its live pipeline structures as FaultPorts at run start
+     * and calls the tap at the top of every cycle. Null (the default)
+     * skips registration entirely — plain runs pay nothing.
+     */
+    inject::MachineTap *tap = nullptr;
 };
 
 /** Outcome of one timing run. */

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
 #include "uarch/scoreboard.hh"
@@ -85,6 +86,61 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
     // unwind; the scoreboard cross-check is meaningless from then on.
     bool fault_seen = false;
 
+    // Fault/snapshot port registration (only when a tap is attached).
+    // History sequence numbers index the trace, so they wrap to its
+    // length; the slot-to-history map and the cursors wrap to the
+    // buffer size. regFlat keeps its "no destination" sentinel
+    // (kNumArchRegs) representable by wrapping one past it.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned i = 0; i < pool_size; ++i)
+            inject::exposeInflightOp(
+                fault_ports, "pool[" + std::to_string(i) + "]",
+                pool[i]);
+        for (unsigned i = 0; i < hb_size; ++i) {
+            std::string name = "hb[" + std::to_string(i) + "]";
+            HistoryEntry &h = hb[i];
+            fault_ports.addFlag(name + ".valid", h.valid);
+            fault_ports.add(name + ".seq", inject::PortClass::Sequence,
+                            h.seq, 32, records.size());
+            fault_ports.add(name + ".pc", inject::PortClass::Address,
+                            h.pc, 32);
+            fault_ports.add(name + ".regFlat", inject::PortClass::Tag,
+                            h.regFlat, 32, kNumArchRegs + 1);
+            fault_ports.add(name + ".oldValue",
+                            inject::PortClass::Data, h.oldValue, 64);
+            fault_ports.addFlag(name + ".isStore", h.isStore);
+            fault_ports.add(name + ".memAddr",
+                            inject::PortClass::Address, h.memAddr, 32);
+            fault_ports.add(name + ".oldMemValue",
+                            inject::PortClass::Data, h.oldMemValue,
+                            64);
+            fault_ports.addFlag(name + ".memWritten", h.memWritten);
+            fault_ports.addFlag(name + ".done", h.done);
+            fault_ports.addFlag(name + ".wroteReg", h.wroteReg);
+            fault_ports.addFlag(name + ".faulted", h.faulted);
+        }
+        inject::exposeCursor(fault_ports, "hbHead", hb_head, hb_size);
+        inject::exposeCursor(fault_ports, "hbTail", hb_tail, hb_size);
+        inject::exposeCursor(fault_ports, "hbCount", hb_count,
+                             hb_size + 1);
+        for (unsigned i = 0; i < pool_size; ++i)
+            inject::exposeCursor(fault_ports,
+                                 "hbOfSlot[" + std::to_string(i) + "]",
+                                 hb_of_slot[i], hb_size);
+        busy.exposePorts(fault_ports, "busy");
+        load_regs.exposePorts(fault_ports, "loadReg");
+        pipes.exposePorts(fault_ports, "fu");
+        banks.exposePorts(fault_ports, "banks");
+        bus.exposePorts(fault_ports, "bus");
+        result.state.exposePorts(fault_ports, "regs");
+        fault_ports.add("decodeSeq", inject::PortClass::Sequence,
+                        decode_seq, 32, records.size() + 1);
+        fault_ports.add("nextDecode", inject::PortClass::Sequence,
+                        next_decode, 32);
+        options.tap->onRunStart(fault_ports);
+    }
+
     auto occupancy = [&]() {
         unsigned n = 0;
         for (const auto &e : pool)
@@ -131,6 +187,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                        wedge_detail());
             return result;
         }
+        if (options.tap)
+            options.tap->onCycle(cycle, fault_ports);
         if (ck)
             ck->beginCycle(cycle);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
 #include "uarch/ibuffer.hh"
@@ -68,6 +69,38 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
     const auto &records = trace.records();
     lint::InvariantChecker *ck = invariants();
 
+    // Fault/snapshot port registration (only when a tap is attached).
+    // A pool slot doubles as its tag, so destination tags wrap to the
+    // pool size, as do the per-register latest-slot pointers.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned i = 0; i < pool_size; ++i) {
+            std::string name = "rstu[" + std::to_string(i) + "]";
+            inject::exposeInflightOp(fault_ports, name, pool[i],
+                                     pool_size);
+            fault_ports.addFlag(name + ".latestCopy",
+                                pool[i].latestCopy);
+        }
+        for (unsigned f = 0; f < kNumArchRegs; ++f)
+            fault_ports.add("latestSlot." +
+                                RegId::fromFlat(f).toString(),
+                            inject::PortClass::Tag, latest_slot[f], 32,
+                            pool_size);
+        busy.exposePorts(fault_ports, "busy");
+        load_regs.exposePorts(fault_ports, "loadReg");
+        pipes.exposePorts(fault_ports, "fu");
+        banks.exposePorts(fault_ports, "banks");
+        bus.exposePorts(fault_ports, "bus");
+        if (options.modelIBuffers)
+            ibuffers.exposePorts(fault_ports, "ibuf");
+        result.state.exposePorts(fault_ports, "regs");
+        fault_ports.add("decodeSeq", inject::PortClass::Sequence,
+                        decode_seq, 32, records.size() + 1);
+        fault_ports.add("nextDecode", inject::PortClass::Sequence,
+                        next_decode, 32);
+        options.tap->onRunStart(fault_ports);
+    }
+
     auto occupancy = [&]() {
         unsigned n = 0;
         for (const auto &e : pool)
@@ -109,6 +142,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                        wedge_detail());
             return result;
         }
+        if (options.tap)
+            options.tap->onCycle(cycle, fault_ports);
         if (ck)
             ck->beginCycle(cycle);
 

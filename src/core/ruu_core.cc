@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
 #include "uarch/ibuffer.hh"
@@ -73,6 +74,37 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
     bool done = false;
     const auto &records = trace.records();
     lint::InvariantChecker *ck = invariants();
+
+    // Fault/snapshot port registration (only when a tap is attached):
+    // every RUU entry, the queue cursors, the NI/LI counters, the load
+    // registers, the unit/bus/bank latches, the future file and the
+    // committed register file. The `rec` host pointers are not ports.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned i = 0; i < ruu_size; ++i)
+            inject::exposeInflightOp(
+                fault_ports, "ruu[" + std::to_string(i) + "]", ruu[i]);
+        inject::exposeCursor(fault_ports, "head", head, ruu_size);
+        inject::exposeCursor(fault_ports, "tail", tail, ruu_size);
+        inject::exposeCursor(fault_ports, "count", count, ruu_size + 1);
+        counters.exposePorts(fault_ports, "counters");
+        load_regs.exposePorts(fault_ports, "loadReg");
+        pipes.exposePorts(fault_ports, "fu");
+        banks.exposePorts(fault_ports, "banks");
+        bus.exposePorts(fault_ports, "bus");
+        if (options.modelIBuffers)
+            ibuffers.exposePorts(fault_ports, "ibuf");
+        for (unsigned f = 0; f < kNumArchRegs; ++f)
+            fault_ports.addFlag(
+                "futureValid." + RegId::fromFlat(f).toString(),
+                future_valid[f]);
+        result.state.exposePorts(fault_ports, "regs");
+        fault_ports.add("decodeSeq", inject::PortClass::Sequence,
+                        decode_seq, 32, records.size() + 1);
+        fault_ports.add("nextDecode", inject::PortClass::Sequence,
+                        next_decode, 32);
+        options.tap->onRunStart(fault_ports);
+    }
 
     /** Pool entry currently holding tag @p tag, or nullptr. */
     auto entry_with_tag = [&](Tag tag) -> InflightOp * {
@@ -149,6 +181,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                        wedge_detail());
             return result;
         }
+        if (options.tap)
+            options.tap->onCycle(cycle, fault_ports);
         cycle_tags.clear();
         if (ck)
             ck->beginCycle(cycle);

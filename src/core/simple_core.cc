@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 #include "uarch/banks.hh"
 #include "uarch/ibuffer.hh"
 #include "uarch/result_bus.hh"
@@ -53,10 +54,35 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         return ready;
     };
 
+    // Fault/snapshot port registration (only when a tap is attached).
+    // The simple machine's state is the interlock scoreboard, the
+    // register file, the bus schedule and the issue clock itself.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned f = 0; f < kNumArchRegs; ++f)
+            fault_ports.add("regReady." +
+                                RegId::fromFlat(f).toString(),
+                            inject::PortClass::Sequence, reg_ready[f],
+                            32);
+        result.state.exposePorts(fault_ports, "regs");
+        bus.exposePorts(fault_ports, "bus");
+        if (options.modelIBuffers)
+            ibuffers.exposePorts(fault_ports, "ibuf");
+        banks.exposePorts(fault_ports, "banks");
+        fault_ports.add("nextIssue", inject::PortClass::Sequence,
+                        next_issue, 32);
+        options.tap->onRunStart(fault_ports);
+    }
+
     const auto &records = trace.records();
     for (SeqNum seq = options.startSeq; seq < records.size(); ++seq) {
         const TraceRecord &record = records[seq];
         const Instruction &inst = record.inst;
+
+        // This core has no explicit cycle loop; the tap sees the
+        // (monotonically nondecreasing) issue clock per instruction.
+        if (options.tap)
+            options.tap->onCycle(next_issue, fault_ports);
 
         // The decode stage stops accepting work once a fault has been
         // detected; everything issued before that drains.

@@ -6,6 +6,7 @@
 
 #include "core/ooo_support.hh"
 #include "core/predictor.hh"
+#include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
 #include "uarch/scoreboard.hh"
@@ -88,6 +89,49 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
     const auto &records = trace.records();
     lint::InvariantChecker *ck = invariants();
+
+    // Fault/snapshot port registration (only when a tap is attached):
+    // the RUU entries with their speculation flags, the cursors, the
+    // NI/LI counters and the shared latches. The predictor's internal
+    // tables and the wrong-path instruction images are not ports.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned i = 0; i < ruu_size; ++i) {
+            SpecEntry &e = ruu[i];
+            std::string name = "ruu[" + std::to_string(i) + "]";
+            inject::exposeInflightOp(fault_ports, name, e);
+            fault_ports.add(name + ".issueId",
+                            inject::PortClass::Sequence, e.issueId,
+                            32);
+            fault_ports.addFlag(name + ".wrongPath", e.wrongPath);
+            fault_ports.addFlag(name + ".isBranchEntry",
+                                e.isBranchEntry);
+            fault_ports.addFlag(name + ".resolvedBranch",
+                                e.resolvedBranch);
+            fault_ports.addFlag(name + ".predictedTaken",
+                                e.predictedTaken);
+        }
+        inject::exposeCursor(fault_ports, "head", head, ruu_size);
+        inject::exposeCursor(fault_ports, "tail", tail, ruu_size);
+        inject::exposeCursor(fault_ports, "count", count, ruu_size + 1);
+        fault_ports.add("nextIssueId", inject::PortClass::Sequence,
+                        next_issue_id, 32);
+        counters.exposePorts(fault_ports, "counters");
+        load_regs.exposePorts(fault_ports, "loadReg");
+        pipes.exposePorts(fault_ports, "fu");
+        banks.exposePorts(fault_ports, "banks");
+        bus.exposePorts(fault_ports, "bus");
+        result.state.exposePorts(fault_ports, "regs");
+        fault_ports.addFlag("wpActive", wp_active);
+        fault_ports.addFlag("wpStuck", wp_stuck);
+        fault_ports.add("wpIndex", inject::PortClass::Sequence,
+                        wp_index, 32, program.size());
+        fault_ports.add("decodeSeq", inject::PortClass::Sequence,
+                        decode_seq, 32, records.size() + 1);
+        fault_ports.add("nextDecode", inject::PortClass::Sequence,
+                        next_decode, 32);
+        options.tap->onRunStart(fault_ports);
+    }
 
     /** Queue position (0 = head) of slot @p slot. */
     auto queue_pos = [&](unsigned slot) {
@@ -198,6 +242,8 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                        wedge_detail());
             return result;
         }
+        if (options.tap)
+            options.tap->onCycle(cycle, fault_ports);
         if (ck)
             ck->beginCycle(cycle);
 

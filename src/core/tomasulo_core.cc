@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
 #include "uarch/ibuffer.hh"
@@ -84,6 +85,52 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
     const auto &records = trace.records();
     lint::InvariantChecker *ck = invariants();
 
+    // Fault/snapshot port registration (only when a tap is attached):
+    // the reservation stations, the Tag Unit, the per-register latest
+    // maps, the scoreboard and the shared latches. Entries copied into
+    // `flight` and the program-order deques live in dynamic containers
+    // whose addresses move, so they are not ports. Destination tags
+    // index the Tag Unit, so they wrap to its capacity.
+    inject::FaultPortSet fault_ports;
+    if (options.tap) {
+        for (unsigned k = 0; k < kNumFuKinds; ++k) {
+            auto &pool = rs[k];
+            for (unsigned i = 0; i < pool.size(); ++i)
+                inject::exposeInflightOp(
+                    fault_ports,
+                    std::string("rs.") +
+                        fuKindName(static_cast<FuKind>(k)) + "[" +
+                        std::to_string(i) + "]",
+                    pool[i], _config.tuEntries);
+        }
+        for (unsigned i = 0; i < tu.size(); ++i) {
+            std::string name = "tu[" + std::to_string(i) + "]";
+            fault_ports.addFlag(name + ".free", tu[i].free);
+            fault_ports.addFlag(name + ".latest", tu[i].latest);
+            fault_ports.add(name + ".regFlat",
+                            inject::PortClass::Tag, tu[i].regFlat, 32,
+                            kNumArchRegs);
+        }
+        for (unsigned f = 0; f < kNumArchRegs; ++f)
+            fault_ports.add("latestSlot." +
+                                RegId::fromFlat(f).toString(),
+                            inject::PortClass::Tag, latest_slot[f], 32,
+                            _config.tuEntries);
+        busy.exposePorts(fault_ports, "busy");
+        load_regs.exposePorts(fault_ports, "loadReg");
+        pipes.exposePorts(fault_ports, "fu");
+        banks.exposePorts(fault_ports, "banks");
+        bus.exposePorts(fault_ports, "bus");
+        if (options.modelIBuffers)
+            ibuffers.exposePorts(fault_ports, "ibuf");
+        result.state.exposePorts(fault_ports, "regs");
+        fault_ports.add("decodeSeq", inject::PortClass::Sequence,
+                        decode_seq, 32, records.size() + 1);
+        fault_ports.add("nextDecode", inject::PortClass::Sequence,
+                        next_decode, 32);
+        options.tap->onRunStart(fault_ports);
+    }
+
     auto rs_occupancy = [&]() {
         unsigned n = 0;
         for (const auto &pool : rs)
@@ -132,6 +179,8 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                        wedge_detail());
             return result;
         }
+        if (options.tap)
+            options.tap->onCycle(cycle, fault_ports);
         if (ck)
             ck->beginCycle(cycle);
 

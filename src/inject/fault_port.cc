@@ -1,0 +1,178 @@
+#include "inject/fault_port.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ruu::inject
+{
+
+const char *
+portClassName(PortClass cls)
+{
+    switch (cls) {
+      case PortClass::Control: return "control";
+      case PortClass::Tag: return "tag";
+      case PortClass::Data: return "data";
+      case PortClass::Address: return "address";
+      case PortClass::Sequence: return "sequence";
+    }
+    return "?";
+}
+
+void
+FaultPortSet::addRaw(std::string name, PortClass cls, void *base,
+                     unsigned storage_bytes, unsigned bits,
+                     std::uint64_t wrap)
+{
+    ruu_assert(base != nullptr, "port '%s' has no backing storage",
+               name.c_str());
+    ruu_assert(storage_bytes >= 1 && storage_bytes <= 8,
+               "port '%s': storage of %u bytes", name.c_str(),
+               storage_bytes);
+    ruu_assert(bits >= 1 && bits <= storage_bytes * 8,
+               "port '%s': %u bits in %u bytes", name.c_str(), bits,
+               storage_bytes);
+    FaultPort port;
+    port.name = std::move(name);
+    port.cls = cls;
+    port.base = base;
+    port.storageBytes = storage_bytes;
+    port.bits = bits;
+    port.wrap = wrap;
+    _totalBits += bits;
+    _imageBytes += storage_bytes;
+    _ports.push_back(std::move(port));
+}
+
+const FaultPort &
+FaultPortSet::port(std::size_t i) const
+{
+    ruu_assert(i < _ports.size(), "port index %zu of %zu", i,
+               _ports.size());
+    return _ports[i];
+}
+
+FaultPortSet::BitRef
+FaultPortSet::locate(std::uint64_t flat_bit) const
+{
+    ruu_assert(flat_bit < _totalBits,
+               "flat bit %llu of %llu registered",
+               static_cast<unsigned long long>(flat_bit),
+               static_cast<unsigned long long>(_totalBits));
+    for (std::size_t i = 0; i < _ports.size(); ++i) {
+        if (flat_bit < _ports[i].bits)
+            return {i, static_cast<unsigned>(flat_bit)};
+        flat_bit -= _ports[i].bits;
+    }
+    ruu_panic("port bit accounting is inconsistent");
+}
+
+std::uint64_t
+FaultPortSet::readValue(std::size_t index) const
+{
+    const FaultPort &p = port(index);
+    std::uint64_t value = 0;
+    std::memcpy(&value, p.base, p.storageBytes);
+    return value;
+}
+
+void
+FaultPortSet::writeValue(std::size_t index, std::uint64_t value)
+{
+    const FaultPort &p = port(index);
+    std::memcpy(p.base, &value, p.storageBytes);
+}
+
+FaultPortSet::FlipResult
+FaultPortSet::flip(std::uint64_t flat_bit)
+{
+    BitRef ref = locate(flat_bit);
+    const FaultPort &p = _ports[ref.port];
+    FlipResult result;
+    result.port = ref.port;
+    result.bit = ref.bit;
+    result.before = readValue(ref.port);
+    std::uint64_t value = result.before ^ (std::uint64_t{1} << ref.bit);
+    if (p.wrap)
+        value %= p.wrap;
+    result.after = value;
+    writeValue(ref.port, value);
+    return result;
+}
+
+std::vector<std::uint8_t>
+FaultPortSet::captureImage() const
+{
+    std::vector<std::uint8_t> image;
+    image.reserve(_imageBytes);
+    for (const FaultPort &p : _ports) {
+        const auto *bytes = static_cast<const std::uint8_t *>(p.base);
+        image.insert(image.end(), bytes, bytes + p.storageBytes);
+    }
+    return image;
+}
+
+void
+FaultPortSet::restoreImage(const std::vector<std::uint8_t> &image)
+{
+    ruu_assert(image.size() == _imageBytes,
+               "restore image of %zu bytes into a %zu-byte layout",
+               image.size(), _imageBytes);
+    std::size_t offset = 0;
+    for (const FaultPort &p : _ports) {
+        std::memcpy(p.base, image.data() + offset, p.storageBytes);
+        offset += p.storageBytes;
+    }
+}
+
+std::size_t
+FaultPortSet::firstMismatch(const std::vector<std::uint8_t> &image)
+    const
+{
+    ruu_assert(image.size() == _imageBytes,
+               "compare image of %zu bytes against a %zu-byte layout",
+               image.size(), _imageBytes);
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < _ports.size(); ++i) {
+        const FaultPort &p = _ports[i];
+        if (std::memcmp(p.base, image.data() + offset, p.storageBytes))
+            return i;
+        offset += p.storageBytes;
+    }
+    return kNoMismatch;
+}
+
+std::uint64_t
+FaultPortSet::layoutSignature() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    auto mix = [&hash](std::uint64_t value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    for (const FaultPort &p : _ports) {
+        for (char c : p.name) {
+            hash ^= static_cast<std::uint8_t>(c);
+            hash *= 0x100000001b3ull;
+        }
+        mix(static_cast<std::uint64_t>(p.cls));
+        mix(p.storageBytes);
+        mix(p.bits);
+        mix(p.wrap);
+    }
+    mix(_ports.size());
+    return hash;
+}
+
+std::string
+FaultPortSet::describe(std::size_t index) const
+{
+    const FaultPort &p = port(index);
+    return p.name + " (" + portClassName(p.cls) + ", " +
+           std::to_string(p.bits) + (p.bits == 1 ? " bit)" : " bits)");
+}
+
+} // namespace ruu::inject

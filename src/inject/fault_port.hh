@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Fault ports — the uniform enumeration of flippable machine state.
+ *
+ * A FaultPort names one latch-backed field of a live pipeline
+ * structure: an RUU entry's valid bit, a Tag Unit slot's register
+ * number, a history-buffer entry's saved value, a scoreboard counter, a
+ * result-bus latch, an architectural register. Each timing core
+ * registers its ports into a FaultPortSet at the start of a run (only
+ * when a MachineTap is attached, so plain runs pay nothing), giving
+ * three capabilities on top of the same enumeration:
+ *
+ *   - soft-error injection: flip any single bit of any port at any
+ *     cycle (the campaign runner in campaign.hh samples such points);
+ *   - bit-exact capture: read every registered byte into an image and
+ *     write it back (the snapshot/restore machinery in snapshot.hh);
+ *   - layout fingerprinting: a signature over (name, class, width) of
+ *     every port, so a capture is only ever restored into a machine
+ *     exposing the identical layout.
+ *
+ * Ports whose value is used as an array index (queue cursors, Tag Unit
+ * slot numbers, history sequence numbers) declare a wrap modulus: a
+ * flip lands the value back inside the structure's capacity, so an
+ * injected fault corrupts the *model* rather than tripping
+ * out-of-bounds behavior in the host process. Fields holding host
+ * pointers (TraceRecord*) are never registered.
+ */
+
+#ifndef RUU_INJECT_FAULT_PORT_HH
+#define RUU_INJECT_FAULT_PORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ruu::inject
+{
+
+/** What kind of machine state a port holds (reporting/analysis). */
+enum class PortClass : std::uint8_t
+{
+    Control,  //!< valid/ready/busy flags, mode bits
+    Tag,      //!< result tags and tag-monitoring latches
+    Data,     //!< data values (registers, saved values, bus data)
+    Address,  //!< memory addresses and PCs
+    Sequence, //!< sequence numbers, cursors, cycle latches
+};
+
+/** Printable port-class name ("control", "tag", ...). */
+const char *portClassName(PortClass cls);
+
+/** One registered flippable field. */
+struct FaultPort
+{
+    std::string name;          //!< e.g. "ruu[3].destTag"
+    PortClass cls = PortClass::Control;
+    void *base = nullptr;      //!< backing storage (live structure)
+    unsigned storageBytes = 1; //!< sizeof the backing field (<= 8)
+    unsigned bits = 1;         //!< flippable width in bits
+    std::uint64_t wrap = 0;    //!< nonzero: post-flip value %= wrap
+};
+
+/** The registered ports of one running machine. */
+class FaultPortSet
+{
+  public:
+    /** Register a port over @p storage_bytes at @p base. */
+    void addRaw(std::string name, PortClass cls, void *base,
+                unsigned storage_bytes, unsigned bits,
+                std::uint64_t wrap = 0);
+
+    /** Register a one-bit flag port. */
+    void
+    addFlag(const std::string &name, bool &flag)
+    {
+        addRaw(name, PortClass::Control, &flag, 1, 1);
+    }
+
+    /** Register an integral field with an explicit flippable width. */
+    template <typename T>
+    void
+    add(const std::string &name, PortClass cls, T &field,
+        unsigned bits = sizeof(T) * 8, std::uint64_t wrap = 0)
+    {
+        static_assert(sizeof(T) <= 8, "port storage wider than a word");
+        addRaw(name, cls, &field, sizeof(T), bits, wrap);
+    }
+
+    std::size_t size() const { return _ports.size(); }
+    bool empty() const { return _ports.empty(); }
+    const FaultPort &port(std::size_t i) const;
+
+    /** Sum of every port's flippable width. */
+    std::uint64_t totalBits() const { return _totalBits; }
+
+    /** A flat bit index resolved to its port. */
+    struct BitRef
+    {
+        std::size_t port = 0;
+        unsigned bit = 0;
+    };
+
+    /** Resolve flat bit @p flat_bit (asserts flat_bit < totalBits()). */
+    BitRef locate(std::uint64_t flat_bit) const;
+
+    /** Outcome of one injected flip. */
+    struct FlipResult
+    {
+        std::size_t port = 0;
+        unsigned bit = 0;
+        std::uint64_t before = 0; //!< field value before the flip
+        std::uint64_t after = 0;  //!< field value written back
+    };
+
+    /** Flip flat bit @p flat_bit (applying the port's wrap modulus). */
+    FlipResult flip(std::uint64_t flat_bit);
+
+    /** Current value of port @p index (little-endian field read). */
+    std::uint64_t readValue(std::size_t index) const;
+
+    /** Overwrite port @p index with @p value. */
+    void writeValue(std::size_t index, std::uint64_t value);
+
+    /** Bit-exact image of every registered field, in port order. */
+    std::vector<std::uint8_t> captureImage() const;
+
+    /** Write @p image back (asserts it matches imageBytes()). */
+    void restoreImage(const std::vector<std::uint8_t> &image);
+
+    /** Size of a capture image in bytes. */
+    std::size_t imageBytes() const { return _imageBytes; }
+
+    /**
+     * First port whose live bytes differ from @p image, or npos when
+     * the machine matches the image bit-exactly.
+     */
+    static constexpr std::size_t kNoMismatch = ~std::size_t{0};
+    std::size_t firstMismatch(const std::vector<std::uint8_t> &image)
+        const;
+
+    /**
+     * FNV-1a fingerprint over every port's (name, class, widths, wrap):
+     * equal signatures mean structurally identical layouts, the
+     * precondition for restoring a capture or replaying a trial.
+     */
+    std::uint64_t layoutSignature() const;
+
+    /** "name (class, N bits)" for reports. */
+    std::string describe(std::size_t index) const;
+
+  private:
+    std::vector<FaultPort> _ports;
+    std::uint64_t _totalBits = 0;
+    std::size_t _imageBytes = 0;
+};
+
+/**
+ * Observer of a running timing core (RunOptions::tap). The core calls
+ * onRunStart once, after its pipeline structures exist and their ports
+ * are registered, and onCycle at the top of every simulated cycle (the
+ * SimpleCore, which models per-instruction issue rather than an
+ * explicit cycle loop, calls it once per instruction with its
+ * monotonically nondecreasing issue cycle). The FaultPortSet reference
+ * is only valid for the duration of the run.
+ */
+class MachineTap
+{
+  public:
+    virtual ~MachineTap() = default;
+
+    virtual void onRunStart(FaultPortSet &ports) { (void)ports; }
+
+    virtual void
+    onCycle(Cycle cycle, FaultPortSet &ports)
+    {
+        (void)cycle;
+        (void)ports;
+    }
+};
+
+} // namespace ruu::inject
+
+#endif // RUU_INJECT_FAULT_PORT_HH

@@ -1,0 +1,504 @@
+#include "inject/journal.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/file.hh"
+
+namespace ruu::inject
+{
+
+namespace
+{
+
+const char *const kJournalKind = "ruu-inject-journal";
+
+/** Escape @p text for embedding in a JSON string literal. */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** One parsed value of the flat object grammar. */
+struct FlatValue
+{
+    bool isString = false;
+    std::string text;          //!< unescaped string / number spelling
+    std::uint64_t number = 0;  //!< valid when !isString
+};
+
+using FlatObject = std::map<std::string, FlatValue>;
+
+/**
+ * Parser for the one-line subset of JSON the journal emits: a single
+ * object whose values are strings or unsigned integers.
+ */
+class FlatParser
+{
+  public:
+    explicit FlatParser(const std::string &text) : _text(text) {}
+
+    Expected<FlatObject> parse()
+    {
+        FlatObject object;
+        skipSpace();
+        if (!consume('{'))
+            return fail("expected '{'");
+        skipSpace();
+        if (consume('}'))
+            return object;
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (auto r = parseString(key); !r)
+                return r.error();
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':' after key '" + key + "'");
+            skipSpace();
+            FlatValue value;
+            if (peek() == '"') {
+                value.isString = true;
+                if (auto r = parseString(value.text); !r)
+                    return r.error();
+            } else {
+                if (auto r = parseNumber(value); !r)
+                    return r.error();
+            }
+            object[key] = std::move(value);
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            return fail("expected ',' or '}'");
+        }
+        skipSpace();
+        if (_pos != _text.size())
+            return fail("trailing text after object");
+        return object;
+    }
+
+  private:
+    char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++_pos;
+        return true;
+    }
+    void skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+    Error fail(const std::string &what) const
+    {
+        return Error(what + " at column " + std::to_string(_pos + 1));
+    }
+
+    Expected<bool> parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char e = _text[_pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // The journal only ever escapes control bytes, so a
+                // single byte is enough to reconstruct them.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                return fail(std::string("unknown escape '\\") + e + "'");
+            }
+        }
+    }
+
+    Expected<bool> parseNumber(FlatValue &out)
+    {
+        std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+        if (_pos == start)
+            return fail("expected a value");
+        out.text = _text.substr(start, _pos - start);
+        out.number = 0;
+        for (char c : out.text) {
+            if (out.number > (UINT64_MAX - (c - '0')) / 10)
+                return fail("number out of range");
+            out.number = out.number * 10 + (c - '0');
+        }
+        return true;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+Expected<std::uint64_t>
+getNumber(const FlatObject &object, const std::string &key)
+{
+    auto it = object.find(key);
+    if (it == object.end())
+        return Error("missing key '" + key + "'");
+    if (it->second.isString)
+        return Error("key '" + key + "' is a string, expected a number");
+    return it->second.number;
+}
+
+Expected<std::string>
+getString(const FlatObject &object, const std::string &key)
+{
+    auto it = object.find(key);
+    if (it == object.end())
+        return Error("missing key '" + key + "'");
+    if (!it->second.isString)
+        return Error("key '" + key + "' is a number, expected a string");
+    return it->second.text;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &joined)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(joined);
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+joinCommas(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ',';
+        out += item;
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "masked";
+      case Outcome::DetectedInvariant: return "detected-invariant";
+      case Outcome::DetectedOracle: return "detected-oracle";
+      case Outcome::Trapped: return "trapped";
+      case Outcome::Hung: return "hung";
+      case Outcome::Sdc: return "sdc";
+      case Outcome::Unclassified: return "unclassified";
+    }
+    return "unclassified";
+}
+
+Expected<Outcome>
+outcomeFromName(const std::string &name)
+{
+    for (Outcome o : {Outcome::Masked, Outcome::DetectedInvariant,
+                      Outcome::DetectedOracle, Outcome::Trapped,
+                      Outcome::Hung, Outcome::Sdc, Outcome::Unclassified})
+        if (name == outcomeName(o))
+            return o;
+    return Error("unknown outcome '" + name + "'");
+}
+
+std::string
+headerToLine(const JournalHeader &header)
+{
+    std::ostringstream os;
+    os << "{\"kind\": \"" << kJournalKind << "\""
+       << ", \"version\": " << header.version
+       << ", \"seed\": " << header.seed
+       << ", \"trials\": " << header.trials
+       << ", \"cores\": \"" << escapeJson(joinCommas(header.cores))
+       << "\""
+       << ", \"workloads\": \""
+       << escapeJson(joinCommas(header.workloads)) << "\""
+       << ", \"config\": \"" << escapeJson(header.config) << "\"}";
+    return os.str();
+}
+
+std::string
+trialToLine(const TrialResult &trial)
+{
+    std::ostringstream os;
+    os << "{\"index\": " << trial.point.index
+       << ", \"seed\": " << trial.point.seed
+       << ", \"core\": \"" << escapeJson(trial.point.core) << "\""
+       << ", \"workload\": \"" << escapeJson(trial.point.workload)
+       << "\""
+       << ", \"cycle\": " << trial.point.cycle
+       << ", \"bit\": " << trial.point.bit
+       << ", \"port\": \"" << escapeJson(trial.port) << "\""
+       << ", \"before\": " << trial.before
+       << ", \"after\": " << trial.after
+       << ", \"outcome\": \"" << outcomeName(trial.outcome) << "\""
+       << ", \"cycles\": " << trial.cycles
+       << ", \"retries\": " << trial.retries
+       << ", \"detail\": \"" << escapeJson(trial.detail) << "\"}";
+    return os.str();
+}
+
+Expected<JournalHeader>
+parseHeaderLine(const std::string &line)
+{
+    FlatParser parser(line);
+    auto object = parser.parse();
+    if (!object)
+        return Error(object.error()).context("journal header");
+    auto kind = getString(*object, "kind");
+    if (!kind)
+        return Error(kind.error()).context("journal header");
+    if (*kind != kJournalKind)
+        return Error("journal header: kind '" + *kind + "' is not '" +
+                     kJournalKind + "'");
+    JournalHeader header;
+    auto version = getNumber(*object, "version");
+    auto seed = getNumber(*object, "seed");
+    auto trials = getNumber(*object, "trials");
+    auto cores = getString(*object, "cores");
+    auto workloads = getString(*object, "workloads");
+    auto config = getString(*object, "config");
+    for (const Error *e :
+         {version.errorOrNull(), seed.errorOrNull(), trials.errorOrNull(),
+          cores.errorOrNull(), workloads.errorOrNull(),
+          config.errorOrNull()})
+        if (e)
+            return Error(e->message()).context("journal header");
+    if (*version != 1)
+        return Error("journal header: unsupported version " +
+                     std::to_string(*version));
+    header.version = *version;
+    header.seed = *seed;
+    header.trials = *trials;
+    header.cores = splitCommas(*cores);
+    header.workloads = splitCommas(*workloads);
+    header.config = *config;
+    return header;
+}
+
+Expected<TrialResult>
+parseTrialLine(const std::string &line)
+{
+    FlatParser parser(line);
+    auto object = parser.parse();
+    if (!object)
+        return object.error();
+    TrialResult trial;
+    auto index = getNumber(*object, "index");
+    auto seed = getNumber(*object, "seed");
+    auto core = getString(*object, "core");
+    auto workload = getString(*object, "workload");
+    auto cycle = getNumber(*object, "cycle");
+    auto bit = getNumber(*object, "bit");
+    auto port = getString(*object, "port");
+    auto before = getNumber(*object, "before");
+    auto after = getNumber(*object, "after");
+    auto outcome = getString(*object, "outcome");
+    auto cycles = getNumber(*object, "cycles");
+    auto retries = getNumber(*object, "retries");
+    auto detail = getString(*object, "detail");
+    for (const Error *e :
+         {index.errorOrNull(), seed.errorOrNull(), core.errorOrNull(),
+          workload.errorOrNull(), cycle.errorOrNull(), bit.errorOrNull(),
+          port.errorOrNull(), before.errorOrNull(), after.errorOrNull(),
+          outcome.errorOrNull(), cycles.errorOrNull(),
+          retries.errorOrNull(), detail.errorOrNull()})
+        if (e)
+            return Error(e->message());
+    auto parsed = outcomeFromName(*outcome);
+    if (!parsed)
+        return parsed.error();
+    trial.point.index = *index;
+    trial.point.seed = *seed;
+    trial.point.core = *core;
+    trial.point.workload = *workload;
+    trial.point.cycle = *cycle;
+    trial.point.bit = *bit;
+    trial.port = *port;
+    trial.before = *before;
+    trial.after = *after;
+    trial.outcome = *parsed;
+    trial.cycles = *cycles;
+    trial.retries = *retries;
+    trial.detail = *detail;
+    return trial;
+}
+
+Expected<JournalContents>
+readJournal(const std::string &path)
+{
+    auto text = readTextFile(path);
+    if (!text)
+        return Error(text.error()).context("journal");
+    JournalContents contents;
+    contents.validBytes = text->size();
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    struct RawLine
+    {
+        std::size_t number;
+        std::size_t start;
+        std::string text;
+    };
+    // Collect raw trial lines first so "last line" is well defined
+    // even with trailing blank lines.
+    std::vector<RawLine> trialLines;
+    std::size_t pos = 0;
+    while (pos < text->size()) {
+        std::size_t eol = text->find('\n', pos);
+        std::size_t end = eol == std::string::npos ? text->size() : eol;
+        std::string line = text->substr(pos, end - pos);
+        std::size_t start = pos;
+        pos = eol == std::string::npos ? text->size() : eol + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (!sawHeader) {
+            auto header = parseHeaderLine(line);
+            if (!header)
+                return Error(header.error())
+                    .context("'" + path + "' line " +
+                             std::to_string(lineNo));
+            contents.header = *header;
+            sawHeader = true;
+            continue;
+        }
+        trialLines.push_back({lineNo, start, std::move(line)});
+    }
+    if (!sawHeader)
+        return Error("journal '" + path + "' has no header line");
+    for (std::size_t i = 0; i < trialLines.size(); ++i) {
+        auto trial = parseTrialLine(trialLines[i].text);
+        if (!trial) {
+            if (i + 1 == trialLines.size()) {
+                // A torn final line is the expected signature of a
+                // campaign killed mid-write; drop it and resume.
+                contents.tornTail = true;
+                contents.validBytes = trialLines[i].start;
+                break;
+            }
+            return Error(trial.error())
+                .context("'" + path + "' line " +
+                         std::to_string(trialLines[i].number));
+        }
+        contents.trials.push_back(*trial);
+    }
+    return contents;
+}
+
+Expected<bool>
+JournalWriter::create(const std::string &path, const JournalHeader &header)
+{
+    _out.open(path, std::ios::trunc);
+    if (!_out)
+        return Error("cannot open journal '" + path + "' for writing");
+    _path = path;
+    _out << headerToLine(header) << '\n' << std::flush;
+    if (!_out)
+        return Error("write error on journal '" + path + "'");
+    return true;
+}
+
+Expected<bool>
+JournalWriter::append(const std::string &path)
+{
+    // A SIGKILLed campaign can leave a torn, newline-less final line;
+    // start appends on a fresh line so the fragment stays isolated.
+    bool needsNewline = false;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            needsNewline = in.get() != '\n';
+        }
+    }
+    _out.open(path, std::ios::app);
+    if (!_out)
+        return Error("cannot open journal '" + path + "' for appending");
+    _path = path;
+    if (needsNewline)
+        _out << '\n' << std::flush;
+    return true;
+}
+
+Expected<bool>
+JournalWriter::add(const TrialResult &trial)
+{
+    if (!_out.is_open())
+        return Error("journal writer is not open");
+    _out << trialToLine(trial) << '\n' << std::flush;
+    if (!_out)
+        return Error("write error on journal '" + _path + "'");
+    return true;
+}
+
+} // namespace ruu::inject

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Append-only JSONL campaign journal.
+ *
+ * A fault-injection campaign streams one line per finished trial to a
+ * journal file so a killed campaign can resume where it stopped. The
+ * format is deliberately flat — one JSON object per line, values only
+ * strings and unsigned integers — so the reader below can parse it
+ * without a JSON dependency:
+ *
+ *   line 1:  header   {"kind": "ruu-inject-journal", "version": 1,
+ *                      "seed": ..., "trials": ..., "cores": "a,b",
+ *                      "workloads": "x,y", "config": "<signature>"}
+ *   line 2+: trials   {"index": ..., "seed": ..., "core": ...,
+ *                      "workload": ..., "cycle": ..., "bit": ...,
+ *                      "port": ..., "before": ..., "after": ...,
+ *                      "outcome": ..., "cycles": ..., "retries": ...,
+ *                      "detail": ...}
+ *
+ * Torn writes happen (the campaign may be SIGKILLed mid-line), so a
+ * malformed LAST line is tolerated and reported via
+ * JournalContents::tornTail; a malformed line anywhere else is data
+ * corruption and a hard error.
+ */
+
+#ifndef RUU_INJECT_JOURNAL_HH
+#define RUU_INJECT_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace ruu::inject
+{
+
+/**
+ * Classification of one injection trial, in detector precedence order.
+ * Every trial ends in exactly one bucket; Unclassified survives only
+ * inside a crashed child that never reported, and a campaign that
+ * finishes with one is a bug.
+ */
+enum class Outcome
+{
+    Masked,            //!< architectural results and completion intact
+    DetectedInvariant, //!< invariant checker / assertion / crash
+    DetectedOracle,    //!< commit oracle caught a discrepancy
+    Trapped,           //!< machine took a (restartable) trap
+    Hung,              //!< watchdog expired; structured dump attached
+    Sdc,               //!< silent data corruption: wrong final state
+    Unclassified,      //!< no classification reached (campaign bug)
+};
+
+/** Stable lowercase name for @p outcome ("masked", "sdc", ...). */
+const char *outcomeName(Outcome outcome);
+
+/** Inverse of outcomeName. */
+Expected<Outcome> outcomeFromName(const std::string &name);
+
+/** The sampled coordinates of one trial. */
+struct TrialPoint
+{
+    std::uint64_t index = 0; //!< position in the campaign sequence
+    std::uint64_t seed = 0;  //!< derived trial seed (replay key)
+    std::string core;        //!< core kind name
+    std::string workload;    //!< kernel name
+    Cycle cycle = 0;         //!< injection cycle
+    std::uint64_t bit = 0;   //!< global bit index in the port set
+};
+
+/** Everything a finished trial reports into the journal. */
+struct TrialResult
+{
+    TrialPoint point;
+    Outcome outcome = Outcome::Unclassified;
+    std::string port;           //!< flipped port, "name bit k"
+    std::uint64_t before = 0;   //!< port value before the flip
+    std::uint64_t after = 0;    //!< port value after the flip
+    std::uint64_t cycles = 0;   //!< cycles the faulty run took
+    std::uint64_t retries = 0;  //!< sandbox restarts consumed
+    std::string detail;         //!< diagnostic (invariant text, dump)
+};
+
+/** Campaign identity, pinned in the journal's first line. */
+struct JournalHeader
+{
+    std::uint64_t version = 1;
+    std::uint64_t seed = 0;
+    std::uint64_t trials = 0;
+    std::vector<std::string> cores;
+    std::vector<std::string> workloads;
+    std::string config; //!< uarch-config signature string
+};
+
+/** A fully parsed journal. */
+struct JournalContents
+{
+    JournalHeader header;
+    std::vector<TrialResult> trials;
+    bool tornTail = false; //!< last line was incomplete and dropped
+    /**
+     * Byte extent of the valid prefix: everything past this offset is
+     * the torn fragment. A resuming writer truncates to here before
+     * appending, so the fragment can never resurface as a (hard-error)
+     * interior line.
+     */
+    std::size_t validBytes = 0;
+};
+
+/** Serialize @p header as its one-line JSON form (no newline). */
+std::string headerToLine(const JournalHeader &header);
+
+/** Serialize @p trial as its one-line JSON form (no newline). */
+std::string trialToLine(const TrialResult &trial);
+
+/** Parse one header line. */
+Expected<JournalHeader> parseHeaderLine(const std::string &line);
+
+/** Parse one trial line. */
+Expected<TrialResult> parseTrialLine(const std::string &line);
+
+/**
+ * Read and validate a whole journal file. Tolerates a torn final
+ * line; rejects a missing/invalid header or a malformed interior line
+ * (with its line number).
+ */
+Expected<JournalContents> readJournal(const std::string &path);
+
+/**
+ * Line-buffered journal writer. Every append writes one full line and
+ * flushes, so the journal loses at most the trial in flight when the
+ * process dies.
+ */
+class JournalWriter
+{
+  public:
+    /** Create @p path (truncating) and write the header line. */
+    Expected<bool> create(const std::string &path,
+                          const JournalHeader &header);
+
+    /** Open @p path for appending trial lines after a resume. */
+    Expected<bool> append(const std::string &path);
+
+    /** Append one trial line and flush. */
+    Expected<bool> add(const TrialResult &trial);
+
+    bool isOpen() const { return _out.is_open(); }
+
+  private:
+    std::ofstream _out;
+    std::string _path;
+};
+
+} // namespace ruu::inject
+
+#endif // RUU_INJECT_JOURNAL_HH

@@ -1,0 +1,105 @@
+#include "inject/snapshot.hh"
+
+#include "common/logging.hh"
+
+namespace ruu::inject
+{
+
+void
+CaptureTap::onRunStart(FaultPortSet &ports)
+{
+    _snapshot.layoutSignature = ports.layoutSignature();
+    _snapshot.portCount = ports.size();
+    _snapshot.totalBits = ports.totalBits();
+    _snapshot.requestedCycle = _target;
+}
+
+void
+CaptureTap::onCycle(Cycle cycle, FaultPortSet &ports)
+{
+    if (_captured || cycle < _target)
+        return;
+    _snapshot.capturedCycle = cycle;
+    _snapshot.image = ports.captureImage();
+    _captured = true;
+}
+
+void
+RestoreTap::onRunStart(FaultPortSet &ports)
+{
+    _layoutOk = ports.layoutSignature() == _snapshot.layoutSignature &&
+                ports.imageBytes() == _snapshot.image.size();
+}
+
+void
+RestoreTap::onCycle(Cycle cycle, FaultPortSet &ports)
+{
+    if (_fired || !_layoutOk || cycle < _snapshot.capturedCycle)
+        return;
+    _fired = true;
+    _restoredAt = cycle;
+    std::size_t bad = ports.firstMismatch(_snapshot.image);
+    if (bad == FaultPortSet::kNoMismatch) {
+        _verified = true;
+    } else {
+        _mismatch = ports.describe(bad) + ": live value " +
+                    std::to_string(ports.readValue(bad)) +
+                    " differs from the snapshot";
+    }
+    ports.restoreImage(_snapshot.image);
+}
+
+Expected<Snapshot>
+takeSnapshot(Core &core, const Trace &trace, const RunOptions &options,
+             Cycle cycle)
+{
+    CaptureTap tap(cycle);
+    RunOptions opts = options;
+    opts.tap = &tap;
+    RunResult run = core.run(trace, opts);
+    if (!tap.captured()) {
+        return Error("run on core '" + std::string(core.name()) +
+                     "' ended at cycle " + std::to_string(run.cycles) +
+                     (run.wedged ? " (wedged)" : "") +
+                     " before the snapshot cycle " +
+                     std::to_string(cycle));
+    }
+    Snapshot snapshot = tap.takeSnapshot();
+    if (snapshot.image.empty())
+        return Error("core '" + std::string(core.name()) +
+                     "' registered no fault ports");
+    snapshot.core = core.name();
+    return snapshot;
+}
+
+Expected<ResumeResult>
+resumeFromSnapshot(Core &core, const Trace &trace,
+                   const RunOptions &options, const Snapshot &snapshot)
+{
+    RestoreTap tap(snapshot);
+    RunOptions opts = options;
+    opts.tap = &tap;
+    RunResult run = core.run(trace, opts);
+    if (!tap.layoutOk()) {
+        return Error("snapshot layout (core '" + snapshot.core +
+                     "', signature " +
+                     std::to_string(snapshot.layoutSignature) +
+                     ") does not match core '" +
+                     std::string(core.name()) + "'");
+    }
+    if (!tap.fired()) {
+        return Error("replay on core '" + std::string(core.name()) +
+                     "' ended at cycle " + std::to_string(run.cycles) +
+                     (run.wedged ? " (wedged)" : "") +
+                     " before the snapshot cycle " +
+                     std::to_string(snapshot.capturedCycle));
+    }
+    ResumeResult result;
+    result.result = std::move(run);
+    result.verified = tap.verified();
+    result.mismatch = tap.mismatch();
+    result.restoredAt = tap.restoredAt();
+    return result;
+}
+
+} // namespace ruu::inject

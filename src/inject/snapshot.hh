@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Machine snapshot/restore over the fault-port enumeration.
+ *
+ * A Snapshot is a bit-exact image of every registered FaultPort of a
+ * running machine at one cycle, plus the layout fingerprint that makes
+ * it safe to reinstate. Because the cores keep their pipeline state in
+ * run-local structures, a snapshot cannot be "loaded" into an idle
+ * core object; restore is *replay-anchored*: a fresh run of the same
+ * (core, trace, options) is driven to the snapshot cycle, the live
+ * registered bytes are compared against the image — which doubles as a
+ * determinism check — the image is installed, and the run continues to
+ * completion. The replay costs O(snapshot cycle), which is the honest
+ * price of checkpointing a trace-driven model without serializing host
+ * pointers.
+ *
+ * The same taps back the campaign runner: a trial is "restore to cycle
+ * N, flip one bit, continue", with the capture step skipped.
+ */
+
+#ifndef RUU_INJECT_SNAPSHOT_HH
+#define RUU_INJECT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/core.hh"
+#include "inject/fault_port.hh"
+
+namespace ruu::inject
+{
+
+/** A bit-exact machine checkpoint. */
+struct Snapshot
+{
+    std::string core;        //!< core name, for mismatch diagnostics
+    std::uint64_t layoutSignature = 0;
+    Cycle requestedCycle = 0; //!< cycle asked for
+    Cycle capturedCycle = 0;  //!< first tap call at/after the request
+    std::uint64_t portCount = 0;
+    std::uint64_t totalBits = 0;
+    std::vector<std::uint8_t> image;
+};
+
+/**
+ * Tap that captures the port image at the first cycle >= the target.
+ * Reusable directly by callers running their own RunOptions.
+ */
+class CaptureTap : public MachineTap
+{
+  public:
+    explicit CaptureTap(Cycle target) : _target(target) {}
+
+    void onRunStart(FaultPortSet &ports) override;
+    void onCycle(Cycle cycle, FaultPortSet &ports) override;
+
+    bool captured() const { return _captured; }
+    const Snapshot &snapshot() const { return _snapshot; }
+    Snapshot takeSnapshot() { return std::move(_snapshot); }
+
+  private:
+    Cycle _target;
+    bool _captured = false;
+    Snapshot _snapshot;
+};
+
+/** Outcome of a restore-and-continue run. */
+struct ResumeResult
+{
+    RunResult result;      //!< the continued run's final result
+    bool verified = false; //!< replayed bytes matched the image exactly
+    std::string mismatch;  //!< first differing port, when !verified
+    Cycle restoredAt = 0;  //!< cycle the image was (re)installed
+};
+
+/**
+ * Tap that, at the first cycle >= the snapshot's captured cycle,
+ * verifies the live registered bytes against the image and installs
+ * the image. Optionally flips one port bit immediately afterwards
+ * (armFlipBit >= 0), which is the campaign runner's injection point.
+ */
+class RestoreTap : public MachineTap
+{
+  public:
+    explicit RestoreTap(const Snapshot &snapshot)
+        : _snapshot(snapshot)
+    {}
+
+    void onRunStart(FaultPortSet &ports) override;
+    void onCycle(Cycle cycle, FaultPortSet &ports) override;
+
+    bool fired() const { return _fired; }
+    bool verified() const { return _verified; }
+    const std::string &mismatch() const { return _mismatch; }
+    Cycle restoredAt() const { return _restoredAt; }
+    bool layoutOk() const { return _layoutOk; }
+
+  private:
+    const Snapshot &_snapshot;
+    bool _fired = false;
+    bool _verified = false;
+    bool _layoutOk = false;
+    std::string _mismatch;
+    Cycle _restoredAt = 0;
+};
+
+/**
+ * Run @p core over @p trace with @p options and capture a snapshot at
+ * the first tap cycle >= @p cycle. Errors when the run ends (or
+ * wedges) before the target cycle, or when the snapshot layout is
+ * empty.
+ */
+Expected<Snapshot> takeSnapshot(Core &core, const Trace &trace,
+                                const RunOptions &options, Cycle cycle);
+
+/**
+ * Replay @p core from the start, verify the machine against
+ * @p snapshot at its captured cycle, install the image, and continue
+ * to completion. Errors when the layouts differ or the replay never
+ * reaches the snapshot cycle; a byte mismatch is NOT an error (the
+ * run still completes) — it is reported through ResumeResult::verified
+ * so determinism harnesses can fail loudly with the port name.
+ */
+Expected<ResumeResult> resumeFromSnapshot(Core &core,
+                                          const Trace &trace,
+                                          const RunOptions &options,
+                                          const Snapshot &snapshot);
+
+} // namespace ruu::inject
+
+#endif // RUU_INJECT_SNAPSHOT_HH

@@ -1,6 +1,7 @@
 #include "uarch/banks.hh"
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -38,6 +39,15 @@ MemoryBanks::reset()
     for (auto &free_at : _freeAt)
         free_at = 0;
     _conflicts = 0;
+}
+
+void
+MemoryBanks::exposePorts(inject::FaultPortSet &ports,
+                         const std::string &prefix)
+{
+    for (std::size_t i = 0; i < _freeAt.size(); ++i)
+        ports.add(prefix + "[" + std::to_string(i) + "].freeAt",
+                  inject::PortClass::Sequence, _freeAt[i], 32);
 }
 
 } // namespace ruu

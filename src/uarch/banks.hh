@@ -13,12 +13,18 @@
 #ifndef RUU_UARCH_BANKS_HH
 #define RUU_UARCH_BANKS_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace ruu
 {
+
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
 
 /** Word-interleaved memory banks with a fixed recovery time. */
 class MemoryBanks
@@ -44,6 +50,10 @@ class MemoryBanks
 
     /** Clear all bank state. */
     void reset();
+
+    /** Register per-bank recovery latches (no-op when disabled). */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     unsigned _busyCycles;

@@ -1,6 +1,7 @@
 #include "uarch/fu.hh"
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -32,6 +33,19 @@ void
 FuPipes::reset()
 {
     _lastStart.fill(kNoCycle);
+}
+
+void
+FuPipes::exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix)
+{
+    for (unsigned k = 0; k < kNumFuKinds; ++k) {
+        if (static_cast<FuKind>(k) == FuKind::None)
+            continue;
+        ports.add(prefix + ".lastStart." +
+                      fuKindName(static_cast<FuKind>(k)),
+                  inject::PortClass::Sequence, _lastStart[k], 32);
+    }
 }
 
 } // namespace ruu

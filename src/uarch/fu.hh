@@ -15,6 +15,7 @@
 #define RUU_UARCH_FU_HH
 
 #include <array>
+#include <string>
 
 #include "common/types.hh"
 #include "isa/opcode.hh"
@@ -22,6 +23,11 @@
 
 namespace ruu
 {
+
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
 
 /** Tracks per-unit initiation so one operation starts per cycle. */
 class FuPipes
@@ -40,6 +46,10 @@ class FuPipes
 
     /** Forget all initiations (reset between runs). */
     void reset();
+
+    /** Register every per-unit initiation latch as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     UarchConfig _config;

@@ -1,6 +1,9 @@
 #include "uarch/ibuffer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -44,10 +47,25 @@ IBuffers::fetch(ParcelAddr pc, Cycle now)
 void
 IBuffers::reset()
 {
-    std::fill(_valid.begin(), _valid.end(), false);
+    std::fill(_valid.begin(), _valid.end(), std::uint8_t{0});
     _nextVictim = 0;
     _misses = 0;
     _accesses = 0;
+}
+
+void
+IBuffers::exposePorts(inject::FaultPortSet &ports,
+                      const std::string &prefix)
+{
+    for (std::size_t i = 0; i < _base.size(); ++i) {
+        std::string name = prefix + "[" + std::to_string(i) + "]";
+        ports.add(name + ".base", inject::PortClass::Address, _base[i],
+                  32);
+        ports.addRaw(name + ".valid", inject::PortClass::Control,
+                     &_valid[i], 1, 1);
+    }
+    ports.add(prefix + ".nextVictim", inject::PortClass::Sequence,
+              _nextVictim, 32, _base.size());
 }
 
 } // namespace ruu

@@ -15,12 +15,19 @@
 #ifndef RUU_UARCH_IBUFFER_HH
 #define RUU_UARCH_IBUFFER_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace ruu
 {
+
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
 
 /** The instruction-buffer array. */
 class IBuffers
@@ -56,12 +63,18 @@ class IBuffers
     /** Invalidate all buffers and zero the counters. */
     void reset();
 
+    /** Register base/valid/victim state as fault ports. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
+
   private:
     unsigned _parcelsEach;
     unsigned _missPenalty;
     unsigned _nextVictim = 0;
     std::vector<ParcelAddr> _base; //!< aligned base per buffer
-    std::vector<bool> _valid;
+    // Byte-backed (not std::vector<bool>) so each flag is addressable
+    // as a fault port.
+    std::vector<std::uint8_t> _valid;
     std::uint64_t _misses = 0;
     std::uint64_t _accesses = 0;
 };

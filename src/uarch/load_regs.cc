@@ -1,6 +1,7 @@
 #include "uarch/load_regs.hh"
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -102,6 +103,25 @@ LoadRegisters::reset()
 {
     for (auto &entry : _entries)
         entry = LoadRegEntry{};
+}
+
+void
+LoadRegisters::exposePorts(inject::FaultPortSet &ports,
+                           const std::string &prefix)
+{
+    for (unsigned i = 0; i < _entries.size(); ++i) {
+        LoadRegEntry &e = _entries[i];
+        std::string name = prefix + "[" + std::to_string(i) + "]";
+        ports.addFlag(name + ".active", e.active);
+        ports.add(name + ".addr", inject::PortClass::Address, e.addr,
+                  32);
+        ports.add(name + ".tag", inject::PortClass::Tag, e.tag, 32);
+        ports.add(name + ".pending", inject::PortClass::Control,
+                  e.pending, 8);
+        ports.addFlag(name + ".hasValue", e.hasValue);
+        ports.add(name + ".value", inject::PortClass::Data, e.value,
+                  64);
+    }
 }
 
 } // namespace ruu

@@ -17,6 +17,7 @@
 #define RUU_UARCH_LOAD_REGS_HH
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -88,6 +89,10 @@ class LoadRegisters
 
     /** Free everything (reset between runs / after an interrupt). */
     void reset();
+
+    /** Register every load-register field as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     std::vector<LoadRegEntry> _entries;

@@ -1,13 +1,16 @@
 #include "uarch/result_bus.hh"
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
 
-ResultBus::ResultBus(unsigned width) : _width(width)
+ResultBus::ResultBus(unsigned width, unsigned horizon) : _width(width)
 {
     ruu_assert(width >= 1, "at least one result bus is required");
+    ruu_assert(horizon >= 2, "result-bus horizon of %u cycles", horizon);
+    _slots.resize(static_cast<std::size_t>(width) * horizon);
 }
 
 void
@@ -16,38 +19,95 @@ ResultBus::reserve(Cycle cycle, Tag tag, Word value, SeqNum seq)
     ruu_assert(free(cycle),
                "all %u result-bus slots at cycle %llu already reserved",
                _width, static_cast<unsigned long long>(cycle));
-    _schedule.emplace(cycle, Broadcast{tag, value, seq});
+    for (Slot &slot : _slots) {
+        if (slot.used)
+            continue;
+        slot.used = true;
+        slot.cycle = cycle;
+        slot.stamp = _nextStamp++;
+        slot.broadcast = {tag, value, seq};
+        return;
+    }
+    ruu_panic("result-bus schedule exceeded its %zu-latch window; a "
+              "delivery is pending further ahead than the horizon "
+              "covers",
+              _slots.size());
 }
 
 unsigned
 ResultBus::countAt(Cycle cycle) const
 {
-    return static_cast<unsigned>(_schedule.count(cycle));
+    unsigned n = 0;
+    for (const Slot &slot : _slots)
+        if (slot.used && slot.cycle == cycle)
+            ++n;
+    return n;
 }
 
 std::optional<Broadcast>
 ResultBus::at(Cycle cycle) const
 {
-    auto it = _schedule.find(cycle);
-    if (it == _schedule.end())
+    const Slot *found = nullptr;
+    for (const Slot &slot : _slots) {
+        if (!slot.used || slot.cycle != cycle)
+            continue;
+        if (!found || slot.stamp < found->stamp)
+            found = &slot;
+    }
+    if (!found)
         return std::nullopt;
-    return it->second;
+    return found->broadcast;
 }
 
 void
 ResultBus::retireBefore(Cycle cycle)
 {
-    _schedule.erase(_schedule.begin(), _schedule.lower_bound(cycle));
+    for (Slot &slot : _slots)
+        if (slot.used && slot.cycle < cycle)
+            slot.used = false;
 }
 
 void
 ResultBus::cancelFrom(SeqNum seq)
 {
-    for (auto it = _schedule.begin(); it != _schedule.end();) {
-        if (it->second.seq != kNoSeqNum && it->second.seq >= seq)
-            it = _schedule.erase(it);
-        else
-            ++it;
+    for (Slot &slot : _slots)
+        if (slot.used && slot.broadcast.seq != kNoSeqNum &&
+            slot.broadcast.seq >= seq)
+            slot.used = false;
+}
+
+std::size_t
+ResultBus::pending() const
+{
+    std::size_t n = 0;
+    for (const Slot &slot : _slots)
+        if (slot.used)
+            ++n;
+    return n;
+}
+
+void
+ResultBus::reset()
+{
+    for (Slot &slot : _slots)
+        slot.used = false;
+    _nextStamp = 1;
+}
+
+void
+ResultBus::exposePorts(inject::FaultPortSet &ports,
+                       const std::string &prefix)
+{
+    for (std::size_t i = 0; i < _slots.size(); ++i) {
+        Slot &slot = _slots[i];
+        std::string name = prefix + "[" + std::to_string(i) + "]";
+        ports.addFlag(name + ".used", slot.used);
+        ports.add(name + ".cycle", inject::PortClass::Sequence,
+                  slot.cycle, 32);
+        ports.add(name + ".tag", inject::PortClass::Tag,
+                  slot.broadcast.tag, 32);
+        ports.add(name + ".value", inject::PortClass::Data,
+                  slot.broadcast.value, 64);
     }
 }
 

@@ -14,19 +14,31 @@
  * slot in its delivery cycle is taken. Broadcasts carry a tag and a
  * value: reservation stations, the tag units, the load registers and
  * the future files all monitor them.
+ *
+ * The schedule is a fixed array of reservation latches (width × a
+ * delivery horizon comfortably beyond the longest unit latency), not a
+ * dynamic map: the latches are stable storage for the lifetime of a
+ * run, which is what lets the fault-injection layer (src/inject)
+ * register every bus latch as a flippable FaultPort.
  */
 
 #ifndef RUU_UARCH_RESULT_BUS_HH
 #define RUU_UARCH_RESULT_BUS_HH
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace ruu
 {
+
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
 
 /** An opaque result tag; each core defines its own tag namespace. */
 using Tag = std::uint32_t;
@@ -46,8 +58,12 @@ struct Broadcast
 class ResultBus
 {
   public:
-    /** @param width deliveries allowed per cycle (buses). */
-    explicit ResultBus(unsigned width = 1);
+    /**
+     * @param width   deliveries allowed per cycle (buses)
+     * @param horizon delivery cycles the latch array covers; must
+     *                exceed the longest functional-unit latency
+     */
+    explicit ResultBus(unsigned width = 1, unsigned horizon = 64);
 
     /** Number of buses. */
     unsigned width() const { return _width; }
@@ -74,14 +90,28 @@ class ResultBus
     void cancelFrom(SeqNum seq);
 
     /** Number of reservations currently scheduled. */
-    std::size_t pending() const { return _schedule.size(); }
+    std::size_t pending() const;
 
     /** Clear all reservations. */
-    void reset() { _schedule.clear(); }
+    void reset();
+
+    /** Register every reservation latch as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
+    /** One reservation latch. */
+    struct Slot
+    {
+        bool used = false;
+        Cycle cycle = 0;
+        std::uint64_t stamp = 0; //!< reservation order among equals
+        Broadcast broadcast;
+    };
+
     unsigned _width;
-    std::multimap<Cycle, Broadcast> _schedule;
+    std::vector<Slot> _slots;
+    std::uint64_t _nextStamp = 1;
 };
 
 } // namespace ruu

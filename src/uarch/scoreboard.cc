@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "inject/fault_port.hh"
 
 namespace ruu
 {
@@ -69,6 +70,30 @@ InstanceCounters::reset()
 {
     _ni.fill(0);
     _li.fill(0);
+}
+
+void
+BusyBits::exposePorts(inject::FaultPortSet &ports,
+                      const std::string &prefix)
+{
+    for (unsigned f = 0; f < kNumArchRegs; ++f)
+        ports.addFlag(prefix + "." + RegId::fromFlat(f).toString(),
+                      _busy[f]);
+}
+
+void
+InstanceCounters::exposePorts(inject::FaultPortSet &ports,
+                              const std::string &prefix)
+{
+    // Counter values above 2^n - 1 are unrepresentable in n bits, so
+    // flips confined to the counter width always yield legal counts.
+    for (unsigned f = 0; f < kNumArchRegs; ++f) {
+        std::string reg = RegId::fromFlat(f).toString();
+        ports.add(prefix + ".ni." + reg, inject::PortClass::Control,
+                  _ni[f], _bits);
+        ports.add(prefix + ".li." + reg, inject::PortClass::Tag,
+                  _li[f], _bits);
+    }
 }
 
 } // namespace ruu

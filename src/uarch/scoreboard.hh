@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "isa/reg.hh"
@@ -46,6 +47,10 @@ class BusyBits
 
     /** Clear everything. */
     void reset() { _busy.fill(false); }
+
+    /** Register every busy bit as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     std::array<bool, kNumArchRegs> _busy;
@@ -112,6 +117,10 @@ class InstanceCounters
 
     /** Reset all counters (new run or post-interrupt recovery). */
     void reset();
+
+    /** Register every NI/LI counter as a fault port. */
+    void exposePorts(inject::FaultPortSet &ports,
+                     const std::string &prefix);
 
   private:
     unsigned _bits;

@@ -14,6 +14,7 @@
 
 #include <sys/wait.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -171,6 +172,65 @@ TEST(CliErrors, StormSmokeRunsClean)
 {
     REQUIRE_BINARY();
     EXPECT_EQ(runCli("storm lll01 --core ruu --points 2"), 0);
+}
+
+TEST(CliErrors, InjectUnknownCoreInListExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("inject lll01 --cores ruu,warp --trials 2"), 2);
+}
+
+TEST(CliErrors, InjectBadTrialCountExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("inject lll01 --trials nope"), 2);
+    EXPECT_EQ(runCli("inject lll01 --trials 0"), 2);
+}
+
+TEST(CliErrors, InjectReplayOutOfRangeExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(
+        runCli("inject lll01 --cores ruu --trials 4 --replay-trial 4"),
+        2);
+}
+
+TEST(CliErrors, InjectMalformedJournalExitsTwo)
+{
+    REQUIRE_BINARY();
+    writeFile("malformed.jsonl", "this is not a journal\n");
+    EXPECT_EQ(runCli("inject lll01 --cores simple --trials 2 "
+                     "--journal malformed.jsonl"),
+              2);
+}
+
+TEST(CliErrors, InjectMismatchedJournalExitsTwo)
+{
+    REQUIRE_BINARY();
+    // A valid header, but for a different campaign (other seed).
+    writeFile("mismatched.jsonl",
+              "{\"kind\": \"ruu-inject-journal\", \"version\": 1, "
+              "\"seed\": 777, \"trials\": 2, \"cores\": \"simple\", "
+              "\"workloads\": \"lll01\", \"config\": \"x\"}\n");
+    EXPECT_EQ(runCli("inject lll01 --cores simple --trials 2 --seed 1 "
+                     "--journal mismatched.jsonl"),
+              2);
+}
+
+TEST(CliErrors, InjectSmokeCampaignStopsResumesAndReplays)
+{
+    REQUIRE_BINARY();
+    std::remove("smoke.jsonl");
+    // Stop early (exit 3), resume to completion (exit 0), then replay
+    // one trial of the finished campaign (exit 0).
+    const std::string campaign =
+        "inject lll01 --cores simple --trials 3 --seed 5 "
+        "--journal smoke.jsonl";
+    EXPECT_EQ(runCli(campaign + " --stop-after 1"), 3);
+    EXPECT_EQ(runCli(campaign), 0);
+    EXPECT_EQ(runCli("inject lll01 --cores simple --trials 3 --seed 5 "
+                     "--replay-trial 2"),
+              0);
 }
 
 } // namespace

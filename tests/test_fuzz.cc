@@ -13,6 +13,7 @@
 
 #include <random>
 
+#include "inject/snapshot.hh"
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
 #include "oracle/commit_oracle.hh"
@@ -218,6 +219,57 @@ TEST_P(FuzzSeeds, RandomInterruptSchedulesServiceAndReplayExactly)
             << core->name() << " on " << w.name
             << ": timing run and functional replay disagree on the "
                "final state";
+    }
+}
+
+TEST_P(FuzzSeeds, SnapshotRoundTripsAtRandomCycles)
+{
+    // Snapshot fuzzing: for each random program, pick seed-derived
+    // snapshot cycles and require capture → restore-into-fresh-machine
+    // → continue to reproduce the uninterrupted run bit-exactly on
+    // every core. The restore path re-verifies the replayed machine
+    // against the image byte-for-byte, so any nondeterminism in the
+    // registered pipeline state fails here first.
+    Workload w = workload();
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 +
+                        29);
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 6; // small: force wraparound and stalls
+        config.historyEntries = 6;
+        config.tuEntries = 6;
+        config.checkInvariants = true;
+        auto clean_core = makeCore(kind, config);
+        RunOptions opts;
+        RunResult clean = clean_core->run(w.trace());
+        ASSERT_FALSE(clean.wedged) << clean_core->name();
+        ASSERT_GT(clean.cycles, 2u) << clean_core->name();
+
+        std::uniform_int_distribution<Cycle> pick(1, clean.cycles - 1);
+        Cycle at = pick(rng);
+        auto capture_core = makeCore(kind, config);
+        auto snapshot =
+            inject::takeSnapshot(*capture_core, w.trace(), opts, at);
+        ASSERT_TRUE(snapshot.ok()) << capture_core->name() << " @ "
+                                   << at << ": "
+                                   << snapshot.error().message();
+        auto resume_core = makeCore(kind, config);
+        auto resumed = inject::resumeFromSnapshot(*resume_core,
+                                                  w.trace(), opts,
+                                                  *snapshot);
+        ASSERT_TRUE(resumed.ok()) << resume_core->name() << " @ " << at
+                                  << ": " << resumed.error().message();
+        EXPECT_TRUE(resumed->verified)
+            << resume_core->name() << " @ " << at << ": "
+            << resumed->mismatch;
+        EXPECT_EQ(resumed->result.cycles, clean.cycles)
+            << resume_core->name();
+        EXPECT_TRUE(resumed->result.state == clean.state)
+            << resume_core->name();
+        EXPECT_TRUE(resumed->result.memory == clean.memory)
+            << resume_core->name();
     }
 }
 

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * ruu::inject unit and integration tests: the fault-port enumeration,
+ * the JSONL campaign journal (round trips, torn tails, corruption),
+ * deterministic trial sampling, and end-to-end campaigns through the
+ * crash-contained sandbox — including journal resume and bit-exact
+ * trial replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "inject/campaign.hh"
+#include "inject/fault_port.hh"
+#include "inject/journal.hh"
+#include "sim/machine.hh"
+#include "sim/random_program.hh"
+
+namespace ruu
+{
+namespace
+{
+
+using inject::FaultPortSet;
+using inject::Outcome;
+using inject::PortClass;
+
+// ---------------------------------------------------------------------
+// FaultPortSet
+
+struct PortedStruct
+{
+    bool valid = false;
+    std::uint32_t tag = 7;
+    std::uint64_t value = 0x0123456789abcdefull;
+    unsigned cursor = 3;
+};
+
+FaultPortSet
+portsOf(PortedStruct &s)
+{
+    FaultPortSet ports;
+    ports.addFlag("s.valid", s.valid);
+    ports.add("s.tag", PortClass::Tag, s.tag, 32);
+    ports.add("s.value", PortClass::Data, s.value, 64);
+    ports.add("s.cursor", PortClass::Sequence, s.cursor, 32,
+              /*wrap=*/5);
+    return ports;
+}
+
+TEST(FaultPorts, RegistrationAndGeometry)
+{
+    PortedStruct s;
+    FaultPortSet ports = portsOf(s);
+    EXPECT_EQ(ports.size(), 4u);
+    EXPECT_EQ(ports.totalBits(), 1u + 32 + 64 + 32);
+    EXPECT_EQ(ports.imageBytes(),
+              sizeof(bool) + sizeof(std::uint32_t) +
+                  sizeof(std::uint64_t) + sizeof(unsigned));
+}
+
+TEST(FaultPorts, LocateWalksTheBitSpace)
+{
+    PortedStruct s;
+    FaultPortSet ports = portsOf(s);
+    EXPECT_EQ(ports.locate(0).port, 0u);
+    EXPECT_EQ(ports.locate(1).port, 1u);
+    EXPECT_EQ(ports.locate(1).bit, 0u);
+    EXPECT_EQ(ports.locate(32).bit, 31u);
+    EXPECT_EQ(ports.locate(33).port, 2u);
+    EXPECT_EQ(ports.locate(33 + 63).bit, 63u);
+    EXPECT_EQ(ports.locate(33 + 64).port, 3u);
+}
+
+TEST(FaultPorts, FlipTogglesExactlyOneBit)
+{
+    PortedStruct s;
+    FaultPortSet ports = portsOf(s);
+    auto flip = ports.flip(0); // the valid flag
+    EXPECT_EQ(flip.before, 0u);
+    EXPECT_EQ(flip.after, 1u);
+    EXPECT_TRUE(s.valid);
+
+    auto tag_flip = ports.flip(1 + 3); // tag bit 3: 7 ^ 8 = 15
+    EXPECT_EQ(tag_flip.before, 7u);
+    EXPECT_EQ(tag_flip.after, 15u);
+    EXPECT_EQ(s.tag, 15u);
+}
+
+TEST(FaultPorts, WrapKeepsIndicesInRange)
+{
+    PortedStruct s;
+    FaultPortSet ports = portsOf(s);
+    // cursor = 3, flip bit 2 -> 7, wrap 5 -> 2.
+    auto flip = ports.flip(1 + 32 + 64 + 2);
+    EXPECT_EQ(flip.before, 3u);
+    EXPECT_EQ(flip.after, 2u);
+    EXPECT_EQ(s.cursor, 2u);
+}
+
+TEST(FaultPorts, ImageRoundTripAndMismatch)
+{
+    PortedStruct s;
+    FaultPortSet ports = portsOf(s);
+    auto image = ports.captureImage();
+    EXPECT_EQ(ports.firstMismatch(image), FaultPortSet::kNoMismatch);
+
+    s.value ^= 0xff00;
+    EXPECT_EQ(ports.firstMismatch(image), 2u); // s.value is port 2
+    ports.restoreImage(image);
+    EXPECT_EQ(s.value, 0x0123456789abcdefull);
+    EXPECT_EQ(ports.firstMismatch(image), FaultPortSet::kNoMismatch);
+}
+
+TEST(FaultPorts, LayoutSignatureTracksStructure)
+{
+    PortedStruct a, b;
+    FaultPortSet pa = portsOf(a), pb = portsOf(b);
+    EXPECT_EQ(pa.layoutSignature(), pb.layoutSignature());
+
+    FaultPortSet different = portsOf(a);
+    different.addFlag("extra", a.valid);
+    EXPECT_NE(pa.layoutSignature(), different.layoutSignature());
+}
+
+// ---------------------------------------------------------------------
+// Journal
+
+inject::TrialResult
+sampleTrial()
+{
+    inject::TrialResult trial;
+    trial.point = {42, 0xdeadbeefull, "ruu", "lll03", 123, 456};
+    trial.outcome = Outcome::Sdc;
+    trial.port = "ruu[3].destTag (tag, 32 bits) bit 5";
+    trial.before = 17;
+    trial.after = 49;
+    trial.cycles = 999;
+    trial.retries = 1;
+    trial.detail = "line one\nline \"two\"\twith\\escapes";
+    return trial;
+}
+
+TEST(Journal, OutcomeNamesRoundTrip)
+{
+    for (Outcome o :
+         {Outcome::Masked, Outcome::DetectedInvariant,
+          Outcome::DetectedOracle, Outcome::Trapped, Outcome::Hung,
+          Outcome::Sdc, Outcome::Unclassified}) {
+        auto back = inject::outcomeFromName(inject::outcomeName(o));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(*back, o);
+    }
+    EXPECT_FALSE(inject::outcomeFromName("nonsense").ok());
+}
+
+TEST(Journal, TrialLineRoundTripsEscapes)
+{
+    inject::TrialResult trial = sampleTrial();
+    auto parsed = inject::parseTrialLine(inject::trialToLine(trial));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    EXPECT_EQ(parsed->point.index, trial.point.index);
+    EXPECT_EQ(parsed->point.seed, trial.point.seed);
+    EXPECT_EQ(parsed->point.core, trial.point.core);
+    EXPECT_EQ(parsed->point.workload, trial.point.workload);
+    EXPECT_EQ(parsed->point.cycle, trial.point.cycle);
+    EXPECT_EQ(parsed->point.bit, trial.point.bit);
+    EXPECT_EQ(parsed->outcome, trial.outcome);
+    EXPECT_EQ(parsed->port, trial.port);
+    EXPECT_EQ(parsed->before, trial.before);
+    EXPECT_EQ(parsed->after, trial.after);
+    EXPECT_EQ(parsed->cycles, trial.cycles);
+    EXPECT_EQ(parsed->retries, trial.retries);
+    EXPECT_EQ(parsed->detail, trial.detail);
+}
+
+TEST(Journal, HeaderLineRoundTrips)
+{
+    inject::JournalHeader header;
+    header.seed = 7;
+    header.trials = 1000;
+    header.cores = {"ruu", "history"};
+    header.workloads = {"lll01", "lll03"};
+    header.config = "{\"pool_entries\": 10}";
+    auto parsed =
+        inject::parseHeaderLine(inject::headerToLine(header));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    EXPECT_EQ(parsed->seed, header.seed);
+    EXPECT_EQ(parsed->trials, header.trials);
+    EXPECT_EQ(parsed->cores, header.cores);
+    EXPECT_EQ(parsed->workloads, header.workloads);
+    EXPECT_EQ(parsed->config, header.config);
+}
+
+class JournalFile : public ::testing::Test
+{
+  protected:
+    std::string
+    path() const
+    {
+        return ::testing::TempDir() + "inject_journal_test.jsonl";
+    }
+
+    void TearDown() override { std::remove(path().c_str()); }
+
+    inject::JournalHeader
+    header() const
+    {
+        inject::JournalHeader h;
+        h.seed = 3;
+        h.trials = 10;
+        h.cores = {"ruu"};
+        h.workloads = {"w"};
+        h.config = "cfg";
+        return h;
+    }
+};
+
+TEST_F(JournalFile, WriteReadRoundTrip)
+{
+    inject::JournalWriter writer;
+    ASSERT_TRUE(writer.create(path(), header()).ok());
+    inject::TrialResult trial = sampleTrial();
+    ASSERT_TRUE(writer.add(trial).ok());
+    trial.point.index = 43;
+    ASSERT_TRUE(writer.add(trial).ok());
+
+    auto contents = inject::readJournal(path());
+    ASSERT_TRUE(contents.ok()) << contents.error().message();
+    EXPECT_EQ(contents->header.seed, 3u);
+    EXPECT_EQ(contents->trials.size(), 2u);
+    EXPECT_FALSE(contents->tornTail);
+    EXPECT_EQ(contents->trials[1].point.index, 43u);
+}
+
+TEST_F(JournalFile, TornTailIsToleratedAndMeasured)
+{
+    inject::JournalWriter writer;
+    ASSERT_TRUE(writer.create(path(), header()).ok());
+    ASSERT_TRUE(writer.add(sampleTrial()).ok());
+    std::string full = inject::trialToLine(sampleTrial());
+    {
+        std::ofstream out(path(), std::ios::app);
+        out << full.substr(0, full.size() / 2); // torn mid-record
+    }
+    auto contents = inject::readJournal(path());
+    ASSERT_TRUE(contents.ok()) << contents.error().message();
+    EXPECT_TRUE(contents->tornTail);
+    EXPECT_EQ(contents->trials.size(), 1u);
+    // Truncating to validBytes removes exactly the fragment.
+    std::ifstream in(path(), std::ios::binary | std::ios::ate);
+    EXPECT_EQ(static_cast<std::size_t>(in.tellg()),
+              contents->validBytes + full.size() / 2);
+}
+
+TEST_F(JournalFile, CorruptInteriorLineIsAHardError)
+{
+    inject::JournalWriter writer;
+    ASSERT_TRUE(writer.create(path(), header()).ok());
+    {
+        std::ofstream out(path(), std::ios::app);
+        out << "{\"garbage\": 1}\n";
+    }
+    inject::JournalWriter appender;
+    ASSERT_TRUE(appender.append(path()).ok());
+    ASSERT_TRUE(appender.add(sampleTrial()).ok());
+    auto contents = inject::readJournal(path());
+    EXPECT_FALSE(contents.ok());
+}
+
+TEST_F(JournalFile, MissingHeaderIsAnError)
+{
+    {
+        std::ofstream out(path());
+        out << inject::trialToLine(sampleTrial()) << "\n";
+    }
+    EXPECT_FALSE(inject::readJournal(path()).ok());
+}
+
+// ---------------------------------------------------------------------
+// Sampling and campaigns
+
+Workload
+campaignWorkload()
+{
+    RandomProgramOptions options;
+    options.loops = 1;
+    options.bodyLength = 6;
+    options.iterations = 4;
+    return makeWorkload(generateRandomProgram(23, options));
+}
+
+inject::CampaignOptions
+smallCampaign(const std::string &journal = "")
+{
+    inject::CampaignOptions options;
+    options.cores = {CoreKind::Ruu, CoreKind::History};
+    options.workloads = {campaignWorkload()};
+    options.trials = 12;
+    options.seed = 99;
+    options.timeoutMs = 30'000;
+    options.journalPath = journal;
+    return options;
+}
+
+TEST(Sampling, TrialSeedsAreDeterministicAndSpread)
+{
+    EXPECT_EQ(inject::trialSeed(1, 0), inject::trialSeed(1, 0));
+    EXPECT_NE(inject::trialSeed(1, 0), inject::trialSeed(1, 1));
+    EXPECT_NE(inject::trialSeed(1, 0), inject::trialSeed(2, 0));
+}
+
+TEST(Sampling, ProbeIsDeterministicAndBounded)
+{
+    auto options = smallCampaign();
+    auto a = inject::probeMachine(CoreKind::Ruu, options.workloads[0],
+                                  options);
+    auto b = inject::probeMachine(CoreKind::Ruu, options.workloads[0],
+                                  options);
+    ASSERT_TRUE(a.ok()) << a.error().message();
+    ASSERT_TRUE(b.ok()) << b.error().message();
+    EXPECT_GT(a->totalBits, 0u);
+    EXPECT_GT(a->refCycles, 0u);
+    EXPECT_LE(a->lastTapCycle, a->refCycles);
+    EXPECT_EQ(a->layoutSignature, b->layoutSignature);
+    EXPECT_EQ(a->refCycles, b->refCycles);
+    EXPECT_EQ(a->totalBits, b->totalBits);
+}
+
+TEST(Sampling, PointsAreDeterministicAndInBounds)
+{
+    auto options = smallCampaign();
+    inject::TrialSampler sampler(options);
+    inject::TrialSampler again(options);
+    for (std::uint64_t i = 0; i < options.trials; ++i) {
+        auto p = sampler.point(i);
+        auto q = again.point(i);
+        ASSERT_TRUE(p.ok()) << p.error().message();
+        ASSERT_TRUE(q.ok());
+        EXPECT_EQ(p->seed, q->seed);
+        EXPECT_EQ(p->core, q->core);
+        EXPECT_EQ(p->workload, q->workload);
+        EXPECT_EQ(p->cycle, q->cycle);
+        EXPECT_EQ(p->bit, q->bit);
+        EXPECT_TRUE(p->core == "ruu" || p->core == "history");
+    }
+}
+
+class CampaignFile : public ::testing::Test
+{
+  protected:
+    std::string
+    path() const
+    {
+        return ::testing::TempDir() + "inject_campaign_test.jsonl";
+    }
+
+    void SetUp() override { std::remove(path().c_str()); }
+    void TearDown() override { std::remove(path().c_str()); }
+};
+
+TEST_F(CampaignFile, RunsFullyClassifiedAndJournaled)
+{
+    auto options = smallCampaign(path());
+    auto summary = inject::runCampaign(options);
+    ASSERT_TRUE(summary.ok()) << summary.error().message();
+    EXPECT_EQ(summary->executed, options.trials);
+    EXPECT_EQ(summary->trials.size(), options.trials);
+    EXPECT_FALSE(summary->stoppedEarly);
+    auto tally = inject::tallyOutcomes(summary->trials);
+    EXPECT_EQ(tally[Outcome::Unclassified], 0u);
+
+    // Journal carries every trial; a second run resumes all of them.
+    auto contents = inject::readJournal(path());
+    ASSERT_TRUE(contents.ok()) << contents.error().message();
+    EXPECT_EQ(contents->trials.size(), options.trials);
+
+    auto resumed = inject::runCampaign(options);
+    ASSERT_TRUE(resumed.ok()) << resumed.error().message();
+    EXPECT_EQ(resumed->resumed, options.trials);
+    EXPECT_EQ(resumed->executed, 0u);
+}
+
+TEST_F(CampaignFile, StopAfterResumesToTheSameTally)
+{
+    // Reference: the full campaign without a journal.
+    auto reference = inject::runCampaign(smallCampaign());
+    ASSERT_TRUE(reference.ok()) << reference.error().message();
+
+    auto options = smallCampaign(path());
+    options.stopAfter = 5;
+    auto first = inject::runCampaign(options);
+    ASSERT_TRUE(first.ok()) << first.error().message();
+    EXPECT_TRUE(first->stoppedEarly);
+    EXPECT_EQ(first->executed, 5u);
+
+    options.stopAfter = 0;
+    auto second = inject::runCampaign(options);
+    ASSERT_TRUE(second.ok()) << second.error().message();
+    EXPECT_EQ(second->resumed, 5u);
+    EXPECT_EQ(second->executed, options.trials - 5);
+    EXPECT_FALSE(second->stoppedEarly);
+
+    // The split campaign lands on the identical per-trial results.
+    ASSERT_EQ(second->trials.size(), reference->trials.size());
+    for (std::size_t i = 0; i < reference->trials.size(); ++i)
+        EXPECT_EQ(inject::trialToLine(second->trials[i]),
+                  inject::trialToLine(reference->trials[i]))
+            << "trial " << i;
+}
+
+TEST_F(CampaignFile, MismatchedJournalIsRejected)
+{
+    auto options = smallCampaign(path());
+    options.stopAfter = 2;
+    ASSERT_TRUE(inject::runCampaign(options).ok());
+    options.stopAfter = 0;
+    options.seed = options.seed + 1; // different campaign identity
+    auto resumed = inject::runCampaign(options);
+    EXPECT_FALSE(resumed.ok());
+}
+
+TEST(Campaign, ReplayTrialIsBitExact)
+{
+    auto options = smallCampaign();
+    auto summary = inject::runCampaign(options);
+    ASSERT_TRUE(summary.ok()) << summary.error().message();
+    // Replay a handful of trials; each must reproduce its campaign
+    // record exactly (same outcome, port, values, cycles).
+    for (std::uint64_t index : {std::uint64_t{0}, std::uint64_t{5},
+                                options.trials - 1}) {
+        auto replayed = inject::replayTrial(options, index);
+        ASSERT_TRUE(replayed.ok()) << replayed.error().message();
+        EXPECT_EQ(inject::trialToLine(*replayed),
+                  inject::trialToLine(summary->trials[index]))
+            << "trial " << index;
+    }
+}
+
+TEST(Campaign, EmptyOptionsAreRejected)
+{
+    inject::CampaignOptions options;
+    EXPECT_FALSE(inject::runCampaign(options).ok());
+    options = smallCampaign();
+    EXPECT_FALSE(inject::replayTrial(options, options.trials).ok());
+}
+
+} // namespace
+} // namespace ruu

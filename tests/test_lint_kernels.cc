@@ -10,10 +10,8 @@
 
 #include <gtest/gtest.h>
 
-#include <fstream>
-#include <sstream>
-
 #include "asm/parser.hh"
+#include "common/file.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
 #include "sim/machine.hh"
@@ -55,11 +53,10 @@ TEST(LintKernels, SampleProgramsAreClean)
              {std::string("../examples/programs/"),
               std::string("examples/programs/"),
               std::string("../../examples/programs/")}) {
-            std::ifstream in(prefix + name);
-            if (in) {
-                std::stringstream buffer;
-                buffer << in.rdbuf();
-                source = buffer.str();
+            Expected<std::string> loaded =
+                readTextFile(prefix + name);
+            if (loaded.ok()) {
+                source = *loaded;
                 break;
             }
         }
@@ -80,11 +77,10 @@ TEST(LintKernels, SampleProgramsAssembleUnderStrictLint)
          {std::string("../examples/programs/"),
           std::string("examples/programs/"),
           std::string("../../examples/programs/")}) {
-        std::ifstream in(prefix + "fib.s");
-        if (in) {
-            std::stringstream buffer;
-            buffer << in.rdbuf();
-            source = buffer.str();
+        Expected<std::string> loaded =
+            readTextFile(prefix + "fib.s");
+        if (loaded.ok()) {
+            source = *loaded;
             break;
         }
     }

@@ -7,11 +7,9 @@
 
 #include <gtest/gtest.h>
 
-#include <fstream>
-#include <sstream>
-
 #include "asm/parser.hh"
 #include "common/bitfield.hh"
+#include "common/file.hh"
 #include "sim/machine.hh"
 
 namespace ruu
@@ -28,12 +26,9 @@ readSample(const std::string &name)
          {std::string("../examples/programs/"),
           std::string("examples/programs/"),
           std::string("../../examples/programs/")}) {
-        std::ifstream in(prefix + name);
-        if (in) {
-            std::stringstream buffer;
-            buffer << in.rdbuf();
-            return buffer.str();
-        }
+        Expected<std::string> loaded = readTextFile(prefix + name);
+        if (loaded.ok())
+            return *loaded;
     }
     return "";
 }

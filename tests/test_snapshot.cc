@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Snapshot determinism harness.
+ *
+ * For every one of the six issue mechanisms: run a workload to cycle
+ * N, snapshot the machine's full fault-port image, restore it into a
+ * fresh machine, continue — and the final registers, memory, cycle
+ * count and instruction count must equal the uninterrupted run. The
+ * restore path replays to the snapshot cycle and verifies the live
+ * machine against the image byte-for-byte (RestoreTap), so these tests
+ * double as a determinism proof for the cores' registered state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/snapshot.hh"
+#include "kernels/lll.hh"
+#include "sim/machine.hh"
+#include "sim/random_program.hh"
+
+namespace ruu
+{
+namespace
+{
+
+const std::vector<CoreKind> kAllCores = {
+    CoreKind::Simple, CoreKind::Tomasulo, CoreKind::Rstu,
+    CoreKind::Ruu,    CoreKind::SpecRuu,  CoreKind::History,
+};
+
+UarchConfig
+testConfig()
+{
+    UarchConfig config = UarchConfig::cray1();
+    config.checkInvariants = true;
+    return config;
+}
+
+Workload
+smallWorkload()
+{
+    RandomProgramOptions options;
+    options.loops = 2;
+    options.bodyLength = 8;
+    options.iterations = 4;
+    return makeWorkload(generateRandomProgram(11, options));
+}
+
+class SnapshotAllCores : public ::testing::TestWithParam<CoreKind>
+{};
+
+TEST_P(SnapshotAllCores, RoundTripIsBitExactMidRun)
+{
+    Workload w = smallWorkload();
+    auto core = makeCore(GetParam(), testConfig());
+    RunOptions opts;
+    RunResult clean = core->run(w.trace());
+    ASSERT_FALSE(clean.wedged);
+    ASSERT_GT(clean.cycles, 4u);
+
+    for (Cycle at : {Cycle{1}, clean.cycles / 3, 2 * clean.cycles / 3}) {
+        auto capture_core = makeCore(GetParam(), testConfig());
+        auto snapshot = inject::takeSnapshot(*capture_core, w.trace(),
+                                             opts, at);
+        ASSERT_TRUE(snapshot.ok())
+            << coreKindName(GetParam()) << " @ " << at << ": "
+            << snapshot.error().message();
+        EXPECT_GE(snapshot->capturedCycle, at);
+        EXPECT_FALSE(snapshot->image.empty());
+
+        auto resume_core = makeCore(GetParam(), testConfig());
+        auto resumed = inject::resumeFromSnapshot(*resume_core,
+                                                  w.trace(), opts,
+                                                  *snapshot);
+        ASSERT_TRUE(resumed.ok())
+            << coreKindName(GetParam()) << " @ " << at << ": "
+            << resumed.error().message();
+        // The replayed machine must equal the image bit-for-bit at the
+        // snapshot cycle: registered state is deterministic.
+        EXPECT_TRUE(resumed->verified)
+            << coreKindName(GetParam()) << " @ " << at << ": "
+            << resumed->mismatch;
+        EXPECT_EQ(resumed->restoredAt, snapshot->capturedCycle);
+
+        // Continuation equals the uninterrupted run exactly.
+        EXPECT_EQ(resumed->result.cycles, clean.cycles);
+        EXPECT_EQ(resumed->result.instructions, clean.instructions);
+        EXPECT_TRUE(resumed->result.state == clean.state);
+        EXPECT_TRUE(resumed->result.memory == clean.memory);
+        EXPECT_TRUE(matchesFunctional(resumed->result, w.func));
+    }
+}
+
+TEST_P(SnapshotAllCores, CapturedImagesAreReproducible)
+{
+    Workload w = smallWorkload();
+    RunOptions opts;
+    auto a = makeCore(GetParam(), testConfig());
+    auto b = makeCore(GetParam(), testConfig());
+    auto first = inject::takeSnapshot(*a, w.trace(), opts, 5);
+    auto second = inject::takeSnapshot(*b, w.trace(), opts, 5);
+    ASSERT_TRUE(first.ok()) << first.error().message();
+    ASSERT_TRUE(second.ok()) << second.error().message();
+    EXPECT_EQ(first->layoutSignature, second->layoutSignature);
+    EXPECT_EQ(first->capturedCycle, second->capturedCycle);
+    EXPECT_EQ(first->image, second->image);
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryCore, SnapshotAllCores,
+                         ::testing::ValuesIn(kAllCores));
+
+TEST(Snapshot, KernelRoundTripOnTheRuu)
+{
+    // One real benchmark kernel end-to-end, as a heavier anchor for
+    // the random-program sweeps above.
+    const Workload &w = livermoreWorkloads()[2]; // lll03
+    auto core = makeCore(CoreKind::Ruu, testConfig());
+    RunOptions opts;
+    RunResult clean = core->run(w.trace());
+
+    auto capture_core = makeCore(CoreKind::Ruu, testConfig());
+    auto snapshot = inject::takeSnapshot(*capture_core, w.trace(), opts,
+                                         clean.cycles / 2);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+    auto resume_core = makeCore(CoreKind::Ruu, testConfig());
+    auto resumed = inject::resumeFromSnapshot(*resume_core, w.trace(),
+                                              opts, *snapshot);
+    ASSERT_TRUE(resumed.ok()) << resumed.error().message();
+    EXPECT_TRUE(resumed->verified) << resumed->mismatch;
+    EXPECT_EQ(resumed->result.cycles, clean.cycles);
+    EXPECT_TRUE(resumed->result.state == clean.state);
+    EXPECT_TRUE(resumed->result.memory == clean.memory);
+}
+
+TEST(Snapshot, CycleBeyondTheRunIsAnError)
+{
+    Workload w = smallWorkload();
+    auto core = makeCore(CoreKind::Ruu, testConfig());
+    auto snapshot =
+        inject::takeSnapshot(*core, w.trace(), RunOptions{}, 1u << 30);
+    EXPECT_FALSE(snapshot.ok());
+}
+
+TEST(Snapshot, RestoreIntoADifferentCoreIsALayoutError)
+{
+    Workload w = smallWorkload();
+    auto ruu = makeCore(CoreKind::Ruu, testConfig());
+    auto snapshot =
+        inject::takeSnapshot(*ruu, w.trace(), RunOptions{}, 5);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+    auto history = makeCore(CoreKind::History, testConfig());
+    auto resumed = inject::resumeFromSnapshot(*history, w.trace(),
+                                              RunOptions{}, *snapshot);
+    EXPECT_FALSE(resumed.ok());
+}
+
+} // namespace
+} // namespace ruu
