@@ -43,6 +43,7 @@
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
 #include "oracle/verify.hh"
+#include "par/pool.hh"
 #include "sim/experiment.hh"
 #include "sim/json.hh"
 #include "stats/table.hh"
@@ -107,6 +108,11 @@ usage()
         "  --stop-after K    inject: stop after K new trials (exit 3)\n"
         "  --replay-trial N  inject: re-run one trial and report it\n"
         "  --bench-out FILE  inject: write the campaign summary JSON\n"
+        "  --jobs N, -j N    worker threads for sweep/verify/storm/"
+        "inject\n"
+        "                    (default: hardware threads, or RUU_JOBS; "
+        "output is\n"
+        "                    byte-identical at any job count)\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
         "  --json            emit one JSON object per run\n"
@@ -232,6 +238,9 @@ struct Cli
     std::uint64_t replayTrial = 0;
     bool replaySet = false;
     std::string benchOut;
+
+    /** Worker threads for the parallel drivers (par::Pool). */
+    unsigned jobs = par::defaultJobs();
 };
 
 Cli
@@ -385,10 +394,11 @@ cmdSweep(const Cli &cli)
     if (cli.positional.size() != 1)
         usage();
     auto workloads = resolveWorkloads(cli.positional[0]);
-    AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+    par::Pool pool(cli.jobs);
+    AggregateResult baseline = runSuite(
+        CoreKind::Simple, UarchConfig::cray1(), workloads, &pool);
     auto points = sweepPoolSize(cli.core, cli.config, cli.sizes,
-                                workloads, baseline.cycles);
+                                workloads, baseline.cycles, &pool);
     TextTable table({"Entries", "Cycles", "Speedup", "Issue Rate"});
     table.setTitle(std::string("sweep of ") + coreKindName(cli.core) +
                    " (baseline: simple issue, " +
@@ -414,8 +424,10 @@ cmdVerify(const Cli &cli)
         usage();
     auto workloads = resolveWorkloads(cli.positional[0]);
 
+    par::Pool pool(cli.jobs);
     oracle::VerifyOptions options;
     options.config = cli.config;
+    options.pool = &pool;
     if (cli.coreSet)
         options.cores = {cli.core};
     options.sweep = cli.interruptSweep;
@@ -619,9 +631,25 @@ cmdStorm(const Cli &cli)
     table.setAlign(0, Align::Left);
     table.setAlign(1, Align::Left);
 
-    bool ok = true;
-    std::string firstFailure;
-    for (const auto &workload : workloads) {
+    // One cell per (workload, core): the cell runs its baseline and
+    // every storm period, and returns fully rendered rows (or JSON
+    // lines). Cells run concurrently on the pool; the reduction below
+    // stitches them back together in (workload, core) order, so the
+    // report is byte-identical to the serial nested loop.
+    struct StormCell
+    {
+        std::vector<std::vector<std::string>> rows;
+        std::vector<std::string> jsonLines;
+        std::string firstFailure; //!< empty: every period checked out
+    };
+
+    par::Pool pool(cli.jobs);
+    std::size_t cells = workloads.size() * kinds.size();
+    auto runCell = [&](std::size_t cell, unsigned) -> StormCell {
+        const Workload &workload = workloads[cell / kinds.size()];
+        CoreKind kind = kinds[cell % kinds.size()];
+        StormCell out;
+
         // A compact data memory makes the per-delivery core restarts
         // cheap; fall back to the default layout for programs whose
         // data reaches up into it.
@@ -638,85 +666,96 @@ cmdStorm(const Cli &cli)
             tconfig.memoryWords = 1u << 16;
         }
 
-        for (CoreKind kind : kinds) {
-            auto core = makeCore(kind, cli.config);
-            RunResult baseline = core->run(workload.trace());
+        auto core = makeCore(kind, cli.config);
+        RunResult baseline = core->run(workload.trace());
 
-            for (Cycle period : periods) {
-                trap::TrapController controller(*core, tconfig);
-                auto res = controller.run(
-                    workload.trace(),
-                    trap::InterruptSource::periodic(period, 1));
+        for (Cycle period : periods) {
+            trap::TrapController controller(*core, tconfig);
+            auto res = controller.run(
+                workload.trace(),
+                trap::InterruptSource::periodic(period, 1));
 
-                bool good = res.ok();
-                std::string why = res.error;
-                if (good && !res.oracleFailure.empty()) {
+            bool good = res.ok();
+            std::string why = res.error;
+            if (good && !res.oracleFailure.empty()) {
+                good = false;
+                why = res.oracleFailure;
+            }
+            if (good) {
+                auto replay = trap::replayFunctional(
+                    workload.program, tconfig, res.deliveries);
+                if (!replay.ok) {
                     good = false;
-                    why = res.oracleFailure;
-                }
-                if (good) {
-                    auto replay = trap::replayFunctional(
-                        workload.program, tconfig, res.deliveries);
-                    if (!replay.ok) {
-                        good = false;
-                        why = replay.error;
-                    } else if (replay.state != res.state ||
-                               replay.memory != res.memory ||
-                               replay.trapRegs != res.trapRegs) {
-                        good = false;
-                        why = "timing run and functional replay "
-                              "disagree on the final state";
-                    }
-                }
-                double degrade =
-                    baseline.cycles
-                        ? 100.0 *
-                              (static_cast<double>(res.cycles) -
-                               static_cast<double>(baseline.cycles)) /
-                              static_cast<double>(baseline.cycles)
-                        : 0.0;
-
-                if (cli.json) {
-                    std::printf(
-                        "{\"workload\": \"%s\", \"core\": \"%s\", "
-                        "\"k\": %llu, \"deliveries\": %zu, "
-                        "\"handler_mean_cycles\": %.2f, "
-                        "\"handler_max_cycles\": %llu, "
-                        "\"cycles\": %llu, \"baseline_cycles\": %llu, "
-                        "\"degradation_pct\": %.2f, \"ok\": %s}\n",
-                        workload.name.c_str(), coreKindName(kind),
-                        static_cast<unsigned long long>(period),
-                        res.deliveries.size(), res.meanHandlerCycles(),
-                        static_cast<unsigned long long>(
-                            res.maxHandlerCycles()),
-                        static_cast<unsigned long long>(res.cycles),
-                        static_cast<unsigned long long>(baseline.cycles),
-                        degrade, good ? "true" : "false");
-                } else {
-                    table.addRow(
-                        {workload.name, coreKindName(kind),
-                         TextTable::fmt(std::uint64_t{period}),
-                         TextTable::fmt(
-                             std::uint64_t{res.deliveries.size()}),
-                         TextTable::fmt(res.meanHandlerCycles(), 1),
-                         TextTable::fmt(
-                             std::uint64_t{res.maxHandlerCycles()}),
-                         TextTable::fmt(res.cycles),
-                         TextTable::fmt(degrade, 1),
-                         good ? "ok" : "FAIL"});
-                }
-                if (!good) {
-                    ok = false;
-                    if (firstFailure.empty()) {
-                        firstFailure = workload.name + " on " +
-                                       coreKindName(kind) + " (K=" +
-                                       std::to_string(period) +
-                                       "): " + why;
-                    }
+                    why = replay.error;
+                } else if (replay.state != res.state ||
+                           replay.memory != res.memory ||
+                           replay.trapRegs != res.trapRegs) {
+                    good = false;
+                    why = "timing run and functional replay "
+                          "disagree on the final state";
                 }
             }
+            double degrade =
+                baseline.cycles
+                    ? 100.0 *
+                          (static_cast<double>(res.cycles) -
+                           static_cast<double>(baseline.cycles)) /
+                          static_cast<double>(baseline.cycles)
+                    : 0.0;
+
+            if (cli.json) {
+                out.jsonLines.push_back(detail::vformat(
+                    "{\"workload\": \"%s\", \"core\": \"%s\", "
+                    "\"k\": %llu, \"deliveries\": %zu, "
+                    "\"handler_mean_cycles\": %.2f, "
+                    "\"handler_max_cycles\": %llu, "
+                    "\"cycles\": %llu, \"baseline_cycles\": %llu, "
+                    "\"degradation_pct\": %.2f, \"ok\": %s}",
+                    workload.name.c_str(), coreKindName(kind),
+                    static_cast<unsigned long long>(period),
+                    res.deliveries.size(), res.meanHandlerCycles(),
+                    static_cast<unsigned long long>(
+                        res.maxHandlerCycles()),
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(baseline.cycles),
+                    degrade, good ? "true" : "false"));
+            } else {
+                out.rows.push_back(
+                    {workload.name, coreKindName(kind),
+                     TextTable::fmt(std::uint64_t{period}),
+                     TextTable::fmt(
+                         std::uint64_t{res.deliveries.size()}),
+                     TextTable::fmt(res.meanHandlerCycles(), 1),
+                     TextTable::fmt(
+                         std::uint64_t{res.maxHandlerCycles()}),
+                     TextTable::fmt(res.cycles),
+                     TextTable::fmt(degrade, 1),
+                     good ? "ok" : "FAIL"});
+            }
+            if (!good && out.firstFailure.empty()) {
+                out.firstFailure = workload.name + " on " +
+                                   coreKindName(kind) + " (K=" +
+                                   std::to_string(period) + "): " + why;
+            }
         }
-    }
+        return out;
+    };
+
+    bool ok = true;
+    std::string firstFailure;
+    par::mapReduce<StormCell>(
+        &pool, cells, 0, runCell,
+        [&](int &, StormCell &cell, std::size_t) {
+            for (const std::string &line : cell.jsonLines)
+                std::printf("%s\n", line.c_str());
+            for (auto &row : cell.rows)
+                table.addRow(std::move(row));
+            if (!cell.firstFailure.empty()) {
+                ok = false;
+                if (firstFailure.empty())
+                    firstFailure = cell.firstFailure;
+            }
+        });
     if (!cli.json)
         std::printf("%s", table.render().c_str());
     if (!ok)
@@ -780,6 +819,7 @@ cmdInject(const Cli &cli)
     options.stopAfter = cli.stopAfter;
     options.config = cli.config;
     options.modelIBuffers = cli.ibuffers;
+    options.jobs = cli.jobs;
 
     if (cli.replaySet) {
         Expected<inject::TrialResult> trial =
@@ -953,8 +993,12 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         usage();
+    // Strip -j/--jobs before subcommand parsing so every subcommand
+    // accepts it in any position.
+    unsigned jobs = par::consumeJobsFlag(argc, argv);
     std::string command = argv[1];
     Cli cli = parseArgs(argc, argv);
+    cli.jobs = jobs;
     std::string problem = cli.config.validate();
     if (!problem.empty())
         cliFail("bad configuration: %s", problem.c_str());

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
@@ -47,8 +48,9 @@ runWith(CoreKind kind, UarchConfig config, bool model_ibuffers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     TextTable table({"Configuration", "Simple Cycles", "RUU-15 Cycles",
                      "RUU-15 Slowdown"});
     table.setAlign(0, Align::Left);

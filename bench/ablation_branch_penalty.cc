@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -17,8 +18,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
 
     TextTable table({"Taken Penalty", "Simple Rate", "RUU Rate",
@@ -33,10 +35,13 @@ main()
         config.mispredictPenalty = penalty;
 
         AggregateResult simple = runSuite(CoreKind::Simple, config,
-                                          workloads);
-        AggregateResult ruu = runSuite(CoreKind::Ruu, config, workloads);
+                                          workloads,
+                 benchsupport::benchPool());
+        AggregateResult ruu = runSuite(CoreKind::Ruu, config, workloads,
+                 benchsupport::benchPool());
         AggregateResult spec = runSuite(CoreKind::SpecRuu, config,
-                                        workloads);
+                                        workloads,
+                 benchsupport::benchPool());
 
         table.addRow({TextTable::fmt(std::uint64_t{penalty}),
                       TextTable::fmt(simple.issueRate()),

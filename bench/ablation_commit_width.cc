@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -21,11 +22,13 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"Commit Width", "RUU full", "RUU none",
                      "Spec RUU"});
@@ -38,7 +41,8 @@ main()
             config.poolEntries = 20;
             config.commitWidth = width;
             config.bypass = bypass;
-            return runSuite(kind, config, workloads)
+            return runSuite(kind, config, workloads,
+                 benchsupport::benchPool())
                 .speedupOver(baseline.cycles);
         };
         table.addRow(

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
@@ -18,11 +19,13 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"RUU Entries", "Counter Bits", "Max Instances",
                      "Speedup", "NI-Blocked Cycles"});

@@ -28,6 +28,7 @@
 #include <cstdio>
 
 #include "asm/builder.hh"
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "sim/machine.hh"
@@ -64,8 +65,9 @@ makeDistanceKernel(unsigned distance)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     TextTable table({"Distance", "Full Bypass Cycles",
                      "No Bypass Cycles", "No-Bypass Penalty"});
     table.setTitle("Ablation (§6.2): producer-to-branch distance vs "

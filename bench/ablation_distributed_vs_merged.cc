@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -19,11 +20,13 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"Total RS", "Distributed Speedup",
                      "Merged (RSTU) Speedup"});
@@ -38,12 +41,14 @@ main()
         distributed.rsPerFu = per_unit;
         distributed.tuEntries = total;
         AggregateResult tomasulo =
-            runSuite(CoreKind::Tomasulo, distributed, workloads);
+            runSuite(CoreKind::Tomasulo, distributed, workloads,
+                 benchsupport::benchPool());
 
         UarchConfig merged = UarchConfig::cray1();
         merged.poolEntries = total;
         AggregateResult rstu = runSuite(CoreKind::Rstu, merged,
-                                        workloads);
+                                        workloads,
+                 benchsupport::benchPool());
 
         table.addRow({TextTable::fmt(std::uint64_t{total}),
                       TextTable::fmt(

@@ -24,6 +24,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
@@ -50,11 +51,13 @@ faultRecovery(CoreKind kind, const UarchConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"Scheme", "Speedup", "Issue Rate", "Precise",
                      "Fault-Run Cycles"});
@@ -78,7 +81,8 @@ main()
         config.poolEntries = 15;
         config.historyEntries = 15;
         config.bypass = row.bypass;
-        AggregateResult total = runSuite(row.kind, config, workloads);
+        AggregateResult total = runSuite(row.kind, config, workloads,
+                 benchsupport::benchPool());
         auto [fault_cycles, precise] = faultRecovery(row.kind, config);
         table.addRow({row.label,
                       TextTable::fmt(total.speedupOver(baseline.cycles)),

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -15,11 +16,13 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"Result Buses", "Simple Rate", "RSTU Speedup",
                      "RUU Speedup", "Spec RUU Speedup"});
@@ -34,12 +37,16 @@ main()
         config.dispatchPaths = buses;
 
         AggregateResult simple = runSuite(CoreKind::Simple, config,
-                                          workloads);
+                                          workloads,
+                 benchsupport::benchPool());
         AggregateResult rstu = runSuite(CoreKind::Rstu, config,
-                                        workloads);
-        AggregateResult ruu = runSuite(CoreKind::Ruu, config, workloads);
+                                        workloads,
+                 benchsupport::benchPool());
+        AggregateResult ruu = runSuite(CoreKind::Ruu, config, workloads,
+                 benchsupport::benchPool());
         AggregateResult spec = runSuite(CoreKind::SpecRuu, config,
-                                        workloads);
+                                        workloads,
+                 benchsupport::benchPool());
         table.addRow({TextTable::fmt(std::uint64_t{buses}),
                       TextTable::fmt(simple.issueRate()),
                       TextTable::fmt(rstu.speedupOver(baseline.cycles)),

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared bench plumbing: every bench binary accepts `-j N` / `--jobs N`
+ * (or the RUU_JOBS environment variable) and runs its suite sweeps on
+ * one process-wide par::Pool. Output is byte-identical at any job
+ * count — the pool only reschedules work, all reductions are ordered.
+ */
+
+#ifndef RUU_BENCH_BENCH_COMMON_HH
+#define RUU_BENCH_BENCH_COMMON_HH
+
+#include "par/pool.hh"
+
+namespace ruu::benchsupport
+{
+
+inline par::Pool *gBenchPool = nullptr;
+
+/**
+ * Consume the jobs flag from @p argv and build the bench-wide pool.
+ * Call first thing in main(); every helper below then uses the pool.
+ */
+inline void
+initBench(int &argc, char **argv)
+{
+    static par::Pool pool(par::consumeJobsFlag(argc, argv));
+    gBenchPool = &pool;
+}
+
+/** The bench-wide pool (nullptr — i.e. serial — before initBench). */
+inline par::Pool *
+benchPool()
+{
+    return gBenchPool;
+}
+
+} // namespace ruu::benchsupport
+
+#endif // RUU_BENCH_BENCH_COMMON_HH

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "lint/dataflow_bound.hh"
@@ -28,8 +29,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     TextTable speedups({"Loop", "Simple Rate", "RSTU", "RUU full",
                         "RUU none", "Spec RUU", "History"});
     speedups.setAlign(0, Align::Left);
@@ -42,43 +44,66 @@ main()
     limits.setTitle("Per-loop % of dataflow limit (bound cycles / "
                     "actual cycles), 15-entry windows");
 
-    for (const auto &workload : livermoreWorkloads()) {
-        std::vector<Workload> one = {workload};
-        AggregateResult baseline =
-            runSuite(CoreKind::Simple, UarchConfig::cray1(), one);
-        lint::DataflowBound bound =
-            lint::dataflowBound(workload.trace(), UarchConfig::cray1());
+    // One job per loop: each computes its six configurations serially
+    // (the job itself is the unit of parallelism) and returns both
+    // rendered rows; the reduction appends them in loop order, so the
+    // tables are byte-identical at any -j.
+    struct LoopRows
+    {
+        std::vector<std::string> speedup;
+        std::vector<std::string> limit;
+    };
+    const auto &workloads = livermoreWorkloads();
+    par::mapReduce<LoopRows>(
+        benchsupport::benchPool(), workloads.size(), 0,
+        [&](std::size_t job, unsigned) -> LoopRows {
+            const Workload &workload = workloads[job];
+            std::vector<Workload> one = {workload};
+            AggregateResult baseline =
+                runSuite(CoreKind::Simple, UarchConfig::cray1(), one);
+            lint::DataflowBound bound = lint::cachedDataflowBound(
+                workload.trace(), UarchConfig::cray1());
 
-        auto run = [&](CoreKind kind, BypassMode bypass) {
-            UarchConfig config = UarchConfig::cray1();
-            config.poolEntries = 15;
-            config.historyEntries = 15;
-            config.bypass = bypass;
-            return runSuite(kind, config, one);
-        };
+            auto run = [&](CoreKind kind, BypassMode bypass) {
+                UarchConfig config = UarchConfig::cray1();
+                config.poolEntries = 15;
+                config.historyEntries = 15;
+                config.bypass = bypass;
+                return runSuite(kind, config, one);
+            };
 
-        AggregateResult rstu = run(CoreKind::Rstu, BypassMode::Full);
-        AggregateResult ruuFull = run(CoreKind::Ruu, BypassMode::Full);
-        AggregateResult ruuNone = run(CoreKind::Ruu, BypassMode::None);
-        AggregateResult spec = run(CoreKind::SpecRuu, BypassMode::Full);
-        AggregateResult history =
-            run(CoreKind::History, BypassMode::Full);
+            AggregateResult rstu = run(CoreKind::Rstu, BypassMode::Full);
+            AggregateResult ruuFull =
+                run(CoreKind::Ruu, BypassMode::Full);
+            AggregateResult ruuNone =
+                run(CoreKind::Ruu, BypassMode::None);
+            AggregateResult spec =
+                run(CoreKind::SpecRuu, BypassMode::Full);
+            AggregateResult history =
+                run(CoreKind::History, BypassMode::Full);
 
-        speedups.addRow(
-            {workload.name, TextTable::fmt(baseline.issueRate()),
-             TextTable::fmt(rstu.speedupOver(baseline.cycles)),
-             TextTable::fmt(ruuFull.speedupOver(baseline.cycles)),
-             TextTable::fmt(ruuNone.speedupOver(baseline.cycles)),
-             TextTable::fmt(spec.speedupOver(baseline.cycles)),
-             TextTable::fmt(history.speedupOver(baseline.cycles))});
+            LoopRows rows;
+            rows.speedup = {
+                workload.name, TextTable::fmt(baseline.issueRate()),
+                TextTable::fmt(rstu.speedupOver(baseline.cycles)),
+                TextTable::fmt(ruuFull.speedupOver(baseline.cycles)),
+                TextTable::fmt(ruuNone.speedupOver(baseline.cycles)),
+                TextTable::fmt(spec.speedupOver(baseline.cycles)),
+                TextTable::fmt(history.speedupOver(baseline.cycles))};
 
-        auto pct = [&](const AggregateResult &result) {
-            return TextTable::fmt(bound.pctOfLimit(result.cycles), 1);
-        };
-        limits.addRow({workload.name, TextTable::fmt(bound.cycles),
-                       pct(baseline), pct(rstu), pct(ruuFull),
-                       pct(ruuNone), pct(spec), pct(history)});
-    }
+            auto pct = [&](const AggregateResult &result) {
+                return TextTable::fmt(bound.pctOfLimit(result.cycles),
+                                      1);
+            };
+            rows.limit = {workload.name, TextTable::fmt(bound.cycles),
+                          pct(baseline), pct(rstu), pct(ruuFull),
+                          pct(ruuNone), pct(spec), pct(history)};
+            return rows;
+        },
+        [&](int &, LoopRows &rows, std::size_t) {
+            speedups.addRow(std::move(rows.speedup));
+            limits.addRow(std::move(rows.limit));
+        });
     std::printf("%s\n", speedups.render().c_str());
     std::printf("%s\n", limits.render().c_str());
     return 0;

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
@@ -20,11 +21,13 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,
+                 benchsupport::benchPool());
 
     TextTable table({"Configuration", "Speedup", "Issue Rate",
                      "Mispredict %", "Squashed"});
@@ -36,7 +39,8 @@ main()
         UarchConfig config = UarchConfig::cray1();
         config.poolEntries = 20;
         AggregateResult base = runSuite(CoreKind::Ruu, config,
-                                        workloads);
+                                        workloads,
+                 benchsupport::benchPool());
         table.addRow({"ruu (no speculation)",
                       TextTable::fmt(base.speedupOver(baseline.cycles)),
                       TextTable::fmt(base.issueRate()), "-", "-"});

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "bench/paper_data.hh"
 #include "common/logging.hh"
 #include "kernels/lll.hh"
@@ -23,8 +24,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     const auto &workloads = livermoreWorkloads();
     auto core = makeCore(CoreKind::Simple, UarchConfig::cray1());
 

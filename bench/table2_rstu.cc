@@ -10,8 +10,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     UarchConfig config = UarchConfig::cray1();
     config.dispatchPaths = 1;
     return benchsupport::runTable(

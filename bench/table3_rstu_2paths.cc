@@ -11,8 +11,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     UarchConfig config = UarchConfig::cray1();
     config.dispatchPaths = 2;
     return benchsupport::runTable(

@@ -9,8 +9,9 @@
 using namespace ruu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchsupport::initBench(argc, argv);
     UarchConfig config = UarchConfig::cray1();
     config.bypass = BypassMode::Full;
     return benchsupport::runTable(

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_common.hh"
 #include "bench/paper_data.hh"
 #include "kernels/lll.hh"
 #include "sim/experiment.hh"
@@ -18,15 +19,15 @@
 namespace ruu::benchsupport
 {
 
-/** Run one table's sweep and print the comparison. */
+/** Run one table's sweep (on the bench pool) and print the comparison. */
 inline int
 runTable(const std::string &title, CoreKind kind, UarchConfig config,
          const std::vector<unsigned> &sizes,
          const std::vector<PaperRow> &paper_rows)
 {
     const auto &workloads = livermoreWorkloads();
-    AggregateResult baseline =
-        runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads);
+    AggregateResult baseline = runSuite(
+        CoreKind::Simple, UarchConfig::cray1(), workloads, benchPool());
     std::printf("baseline (simple issue): %llu cycles, %llu "
                 "instructions, issue rate %.3f\n\n",
                 static_cast<unsigned long long>(baseline.cycles),
@@ -34,7 +35,7 @@ runTable(const std::string &title, CoreKind kind, UarchConfig config,
                 baseline.issueRate());
 
     auto points = sweepPoolSize(kind, config, sizes, workloads,
-                                baseline.cycles);
+                                baseline.cycles, benchPool());
     std::printf("%s\n",
                 renderComparison(title, paper_rows, points).c_str());
     return 0;

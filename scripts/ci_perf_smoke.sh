@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Parallel-engine smoke for CI: every parallel driver must produce
+# byte-identical output to its serial (-j1) run, and the wall-clock of
+# both runs is recorded to a BENCH_perf.json so speedups are tracked
+# over time. Byte-identity is the gate; speed is a measurement —
+# shared CI runners cannot promise real cores, so the speedup check
+# only arms when RUU_PERF_REQUIRE_SPEEDUP is set (e.g. to 2.0).
+#
+#   usage: scripts/ci_perf_smoke.sh <ruusim-binary> [workdir] [outfile]
+#
+# Exit nonzero on the first output deviation.
+set -euo pipefail
+
+RUUSIM=${1:?usage: $0 <ruusim-binary> [workdir] [outfile]}
+WORKDIR=${2:-$(mktemp -d)}
+OUT=${3:-$WORKDIR/BENCH_perf.json}
+JOBS=${RUU_PERF_JOBS:-4}
+mkdir -p "$WORKDIR"
+
+# Wall-clock a command, appending its stdout+stderr to $2.
+timed() {
+    local outfile=$1
+    shift
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$@" > "$outfile" 2>&1
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+
+declare -a JSON_ROWS=()
+
+# check <name> <serial-file> <par-file> <serial-s> <par-s>
+check() {
+    local name=$1 sfile=$2 pfile=$3 ss=$4 ps=$5
+    if ! cmp -s "$sfile" "$pfile"; then
+        echo "$name: -j$JOBS output differs from -j1" >&2
+        diff "$sfile" "$pfile" | head >&2
+        exit 1
+    fi
+    local speedup
+    speedup=$(awk -v s="$ss" -v p="$ps" \
+        'BEGIN { printf "%.2f", (p > 0 ? s / p : 0) }')
+    echo "  $name: serial ${ss}s, -j$JOBS ${ps}s (${speedup}x), output identical"
+    JSON_ROWS+=("{\"driver\": \"$name\", \"serial_seconds\": $ss, \
+\"parallel_seconds\": $ps, \"jobs\": $JOBS, \"speedup\": $speedup}")
+    if [ -n "${RUU_PERF_REQUIRE_SPEEDUP:-}" ]; then
+        awk -v sp="$speedup" -v want="$RUU_PERF_REQUIRE_SPEEDUP" \
+            'BEGIN { exit (sp + 0 >= want + 0 ? 0 : 1) }' || {
+            echo "$name: speedup ${speedup}x < required ${RUU_PERF_REQUIRE_SPEEDUP}x" >&2
+            exit 1
+        }
+    fi
+}
+
+echo "== pool-size sweep: -j1 vs -j$JOBS must be byte-identical"
+ss=$(timed "$WORKDIR/sweep_serial.txt" "$RUUSIM" sweep suite -j1)
+ps=$(timed "$WORKDIR/sweep_par.txt" "$RUUSIM" sweep suite -j"$JOBS")
+check sweep "$WORKDIR/sweep_serial.txt" "$WORKDIR/sweep_par.txt" "$ss" "$ps"
+
+echo "== interrupt-sweep verify: -j1 vs -j$JOBS"
+ss=$(timed "$WORKDIR/verify_serial.txt" \
+    "$RUUSIM" verify lll03 --sweep --points 8 -j1)
+ps=$(timed "$WORKDIR/verify_par.txt" \
+    "$RUUSIM" verify lll03 --sweep --points 8 -j"$JOBS")
+check verify "$WORKDIR/verify_serial.txt" "$WORKDIR/verify_par.txt" \
+    "$ss" "$ps"
+
+echo "== interrupt storm: -j1 vs -j$JOBS"
+ss=$(timed "$WORKDIR/storm_serial.txt" \
+    "$RUUSIM" storm lll03 --points 3 -j1)
+ps=$(timed "$WORKDIR/storm_par.txt" \
+    "$RUUSIM" storm lll03 --points 3 -j"$JOBS")
+check storm "$WORKDIR/storm_serial.txt" "$WORKDIR/storm_par.txt" \
+    "$ss" "$ps"
+
+echo "== fault-injection campaign: journals must be byte-identical"
+rm -f "$WORKDIR/inject_serial.jsonl" "$WORKDIR/inject_par.jsonl"
+ss=$(timed "$WORKDIR/inject_serial.txt" \
+    "$RUUSIM" inject lll03 --cores ruu,history --trials 48 --seed 2026 \
+    --journal "$WORKDIR/inject_serial.jsonl" --json -j1)
+ps=$(timed "$WORKDIR/inject_par.txt" \
+    "$RUUSIM" inject lll03 --cores ruu,history --trials 48 --seed 2026 \
+    --journal "$WORKDIR/inject_par.jsonl" --json -j"$JOBS")
+check inject "$WORKDIR/inject_serial.jsonl" "$WORKDIR/inject_par.jsonl" \
+    "$ss" "$ps"
+serial_tps=$(grep -o '"trials_per_sec": [0-9.]*' \
+    "$WORKDIR/inject_serial.txt" | head -1 | awk '{print $2}')
+par_tps=$(grep -o '"trials_per_sec": [0-9.]*' \
+    "$WORKDIR/inject_par.txt" | head -1 | awk '{print $2}')
+echo "  inject throughput: ${serial_tps} trials/sec serial, ${par_tps} trials/sec -j$JOBS"
+
+{
+    echo "{"
+    echo "  \"bench\": \"par_engine_smoke\","
+    echo "  \"jobs\": $JOBS,"
+    echo "  \"inject_trials_per_sec_serial\": ${serial_tps:-0},"
+    echo "  \"inject_trials_per_sec_parallel\": ${par_tps:-0},"
+    echo "  \"drivers\": ["
+    for i in "${!JSON_ROWS[@]}"; do
+        sep=","
+        [ "$i" -eq $((${#JSON_ROWS[@]} - 1)) ] && sep=""
+        echo "    ${JSON_ROWS[$i]}$sep"
+    done
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+echo "== perf smoke passed; timings written to $OUT"

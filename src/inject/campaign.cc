@@ -268,17 +268,14 @@ runOneTrial(const CampaignOptions &options, CoreKind kind,
 std::uint64_t
 splitmix64(std::uint64_t &state)
 {
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
+    return par::splitmix64(state);
 }
 
 std::uint64_t
 trialSeed(std::uint64_t seed, std::uint64_t index)
 {
-    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
-    return splitmix64(state);
+    // par::jobSeed is the same derivation; the journal format pins it.
+    return par::jobSeed(seed, index);
 }
 
 void
@@ -357,6 +354,10 @@ probeMachine(CoreKind kind, const Workload &workload,
 Expected<ProbeInfo>
 TrialSampler::probe(std::size_t core_index, std::size_t workload_index)
 {
+    // Single-flight under the lock: concurrent workers asking for the
+    // same (core, workload) wait for one deterministic reference run
+    // instead of racing duplicates.
+    std::lock_guard<std::mutex> lock(_mutex);
     auto key = std::make_pair(core_index, workload_index);
     auto it = _probes.find(key);
     if (it != _probes.end())
@@ -452,47 +453,128 @@ runCampaign(const CampaignOptions &options)
     TrialSampler sampler(options);
     auto start = std::chrono::steady_clock::now();
 
-    for (std::uint64_t index = 0; index < options.trials; ++index) {
-        if (done[index])
-            continue;
-        auto point = sampler.point(index);
-        if (!point)
-            return Error(point.error())
-                .context("trial " + std::to_string(index));
-        std::size_t core_index = 0, workload_index = 0;
-        {
-            // Re-derive the indices the sampler chose (same stream).
-            std::uint64_t state = point->seed;
-            core_index = splitmix64(state) % options.cores.size();
-            workload_index =
-                splitmix64(state) % options.workloads.size();
-        }
-        auto probe = sampler.probe(core_index, workload_index);
-        if (!probe)
-            return probe.error();
-        auto trial = runOneTrial(options, options.cores[core_index],
-                                 options.workloads[workload_index],
-                                 *point, *probe);
-        if (!trial)
-            return trial.error();
-        results[index] = *trial;
-        done[index] = true;
-        ++summary.executed;
-        if (writer.isOpen()) {
-            if (auto wrote = writer.add(*trial); !wrote)
-                return wrote.error();
-        }
-        if (options.progress) {
-            std::uint64_t completed = summary.resumed + summary.executed;
-            options.progress(completed, options.trials, *trial);
-        }
-        if (options.stopAfter &&
-            summary.executed >= options.stopAfter &&
-            summary.resumed + summary.executed < options.trials) {
-            summary.stoppedEarly = true;
-            break;
-        }
+    // The trials still to run, in index order. A serial campaign walks
+    // this list front to back and stops after stopAfter new trials, so
+    // the parallel engine dispatches exactly that prefix.
+    std::vector<std::uint64_t> pending;
+    for (std::uint64_t index = 0; index < options.trials; ++index)
+        if (!done[index])
+            pending.push_back(index);
+    std::size_t torun = pending.size();
+    if (options.stopAfter && options.stopAfter < torun) {
+        torun = options.stopAfter;
+        summary.stoppedEarly = true;
     }
+
+    /**
+     * Ordered streaming commit. Workers finish trials in scheduling
+     * order, but journal lines, progress callbacks and error
+     * propagation all follow pending-list (= trial index) order: a
+     * finished trial is staged, and the committer advances through
+     * consecutive positions, writing each trial as it becomes the
+     * front of the line. A failed position blocks every later commit,
+     * so the journal ends exactly where the serial campaign's would.
+     */
+    struct Committer
+    {
+        std::mutex mutex;
+        std::map<std::size_t, TrialResult> staged;
+        std::size_t next = 0;
+        bool failed = false;
+        std::size_t failedPos = 0;
+        Error error;
+    };
+    Committer committer;
+
+    auto failPosition = [&](std::size_t pos, Error error) {
+        std::lock_guard<std::mutex> lock(committer.mutex);
+        if (!committer.failed || pos < committer.failedPos) {
+            committer.failed = true;
+            committer.failedPos = pos;
+            committer.error = std::move(error);
+        }
+    };
+
+    auto commitReady = [&](std::size_t pos, TrialResult trial) {
+        std::lock_guard<std::mutex> lock(committer.mutex);
+        committer.staged.emplace(pos, std::move(trial));
+        while (!committer.staged.empty()) {
+            auto front = committer.staged.begin();
+            if (front->first != committer.next)
+                break;
+            if (committer.failed &&
+                committer.failedPos <= committer.next)
+                break;
+            const TrialResult &ready = front->second;
+            std::uint64_t index = pending[front->first];
+            if (writer.isOpen()) {
+                if (auto wrote = writer.add(ready); !wrote) {
+                    committer.failed = true;
+                    committer.failedPos = committer.next;
+                    committer.error = wrote.error();
+                    break;
+                }
+            }
+            results[index] = ready;
+            done[index] = true;
+            ++summary.executed;
+            if (options.progress) {
+                options.progress(summary.resumed + summary.executed,
+                                 options.trials, ready);
+            }
+            committer.staged.erase(front);
+            ++committer.next;
+        }
+    };
+
+    par::Pool pool(options.jobs);
+    par::forEachIndexed(
+        options.jobs > 1 ? &pool : nullptr, torun,
+        [&](std::size_t pos, unsigned) {
+            {
+                // A campaign-fatal error at an earlier position makes
+                // this trial unjournalable; don't burn a sandbox on it.
+                std::lock_guard<std::mutex> lock(committer.mutex);
+                if (committer.failed && committer.failedPos < pos)
+                    return;
+            }
+            std::uint64_t index = pending[pos];
+            auto point = sampler.point(index);
+            if (!point) {
+                failPosition(pos,
+                             Error(point.error())
+                                 .context("trial " +
+                                          std::to_string(index)));
+                return;
+            }
+            std::size_t core_index = 0, workload_index = 0;
+            {
+                // Re-derive the indices the sampler chose (same
+                // stream).
+                std::uint64_t state = point->seed;
+                core_index =
+                    splitmix64(state) % options.cores.size();
+                workload_index =
+                    splitmix64(state) % options.workloads.size();
+            }
+            auto probe = sampler.probe(core_index, workload_index);
+            if (!probe) {
+                failPosition(pos, probe.error());
+                return;
+            }
+            auto trial = runOneTrial(options,
+                                     options.cores[core_index],
+                                     options.workloads[workload_index],
+                                     *point, *probe);
+            if (!trial) {
+                failPosition(pos, trial.error());
+                return;
+            }
+            commitReady(pos, std::move(*trial));
+        });
+
+    if (committer.failed)
+        return committer.error;
 
     summary.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -24,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include <mutex>
+
 #include "common/error.hh"
 #include "inject/fault_port.hh"
 #include "inject/journal.hh"
+#include "par/pool.hh"
 #include "sim/machine.hh"
 
 namespace ruu::inject
@@ -120,6 +123,15 @@ struct CampaignOptions
     UarchConfig config = UarchConfig::cray1();
     bool modelIBuffers = false;
 
+    /**
+     * Concurrent trial sandboxes (1 = the serial reference loop).
+     * Trials are deterministic functions of (seed, index), and the
+     * journal is committed strictly in trial-index order, so the
+     * journal — and therefore resume and --replay-trial — is
+     * byte-identical at any job count.
+     */
+    unsigned jobs = 1;
+
     /** Optional per-trial progress hook (done, total, last result). */
     std::function<void(std::uint64_t done, std::uint64_t total,
                        const TrialResult &last)>
@@ -167,12 +179,16 @@ class TrialSampler
 
     Expected<TrialPoint> point(std::uint64_t index);
 
-    /** The probe backing @p point (cached). */
+    /**
+     * The probe backing @p point (cached; thread-safe — concurrent
+     * campaign workers share one sampler).
+     */
     Expected<ProbeInfo> probe(std::size_t core_index,
                               std::size_t workload_index);
 
   private:
     const CampaignOptions &_options;
+    std::mutex _mutex;
     std::map<std::pair<std::size_t, std::size_t>, ProbeInfo> _probes;
 };
 

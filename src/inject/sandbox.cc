@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <mutex>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -83,6 +84,17 @@ lastPayload(const std::string &text, const std::string &tag)
     return payload;
 }
 
+/**
+ * Serializes pipe creation, fork, and the parent-side close of the
+ * write ends. Without it, a child forked concurrently from another
+ * thread inherits this sandbox's pipe write-ends and holds them open
+ * for its whole trial — the parent then never sees EOF and a cleanly
+ * finished trial can sit at poll() until the watchdog misfiles it as
+ * hung. Inside the lock the only fd holders are this parent and this
+ * child, so EOF tracks the child's lifetime exactly.
+ */
+std::mutex spawnMutex;
+
 } // namespace
 
 void
@@ -98,6 +110,7 @@ runSandboxed(const std::function<void(SandboxChannel &)> &body,
 {
     SandboxOutcome outcome;
 
+    std::unique_lock<std::mutex> spawn(spawnMutex);
     int proto[2] = {-1, -1};
     int errp[2] = {-1, -1};
     if (::pipe(proto) != 0) {
@@ -139,6 +152,7 @@ runSandboxed(const std::function<void(SandboxChannel &)> &body,
     // Parent.
     ::close(proto[1]);
     ::close(errp[1]);
+    spawn.unlock();
     setNonBlocking(proto[0]);
     setNonBlocking(errp[0]);
 

@@ -1,6 +1,9 @@
 #include "lint/dataflow_bound.hh"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <unordered_map>
 
 #include "isa/reg.hh"
@@ -99,6 +102,102 @@ dataflowBound(const Trace &trace, const UarchConfig &config)
     bound.cycles = std::max<std::uint64_t>(bound.critPathCycles + 1,
                                            bound.decodeFloor);
     return bound;
+}
+
+namespace
+{
+
+/** Cache key: trace identity plus the config fields minCost reads. */
+struct BoundKey
+{
+    const void *trace;
+    std::size_t records;
+    std::uint64_t fingerprint;
+    std::array<unsigned, kNumFuKinds> fuLatency;
+    unsigned forwardLatency;
+
+    bool operator<(const BoundKey &o) const
+    {
+        return std::tie(trace, records, fingerprint, fuLatency,
+                        forwardLatency) <
+               std::tie(o.trace, o.records, o.fingerprint, o.fuLatency,
+                        o.forwardLatency);
+    }
+};
+
+/**
+ * Cheap content fingerprint (FNV-1a over up to 64 evenly-spaced
+ * records): guards against a freed trace's address being reused by a
+ * different trace of the same length.
+ */
+std::uint64_t
+traceFingerprint(const Trace &trace)
+{
+    const auto &records = trace.records();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    std::size_t n = records.size();
+    std::size_t step = n > 64 ? n / 64 : 1;
+    for (std::size_t i = 0; i < n; i += step) {
+        const TraceRecord &rec = records[i];
+        mix(rec.pc);
+        mix(rec.memAddr);
+        mix(static_cast<std::uint64_t>(rec.staticIndex));
+    }
+    return h;
+}
+
+struct BoundCache
+{
+    std::mutex mutex;
+    std::map<BoundKey, DataflowBound> entries;
+    BoundCacheStats stats;
+};
+
+BoundCache &
+boundCache()
+{
+    static BoundCache cache;
+    return cache;
+}
+
+} // namespace
+
+const DataflowBound &
+cachedDataflowBound(const Trace &trace, const UarchConfig &config)
+{
+    BoundKey key;
+    key.trace = &trace;
+    key.records = trace.records().size();
+    key.fingerprint = traceFingerprint(trace);
+    key.fuLatency = config.fuLatency;
+    key.forwardLatency = config.forwardLatency;
+
+    BoundCache &cache = boundCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        ++cache.stats.lookups;
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end()) {
+            ++cache.stats.hits;
+            return it->second;
+        }
+    }
+    // Compute outside the lock (the bound is deterministic, so a
+    // racing duplicate computation is wasted work, not wrong work).
+    DataflowBound bound = dataflowBound(trace, config);
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.entries.emplace(key, bound).first->second;
+}
+
+BoundCacheStats
+boundCacheStats()
+{
+    BoundCache &cache = boundCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.stats;
 }
 
 } // namespace ruu::lint

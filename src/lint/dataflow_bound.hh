@@ -75,6 +75,29 @@ struct DataflowBound
 DataflowBound dataflowBound(const Trace &trace,
                             const UarchConfig &config);
 
+/** Hit/lookup counters of the process-wide bound cache. */
+struct BoundCacheStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+};
+
+/**
+ * Memoized dataflowBound. The bound depends only on the trace and the
+ * latency-related configuration fields (fuLatency, forwardLatency) —
+ * it is invariant across pool-size sweep points — so the sweep drivers
+ * share one computation per (trace, latency profile) instead of
+ * recomputing it at every point. Keyed on the trace's address, length
+ * and a content fingerprint plus the latency fields; entries are never
+ * evicted. Thread-safe; the returned reference is stable for the
+ * process lifetime.
+ */
+const DataflowBound &cachedDataflowBound(const Trace &trace,
+                                         const UarchConfig &config);
+
+/** Counters of cachedDataflowBound since process start. */
+BoundCacheStats boundCacheStats();
+
 } // namespace ruu::lint
 
 #endif // RUU_LINT_DATAFLOW_BOUND_HH

@@ -36,6 +36,90 @@ samplePoints(const std::vector<SeqNum> &seqs, std::size_t budget)
     return picked;
 }
 
+/** Verdict of one fault point, reduced in point order. */
+struct PointOutcome
+{
+    bool failed = false;
+    std::string message; //!< failure detail (when failed)
+    bool precise = false;
+    bool resumedExact = false;
+};
+
+/**
+ * Inject at @p seq, run @p core to the interrupt, and check the whole
+ * precise-interrupt contract. @p faulty is a private trace copy the
+ * point may annotate; it is cleaned before use.
+ */
+PointOutcome
+sweepOnePoint(Core &core, Trace &faulty, const Workload &workload,
+              SeqNum seq, const SweepOptions &options)
+{
+    PointOutcome outcome;
+    const FuncResult &golden = workload.func;
+    auto fail = [&](std::string message) {
+        outcome.failed = true;
+        outcome.message = std::move(message);
+        return outcome;
+    };
+
+    faulty.clearFaults();
+    faulty.injectFault(seq, options.fault);
+
+    RunOptions runOptions;
+    CommitOracle oracle(faulty, core, runOptions);
+    if (options.checkOracle)
+        runOptions.observer = &oracle;
+    RunResult faulted = core.run(faulty, runOptions);
+
+    // Every core, precise or not, must surface the interrupt and
+    // identify the faulting instruction and its PC.
+    if (!faulted.interrupted) {
+        return fail(vformat("fault at seq %llu never surfaced",
+                            static_cast<unsigned long long>(seq)));
+    }
+    if (faulted.fault != options.fault || faulted.faultSeq != seq ||
+        faulted.faultPc != faulty.at(seq).pc) {
+        return fail(vformat("fault bookkeeping wrong at seq %llu: "
+                            "reported %s at seq %llu pc %llu",
+                            static_cast<unsigned long long>(seq),
+                            faultName(faulted.fault),
+                            static_cast<unsigned long long>(
+                                faulted.faultSeq),
+                            static_cast<unsigned long long>(
+                                faulted.faultPc)));
+    }
+    if (options.checkOracle && !oracle.finish(faulted))
+        return fail(oracle.report());
+
+    // Is the interrupted state the sequential prefix?
+    FuncResult prefix = runPrefix(workload.program, seq);
+    outcome.precise = faulted.state == prefix.finalState &&
+                      faulted.memory == prefix.finalMemory;
+    if (core.preciseInterrupts() && !outcome.precise) {
+        return fail(vformat("imprecise interrupt at seq %llu on a "
+                            "core that guarantees precision",
+                            static_cast<unsigned long long>(seq)));
+    }
+
+    // Service the fault in software: resume the *functional*
+    // machine from the interrupted state. A precise interrupt, by
+    // definition, lets the sequential machine finish the program
+    // bit-exactly.
+    FuncResult resumed =
+        resumeFunctional(workload.program, faulty.at(seq).staticIndex,
+                         faulted.state, faulted.memory);
+    outcome.resumedExact = resumed.halted &&
+                           resumed.finalState == golden.finalState &&
+                           resumed.finalMemory == golden.finalMemory;
+    if (core.preciseInterrupts() && !outcome.resumedExact) {
+        return fail(vformat("functional resume from the interrupt at "
+                            "seq %llu does not reproduce the golden "
+                            "run",
+                            static_cast<unsigned long long>(seq)));
+    }
+    return outcome;
+}
+
 } // namespace
 
 SweepResult
@@ -43,94 +127,52 @@ sweepInterrupts(Core &core, const Workload &workload,
                 const SweepOptions &options)
 {
     SweepResult result;
-    const FuncResult &golden = workload.func;
     std::vector<SeqNum> all = faultableSeqs(workload.trace());
     result.faultable = all.size();
     std::vector<SeqNum> points = samplePoints(all, options.maxPoints);
 
-    auto failPoint = [&](SeqNum seq, std::string message) {
-        ++result.failures;
-        if (result.firstFailure.empty()) {
-            result.firstFailure = std::move(message);
-            result.firstFailureSeq = seq;
-        }
-    };
+    bool parallel = options.pool && options.pool->workers() > 1 &&
+                    options.coreFactory && points.size() > 1;
 
-    Trace faulty = workload.trace(); // private copy for annotation
-    for (SeqNum seq : points) {
-        ++result.points;
-        faulty.clearFaults();
-        faulty.injectFault(seq, options.fault);
+    // Worker-private machines and trace copies: fault points share
+    // nothing, so each worker gets its own core (from the factory) and
+    // its own annotatable copy of the trace, built once per worker.
+    unsigned workers = parallel ? options.pool->workers() : 1;
+    std::vector<std::unique_ptr<Core>> cores(workers);
+    std::vector<std::unique_ptr<Trace>> copies(workers);
 
-        RunOptions runOptions;
-        CommitOracle oracle(faulty, core, runOptions);
-        if (options.checkOracle)
-            runOptions.observer = &oracle;
-        RunResult faulted = core.run(faulty, runOptions);
-
-        // Every core, precise or not, must surface the interrupt and
-        // identify the faulting instruction and its PC.
-        if (!faulted.interrupted) {
-            failPoint(seq, vformat("fault at seq %llu never surfaced",
-                                   static_cast<unsigned long long>(seq)));
-            continue;
-        }
-        if (faulted.fault != options.fault ||
-            faulted.faultSeq != seq ||
-            faulted.faultPc != faulty.at(seq).pc) {
-            failPoint(seq,
-                      vformat("fault bookkeeping wrong at seq %llu: "
-                              "reported %s at seq %llu pc %llu",
-                              static_cast<unsigned long long>(seq),
-                              faultName(faulted.fault),
-                              static_cast<unsigned long long>(
-                                  faulted.faultSeq),
-                              static_cast<unsigned long long>(
-                                  faulted.faultPc)));
-            continue;
-        }
-        if (options.checkOracle && !oracle.finish(faulted)) {
-            failPoint(seq, oracle.report());
-            continue;
-        }
-
-        // Is the interrupted state the sequential prefix?
-        FuncResult prefix = runPrefix(workload.program, seq);
-        bool precise = faulted.state == prefix.finalState &&
-                       faulted.memory == prefix.finalMemory;
-        if (precise)
-            ++result.precisePoints;
-        if (core.preciseInterrupts() && !precise) {
-            failPoint(seq,
-                      vformat("imprecise interrupt at seq %llu on a "
-                              "core that guarantees precision",
-                              static_cast<unsigned long long>(seq)));
-            continue;
-        }
-
-        // Service the fault in software: resume the *functional*
-        // machine from the interrupted state. A precise interrupt, by
-        // definition, lets the sequential machine finish the program
-        // bit-exactly.
-        FuncResult resumed =
-            resumeFunctional(workload.program,
-                             faulty.at(seq).staticIndex, faulted.state,
-                             faulted.memory);
-        bool exact = resumed.halted &&
-                     resumed.finalState == golden.finalState &&
-                     resumed.finalMemory == golden.finalMemory;
-        if (exact)
-            ++result.resumedExact;
-        if (core.preciseInterrupts() && !exact) {
-            failPoint(seq,
-                      vformat("functional resume from the interrupt at "
-                              "seq %llu does not reproduce the golden "
-                              "run",
-                              static_cast<unsigned long long>(seq)));
-            continue;
-        }
-    }
-    return result;
+    return par::mapReduce<PointOutcome>(
+        parallel ? options.pool : nullptr, points.size(),
+        std::move(result),
+        [&](std::size_t job, unsigned worker) {
+            Core *job_core = &core;
+            if (parallel) {
+                if (!cores[worker])
+                    cores[worker] = options.coreFactory();
+                job_core = cores[worker].get();
+            }
+            if (!copies[worker]) {
+                copies[worker] =
+                    std::make_unique<Trace>(workload.trace());
+            }
+            return sweepOnePoint(*job_core, *copies[worker], workload,
+                                 points[job], options);
+        },
+        [&](SweepResult &acc, const PointOutcome &outcome,
+            std::size_t job) {
+            ++acc.points;
+            if (outcome.precise)
+                ++acc.precisePoints;
+            if (outcome.resumedExact)
+                ++acc.resumedExact;
+            if (outcome.failed) {
+                ++acc.failures;
+                if (acc.firstFailure.empty()) {
+                    acc.firstFailure = outcome.message;
+                    acc.firstFailureSeq = points[job];
+                }
+            }
+        });
 }
 
 } // namespace ruu::oracle

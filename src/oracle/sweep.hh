@@ -27,8 +27,11 @@
 #ifndef RUU_ORACLE_SWEEP_HH
 #define RUU_ORACLE_SWEEP_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "par/pool.hh"
 #include "sim/machine.hh"
 
 namespace ruu::oracle
@@ -48,6 +51,19 @@ struct SweepOptions
 
     /** Attach the lockstep commit oracle to every interrupted run. */
     bool checkOracle = true;
+
+    /**
+     * Parallel execution: with a multi-worker pool *and* a core
+     * factory, fault points run concurrently, one factory-built core
+     * and one private trace copy per worker. Results are reduced in
+     * point order, so counters and the first-failure report are
+     * byte-identical to a serial sweep. Null pool (or no factory):
+     * the serial reference loop on the caller's core.
+     */
+    par::Pool *pool = nullptr;
+
+    /** Builds a worker-private core identical to the caller's. */
+    std::function<std::unique_ptr<Core>()> coreFactory;
 };
 
 /** Aggregate outcome of a sweep over one core and workload. */

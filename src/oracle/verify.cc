@@ -62,8 +62,12 @@ verifyOne(CoreKind kind, const Workload &workload,
     bool sweepOk = true;
     if (options.sweep) {
         vc.sweepRan = true;
-        vc.sweep = sweepInterrupts(*core, workload,
-                                   options.sweepOptions);
+        SweepOptions sweepOptions = options.sweepOptions;
+        sweepOptions.pool = options.pool;
+        sweepOptions.coreFactory = [kind, &options] {
+            return makeCore(kind, options.config);
+        };
+        vc.sweep = sweepInterrupts(*core, workload, sweepOptions);
         sweepOk = vc.sweep.ok();
         if (!sweepOk && vc.message.empty()) {
             vc.message = vformat("interrupt sweep: %zu of %zu points "
@@ -87,7 +91,7 @@ verifyWorkload(const Workload &workload, const VerifyOptions &options)
     const std::vector<CoreKind> &kinds =
         options.cores.empty() ? allCoreKinds() : options.cores;
     lint::DataflowBound bound =
-        lint::dataflowBound(workload.trace(), options.config);
+        lint::cachedDataflowBound(workload.trace(), options.config);
 
     std::vector<VerifyCase> cases;
     cases.reserve(kinds.size());

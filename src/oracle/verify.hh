@@ -37,6 +37,13 @@ struct VerifyOptions
     bool sweep = false;
 
     SweepOptions sweepOptions;
+
+    /**
+     * Multi-worker pool: each case's interrupt sweep fans its fault
+     * points out across the pool (sweepOptions.pool/coreFactory are
+     * filled in per case). Results are unchanged at any worker count.
+     */
+    par::Pool *pool = nullptr;
 };
 
 /** Verdict for one (workload, core) pair. */

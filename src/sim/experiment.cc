@@ -2,57 +2,113 @@
 
 #include "common/logging.hh"
 #include "lint/dataflow_bound.hh"
+#include "sim/json.hh"
 
 namespace ruu
 {
 
+namespace
+{
+
+/** Run one workload on @p core and verify it; returns the aggregate. */
+AggregateResult
+runOneWorkload(Core &core, const Workload &workload,
+               const UarchConfig &config)
+{
+    RunResult run = core.run(workload.trace());
+    if (run.interrupted)
+        ruu_fatal("workload '%s' unexpectedly interrupted on %s",
+                  workload.name.c_str(), core.name());
+    if (!matchesFunctional(run, workload.func))
+        ruu_fatal("workload '%s' committed wrong state on %s "
+                  "(simulator bug)",
+                  workload.name.c_str(), core.name());
+    // No issue mechanism can beat the program's dataflow: a cycle
+    // count below the static dependence bound means the core (or
+    // the bound) is broken, and the tables must not be printed
+    // from it. The bound is invariant across pool-size sweep points,
+    // so it comes from the process-wide cache.
+    const lint::DataflowBound &bound =
+        lint::cachedDataflowBound(workload.trace(), config);
+    if (run.cycles < bound.cycles)
+        ruu_fatal("workload '%s' on %s finished in %llu cycles, "
+                  "below its dataflow lower bound of %llu "
+                  "(simulator bug)",
+                  workload.name.c_str(), core.name(),
+                  static_cast<unsigned long long>(run.cycles),
+                  static_cast<unsigned long long>(bound.cycles));
+    AggregateResult one;
+    one.cycles = run.cycles;
+    one.instructions = run.instructions;
+    return one;
+}
+
+} // namespace
+
+Core &
+SuiteArena::core(CoreKind kind, const UarchConfig &config)
+{
+    std::string signature =
+        std::string(coreKindName(kind)) + configToJson(config);
+    if (!_core || signature != _signature) {
+        _core = makeCore(kind, config);
+        _signature = std::move(signature);
+    }
+    return *_core;
+}
+
 AggregateResult
 runSuite(CoreKind kind, const UarchConfig &config,
-         const std::vector<Workload> &workloads)
+         const std::vector<Workload> &workloads, par::Pool *pool)
 {
-    AggregateResult total;
-    auto core = makeCore(kind, config);
-    for (const auto &workload : workloads) {
-        RunResult run = core->run(workload.trace());
-        if (run.interrupted)
-            ruu_fatal("workload '%s' unexpectedly interrupted on %s",
-                      workload.name.c_str(), core->name());
-        if (!matchesFunctional(run, workload.func))
-            ruu_fatal("workload '%s' committed wrong state on %s "
-                      "(simulator bug)",
-                      workload.name.c_str(), core->name());
-        // No issue mechanism can beat the program's dataflow: a cycle
-        // count below the static dependence bound means the core (or
-        // the bound) is broken, and the tables must not be printed
-        // from it.
-        lint::DataflowBound bound =
-            lint::dataflowBound(workload.trace(), config);
-        if (run.cycles < bound.cycles)
-            ruu_fatal("workload '%s' on %s finished in %llu cycles, "
-                      "below its dataflow lower bound of %llu "
-                      "(simulator bug)",
-                      workload.name.c_str(), core->name(),
-                      static_cast<unsigned long long>(run.cycles),
-                      static_cast<unsigned long long>(bound.cycles));
-        total.cycles += run.cycles;
-        total.instructions += run.instructions;
-    }
-    return total;
+    std::vector<SuiteArena> arenas(pool ? pool->workers() : 1);
+    return par::mapReduce<AggregateResult>(
+        pool, workloads.size(), AggregateResult{},
+        [&](std::size_t job, unsigned worker) {
+            return runOneWorkload(arenas[worker].core(kind, config),
+                                  workloads[job], config);
+        },
+        [](AggregateResult &total, const AggregateResult &one,
+           std::size_t) {
+            total.cycles += one.cycles;
+            total.instructions += one.instructions;
+        });
 }
 
 std::vector<SweepPoint>
 sweepPoolSize(CoreKind kind, UarchConfig config,
               const std::vector<unsigned> &sizes,
               const std::vector<Workload> &workloads,
-              Cycle baseline_cycles)
+              Cycle baseline_cycles, par::Pool *pool)
 {
+    // Flatten to (size × workload) jobs so a sweep saturates the pool
+    // even when it has more workers than sweep points; contiguous
+    // sharding keeps one size's jobs on one worker's arena.
+    std::size_t per_point = workloads.size();
+    std::vector<SuiteArena> arenas(pool ? pool->workers() : 1);
+    std::vector<AggregateResult> totals = par::mapReduce<
+        AggregateResult, std::vector<AggregateResult>>(
+        pool, sizes.size() * per_point, std::vector<AggregateResult>(
+                                            sizes.size()),
+        [&](std::size_t job, unsigned worker) {
+            UarchConfig point_config = config;
+            point_config.poolEntries = sizes[job / per_point];
+            return runOneWorkload(
+                arenas[worker].core(kind, point_config),
+                workloads[job % per_point], point_config);
+        },
+        [&](std::vector<AggregateResult> &acc,
+            const AggregateResult &one, std::size_t job) {
+            acc[job / per_point].cycles += one.cycles;
+            acc[job / per_point].instructions += one.instructions;
+        });
+
     std::vector<SweepPoint> points;
     points.reserve(sizes.size());
-    for (unsigned size : sizes) {
-        config.poolEntries = size;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
         SweepPoint point;
-        point.entries = size;
-        point.total = runSuite(kind, config, workloads);
+        point.entries = sizes[i];
+        point.total = totals[i];
         point.speedup = point.total.speedupOver(baseline_cycles);
         points.push_back(point);
     }

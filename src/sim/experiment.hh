@@ -9,8 +9,11 @@
 #ifndef RUU_SIM_EXPERIMENT_HH
 #define RUU_SIM_EXPERIMENT_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "par/pool.hh"
 #include "sim/machine.hh"
 
 namespace ruu
@@ -48,23 +51,50 @@ struct SweepPoint
 };
 
 /**
- * Run every workload on a fresh core of @p kind configured by
- * @p config; fatal when any run fails value verification against its
- * functional execution (the benches must never report numbers from a
- * broken simulation).
+ * Reusable per-worker simulation state: one core, rebuilt only when
+ * the (kind, config) identity changes between jobs. Cores carry their
+ * pipeline structures and an 8 MiB memory image; re-running a core is
+ * free of those allocations, so a worker that processes a run of jobs
+ * with the same configuration pays the construction cost once. Cores
+ * reset completely between runs (the serial suites have always reused
+ * one core across all 14 workloads), so reuse never changes results.
  */
-AggregateResult runSuite(CoreKind kind, const UarchConfig &config,
-                         const std::vector<Workload> &workloads);
+class SuiteArena
+{
+  public:
+    /** The arena's core for (@p kind, @p config), built on demand. */
+    Core &core(CoreKind kind, const UarchConfig &config);
+
+  private:
+    std::string _signature;
+    std::unique_ptr<Core> _core;
+};
 
 /**
- * Sweep `config.poolEntries` over @p sizes.
+ * Run every workload on a core of @p kind configured by @p config;
+ * fatal when any run fails value verification against its functional
+ * execution (the benches must never report numbers from a broken
+ * simulation). With a multi-worker @p pool the workloads run
+ * concurrently (one arena-cached core per worker) and the aggregate is
+ * reduced in workload order — identical to the serial result.
+ */
+AggregateResult runSuite(CoreKind kind, const UarchConfig &config,
+                         const std::vector<Workload> &workloads,
+                         par::Pool *pool = nullptr);
+
+/**
+ * Sweep `config.poolEntries` over @p sizes. With a multi-worker
+ * @p pool the flattened (size × workload) job space runs concurrently;
+ * reduction is in (size, workload) order, so the points are
+ * byte-identical to a serial sweep.
  * @param baseline_cycles cycles of the simple issue mechanism on the
  *        same workloads (denominator of the paper's relative speedup).
  */
 std::vector<SweepPoint> sweepPoolSize(CoreKind kind, UarchConfig config,
                                       const std::vector<unsigned> &sizes,
                                       const std::vector<Workload> &workloads,
-                                      Cycle baseline_cycles);
+                                      Cycle baseline_cycles,
+                                      par::Pool *pool = nullptr);
 
 } // namespace ruu
 
