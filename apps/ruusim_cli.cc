@@ -6,6 +6,8 @@
  *          [--banks N] [--load-regs N] [--counter-bits N]
  *          [--bypass M] [--predictor P] [--ibuffers] [--stats]
  *   ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes a,b,c]
+ *          [--no-prune] [--json]
+ *   ruusim analyze <prog.s|lllNN|suite> [--json]
  *   ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep]
  *          [--points N]
  *   ruusim storm <prog.s|lllNN|suite> [--core K] [--points N]
@@ -42,6 +44,7 @@
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
+#include "lint/resource_bound.hh"
 #include "oracle/verify.hh"
 #include "par/pool.hh"
 #include "sim/experiment.hh"
@@ -64,6 +67,8 @@ usage()
         "  ruusim run <prog.s|lllNN> [options]\n"
         "  ruusim sweep <prog.s|lllNN|suite> [--core K] [--sizes "
         "a,b,c,...]\n"
+        "         [--no-prune] [--json]\n"
+        "  ruusim analyze <prog.s|lllNN|suite> [--json]\n"
         "  ruusim verify <prog.s|lllNN|suite> [--core K] [--sweep] "
         "[--points N]\n"
         "  ruusim storm <prog.s|lllNN|suite> [--core K] [--points N]\n"
@@ -113,6 +118,10 @@ usage()
         "                    (default: hardware threads, or RUU_JOBS; "
         "output is\n"
         "                    byte-identical at any job count)\n"
+        "  --no-prune        sweep: simulate every (workload, size) "
+        "point instead\n"
+        "                    of deriving sizes past a certified-bound "
+        "hit or plateau\n"
         "  --ibuffers        model the instruction buffers\n"
         "  --stats           dump all per-run statistics\n"
         "  --json            emit one JSON object per run\n"
@@ -223,6 +232,7 @@ struct Cli
     bool json = false;
     bool werror = false;
     bool interruptSweep = false;
+    bool noPrune = false;
     std::size_t sweepPoints = 32;
     bool pointsSet = false;
     std::vector<unsigned> sizes = {3, 5, 8, 12, 20, 30, 50};
@@ -259,6 +269,8 @@ parseArgs(int argc, char **argv)
             cli.coreSet = true;
         } else if (arg == "--sweep") {
             cli.interruptSweep = true;
+        } else if (arg == "--no-prune") {
+            cli.noPrune = true;
         } else if (arg == "--points") {
             cli.sweepPoints =
                 static_cast<std::size_t>(atoi(value().c_str()));
@@ -397,25 +409,137 @@ cmdSweep(const Cli &cli)
     par::Pool pool(cli.jobs);
     AggregateResult baseline = runSuite(
         CoreKind::Simple, UarchConfig::cray1(), workloads, &pool);
+    // Bound-guided pruning is on by default at the command line; the
+    // simulated points are byte-identical either way, --no-prune just
+    // forces every (workload, size) cell to actually run.
+    SweepOptions options;
+    options.prune = !cli.noPrune;
     auto points = sweepPoolSize(cli.core, cli.config, cli.sizes,
-                                workloads, baseline.cycles, &pool);
-    TextTable table({"Entries", "Cycles", "Speedup", "Issue Rate"});
+                                workloads, baseline.cycles, &pool,
+                                options);
+    std::size_t simulated = 0, cells = 0;
+    for (const auto &point : points) {
+        simulated += point.simulated;
+        cells += workloads.size();
+    }
+    if (cli.json) {
+        for (const auto &point : points) {
+            std::printf(
+                "{\"core\": \"%s\", \"entries\": %u, "
+                "\"cycles\": %llu, \"instructions\": %llu, "
+                "\"speedup\": %.6f, \"issue_rate\": %.6f, "
+                "\"simulated\": %zu, \"derived\": %s}\n",
+                coreKindName(cli.core), point.entries,
+                static_cast<unsigned long long>(point.total.cycles),
+                static_cast<unsigned long long>(
+                    point.total.instructions),
+                point.speedup, point.total.issueRate(),
+                point.simulated, point.derived ? "true" : "false");
+        }
+        return 0;
+    }
+    TextTable table({"Entries", "Cycles", "Speedup", "Issue Rate",
+                     "Simulated"});
     table.setTitle(std::string("sweep of ") + coreKindName(cli.core) +
                    " (baseline: simple issue, " +
                    TextTable::fmt(baseline.cycles) + " cycles)");
-    for (const auto &point : points)
+    for (const auto &point : points) {
         table.addRow({TextTable::fmt(std::uint64_t{point.entries}),
                       TextTable::fmt(point.total.cycles),
                       TextTable::fmt(point.speedup),
-                      TextTable::fmt(point.total.issueRate())});
+                      TextTable::fmt(point.total.issueRate()),
+                      TextTable::fmt(std::uint64_t{point.simulated}) +
+                          "/" +
+                          TextTable::fmt(
+                              std::uint64_t{workloads.size()}) +
+                          (point.derived ? " (derived)" : "")});
+    }
     std::printf("%s", table.render().c_str());
+    if (options.prune && simulated < cells) {
+        std::printf("sweep: pruned %zu of %zu simulations past "
+                    "certified-bound hits and plateaus (--no-prune "
+                    "to disable)\n",
+                    cells - simulated, cells);
+    }
+    return 0;
+}
+
+/**
+ * Static resource-aware performance analysis (lint/resource_bound.hh):
+ * no simulation, just the certified lower bound of each workload under
+ * the active configuration, decomposed into its structural floors,
+ * with the binding resource named and the (uncertified) queueing
+ * estimate alongside.
+ */
+int
+cmdAnalyze(const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    auto workloads = resolveWorkloads(cli.positional[0]);
+
+    TextTable table({"Workload", "Records", "Bound", "DepBound",
+                     "Decode", "Schedule", "FU", "Bus", "Commit",
+                     "Binding", "Estimate"});
+    table.setTitle("analyze: certified resource bound per workload "
+                   "(cycles; estimate is M/M/m, not certified)");
+    table.setAlign(0, Align::Left);
+    table.setAlign(9, Align::Left);
+
+    for (const auto &workload : workloads) {
+        const lint::ResourceBound &bound =
+            lint::cachedResourceBound(workload.trace(), cli.config);
+        std::uint64_t fuMax = 0;
+        for (std::uint64_t floor : bound.breakdown.fuClass)
+            fuMax = std::max(fuMax, floor);
+        if (cli.json) {
+            std::printf(
+                "{\"workload\": \"%s\", \"records\": %zu, "
+                "\"bound\": %llu, \"dependence_bound\": %llu, "
+                "\"decode\": %llu, \"schedule\": %llu, "
+                "\"fu_class_max\": %llu, \"result_bus\": %llu, "
+                "\"commit\": %llu, \"binding\": \"%s\", "
+                "\"estimate_cycles\": %.2f, "
+                "\"estimate_occupancy\": %.4f}\n",
+                workload.name.c_str(),
+                workload.trace().records().size(),
+                static_cast<unsigned long long>(bound.cycles),
+                static_cast<unsigned long long>(bound.dataflow.cycles),
+                static_cast<unsigned long long>(bound.breakdown.decode),
+                static_cast<unsigned long long>(
+                    bound.breakdown.schedule),
+                static_cast<unsigned long long>(fuMax),
+                static_cast<unsigned long long>(
+                    bound.breakdown.resultBus),
+                static_cast<unsigned long long>(bound.breakdown.commit),
+                bound.bindingName().c_str(), bound.estimateCycles,
+                bound.estimateOccupancy);
+        } else {
+            table.addRow(
+                {workload.name,
+                 TextTable::fmt(
+                     std::uint64_t{workload.trace().records().size()}),
+                 TextTable::fmt(bound.cycles),
+                 TextTable::fmt(bound.dataflow.cycles),
+                 TextTable::fmt(bound.breakdown.decode),
+                 TextTable::fmt(bound.breakdown.schedule),
+                 TextTable::fmt(fuMax),
+                 TextTable::fmt(bound.breakdown.resultBus),
+                 TextTable::fmt(bound.breakdown.commit),
+                 bound.bindingName(),
+                 TextTable::fmt(bound.estimateCycles, 1)});
+        }
+    }
+    if (!cli.json)
+        std::printf("%s", table.render().c_str());
     return 0;
 }
 
 /**
  * Run every workload through the full verification stack — lockstep
- * commit oracle, dataflow lower bound, optionally the interrupt sweep —
- * on every core (or the one named by --core). Exit 1 on any failure.
+ * commit oracle, certified resource lower bound, optionally the
+ * interrupt sweep — on every core (or the one named by --core).
+ * Exit 1 on any failure.
  */
 int
 cmdVerify(const Cli &cli)
@@ -433,19 +557,21 @@ cmdVerify(const Cli &cli)
     options.sweep = cli.interruptSweep;
     options.sweepOptions.maxPoints = cli.sweepPoints;
 
-    std::vector<std::string> headers = {"Workload", "Core",  "Cycles",
-                                        "Bound",    "%Limit", "Oracle"};
+    std::vector<std::string> headers = {"Workload", "Core",   "Cycles",
+                                        "Bound",    "%Limit", "Binding",
+                                        "Oracle"};
     if (cli.interruptSweep) {
         headers.push_back("Sweep");
         headers.push_back("Precise");
     }
     TextTable table(std::move(headers));
     table.setTitle(cli.interruptSweep
-                       ? "verify: commit oracle + dataflow bound + "
+                       ? "verify: commit oracle + resource bound + "
                          "interrupt sweep"
-                       : "verify: commit oracle + dataflow bound");
+                       : "verify: commit oracle + resource bound");
     table.setAlign(0, Align::Left);
     table.setAlign(1, Align::Left);
+    table.setAlign(5, Align::Left);
 
     bool ok = true;
     std::string firstFailure;
@@ -458,6 +584,7 @@ cmdVerify(const Cli &cli)
                 TextTable::fmt(vc.cycles),
                 TextTable::fmt(vc.bound.cycles),
                 TextTable::fmt(vc.pctOfLimit, 1),
+                vc.bound.bindingName(),
                 vc.oracleOk && vc.matchesFunc && vc.boundOk ? "ok"
                                                             : "FAIL",
             };
@@ -1007,6 +1134,8 @@ main(int argc, char **argv)
         return cmdRun(cli);
     if (command == "sweep")
         return cmdSweep(cli);
+    if (command == "analyze")
+        return cmdAnalyze(cli);
     if (command == "verify")
         return cmdVerify(cli);
     if (command == "storm")

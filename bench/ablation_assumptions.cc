@@ -51,6 +51,8 @@ int
 main(int argc, char **argv)
 {
     benchsupport::initBench(argc, argv);
+    benchsupport::printBoundSummary(livermoreWorkloads(),
+                                    UarchConfig::cray1());
     TextTable table({"Configuration", "Simple Cycles", "RUU-15 Cycles",
                      "RUU-15 Slowdown"});
     table.setAlign(0, Align::Left);

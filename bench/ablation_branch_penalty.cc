@@ -21,6 +21,8 @@ int
 main(int argc, char **argv)
 {
     benchsupport::initBench(argc, argv);
+    benchsupport::printBoundSummary(livermoreWorkloads(),
+                                    UarchConfig::cray1());
     const auto &workloads = livermoreWorkloads();
 
     TextTable table({"Taken Penalty", "Simple Rate", "RUU Rate",

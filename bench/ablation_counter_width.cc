@@ -22,6 +22,8 @@ int
 main(int argc, char **argv)
 {
     benchsupport::initBench(argc, argv);
+    benchsupport::printBoundSummary(livermoreWorkloads(),
+                                    UarchConfig::cray1());
     const auto &workloads = livermoreWorkloads();
     AggregateResult baseline =
         runSuite(CoreKind::Simple, UarchConfig::cray1(), workloads,

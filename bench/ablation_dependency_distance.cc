@@ -73,8 +73,20 @@ main(int argc, char **argv)
     table.setTitle("Ablation (§6.2): producer-to-branch distance vs "
                    "bypass mode, RUU with 30 entries");
 
-    for (unsigned distance : {0u, 1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
-        Workload workload = makeDistanceKernel(distance);
+    const std::vector<unsigned> distances = {0, 1, 2,  4,  6,
+                                             8, 10, 12, 16};
+    std::vector<Workload> kernels;
+    for (unsigned distance : distances)
+        kernels.push_back(makeDistanceKernel(distance));
+    {
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 30;
+        benchsupport::printBoundSummary(kernels, config);
+    }
+
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        unsigned distance = distances[i];
+        const Workload &workload = kernels[i];
 
         UarchConfig config = UarchConfig::cray1();
         config.poolEntries = 30;

@@ -9,7 +9,14 @@
 #ifndef RUU_BENCH_BENCH_COMMON_HH
 #define RUU_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/resource_bound.hh"
 #include "par/pool.hh"
+#include "sim/machine.hh"
 
 namespace ruu::benchsupport
 {
@@ -32,6 +39,49 @@ inline par::Pool *
 benchPool()
 {
     return gBenchPool;
+}
+
+/**
+ * One-line static context for a bench's numbers: the suite's certified
+ * resource-aware lower bound under @p config (lint/resource_bound.hh),
+ * how much it tightened the dependence-only bound, and which resource
+ * binds how many workloads. Every bench prints this before its tables
+ * so "% of limit" columns and speedups can be read against the floor
+ * the analyzer certifies — runSuite() separately refuses to report any
+ * run that beats it.
+ */
+inline void
+printBoundSummary(const std::vector<Workload> &workloads,
+                  const UarchConfig &config)
+{
+    std::uint64_t certified = 0, dependence = 0;
+    std::map<std::string, unsigned> bindings;
+    for (const Workload &workload : workloads) {
+        const lint::ResourceBound &bound =
+            lint::cachedResourceBound(workload.trace(), config);
+        certified += bound.cycles;
+        dependence += bound.dataflow.cycles;
+        ++bindings[bound.bindingName()];
+    }
+    double tightened =
+        dependence ? 100.0 *
+                         (static_cast<double>(certified) -
+                          static_cast<double>(dependence)) /
+                         static_cast<double>(dependence)
+                   : 0.0;
+    std::string byResource;
+    for (const auto &[name, count] : bindings) {
+        if (!byResource.empty())
+            byResource += ", ";
+        byResource += name + " x" + std::to_string(count);
+    }
+    std::printf("static bound: %llu cycles certified over %zu "
+                "workload(s) (dependence-only %llu, +%.1f%%); "
+                "binding: %s\n\n",
+                static_cast<unsigned long long>(certified),
+                workloads.size(),
+                static_cast<unsigned long long>(dependence), tightened,
+                byResource.c_str());
 }
 
 } // namespace ruu::benchsupport

@@ -15,6 +15,7 @@
 #include "asm/parser.hh"
 #include "isa/encoding.hh"
 #include "kernels/lll.hh"
+#include "lint/resource_bound.hh"
 #include "sim/machine.hh"
 
 namespace ruu
@@ -134,6 +135,24 @@ BM_EncodeDecode(benchmark::State &state)
         static_cast<std::int64_t>(insts.size()));
 }
 BENCHMARK(BM_EncodeDecode);
+
+void
+BM_ResourceBound(benchmark::State &state)
+{
+    // The static analyzer behind `ruusim analyze`, the per-run cycle
+    // assertions, and sweep pruning; it runs uncached here, once per
+    // (trace, config) in production.
+    UarchConfig config = UarchConfig::cray1();
+    for (auto _ : state) {
+        lint::ResourceBound bound =
+            lint::resourceBound(workload().trace(), config);
+        benchmark::DoNotOptimize(bound.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(workload().trace().size()));
+}
+BENCHMARK(BM_ResourceBound);
 
 } // namespace
 } // namespace ruu

@@ -27,6 +27,8 @@ int
 main(int argc, char **argv)
 {
     benchsupport::initBench(argc, argv);
+    benchsupport::printBoundSummary(livermoreWorkloads(),
+                                    UarchConfig::cray1());
     const auto &workloads = livermoreWorkloads();
     auto core = makeCore(CoreKind::Simple, UarchConfig::cray1());
 

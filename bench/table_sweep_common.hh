@@ -26,6 +26,7 @@ runTable(const std::string &title, CoreKind kind, UarchConfig config,
          const std::vector<PaperRow> &paper_rows)
 {
     const auto &workloads = livermoreWorkloads();
+    printBoundSummary(workloads, config);
     AggregateResult baseline = runSuite(
         CoreKind::Simple, UarchConfig::cray1(), workloads, benchPool());
     std::printf("baseline (simple issue): %llu cycles, %llu "

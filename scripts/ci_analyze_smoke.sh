@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Static-bound smoke for CI: three gates around lint/resource_bound.
+#
+#   1. `ruusim analyze suite` must certify a sound, resource-aware
+#      bound for every shipped kernel: bound >= dependence_bound
+#      everywhere, and strictly tighter on at least half the suite
+#      (the PR acceptance bar for the unified schedule floor).
+#   2. Bound-guided sweep pruning must be invisible in the data: a
+#      pruned sweep's cycles/instructions/speedup rows must be
+#      byte-identical to the --no-prune run once the bookkeeping
+#      simulated/derived fields are stripped, and pruning must
+#      actually skip >= 20% of the simulations on the representative
+#      kernel.
+#   3. The per-kernel bounds are recorded to BENCH_bounds.json so
+#      tightness is tracked over time.
+#
+#   usage: scripts/ci_analyze_smoke.sh <ruusim-binary> [workdir] [outfile]
+#
+# Exit nonzero on the first violated gate.
+set -euo pipefail
+
+RUUSIM=${1:?usage: $0 <ruusim-binary> [workdir] [outfile]}
+WORKDIR=${2:-$(mktemp -d)}
+OUT=${3:-$WORKDIR/BENCH_bounds.json}
+JOBS=${RUU_PERF_JOBS:-4}
+SWEEP_KERNEL=${RUU_SWEEP_KERNEL:-lll03}
+SWEEP_POINTS=${RUU_SWEEP_POINTS:-7}
+mkdir -p "$WORKDIR"
+
+echo "== analyze suite: certified bound vs dependence-only bound"
+"$RUUSIM" analyze suite --json > "$WORKDIR/analyze.jsonl"
+"$RUUSIM" analyze suite > "$WORKDIR/analyze.txt"
+awk '
+    {
+        bound = 0; dep = -1
+        if (match($0, /"bound": [0-9]+/))
+            bound = substr($0, RSTART + 9, RLENGTH - 9) + 0
+        if (match($0, /"dependence_bound": [0-9]+/))
+            dep = substr($0, RSTART + 20, RLENGTH - 20) + 0
+        if (dep < 0 || bound < dep) {
+            print "unsound or unparsed bound line: " $0 > "/dev/stderr"
+            exit 1
+        }
+        total++
+        if (bound > dep) tighter++
+    }
+    END {
+        if (total == 0) {
+            print "analyze suite produced no kernels" > "/dev/stderr"
+            exit 1
+        }
+        printf "  %d/%d kernels strictly tighter than dependence-only\n", \
+               tighter, total
+        if (2 * tighter < total) {
+            print "resource bound tighter on fewer than half the suite" \
+                > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$WORKDIR/analyze.jsonl"
+
+echo "== sweep pruning: pruned vs --no-prune data must be byte-identical"
+strip_bookkeeping() {
+    sed -E 's/, "simulated": [0-9]+, "derived": (true|false)//' "$1"
+}
+"$RUUSIM" sweep "$SWEEP_KERNEL" --points "$SWEEP_POINTS" --json \
+    -j"$JOBS" > "$WORKDIR/sweep_pruned.jsonl"
+"$RUUSIM" sweep "$SWEEP_KERNEL" --points "$SWEEP_POINTS" --json \
+    --no-prune -j"$JOBS" > "$WORKDIR/sweep_full.jsonl"
+strip_bookkeeping "$WORKDIR/sweep_pruned.jsonl" > "$WORKDIR/pruned_data.jsonl"
+strip_bookkeeping "$WORKDIR/sweep_full.jsonl" > "$WORKDIR/full_data.jsonl"
+if ! cmp -s "$WORKDIR/pruned_data.jsonl" "$WORKDIR/full_data.jsonl"; then
+    echo "pruned sweep data differs from --no-prune:" >&2
+    diff "$WORKDIR/pruned_data.jsonl" "$WORKDIR/full_data.jsonl" | head >&2
+    exit 1
+fi
+
+count_sims() {
+    grep -oE '"simulated": [0-9]+' "$1" | awk '{ n += $2 } END { print n + 0 }'
+}
+full_sims=$(count_sims "$WORKDIR/sweep_full.jsonl")
+pruned_sims=$(count_sims "$WORKDIR/sweep_pruned.jsonl")
+skipped=$((full_sims - pruned_sims))
+echo "  $SWEEP_KERNEL: $pruned_sims of $full_sims simulations run," \
+     "$skipped derived from the bound"
+if [ "$full_sims" -eq 0 ] ||
+   [ $((skipped * 100)) -lt $((full_sims * 20)) ]; then
+    echo "pruning skipped ${skipped}/${full_sims} < 20% of simulations" >&2
+    exit 1
+fi
+
+{
+    echo "{"
+    echo "  \"bench\": \"analyze_smoke\","
+    echo "  \"sweep_kernel\": \"$SWEEP_KERNEL\","
+    echo "  \"sweep_simulations_full\": $full_sims,"
+    echo "  \"sweep_simulations_pruned\": $pruned_sims,"
+    echo "  \"bounds\": ["
+    total=$(wc -l < "$WORKDIR/analyze.jsonl")
+    n=0
+    while IFS= read -r line; do
+        n=$((n + 1))
+        sep=","
+        [ "$n" -eq "$total" ] && sep=""
+        echo "    $line$sep"
+    done < "$WORKDIR/analyze.jsonl"
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+echo "== analyze smoke passed; bounds written to $OUT"

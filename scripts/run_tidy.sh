@@ -4,14 +4,24 @@
 #   scripts/run_tidy.sh [build-dir] [file...]
 #
 # Uses the compile_commands.json of build-dir (default: build). With no
-# file arguments, checks every .cc under src/ and apps/. Degrades to a
-# no-op with a message when clang-tidy is not installed, so CI and
-# developer machines without LLVM don't fail spuriously.
+# file arguments, checks every .cc under src/ and apps/. The bugprone-*
+# and performance-* families are warnings-as-errors (see .clang-tidy),
+# so any finding makes this script — and the CI tidy job, which is
+# blocking — fail. Naming diagnostics remain advisory.
+#
+# On developer machines without LLVM the script degrades to a no-op
+# with a message; under CI (the CI environment variable is set) a
+# missing clang-tidy is a hard failure so the gate cannot silently
+# vanish.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
+    if [ -n "${CI:-}" ]; then
+        echo "run_tidy.sh: clang-tidy not found but CI is set" >&2
+        exit 1
+    fi
     echo "run_tidy.sh: clang-tidy not found; skipping (install LLVM to enable)"
     exit 0
 fi
@@ -30,8 +40,15 @@ else
     files=$(find src apps -name '*.cc' | sort)
 fi
 
-status=0
-for f in $files; do
-    clang-tidy -p "$build_dir" --quiet "$f" || status=1
-done
-exit $status
+jobs=$( (nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2) |
+        head -1 )
+
+# xargs fans the translation units out across cores and exits non-zero
+# if any invocation fails (warnings-as-errors included).
+if printf '%s\n' $files |
+    xargs -P "$jobs" -n 1 clang-tidy -p "$build_dir" --quiet; then
+    echo "run_tidy.sh: clean"
+else
+    echo "run_tidy.sh: blocking findings above" >&2
+    exit 1
+fi

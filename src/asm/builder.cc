@@ -62,6 +62,13 @@ ProgramBuilder::allowProgram(const std::string &check)
 }
 
 ProgramBuilder &
+ProgramBuilder::handler(bool on)
+{
+    _program._isHandler = on;
+    return *this;
+}
+
+ProgramBuilder &
 ProgramBuilder::strict(bool on)
 {
     _strict = on;

@@ -67,6 +67,13 @@ class ProgramBuilder
     ProgramBuilder &allowProgram(const std::string &check);
 
     /**
+     * Mark the program as an interrupt handler kernel (`.handler` in
+     * assembly): RTI is its expected terminator, so the analyzer's
+     * RUU-W302 check stays quiet.
+     */
+    ProgramBuilder &handler(bool on = true);
+
+    /**
      * Make build() run the static analyzer (lint/analyze.hh) and panic
      * on any unsuppressed error-severity diagnostic.
      */

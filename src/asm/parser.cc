@@ -237,6 +237,10 @@ class Parser
                 _program._lintGlobalAllows.insert(check.text);
             else
                 _pendingAllows.push_back(check.text);
+        } else if (dir.text == ".handler") {
+            // The program is an interrupt handler kernel: RTI is its
+            // expected terminator (lint RUU-W302 stays quiet).
+            _program._isHandler = true;
         } else {
             error(dir, "unknown directive '" + dir.text + "'");
             skipLine();

@@ -93,6 +93,15 @@ class Program
         return _lintGlobalAllows;
     }
 
+    /**
+     * True when the program is an interrupt handler kernel (`.handler`
+     * in assembly, ProgramBuilder::handler()): it runs from the trap
+     * controller's exchange sequence and ends with RTI rather than
+     * HALT. The static analyzer (lint/analyze.hh) treats RTI in a
+     * non-handler program as a likely mistake (RUU-W302).
+     */
+    bool isHandler() const { return _isHandler; }
+
     /** Render an assembler-style listing with addresses and labels. */
     std::string listing() const;
 
@@ -108,6 +117,7 @@ class Program
     std::vector<DataInit> _data;
     std::multimap<ParcelAddr, std::string> _lintAllows;
     std::set<std::string> _lintGlobalAllows;
+    bool _isHandler = false;
     ParcelAddr _nextPc = 0;
 
     /** Append an instruction, assigning its parcel address. */

@@ -52,6 +52,8 @@ class Analyzer
         checkDeadDefs();
         checkCondRegStyle();
         checkLoopSaveRegStyle();
+        checkInterruptWindows();
+        checkRtiPlacement();
     }
 
   private:
@@ -406,6 +408,113 @@ class Analyzer
                        dst.toString() + " inside a loop body",
                    "hoist the write out of the loop or keep the value "
                    "in A/S registers");
+        }
+    }
+
+    // --- RUU-W301 ------------------------------------------------------
+
+    /**
+     * May-open forward dataflow over DINT critical sections: DINT opens
+     * a window (status.IE <- 0), EINT closes it. A HALT (or a fall off
+     * the end) reachable with the window still open leaves the machine
+     * uninterruptable — almost always a missing EINT. RTI is exempt:
+     * the exchange sequence restores the interrupted status word, so a
+     * handler may legitimately end inside its own DINT window.
+     */
+    void
+    checkInterruptWindows()
+    {
+        const std::size_t nb = _cfg.size();
+        // open_out[b]: some path through block b leaves a DINT window
+        // open at its exit edge. Entry starts closed (programs begin
+        // with interrupts enabled; handlers that end in RTI are exempt
+        // at the exit check anyway).
+        std::vector<char> open_out(nb, 0);
+        auto flowBlock = [&](std::size_t b, bool open) {
+            const BasicBlock &block = _cfg.blocks[b];
+            for (std::size_t i = block.first; i <= block.last; ++i) {
+                Opcode op = _program.inst(i).op;
+                if (op == Opcode::DINT)
+                    open = true;
+                else if (op == Opcode::EINT)
+                    open = false;
+            }
+            return open;
+        };
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t b = 0; b < nb; ++b) {
+                bool open_in = false;
+                for (std::size_t p : _cfg.blocks[b].preds)
+                    open_in = open_in || open_out[p];
+                char now = flowBlock(b, open_in) ? 1 : 0;
+                if (now != open_out[b]) {
+                    open_out[b] = now;
+                    changed = true;
+                }
+            }
+        }
+
+        for (std::size_t b = 0; b < nb; ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable)
+                continue;
+            Opcode last = _program.inst(block.last).op;
+            bool exits = block.fallsOffEnd || last == Opcode::HALT;
+            if (!exits)
+                continue;
+            bool open_in = false;
+            for (std::size_t p : block.preds)
+                open_in = open_in || open_out[p];
+            // Re-walk the exit block itself so a DINT/EINT inside it
+            // counts before the exit instruction.
+            bool open = open_in;
+            for (std::size_t i = block.first; i <= block.last; ++i) {
+                Opcode op = _program.inst(i).op;
+                if (op == Opcode::DINT)
+                    open = true;
+                else if (op == Opcode::EINT)
+                    open = false;
+            }
+            if (open) {
+                report(Check::IntWindowUnbalanced, block.last,
+                       "a DINT critical section can reach " +
+                           describeInst(_program, block.last) +
+                           " without an EINT, leaving interrupts "
+                           "disabled at program exit",
+                       "close every DINT window with EINT before HALT");
+            }
+        }
+    }
+
+    // --- RUU-W302 ------------------------------------------------------
+
+    /**
+     * RTI restores the exchange package; outside a handler kernel
+     * (Program::isHandler()) there is no saved package to restore, so a
+     * reachable RTI is almost certainly a confused HALT.
+     */
+    void
+    checkRtiPlacement()
+    {
+        if (_program.isHandler())
+            return;
+        for (std::size_t b = 0; b < _cfg.size(); ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable)
+                continue;
+            for (std::size_t i = block.first; i <= block.last; ++i) {
+                if (_program.inst(i).op != Opcode::RTI)
+                    continue;
+                report(Check::RtiOutsideHandler, i,
+                       describeInst(_program, i) +
+                           " returns from interrupt, but the program "
+                           "is not marked as a handler kernel",
+                       "use HALT to end a program, or mark handler "
+                       "kernels with `.handler` / "
+                       "ProgramBuilder::handler()");
+            }
         }
     }
 

@@ -22,14 +22,10 @@ struct NodeInfo
     SeqNum seq = kNoSeqNum;   //!< producer (for reporting)
 };
 
-/**
- * The cheapest any mechanism could execute @p record: forwarded-load
- * latency for loads, nothing for stores (the data just has to be
- * ready), nothing for branches/NOP/HALT (they resolve in the issue
- * stage), the functional-unit latency otherwise.
- */
+} // namespace
+
 std::uint64_t
-minCost(const TraceRecord &record, const UarchConfig &config)
+minRecordCost(const TraceRecord &record, const UarchConfig &config)
 {
     const Instruction &inst = record.inst;
     if (isLoad(inst.op)) {
@@ -42,8 +38,6 @@ minCost(const TraceRecord &record, const UarchConfig &config)
     }
     return config.latency(inst.fu());
 }
-
-} // namespace
 
 DataflowBound
 dataflowBound(const Trace &trace, const UarchConfig &config)
@@ -79,7 +73,7 @@ dataflowBound(const Trace &trace, const UarchConfig &config)
         }
 
         NodeInfo node;
-        node.finish = start.finish + minCost(rec, config);
+        node.finish = start.finish + minRecordCost(rec, config);
         node.length = start.length + 1;
         node.seq = seq;
 
@@ -125,13 +119,24 @@ struct BoundKey
     }
 };
 
-/**
- * Cheap content fingerprint (FNV-1a over up to 64 evenly-spaced
- * records): guards against a freed trace's address being reused by a
- * different trace of the same length.
- */
+struct BoundCache
+{
+    std::mutex mutex;
+    std::map<BoundKey, DataflowBound> entries;
+    BoundCacheStats stats;
+};
+
+BoundCache &
+boundCache()
+{
+    static BoundCache cache;
+    return cache;
+}
+
+} // namespace
+
 std::uint64_t
-traceFingerprint(const Trace &trace)
+boundTraceFingerprint(const Trace &trace)
 {
     const auto &records = trace.records();
     std::uint64_t h = 0xcbf29ce484222325ull;
@@ -149,29 +154,13 @@ traceFingerprint(const Trace &trace)
     return h;
 }
 
-struct BoundCache
-{
-    std::mutex mutex;
-    std::map<BoundKey, DataflowBound> entries;
-    BoundCacheStats stats;
-};
-
-BoundCache &
-boundCache()
-{
-    static BoundCache cache;
-    return cache;
-}
-
-} // namespace
-
 const DataflowBound &
 cachedDataflowBound(const Trace &trace, const UarchConfig &config)
 {
     BoundKey key;
     key.trace = &trace;
     key.records = trace.records().size();
-    key.fingerprint = traceFingerprint(trace);
+    key.fingerprint = boundTraceFingerprint(trace);
     key.fuLatency = config.fuLatency;
     key.forwardLatency = config.forwardLatency;
 

@@ -75,6 +75,17 @@ struct DataflowBound
 DataflowBound dataflowBound(const Trace &trace,
                             const UarchConfig &config);
 
+/**
+ * The cheapest any mechanism could execute @p record: forwarded-load
+ * latency for loads, nothing for stores (the data just has to be
+ * ready), nothing for branches/NOP/HALT (they resolve in the issue
+ * stage), the functional-unit latency otherwise. Shared by the
+ * dataflow bound above and the resource bound
+ * (lint/resource_bound.hh).
+ */
+std::uint64_t minRecordCost(const TraceRecord &record,
+                            const UarchConfig &config);
+
 /** Hit/lookup counters of the process-wide bound cache. */
 struct BoundCacheStats
 {
@@ -97,6 +108,13 @@ const DataflowBound &cachedDataflowBound(const Trace &trace,
 
 /** Counters of cachedDataflowBound since process start. */
 BoundCacheStats boundCacheStats();
+
+/**
+ * Cheap content fingerprint of @p trace (FNV-1a over up to 64 evenly
+ * spaced records): guards the bound caches against a freed trace's
+ * address being reused by a different trace of the same length.
+ */
+std::uint64_t boundTraceFingerprint(const Trace &trace);
 
 } // namespace ruu::lint
 

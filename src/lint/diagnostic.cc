@@ -33,6 +33,10 @@ const CheckInfo kCatalog[kNumChecks] = {
      "A0/S0 written but the value is never tested by a branch"},
     {"RUU-W202", "loop_save_reg_write", Severity::Style,
      "B/T save register written inside a loop body"},
+    {"RUU-W301", "unbalanced_int_window", Severity::Warning,
+     "a DINT critical section can reach a program exit without EINT"},
+    {"RUU-W302", "rti_outside_handler", Severity::Warning,
+     "RTI reachable in a program not marked as an interrupt handler"},
 };
 
 } // namespace

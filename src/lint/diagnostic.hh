@@ -48,6 +48,8 @@ enum class Check : std::uint8_t
     DataDuplicate,        //!< RUU-W103: DataInit repeated, same value
     CondRegClobber,       //!< RUU-W201: A0/S0 value never branched on
     LoopSaveRegWrite,     //!< RUU-W202: B/T written inside a loop body
+    IntWindowUnbalanced,  //!< RUU-W301: DINT window open at an exit
+    RtiOutsideHandler,    //!< RUU-W302: RTI in a non-handler program
     NumChecks,
 };
 

@@ -23,7 +23,7 @@ namespace
 
 VerifyCase
 verifyOne(CoreKind kind, const Workload &workload,
-          const lint::DataflowBound &bound, const VerifyOptions &options)
+          const lint::ResourceBound &bound, const VerifyOptions &options)
 {
     VerifyCase vc;
     vc.workload = workload.name;
@@ -50,11 +50,13 @@ verifyOne(CoreKind kind, const Workload &workload,
 
     vc.boundOk = run.cycles >= bound.cycles;
     vc.pctOfLimit = bound.pctOfLimit(run.cycles);
+    vc.pctOfDataflowLimit = bound.dataflow.pctOfLimit(run.cycles);
     if (!vc.boundOk && vc.message.empty()) {
-        vc.message = vformat("cycle count %llu beats the dataflow lower "
-                             "bound %llu — the bound or the core is "
-                             "broken",
+        vc.message = vformat("cycle count %llu beats the %s-bound "
+                             "resource lower bound %llu — the bound or "
+                             "the core is broken",
                              static_cast<unsigned long long>(run.cycles),
+                             bound.bindingName().c_str(),
                              static_cast<unsigned long long>(
                                  bound.cycles));
     }
@@ -90,8 +92,8 @@ verifyWorkload(const Workload &workload, const VerifyOptions &options)
 {
     const std::vector<CoreKind> &kinds =
         options.cores.empty() ? allCoreKinds() : options.cores;
-    lint::DataflowBound bound =
-        lint::cachedDataflowBound(workload.trace(), options.config);
+    const lint::ResourceBound &bound =
+        lint::cachedResourceBound(workload.trace(), options.config);
 
     std::vector<VerifyCase> cases;
     cases.reserve(kinds.size());

@@ -1,7 +1,9 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
-#include "lint/dataflow_bound.hh"
+#include "lint/resource_bound.hh"
 #include "sim/json.hh"
 
 namespace ruu
@@ -23,19 +25,20 @@ runOneWorkload(Core &core, const Workload &workload,
         ruu_fatal("workload '%s' committed wrong state on %s "
                   "(simulator bug)",
                   workload.name.c_str(), core.name());
-    // No issue mechanism can beat the program's dataflow: a cycle
-    // count below the static dependence bound means the core (or
-    // the bound) is broken, and the tables must not be printed
-    // from it. The bound is invariant across pool-size sweep points,
-    // so it comes from the process-wide cache.
-    const lint::DataflowBound &bound =
-        lint::cachedDataflowBound(workload.trace(), config);
+    // No issue mechanism can beat the program's dataflow or its
+    // structural floors: a cycle count below the certified resource
+    // bound means the core (or the bound) is broken, and the tables
+    // must not be printed from it. The bound is invariant across
+    // pool-size sweep points, so it comes from the process-wide cache.
+    const lint::ResourceBound &bound =
+        lint::cachedResourceBound(workload.trace(), config);
     if (run.cycles < bound.cycles)
         ruu_fatal("workload '%s' on %s finished in %llu cycles, "
-                  "below its dataflow lower bound of %llu "
+                  "below its %s-bound resource lower bound of %llu "
                   "(simulator bug)",
                   workload.name.c_str(), core.name(),
                   static_cast<unsigned long long>(run.cycles),
+                  bound.bindingName().c_str(),
                   static_cast<unsigned long long>(bound.cycles));
     AggregateResult one;
     one.cycles = run.cycles;
@@ -75,32 +78,91 @@ runSuite(CoreKind kind, const UarchConfig &config,
         });
 }
 
+namespace
+{
+
+/** One workload's pass over every sweep size. */
+struct WorkloadSweep
+{
+    std::vector<AggregateResult> bySize;
+    std::vector<char> simulated;
+};
+
+/** Accumulated per-size totals plus simulation counts. */
+struct SweepTotals
+{
+    std::vector<AggregateResult> totals;
+    std::vector<std::size_t> simulated;
+};
+
+} // namespace
+
 std::vector<SweepPoint>
 sweepPoolSize(CoreKind kind, UarchConfig config,
               const std::vector<unsigned> &sizes,
               const std::vector<Workload> &workloads,
-              Cycle baseline_cycles, par::Pool *pool)
+              Cycle baseline_cycles, par::Pool *pool,
+              const SweepOptions &options)
 {
-    // Flatten to (size × workload) jobs so a sweep saturates the pool
-    // even when it has more workers than sweep points; contiguous
-    // sharding keeps one size's jobs on one worker's arena.
-    std::size_t per_point = workloads.size();
+    // One job per workload, sizes processed in order inside the job:
+    // pruning decisions depend only on that workload's own results, so
+    // they are identical at any worker count. Reduction is in workload
+    // order, keeping the totals byte-identical to a serial sweep.
+    bool prune = options.prune &&
+                 std::is_sorted(sizes.begin(), sizes.end()) &&
+                 std::adjacent_find(sizes.begin(), sizes.end()) ==
+                     sizes.end();
     std::vector<SuiteArena> arenas(pool ? pool->workers() : 1);
-    std::vector<AggregateResult> totals = par::mapReduce<
-        AggregateResult, std::vector<AggregateResult>>(
-        pool, sizes.size() * per_point, std::vector<AggregateResult>(
-                                            sizes.size()),
+
+    SweepTotals init;
+    init.totals.resize(sizes.size());
+    init.simulated.assign(sizes.size(), 0);
+    SweepTotals reduced = par::mapReduce<WorkloadSweep, SweepTotals>(
+        pool, workloads.size(), std::move(init),
         [&](std::size_t job, unsigned worker) {
-            UarchConfig point_config = config;
-            point_config.poolEntries = sizes[job / per_point];
-            return runOneWorkload(
-                arenas[worker].core(kind, point_config),
-                workloads[job % per_point], point_config);
+            const Workload &workload = workloads[job];
+            WorkloadSweep sweep;
+            sweep.bySize.resize(sizes.size());
+            sweep.simulated.assign(sizes.size(), 0);
+            // The certified bound is invariant across pool sizes; one
+            // cached computation serves the whole row.
+            const lint::ResourceBound &bound =
+                lint::cachedResourceBound(workload.trace(), config);
+            bool derive = false;
+            AggregateResult last;
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                if (derive) {
+                    sweep.bySize[s] = last;
+                    continue;
+                }
+                UarchConfig point_config = config;
+                point_config.poolEntries = sizes[s];
+                AggregateResult one = runOneWorkload(
+                    arenas[worker].core(kind, point_config), workload,
+                    point_config);
+                sweep.bySize[s] = one;
+                sweep.simulated[s] = 1;
+                if (prune) {
+                    // Floor hit: the measurement equals the certified
+                    // lower bound, so no larger pool can improve it.
+                    // Plateau: two consecutive sizes agreed exactly;
+                    // the sweep has saturated.
+                    if (one.cycles == bound.cycles ||
+                        (s > 0 && sweep.simulated[s - 1] &&
+                         sweep.bySize[s - 1].cycles == one.cycles)) {
+                        derive = true;
+                    }
+                }
+                last = one;
+            }
+            return sweep;
         },
-        [&](std::vector<AggregateResult> &acc,
-            const AggregateResult &one, std::size_t job) {
-            acc[job / per_point].cycles += one.cycles;
-            acc[job / per_point].instructions += one.instructions;
+        [](SweepTotals &acc, const WorkloadSweep &one, std::size_t) {
+            for (std::size_t s = 0; s < acc.totals.size(); ++s) {
+                acc.totals[s].cycles += one.bySize[s].cycles;
+                acc.totals[s].instructions += one.bySize[s].instructions;
+                acc.simulated[s] += one.simulated[s];
+            }
         });
 
     std::vector<SweepPoint> points;
@@ -108,8 +170,10 @@ sweepPoolSize(CoreKind kind, UarchConfig config,
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         SweepPoint point;
         point.entries = sizes[i];
-        point.total = totals[i];
+        point.total = reduced.totals[i];
         point.speedup = point.total.speedupOver(baseline_cycles);
+        point.simulated = reduced.simulated[i];
+        point.derived = reduced.simulated[i] == 0;
         points.push_back(point);
     }
     return points;

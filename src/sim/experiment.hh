@@ -48,6 +48,30 @@ struct SweepPoint
     unsigned entries = 0;   //!< pool/RUU size
     AggregateResult total;  //!< suite aggregate at this size
     double speedup = 0.0;   //!< vs the provided baseline cycles
+
+    /** Workload simulations actually run at this size (vs derived). */
+    std::size_t simulated = 0;
+
+    /** True when every workload's value was derived, none simulated. */
+    bool derived = false;
+};
+
+/** Knobs of sweepPoolSize. */
+struct SweepOptions
+{
+    /**
+     * Bound-guided pruning: per workload, once a simulated point hits
+     * its certified resource bound (lint/resource_bound.hh) — no
+     * larger pool can beat a lower bound — or two consecutive sizes
+     * produce identical aggregates (the size sweep has plateaued),
+     * derive every remaining size from the last simulated value
+     * instead of simulating it. Points actually simulated are
+     * byte-identical to an unpruned sweep (same jobs, same configs);
+     * scripts/ci_analyze_smoke.sh additionally gates that the derived
+     * values match the unpruned simulations. Requires strictly
+     * increasing sizes; pruning silently disables itself otherwise.
+     */
+    bool prune = false;
 };
 
 /**
@@ -84,9 +108,10 @@ AggregateResult runSuite(CoreKind kind, const UarchConfig &config,
 
 /**
  * Sweep `config.poolEntries` over @p sizes. With a multi-worker
- * @p pool the flattened (size × workload) job space runs concurrently;
- * reduction is in (size, workload) order, so the points are
- * byte-identical to a serial sweep.
+ * @p pool the workloads run concurrently, each processing its sizes in
+ * order (pruning decisions are per-workload and scheduling-
+ * independent); reduction is in workload order, so the points are
+ * byte-identical to a serial sweep at any worker count.
  * @param baseline_cycles cycles of the simple issue mechanism on the
  *        same workloads (denominator of the paper's relative speedup).
  */
@@ -94,7 +119,8 @@ std::vector<SweepPoint> sweepPoolSize(CoreKind kind, UarchConfig config,
                                       const std::vector<unsigned> &sizes,
                                       const std::vector<Workload> &workloads,
                                       Cycle baseline_cycles,
-                                      par::Pool *pool = nullptr);
+                                      par::Pool *pool = nullptr,
+                                      const SweepOptions &options = {});
 
 } // namespace ruu
 

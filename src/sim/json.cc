@@ -66,6 +66,13 @@ configToJson(const UarchConfig &config)
            << fuKindName(static_cast<FuKind>(i))
            << "\": " << config.fuLatency[i];
     }
+    os << "}";
+    os << ", \"fu_count\": {";
+    for (unsigned i = 0; i + 1 < kNumFuKinds; ++i) {
+        os << (i ? ", " : "") << "\""
+           << fuKindName(static_cast<FuKind>(i))
+           << "\": " << config.fuCount[i];
+    }
     os << "}}";
     return os.str();
 }
@@ -311,6 +318,16 @@ parseUarchConfig(const std::string &text)
                 if (auto kind = fuKindFromName(fu)) {
                     unsigned idx = static_cast<unsigned>(*kind);
                     number(config.fuLatency[idx]);
+                } else {
+                    r.fail("unknown functional unit '" + fu + "'");
+                }
+            });
+        } else if (key == "fu_count") {
+            r.expect(':');
+            r.readObject([&](const std::string &fu) {
+                if (auto kind = fuKindFromName(fu)) {
+                    unsigned idx = static_cast<unsigned>(*kind);
+                    number(config.fuCount[idx]);
                 } else {
                     r.fail("unknown functional unit '" + fu + "'");
                 }

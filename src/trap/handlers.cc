@@ -16,6 +16,7 @@ Program
 counterHandler()
 {
     ProgramBuilder b("trap_counter_handler");
+    b.handler();                           // RTI terminator (RUU-W302)
     b.mfcause(regS(1));                    // S1 = cause code
     b.movas(regA(1), regS(1));             // A1 = cause
     b.aadd(regA(2), regA(6), regA(1));     // A2 = &scratch[cause]
@@ -33,6 +34,7 @@ Program
 nestedCounterHandler()
 {
     ProgramBuilder b("trap_nested_handler");
+    b.handler();                           // RTI terminator (RUU-W302)
     // Snapshot cause and epc while still masked; a nested delivery
     // would save and restore them anyway, but reading first keeps the
     // handler's data flow independent of preemption points.

@@ -54,6 +54,10 @@ UarchConfig::validate() const
         return "historyEntries must be at least 2";
     if (rsPerFu < 1)
         return "rsPerFu must be at least 1";
+    if (storeLatency < 1)
+        return "storeLatency must be at least 1";
+    if (forwardLatency < 1)
+        return "forwardLatency must be at least 1";
     if (latency(FuKind::Memory) < 1)
         return "memory latency must be at least 1";
     for (unsigned i = 0; i < kNumFuKinds - 1; ++i) {
@@ -61,6 +65,12 @@ UarchConfig::validate() const
             return std::string("latency of ") +
                    fuKindName(static_cast<FuKind>(i)) +
                    " must be at least 1";
+    }
+    for (unsigned i = 0; i < kNumFuKinds; ++i) {
+        if (fuCount[i] < 1 || fuCount[i] > 8)
+            return std::string("unit count of ") +
+                   fuKindName(static_cast<FuKind>(i)) +
+                   " must be in 1..8";
     }
     return "";
 }

@@ -75,6 +75,19 @@ struct UarchConfig
     };
 
     /**
+     * Functional units per FuKind. The paper's model machine has one
+     * unit of every class (the CRAY-1 scalar unit set); larger counts
+     * are consumed by the resource-bound analyzer
+     * (lint/resource_bound.hh), whose per-class service floors divide
+     * by them. The timing cores currently always model one unit per
+     * class, so counts above one only loosen the analyzer's floor —
+     * which keeps the bound sound.
+     */
+    std::array<unsigned, kNumFuKinds> fuCount = {
+        1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    };
+
+    /**
      * Cycles for a store to hand its address/data to the memory unit
      * and publish the data for load forwarding.
      */
@@ -158,6 +171,12 @@ struct UarchConfig
     unsigned latency(FuKind kind) const
     {
         return fuLatency[static_cast<unsigned>(kind)];
+    }
+
+    /** Number of units of @p kind. */
+    unsigned units(FuKind kind) const
+    {
+        return fuCount[static_cast<unsigned>(kind)];
     }
 
     /** The paper's model machine (all defaults). */

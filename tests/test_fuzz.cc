@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "inject/snapshot.hh"
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
+#include "lint/resource_bound.hh"
 #include "oracle/commit_oracle.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
@@ -270,6 +272,113 @@ TEST_P(FuzzSeeds, SnapshotRoundTripsAtRandomCycles)
             << resume_core->name();
         EXPECT_TRUE(resumed->result.memory == clean.memory)
             << resume_core->name();
+    }
+}
+
+namespace
+{
+
+/**
+ * A seed-derived configuration that stays inside validate()'s ranges
+ * while exercising every field the resource-bound floors read: unit
+ * counts, bus and commit widths, latencies, and branch penalties.
+ */
+UarchConfig
+randomBoundConfig(std::mt19937_64 &rng)
+{
+    UarchConfig config = UarchConfig::cray1();
+    std::uniform_int_distribution<unsigned> units(1, 4);
+    std::uniform_int_distribution<unsigned> width(1, 4);
+    std::uniform_int_distribution<unsigned> latency(1, 8);
+    std::uniform_int_distribution<unsigned> penalty(1, 8);
+    std::uniform_int_distribution<unsigned> pool(4, 24);
+    for (unsigned i = 0; i < kNumFuKinds; ++i)
+        config.fuCount[i] = units(rng);
+    for (unsigned i = 0; i < kNumFuKinds - 1; ++i)
+        config.fuLatency[i] = latency(rng);
+    config.storeLatency = 1 + latency(rng) % 3;
+    config.forwardLatency = 1 + latency(rng) % 3;
+    config.resultBuses = width(rng);
+    config.commitWidth = width(rng);
+    config.dispatchPaths = width(rng) > 2 ? 2 : 1;
+    config.poolEntries = pool(rng);
+    config.branchTakenPenalty = penalty(rng);
+    config.branchUntakenPenalty = 1 + penalty(rng) % 4;
+    config.predictedTakenPenalty = penalty(rng) % 4;
+    config.mispredictPenalty = penalty(rng);
+    return config;
+}
+
+} // namespace
+
+TEST_P(FuzzSeeds, ResourceBoundIsSoundUnderRandomConfigs)
+{
+    // The certified bound must hold for *every* core under *every*
+    // valid configuration, not just the CRAY-1 defaults the rest of the
+    // suite exercises: randomize unit counts, bus/commit widths,
+    // latencies, and branch penalties, and require measured cycles to
+    // stay at or above the floor everywhere. The dependence-only PR 2
+    // bound must never exceed the resource-aware one.
+    Workload w = workload();
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 4073 +
+                        57);
+    for (int trial = 0; trial < 3; ++trial) {
+        UarchConfig config = randomBoundConfig(rng);
+        ASSERT_EQ(config.validate(), "");
+        lint::ResourceBound bound =
+            lint::resourceBound(w.trace(), config);
+        EXPECT_GE(bound.cycles, bound.dataflow.cycles) << w.name;
+        for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                              CoreKind::Rstu, CoreKind::Ruu,
+                              CoreKind::SpecRuu, CoreKind::History}) {
+            auto core = makeCore(kind, config);
+            RunResult run = core->run(w.trace());
+            EXPECT_GE(run.cycles, bound.cycles)
+                << core->name() << " beat the " << bound.bindingName()
+                << " floor on " << w.name << " (trial " << trial << ")";
+        }
+    }
+}
+
+TEST_P(FuzzSeeds, ResourceBoundIsMonotoneUnderRandomConfigs)
+{
+    // Adding resources (units, buses, commit slots) can only lower or
+    // keep the bound; slowing the machine (latencies, penalties) can
+    // only raise or keep it. Both directions are fuzzed from a random
+    // starting configuration.
+    Workload w = workload();
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2917 +
+                        71);
+    std::uniform_int_distribution<unsigned> bump(1, 3);
+    for (int trial = 0; trial < 3; ++trial) {
+        UarchConfig base = randomBoundConfig(rng);
+        ASSERT_EQ(base.validate(), "");
+        std::uint64_t baseline =
+            lint::resourceBound(w.trace(), base).cycles;
+
+        UarchConfig richer = base;
+        for (unsigned i = 0; i < kNumFuKinds; ++i)
+            richer.fuCount[i] = std::min(8u, base.fuCount[i] + bump(rng));
+        richer.resultBuses = std::min(4u, base.resultBuses + bump(rng));
+        richer.commitWidth = std::min(4u, base.commitWidth + bump(rng));
+        ASSERT_EQ(richer.validate(), "");
+        EXPECT_LE(lint::resourceBound(w.trace(), richer).cycles,
+                  baseline)
+            << w.name << ": adding resources raised the bound";
+
+        UarchConfig slower = base;
+        for (unsigned i = 0; i < kNumFuKinds - 1; ++i)
+            slower.fuLatency[i] = base.fuLatency[i] + bump(rng);
+        slower.storeLatency = base.storeLatency + bump(rng);
+        slower.forwardLatency = base.forwardLatency + bump(rng);
+        slower.branchTakenPenalty = base.branchTakenPenalty + bump(rng);
+        slower.predictedTakenPenalty =
+            base.predictedTakenPenalty + bump(rng);
+        slower.mispredictPenalty = base.mispredictPenalty + bump(rng);
+        ASSERT_EQ(slower.validate(), "");
+        EXPECT_GE(lint::resourceBound(w.trace(), slower).cycles,
+                  baseline)
+            << w.name << ": slowing the machine lowered the bound";
     }
 }
 

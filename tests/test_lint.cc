@@ -334,7 +334,134 @@ TEST(LintStrict, WarningsDoNotStopStrictBuilds)
     EXPECT_EQ(p.size(), 3u);
 }
 
+// --- RUU-W301 / RUU-W302: interrupt windows and RTI placement ---------
+
+TEST(LintIntWindow, DintReachingHaltWarns)
+{
+    ProgramBuilder b("open_window");
+    b.dint();
+    b.smovi(regS(1), 1);
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::IntWindowUnbalanced));
+}
+
+TEST(LintIntWindow, BalancedWindowIsQuiet)
+{
+    ProgramBuilder b("balanced");
+    b.dint();
+    b.smovi(regS(1), 1);
+    b.eint();
+    b.halt();
+    EXPECT_FALSE(has(lint::analyze(b.build()),
+                     Check::IntWindowUnbalanced));
+}
+
+TEST(LintIntWindow, MayAnalysisCatchesOnePathLeftOpen)
+{
+    // One branch path closes the window, the other doesn't; the
+    // may-open dataflow must still warn at the shared HALT.
+    ProgramBuilder b("one_path");
+    b.amovi(regA(0), 1);
+    b.dint();
+    b.jan("skip"); // taken path: HALT with the window open
+    b.eint();
+    b.label("skip");
+    b.halt();
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::IntWindowUnbalanced));
+
+    // Closing it on both paths silences the warning.
+    ProgramBuilder c("both_paths");
+    c.amovi(regA(0), 1);
+    c.dint();
+    c.jan("skip");
+    c.nop();
+    c.label("skip");
+    c.eint();
+    c.halt();
+    EXPECT_FALSE(has(lint::analyze(c.build()),
+                     Check::IntWindowUnbalanced));
+}
+
+TEST(LintIntWindow, HandlerEndingInRtiIsExempt)
+{
+    // A handler may end inside its own DINT window: RTI restores the
+    // interrupted status word, so nothing is left disabled.
+    ProgramBuilder b("handler_window");
+    b.handler();
+    b.eint();
+    b.smovi(regS(1), 1);
+    b.dint();
+    b.rti();
+    auto diags = lint::analyze(b.build());
+    EXPECT_FALSE(has(diags, Check::IntWindowUnbalanced));
+    EXPECT_FALSE(has(diags, Check::RtiOutsideHandler));
+}
+
+TEST(LintRti, RtiOutsideHandlerWarns)
+{
+    ProgramBuilder b("stray_rti");
+    b.smovi(regS(1), 1);
+    b.rti();
+    auto diags = lint::analyze(b.build());
+    EXPECT_TRUE(has(diags, Check::RtiOutsideHandler));
+
+    // The same program marked as a handler is fine.
+    ProgramBuilder c("marked");
+    c.handler();
+    c.smovi(regS(1), 1);
+    c.rti();
+    EXPECT_FALSE(has(lint::analyze(c.build()),
+                     Check::RtiOutsideHandler));
+}
+
+TEST(LintRti, UnreachableRtiIsNotFlagged)
+{
+    ProgramBuilder b("dead_rti");
+    b.halt();
+    b.rti(); // unreachable: W101's business, not W302's
+    auto diags = lint::analyze(b.build());
+    EXPECT_FALSE(has(diags, Check::RtiOutsideHandler));
+    EXPECT_TRUE(has(diags, Check::UnreachableCode));
+}
+
 // --- assembler integration --------------------------------------------
+
+TEST(LintAsm, HandlerDirectiveMarksTheProgram)
+{
+    const char *source = ".program handler\n"
+                         ".handler\n"
+                         "  mfcause S1\n"
+                         "  rti\n";
+    AsmResult assembled = assemble(source, "test");
+    ASSERT_TRUE(assembled.ok());
+    EXPECT_TRUE(assembled.program->isHandler());
+    EXPECT_FALSE(has(lint::analyze(*assembled.program),
+                     Check::RtiOutsideHandler));
+
+    // Without the directive the same text draws RUU-W302.
+    const char *bare = ".program handler\n"
+                       "  mfcause S1\n"
+                       "  rti\n";
+    AsmResult unmarked = assemble(bare, "test");
+    ASSERT_TRUE(unmarked.ok());
+    EXPECT_FALSE(unmarked.program->isHandler());
+    EXPECT_TRUE(has(lint::analyze(*unmarked.program),
+                    Check::RtiOutsideHandler));
+}
+
+TEST(LintAsm, WindowWarningIsSuppressible)
+{
+    const char *source = ".program masked\n"
+                         "  dint\n"
+                         ".lint allow unbalanced_int_window\n"
+                         "  halt\n";
+    AsmResult assembled = assemble(source, "test");
+    ASSERT_TRUE(assembled.ok());
+    EXPECT_FALSE(has(lint::analyze(*assembled.program),
+                     Check::IntWindowUnbalanced));
+}
 
 TEST(LintAsm, DirectiveSuppressesNextInstruction)
 {

@@ -5,7 +5,9 @@
  * helpers, and the engine's central contract — parallel output is
  * byte-identical to serial output — pinned end to end for the pool-size
  * sweep, the interrupt sweep, and the fault-injection journal. Also
- * pins the dataflow-bound memo actually hitting across a sweep.
+ * pins the bound memos (dataflow and resource) actually hitting across
+ * a sweep, and bound-guided pruning leaving simulated points
+ * byte-identical.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +21,7 @@
 
 #include "inject/campaign.hh"
 #include "lint/dataflow_bound.hh"
+#include "lint/resource_bound.hh"
 #include "oracle/sweep.hh"
 #include "par/pool.hh"
 #include "sim/experiment.hh"
@@ -281,28 +284,108 @@ TEST(Determinism, InjectJournalIsByteIdenticalAtAnyJobCount)
 }
 
 // ---------------------------------------------------------------------
-// The dataflow-bound memo (the sweep hot path)
+// The resource-bound memo (the sweep hot path)
 
 TEST(BoundCache, SweepHitsTheMemo)
 {
     std::vector<Workload> workloads = {sweepWorkload(41)};
-    lint::BoundCacheStats before = lint::boundCacheStats();
+    // Counters are process-global; a parallel test runner (or the other
+    // tests in this binary) may bump them concurrently, so assert on
+    // deltas and lower bounds only.
+    lint::BoundCacheStats before = lint::resourceBoundCacheStats();
 
     // Every run in the sweep asserts the bound for the same (trace,
-    // latency-config) key; only the first compute may miss.
+    // resource-config) key — poolEntries is excluded from the key — so
+    // only the first compute may miss.
     par::Pool pool(4);
     AggregateResult base = runSuite(
         CoreKind::Simple, UarchConfig::cray1(), workloads, &pool);
     sweepPoolSize(CoreKind::Ruu, UarchConfig::cray1(), {3, 8, 15},
                   workloads, base.cycles, &pool);
 
-    lint::BoundCacheStats after = lint::boundCacheStats();
+    lint::BoundCacheStats after = lint::resourceBoundCacheStats();
     std::uint64_t lookups = after.lookups - before.lookups;
     std::uint64_t hits = after.hits - before.hits;
-    // 1 baseline run + 3 sweep points on one workload: 4 lookups, and
-    // at most one compute.
-    EXPECT_GE(lookups, 4u);
+    // 1 baseline run + 1 per-workload sweep bound + 3 sweep points on
+    // one workload: 5 lookups, and at most one compute.
+    EXPECT_GE(lookups, 5u);
     EXPECT_GE(hits, lookups - 1);
+}
+
+TEST(BoundCache, SweepMemoHitsUnderManyWorkers)
+{
+    // The regression this pins: the memo's counters were only ever
+    // exercised serially, so a racy lookup/hit path would go unnoticed.
+    // Hammer one key from an 8-worker pool; every lookup past the first
+    // compute must hit, and the totals must stay coherent.
+    Workload workload = sweepWorkload(51);
+    UarchConfig config = UarchConfig::cray1();
+    // Distinct resultBuses value keeps this key private to the test,
+    // so the first lookup below is the key's first ever compute.
+    config.resultBuses = 3;
+    const lint::ResourceBound &warm =
+        lint::cachedResourceBound(workload.trace(), config);
+    lint::BoundCacheStats before = lint::resourceBoundCacheStats();
+
+    constexpr std::size_t kJobs = 32;
+    par::Pool pool(8);
+    std::vector<const lint::ResourceBound *> seen(kJobs);
+    pool.forEachIndexed(kJobs, [&](std::size_t job, unsigned) {
+        seen[job] =
+            &lint::cachedResourceBound(workload.trace(), config);
+    });
+
+    lint::BoundCacheStats after = lint::resourceBoundCacheStats();
+    // The key was warmed above, so every concurrent lookup must hit
+    // (>= rather than == because other suites share the counters).
+    EXPECT_GE(after.lookups - before.lookups, kJobs);
+    EXPECT_GE(after.hits - before.hits, kJobs);
+    for (const lint::ResourceBound *bound : seen)
+        EXPECT_EQ(bound, &warm); // one stable cached entry
+}
+
+TEST(Determinism, PrunedSweepSimulatedPointsAreByteIdentical)
+{
+    std::vector<Workload> workloads = {sweepWorkload(61),
+                                       sweepWorkload(62),
+                                       sweepWorkload(63)};
+    // Sizes far past saturation for these tiny loops: the pruner must
+    // find a floor hit or plateau and derive the tail.
+    std::vector<unsigned> sizes = {32, 48, 64, 80, 96};
+
+    AggregateResult base = runSuite(
+        CoreKind::Simple, UarchConfig::cray1(), workloads, nullptr);
+
+    SweepOptions off;
+    auto full = sweepPoolSize(CoreKind::Ruu, UarchConfig::cray1(), sizes,
+                              workloads, base.cycles, nullptr, off);
+
+    SweepOptions on;
+    on.prune = true;
+    par::Pool pool(8);
+    auto pruned = sweepPoolSize(CoreKind::Ruu, UarchConfig::cray1(),
+                                sizes, workloads, base.cycles, &pool, on);
+
+    ASSERT_EQ(pruned.size(), full.size());
+    std::size_t full_sims = 0;
+    std::size_t pruned_sims = 0;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        // The pruning contract: derived points reproduce what the
+        // simulation would have said, so the whole table matches the
+        // unpruned sweep byte for byte.
+        EXPECT_EQ(pruned[i].entries, full[i].entries);
+        EXPECT_EQ(pruned[i].total.cycles, full[i].total.cycles);
+        EXPECT_EQ(pruned[i].total.instructions,
+                  full[i].total.instructions);
+        EXPECT_EQ(pruned[i].speedup, full[i].speedup);
+        EXPECT_EQ(full[i].simulated, workloads.size());
+        EXPECT_FALSE(full[i].derived);
+        full_sims += full[i].simulated;
+        pruned_sims += pruned[i].simulated;
+    }
+    // Saturated sizes: pruning must actually skip simulations.
+    EXPECT_LT(pruned_sims, full_sims);
+    EXPECT_TRUE(pruned.back().derived);
 }
 
 TEST(BoundCache, CachedBoundMatchesDirectComputation)
