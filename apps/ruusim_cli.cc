@@ -44,7 +44,9 @@
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
 #include "lint/analyze.hh"
+#include "lint/bound_summary.hh"
 #include "lint/resource_bound.hh"
+#include "lint/wcirt.hh"
 #include "oracle/verify.hh"
 #include "par/pool.hh"
 #include "sim/experiment.hh"
@@ -480,15 +482,29 @@ cmdAnalyze(const Cli &cli)
 
     TextTable table({"Workload", "Records", "Bound", "DepBound",
                      "Decode", "Schedule", "FU", "Bus", "Commit",
-                     "Binding", "Estimate"});
-    table.setTitle("analyze: certified resource bound per workload "
-                   "(cycles; estimate is M/M/m, not certified)");
+                     "Binding", "Estimate", "WCIRT", "%Ceiling"});
+    table.setTitle(std::string("analyze: certified resource bound per "
+                               "workload (cycles; estimate is M/M/m, "
+                               "not certified; WCIRT: interrupt "
+                               "delivery ceiling on ") +
+                   coreKindName(cli.core) + ", % of segment ceiling)");
     table.setAlign(0, Align::Left);
     table.setAlign(9, Align::Left);
 
     for (const auto &workload : workloads) {
         const lint::ResourceBound &bound =
             lint::cachedResourceBound(workload.trace(), cli.config);
+        // The dual ceiling (lint/wcirt.hh): worst-case interrupt
+        // delivery on the selected scheme, handler-independent here.
+        static const Program kNoHandler;
+        const lint::WcirtBound &wcirt = lint::cachedWcirtBound(
+            workload.trace(), kNoHandler, cli.config, cli.core);
+        const std::uint64_t segCeil = wcirt.segmentCeiling();
+        const double pctSeg =
+            segCeil && segCeil != lint::kWcirtUnbounded
+                ? 100.0 * static_cast<double>(wcirt.cycles) /
+                      static_cast<double>(segCeil)
+                : 0.0;
         std::uint64_t fuMax = 0;
         for (std::uint64_t floor : bound.breakdown.fuClass)
             fuMax = std::max(fuMax, floor);
@@ -500,7 +516,10 @@ cmdAnalyze(const Cli &cli)
                 "\"fu_class_max\": %llu, \"result_bus\": %llu, "
                 "\"commit\": %llu, \"binding\": \"%s\", "
                 "\"estimate_cycles\": %.2f, "
-                "\"estimate_occupancy\": %.4f}\n",
+                "\"estimate_occupancy\": %.4f, "
+                "\"wcirt_core\": \"%s\", \"wcirt\": %llu, "
+                "\"wcirt_cut\": %llu, \"wcirt_segment\": %llu, "
+                "\"wcirt_pct_of_segment\": %.2f}\n",
                 workload.name.c_str(),
                 workload.trace().records().size(),
                 static_cast<unsigned long long>(bound.cycles),
@@ -513,7 +532,10 @@ cmdAnalyze(const Cli &cli)
                     bound.breakdown.resultBus),
                 static_cast<unsigned long long>(bound.breakdown.commit),
                 bound.bindingName().c_str(), bound.estimateCycles,
-                bound.estimateOccupancy);
+                bound.estimateOccupancy, coreKindName(cli.core),
+                static_cast<unsigned long long>(wcirt.cycles),
+                static_cast<unsigned long long>(wcirt.breakdown.cut),
+                static_cast<unsigned long long>(segCeil), pctSeg);
         } else {
             table.addRow(
                 {workload.name,
@@ -527,11 +549,18 @@ cmdAnalyze(const Cli &cli)
                  TextTable::fmt(bound.breakdown.resultBus),
                  TextTable::fmt(bound.breakdown.commit),
                  bound.bindingName(),
-                 TextTable::fmt(bound.estimateCycles, 1)});
+                 TextTable::fmt(bound.estimateCycles, 1),
+                 TextTable::fmt(wcirt.cycles),
+                 TextTable::fmt(pctSeg, 1)});
         }
     }
-    if (!cli.json)
+    if (!cli.json) {
         std::printf("%s", table.render().c_str());
+        std::printf("%s\n",
+                    lint::formatBoundSummary(
+                        lint::summarizeBounds(workloads, cli.config))
+                        .c_str());
+    }
     return 0;
 }
 
@@ -559,16 +588,18 @@ cmdVerify(const Cli &cli)
 
     std::vector<std::string> headers = {"Workload", "Core",   "Cycles",
                                         "Bound",    "%Limit", "Binding",
-                                        "Oracle"};
+                                        "WCIRT",    "Oracle"};
     if (cli.interruptSweep) {
         headers.push_back("Sweep");
         headers.push_back("Precise");
+        headers.push_back("%Ceil");
     }
     TextTable table(std::move(headers));
     table.setTitle(cli.interruptSweep
                        ? "verify: commit oracle + resource bound + "
-                         "interrupt sweep"
-                       : "verify: commit oracle + resource bound");
+                         "WCIRT ceiling + interrupt sweep"
+                       : "verify: commit oracle + resource bound + "
+                         "WCIRT ceiling");
     table.setAlign(0, Align::Left);
     table.setAlign(1, Align::Left);
     table.setAlign(5, Align::Left);
@@ -585,6 +616,7 @@ cmdVerify(const Cli &cli)
                 TextTable::fmt(vc.bound.cycles),
                 TextTable::fmt(vc.pctOfLimit, 1),
                 vc.bound.bindingName(),
+                TextTable::fmt(vc.wcirt.cycles),
                 vc.oracleOk && vc.matchesFunc && vc.boundOk ? "ok"
                                                             : "FAIL",
             };
@@ -597,6 +629,7 @@ cmdVerify(const Cli &cli)
                 row.push_back(
                     TextTable::fmt(100.0 * vc.sweep.preciseFraction(),
                                    0) + "%");
+                row.push_back(TextTable::fmt(vc.pctOfWcirt, 1));
             }
             table.addRow(std::move(row));
             if (!vc.ok) {
@@ -609,6 +642,10 @@ cmdVerify(const Cli &cli)
         }
     }
     std::printf("%s", table.render().c_str());
+    std::printf("%s\n",
+                lint::formatBoundSummary(
+                    lint::summarizeBounds(workloads, cli.config))
+                    .c_str());
     if (!ok)
         std::fprintf(stderr, "verify FAILED: %s\n",
                      firstFailure.c_str());
@@ -752,9 +789,10 @@ cmdStorm(const Cli &cli)
     }
 
     TextTable table({"Workload", "Core", "K", "Deliveries", "Hdl mean",
-                     "Hdl max", "Cycles", "Degrade%", "Check"});
+                     "Hdl max", "Cycles", "Degrade%", "WCIRT", "%Ceil",
+                     "Check"});
     table.setTitle("interrupt storm: periodic external interrupts, "
-                   "counter handler, oracle + replay checked");
+                   "counter handler, oracle + replay + WCIRT checked");
     table.setAlign(0, Align::Left);
     table.setAlign(1, Align::Left);
 
@@ -768,6 +806,7 @@ cmdStorm(const Cli &cli)
         std::vector<std::vector<std::string>> rows;
         std::vector<std::string> jsonLines;
         std::string firstFailure; //!< empty: every period checked out
+        std::size_t prunedRuns = 0; //!< periods derived, not simulated
     };
 
     par::Pool pool(cli.jobs);
@@ -793,35 +832,69 @@ cmdStorm(const Cli &cli)
             tconfig.memoryWords = 1u << 16;
         }
 
+        // Pin the handler program so the controller and the pruning
+        // decision below share one cached WCIRT bound entry.
+        auto handlerProg =
+            std::make_shared<const Program>(trap::counterHandler());
+        tconfig.handler = handlerProg;
+        lint::WcirtParams wparams;
+        wparams.exchangeCycles = tconfig.exchangeCycles;
+        wparams.maxLevels = tconfig.layout.maxLevels;
+        const lint::WcirtBound &bound = lint::cachedWcirtBound(
+            workload.trace(), *handlerProg, cli.config, kind, wparams);
+        const std::uint64_t segCeil = bound.segmentCeiling();
+
         auto core = makeCore(kind, cli.config);
         RunResult baseline = core->run(workload.trace());
 
         for (Cycle period : periods) {
-            trap::TrapController controller(*core, tconfig);
-            auto res = controller.run(
-                workload.trace(),
-                trap::InterruptSource::periodic(period, 1));
+            // An arrival period past the certified segment ceiling can
+            // never tick before the run completes: the row is derived,
+            // byte-identical to the simulation it skips (--no-prune
+            // forces the run; kWcirtUnbounded never satisfies the >).
+            const bool pruned = !cli.noPrune && period > segCeil;
+            trap::TrapRunResult res;
+            bool good = true;
+            std::string why;
+            if (pruned) {
+                ++out.prunedRuns;
+                res.completed = true;
+                res.cycles = baseline.cycles;
+                res.instructions = baseline.instructions;
+                res.wcirtCeiling = bound.cycles;
+            } else {
+                trap::TrapController controller(*core, tconfig);
+                res = controller.run(
+                    workload.trace(),
+                    trap::InterruptSource::periodic(period, 1));
 
-            bool good = res.ok();
-            std::string why = res.error;
-            if (good && !res.oracleFailure.empty()) {
-                good = false;
-                why = res.oracleFailure;
-            }
-            if (good) {
-                auto replay = trap::replayFunctional(
-                    workload.program, tconfig, res.deliveries);
-                if (!replay.ok) {
+                good = res.ok();
+                why = res.error;
+                if (good && !res.oracleFailure.empty()) {
                     good = false;
-                    why = replay.error;
-                } else if (replay.state != res.state ||
-                           replay.memory != res.memory ||
-                           replay.trapRegs != res.trapRegs) {
-                    good = false;
-                    why = "timing run and functional replay "
-                          "disagree on the final state";
+                    why = res.oracleFailure;
+                }
+                if (good) {
+                    auto replay = trap::replayFunctional(
+                        workload.program, tconfig, res.deliveries);
+                    if (!replay.ok) {
+                        good = false;
+                        why = replay.error;
+                    } else if (replay.state != res.state ||
+                               replay.memory != res.memory ||
+                               replay.trapRegs != res.trapRegs) {
+                        good = false;
+                        why = "timing run and functional replay "
+                              "disagree on the final state";
+                    }
                 }
             }
+            const double pctCeil =
+                res.wcirtCeiling
+                    ? 100.0 *
+                          static_cast<double>(res.maxDeliveryLatency) /
+                          static_cast<double>(res.wcirtCeiling)
+                    : 0.0;
             double degrade =
                 baseline.cycles
                     ? 100.0 *
@@ -837,7 +910,10 @@ cmdStorm(const Cli &cli)
                     "\"handler_mean_cycles\": %.2f, "
                     "\"handler_max_cycles\": %llu, "
                     "\"cycles\": %llu, \"baseline_cycles\": %llu, "
-                    "\"degradation_pct\": %.2f, \"ok\": %s}",
+                    "\"degradation_pct\": %.2f, \"wcirt\": %llu, "
+                    "\"max_delivery_latency\": %llu, "
+                    "\"pct_ceiling\": %.2f, \"ok\": %s, "
+                    "\"pruned\": %s}",
                     workload.name.c_str(), coreKindName(kind),
                     static_cast<unsigned long long>(period),
                     res.deliveries.size(), res.meanHandlerCycles(),
@@ -845,7 +921,12 @@ cmdStorm(const Cli &cli)
                         res.maxHandlerCycles()),
                     static_cast<unsigned long long>(res.cycles),
                     static_cast<unsigned long long>(baseline.cycles),
-                    degrade, good ? "true" : "false"));
+                    degrade,
+                    static_cast<unsigned long long>(res.wcirtCeiling),
+                    static_cast<unsigned long long>(
+                        res.maxDeliveryLatency),
+                    pctCeil, good ? "true" : "false",
+                    pruned ? "true" : "false"));
             } else {
                 out.rows.push_back(
                     {workload.name, coreKindName(kind),
@@ -857,6 +938,8 @@ cmdStorm(const Cli &cli)
                          std::uint64_t{res.maxHandlerCycles()}),
                      TextTable::fmt(res.cycles),
                      TextTable::fmt(degrade, 1),
+                     TextTable::fmt(res.wcirtCeiling),
+                     TextTable::fmt(pctCeil, 1),
                      good ? "ok" : "FAIL"});
             }
             if (!good && out.firstFailure.empty()) {
@@ -870,6 +953,7 @@ cmdStorm(const Cli &cli)
 
     bool ok = true;
     std::string firstFailure;
+    std::size_t prunedRuns = 0;
     par::mapReduce<StormCell>(
         &pool, cells, 0, runCell,
         [&](int &, StormCell &cell, std::size_t) {
@@ -877,6 +961,7 @@ cmdStorm(const Cli &cli)
                 std::printf("%s\n", line.c_str());
             for (auto &row : cell.rows)
                 table.addRow(std::move(row));
+            prunedRuns += cell.prunedRuns;
             if (!cell.firstFailure.empty()) {
                 ok = false;
                 if (firstFailure.empty())
@@ -887,9 +972,16 @@ cmdStorm(const Cli &cli)
         std::printf("%s", table.render().c_str());
     if (!ok)
         std::fprintf(stderr, "storm FAILED: %s\n", firstFailure.c_str());
-    else if (!cli.json)
+    else if (!cli.json) {
         std::printf("storm: all runs serviced, oracle-checked, and "
                     "replayed bit-exactly\n");
+        if (prunedRuns) {
+            std::printf("storm: derived %zu run(s) past the certified "
+                        "segment ceiling (--no-prune to simulate "
+                        "them)\n",
+                        prunedRuns);
+        }
+    }
     return ok ? 0 : 1;
 }
 

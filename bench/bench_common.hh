@@ -10,11 +10,10 @@
 #define RUU_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "lint/resource_bound.hh"
+#include "lint/bound_summary.hh"
 #include "par/pool.hh"
 #include "sim/machine.hh"
 
@@ -54,34 +53,10 @@ inline void
 printBoundSummary(const std::vector<Workload> &workloads,
                   const UarchConfig &config)
 {
-    std::uint64_t certified = 0, dependence = 0;
-    std::map<std::string, unsigned> bindings;
-    for (const Workload &workload : workloads) {
-        const lint::ResourceBound &bound =
-            lint::cachedResourceBound(workload.trace(), config);
-        certified += bound.cycles;
-        dependence += bound.dataflow.cycles;
-        ++bindings[bound.bindingName()];
-    }
-    double tightened =
-        dependence ? 100.0 *
-                         (static_cast<double>(certified) -
-                          static_cast<double>(dependence)) /
-                         static_cast<double>(dependence)
-                   : 0.0;
-    std::string byResource;
-    for (const auto &[name, count] : bindings) {
-        if (!byResource.empty())
-            byResource += ", ";
-        byResource += name + " x" + std::to_string(count);
-    }
-    std::printf("static bound: %llu cycles certified over %zu "
-                "workload(s) (dependence-only %llu, +%.1f%%); "
-                "binding: %s\n\n",
-                static_cast<unsigned long long>(certified),
-                workloads.size(),
-                static_cast<unsigned long long>(dependence), tightened,
-                byResource.c_str());
+    std::printf("%s\n\n",
+                lint::formatBoundSummary(
+                    lint::summarizeBounds(workloads, config))
+                    .c_str());
 }
 
 } // namespace ruu::benchsupport

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# WCIRT smoke for CI: four gates around lint/wcirt.
+#
+#   1. `ruusim analyze suite` must certify a *finite* WCIRT ceiling for
+#      every shipped kernel (wcirt, wcirt_cut, wcirt_segment all
+#      present and positive), and the derived watchdog budget
+#      (4 * segment ceiling + headroom) must be strictly tighter than
+#      the legacy 2-billion-cycle per-segment constant everywhere.
+#   2. `ruusim storm` must pass with the in-run soundness assertions
+#      armed: every delivery's drain residue is asserted against the
+#      certified cut inside the run (a violation is fatal), and every
+#      reported row must have max_delivery_latency <= wcirt.
+#   3. Ceiling-guided storm pruning must be invisible in the data: a
+#      pruned storm's rows must be byte-identical to the --no-prune run
+#      at a *different* job count once the bookkeeping "pruned" field
+#      is stripped, and at least one period must actually be derived.
+#   4. The per-kernel ceilings are recorded to BENCH_wcirt.json so
+#      tightness is tracked over time.
+#
+#   usage: scripts/ci_wcirt_smoke.sh <ruusim-binary> [workdir] [outfile]
+#
+# Exit nonzero on the first violated gate.
+set -euo pipefail
+
+RUUSIM=${1:?usage: $0 <ruusim-binary> [workdir] [outfile]}
+WORKDIR=${2:-$(mktemp -d)}
+OUT=${3:-$WORKDIR/BENCH_wcirt.json}
+JOBS=${RUU_PERF_JOBS:-4}
+STORM_KERNEL=${RUU_STORM_KERNEL:-lll03}
+STORM_POINTS=${RUU_STORM_POINTS:-4}
+mkdir -p "$WORKDIR"
+
+# The legacy per-segment watchdog constant (TrapConfig default) the
+# derived budgets must strictly beat.
+LEGACY_WATCHDOG=2000000000
+WATCHDOG_SLACK=4
+WATCHDOG_HEADROOM=1024
+
+echo "== analyze suite: WCIRT ceiling finite and tighter than the legacy watchdog"
+"$RUUSIM" analyze suite --json > "$WORKDIR/analyze.jsonl"
+awk -v legacy="$LEGACY_WATCHDOG" -v slack="$WATCHDOG_SLACK" \
+    -v headroom="$WATCHDOG_HEADROOM" '
+    {
+        wcirt = -1; cut = -1; segment = -1
+        if (match($0, /"wcirt": [0-9]+/))
+            wcirt = substr($0, RSTART + 9, RLENGTH - 9) + 0
+        if (match($0, /"wcirt_cut": [0-9]+/))
+            cut = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        if (match($0, /"wcirt_segment": [0-9]+/))
+            segment = substr($0, RSTART + 17, RLENGTH - 17) + 0
+        if (wcirt <= 0 || cut <= 0 || segment <= 0) {
+            print "missing or non-finite WCIRT fields: " $0 > "/dev/stderr"
+            exit 1
+        }
+        if (wcirt <= cut) {
+            print "ceiling must exceed the cut (exchange term): " $0 \
+                > "/dev/stderr"
+            exit 1
+        }
+        derived = (segment + cut) * slack + headroom
+        if (derived >= legacy) {
+            printf "derived watchdog %d not tighter than legacy %d: %s\n", \
+                   derived, legacy, $0 > "/dev/stderr"
+            exit 1
+        }
+        total++
+        if (derived > worst) worst = derived
+    }
+    END {
+        if (total == 0) {
+            print "analyze suite produced no kernels" > "/dev/stderr"
+            exit 1
+        }
+        printf "  %d kernels finite; worst derived watchdog %d (legacy %d)\n", \
+               total, worst, legacy
+    }
+' "$WORKDIR/analyze.jsonl"
+
+echo "== storm $STORM_KERNEL: in-run soundness assertions + reported ceilings"
+"$RUUSIM" storm "$STORM_KERNEL" --points "$STORM_POINTS" --json \
+    -j"$JOBS" > "$WORKDIR/storm.jsonl"
+awk '
+    {
+        wcirt = -1; lat = -1
+        if (match($0, /"wcirt": [0-9]+/))
+            wcirt = substr($0, RSTART + 9, RLENGTH - 9) + 0
+        if (match($0, /"max_delivery_latency": [0-9]+/))
+            lat = substr($0, RSTART + 24, RLENGTH - 24) + 0
+        if (wcirt <= 0 || lat < 0 || lat > wcirt) {
+            print "delivery latency above the certified ceiling: " $0 \
+                > "/dev/stderr"
+            exit 1
+        }
+        if ($0 !~ /"ok": true/) {
+            print "storm row failed its checks: " $0 > "/dev/stderr"
+            exit 1
+        }
+        total++
+    }
+    END {
+        if (total == 0) {
+            print "storm produced no rows" > "/dev/stderr"
+            exit 1
+        }
+        printf "  %d storm rows, every delivery under its ceiling\n", total
+    }
+' "$WORKDIR/storm.jsonl"
+
+echo "== storm pruning: pruned vs --no-prune data must be byte-identical"
+# A short straight-line program whose segment ceiling sits far below
+# the long storm periods, so the later points are provably delivery-
+# free and get derived instead of simulated.
+cat > "$WORKDIR/short.s" <<'EOF'
+.program short
+    amovi A1, 0
+    smovi S1, 1
+    smovi S2, 2
+    sadd S3, S1, S2
+    sts 2000(A1), S3
+    halt
+EOF
+strip_bookkeeping() {
+    sed -E 's/, "pruned": (true|false)//' "$1"
+}
+"$RUUSIM" storm "$WORKDIR/short.s" --points 6 --json \
+    -j"$JOBS" > "$WORKDIR/storm_pruned.jsonl"
+"$RUUSIM" storm "$WORKDIR/short.s" --points 6 --json \
+    --no-prune -j1 > "$WORKDIR/storm_full.jsonl"
+strip_bookkeeping "$WORKDIR/storm_pruned.jsonl" > "$WORKDIR/pruned_data.jsonl"
+strip_bookkeeping "$WORKDIR/storm_full.jsonl" > "$WORKDIR/full_data.jsonl"
+if ! cmp -s "$WORKDIR/pruned_data.jsonl" "$WORKDIR/full_data.jsonl"; then
+    echo "pruned storm data differs from --no-prune:" >&2
+    diff "$WORKDIR/pruned_data.jsonl" "$WORKDIR/full_data.jsonl" | head >&2
+    exit 1
+fi
+derived=$(grep -c '"pruned": true' "$WORKDIR/storm_pruned.jsonl" || true)
+full_pruned=$(grep -c '"pruned": true' "$WORKDIR/storm_full.jsonl" || true)
+echo "  short.s: $derived runs derived past the segment ceiling" \
+     "(--no-prune derived $full_pruned)"
+if [ "$derived" -lt 1 ]; then
+    echo "pruning derived no runs; the gate is not exercising it" >&2
+    exit 1
+fi
+if [ "$full_pruned" -ne 0 ]; then
+    echo "--no-prune still derived $full_pruned runs" >&2
+    exit 1
+fi
+
+{
+    echo "{"
+    echo "  \"bench\": \"wcirt_smoke\","
+    echo "  \"storm_kernel\": \"$STORM_KERNEL\","
+    echo "  \"storm_pruned_runs\": $derived,"
+    echo "  \"ceilings\": ["
+    total=$(wc -l < "$WORKDIR/analyze.jsonl")
+    n=0
+    while IFS= read -r line; do
+        n=$((n + 1))
+        sep=","
+        [ "$n" -eq "$total" ] && sep=""
+        echo "    $line$sep"
+    done < "$WORKDIR/analyze.jsonl"
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+echo "== wcirt smoke passed; ceilings written to $OUT"

@@ -117,6 +117,16 @@ struct RunResult
     ParcelAddr faultPc = 0;
 
     /**
+     * Cycle the drain to the stopping point began: the first cycle the
+     * decode stage observed the interrupt stop condition, or the cycle
+     * a synchronous fault was detected in its unit — whichever came
+     * first. kNoCycle when the run ended without either. The measured
+     * residue `cycles - drainStartCycle` is asserted against the
+     * certified WCIRT cut ceiling (lint/wcirt.hh) on every delivery.
+     */
+    Cycle drainStartCycle = kNoCycle;
+
+    /**
      * Register state at the end of the run. For the RUU this is the
      * precise committed state; for the imprecise cores it is whatever
      * the register file contains when the machine stops.

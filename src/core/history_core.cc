@@ -311,6 +311,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     h.done = true;
                     h.faulted = true;
                     fault_seen = true;
+                    if (result.drainStartCycle == kNoCycle)
+                        result.drainStartCycle = cycle;
                     if (e.isMem())
                         load_regs.complete(
                             static_cast<unsigned>(e.loadReg));
@@ -420,6 +422,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
         const bool irq_stop = options.interruptAt != kNoCycle &&
                               cycle >= options.interruptAt &&
                               decode_seq >= options.interruptMinSeq;
+        if (irq_stop && result.drainStartCycle == kNoCycle)
+            result.drainStartCycle = cycle;
         if (!irq_stop && !halted && !draining &&
             decode_seq < records.size() && cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];

@@ -227,6 +227,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 result.faultSeq = e.seq;
                 result.faultPc = e.rec->pc;
                 fault_raised = true;
+                if (result.drainStartCycle == kNoCycle)
+                    result.drainStartCycle = cycle;
                 continue;
             }
 
@@ -301,6 +303,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         const bool irq_stop = options.interruptAt != kNoCycle &&
                               cycle >= options.interruptAt &&
                               decode_seq >= options.interruptMinSeq;
+        if (irq_stop && result.drainStartCycle == kNoCycle)
+            result.drainStartCycle = cycle;
         if (!irq_stop && !halted && decode_seq < records.size() &&
             cycle >= next_decode) {
             const TraceRecord &rec = records[decode_seq];

@@ -248,6 +248,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 // Detected in the unit; surfaced only when the entry
                 // reaches the head, keeping the interrupt precise.
                 e.faulted = true;
+                if (result.drainStartCycle == kNoCycle)
+                    result.drainStartCycle = cycle;
                 continue;
             }
 
@@ -360,6 +362,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         const bool irq_stop = options.interruptAt != kNoCycle &&
                               cycle >= options.interruptAt &&
                               decode_seq >= options.interruptMinSeq;
+        if (irq_stop && result.drainStartCycle == kNoCycle)
+            result.drainStartCycle = cycle;
 
         // ---- phase 5: decode and issue (one instruction per cycle) ------
         if (!irq_stop && decode_seq < records.size() &&

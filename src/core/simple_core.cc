@@ -101,6 +101,8 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             result.fault = Fault::Interrupt;
             result.faultSeq = seq;
             result.faultPc = record.pc;
+            if (result.drainStartCycle == kNoCycle)
+                result.drainStartCycle = next_issue;
             break;
         }
 
@@ -207,6 +209,8 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             result.faultSeq = seq;
             result.faultPc = record.pc;
             fault_cycle = completion;
+            if (result.drainStartCycle == kNoCycle)
+                result.drainStartCycle = completion;
             next_issue = t + 1;
             continue;
         }

@@ -308,6 +308,8 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
             last_event = cycle;
             if (e.rec && e.rec->fault != Fault::None) {
                 e.faulted = true;
+                if (result.drainStartCycle == kNoCycle)
+                    result.drainStartCycle = cycle;
                 continue;
             }
             // Stores broadcast the seq-based pseudo-tag resolveMemOp
@@ -447,6 +449,8 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         const bool irq_stop = options.interruptAt != kNoCycle &&
                               cycle >= options.interruptAt &&
                               decode_seq >= options.interruptMinSeq;
+        if (irq_stop && result.drainStartCycle == kNoCycle)
+            result.drainStartCycle = cycle;
         bool on_trace = !wp_active && decode_seq < records.size();
         bool on_wrong = wp_active && !wp_stuck;
         if (!irq_stop && (on_trace || on_wrong) && cycle >= next_decode) {

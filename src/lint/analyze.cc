@@ -54,6 +54,7 @@ class Analyzer
         checkLoopSaveRegStyle();
         checkInterruptWindows();
         checkRtiPlacement();
+        checkHandlerRunaway();
     }
 
   private:
@@ -515,6 +516,91 @@ class Analyzer
                        "kernels with `.handler` / "
                        "ProgramBuilder::handler()");
             }
+        }
+    }
+
+    // --- RUU-W303 ------------------------------------------------------
+
+    /**
+     * The dual of RUU-W302: inside a handler kernel every path must
+     * reach an RTI, or the handler can never return to the interrupted
+     * context (and the WCIRT handler-path bound, lint/wcirt.hh, is
+     * infinite). The dynamic guard is the trap controller's
+     * maxHandlerInstructions watchdog; this catches the runaway
+     * statically. Reported once per runaway region — at its first
+     * block — with the entry-to-block CFG path that enters it.
+     */
+    void
+    checkHandlerRunaway()
+    {
+        if (!_program.isHandler() || _cfg.size() == 0)
+            return;
+        const std::size_t nb = _cfg.size();
+
+        // canReach[b]: some path from b reaches an RTI instruction.
+        std::vector<char> can_reach(nb, 0);
+        for (std::size_t b = 0; b < nb; ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            for (std::size_t i = block.first; i <= block.last; ++i)
+                if (_program.inst(i).op == Opcode::RTI)
+                    can_reach[b] = 1;
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t b = 0; b < nb; ++b) {
+                if (can_reach[b])
+                    continue;
+                for (std::size_t s : _cfg.blocks[b].succs) {
+                    if (can_reach[s]) {
+                        can_reach[b] = 1;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Shortest-path parents from the entry, for the diagnostic's
+        // offending path.
+        const std::size_t entry = _cfg.blockOf[0];
+        constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+        std::vector<std::size_t> parent(nb, kNone);
+        std::vector<char> seen(nb, 0);
+        std::vector<std::size_t> queue{entry};
+        seen[entry] = 1;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            std::size_t b = queue[head];
+            for (std::size_t s : _cfg.blocks[b].succs) {
+                if (!seen[s]) {
+                    seen[s] = 1;
+                    parent[s] = b;
+                    queue.push_back(s);
+                }
+            }
+        }
+
+        for (std::size_t b = 0; b < nb; ++b) {
+            const BasicBlock &block = _cfg.blocks[b];
+            if (!block.reachable || can_reach[b])
+                continue;
+            // Only the first block of a runaway region: its BFS parent
+            // (if any) can still reach an RTI.
+            if (parent[b] != kNone && !can_reach[parent[b]])
+                continue;
+            std::string path;
+            for (std::size_t p = b; p != kNone; p = parent[p]) {
+                std::string hop =
+                    "parcel " +
+                    std::to_string(_program.pc(_cfg.blocks[p].first));
+                path = path.empty() ? hop : hop + " -> " + path;
+            }
+            report(Check::HandlerNoRtiPath, block.first,
+                   "no path from " + describeInst(_program, block.first) +
+                       " reaches an RTI; the handler cannot return to "
+                       "the interrupted context (entered via " +
+                       path + ")",
+                   "end every handler path in RTI, not HALT or a loop");
         }
     }
 

@@ -1,0 +1,60 @@
+#include "lint/bound_summary.hh"
+
+#include "common/logging.hh"
+#include "lint/resource_bound.hh"
+
+namespace ruu::lint
+{
+
+double
+BoundSummary::tightenedPct() const
+{
+    if (!dependence)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(certified) -
+            static_cast<double>(dependence)) /
+           static_cast<double>(dependence);
+}
+
+std::string
+BoundSummary::bindingHistogram() const
+{
+    std::string out;
+    for (const auto &[name, count] : bindings) {
+        if (!out.empty())
+            out += ", ";
+        out += name + " x" + std::to_string(count);
+    }
+    return out;
+}
+
+BoundSummary
+summarizeBounds(const std::vector<Workload> &workloads,
+                const UarchConfig &config)
+{
+    BoundSummary summary;
+    summary.workloads = workloads.size();
+    for (const Workload &workload : workloads) {
+        const ResourceBound &bound =
+            cachedResourceBound(workload.trace(), config);
+        summary.certified += bound.cycles;
+        summary.dependence += bound.dataflow.cycles;
+        ++summary.bindings[bound.bindingName()];
+    }
+    return summary;
+}
+
+std::string
+formatBoundSummary(const BoundSummary &summary)
+{
+    return detail::vformat(
+        "static bound: %llu cycles certified over %zu workload(s) "
+        "(dependence-only %llu, +%.1f%%); binding: %s",
+        static_cast<unsigned long long>(summary.certified),
+        summary.workloads,
+        static_cast<unsigned long long>(summary.dependence),
+        summary.tightenedPct(), summary.bindingHistogram().c_str());
+}
+
+} // namespace ruu::lint

@@ -37,6 +37,8 @@ const CheckInfo kCatalog[kNumChecks] = {
      "a DINT critical section can reach a program exit without EINT"},
     {"RUU-W302", "rti_outside_handler", Severity::Warning,
      "RTI reachable in a program not marked as an interrupt handler"},
+    {"RUU-W303", "handler_no_rti_path", Severity::Warning,
+     "handler block from which no RTI is reachable (runaway handler)"},
 };
 
 } // namespace

@@ -50,6 +50,7 @@ enum class Check : std::uint8_t
     LoopSaveRegWrite,     //!< RUU-W202: B/T written inside a loop body
     IntWindowUnbalanced,  //!< RUU-W301: DINT window open at an exit
     RtiOutsideHandler,    //!< RUU-W302: RTI in a non-handler program
+    HandlerNoRtiPath,     //!< RUU-W303: handler code that cannot RTI
     NumChecks,
 };
 

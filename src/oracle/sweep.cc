@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "lint/wcirt.hh"
 #include "oracle/commit_oracle.hh"
 
 namespace ruu::oracle
@@ -43,16 +44,20 @@ struct PointOutcome
     std::string message; //!< failure detail (when failed)
     bool precise = false;
     bool resumedExact = false;
+    Cycle drainCycles = kNoCycle; //!< measured residue (when reported)
 };
 
 /**
  * Inject at @p seq, run @p core to the interrupt, and check the whole
- * precise-interrupt contract. @p faulty is a private trace copy the
- * point may annotate; it is cleaned before use.
+ * precise-interrupt contract — including, when @p bound is set, the
+ * certified WCIRT cut ceiling on the measured drain residue. @p faulty
+ * is a private trace copy the point may annotate; it is cleaned before
+ * use.
  */
 PointOutcome
 sweepOnePoint(Core &core, Trace &faulty, const Workload &workload,
-              SeqNum seq, const SweepOptions &options)
+              SeqNum seq, const SweepOptions &options,
+              const lint::WcirtBound *bound)
 {
     PointOutcome outcome;
     const FuncResult &golden = workload.func;
@@ -90,6 +95,24 @@ sweepOnePoint(Core &core, Trace &faulty, const Workload &workload,
     }
     if (options.checkOracle && !oracle.finish(faulted))
         return fail(oracle.report());
+
+    // The measured drain residue — fault detection to machine stop —
+    // must fit the certified WCIRT cut ceiling; the same hard gate the
+    // trap controller applies on every delivery.
+    if (faulted.drainStartCycle != kNoCycle) {
+        outcome.drainCycles = faulted.cycles > faulted.drainStartCycle
+                                  ? faulted.cycles -
+                                        faulted.drainStartCycle
+                                  : 0;
+        if (bound && outcome.drainCycles > bound->breakdown.cut) {
+            return fail(vformat(
+                "WCIRT violation at seq %llu: measured drain residue "
+                "%llu exceeds the certified cut ceiling %llu",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(outcome.drainCycles),
+                static_cast<unsigned long long>(bound->breakdown.cut)));
+        }
+    }
 
     // Is the interrupted state the sequential prefix?
     FuncResult prefix = runPrefix(workload.program, seq);
@@ -131,6 +154,18 @@ sweepInterrupts(Core &core, const Workload &workload,
     result.faultable = all.size();
     std::vector<SeqNum> points = samplePoints(all, options.maxPoints);
 
+    // The certified cut ceiling is handler-independent, so the sweep
+    // checks it with an empty handler program; test-only cores whose
+    // name is not a scheme sweep without a ceiling, as before.
+    static const Program kNoHandler;
+    std::optional<CoreKind> kind = coreKindFromName(core.name());
+    const lint::WcirtBound *bound = nullptr;
+    if (kind) {
+        bound = &lint::cachedWcirtBound(workload.trace(), kNoHandler,
+                                        core.config(), *kind);
+        result.wcirtCut = bound->breakdown.cut;
+    }
+
     bool parallel = options.pool && options.pool->workers() > 1 &&
                     options.coreFactory && points.size() > 1;
 
@@ -156,7 +191,7 @@ sweepInterrupts(Core &core, const Workload &workload,
                     std::make_unique<Trace>(workload.trace());
             }
             return sweepOnePoint(*job_core, *copies[worker], workload,
-                                 points[job], options);
+                                 points[job], options, bound);
         },
         [&](SweepResult &acc, const PointOutcome &outcome,
             std::size_t job) {
@@ -165,6 +200,9 @@ sweepInterrupts(Core &core, const Workload &workload,
                 ++acc.precisePoints;
             if (outcome.resumedExact)
                 ++acc.resumedExact;
+            if (outcome.drainCycles != kNoCycle)
+                acc.maxDrainCycles =
+                    std::max(acc.maxDrainCycles, outcome.drainCycles);
             if (outcome.failed) {
                 ++acc.failures;
                 if (acc.firstFailure.empty()) {

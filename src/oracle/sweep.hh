@@ -75,6 +75,17 @@ struct SweepResult
     std::size_t precisePoints = 0; //!< state == sequential prefix
     std::size_t resumedExact = 0; //!< functional resume == golden run
 
+    /**
+     * Worst measured drain residue (fault detection to stop) across
+     * all points, and the certified WCIRT cut ceiling it was checked
+     * against (lint/wcirt.hh). A residue above the ceiling is a
+     * contract violation, counted in `failures` like any other.
+     * wcirtCut is 0 when the core's scheme could not be resolved and
+     * no ceiling applied.
+     */
+    Cycle maxDrainCycles = 0;
+    std::uint64_t wcirtCut = 0;
+
     /** First contract violation, empty when none. */
     std::string firstFailure;
     SeqNum firstFailureSeq = kNoSeqNum;

@@ -30,6 +30,12 @@ verifyOne(CoreKind kind, const Workload &workload,
     vc.kind = kind;
     vc.bound = bound;
 
+    // The delivery ceiling is handler-independent; verify reports it
+    // with an empty handler program, like the sweep's own gate.
+    static const Program kNoHandler;
+    vc.wcirt = lint::cachedWcirtBound(workload.trace(), kNoHandler,
+                                      options.config, kind);
+
     std::unique_ptr<Core> core = makeCore(kind, options.config);
 
     // Clean run under the lockstep commit oracle.
@@ -71,6 +77,9 @@ verifyOne(CoreKind kind, const Workload &workload,
         };
         vc.sweep = sweepInterrupts(*core, workload, sweepOptions);
         sweepOk = vc.sweep.ok();
+        if (vc.sweep.points)
+            vc.pctOfWcirt = vc.wcirt.pctOfCeiling(
+                vc.sweep.maxDrainCycles + vc.wcirt.exchangeCycles);
         if (!sweepOk && vc.message.empty()) {
             vc.message = vformat("interrupt sweep: %zu of %zu points "
                                  "failed; first at seq %llu: %s",

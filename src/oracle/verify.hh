@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lint/resource_bound.hh"
+#include "lint/wcirt.hh"
 #include "oracle/sweep.hh"
 #include "sim/machine.hh"
 
@@ -70,6 +71,18 @@ struct VerifyCase
 
     /** Dependence-only % of limit (the looser PR 2 ratio). */
     double pctOfDataflowLimit = 0.0;
+
+    /**
+     * Certified WCIRT ceiling (lint/wcirt.hh) of this scheme and
+     * configuration — the dual of `bound`: an *upper* bound on
+     * interrupt-delivery latency instead of a lower bound on cycles.
+     * The sweep asserts every measured drain residue against its cut
+     * component; the worst residue lands in sweep.maxDrainCycles.
+     */
+    lint::WcirtBound wcirt;
+
+    /** Worst measured delivery latency / WCIRT ceiling, in percent. */
+    double pctOfWcirt = 0.0;
 
     bool sweepRan = false;
     SweepResult sweep;

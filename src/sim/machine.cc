@@ -26,6 +26,19 @@ coreKindName(CoreKind kind)
     return "?";
 }
 
+std::optional<CoreKind>
+coreKindFromName(const std::string &name)
+{
+    static const CoreKind kKinds[] = {
+        CoreKind::Simple, CoreKind::Tomasulo, CoreKind::Rstu,
+        CoreKind::Ruu,    CoreKind::SpecRuu,  CoreKind::History,
+    };
+    for (CoreKind kind : kKinds)
+        if (name == coreKindName(kind))
+            return kind;
+    return std::nullopt;
+}
+
 std::unique_ptr<Core>
 makeCore(CoreKind kind, const UarchConfig &config)
 {

@@ -13,6 +13,7 @@
 #define RUU_SIM_MACHINE_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ enum class CoreKind
 
 /** Printable core name ("simple", "rstu", ...). */
 const char *coreKindName(CoreKind kind);
+
+/**
+ * The CoreKind whose coreKindName() is @p name, or std::nullopt for an
+ * unknown name (e.g. a test-only core). Lets layers that only hold a
+ * Core& (trap::TrapController) recover the scheme for scheme-keyed
+ * analyses like lint::cachedWcirtBound.
+ */
+std::optional<CoreKind> coreKindFromName(const std::string &name);
 
 /** Instantiate a core of @p kind with @p config. */
 std::unique_ptr<Core> makeCore(CoreKind kind, const UarchConfig &config);

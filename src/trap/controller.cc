@@ -1,12 +1,16 @@
 #include "trap/controller.hh"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
 #include "arch/executor.hh"
 #include "arch/func_sim.hh"
+#include "common/logging.hh"
+#include "lint/wcirt.hh"
 #include "oracle/commit_oracle.hh"
+#include "sim/machine.hh"
 
 namespace ruu::trap
 {
@@ -159,6 +163,74 @@ annotateInjects(Trace &trace, const std::vector<SeqNum> &injects,
     }
 }
 
+/** Measured drain residue of one segment, or kNoCycle when the core
+ * reported no drain start (the segment ended without a stop). */
+Cycle
+measuredDrain(const RunResult &seg)
+{
+    if (seg.drainStartCycle == kNoCycle)
+        return kNoCycle;
+    return seg.cycles > seg.drainStartCycle
+               ? seg.cycles - seg.drainStartCycle
+               : 0;
+}
+
+// Watchdog derivation: a segment can never legitimately run past its
+// certified serialized ceiling, so the per-segment budget is the
+// ceiling with generous slack instead of the old magic constant.
+constexpr std::uint64_t kWatchdogSlack = 4;
+constexpr std::uint64_t kWatchdogHeadroom = 1024;
+
+/**
+ * Per-segment watchdog budget. The configured constant remains both
+ * the fallback (no certified ceiling: test-only cores whose name is
+ * not a scheme) and an upper clamp (a deliberately tiny configured
+ * budget still wins, so wedge-detection tests keep their semantics).
+ */
+std::uint64_t
+watchdogBudget(std::uint64_t configured, std::uint64_t ceiling)
+{
+    if (ceiling == lint::kWcirtUnbounded)
+        return configured;
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max();
+    if (ceiling > (kMax - kWatchdogHeadroom) / kWatchdogSlack)
+        return configured;
+    return std::min(configured,
+                    ceiling * kWatchdogSlack + kWatchdogHeadroom);
+}
+
+/**
+ * The in-run soundness gates of the certified WCIRT ceiling: every
+ * measured drain residue must fit the cut ceiling, and — when
+ * @p responseCovered says the arrival process is one the end-to-end
+ * ceiling models — the measured arrival-to-entry response must fit
+ * responseCeiling(). A violation is a simulator (or analysis) bug, so
+ * both are fatal, exactly like the resource-bound cycle floor.
+ */
+void
+checkDeliveryAgainstBound(const lint::WcirtBound &bound,
+                          const Delivery &d, const char *core,
+                          bool responseCovered)
+{
+    if (d.drainCycles != kNoCycle &&
+        d.drainCycles > bound.breakdown.cut) {
+        ruu_fatal("WCIRT violation on %s: measured drain residue %llu "
+                  "exceeds the certified cut ceiling %llu",
+                  core, static_cast<unsigned long long>(d.drainCycles),
+                  static_cast<unsigned long long>(bound.breakdown.cut));
+    }
+    const std::uint64_t response = bound.responseCeiling();
+    if (responseCovered && d.responseCycles != kNoCycle &&
+        response != lint::kWcirtUnbounded && d.responseCycles > response) {
+        ruu_fatal("WCIRT violation on %s: measured response %llu "
+                  "exceeds the certified end-to-end ceiling %llu",
+                  core,
+                  static_cast<unsigned long long>(d.responseCycles),
+                  static_cast<unsigned long long>(response));
+    }
+}
+
 } // namespace
 
 double
@@ -178,6 +250,16 @@ TrapRunResult::maxHandlerCycles() const
     Cycle best = 0;
     for (const Delivery &d : deliveries)
         best = std::max(best, d.handlerCycles);
+    return best;
+}
+
+Cycle
+TrapRunResult::maxDrainCycles() const
+{
+    Cycle best = 0;
+    for (const Delivery &d : deliveries)
+        if (d.drainCycles != kNoCycle)
+            best = std::max(best, d.drainCycles);
     return best;
 }
 
@@ -201,6 +283,23 @@ TrapController::run(const Trace &trace, InterruptSource source,
         _config.handler
             ? _config.handler
             : std::make_shared<const Program>(counterHandler());
+
+    // Certified WCIRT ceiling of this (scheme, config, workload,
+    // handler): the cut ceiling is asserted against every measured
+    // drain residue below, and the per-segment watchdog budgets derive
+    // from trace ceilings instead of the configured constant. A
+    // test-only core whose name is not one of the six schemes runs
+    // without a bound, on the constant alone.
+    std::optional<CoreKind> kind = coreKindFromName(_core.name());
+    const lint::WcirtBound *bound = nullptr;
+    if (kind) {
+        lint::WcirtParams params;
+        params.exchangeCycles = _config.exchangeCycles;
+        params.maxLevels = _config.layout.maxLevels;
+        bound = &lint::cachedWcirtBound(trace, *handlerProg,
+                                        _core.config(), *kind, params);
+        res.wcirtCeiling = bound->cycles;
+    }
 
     // The architectural triple every segment threads through.
     ArchState state;
@@ -243,6 +342,24 @@ TrapController::run(const Trace &trace, InterruptSource source,
     auto fail = [&res](std::string message) {
         res.failed = true;
         res.error = std::move(message);
+    };
+
+    // The end-to-end response ceiling models a purely periodic arrival
+    // process on an undisturbed run: no injected faults, and no
+    // synchronous delivery so far (a repair handler's cycles are
+    // queueing the model does not cover).
+    const bool arrivalsCovered = injectAt.empty();
+    auto recordDelivery = [&](const Delivery &d) {
+        if (bound)
+            checkDeliveryAgainstBound(*bound, d, _core.name(),
+                                      !d.sync && arrivalsCovered &&
+                                          !sawSync &&
+                                          source.periodicOnly());
+        if (d.drainCycles != kNoCycle)
+            res.maxDeliveryLatency =
+                std::max(res.maxDeliveryLatency,
+                         d.drainCycles + _config.exchangeCycles);
+        res.deliveries.push_back(d);
     };
 
     while (true) {
@@ -307,6 +424,11 @@ TrapController::run(const Trace &trace, InterruptSource source,
         opts.initialState = &state;
         opts.initialMemory = &memory;
         opts.maxCycles = _config.maxCyclesPerSegment;
+        if (kind)
+            opts.maxCycles = watchdogBudget(
+                _config.maxCyclesPerSegment,
+                lint::wcirtTraceCeiling(ctx.trace, _core.config(),
+                                        *kind));
         if (event) {
             opts.interruptAt = event->cycle > now ? event->cycle - now : 0;
             opts.interruptMinSeq = win.minSeq;
@@ -396,7 +518,11 @@ TrapController::run(const Trace &trace, InterruptSource source,
             d.epc = seg.faultPc;
             d.globalInstr = globalInstr;
             d.cycle = now;
-            res.deliveries.push_back(d);
+            d.arrivalCycle = event->cycle;
+            d.responseCycles =
+                now - std::min<Cycle>(event->cycle, now);
+            d.drainCycles = measuredDrain(seg);
+            recordDelivery(d);
             res.maxDepth = std::max(res.maxDepth, level);
 
             HandlerGen gen = generateHandlerTrace(
@@ -461,7 +587,8 @@ TrapController::run(const Trace &trace, InterruptSource source,
         d.epc = seg.faultPc;
         d.globalInstr = globalInstr;
         d.cycle = now;
-        res.deliveries.push_back(d);
+        d.drainCycles = measuredDrain(seg);
+        recordDelivery(d);
         res.maxDepth = std::max(res.maxDepth, level);
 
         // If this position was an injected fault, it has now fired;

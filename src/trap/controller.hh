@@ -101,6 +101,30 @@ struct Delivery
 
     Cycle cycle = 0;        //!< global delivery cycle
     Cycle handlerCycles = 0; //!< delivery to matching RTI, nested incl.
+
+    /**
+     * Global cycle the external request was raised. kNoCycle for
+     * synchronous faults, which have no external arrival.
+     */
+    Cycle arrivalCycle = kNoCycle;
+
+    /**
+     * Arrival to handler entry, exchange included (async deliveries;
+     * kNoCycle when unmeasured). Asserted against the certified
+     * end-to-end response ceiling (lint::WcirtBound::responseCeiling)
+     * when the arrival process makes that ceiling applicable — a
+     * purely periodic source with no synchronous deliveries in play.
+     */
+    Cycle responseCycles = kNoCycle;
+
+    /**
+     * Measured drain residue of the cut segment: cycles from the
+     * first cycle the core held the stop condition (or detected the
+     * fault) to the end of the segment. kNoCycle when the core did
+     * not report a drain start. Asserted <= the certified WCIRT cut
+     * ceiling (lint::WcirtBreakdown::cut) on every delivery.
+     */
+    Cycle drainCycles = kNoCycle;
 };
 
 /** Outcome of one interrupt-serviced run. */
@@ -131,6 +155,25 @@ struct TrapRunResult
 
     /** First per-segment commit-oracle divergence (empty when none). */
     std::string oracleFailure;
+
+    /**
+     * Certified worst-case delivery ceiling for this (core scheme,
+     * config) — lint::WcirtBound::cycles, i.e. drain + restart +
+     * exchange. 0 when the core's scheme could not be resolved
+     * (test-only cores) and no bound was asserted.
+     */
+    std::uint64_t wcirtCeiling = 0;
+
+    /**
+     * Worst measured delivery latency across all deliveries: drain
+     * residue + exchange. 0 when no delivery reported a measured
+     * drain. Always <= wcirtCeiling when the ceiling is nonzero —
+     * the controller asserts this per delivery, in-run.
+     */
+    Cycle maxDeliveryLatency = 0;
+
+    /** Worst measured drain residue across deliveries (0 when none). */
+    Cycle maxDrainCycles() const;
 
     bool ok() const
     {

@@ -75,6 +75,15 @@ class InterruptSource
     /** True when no event can ever fire again. */
     bool exhausted() const { return _period == 0 && _events.empty(); }
 
+    /**
+     * True for a purely periodic source (no explicit events). Periodic
+     * arrivals are the only shape whose queueing delay is bounded by
+     * the certified per-level ceilings, so the trap controller's
+     * end-to-end WCIRT response assertion (lint/wcirt.hh) is gated on
+     * this predicate.
+     */
+    bool periodicOnly() const { return _period != 0 && _events.empty(); }
+
   private:
     // Explicit schedule, kept sorted by (cycle, -priority).
     std::vector<InterruptEvent> _events;

@@ -18,6 +18,7 @@
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
 #include "lint/resource_bound.hh"
+#include "lint/wcirt.hh"
 #include "oracle/commit_oracle.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
@@ -221,6 +222,65 @@ TEST_P(FuzzSeeds, RandomInterruptSchedulesServiceAndReplayExactly)
             << core->name() << " on " << w.name
             << ": timing run and functional replay disagree on the "
                "final state";
+    }
+}
+
+TEST_P(FuzzSeeds, WcirtCeilingIsSoundUnderRandomSchedules)
+{
+    // Fuzz the certified interrupt-response ceiling (lint/wcirt.hh):
+    // seed-derived arrival schedules with mixed priorities (odd seeds
+    // nest through the EINT window of the nesting handler) against
+    // every core. Every delivery's measured drain residue must stay
+    // under the certified cut, and the run's worst delivery latency
+    // under the reported WCIRT — on the imprecise machines too, whose
+    // ceiling doubles for the restart penalty.
+    Workload w = workload();
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 +
+                        29);
+    std::uniform_int_distribution<Cycle> gap(1, 300);
+    std::uniform_int_distribution<unsigned> priority(1, 3);
+    std::vector<trap::InterruptEvent> events;
+    Cycle at = 0;
+    for (int i = 0; i < 5; ++i) {
+        at += gap(rng);
+        events.push_back({at, priority(rng)});
+    }
+
+    trap::TrapConfig tconfig;
+    tconfig.layout.exchangeBase = 0xf000;
+    tconfig.layout.scratchBase = 0xf800;
+    tconfig.memoryWords = 1u << 16;
+    auto handler = std::make_shared<const Program>(
+        GetParam() % 2 ? trap::nestedCounterHandler()
+                       : trap::counterHandler());
+    tconfig.handler = handler;
+
+    lint::WcirtParams params;
+    params.exchangeCycles = tconfig.exchangeCycles;
+    params.maxLevels = tconfig.layout.maxLevels;
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        auto core = makeCore(kind, UarchConfig::cray1());
+        trap::TrapController controller(*core, tconfig);
+        trap::TrapRunResult res = controller.run(
+            w.trace(), trap::InterruptSource::schedule(events));
+        ASSERT_TRUE(res.ok())
+            << core->name() << " on " << w.name << ": " << res.error;
+
+        lint::WcirtBound bound = lint::wcirtBound(
+            w.trace(), *handler, UarchConfig::cray1(), kind, params);
+        EXPECT_EQ(res.wcirtCeiling, bound.cycles) << core->name();
+        EXPECT_LE(res.maxDrainCycles(), bound.breakdown.cut)
+            << core->name() << " on " << w.name;
+        EXPECT_LE(res.maxDeliveryLatency, res.wcirtCeiling)
+            << core->name() << " on " << w.name;
+        for (const trap::Delivery &d : res.deliveries) {
+            if (d.drainCycles != kNoCycle) {
+                EXPECT_LE(d.drainCycles, bound.breakdown.cut)
+                    << core->name() << " delivery at cycle " << d.cycle;
+            }
+        }
     }
 }
 
