@@ -15,6 +15,8 @@
  *   ruusim lint <prog.s|lllNN|suite> [--Werror]
  *   ruusim trace <prog.s|lllNN> <out.trace>
  *   ruusim trace <in.trace>
+ *   ruusim serve --socket PATH [--cache DIR] [--journal FILE] [...]
+ *   ruusim submit --socket PATH <prog.s|lllNN|suite> [options]
  *   ruusim list
  *
  * Workloads are either a textual-assembly file or a built-in Livermore
@@ -49,6 +51,9 @@
 #include "lint/wcirt.hh"
 #include "oracle/verify.hh"
 #include "par/pool.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "sim/experiment.hh"
 #include "sim/json.hh"
 #include "stats/table.hh"
@@ -83,6 +88,12 @@ usage()
         "  ruusim lint <prog.s|lllNN|suite> [--Werror]\n"
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
         "  ruusim trace <in.trace>\n"
+        "  ruusim serve --socket PATH [--cache DIR] [--journal FILE]\n"
+        "         [--queue-limit N] [--deadline-ms N] "
+        "[--max-connections N]\n"
+        "  ruusim submit --socket PATH <prog.s|lllNN|suite> [--core K]\n"
+        "         [--period N] [--deadline-ms N] [--status|--ping|"
+        "--stop]\n"
         "  ruusim list\n"
         "options:\n"
         "  --core K          simple|tomasulo|rstu|ruu|spec_ruu|history\n"
@@ -115,8 +126,25 @@ usage()
         "  --stop-after K    inject: stop after K new trials (exit 3)\n"
         "  --replay-trial N  inject: re-run one trial and report it\n"
         "  --bench-out FILE  inject: write the campaign summary JSON\n"
+        "  --socket PATH     serve/submit: Unix-domain socket path\n"
+        "  --cache DIR       serve: content-addressed result cache\n"
+        "  --journal FILE    inject: JSONL journal to stream/resume;\n"
+        "                    serve: crash-recovery journal\n"
+        "  --queue-limit N   serve: admission-queue bound (default "
+        "256)\n"
+        "  --deadline-ms N   serve: default per-job watchdog; submit: "
+        "per-job\n"
+        "                    deadline override\n"
+        "  --max-connections N  serve: exit after N connections "
+        "(0 = run on)\n"
+        "  --period N        submit: periodic-interrupt arrival period "
+        "(cycles)\n"
+        "  --status          submit: print the daemon status line and "
+        "exit\n"
+        "  --ping            submit: probe the daemon and exit\n"
+        "  --stop            submit: ask the daemon to shut down\n"
         "  --jobs N, -j N    worker threads for sweep/verify/storm/"
-        "inject\n"
+        "inject/serve\n"
         "                    (default: hardware threads, or RUU_JOBS; "
         "output is\n"
         "                    byte-identical at any job count)\n"
@@ -251,6 +279,17 @@ struct Cli
     bool replaySet = false;
     std::string benchOut;
 
+    // serve / submit
+    std::string socketPath;
+    std::string cacheDir;
+    std::size_t queueLimit = 256;
+    unsigned deadlineMs = 0;
+    std::uint64_t maxConnections = 0;
+    std::uint64_t period = 0;
+    bool statusOnly = false;
+    bool pingOnly = false;
+    bool stopDaemon = false;
+
     /** Worker threads for the parallel drivers (par::Pool). */
     unsigned jobs = par::defaultJobs();
 };
@@ -331,6 +370,27 @@ parseArgs(int argc, char **argv)
             cli.replaySet = true;
         } else if (arg == "--bench-out") {
             cli.benchOut = value();
+        } else if (arg == "--socket") {
+            cli.socketPath = value();
+        } else if (arg == "--cache") {
+            cli.cacheDir = value();
+        } else if (arg == "--queue-limit") {
+            cli.queueLimit =
+                static_cast<std::size_t>(atoi(value().c_str()));
+        } else if (arg == "--deadline-ms") {
+            cli.deadlineMs =
+                static_cast<unsigned>(atoi(value().c_str()));
+        } else if (arg == "--max-connections") {
+            cli.maxConnections =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--period") {
+            cli.period = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--status") {
+            cli.statusOnly = true;
+        } else if (arg == "--ping") {
+            cli.pingOnly = true;
+        } else if (arg == "--stop") {
+            cli.stopDaemon = true;
         } else if (arg == "--ibuffers") {
             cli.ibuffers = true;
         } else if (arg == "--stats") {
@@ -1196,6 +1256,184 @@ cmdInject(const Cli &cli)
     return 0;
 }
 
+/**
+ * ruusimd: serve simulation batches on a Unix-domain socket
+ * (docs/SERVE.md). Runs until `ruusim submit --stop`, the connection
+ * cap, or a fatal environment error (exit 2 — bad socket path,
+ * mismatched recovery journal). Job failures never end the daemon.
+ */
+int
+cmdServe(const Cli &cli)
+{
+    if (cli.socketPath.empty() || !cli.positional.empty())
+        usage();
+    serve::ServerOptions options;
+    options.socketPath = cli.socketPath;
+    options.cacheDir = cli.cacheDir;
+    options.journalPath = cli.journal;
+    options.jobs = cli.jobs;
+    options.queueLimit = cli.queueLimit;
+    if (cli.deadlineMs)
+        options.defaultDeadlineMs = cli.deadlineMs;
+    options.seed = cli.seed;
+    options.maxConnections = cli.maxConnections;
+
+    std::fprintf(stderr, "ruusim: serving on %s (%u worker%s%s%s)\n",
+                 cli.socketPath.c_str(), cli.jobs,
+                 cli.jobs == 1 ? "" : "s",
+                 cli.cacheDir.empty() ? "" : ", cached",
+                 cli.journal.empty() ? "" : ", journaled");
+    serve::ServerStats stats;
+    Expected<int> result = serve::runServer(options, &stats);
+    if (!result)
+        cliFail("%s", result.error().message().c_str());
+    std::fprintf(stderr,
+                 "ruusim: served %llu connection(s), %llu job(s) done, "
+                 "%llu recovered\n",
+                 static_cast<unsigned long long>(stats.connections),
+                 static_cast<unsigned long long>(stats.jobsDone),
+                 static_cast<unsigned long long>(stats.recovered));
+    return *result;
+}
+
+/**
+ * Submit a batch to a running ruusimd and print each result payload —
+ * byte-identical to `ruusim run <workload> --json` output. Exit 0 when
+ * every job is done, 1 when any job fails (including shed submits),
+ * 2 on malformed input or connection trouble.
+ */
+int
+cmdSubmit(const Cli &cli)
+{
+    if (cli.socketPath.empty())
+        usage();
+
+    serve::ServeClient client;
+    BackoffPolicy retry;
+    retry.baseUs = 10'000;
+    retry.capUs = 500'000;
+    retry.maxRetries = 10;
+    retry.seed = cli.seed;
+    if (auto connected = client.connect(cli.socketPath, retry);
+        !connected)
+        cliFail("%s", connected.error().message().c_str());
+
+    auto oneShot = [&](const char *op) -> int {
+        auto response = client.request(std::string("{\"op\": \"") +
+                                       op + "\"}");
+        if (!response)
+            cliFail("%s", response.error().message().c_str());
+        std::printf("%s\n", response->c_str());
+        auto object = flat::parseObject(*response);
+        return object && flat::optNumber(*object, "ok") == 1u ? 0 : 1;
+    };
+    if (cli.pingOnly)
+        return oneShot("ping");
+    if (cli.statusOnly)
+        return oneShot("status");
+    if (cli.stopDaemon)
+        return oneShot("shutdown");
+
+    if (cli.positional.size() != 1)
+        usage();
+    const std::string &name = cli.positional[0];
+
+    // Build the batch client-side: kernel names travel by name,
+    // assembly files travel as source text (the daemon reads no
+    // files on a client's behalf).
+    std::vector<serve::JobSpec> jobs;
+    auto isKernel = [](const std::string &candidate) {
+        for (const auto &kernel : livermoreKernels())
+            if (kernel.name == candidate)
+                return true;
+        return false;
+    };
+    if (name == "suite") {
+        for (const auto &kernel : livermoreKernels()) {
+            serve::JobSpec job;
+            job.id = kernel.name;
+            job.workload = kernel.name;
+            jobs.push_back(std::move(job));
+        }
+    } else if (isKernel(name)) {
+        serve::JobSpec job;
+        job.id = name;
+        job.workload = name;
+        jobs.push_back(std::move(job));
+    } else {
+        serve::JobSpec job;
+        job.id = name;
+        job.program = readFile(name);
+        job.name = name;
+        jobs.push_back(std::move(job));
+    }
+    std::string configJson = configToJson(cli.config);
+    bool defaultConfig =
+        configJson == configToJson(UarchConfig::cray1());
+    for (serve::JobSpec &job : jobs) {
+        job.core = coreKindName(cli.core);
+        if (!defaultConfig)
+            job.configJson = configJson;
+        job.period = cli.period;
+        job.deadlineMs = cli.deadlineMs;
+    }
+
+    bool anyFailed = false;
+    for (const serve::JobSpec &job : jobs) {
+        serve::Request request;
+        request.op = serve::Op::Submit;
+        request.job = job;
+        auto ack = client.request(serve::requestToLine(request));
+        if (!ack)
+            cliFail("%s", ack.error().message().c_str());
+        auto object = flat::parseObject(*ack);
+        if (!object)
+            cliFail("unparseable ack: %s", ack->c_str());
+        if (flat::optNumber(*object, "ok") != 1u) {
+            auto why = flat::optString(*object, "error");
+            std::fprintf(stderr,
+                         "ruusim: submit: job '%s' refused: %s\n",
+                         job.id.c_str(),
+                         why ? why->c_str() : ack->c_str());
+            anyFailed = true;
+        }
+    }
+
+    if (auto sent = client.sendLine("{\"op\": \"run\"}"); !sent)
+        cliFail("%s", sent.error().message().c_str());
+    while (true) {
+        auto line = client.recvLine();
+        if (!line)
+            cliFail("%s", line.error().message().c_str());
+        auto object = flat::parseObject(*line);
+        if (!object)
+            cliFail("unparseable response: %s", line->c_str());
+        auto op = flat::optString(*object, "op");
+        if (op == "run")
+            break; // batch summary: every result line has arrived
+        if (op != "result") {
+            auto why = flat::optString(*object, "error");
+            cliFail("server error: %s",
+                    why ? why->c_str() : line->c_str());
+        }
+        auto id = flat::optString(*object, "id");
+        auto status = flat::optString(*object, "status");
+        if (status == "done") {
+            auto payload = flat::optString(*object, "payload");
+            if (payload)
+                std::printf("%s\n", payload->c_str());
+        } else {
+            auto why = flat::optString(*object, "error");
+            std::fprintf(stderr, "ruusim: submit: job '%s' %s: %s\n",
+                         id ? id->c_str() : "?",
+                         status ? status->c_str() : "?",
+                         why ? why->c_str() : "");
+            anyFailed = true;
+        }
+    }
+    return anyFailed ? 1 : 0;
+}
+
 int
 cmdList()
 {
@@ -1240,6 +1478,10 @@ main(int argc, char **argv)
         return cmdLint(cli);
     if (command == "trace")
         return cmdTrace(cli);
+    if (command == "serve")
+        return cmdServe(cli);
+    if (command == "submit")
+        return cmdSubmit(cli);
     if (command == "list")
         return cmdList();
     usage();

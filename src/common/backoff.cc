@@ -1,0 +1,33 @@
+#include "common/backoff.hh"
+
+#include <algorithm>
+
+#include "par/pool.hh"
+
+namespace ruu
+{
+
+std::uint64_t
+backoffDelayUs(const BackoffPolicy &policy, unsigned attempt)
+{
+    // Cap the shift first: 64 doublings overflow long before any sane
+    // policy caps, so clamp the exponent to the cap-reaching attempt.
+    std::uint64_t delay = policy.capUs;
+    if (policy.baseUs == 0)
+        return 0;
+    if (attempt < 63) {
+        std::uint64_t scaled = policy.baseUs << attempt;
+        // Detect shift wrap-around (scaled no longer a doubling).
+        if ((scaled >> attempt) == policy.baseUs)
+            delay = std::min(scaled, policy.capUs);
+    }
+    if (delay <= 1)
+        return delay;
+    // Deterministic jitter into [delay/2, delay]: an independent
+    // stream per (seed, attempt), never a shared generator.
+    std::uint64_t half = delay / 2;
+    std::uint64_t state = par::jobSeed(policy.seed, attempt);
+    return half + par::splitmix64(state) % (delay - half + 1);
+}
+
+} // namespace ruu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Capped exponential backoff with deterministic jitter.
+ *
+ * Every retry loop in the repo that waits out transient host trouble —
+ * sandbox fork/pipe failure under fd or process pressure, a serve
+ * client connecting before the daemon has bound its socket, serve
+ * worker respawn — shares this one policy object, so retry behavior is
+ * uniform, capped (a wedged host fails fast instead of sleeping
+ * forever), and reproducible: the jitter of attempt k is drawn from an
+ * independent SplitMix64 stream keyed on (seed, k) via par::jobSeed,
+ * exactly the per-index randomness rule the parallel engine pins.
+ * Identical (policy, seed) always produces the identical delay
+ * sequence, so retry schedules can be asserted in tests and replayed
+ * byte-for-byte.
+ */
+
+#ifndef RUU_COMMON_BACKOFF_HH
+#define RUU_COMMON_BACKOFF_HH
+
+#include <cstdint>
+
+namespace ruu
+{
+
+/** Shape of one capped-exponential retry schedule. */
+struct BackoffPolicy
+{
+    /** Nominal delay before the first retry, in microseconds. */
+    std::uint64_t baseUs = 10'000;
+
+    /** Hard ceiling on any single delay, in microseconds. */
+    std::uint64_t capUs = 1'000'000;
+
+    /** Retries granted after the initial attempt. */
+    unsigned maxRetries = 5;
+
+    /** Jitter stream selector; same seed, same delay sequence. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * The delay before retry @p attempt (0-based) under @p policy:
+ * min(capUs, baseUs << attempt), jittered deterministically into
+ * [delay/2, delay] from the (seed, attempt) SplitMix64 stream.
+ */
+std::uint64_t backoffDelayUs(const BackoffPolicy &policy,
+                             unsigned attempt);
+
+/**
+ * Stateful walk of one retry schedule:
+ *
+ *   Backoff backoff(policy);
+ *   while (failed_transiently) {
+ *       if (backoff.exhausted())
+ *           return give_up();
+ *       sleep(backoff.nextDelayUs());
+ *       retry();
+ *   }
+ *
+ * The caller owns the sleeping, so tests can assert on the schedule
+ * without waiting it out.
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(const BackoffPolicy &policy = {})
+        : _policy(policy)
+    {}
+
+    /** True once every granted retry has been handed out. */
+    bool exhausted() const { return _attempts >= _policy.maxRetries; }
+
+    /** Retries handed out so far. */
+    unsigned attempts() const { return _attempts; }
+
+    /** The next retry's delay; advances the schedule. */
+    std::uint64_t nextDelayUs() { return backoffDelayUs(_policy, _attempts++); }
+
+  private:
+    BackoffPolicy _policy;
+    unsigned _attempts = 0;
+};
+
+} // namespace ruu
+
+#endif // RUU_COMMON_BACKOFF_HH

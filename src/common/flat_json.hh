@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The flat one-line JSON dialect shared by every durable line format
+ * in the repo: the inject campaign journal (inject/journal.cc), the
+ * serve protocol (serve/protocol.hh), the serve result cache and
+ * recovery journal. One object per line, values only strings and
+ * unsigned integers, so readers need no JSON dependency and a torn
+ * line is detectable by a failed parse.
+ *
+ * Hoisted out of inject/journal.cc when the serve subsystem arrived;
+ * the grammar is pinned by the journal format and must not grow
+ * richer types.
+ */
+
+#ifndef RUU_COMMON_FLAT_JSON_HH
+#define RUU_COMMON_FLAT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.hh"
+
+namespace ruu::flat
+{
+
+/** One parsed value of the flat object grammar. */
+struct Value
+{
+    bool isString = false;
+    std::string text;         //!< unescaped string / number spelling
+    std::uint64_t number = 0; //!< valid when !isString
+};
+
+using Object = std::map<std::string, Value>;
+
+/**
+ * Parse one line holding a single flat object. Errors carry the
+ * column, so a torn or hand-edited line points at the damage.
+ */
+Expected<Object> parseObject(const std::string &text);
+
+/** Escape @p text for embedding in a flat-JSON string literal. */
+std::string escape(const std::string &text);
+
+/** The value of @p key, which must be a number. */
+Expected<std::uint64_t> getNumber(const Object &object,
+                                  const std::string &key);
+
+/** The value of @p key, which must be a string. */
+Expected<std::string> getString(const Object &object,
+                                const std::string &key);
+
+/** The number at @p key, or std::nullopt when absent. */
+std::optional<std::uint64_t> optNumber(const Object &object,
+                                       const std::string &key);
+
+/** The string at @p key, or std::nullopt when absent. */
+std::optional<std::string> optString(const Object &object,
+                                     const std::string &key);
+
+} // namespace ruu::flat
+
+#endif // RUU_COMMON_FLAT_JSON_HH

@@ -13,6 +13,7 @@
 #include "arch/executor.hh"
 #include "inject/sandbox.hh"
 #include "oracle/commit_oracle.hh"
+#include "par/ordered.hh"
 #include "sim/json.hh"
 
 namespace ruu::inject
@@ -188,26 +189,24 @@ runOneTrial(const CampaignOptions &options, CoreKind kind,
             const Workload &workload, const TrialPoint &point,
             const ProbeInfo &probe)
 {
-    SandboxOutcome out;
-    unsigned attempt = 0;
-    while (true) {
-        out = runSandboxed(
-            [&](SandboxChannel &channel) {
-                runTrialChild(options, kind, workload, point, probe,
-                              channel);
-            },
-            options.timeoutMs);
-        if (out.status != SandboxOutcome::Status::SpawnFailed)
-            break;
-        if (attempt >= options.maxRetries)
-            return Error("trial " + std::to_string(point.index) +
-                         ": sandbox spawn failed after " +
-                         std::to_string(attempt + 1) + " attempts: " +
-                         out.spawnError);
-        // Exponential backoff: host resource pressure is transient.
-        ::usleep(10'000u << attempt);
-        ++attempt;
-    }
+    // Spawn failure is transient host pressure; wait it out on the
+    // shared backoff schedule, jitter-seeded by the trial so parallel
+    // workers don't hammer in lockstep.
+    BackoffPolicy policy;
+    policy.maxRetries = options.maxRetries;
+    policy.seed = point.seed;
+    unsigned retries = 0;
+    SandboxOutcome out = runSandboxedWithRetry(
+        [&](SandboxChannel &channel) {
+            runTrialChild(options, kind, workload, point, probe,
+                          channel);
+        },
+        options.timeoutMs, policy, &retries);
+    if (out.status == SandboxOutcome::Status::SpawnFailed)
+        return Error("trial " + std::to_string(point.index) +
+                     ": sandbox spawn failed after " +
+                     std::to_string(retries + 1) + " attempts: " +
+                     out.spawnError);
 
     // Whatever the child managed to report before dying carries the
     // injection coordinates (PRE) or the full classification (RES).
@@ -217,7 +216,7 @@ runOneTrial(const CampaignOptions &options, CoreKind kind,
         if (auto pre = parseTrialLine(out.preLine))
             res = *pre;
     }
-    res.retries = attempt;
+    res.retries = retries;
 
     switch (out.status) {
       case SandboxOutcome::Status::Reported: {
@@ -229,9 +228,9 @@ runOneTrial(const CampaignOptions &options, CoreKind kind,
                          tail(out.resLine, 256);
             break;
         }
-        std::uint64_t retries = res.retries;
+        std::uint64_t kept_retries = res.retries;
         res = *parsed;
-        res.retries = retries;
+        res.retries = kept_retries;
         break;
       }
       case SandboxOutcome::Status::Crashed: {
@@ -466,85 +465,40 @@ runCampaign(const CampaignOptions &options)
         summary.stoppedEarly = true;
     }
 
-    /**
-     * Ordered streaming commit. Workers finish trials in scheduling
-     * order, but journal lines, progress callbacks and error
-     * propagation all follow pending-list (= trial index) order: a
-     * finished trial is staged, and the committer advances through
-     * consecutive positions, writing each trial as it becomes the
-     * front of the line. A failed position blocks every later commit,
-     * so the journal ends exactly where the serial campaign's would.
-     */
-    struct Committer
-    {
-        std::mutex mutex;
-        std::map<std::size_t, TrialResult> staged;
-        std::size_t next = 0;
-        bool failed = false;
-        std::size_t failedPos = 0;
-        Error error;
-    };
-    Committer committer;
-
-    auto failPosition = [&](std::size_t pos, Error error) {
-        std::lock_guard<std::mutex> lock(committer.mutex);
-        if (!committer.failed || pos < committer.failedPos) {
-            committer.failed = true;
-            committer.failedPos = pos;
-            committer.error = std::move(error);
-        }
-    };
-
-    auto commitReady = [&](std::size_t pos, TrialResult trial) {
-        std::lock_guard<std::mutex> lock(committer.mutex);
-        committer.staged.emplace(pos, std::move(trial));
-        while (!committer.staged.empty()) {
-            auto front = committer.staged.begin();
-            if (front->first != committer.next)
-                break;
-            if (committer.failed &&
-                committer.failedPos <= committer.next)
-                break;
-            const TrialResult &ready = front->second;
-            std::uint64_t index = pending[front->first];
-            if (writer.isOpen()) {
-                if (auto wrote = writer.add(ready); !wrote) {
-                    committer.failed = true;
-                    committer.failedPos = committer.next;
-                    committer.error = wrote.error();
-                    break;
-                }
-            }
+    // Ordered streaming commit (par/ordered.hh): workers finish trials
+    // in scheduling order, but journal lines, progress callbacks and
+    // error propagation all follow pending-list (= trial index) order,
+    // so the journal ends exactly where the serial campaign's would.
+    par::OrderedCommitter<TrialResult> committer(
+        [&](std::size_t pos, const TrialResult &ready) -> Expected<bool> {
+            std::uint64_t index = pending[pos];
+            if (writer.isOpen())
+                if (auto wrote = writer.add(ready); !wrote)
+                    return wrote.error();
             results[index] = ready;
             done[index] = true;
             ++summary.executed;
-            if (options.progress) {
+            if (options.progress)
                 options.progress(summary.resumed + summary.executed,
                                  options.trials, ready);
-            }
-            committer.staged.erase(front);
-            ++committer.next;
-        }
-    };
+            return true;
+        });
 
     par::Pool pool(options.jobs);
     par::forEachIndexed(
         options.jobs > 1 ? &pool : nullptr, torun,
         [&](std::size_t pos, unsigned) {
-            {
-                // A campaign-fatal error at an earlier position makes
-                // this trial unjournalable; don't burn a sandbox on it.
-                std::lock_guard<std::mutex> lock(committer.mutex);
-                if (committer.failed && committer.failedPos < pos)
-                    return;
-            }
+            // A campaign-fatal error at an earlier position makes
+            // this trial unjournalable; don't burn a sandbox on it.
+            if (committer.doomed(pos))
+                return;
             std::uint64_t index = pending[pos];
             auto point = sampler.point(index);
             if (!point) {
-                failPosition(pos,
-                             Error(point.error())
-                                 .context("trial " +
-                                          std::to_string(index)));
+                committer.fail(pos,
+                               Error(point.error())
+                                   .context("trial " +
+                                            std::to_string(index)));
                 return;
             }
             std::size_t core_index = 0, workload_index = 0;
@@ -559,7 +513,7 @@ runCampaign(const CampaignOptions &options)
             }
             auto probe = sampler.probe(core_index, workload_index);
             if (!probe) {
-                failPosition(pos, probe.error());
+                committer.fail(pos, Error(probe.error()));
                 return;
             }
             auto trial = runOneTrial(options,
@@ -567,14 +521,14 @@ runCampaign(const CampaignOptions &options)
                                      options.workloads[workload_index],
                                      *point, *probe);
             if (!trial) {
-                failPosition(pos, trial.error());
+                committer.fail(pos, Error(trial.error()));
                 return;
             }
-            commitReady(pos, std::move(*trial));
+            committer.commit(pos, std::move(*trial));
         });
 
-    if (committer.failed)
-        return committer.error;
+    if (committer.failed())
+        return committer.error();
 
     summary.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

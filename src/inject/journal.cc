@@ -1,10 +1,9 @@
 #include "inject/journal.hh"
 
-#include <cctype>
-#include <map>
 #include <sstream>
 
 #include "common/file.hh"
+#include "common/flat_json.hh"
 
 namespace ruu::inject
 {
@@ -14,209 +13,12 @@ namespace
 
 const char *const kJournalKind = "ruu-inject-journal";
 
-/** Escape @p text for embedding in a JSON string literal. */
-std::string
-escapeJson(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** One parsed value of the flat object grammar. */
-struct FlatValue
-{
-    bool isString = false;
-    std::string text;          //!< unescaped string / number spelling
-    std::uint64_t number = 0;  //!< valid when !isString
-};
-
-using FlatObject = std::map<std::string, FlatValue>;
-
-/**
- * Parser for the one-line subset of JSON the journal emits: a single
- * object whose values are strings or unsigned integers.
- */
-class FlatParser
-{
-  public:
-    explicit FlatParser(const std::string &text) : _text(text) {}
-
-    Expected<FlatObject> parse()
-    {
-        FlatObject object;
-        skipSpace();
-        if (!consume('{'))
-            return fail("expected '{'");
-        skipSpace();
-        if (consume('}'))
-            return object;
-        while (true) {
-            skipSpace();
-            std::string key;
-            if (auto r = parseString(key); !r)
-                return r.error();
-            skipSpace();
-            if (!consume(':'))
-                return fail("expected ':' after key '" + key + "'");
-            skipSpace();
-            FlatValue value;
-            if (peek() == '"') {
-                value.isString = true;
-                if (auto r = parseString(value.text); !r)
-                    return r.error();
-            } else {
-                if (auto r = parseNumber(value); !r)
-                    return r.error();
-            }
-            object[key] = std::move(value);
-            skipSpace();
-            if (consume(','))
-                continue;
-            if (consume('}'))
-                break;
-            return fail("expected ',' or '}'");
-        }
-        skipSpace();
-        if (_pos != _text.size())
-            return fail("trailing text after object");
-        return object;
-    }
-
-  private:
-    char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
-    bool consume(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++_pos;
-        return true;
-    }
-    void skipSpace()
-    {
-        while (_pos < _text.size() &&
-               std::isspace(static_cast<unsigned char>(_text[_pos])))
-            ++_pos;
-    }
-    Error fail(const std::string &what) const
-    {
-        return Error(what + " at column " + std::to_string(_pos + 1));
-    }
-
-    Expected<bool> parseString(std::string &out)
-    {
-        if (!consume('"'))
-            return fail("expected '\"'");
-        out.clear();
-        while (true) {
-            if (_pos >= _text.size())
-                return fail("unterminated string");
-            char c = _text[_pos++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (_pos >= _text.size())
-                return fail("unterminated escape");
-            char e = _text[_pos++];
-            switch (e) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'n': out += '\n'; break;
-              case 'r': out += '\r'; break;
-              case 't': out += '\t'; break;
-              case 'u': {
-                if (_pos + 4 > _text.size())
-                    return fail("truncated \\u escape");
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = _text[_pos++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= h - '0';
-                    else if (h >= 'a' && h <= 'f')
-                        code |= h - 'a' + 10;
-                    else if (h >= 'A' && h <= 'F')
-                        code |= h - 'A' + 10;
-                    else
-                        return fail("bad hex digit in \\u escape");
-                }
-                // The journal only ever escapes control bytes, so a
-                // single byte is enough to reconstruct them.
-                out += static_cast<char>(code & 0xff);
-                break;
-              }
-              default:
-                return fail(std::string("unknown escape '\\") + e + "'");
-            }
-        }
-    }
-
-    Expected<bool> parseNumber(FlatValue &out)
-    {
-        std::size_t start = _pos;
-        while (_pos < _text.size() &&
-               std::isdigit(static_cast<unsigned char>(_text[_pos])))
-            ++_pos;
-        if (_pos == start)
-            return fail("expected a value");
-        out.text = _text.substr(start, _pos - start);
-        out.number = 0;
-        for (char c : out.text) {
-            if (out.number > (UINT64_MAX - (c - '0')) / 10)
-                return fail("number out of range");
-            out.number = out.number * 10 + (c - '0');
-        }
-        return true;
-    }
-
-    const std::string &_text;
-    std::size_t _pos = 0;
-};
-
-Expected<std::uint64_t>
-getNumber(const FlatObject &object, const std::string &key)
-{
-    auto it = object.find(key);
-    if (it == object.end())
-        return Error("missing key '" + key + "'");
-    if (it->second.isString)
-        return Error("key '" + key + "' is a string, expected a number");
-    return it->second.number;
-}
-
-Expected<std::string>
-getString(const FlatObject &object, const std::string &key)
-{
-    auto it = object.find(key);
-    if (it == object.end())
-        return Error("missing key '" + key + "'");
-    if (!it->second.isString)
-        return Error("key '" + key + "' is a number, expected a string");
-    return it->second.text;
-}
+// The flat one-line JSON grammar (one object per line, string and
+// unsigned-integer values only) lives in common/flat_json.hh; the
+// journal format pinned it and the serve subsystem shares it.
+using flat::escape;
+using flat::getNumber;
+using flat::getString;
 
 std::vector<std::string>
 splitCommas(const std::string &joined)
@@ -278,11 +80,11 @@ headerToLine(const JournalHeader &header)
        << ", \"version\": " << header.version
        << ", \"seed\": " << header.seed
        << ", \"trials\": " << header.trials
-       << ", \"cores\": \"" << escapeJson(joinCommas(header.cores))
+       << ", \"cores\": \"" << escape(joinCommas(header.cores))
        << "\""
        << ", \"workloads\": \""
-       << escapeJson(joinCommas(header.workloads)) << "\""
-       << ", \"config\": \"" << escapeJson(header.config) << "\"}";
+       << escape(joinCommas(header.workloads)) << "\""
+       << ", \"config\": \"" << escape(header.config) << "\"}";
     return os.str();
 }
 
@@ -292,26 +94,25 @@ trialToLine(const TrialResult &trial)
     std::ostringstream os;
     os << "{\"index\": " << trial.point.index
        << ", \"seed\": " << trial.point.seed
-       << ", \"core\": \"" << escapeJson(trial.point.core) << "\""
-       << ", \"workload\": \"" << escapeJson(trial.point.workload)
+       << ", \"core\": \"" << escape(trial.point.core) << "\""
+       << ", \"workload\": \"" << escape(trial.point.workload)
        << "\""
        << ", \"cycle\": " << trial.point.cycle
        << ", \"bit\": " << trial.point.bit
-       << ", \"port\": \"" << escapeJson(trial.port) << "\""
+       << ", \"port\": \"" << escape(trial.port) << "\""
        << ", \"before\": " << trial.before
        << ", \"after\": " << trial.after
        << ", \"outcome\": \"" << outcomeName(trial.outcome) << "\""
        << ", \"cycles\": " << trial.cycles
        << ", \"retries\": " << trial.retries
-       << ", \"detail\": \"" << escapeJson(trial.detail) << "\"}";
+       << ", \"detail\": \"" << escape(trial.detail) << "\"}";
     return os.str();
 }
 
 Expected<JournalHeader>
 parseHeaderLine(const std::string &line)
 {
-    FlatParser parser(line);
-    auto object = parser.parse();
+    auto object = flat::parseObject(line);
     if (!object)
         return Error(object.error()).context("journal header");
     auto kind = getString(*object, "kind");
@@ -348,8 +149,7 @@ parseHeaderLine(const std::string &line)
 Expected<TrialResult>
 parseTrialLine(const std::string &line)
 {
-    FlatParser parser(line);
-    auto object = parser.parse();
+    auto object = flat::parseObject(line);
     if (!object)
         return object.error();
     TrialResult trial;

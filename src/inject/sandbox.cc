@@ -243,4 +243,21 @@ runSandboxed(const std::function<void(SandboxChannel &)> &body,
     return outcome;
 }
 
+SandboxOutcome
+runSandboxedWithRetry(const std::function<void(SandboxChannel &)> &body,
+                      unsigned timeoutMs, const BackoffPolicy &policy,
+                      unsigned *retriesOut)
+{
+    Backoff backoff(policy);
+    SandboxOutcome out = runSandboxed(body, timeoutMs);
+    while (out.status == SandboxOutcome::Status::SpawnFailed &&
+           !backoff.exhausted()) {
+        ::usleep(static_cast<useconds_t>(backoff.nextDelayUs()));
+        out = runSandboxed(body, timeoutMs);
+    }
+    if (retriesOut)
+        *retriesOut = backoff.attempts();
+    return out;
+}
+
 } // namespace ruu::inject

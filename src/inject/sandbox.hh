@@ -25,6 +25,8 @@
 #include <functional>
 #include <string>
 
+#include "common/backoff.hh"
+
 namespace ruu::inject
 {
 
@@ -69,6 +71,20 @@ struct SandboxOutcome
  */
 SandboxOutcome runSandboxed(const std::function<void(SandboxChannel &)> &body,
                             unsigned timeoutMs);
+
+/**
+ * runSandboxed(), retrying SpawnFailed outcomes (fork/pipe failure
+ * under transient host pressure) on the shared capped-exponential
+ * backoff schedule. Any other outcome — including Crashed and
+ * TimedOut, which are the child's verdict, not host trouble — returns
+ * immediately. On return @p retriesOut (when non-null) holds the
+ * number of retries burned; a still-SpawnFailed outcome means the
+ * policy was exhausted.
+ */
+SandboxOutcome
+runSandboxedWithRetry(const std::function<void(SandboxChannel &)> &body,
+                      unsigned timeoutMs, const BackoffPolicy &policy,
+                      unsigned *retriesOut = nullptr);
 
 } // namespace ruu::inject
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ordered streaming commit for parallel producers.
+ *
+ * The campaign journal and the serve response stream share the same
+ * requirement: workers finish jobs in scheduling order, but the
+ * durable output (journal lines, protocol responses, progress
+ * callbacks) must appear in submission order, and must stop exactly
+ * where a serial run's would stop when a job fails. OrderedCommitter
+ * stages each finished result under its position and advances a
+ * cursor through consecutive positions, invoking the commit sink for
+ * each result as it becomes the front of the line. A failed position
+ * blocks every later commit, so an interrupted or failed parallel run
+ * leaves output byte-identical to the serial prefix.
+ *
+ * Thread-safe; the commit sink runs under the internal lock, so sinks
+ * must not call back into the committer.
+ */
+
+#ifndef RUU_PAR_ORDERED_HH
+#define RUU_PAR_ORDERED_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hh"
+
+namespace ruu::par
+{
+
+template <typename T>
+class OrderedCommitter
+{
+  public:
+    /**
+     * @p sink commits one in-order result; returning an error marks
+     * that position failed (blocking all later commits), exactly as
+     * if the job itself had failed.
+     */
+    template <typename Sink>
+    explicit OrderedCommitter(Sink sink) : _sink(std::move(sink)) {}
+
+    /** Stage the finished result of @p pos and commit any ready run. */
+    void commit(std::size_t pos, T result)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _staged.emplace(pos, std::move(result));
+        drainLocked();
+    }
+
+    /**
+     * Mark @p pos failed. The earliest failure wins; everything before
+     * it still commits, nothing at or after it ever does.
+     */
+    void fail(std::size_t pos, Error error)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_failed || pos < _failedPos) {
+            _failed = true;
+            _failedPos = pos;
+            _error = std::move(error);
+        }
+        drainLocked();
+    }
+
+    /**
+     * True when a failure at or before @p pos makes this position's
+     * work uncommittable — workers poll this to skip doomed jobs.
+     */
+    bool doomed(std::size_t pos) const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _failed && _failedPos <= pos;
+    }
+
+    /** True once any position has failed. */
+    bool failed() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _failed;
+    }
+
+    /** The winning (earliest-position) failure. */
+    Error error() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _error;
+    }
+
+    /** Positions committed so far (the cursor). */
+    std::size_t committed() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _next;
+    }
+
+  private:
+    void drainLocked()
+    {
+        while (!_staged.empty()) {
+            auto front = _staged.begin();
+            if (front->first != _next)
+                break;
+            if (_failed && _failedPos <= _next)
+                break;
+            if (auto committed = _sink(_next, front->second);
+                !committed) {
+                _failed = true;
+                _failedPos = _next;
+                _error = committed.error();
+                break;
+            }
+            _staged.erase(front);
+            ++_next;
+        }
+    }
+
+    std::function<Expected<bool>(std::size_t, const T &)> _sink;
+    mutable std::mutex _mutex;
+    std::map<std::size_t, T> _staged;
+    std::size_t _next = 0;
+    bool _failed = false;
+    std::size_t _failedPos = 0;
+    Error _error;
+};
+
+} // namespace ruu::par
+
+#endif // RUU_PAR_ORDERED_HH

@@ -1,0 +1,152 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+
+namespace ruu::serve
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Ping: return "ping";
+      case Op::Status: return "status";
+      case Op::Submit: return "submit";
+      case Op::Run: return "run";
+      case Op::Shutdown: return "shutdown";
+    }
+    return "ping";
+}
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Done: return "done";
+      case JobStatus::Rejected: return "rejected";
+      case JobStatus::Crashed: return "crashed";
+      case JobStatus::TimedOut: return "timed-out";
+      case JobStatus::Failed: return "failed";
+    }
+    return "failed";
+}
+
+Expected<Request>
+parseRequest(const std::string &line)
+{
+    auto object = flat::parseObject(line);
+    if (!object)
+        return Error(object.error()).context("request");
+    auto op = flat::getString(*object, "op");
+    if (!op)
+        return Error(op.error()).context("request");
+
+    Request request;
+    if (*op == "ping") {
+        request.op = Op::Ping;
+    } else if (*op == "status") {
+        request.op = Op::Status;
+    } else if (*op == "run") {
+        request.op = Op::Run;
+    } else if (*op == "shutdown") {
+        request.op = Op::Shutdown;
+    } else if (*op == "submit") {
+        request.op = Op::Submit;
+    } else {
+        return Error("request: unknown op '" + *op + "'");
+    }
+
+    if (request.op != Op::Submit) {
+        // Argument-free operations carry nothing but the op: a stray
+        // key is a client bug (or fuzz input) worth diagnosing.
+        if (object->size() != 1)
+            return Error(std::string("request: op '") + *op +
+                         "' takes no other keys");
+        return request;
+    }
+
+    JobSpec &job = request.job;
+    for (const auto &[key, value] : *object) {
+        if (key == "op")
+            continue;
+        if (key == "id" && value.isString) {
+            job.id = value.text;
+        } else if (key == "workload" && value.isString) {
+            job.workload = value.text;
+        } else if (key == "program" && value.isString) {
+            job.program = value.text;
+        } else if (key == "name" && value.isString) {
+            job.name = value.text;
+        } else if (key == "core" && value.isString) {
+            job.core = value.text;
+        } else if (key == "config" && value.isString) {
+            job.configJson = value.text;
+        } else if (key == "period" && !value.isString) {
+            job.period = value.number;
+        } else if (key == "deadline_ms" && !value.isString) {
+            job.deadlineMs = value.number;
+        } else {
+            return Error("request: unknown or ill-typed key '" + key +
+                         "'");
+        }
+    }
+    if (job.id.empty())
+        return Error("request: submit needs an \"id\"");
+    if (job.workload.empty() == job.program.empty())
+        return Error("request: submit needs exactly one of "
+                     "\"workload\" or \"program\"");
+    return request;
+}
+
+std::string
+requestToLine(const Request &request)
+{
+    std::ostringstream os;
+    os << "{\"op\": \"" << opName(request.op) << "\"";
+    if (request.op == Op::Submit) {
+        const JobSpec &job = request.job;
+        os << ", \"id\": \"" << flat::escape(job.id) << "\"";
+        if (!job.workload.empty())
+            os << ", \"workload\": \"" << flat::escape(job.workload)
+               << "\"";
+        if (!job.program.empty())
+            os << ", \"program\": \"" << flat::escape(job.program)
+               << "\"";
+        if (!job.name.empty())
+            os << ", \"name\": \"" << flat::escape(job.name) << "\"";
+        if (job.core != "ruu")
+            os << ", \"core\": \"" << flat::escape(job.core) << "\"";
+        if (!job.configJson.empty())
+            os << ", \"config\": \"" << flat::escape(job.configJson)
+               << "\"";
+        if (job.period)
+            os << ", \"period\": " << job.period;
+        if (job.deadlineMs)
+            os << ", \"deadline_ms\": " << job.deadlineMs;
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+resultToLine(const std::string &id, JobStatus status, bool cached,
+             const std::string &payloadOrError)
+{
+    std::ostringstream os;
+    os << "{\"ok\": " << (status == JobStatus::Done ? 1 : 0)
+       << ", \"op\": \"result\""
+       << ", \"id\": \"" << flat::escape(id) << "\""
+       << ", \"status\": \"" << jobStatusName(status) << "\""
+       << ", \"cached\": " << (cached ? 1 : 0) << ", \""
+       << (status == JobStatus::Done ? "payload" : "error") << "\": \""
+       << flat::escape(payloadOrError) << "\"}";
+    return os.str();
+}
+
+std::string
+errorToLine(const std::string &message)
+{
+    return "{\"ok\": 0, \"error\": \"" + flat::escape(message) + "\"}";
+}
+
+} // namespace ruu::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Crash-safe server journal, in the inject-journal style: one flat-
+ * JSON object per line, a header that pins the journal to its server
+ * identity (cache directory + protocol version), and torn-tail
+ * tolerance — a SIGKILL mid-append leaves a final line that fails to
+ * parse, which readers drop (reporting validBytes for truncation)
+ * instead of refusing the whole file.
+ *
+ * Each completed job appends its content address and payload checksum.
+ * On restart the server replays the journal against the cache: an
+ * entry whose cache file still matches its journaled checksum is a
+ * recovered result (a resubmitted batch hits it, byte-identical to
+ * the pre-crash run); any disagreement deletes the cache file so the
+ * job recomputes. The journal never stores payloads — the cache is
+ * the payload store, the journal is the integrity record.
+ */
+
+#ifndef RUU_SERVE_RECOVERY_HH
+#define RUU_SERVE_RECOVERY_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace ruu::serve
+{
+
+/** Identity line pinning a journal to one server configuration. */
+struct ServeJournalHeader
+{
+    std::uint64_t version = 1;
+    std::string cacheDir;
+};
+
+/** One completed job's durable record. */
+struct JobRecord
+{
+    std::uint64_t key = 0;      //!< cache content address
+    std::uint64_t checksum = 0; //!< FNV-1a of the payload
+    std::uint64_t bytes = 0;    //!< payload size
+};
+
+std::string serveHeaderToLine(const ServeJournalHeader &header);
+std::string jobRecordToLine(const JobRecord &record);
+Expected<ServeJournalHeader> parseServeHeaderLine(const std::string &line);
+Expected<JobRecord> parseJobRecordLine(const std::string &line);
+
+/** A journal as read back, with torn-tail accounting. */
+struct ServeJournalContents
+{
+    ServeJournalHeader header;
+    std::vector<JobRecord> records;
+    bool tornTail = false;
+    std::size_t validBytes = 0; //!< truncate here before appending
+};
+
+/**
+ * Read and validate @p path. Only an unparseable FINAL record line is
+ * forgiven (tornTail); damage anywhere else is an error.
+ */
+Expected<ServeJournalContents> readServeJournal(const std::string &path);
+
+/** Streaming appender (create or resume). */
+class ServeJournalWriter
+{
+  public:
+    /** Truncate and write the header. */
+    Expected<bool> create(const std::string &path,
+                          const ServeJournalHeader &header);
+
+    /**
+     * Open for appending, isolating any newline-less torn fragment on
+     * its own line first.
+     */
+    Expected<bool> append(const std::string &path);
+
+    /** Append one record, flushed to the OS before returning. */
+    Expected<bool> add(const JobRecord &record);
+
+    bool isOpen() const { return _out.is_open(); }
+
+  private:
+    std::ofstream _out;
+    std::string _path;
+};
+
+} // namespace ruu::serve
+
+#endif // RUU_SERVE_RECOVERY_HH

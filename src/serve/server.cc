@@ -1,0 +1,639 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "inject/sandbox.hh"
+#include "kernels/lll.hh"
+#include "lint/dataflow_bound.hh"
+#include "lint/wcirt.hh"
+#include "par/ordered.hh"
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+#include "serve/recovery.hh"
+#include "sim/json.hh"
+#include "sim/machine.hh"
+#include "trap/controller.hh"
+#include "trap/handlers.hh"
+#include "trap/interrupt_source.hh"
+
+namespace ruu::serve
+{
+
+namespace
+{
+
+/** Keep only the last @p keep characters of @p text. */
+std::string
+tail(const std::string &text, std::size_t keep)
+{
+    if (text.size() <= keep)
+        return text;
+    return "..." + text.substr(text.size() - keep);
+}
+
+/** Send all of @p line plus a newline; false once the peer is gone. */
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line + "\n";
+    std::size_t done = 0;
+    while (done < framed.size()) {
+        ssize_t n = ::send(fd, framed.data() + done,
+                           framed.size() - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** What one job produced, staged for the ordered committer. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Failed;
+    bool cached = false;
+    bool freshResult = false; //!< Done and not from the cache
+    std::string text;         //!< payload (Done) or diagnostic
+    std::uint64_t key = 0;
+};
+
+/**
+ * The sandboxed body of a periodic-interrupt job: one cell of the
+ * `ruusim storm` sweep (baseline run, compact-layout heuristic,
+ * counter handler, WCIRT ceiling, oracle + bit-exact replay checks),
+ * reported in the storm --json line format.
+ */
+std::string
+runPeriodicJob(const Workload &workload, CoreKind kind,
+               const UarchConfig &config, std::uint64_t period)
+{
+    trap::TrapConfig tconfig;
+    tconfig.checkOracle = true;
+    Addr maxAddr = 0;
+    for (const auto &record : workload.trace().records())
+        maxAddr = std::max(maxAddr, record.memAddr);
+    for (const auto &init : workload.program->dataInits())
+        maxAddr = std::max(maxAddr, init.addr);
+    if (maxAddr < 0xe000) {
+        tconfig.layout.exchangeBase = 0xf000;
+        tconfig.layout.scratchBase = 0xf800;
+        tconfig.memoryWords = 1u << 16;
+    }
+    auto handlerProg =
+        std::make_shared<const Program>(trap::counterHandler());
+    tconfig.handler = handlerProg;
+
+    auto core = makeCore(kind, config);
+    RunResult baseline = core->run(workload.trace());
+
+    trap::TrapController controller(*core, tconfig);
+    trap::TrapRunResult res = controller.run(
+        workload.trace(),
+        trap::InterruptSource::periodic(static_cast<Cycle>(period), 1));
+
+    bool good = res.ok();
+    std::string why = res.error;
+    if (good && !res.oracleFailure.empty()) {
+        good = false;
+        why = res.oracleFailure;
+    }
+    if (good) {
+        auto replay = trap::replayFunctional(workload.program, tconfig,
+                                             res.deliveries);
+        if (!replay.ok) {
+            good = false;
+            why = replay.error;
+        } else if (replay.state != res.state ||
+                   replay.memory != res.memory ||
+                   replay.trapRegs != res.trapRegs) {
+            good = false;
+            why = "timing run and functional replay disagree on the "
+                  "final state";
+        }
+    }
+    const double pctCeil =
+        res.wcirtCeiling
+            ? 100.0 * static_cast<double>(res.maxDeliveryLatency) /
+                  static_cast<double>(res.wcirtCeiling)
+            : 0.0;
+    double degrade =
+        baseline.cycles
+            ? 100.0 *
+                  (static_cast<double>(res.cycles) -
+                   static_cast<double>(baseline.cycles)) /
+                  static_cast<double>(baseline.cycles)
+            : 0.0;
+    return detail::vformat(
+        "{\"workload\": \"%s\", \"core\": \"%s\", "
+        "\"k\": %llu, \"deliveries\": %zu, "
+        "\"handler_mean_cycles\": %.2f, "
+        "\"handler_max_cycles\": %llu, "
+        "\"cycles\": %llu, \"baseline_cycles\": %llu, "
+        "\"degradation_pct\": %.2f, \"wcirt\": %llu, "
+        "\"max_delivery_latency\": %llu, "
+        "\"pct_ceiling\": %.2f, \"ok\": %s, \"pruned\": false}",
+        workload.name.c_str(), coreKindName(kind),
+        static_cast<unsigned long long>(period), res.deliveries.size(),
+        res.meanHandlerCycles(),
+        static_cast<unsigned long long>(res.maxHandlerCycles()),
+        static_cast<unsigned long long>(res.cycles),
+        static_cast<unsigned long long>(baseline.cycles), degrade,
+        static_cast<unsigned long long>(res.wcirtCeiling),
+        static_cast<unsigned long long>(res.maxDeliveryLatency),
+        pctCeil, good ? "true" : "false");
+}
+
+class Server
+{
+  public:
+    Server(const ServerOptions &options, ServerStats &stats)
+        : _options(options), _stats(stats), _cache(options.cacheDir),
+          _pool(options.jobs), _start(std::chrono::steady_clock::now())
+    {}
+
+    Expected<int> run();
+
+  private:
+    Expected<bool> recover();
+    void handleConnection(int fd);
+    void runBatch(int fd, bool &connAlive);
+    JobOutcome runJob(const JobSpec &job, std::size_t index);
+    std::string statusLine() const;
+
+    const ServerOptions &_options;
+    ServerStats &_stats;
+    ResultCache _cache;
+    std::mutex _cacheMutex;
+    ServeJournalWriter _journal;
+    par::Pool _pool;
+    std::chrono::steady_clock::time_point _start;
+    std::vector<JobSpec> _queue;
+    int _listenFd = -1; //!< closed in sandbox children
+    int _connFd = -1;   //!< closed in sandbox children
+    bool _shutdown = false;
+};
+
+Expected<bool>
+Server::recover()
+{
+    if (_options.journalPath.empty())
+        return true;
+    bool exists = false;
+    {
+        std::ifstream probe(_options.journalPath);
+        exists = probe.good();
+    }
+    if (!exists) {
+        ServeJournalHeader header;
+        header.cacheDir = _options.cacheDir;
+        return _journal.create(_options.journalPath, header);
+    }
+    auto contents = readServeJournal(_options.journalPath);
+    if (!contents)
+        return Error(contents.error()).context("serve recovery");
+    // Identity pinning: a journal only vouches for the cache it was
+    // written against; replaying it onto a different directory would
+    // "recover" entries it knows nothing about.
+    if (contents->header.cacheDir != _options.cacheDir)
+        return Error("serve journal '" + _options.journalPath +
+                     "' pins cache directory '" +
+                     contents->header.cacheDir + "', not '" +
+                     _options.cacheDir + "'");
+    if (contents->tornTail &&
+        ::truncate(_options.journalPath.c_str(),
+                   static_cast<off_t>(contents->validBytes)) != 0)
+        return Error("cannot drop the torn tail of serve journal '" +
+                     _options.journalPath + "': " +
+                     std::strerror(errno));
+    // Each journaled completion vouches for one cache entry; entries
+    // the journal and cache disagree on are deleted so the job simply
+    // recomputes — corruption degrades to work, never to wrong bytes.
+    for (const JobRecord &record : contents->records)
+        if (_cache.verifyAgainst(record.key, record.checksum,
+                                 record.bytes))
+            ++_stats.recovered;
+    return _journal.append(_options.journalPath);
+}
+
+std::string
+Server::statusLine() const
+{
+    auto uptime =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - _start)
+            .count();
+    const ResultCache::Stats &cache = _cache.stats();
+    std::ostringstream os;
+    os << "{\"ok\": 1, \"op\": \"status\""
+       << ", \"uptime_ms\": " << uptime
+       << ", \"queue_depth\": " << _queue.size()
+       << ", \"queue_limit\": " << _options.queueLimit
+       << ", \"jobs\": " << _options.jobs
+       << ", \"connections\": " << _stats.connections
+       << ", \"requests\": " << _stats.requests
+       << ", \"bad_requests\": " << _stats.badRequests
+       << ", \"jobs_done\": " << _stats.jobsDone
+       << ", \"jobs_rejected\": " << _stats.jobsRejected
+       << ", \"jobs_crashed\": " << _stats.jobsCrashed
+       << ", \"jobs_timed_out\": " << _stats.jobsTimedOut
+       << ", \"jobs_failed\": " << _stats.jobsFailed
+       << ", \"shed\": " << _stats.shed
+       << ", \"recovered\": " << _stats.recovered
+       << ", \"cache_hits\": " << cache.hits
+       << ", \"cache_misses\": " << cache.misses
+       << ", \"cache_stores\": " << cache.stores
+       << ", \"cache_dropped\": " << cache.dropped
+       << ", \"cache_entries\": " << _cache.entriesOnDisk() << "}";
+    return os.str();
+}
+
+JobOutcome
+Server::runJob(const JobSpec &job, std::size_t index)
+{
+    JobOutcome out;
+
+    auto kind = coreKindFromName(job.core);
+    if (!kind) {
+        out.status = JobStatus::Rejected;
+        out.text = "unknown core '" + job.core + "'";
+        return out;
+    }
+
+    UarchConfig config = UarchConfig::cray1();
+    if (!job.configJson.empty()) {
+        auto parsed = parseUarchConfig(job.configJson);
+        if (!parsed) {
+            out.status = JobStatus::Rejected;
+            out.text = "bad config: " + parsed.error().message();
+            return out;
+        }
+        config = parsed.take();
+    }
+    if (std::string problem = config.validate(); !problem.empty()) {
+        out.status = JobStatus::Rejected;
+        out.text = "bad config: " + problem;
+        return out;
+    }
+
+    // Resolve the workload. Kernel names share the process-wide cached
+    // workloads; submitted programs are assembled and functionally
+    // simulated here, where a faulting or non-halting program is a
+    // per-job rejection, never a dead server.
+    const Workload *resolved = nullptr;
+    Workload built;
+    if (!job.workload.empty()) {
+        for (const Workload &workload : livermoreWorkloads())
+            if (workload.name == job.workload)
+                resolved = &workload;
+        if (!resolved) {
+            out.status = JobStatus::Rejected;
+            out.text = "unknown workload '" + job.workload + "'";
+            return out;
+        }
+    } else {
+        auto checked = workloadFromSourceChecked(
+            job.program, job.name.empty() ? job.id : job.name);
+        if (!checked) {
+            out.status = JobStatus::Rejected;
+            out.text = checked.error().message();
+            return out;
+        }
+        built = checked.take();
+        resolved = &built;
+    }
+    const Workload &workload = *resolved;
+
+    CacheKeyInputs inputs;
+    inputs.displayName = workload.name;
+    inputs.traceFingerprint = lint::boundTraceFingerprint(workload.trace());
+    inputs.traceLength = workload.trace().size();
+    inputs.configJson = configToJson(config);
+    inputs.core = coreKindName(*kind);
+    inputs.period = job.period;
+    out.key = cacheKey(inputs);
+
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        if (auto hit = _cache.load(out.key)) {
+            out.status = JobStatus::Done;
+            out.cached = true;
+            out.text = std::move(*hit);
+            return out;
+        }
+    }
+
+    // Fresh computation, crash-contained: the simulation runs in a
+    // forked child under the job's deadline, so a wedged or crashing
+    // run is this job's classification, not the daemon's death.
+    unsigned deadline = job.deadlineMs
+                            ? static_cast<unsigned>(job.deadlineMs)
+                            : _options.defaultDeadlineMs;
+    BackoffPolicy policy = _options.spawnBackoff;
+    policy.seed = par::jobSeed(_options.seed, index);
+    unsigned retries = 0;
+    inject::SandboxOutcome sandbox = inject::runSandboxedWithRetry(
+        [&](inject::SandboxChannel &channel) {
+            // The child inherited the daemon's sockets. Drop them, or
+            // an in-flight child outliving a SIGKILLed daemon keeps
+            // the listener's inode alive — a client connecting during
+            // the restart window then lands in a backlog nobody will
+            // ever accept and dies of a reset instead of retrying
+            // against the restarted daemon.
+            if (_listenFd >= 0)
+                ::close(_listenFd);
+            if (_connFd >= 0)
+                ::close(_connFd);
+            if (job.period == 0) {
+                auto core = makeCore(*kind, config);
+                RunResult run = core->run(workload.trace());
+                if (!matchesFunctional(run, workload.func))
+                    ruu_fatal("'%s' committed the wrong state "
+                              "(simulator bug)",
+                              workload.name.c_str());
+                channel.send("RES",
+                             runToJson(workload.name, core->name(),
+                                       run, core->stats()));
+            } else {
+                channel.send("RES",
+                             runPeriodicJob(workload, *kind, config,
+                                            job.period));
+            }
+        },
+        deadline, policy, &retries);
+
+    switch (sandbox.status) {
+      case inject::SandboxOutcome::Status::Reported:
+        out.status = JobStatus::Done;
+        out.freshResult = true;
+        out.text = sandbox.resLine;
+        break;
+      case inject::SandboxOutcome::Status::Crashed: {
+        out.status = JobStatus::Crashed;
+        std::string how =
+            sandbox.signal
+                ? std::string("signal ") + strsignal(sandbox.signal)
+                : "exit code " + std::to_string(sandbox.exitCode);
+        out.text = "job process died (" + how + "): " +
+                   tail(sandbox.stderrText, 1000);
+        break;
+      }
+      case inject::SandboxOutcome::Status::TimedOut:
+        out.status = JobStatus::TimedOut;
+        out.text = "deadline (" + std::to_string(deadline) +
+                   " ms) expired";
+        break;
+      case inject::SandboxOutcome::Status::SpawnFailed:
+        out.status = JobStatus::Failed;
+        out.text = "sandbox spawn failed after " +
+                   std::to_string(retries + 1) + " attempts: " +
+                   sandbox.spawnError;
+        break;
+    }
+    return out;
+}
+
+void
+Server::runBatch(int fd, bool &connAlive)
+{
+    std::vector<JobSpec> batch;
+    batch.swap(_queue);
+
+    std::uint64_t done = 0, failedJobs = 0, hits = 0;
+    // Ordered streaming commit: results are staged as workers finish
+    // and durably recorded + sent strictly in submission order, so the
+    // response stream — and the journal — are byte-identical at any
+    // worker count, and a SIGKILL leaves a clean prefix.
+    par::OrderedCommitter<JobOutcome> committer(
+        [&](std::size_t pos, const JobOutcome &out) -> Expected<bool> {
+            if (out.freshResult && _cache.enabled()) {
+                std::lock_guard<std::mutex> lock(_cacheMutex);
+                // The cache write lands before the journal record
+                // vouching for it: a crash between the two costs a
+                // recompute, never a journal entry with no payload.
+                if (auto stored = _cache.store(out.key, out.text);
+                    !stored)
+                    return stored.error();
+                if (_journal.isOpen()) {
+                    JobRecord record;
+                    record.key = out.key;
+                    record.checksum = fnv1a(out.text);
+                    record.bytes = out.text.size();
+                    if (auto added = _journal.add(record); !added)
+                        return added.error();
+                }
+            }
+            switch (out.status) {
+              case JobStatus::Done: ++_stats.jobsDone; ++done; break;
+              case JobStatus::Rejected:
+                ++_stats.jobsRejected; ++failedJobs; break;
+              case JobStatus::Crashed:
+                ++_stats.jobsCrashed; ++failedJobs; break;
+              case JobStatus::TimedOut:
+                ++_stats.jobsTimedOut; ++failedJobs; break;
+              case JobStatus::Failed:
+                ++_stats.jobsFailed; ++failedJobs; break;
+            }
+            if (out.cached)
+                ++hits;
+            if (connAlive &&
+                !writeLine(fd, resultToLine(batch[pos].id, out.status,
+                                            out.cached, out.text))) {
+                // The client hung up mid-stream. Keep committing —
+                // the work is done and the cache should keep it — but
+                // stop writing into the void.
+                connAlive = false;
+            }
+            return true;
+        });
+
+    par::forEachIndexed(
+        _options.jobs > 1 ? &_pool : nullptr, batch.size(),
+        [&](std::size_t pos, unsigned) {
+            if (committer.doomed(pos))
+                return;
+            committer.commit(pos, runJob(batch[pos], pos));
+        });
+
+    if (committer.failed()) {
+        if (connAlive &&
+            !writeLine(fd, errorToLine(committer.error().message())))
+            connAlive = false;
+        return;
+    }
+    std::ostringstream os;
+    os << "{\"ok\": 1, \"op\": \"run\", \"jobs\": " << batch.size()
+       << ", \"done\": " << done << ", \"failed\": " << failedJobs
+       << ", \"cache_hits\": " << hits << "}";
+    if (connAlive && !writeLine(fd, os.str()))
+        connAlive = false;
+}
+
+void
+Server::handleConnection(int fd)
+{
+    _queue.clear();
+    std::string buffer;
+    char chunk[4096];
+    bool connAlive = true;
+    while (connAlive && !_shutdown) {
+        std::size_t eol = buffer.find('\n');
+        if (eol == std::string::npos) {
+            ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break; // peer closed (or errored): batch abandoned
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        std::string line = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        if (line.empty())
+            continue;
+        ++_stats.requests;
+
+        auto request = parseRequest(line);
+        if (!request) {
+            // Hostile or torn input answers with a diagnostic; the
+            // connection (and the daemon) stay up.
+            ++_stats.badRequests;
+            connAlive =
+                writeLine(fd, errorToLine(request.error().message()));
+            continue;
+        }
+        switch (request->op) {
+          case Op::Ping:
+            connAlive = writeLine(fd, "{\"ok\": 1, \"op\": \"ping\"}");
+            break;
+          case Op::Status:
+            connAlive = writeLine(fd, statusLine());
+            break;
+          case Op::Submit:
+            if (_queue.size() >= _options.queueLimit) {
+                // Bounded admission: shed with an explicit verdict
+                // instead of growing without limit.
+                ++_stats.shed;
+                connAlive = writeLine(
+                    fd, "{\"ok\": 0, \"op\": \"submit\", \"id\": \"" +
+                            flat::escape(request->job.id) +
+                            "\", \"error\": \"overloaded\", "
+                            "\"queue_depth\": " +
+                            std::to_string(_queue.size()) + "}");
+                break;
+            }
+            _queue.push_back(request->job);
+            connAlive = writeLine(
+                fd, "{\"ok\": 1, \"op\": \"submit\", \"id\": \"" +
+                        flat::escape(request->job.id) +
+                        "\", \"queued\": " +
+                        std::to_string(_queue.size()) + "}");
+            break;
+          case Op::Run:
+            runBatch(fd, connAlive);
+            break;
+          case Op::Shutdown:
+            writeLine(fd, "{\"ok\": 1, \"op\": \"shutdown\"}");
+            _shutdown = true;
+            break;
+        }
+    }
+    _queue.clear();
+}
+
+Expected<int>
+Server::run()
+{
+    if (_options.socketPath.empty())
+        return Error("serve: no socket path");
+    sockaddr_un addr{};
+    if (_options.socketPath.size() >= sizeof(addr.sun_path))
+        return Error("serve: socket path '" + _options.socketPath +
+                     "' is too long");
+
+    if (auto recovered = recover(); !recovered)
+        return recovered.error();
+
+    int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return Error(std::string("serve: socket: ") +
+                     std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, _options.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(_options.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        Error error(std::string("serve: bind '") +
+                    _options.socketPath + "': " + std::strerror(errno));
+        ::close(listenFd);
+        return error;
+    }
+    if (::listen(listenFd, 8) != 0) {
+        Error error(std::string("serve: listen: ") +
+                    std::strerror(errno));
+        ::close(listenFd);
+        return error;
+    }
+
+    _listenFd = listenFd;
+
+    // Prewarm the kernel workloads after the socket is listening —
+    // early clients queue in the accept backlog instead of getting
+    // connection-refused — so the first batch doesn't pay the one-time
+    // functional-simulation cost inside its deadline.
+    livermoreWorkloads();
+
+    while (!_shutdown &&
+           (_options.maxConnections == 0 ||
+            _stats.connections < _options.maxConnections)) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            Error error(std::string("serve: accept: ") +
+                        std::strerror(errno));
+            ::close(listenFd);
+            ::unlink(_options.socketPath.c_str());
+            return error;
+        }
+        ++_stats.connections;
+        _connFd = fd;
+        handleConnection(fd);
+        _connFd = -1;
+        ::close(fd);
+    }
+    ::close(listenFd);
+    ::unlink(_options.socketPath.c_str());
+    return 0;
+}
+
+} // namespace
+
+Expected<int>
+runServer(const ServerOptions &options, ServerStats *statsOut)
+{
+    ServerStats stats;
+    Server server(options, stats);
+    auto result = server.run();
+    if (statsOut)
+        *statsOut = stats;
+    return result;
+}
+
+} // namespace ruu::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * ruusimd — the crash-tolerant simulation service (docs/SERVE.md).
+ *
+ * A daemon on a Unix-domain socket accepting the serve/protocol.hh
+ * dialect: clients submit a batch of (program, core, config,
+ * schedule) jobs and run it; per-job results stream back in
+ * submission order. Every job executes in a fork sandbox
+ * (inject/sandbox.hh) under a per-job wall-clock deadline, so a
+ * crashing or hanging simulation is classified on its own result line
+ * while the daemon keeps serving. Batches run on the deterministic
+ * work-stealing pool (par/pool.hh) and commit through the ordered
+ * committer (par/ordered.hh), so the response stream is byte-
+ * identical at any worker count.
+ *
+ * Degradation policy, in order of preference: serve from the content-
+ * addressed cache; recompute on any cache corruption; classify per-
+ * job failures (rejected / crashed / timed-out) without failing the
+ * batch; shed submits over the bounded admission queue with an
+ * explicit "overloaded" response; retry transient spawn failures on
+ * the shared capped-exponential backoff; and only ever exit on
+ * operator request (shutdown op) or an unusable environment (bad
+ * socket path, mismatched journal identity).
+ */
+
+#ifndef RUU_SERVE_SERVER_HH
+#define RUU_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.hh"
+#include "common/error.hh"
+#include "par/pool.hh"
+
+namespace ruu::serve
+{
+
+struct ServerOptions
+{
+    std::string socketPath;
+
+    /** Result-cache directory; empty disables caching. */
+    std::string cacheDir;
+
+    /** Recovery journal path; empty disables crash recovery. */
+    std::string journalPath;
+
+    /** Pool workers for batch execution (1 = inline serial). */
+    unsigned jobs = 1;
+
+    /** Admission-queue bound; submits past it are shed. */
+    std::size_t queueLimit = 256;
+
+    /** Per-job wall-clock watchdog when the job names none. */
+    unsigned defaultDeadlineMs = 10'000;
+
+    /** Seed for the deterministic spawn-retry jitter streams. */
+    std::uint64_t seed = 1;
+
+    /** Sandbox spawn retry schedule (worker replacement). */
+    BackoffPolicy spawnBackoff;
+
+    /** Serve at most this many connections, then return; 0 = no cap. */
+    std::uint64_t maxConnections = 0;
+};
+
+/** Observable server counters (the status response). */
+struct ServerStats
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t badRequests = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t jobsRejected = 0;
+    std::uint64_t jobsCrashed = 0;
+    std::uint64_t jobsTimedOut = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t shed = 0;      //!< submits refused as overloaded
+    std::uint64_t recovered = 0; //!< journal records verified at start
+};
+
+/**
+ * Run the daemon until a shutdown request (returns 0), the connection
+ * cap, or a fatal environment error. Blocks the calling thread.
+ */
+Expected<int> runServer(const ServerOptions &options,
+                        ServerStats *statsOut = nullptr);
+
+} // namespace ruu::serve
+
+#endif // RUU_SERVE_SERVER_HH

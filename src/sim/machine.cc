@@ -59,8 +59,8 @@ makeCore(CoreKind kind, const UarchConfig &config)
     ruu_panic("unknown core kind");
 }
 
-Workload
-makeWorkload(Program program, const FuncSimOptions &options)
+Expected<Workload>
+makeWorkloadChecked(Program program, const FuncSimOptions &options)
 {
     Workload workload;
     workload.name = program.name();
@@ -68,28 +68,46 @@ makeWorkload(Program program, const FuncSimOptions &options)
         std::make_shared<const Program>(std::move(program));
     workload.func = runFunctional(workload.program, options);
     if (workload.func.fault != Fault::None)
-        ruu_fatal("program '%s' faulted (%s) at dynamic instruction %llu",
-                  workload.name.c_str(),
-                  faultName(workload.func.fault),
-                  static_cast<unsigned long long>(workload.func.faultSeq));
+        return Error("program '" + workload.name + "' faulted (" +
+                     faultName(workload.func.fault) +
+                     ") at dynamic instruction " +
+                     std::to_string(workload.func.faultSeq));
     if (!workload.func.halted)
-        ruu_fatal("program '%s' did not halt within the instruction "
-                  "limit", workload.name.c_str());
+        return Error("program '" + workload.name +
+                     "' did not halt within the instruction limit");
     return workload;
 }
 
-Workload
-workloadFromSource(const std::string &source, const std::string &name)
+Expected<Workload>
+workloadFromSourceChecked(const std::string &source,
+                          const std::string &name)
 {
     AsmResult assembled = assemble(source, name);
     if (!assembled.ok()) {
         std::string all;
         for (const auto &error : assembled.errors)
             all += "\n  " + error.toString();
-        ruu_fatal("assembly of '%s' failed:%s", name.c_str(),
-                  all.c_str());
+        return Error("assembly of '" + name + "' failed:" + all);
     }
-    return makeWorkload(std::move(*assembled.program));
+    return makeWorkloadChecked(std::move(*assembled.program));
+}
+
+Workload
+makeWorkload(Program program, const FuncSimOptions &options)
+{
+    auto workload = makeWorkloadChecked(std::move(program), options);
+    if (!workload)
+        ruu_fatal("%s", workload.error().message().c_str());
+    return workload.take();
+}
+
+Workload
+workloadFromSource(const std::string &source, const std::string &name)
+{
+    auto workload = workloadFromSourceChecked(source, name);
+    if (!workload)
+        ruu_fatal("%s", workload.error().message().c_str());
+    return workload.take();
 }
 
 bool

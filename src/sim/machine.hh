@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/func_sim.hh"
+#include "common/error.hh"
 #include "core/core.hh"
 
 namespace ruu
@@ -58,6 +59,20 @@ struct Workload
     /** The dynamic trace. */
     const Trace &trace() const { return func.trace; }
 };
+
+/**
+ * Run @p program functionally and wrap the result; an error when the
+ * program faults organically or never halts. This is the form for
+ * code that handles hostile input — the serve daemon builds client-
+ * submitted programs with it, so a bad program is a per-job error
+ * response, never a dead server.
+ */
+Expected<Workload> makeWorkloadChecked(Program program,
+                                       const FuncSimOptions &options = {});
+
+/** Assemble @p source and build a workload; an error on bad input. */
+Expected<Workload> workloadFromSourceChecked(
+    const std::string &source, const std::string &name = "program");
 
 /**
  * Run @p program functionally and wrap the result.

@@ -217,6 +217,82 @@ TEST(CliErrors, InjectMismatchedJournalExitsTwo)
               2);
 }
 
+// ---------------------------------------------------------------------
+// serve / submit: the daemon and its client obey the same contract —
+// malformed invocations and unreachable daemons are status 2, job
+// failures are status 1, clean batches are status 0.
+
+TEST(CliErrors, ServeWithoutSocketExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("serve"), 2);
+}
+
+TEST(CliErrors, ServeWithPositionalArgumentExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("serve lll01 --socket cli_bogus.sock"), 2);
+}
+
+TEST(CliErrors, SubmitWithoutSocketExitsTwo)
+{
+    REQUIRE_BINARY();
+    EXPECT_EQ(runCli("submit lll01"), 2);
+}
+
+TEST(CliErrors, SubmitToAbsentDaemonExitsTwo)
+{
+    REQUIRE_BINARY();
+    std::remove("cli_absent.sock");
+    // The connect retry schedule is bounded: a daemon that never
+    // appears is a clean status-2 diagnosis, not a hang.
+    EXPECT_EQ(runCli("submit lll01 --socket cli_absent.sock"), 2);
+}
+
+TEST(CliErrors, ServeJournalPinnedElsewhereExitsTwo)
+{
+    REQUIRE_BINARY();
+    // A valid serve journal, pinned to a different cache directory:
+    // the daemon must refuse to vouch for entries it knows nothing
+    // about, before it ever binds the socket.
+    writeFile("cli_pinned.jsonl",
+              "{\"kind\": \"ruu-serve-journal\", \"version\": 1, "
+              "\"cache_dir\": \"/somewhere/else\"}\n");
+    EXPECT_EQ(runCli("serve --socket cli_pinned.sock "
+                     "--cache cli_cache --journal cli_pinned.jsonl"),
+              2);
+}
+
+TEST(CliErrors, ServeSubmitRoundTripObeysTheExitContract)
+{
+    REQUIRE_BINARY();
+    const char *sock = "cli_serve.sock";
+    std::remove(sock);
+    // A real daemon in the background; every path below talks to it.
+    std::string daemon = std::string(kBinary) +
+                         " serve --socket cli_serve.sock "
+                         "--cache cli_serve_cache -j 2 "
+                         ">/dev/null 2>&1 &";
+    ASSERT_EQ(std::system(daemon.c_str()), 0);
+
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --ping"), 0);
+    EXPECT_EQ(runCli("submit lll01 --socket cli_serve.sock"), 0);
+    // Warm second pass: still clean.
+    EXPECT_EQ(runCli("submit lll01 --socket cli_serve.sock"), 0);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --status"), 0);
+
+    // A job the daemon rejects (unparseable program) is a job
+    // failure: status 1, and the daemon stays up.
+    writeFile("cli_bad.s", "  florp A1, $!\n  halt\n");
+    EXPECT_EQ(runCli("submit cli_bad.s --socket cli_serve.sock"), 1);
+    // A client-side unreadable file never reaches the daemon.
+    EXPECT_EQ(runCli("submit cli_no_such.s --socket cli_serve.sock"),
+              2);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --ping"), 0);
+
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --stop"), 0);
+}
+
 TEST(CliErrors, InjectSmokeCampaignStopsResumesAndReplays)
 {
     REQUIRE_BINARY();

@@ -13,13 +13,18 @@
 
 #include <algorithm>
 #include <random>
+#include <thread>
 
+#include "common/flat_json.hh"
 #include "inject/snapshot.hh"
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
 #include "lint/resource_bound.hh"
 #include "lint/wcirt.hh"
 #include "oracle/commit_oracle.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
 #include "trap/controller.hh"
@@ -443,6 +448,111 @@ TEST_P(FuzzSeeds, ResourceBoundIsMonotoneUnderRandomConfigs)
 }
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds, ::testing::Range(0, 24));
+
+TEST(FuzzServe, MalformedRequestsNeverKillTheDaemon)
+{
+    // Hostile-input mode for the simulation service: hammer a live
+    // daemon with garbage — random bytes, truncated and bit-flipped
+    // request lines, stray keys — and require that every single line
+    // draws a parseable response on a surviving connection. The
+    // daemon's contract is that protocol errors are per-line
+    // diagnostics, never a dead server.
+    serve::ServerOptions options;
+    options.socketPath = "./fuzz_serve.sock";
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+    serve::ServeClient client;
+    BackoffPolicy retry;
+    retry.baseUs = 5'000;
+    retry.maxRetries = 20;
+    {
+        auto connected = client.connect(options.socketPath, retry);
+        ASSERT_TRUE(connected.ok()) << connected.error().message();
+    }
+
+    serve::Request valid;
+    valid.op = serve::Op::Submit;
+    valid.job.id = "fuzz";
+    valid.job.workload = "lll01";
+    const std::string validLine = serve::requestToLine(valid);
+
+    std::mt19937_64 rng(20260809);
+    std::uniform_int_distribution<int> mode(0, 4);
+    std::uniform_int_distribution<int> printable(0x20, 0x7e);
+    std::uniform_int_distribution<int> anyByte(0, 255);
+    std::uniform_int_distribution<std::size_t> length(0, 80);
+    std::uint64_t badSeen = 0;
+    for (int i = 0; i < 300; ++i) {
+        std::string line;
+        switch (mode(rng)) {
+          case 0: // printable garbage
+            line.resize(length(rng));
+            for (char &c : line)
+                c = static_cast<char>(printable(rng));
+            break;
+          case 1: { // one byte flipped in a valid request
+            line = validLine;
+            std::uniform_int_distribution<std::size_t> at(
+                0, line.size() - 1);
+            line[at(rng)] = static_cast<char>(printable(rng));
+            break;
+          }
+          case 2: { // torn mid-line (a SIGKILLed client's last write)
+            std::uniform_int_distribution<std::size_t> cut(
+                0, validLine.size() - 1);
+            line = validLine.substr(0, cut(rng));
+            break;
+          }
+          case 3: // stray keys
+            line = "{\"op\": \"status\", \"k" + std::to_string(i) +
+                   "\": \"v\"}";
+            break;
+          default: // raw bytes (anything but the line terminator)
+            line.resize(length(rng));
+            for (char &c : line) {
+                int byte = anyByte(rng);
+                c = static_cast<char>(byte == '\n' ? ' ' : byte);
+            }
+            break;
+        }
+        if (line.empty() || line == validLine)
+            continue; // blank lines and clean submits answer elsewhere
+        auto response = client.sendLine(line).ok()
+                            ? client.recvLine()
+                            : Expected<std::string>(Error("send"));
+        ASSERT_TRUE(response.ok())
+            << "daemon gone after: " << line << ": "
+            << response.error().message();
+        auto object = flat::parseObject(*response);
+        ASSERT_TRUE(object.ok()) << *response;
+        if (flat::getNumber(*object, "ok").value() == 0)
+            ++badSeen;
+    }
+    EXPECT_GT(badSeen, 200u) << "the generator stopped being hostile";
+
+    // The daemon is unscathed: a real batch still runs clean. Mutated
+    // lines that happened to stay parseable may have queued stray
+    // jobs; drain result lines until the batch summary.
+    ASSERT_TRUE(client.sendLine(validLine).ok());
+    ASSERT_TRUE(client.recvLine().ok());
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    bool anyDone = false;
+    while (true) {
+        auto line = client.recvLine();
+        ASSERT_TRUE(line.ok()) << line.error().message();
+        if (line->find("\"op\": \"run\"") != std::string::npos)
+            break;
+        anyDone |=
+            line->find("\"status\": \"done\"") != std::string::npos;
+    }
+    EXPECT_TRUE(anyDone);
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_GT(stats.badRequests, 0u);
+}
 
 TEST(FuzzGenerator, IsDeterministic)
 {

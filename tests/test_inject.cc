@@ -10,11 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
+#include "common/backoff.hh"
 #include "inject/campaign.hh"
 #include "inject/fault_port.hh"
 #include "inject/journal.hh"
+#include "inject/sandbox.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
 
@@ -445,6 +448,113 @@ TEST(Campaign, EmptyOptionsAreRejected)
     EXPECT_FALSE(inject::runCampaign(options).ok());
     options = smallCampaign();
     EXPECT_FALSE(inject::replayTrial(options, options.trials).ok());
+}
+
+// ---------------------------------------------------------------------
+// The shared retry schedule (common/backoff.hh) that replaced the
+// campaign's fixed spawn-retry loop: capped exponential growth with
+// deterministic jitter, reproducible per (policy, seed).
+
+TEST(Backoff, ScheduleIsDeterministicPerSeed)
+{
+    BackoffPolicy policy;
+    policy.baseUs = 1'000;
+    policy.capUs = 64'000;
+    policy.maxRetries = 8;
+    policy.seed = 42;
+    for (unsigned attempt = 0; attempt < policy.maxRetries; ++attempt)
+        EXPECT_EQ(backoffDelayUs(policy, attempt),
+                  backoffDelayUs(policy, attempt))
+            << "attempt " << attempt;
+
+    BackoffPolicy other = policy;
+    other.seed = 43;
+    bool anyDiffer = false;
+    for (unsigned attempt = 0; attempt < policy.maxRetries; ++attempt)
+        anyDiffer |= backoffDelayUs(policy, attempt) !=
+                     backoffDelayUs(other, attempt);
+    EXPECT_TRUE(anyDiffer) << "different seeds, identical jitter";
+}
+
+TEST(Backoff, DelaysGrowExponentiallyWithinJitterBounds)
+{
+    BackoffPolicy policy;
+    policy.baseUs = 1'000;
+    policy.capUs = 1'000'000'000; // effectively uncapped here
+    policy.maxRetries = 10;
+    policy.seed = 7;
+    for (unsigned attempt = 0; attempt < policy.maxRetries; ++attempt) {
+        std::uint64_t nominal = policy.baseUs << attempt;
+        std::uint64_t delay = backoffDelayUs(policy, attempt);
+        EXPECT_GE(delay, nominal / 2) << "attempt " << attempt;
+        EXPECT_LE(delay, nominal) << "attempt " << attempt;
+    }
+}
+
+TEST(Backoff, CapBoundsEveryDelay)
+{
+    BackoffPolicy policy;
+    policy.baseUs = 1'000;
+    policy.capUs = 4'000;
+    policy.maxRetries = 40; // far past the cap and past shift overflow
+    policy.seed = 3;
+    for (unsigned attempt = 0; attempt < policy.maxRetries; ++attempt)
+        EXPECT_LE(backoffDelayUs(policy, attempt), policy.capUs)
+            << "attempt " << attempt;
+    // Once capped, the nominal delay pins at the cap; jitter keeps it
+    // in [cap/2, cap] rather than collapsing to zero on shift overflow.
+    EXPECT_GE(backoffDelayUs(policy, 35), policy.capUs / 2);
+}
+
+TEST(Backoff, ZeroBaseMeansNoSleeping)
+{
+    BackoffPolicy policy;
+    policy.baseUs = 0;
+    policy.maxRetries = 4;
+    for (unsigned attempt = 0; attempt < policy.maxRetries; ++attempt)
+        EXPECT_EQ(backoffDelayUs(policy, attempt), 0u);
+}
+
+TEST(Backoff, WalkExhaustsAfterMaxRetries)
+{
+    BackoffPolicy policy;
+    policy.baseUs = 1;
+    policy.maxRetries = 3;
+    Backoff backoff(policy);
+    EXPECT_FALSE(backoff.exhausted());
+    for (unsigned i = 0; i < policy.maxRetries; ++i) {
+        EXPECT_FALSE(backoff.exhausted()) << "retry " << i;
+        backoff.nextDelayUs();
+    }
+    EXPECT_TRUE(backoff.exhausted());
+    EXPECT_EQ(backoff.attempts(), policy.maxRetries);
+}
+
+TEST(Backoff, RetryWrapperLeavesChildVerdictsAlone)
+{
+    // Crashed and TimedOut are the child's verdict, not host trouble:
+    // the retry wrapper must hand them back untouched with zero
+    // retries burned.
+    BackoffPolicy policy;
+    policy.baseUs = 1;
+    policy.maxRetries = 5;
+
+    unsigned retries = 99;
+    auto reported = inject::runSandboxedWithRetry(
+        [](inject::SandboxChannel &channel) {
+            channel.send("RES", "{\"ok\": 1}");
+        },
+        2'000, policy, &retries);
+    EXPECT_EQ(reported.status, inject::SandboxOutcome::Status::Reported);
+    EXPECT_EQ(reported.resLine, "{\"ok\": 1}");
+    EXPECT_EQ(retries, 0u);
+
+    retries = 99;
+    auto crashed = inject::runSandboxedWithRetry(
+        [](inject::SandboxChannel &) { std::abort(); }, 2'000, policy,
+        &retries);
+    EXPECT_EQ(crashed.status, inject::SandboxOutcome::Status::Crashed);
+    EXPECT_EQ(retries, 0u);
 }
 
 } // namespace

@@ -1,0 +1,762 @@
+/**
+ * @file
+ * The crash-tolerant simulation service (src/serve/): protocol
+ * round trips and strictness, the content-addressed result cache
+ * (hit/miss accounting, corruption rejection), the crash-safe
+ * recovery journal (torn tails, identity pinning), and the live
+ * daemon end-to-end — batch submission with byte-identical payloads,
+ * cache warm-up, queue shedding, deadline expiry, crashing jobs, and
+ * the headline robustness property: SIGKILL mid-batch, restart,
+ * resubmit, and every payload is byte-identical to a cold run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/flat_json.hh"
+#include "kernels/lll.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/recovery.hh"
+#include "serve/server.hh"
+#include "sim/json.hh"
+#include "sim/machine.hh"
+
+namespace ruu
+{
+namespace
+{
+
+using serve::JobStatus;
+using serve::Op;
+using serve::Request;
+
+// ---------------------------------------------------------------------
+// Protocol
+
+TEST(ServeProtocol, SimpleOpsRoundTrip)
+{
+    for (Op op : {Op::Ping, Op::Status, Op::Run, Op::Shutdown}) {
+        Request request;
+        request.op = op;
+        auto parsed = serve::parseRequest(serve::requestToLine(request));
+        ASSERT_TRUE(parsed.ok()) << serve::opName(op);
+        EXPECT_EQ(parsed->op, op);
+    }
+}
+
+TEST(ServeProtocol, SubmitRoundTripsEveryField)
+{
+    Request request;
+    request.op = Op::Submit;
+    request.job.id = "job-\"7\"";
+    request.job.program = "  amovi A1, 3\n  halt\n";
+    request.job.name = "tiny";
+    request.job.core = "history";
+    request.job.configJson = "{\"pool_entries\": 12}";
+    request.job.period = 250;
+    request.job.deadlineMs = 1234;
+    auto parsed = serve::parseRequest(serve::requestToLine(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    EXPECT_EQ(parsed->op, Op::Submit);
+    EXPECT_EQ(parsed->job.id, request.job.id);
+    EXPECT_EQ(parsed->job.program, request.job.program);
+    EXPECT_EQ(parsed->job.name, request.job.name);
+    EXPECT_EQ(parsed->job.core, request.job.core);
+    EXPECT_EQ(parsed->job.configJson, request.job.configJson);
+    EXPECT_EQ(parsed->job.period, request.job.period);
+    EXPECT_EQ(parsed->job.deadlineMs, request.job.deadlineMs);
+}
+
+TEST(ServeProtocol, DefaultsAreOmittedAndRestored)
+{
+    Request request;
+    request.op = Op::Submit;
+    request.job.id = "k";
+    request.job.workload = "lll01";
+    std::string line = serve::requestToLine(request);
+    EXPECT_EQ(line.find("period"), std::string::npos);
+    EXPECT_EQ(line.find("config"), std::string::npos);
+    auto parsed = serve::parseRequest(line);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->job.core, "ruu");
+    EXPECT_EQ(parsed->job.period, 0u);
+    EXPECT_EQ(parsed->job.deadlineMs, 0u);
+}
+
+TEST(ServeProtocol, MalformedRequestsAreRejected)
+{
+    const char *bad[] = {
+        "",                                     // not an object
+        "garbage",                              // not JSON
+        "{\"op\": \"explode\"}",                // unknown op
+        "{\"op\": \"ping\", \"extra\": 1}",     // stray key on ping
+        "{\"op\": \"submit\"}",                 // no id, no job
+        "{\"op\": \"submit\", \"id\": \"\", \"workload\": \"lll01\"}",
+        "{\"op\": \"submit\", \"id\": \"a\"}",  // neither source
+        "{\"op\": \"submit\", \"id\": \"a\", \"workload\": \"lll01\", "
+        "\"program\": \"halt\"}",               // both sources
+        "{\"op\": \"submit\", \"id\": \"a\", \"workload\": \"lll01\", "
+        "\"bogus\": \"x\"}",                    // unknown key
+        "{\"op\": \"submit\", \"id\": \"a\", \"workload\": \"lll01\", "
+        "\"period\": \"soon\"}",                // ill-typed value
+        "{\"op\": 7}",                          // ill-typed op
+    };
+    for (const char *line : bad)
+        EXPECT_FALSE(serve::parseRequest(line).ok()) << line;
+}
+
+TEST(ServeProtocol, ResultLinesParseAsFlatJson)
+{
+    std::string line = serve::resultToLine(
+        "id-1", JobStatus::Done, true, "{\"cycles\": 12}");
+    auto object = flat::parseObject(line);
+    ASSERT_TRUE(object.ok()) << line;
+    EXPECT_EQ(flat::getNumber(*object, "ok").value(), 1u);
+    EXPECT_EQ(flat::getString(*object, "id").value(), "id-1");
+    EXPECT_EQ(flat::getString(*object, "status").value(), "done");
+    EXPECT_EQ(flat::getNumber(*object, "cached").value(), 1u);
+    EXPECT_EQ(flat::getString(*object, "payload").value(),
+              "{\"cycles\": 12}");
+
+    line = serve::resultToLine("id-2", JobStatus::TimedOut, false,
+                               "deadline (5 ms) expired");
+    object = flat::parseObject(line);
+    ASSERT_TRUE(object.ok()) << line;
+    EXPECT_EQ(flat::getNumber(*object, "ok").value(), 0u);
+    EXPECT_EQ(flat::getString(*object, "status").value(), "timed-out");
+    EXPECT_EQ(flat::getString(*object, "error").value(),
+              "deadline (5 ms) expired");
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed cache
+
+class ServeDirs : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/ruu_serve_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        _dir = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(_dir, ec);
+    }
+
+    std::string dir(const char *leaf) const { return _dir + "/" + leaf; }
+
+    std::string _dir;
+};
+
+serve::CacheKeyInputs
+sampleInputs()
+{
+    serve::CacheKeyInputs inputs;
+    inputs.displayName = "lll01";
+    inputs.traceFingerprint = 0x1234;
+    inputs.traceLength = 900;
+    inputs.configJson = "{\"pool_entries\": 12}";
+    inputs.core = "ruu";
+    inputs.period = 0;
+    return inputs;
+}
+
+TEST(ServeCache, KeySeparatesEveryInput)
+{
+    serve::CacheKeyInputs base = sampleInputs();
+    std::uint64_t key = serve::cacheKey(base);
+    EXPECT_EQ(key, serve::cacheKey(base)) << "key not deterministic";
+
+    auto differs = [&](auto mutate) {
+        serve::CacheKeyInputs other = base;
+        mutate(other);
+        return serve::cacheKey(other) != key;
+    };
+    EXPECT_TRUE(differs([](auto &i) { i.displayName = "lll02"; }));
+    EXPECT_TRUE(differs([](auto &i) { i.traceFingerprint ^= 1; }));
+    EXPECT_TRUE(differs([](auto &i) { i.traceLength += 1; }));
+    EXPECT_TRUE(differs([](auto &i) { i.configJson = "{}"; }));
+    EXPECT_TRUE(differs([](auto &i) { i.core = "history"; }));
+    EXPECT_TRUE(differs([](auto &i) { i.period = 100; }));
+
+    // Field-boundary collisions: moving a character across the
+    // name/config boundary must change the key.
+    serve::CacheKeyInputs shifted = base;
+    shifted.displayName = base.displayName + "{";
+    shifted.configJson = base.configJson.substr(1);
+    EXPECT_NE(serve::cacheKey(shifted), key);
+}
+
+TEST_F(ServeDirs, CacheStoresAndLoadsByteIdentically)
+{
+    serve::ResultCache cache(dir("cache"));
+    std::uint64_t key = serve::cacheKey(sampleInputs());
+    const std::string payload =
+        "{\"workload\": \"lll01\", \"cycles\": 777}";
+
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    ASSERT_TRUE(cache.store(key, payload).ok());
+    auto hit = cache.load(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_EQ(cache.entriesOnDisk(), 1u);
+
+    // A second cache over the same directory sees the entry.
+    serve::ResultCache reopened(dir("cache"));
+    auto again = reopened.load(key);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, payload);
+}
+
+TEST_F(ServeDirs, CacheDropsCorruptEntries)
+{
+    serve::ResultCache cache(dir("cache"));
+    std::uint64_t key = serve::cacheKey(sampleInputs());
+    ASSERT_TRUE(cache.store(key, "{\"cycles\": 1}").ok());
+
+    // Flip one payload byte on disk.
+    std::string path =
+        dir("cache") + "/" + serve::keyToHex(key) + ".entry";
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    std::size_t at = text.rfind("1}");
+    ASSERT_NE(at, std::string::npos);
+    file.seekp(static_cast<std::streamoff>(at));
+    file.put('2');
+    file.close();
+
+    EXPECT_FALSE(cache.load(key).has_value())
+        << "corrupt entry served as a hit";
+    EXPECT_EQ(cache.stats().dropped, 1u);
+    EXPECT_EQ(cache.entriesOnDisk(), 0u) << "corrupt entry not deleted";
+
+    // The degradation path: recompute and store again, then hit.
+    ASSERT_TRUE(cache.store(key, "{\"cycles\": 1}").ok());
+    EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(ServeDirs, CacheVerifyAgainstJournalRecord)
+{
+    serve::ResultCache cache(dir("cache"));
+    std::uint64_t key = serve::cacheKey(sampleInputs());
+    const std::string payload = "{\"cycles\": 9}";
+    ASSERT_TRUE(cache.store(key, payload).ok());
+
+    EXPECT_TRUE(cache.verifyAgainst(key, serve::fnv1a(payload),
+                                    payload.size()));
+    EXPECT_EQ(cache.entriesOnDisk(), 1u);
+
+    // A journal record that disagrees deletes the entry.
+    EXPECT_FALSE(cache.verifyAgainst(key, serve::fnv1a(payload) ^ 1,
+                                     payload.size()));
+    EXPECT_EQ(cache.entriesOnDisk(), 0u);
+    EXPECT_FALSE(cache.verifyAgainst(key, serve::fnv1a(payload),
+                                     payload.size()))
+        << "absent entry verified";
+}
+
+// ---------------------------------------------------------------------
+// Recovery journal
+
+TEST(ServeJournal, LinesRoundTrip)
+{
+    serve::ServeJournalHeader header;
+    header.cacheDir = "/tmp/some cache \"dir\"";
+    auto parsedHeader =
+        serve::parseServeHeaderLine(serve::serveHeaderToLine(header));
+    ASSERT_TRUE(parsedHeader.ok()) << parsedHeader.error().message();
+    EXPECT_EQ(parsedHeader->cacheDir, header.cacheDir);
+    EXPECT_EQ(parsedHeader->version, header.version);
+
+    serve::JobRecord record;
+    record.key = 0xdeadbeefcafef00dull;
+    record.checksum = 0x0123456789abcdefull;
+    record.bytes = 4242;
+    auto parsedRecord =
+        serve::parseJobRecordLine(serve::jobRecordToLine(record));
+    ASSERT_TRUE(parsedRecord.ok()) << parsedRecord.error().message();
+    EXPECT_EQ(parsedRecord->key, record.key);
+    EXPECT_EQ(parsedRecord->checksum, record.checksum);
+    EXPECT_EQ(parsedRecord->bytes, record.bytes);
+}
+
+TEST_F(ServeDirs, JournalTornTailIsForgivenDamageIsNot)
+{
+    std::string path = dir("journal");
+    serve::ServeJournalHeader header;
+    header.cacheDir = dir("cache");
+    serve::ServeJournalWriter writer;
+    ASSERT_TRUE(writer.create(path, header).ok());
+    serve::JobRecord record;
+    record.key = 7;
+    record.checksum = 8;
+    record.bytes = 9;
+    ASSERT_TRUE(writer.add(record).ok());
+
+    auto clean = serve::readServeJournal(path);
+    ASSERT_TRUE(clean.ok()) << clean.error().message();
+    EXPECT_FALSE(clean->tornTail);
+    ASSERT_EQ(clean->records.size(), 1u);
+    EXPECT_EQ(clean->records[0].key, 7u);
+    std::size_t cleanBytes = clean->validBytes;
+
+    // SIGKILL mid-append: a half-written final line is dropped and
+    // validBytes points at the clean prefix.
+    {
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "{\"key\": \"00000000000000";
+    }
+    auto tornBack = serve::readServeJournal(path);
+    ASSERT_TRUE(tornBack.ok()) << tornBack.error().message();
+    EXPECT_TRUE(tornBack->tornTail);
+    EXPECT_EQ(tornBack->records.size(), 1u);
+    EXPECT_EQ(tornBack->validBytes, cleanBytes);
+
+    // Damage before the final line is corruption, not a torn tail.
+    {
+        std::ofstream rewrite(path, std::ios::binary);
+        rewrite << serve::serveHeaderToLine(header) << "\n"
+                << "not a record\n"
+                << serve::jobRecordToLine(record) << "\n";
+    }
+    EXPECT_FALSE(serve::readServeJournal(path).ok());
+
+    // A journal that opens with garbage has no usable identity.
+    {
+        std::ofstream rewrite(path, std::ios::binary);
+        rewrite << "hello\n";
+    }
+    EXPECT_FALSE(serve::readServeJournal(path).ok());
+}
+
+// ---------------------------------------------------------------------
+// Live daemon, end to end
+
+/** The payload a cold `ruusim run <kernel> --core ruu --json` emits. */
+std::string
+coldPayload(const std::string &kernel)
+{
+    for (const Workload &workload : livermoreWorkloads())
+        if (workload.name == kernel) {
+            auto core = makeCore(CoreKind::Ruu, UarchConfig::cray1());
+            RunResult run = core->run(workload.trace());
+            return runToJson(workload.name, core->name(), run,
+                             core->stats());
+        }
+    ADD_FAILURE() << "unknown kernel " << kernel;
+    return "";
+}
+
+std::string
+submitLine(const std::string &id, const std::string &kernel)
+{
+    Request request;
+    request.op = Op::Submit;
+    request.job.id = id;
+    request.job.workload = kernel;
+    return serve::requestToLine(request);
+}
+
+/** Connect with the startup-race retry policy the CLI uses. */
+void
+connectClient(serve::ServeClient &client, const std::string &socket)
+{
+    BackoffPolicy retry;
+    retry.baseUs = 5'000;
+    retry.capUs = 200'000;
+    retry.maxRetries = 20;
+    auto connected = client.connect(socket, retry);
+    ASSERT_TRUE(connected.ok()) << connected.error().message();
+}
+
+/** One result line, parsed and sanity-checked. */
+flat::Object
+readResult(serve::ServeClient &client)
+{
+    auto line = client.recvLine();
+    EXPECT_TRUE(line.ok()) << line.error().message();
+    auto object = flat::parseObject(line.ok() ? *line : "{}");
+    EXPECT_TRUE(object.ok()) << (line.ok() ? *line : "");
+    return object.ok() ? *object : flat::Object{};
+}
+
+TEST_F(ServeDirs, DaemonServesCachesAndSurvivesHostileJobs)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.journalPath = dir("journal");
+    options.jobs = 4;
+    options.defaultDeadlineMs = 60'000;
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+
+    serve::ServeClient client;
+    connectClient(client, options.socketPath);
+
+    // Ping.
+    auto pong = client.request("{\"op\": \"ping\"}");
+    ASSERT_TRUE(pong.ok()) << pong.error().message();
+    EXPECT_EQ(*pong, "{\"ok\": 1, \"op\": \"ping\"}");
+
+    // A malformed line answers with a diagnostic, not a dead daemon.
+    auto bad = client.request("{\"op\": \"explode\"}");
+    ASSERT_TRUE(bad.ok());
+    auto badObject = flat::parseObject(*bad);
+    ASSERT_TRUE(badObject.ok());
+    EXPECT_EQ(flat::getNumber(*badObject, "ok").value(), 0u);
+
+    // First batch: three kernels plus one hostile program (fails to
+    // assemble → rejected) — cold, so everything is a miss.
+    const std::vector<std::string> kernels = {"lll01", "lll02",
+                                              "lll03"};
+    for (const std::string &kernel : kernels) {
+        auto ack = client.request(submitLine("job-" + kernel, kernel));
+        ASSERT_TRUE(ack.ok());
+        auto object = flat::parseObject(*ack);
+        ASSERT_TRUE(object.ok()) << *ack;
+        EXPECT_EQ(flat::getNumber(*object, "ok").value(), 1u);
+        EXPECT_EQ(flat::getString(*object, "id").value(),
+                  "job-" + kernel);
+    }
+    Request hostile;
+    hostile.op = Op::Submit;
+    hostile.job.id = "job-hostile";
+    hostile.job.program = "  florp S1, A9, $!\n  halt\n";
+    hostile.job.name = "bad-asm";
+    {
+        auto ack = client.request(serve::requestToLine(hostile));
+        ASSERT_TRUE(ack.ok());
+        EXPECT_NE(ack->find("\"ok\": 1"), std::string::npos) << *ack;
+    }
+
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    for (const std::string &kernel : kernels) {
+        flat::Object result = readResult(client);
+        EXPECT_EQ(flat::getString(result, "id").value(),
+                  "job-" + kernel);
+        EXPECT_EQ(flat::getString(result, "status").value(), "done");
+        EXPECT_EQ(flat::getNumber(result, "cached").value(), 0u);
+        EXPECT_EQ(flat::getString(result, "payload").value(),
+                  coldPayload(kernel))
+            << kernel << ": served payload differs from a cold run";
+    }
+    {
+        flat::Object result = readResult(client);
+        EXPECT_EQ(flat::getString(result, "id").value(), "job-hostile");
+        EXPECT_EQ(flat::getString(result, "status").value(),
+                  "rejected");
+    }
+    flat::Object summary = readResult(client);
+    EXPECT_EQ(flat::getNumber(summary, "jobs").value(), 4u);
+    EXPECT_EQ(flat::getNumber(summary, "done").value(), 3u);
+    EXPECT_EQ(flat::getNumber(summary, "failed").value(), 1u);
+    EXPECT_EQ(flat::getNumber(summary, "cache_hits").value(), 0u);
+
+    // Second batch, same kernels: all hits, byte-identical payloads.
+    for (const std::string &kernel : kernels)
+        ASSERT_TRUE(
+            client.sendLine(submitLine("again-" + kernel, kernel)).ok());
+    for (const std::string &kernel : kernels) {
+        (void)kernel;
+        readResult(client); // submit acks
+    }
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    for (const std::string &kernel : kernels) {
+        flat::Object result = readResult(client);
+        EXPECT_EQ(flat::getString(result, "status").value(), "done");
+        EXPECT_EQ(flat::getNumber(result, "cached").value(), 1u);
+        EXPECT_EQ(flat::getString(result, "payload").value(),
+                  coldPayload(kernel));
+    }
+    summary = readResult(client);
+    EXPECT_EQ(flat::getNumber(summary, "cache_hits").value(), 3u);
+
+    // Corrupt one cache entry on disk; the job recomputes (a miss)
+    // and still lands the byte-identical payload.
+    bool corrupted = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir("cache"))) {
+        std::fstream file(entry.path(), std::ios::in | std::ios::out |
+                                            std::ios::binary);
+        file.seekp(-2, std::ios::end);
+        file.put('X');
+        corrupted = true;
+        break;
+    }
+    ASSERT_TRUE(corrupted);
+    std::uint64_t cleanEntries = 0;
+    for (const std::string &kernel : kernels) {
+        ASSERT_TRUE(
+            client.sendLine(submitLine("third-" + kernel, kernel)).ok());
+        readResult(client);
+    }
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    for (const std::string &kernel : kernels) {
+        flat::Object result = readResult(client);
+        EXPECT_EQ(flat::getString(result, "status").value(), "done");
+        EXPECT_EQ(flat::getString(result, "payload").value(),
+                  coldPayload(kernel));
+        cleanEntries += flat::getNumber(result, "cached").value();
+    }
+    EXPECT_EQ(cleanEntries, 2u) << "exactly one entry was corrupted";
+    readResult(client); // summary
+
+    // Status reflects all of it.
+    auto status = client.request("{\"op\": \"status\"}");
+    ASSERT_TRUE(status.ok());
+    auto statusObject = flat::parseObject(*status);
+    ASSERT_TRUE(statusObject.ok()) << *status;
+    EXPECT_EQ(flat::getNumber(*statusObject, "jobs_done").value(), 9u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "jobs_rejected").value(),
+              1u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "cache_dropped").value(),
+              1u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "bad_requests").value(),
+              1u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "cache_entries").value(),
+              3u);
+
+    auto gone = client.request("{\"op\": \"shutdown\"}");
+    ASSERT_TRUE(gone.ok());
+    daemon.join();
+    EXPECT_EQ(stats.jobsDone, 9u);
+    EXPECT_EQ(stats.jobsRejected, 1u);
+}
+
+TEST_F(ServeDirs, QueueOverflowShedsWithExplicitVerdict)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.queueLimit = 2;
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+
+    serve::ServeClient client;
+    connectClient(client, options.socketPath);
+    const char *kernels[] = {"lll01", "lll02", "lll03"};
+    std::vector<flat::Object> acks;
+    for (const char *kernel : kernels) {
+        auto ack = client.request(submitLine(kernel, kernel));
+        ASSERT_TRUE(ack.ok());
+        auto object = flat::parseObject(*ack);
+        ASSERT_TRUE(object.ok()) << *ack;
+        acks.push_back(*object);
+    }
+    EXPECT_EQ(flat::getNumber(acks[0], "ok").value(), 1u);
+    EXPECT_EQ(flat::getNumber(acks[1], "ok").value(), 1u);
+    EXPECT_EQ(flat::getNumber(acks[2], "ok").value(), 0u);
+    EXPECT_EQ(flat::getString(acks[2], "error").value(), "overloaded");
+    EXPECT_EQ(flat::getNumber(acks[2], "queue_depth").value(), 2u);
+
+    // The shed submit is not in the batch: exactly two results.
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    for (int i = 0; i < 2; ++i) {
+        flat::Object result = readResult(client);
+        EXPECT_EQ(flat::getString(result, "status").value(), "done");
+    }
+    flat::Object summary = readResult(client);
+    EXPECT_EQ(flat::getNumber(summary, "jobs").value(), 2u);
+
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST_F(ServeDirs, DeadlineExpiryClassifiesTheJobNotTheDaemon)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+
+    serve::ServeClient client;
+    connectClient(client, options.socketPath);
+
+    // ~900k dynamic instructions: the functional build is quick, but
+    // the cycle-accurate run cannot finish inside a 1 ms deadline.
+    Request slow;
+    slow.op = Op::Submit;
+    slow.job.id = "slow";
+    slow.job.name = "slowpoke";
+    slow.job.deadlineMs = 1;
+    slow.job.program = "  amovi A1, 0\n"
+                       "  amovi A6, 1\n"
+                       "  amovi A5, 300000\n"
+                       "loop:\n"
+                       "  aadd A1, A1, A6\n"
+                       "  asub A0, A1, A5\n"
+                       "  jam loop\n"
+                       "  halt\n";
+    ASSERT_TRUE(client.request(serve::requestToLine(slow)).ok());
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+
+    flat::Object result = readResult(client);
+    EXPECT_EQ(flat::getString(result, "id").value(), "slow");
+    EXPECT_EQ(flat::getString(result, "status").value(), "timed-out");
+    EXPECT_NE(flat::getString(result, "error").value().find("deadline"),
+              std::string::npos);
+    flat::Object summary = readResult(client);
+    EXPECT_EQ(flat::getNumber(summary, "failed").value(), 1u);
+
+    // The daemon is fine: a normal job still runs to completion.
+    ASSERT_TRUE(client.request(submitLine("ok", "lll01")).ok());
+    ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+    result = readResult(client);
+    EXPECT_EQ(flat::getString(result, "status").value(), "done");
+    readResult(client); // summary
+
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_EQ(stats.jobsTimedOut, 1u);
+}
+
+// ---------------------------------------------------------------------
+// The headline: SIGKILL mid-batch, restart, byte-identical results.
+
+/** Fork a daemon process; returns its pid. */
+pid_t
+forkDaemon(const serve::ServerOptions &options)
+{
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        auto result = serve::runServer(options);
+        ::_exit(result.ok() ? *result : 111);
+    }
+    return pid;
+}
+
+TEST_F(ServeDirs, SigkillMidBatchRecoversByteIdentically)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.journalPath = dir("journal");
+    options.jobs = 2;
+    options.defaultDeadlineMs = 60'000;
+
+    const std::vector<std::string> kernels = {"lll01", "lll02", "lll03",
+                                              "lll04"};
+
+    // First daemon: submit the batch, read two results, then SIGKILL
+    // the daemon mid-batch — at least two completions are durable
+    // (journal + cache), the rest is torn at some arbitrary point.
+    pid_t first = forkDaemon(options);
+    ASSERT_GT(first, 0);
+    {
+        serve::ServeClient client;
+        connectClient(client, options.socketPath);
+        for (const std::string &kernel : kernels) {
+            auto ack = client.request(submitLine(kernel, kernel));
+            ASSERT_TRUE(ack.ok()) << ack.error().message();
+        }
+        ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+        for (int i = 0; i < 2; ++i) {
+            flat::Object result = readResult(client);
+            EXPECT_EQ(flat::getString(result, "status").value(),
+                      "done");
+        }
+        ASSERT_EQ(::kill(first, SIGKILL), 0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(first, &status, 0), first);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+    // Second daemon over the same journal + cache: recovery verifies
+    // the durable prefix; the resubmitted batch must land every
+    // payload byte-identical to a cold serial run.
+    pid_t second = forkDaemon(options);
+    ASSERT_GT(second, 0);
+    {
+        serve::ServeClient client;
+        connectClient(client, options.socketPath);
+
+        auto statusLine = client.request("{\"op\": \"status\"}");
+        ASSERT_TRUE(statusLine.ok()) << statusLine.error().message();
+        auto statusObject = flat::parseObject(*statusLine);
+        ASSERT_TRUE(statusObject.ok()) << *statusLine;
+        EXPECT_GE(flat::getNumber(*statusObject, "recovered").value(),
+                  2u)
+            << *statusLine;
+
+        for (const std::string &kernel : kernels) {
+            auto ack = client.request(submitLine(kernel, kernel));
+            ASSERT_TRUE(ack.ok()) << ack.error().message();
+        }
+        ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+        std::uint64_t hits = 0;
+        for (const std::string &kernel : kernels) {
+            flat::Object result = readResult(client);
+            EXPECT_EQ(flat::getString(result, "id").value(), kernel);
+            EXPECT_EQ(flat::getString(result, "status").value(),
+                      "done");
+            EXPECT_EQ(flat::getString(result, "payload").value(),
+                      coldPayload(kernel))
+                << kernel
+                << ": post-crash payload differs from a cold run";
+            hits += flat::getNumber(result, "cached").value();
+        }
+        EXPECT_GE(hits, 2u) << "recovered completions were not reused";
+        flat::Object summary = readResult(client);
+        EXPECT_EQ(flat::getNumber(summary, "done").value(),
+                  kernels.size());
+        ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    }
+    ASSERT_EQ(::waitpid(second, &status, 0), second);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "restarted daemon did not exit cleanly";
+}
+
+TEST_F(ServeDirs, JournalPinnedToAnotherCacheIsRefused)
+{
+    serve::ServeJournalHeader header;
+    header.cacheDir = "/somewhere/else";
+    serve::ServeJournalWriter writer;
+    ASSERT_TRUE(writer.create(dir("journal"), header).ok());
+
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.journalPath = dir("journal");
+    auto result = serve::runServer(options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message().find("pins cache directory"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ruu
