@@ -89,11 +89,15 @@ usage()
         "  ruusim trace <prog.s|lllNN> <out.trace>\n"
         "  ruusim trace <in.trace>\n"
         "  ruusim serve --socket PATH [--cache DIR] [--journal FILE]\n"
-        "         [--queue-limit N] [--deadline-ms N] "
-        "[--max-connections N]\n"
+        "         [--queue FILE] [--queue-limit N] [--deadline-ms N]\n"
+        "         [--max-connections N]\n"
         "  ruusim submit --socket PATH <prog.s|lllNN|suite> [--core K]\n"
         "         [--period N] [--deadline-ms N] [--status|--ping|"
         "--stop]\n"
+        "  ruusim submit --socket PATH --campaign KIND <lllNN|suite>\n"
+        "         [--cores a,b,...] [--periods a,b,...] [--trials N]\n"
+        "         [--seed S] [--id NAME]\n"
+        "  ruusim submit --socket PATH --watch ID | --cancel ID\n"
         "  ruusim list\n"
         "options:\n"
         "  --core K          simple|tomasulo|rstu|ruu|spec_ruu|history\n"
@@ -137,6 +141,19 @@ usage()
         "                    deadline override\n"
         "  --max-connections N  serve: exit after N connections "
         "(0 = run on)\n"
+        "  --queue FILE      serve: durable campaign-queue journal\n"
+        "  --campaign KIND   submit: enqueue a run|storm|inject "
+        "campaign and\n"
+        "                    stream its results (kernels/suite only)\n"
+        "  --id NAME         submit: campaign id (default "
+        "KIND:<workload>)\n"
+        "  --periods LIST    submit: storm-campaign arrival periods "
+        "(default:\n"
+        "                    K = 16*4^i as for storm --points)\n"
+        "  --watch ID        submit: re-attach to a campaign's result "
+        "stream\n"
+        "  --cancel ID       submit: cancel a campaign's pending "
+        "units\n"
         "  --period N        submit: periodic-interrupt arrival period "
         "(cycles)\n"
         "  --status          submit: print the daemon status line and "
@@ -290,6 +307,14 @@ struct Cli
     bool pingOnly = false;
     bool stopDaemon = false;
 
+    // campaigns (serve-side queue)
+    std::string queuePath;
+    std::string campaignKind;
+    std::string campaignId;
+    std::string watchId;
+    std::string cancelId;
+    std::vector<std::uint64_t> periods;
+
     /** Worker threads for the parallel drivers (par::Pool). */
     unsigned jobs = par::defaultJobs();
 };
@@ -385,6 +410,24 @@ parseArgs(int argc, char **argv)
                 std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--period") {
             cli.period = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--queue") {
+            cli.queuePath = value();
+        } else if (arg == "--campaign") {
+            cli.campaignKind = value();
+        } else if (arg == "--id") {
+            cli.campaignId = value();
+        } else if (arg == "--watch") {
+            cli.watchId = value();
+        } else if (arg == "--cancel") {
+            cli.cancelId = value();
+        } else if (arg == "--periods") {
+            std::stringstream list(value());
+            std::string item;
+            while (std::getline(list, item, ','))
+                cli.periods.push_back(
+                    std::strtoull(item.c_str(), nullptr, 10));
+            if (cli.periods.empty())
+                usage();
         } else if (arg == "--status") {
             cli.statusOnly = true;
         } else if (arg == "--ping") {
@@ -1277,12 +1320,15 @@ cmdServe(const Cli &cli)
         options.defaultDeadlineMs = cli.deadlineMs;
     options.seed = cli.seed;
     options.maxConnections = cli.maxConnections;
+    options.queuePath = cli.queuePath;
+    options.handleSignals = true; // SIGTERM/SIGINT drain, exit 0
 
-    std::fprintf(stderr, "ruusim: serving on %s (%u worker%s%s%s)\n",
+    std::fprintf(stderr, "ruusim: serving on %s (%u worker%s%s%s%s)\n",
                  cli.socketPath.c_str(), cli.jobs,
                  cli.jobs == 1 ? "" : "s",
                  cli.cacheDir.empty() ? "" : ", cached",
-                 cli.journal.empty() ? "" : ", journaled");
+                 cli.journal.empty() ? "" : ", journaled",
+                 cli.queuePath.empty() ? "" : ", queued");
     serve::ServerStats stats;
     Expected<int> result = serve::runServer(options, &stats);
     if (!result)
@@ -1297,10 +1343,166 @@ cmdServe(const Cli &cli)
 }
 
 /**
+ * Stream a campaign's unit results: payloads to stdout in unit order
+ * (byte-identical to the equivalent cold run), failures to stderr.
+ * Returns 0 when every unit is done, 1 otherwise (including an
+ * unknown campaign or a daemon draining mid-watch).
+ */
+int
+watchCampaign(serve::ServeClient &client, const std::string &id)
+{
+    serve::Request request;
+    request.op = serve::Op::Watch;
+    request.target = id;
+    if (auto sent = client.sendLine(serve::requestToLine(request));
+        !sent)
+        cliFail("%s", sent.error().message().c_str());
+    bool anyFailed = false;
+    while (true) {
+        auto line = client.recvLine();
+        if (!line)
+            cliFail("%s", line.error().message().c_str());
+        auto object = flat::parseObject(*line);
+        if (!object)
+            cliFail("unparseable response: %s", line->c_str());
+        if (flat::optString(*object, "op") == "unit") {
+            auto status = flat::optString(*object, "status");
+            if (status == "done") {
+                auto payload = flat::optString(*object, "payload");
+                if (payload)
+                    std::printf("%s\n", payload->c_str());
+            } else {
+                auto unit = flat::optNumber(*object, "unit");
+                auto why = flat::optString(*object, "error");
+                std::fprintf(
+                    stderr, "ruusim: campaign '%s' unit %llu %s: %s\n",
+                    id.c_str(),
+                    static_cast<unsigned long long>(unit ? *unit : 0),
+                    status ? status->c_str() : "?",
+                    why ? why->c_str() : "");
+                anyFailed = true;
+            }
+            continue;
+        }
+        // Terminal line: the watch summary, or an error verdict
+        // (unknown campaign, daemon draining).
+        if (flat::optNumber(*object, "ok") == 1u)
+            break;
+        if (auto why = flat::optString(*object, "error"))
+            std::fprintf(stderr, "ruusim: watch '%s': %s\n", id.c_str(),
+                         why->c_str());
+        anyFailed = true;
+        break;
+    }
+    return anyFailed ? 1 : 0;
+}
+
+/**
+ * Enqueue a durable server-side campaign, then stream its results.
+ * Campaigns name built-in kernels only: the daemon re-expands and
+ * re-runs units across restarts, so the workload must resolve by name
+ * alone — no program text travels.
+ */
+int
+submitCampaign(serve::ServeClient &client, const Cli &cli)
+{
+    if (cli.positional.size() != 1)
+        usage();
+    const std::string &name = cli.positional[0];
+
+    serve::CampaignSpec spec;
+    auto kind = serve::campaignKindFromName(cli.campaignKind);
+    if (!kind)
+        cliFail("unknown campaign kind '%s' (run|storm|inject)",
+                cli.campaignKind.c_str());
+    spec.kind = kind.take();
+
+    if (name == "suite") {
+        for (const auto &kernel : livermoreKernels())
+            spec.workloads.push_back(kernel.name);
+    } else {
+        bool builtin = false;
+        for (const auto &kernel : livermoreKernels())
+            builtin = builtin || kernel.name == name;
+        if (!builtin) {
+            cliFail("campaigns run built-in kernels only; '%s' is not "
+                    "one (see 'ruusim list')",
+                    name.c_str());
+        }
+        spec.workloads.push_back(name);
+    }
+
+    std::vector<CoreKind> kinds = cli.injectCores;
+    if (kinds.empty()) {
+        if (spec.kind == serve::CampaignKind::Inject) {
+            kinds = {CoreKind::Simple,  CoreKind::Tomasulo,
+                     CoreKind::Rstu,    CoreKind::Ruu,
+                     CoreKind::SpecRuu, CoreKind::History};
+        } else {
+            kinds = {cli.core};
+        }
+    }
+    for (CoreKind coreKind : kinds)
+        spec.cores.push_back(coreKindName(coreKind));
+
+    if (spec.kind == serve::CampaignKind::Storm) {
+        spec.periods = cli.periods;
+        if (spec.periods.empty()) {
+            // Mirror `ruusim storm --points`: K = 16*4^i, capped.
+            std::size_t points = cli.pointsSet ? cli.sweepPoints : 4;
+            if (points == 0)
+                usage();
+            for (std::size_t i = 0; i < points; ++i) {
+                std::uint64_t k = 16ull << (2 * i);
+                spec.periods.push_back(
+                    std::min<std::uint64_t>(k, 10000));
+                if (k >= 10000)
+                    break;
+            }
+        }
+    } else if (!cli.periods.empty()) {
+        cliFail("--periods applies to storm campaigns only");
+    }
+
+    if (spec.kind == serve::CampaignKind::Inject) {
+        spec.trials = cli.trials;
+        spec.seed = cli.seed;
+    }
+
+    std::string configJson = configToJson(cli.config);
+    if (configJson != configToJson(UarchConfig::cray1()))
+        spec.configJson = configJson;
+    spec.deadlineMs = cli.deadlineMs;
+    spec.id = cli.campaignId.empty()
+                  ? std::string(serve::campaignKindName(spec.kind)) +
+                        ":" + name
+                  : cli.campaignId;
+
+    serve::Request request;
+    request.op = serve::Op::Campaign;
+    request.campaign = spec;
+    auto ack = client.request(serve::requestToLine(request));
+    if (!ack)
+        cliFail("%s", ack.error().message().c_str());
+    auto object = flat::parseObject(*ack);
+    if (!object)
+        cliFail("unparseable ack: %s", ack->c_str());
+    if (flat::optNumber(*object, "ok") != 1u) {
+        auto why = flat::optString(*object, "error");
+        std::fprintf(stderr, "ruusim: campaign '%s' refused: %s\n",
+                     spec.id.c_str(),
+                     why ? why->c_str() : ack->c_str());
+        return 1;
+    }
+    return watchCampaign(client, spec.id);
+}
+
+/**
  * Submit a batch to a running ruusimd and print each result payload —
  * byte-identical to `ruusim run <workload> --json` output. Exit 0 when
  * every job is done, 1 when any job fails (including shed submits),
- * 2 on malformed input or connection trouble.
+ * 2 on malformed input or connection trouble. With --campaign /
+ * --watch / --cancel, drive the durable campaign queue instead.
  */
 int
 cmdSubmit(const Cli &cli)
@@ -1333,6 +1535,22 @@ cmdSubmit(const Cli &cli)
         return oneShot("status");
     if (cli.stopDaemon)
         return oneShot("shutdown");
+
+    if (!cli.cancelId.empty()) {
+        serve::Request request;
+        request.op = serve::Op::Cancel;
+        request.target = cli.cancelId;
+        auto response = client.request(serve::requestToLine(request));
+        if (!response)
+            cliFail("%s", response.error().message().c_str());
+        std::printf("%s\n", response->c_str());
+        auto object = flat::parseObject(*response);
+        return object && flat::optNumber(*object, "ok") == 1u ? 0 : 1;
+    }
+    if (!cli.watchId.empty())
+        return watchCampaign(client, cli.watchId);
+    if (!cli.campaignKind.empty())
+        return submitCampaign(client, cli);
 
     if (cli.positional.size() != 1)
         usage();

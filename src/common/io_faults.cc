@@ -1,0 +1,479 @@
+#include "common/io_faults.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ruu::io
+{
+
+namespace
+{
+
+/**
+ * What the schedule decreed for one op: an errno to inject (0 = run
+ * the real syscall), and whether a genuine partial write should land
+ * first.
+ */
+struct Decision
+{
+    int err = 0;
+    bool shortWrite = false;
+};
+
+struct Injector
+{
+    std::mutex mutex;
+    FaultPlan plan;
+    bool armed = false;
+    std::uint64_t scheduleIndex = 0; //!< eligible ops since arming
+    FaultStats stats;
+    std::once_flag envOnce;
+};
+
+Injector &
+injector()
+{
+    static Injector g;
+    return g;
+}
+
+/** SplitMix64 step (private copy: common code must not depend on par). */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Arm from RUU_IO_FAULTS exactly once, before the first op or the
+ * first programmatic plan change — so a forked daemon inherits its
+ * schedule, while setFaultPlan()/clearFaultPlan() always win over the
+ * environment afterwards.
+ */
+void
+armFromEnv(Injector &g)
+{
+    std::call_once(g.envOnce, [&g] {
+        const char *env = std::getenv("RUU_IO_FAULTS");
+        if (!env || !*env)
+            return;
+        auto plan = parseFaultPlan(env);
+        if (!plan) {
+            // A bad schedule must not kill the process it was meant to
+            // torture; diagnose and run unarmed.
+            std::fprintf(stderr, "ruusim: io_faults: ignoring "
+                         "RUU_IO_FAULTS: %s\n",
+                         plan.error().message().c_str());
+            return;
+        }
+        std::lock_guard<std::mutex> lock(g.mutex);
+        g.plan = *plan;
+        g.armed = g.plan.armed();
+        g.scheduleIndex = 0;
+    });
+}
+
+/** The schedule's verdict for one checked op. May not return (crash). */
+Decision
+decide(const char *opName, const std::string &path, bool isWrite)
+{
+    Injector &g = injector();
+    armFromEnv(g);
+    std::lock_guard<std::mutex> lock(g.mutex);
+    ++g.stats.ops;
+    if (!g.armed)
+        return {};
+    if (!g.plan.pathPrefix.empty() &&
+        path.compare(0, g.plan.pathPrefix.size(), g.plan.pathPrefix) !=
+            0)
+        return {};
+    std::uint64_t k = ++g.scheduleIndex;
+    if (g.plan.crashAtOp && k == g.plan.crashAtOp) {
+        // The explicit verdict, then death at the syscall boundary —
+        // exactly what a machine losing power mid-op looks like to the
+        // file, but never silent to a supervisor reading stderr.
+        std::fprintf(stderr,
+                     "ruusim: io_faults: injected crash at op %llu "
+                     "(%s '%s')\n",
+                     static_cast<unsigned long long>(k), opName,
+                     path.c_str());
+        std::fflush(stderr);
+        ::_exit(kCrashExitCode);
+    }
+    if (!g.plan.errorRate)
+        return {};
+    std::uint64_t state = g.plan.seed ^ (k * 0x9e3779b97f4a7c15ull);
+    std::uint64_t u = splitmix64(state);
+    if ((u & 0xff) >= g.plan.errorRate)
+        return {};
+    ++g.stats.injected;
+    switch ((u >> 8) % 3) {
+      case 0:
+        ++g.stats.enospcFaults;
+        return {ENOSPC, false};
+      case 1:
+        ++g.stats.eioFaults;
+        return {EIO, false};
+      default:
+        if (isWrite) {
+            ++g.stats.shortWrites;
+            return {ENOSPC, true};
+        }
+        ++g.stats.eioFaults;
+        return {EIO, false};
+    }
+}
+
+Error
+opError(const char *opName, const std::string &path, int err,
+        bool injected)
+{
+    return Error(std::string(opName) + " '" + path + "': " +
+                 std::strerror(err) +
+                 (injected ? " (injected)" : ""));
+}
+
+Expected<int>
+openChecked(const std::string &path, int flags)
+{
+    Decision d = decide("open", path, false);
+    if (d.err)
+        return opError("open", path, d.err, true);
+    int fd;
+    do {
+        fd = ::open(path.c_str(), flags, 0666);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        return opError("open", path, errno, false);
+    return fd;
+}
+
+} // namespace
+
+Expected<FaultPlan>
+parseFaultPlan(const std::string &text)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(':', pos);
+        std::string token = text.substr(
+            pos, end == std::string::npos ? std::string::npos
+                                          : end - pos);
+        pos = end == std::string::npos ? text.size() : end + 1;
+        if (token.empty())
+            continue;
+        std::size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            return Error("io fault plan: expected key=value, got '" +
+                         token + "'");
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "rate") {
+            unsigned long rate = std::strtoul(value.c_str(), nullptr, 10);
+            if (rate > 256)
+                return Error("io fault plan: rate " + value +
+                             " is out of [0, 256]");
+            plan.errorRate = static_cast<unsigned>(rate);
+        } else if (key == "crash_at") {
+            plan.crashAtOp = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "prefix") {
+            plan.pathPrefix = value;
+        } else {
+            return Error("io fault plan: unknown key '" + key + "'");
+        }
+    }
+    return plan;
+}
+
+void
+setFaultPlan(const FaultPlan &plan)
+{
+    Injector &g = injector();
+    armFromEnv(g); // consume the once-flag so the env cannot override
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.plan = plan;
+    g.armed = plan.armed();
+    g.scheduleIndex = 0;
+}
+
+void
+clearFaultPlan()
+{
+    setFaultPlan(FaultPlan{});
+}
+
+FaultPlan
+currentFaultPlan()
+{
+    Injector &g = injector();
+    armFromEnv(g);
+    std::lock_guard<std::mutex> lock(g.mutex);
+    return g.armed ? g.plan : FaultPlan{};
+}
+
+FaultStats
+faultStats()
+{
+    Injector &g = injector();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    return g.stats;
+}
+
+void
+resetFaultStats()
+{
+    Injector &g = injector();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.stats = FaultStats{};
+}
+
+Expected<int>
+openTrunc(const std::string &path)
+{
+    return openChecked(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+}
+
+Expected<int>
+openAppend(const std::string &path)
+{
+    return openChecked(path,
+                       O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC);
+}
+
+Expected<bool>
+writeAll(int fd, const std::string &path, const char *data,
+         std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        Decision d = decide("write", path, true);
+        if (d.err) {
+            if (d.shortWrite && size - done > 1) {
+                // Land a genuine partial prefix before failing — the
+                // on-disk signature of a disk filling mid-write, which
+                // is exactly what torn-tail recovery must eat.
+                std::size_t part = (size - done) / 2;
+                std::size_t landed = 0;
+                while (landed < part) {
+                    ssize_t n = ::write(fd, data + done + landed,
+                                        part - landed);
+                    if (n < 0) {
+                        if (errno == EINTR)
+                            continue;
+                        break;
+                    }
+                    landed += static_cast<std::size_t>(n);
+                }
+            }
+            return opError("write", path, d.err, true);
+        }
+        ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return opError("write", path, errno, false);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Expected<bool>
+fsyncFd(int fd, const std::string &path)
+{
+    Decision d = decide("fsync", path, false);
+    if (d.err)
+        return opError("fsync", path, d.err, true);
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return opError("fsync", path, errno, false);
+    return true;
+}
+
+Expected<bool>
+closeFd(int fd, const std::string &path)
+{
+    Decision d = decide("close", path, false);
+    if (d.err) {
+        // Even a failed close must not leak the descriptor: callers
+        // treat the op as finished either way.
+        ::close(fd);
+        return opError("close", path, d.err, true);
+    }
+    if (::close(fd) != 0 && errno != EINTR)
+        return opError("close", path, errno, false);
+    return true;
+}
+
+Expected<bool>
+renameFile(const std::string &from, const std::string &to)
+{
+    Decision d = decide("rename", from, false);
+    if (d.err)
+        return opError("rename", from, d.err, true);
+    if (::rename(from.c_str(), to.c_str()) != 0)
+        return opError("rename", from, errno, false);
+    return true;
+}
+
+Expected<bool>
+truncateFile(const std::string &path, std::uint64_t size)
+{
+    Decision d = decide("truncate", path, false);
+    if (d.err)
+        return opError("truncate", path, d.err, true);
+    int rc;
+    do {
+        rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return opError("truncate", path, errno, false);
+    return true;
+}
+
+Expected<bool>
+fsyncParentDir(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash == 0 ? 1 : slash);
+    Decision d = decide("fsync", dir, false);
+    if (d.err)
+        return opError("fsync", dir, d.err, true);
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0)
+        return opError("open", dir, errno, false);
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    int err = rc != 0 ? errno : 0;
+    ::close(fd);
+    if (err)
+        return opError("fsync", dir, err, false);
+    return true;
+}
+
+void
+ensureDir(const std::string &path)
+{
+    ::mkdir(path.c_str(), 0777); // EEXIST and friends: open() reports
+}
+
+Expected<bool>
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + ".tmp";
+    auto fd = openTrunc(tmp);
+    if (!fd)
+        return fd.error();
+    if (auto written =
+            writeAll(*fd, tmp, contents.data(), contents.size());
+        !written) {
+        ::close(*fd);
+        ::unlink(tmp.c_str());
+        return written.error();
+    }
+    if (auto synced = fsyncFd(*fd, tmp); !synced) {
+        ::close(*fd);
+        ::unlink(tmp.c_str());
+        return synced.error();
+    }
+    if (auto closed = closeFd(*fd, tmp); !closed) {
+        ::unlink(tmp.c_str());
+        return closed.error();
+    }
+    // fsync *before* rename: the payload must be durable before the
+    // name points at it, or a crash can leave a valid-looking name
+    // over unwritten blocks.
+    if (auto renamed = renameFile(tmp, path); !renamed) {
+        ::unlink(tmp.c_str());
+        return renamed.error();
+    }
+    // And the rename itself must be durable: sync the directory entry.
+    // (If this fails the file is still fully valid under its final
+    // name; the caller only loses the durability guarantee.)
+    return fsyncParentDir(path);
+}
+
+Expected<bool>
+AppendFile::create(const std::string &path)
+{
+    close();
+    auto fd = openTrunc(path);
+    if (!fd)
+        return fd.error();
+    _fd = *fd;
+    _path = path;
+    return true;
+}
+
+Expected<bool>
+AppendFile::append(const std::string &path)
+{
+    close();
+    auto fd = openAppend(path);
+    if (!fd)
+        return fd.error();
+    _fd = *fd;
+    _path = path;
+    return true;
+}
+
+Expected<bool>
+AppendFile::appendText(const std::string &text)
+{
+    if (_fd < 0)
+        return Error("append file is not open");
+    if (_damaged)
+        return Error("append '" + _path +
+                     "': tail is damaged; refusing further appends");
+    off_t before = ::lseek(_fd, 0, SEEK_END);
+    if (auto written = writeAll(_fd, _path, text.data(), text.size());
+        !written) {
+        // A failed append may have landed a partial line. Repair the
+        // tail in place (raw ftruncate — repair must not inject); if
+        // the repair cannot be trusted, poison the appender so the
+        // damage stays a torn *tail* instead of becoming interior
+        // corruption under later successful appends.
+        if (before < 0 || ::ftruncate(_fd, before) != 0)
+            _damaged = true;
+        return written.error();
+    }
+    return fsyncFd(_fd, _path);
+}
+
+Expected<bool>
+AppendFile::appendLine(const std::string &line)
+{
+    return appendText(line + "\n");
+}
+
+void
+AppendFile::close()
+{
+    if (_fd >= 0)
+        ::close(_fd); // unchecked: cleanup must not inject
+    _fd = -1;
+    _damaged = false;
+}
+
+} // namespace ruu::io

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Checked, fault-injectable I/O primitives for every durable writer in
+ * the repo (docs/FAULTS.md).
+ *
+ * PR 4 pointed bit-exact fault injection at the simulated cores; this
+ * shim points the same discipline at the daemon's *own* filesystem
+ * state. Every open / write / fsync / rename / close / truncate that
+ * backs a journal, the result cache, or the campaign queue goes
+ * through here, which buys two things at once:
+ *
+ *   1. **Checked durability.** Each primitive loops over EINTR and OS
+ *      short writes, reports failures as ruu::Error instead of
+ *      silently losing bytes, and the composite helpers pin the
+ *      crash-safety idioms: atomicWriteFile() is tmp + write + fsync +
+ *      rename + directory fsync (an entry is fully durable or absent,
+ *      never torn under its final name), and AppendFile fsyncs every
+ *      appended line (a journal record returned as written survives a
+ *      power cut).
+ *
+ *   2. **Deterministic torture.** A seeded FaultPlan injects ENOSPC,
+ *      EIO, short writes (some bytes genuinely land, then the op
+ *      fails — the classic disk-full tear), or a process crash at
+ *      exactly the Nth shim operation. The schedule is a pure function
+ *      of (seed, op index), so a failing torture run replays exactly.
+ *      Plans arm programmatically (tests) or from the RUU_IO_FAULTS
+ *      environment variable (forked daemons in
+ *      scripts/ci_chaos_smoke.sh), optionally scoped to a path prefix
+ *      so only the daemon's state directory is tortured.
+ *
+ * Injected errors are marked "(injected)" in the diagnostic; injected
+ * crashes print an explicit verdict line to stderr and _exit with
+ * kCrashExitCode, so a supervisor can always tell a scheduled kill
+ * from an organic one.
+ */
+
+#ifndef RUU_COMMON_IO_FAULTS_HH
+#define RUU_COMMON_IO_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+
+namespace ruu::io
+{
+
+/** Exit code of an injected crash-at-op fault — the explicit verdict. */
+constexpr int kCrashExitCode = 86;
+
+/** A deterministic fault schedule over the checked primitives. */
+struct FaultPlan
+{
+    /** Seed of the per-op SplitMix64 decision stream. */
+    std::uint64_t seed = 0;
+
+    /** Inject an error on ~rate/256 of eligible ops (0 = never). */
+    unsigned errorRate = 0;
+
+    /** _exit(kCrashExitCode) at the Nth eligible op (1-based; 0 = off). */
+    std::uint64_t crashAtOp = 0;
+
+    /** Only ops on paths starting with this are eligible ("" = all). */
+    std::string pathPrefix;
+
+    bool armed() const { return errorRate > 0 || crashAtOp > 0; }
+};
+
+/** Observable shim counters. */
+struct FaultStats
+{
+    std::uint64_t ops = 0;          //!< checked ops attempted
+    std::uint64_t injected = 0;     //!< faults injected (all kinds)
+    std::uint64_t enospcFaults = 0;
+    std::uint64_t eioFaults = 0;
+    std::uint64_t shortWrites = 0;
+};
+
+/**
+ * Parse a plan spelled "seed=S:rate=R:crash_at=N:prefix=P" (any subset
+ * of keys, colon-separated) — the RUU_IO_FAULTS grammar.
+ */
+Expected<FaultPlan> parseFaultPlan(const std::string &text);
+
+/** Arm @p plan process-wide, restarting the op schedule at 1. */
+void setFaultPlan(const FaultPlan &plan);
+
+/** Disarm fault injection (checked wrappers keep running). */
+void clearFaultPlan();
+
+/** The currently armed plan (errorRate 0 / crashAtOp 0 when unarmed). */
+FaultPlan currentFaultPlan();
+
+FaultStats faultStats();
+void resetFaultStats();
+
+/** open(O_WRONLY|O_CREAT|O_TRUNC) with checked errors. */
+Expected<int> openTrunc(const std::string &path);
+
+/** open(O_WRONLY|O_CREAT|O_APPEND) with checked errors. */
+Expected<int> openAppend(const std::string &path);
+
+/**
+ * Write all of @p size bytes, looping over EINTR and OS short writes.
+ * An injected short write lands a genuine partial prefix before
+ * failing — exactly the torn-line signature torn-tail recovery eats.
+ */
+Expected<bool> writeAll(int fd, const std::string &path,
+                        const char *data, std::size_t size);
+
+Expected<bool> fsyncFd(int fd, const std::string &path);
+
+/** Checked close (the last point a buffered write error can surface). */
+Expected<bool> closeFd(int fd, const std::string &path);
+
+Expected<bool> renameFile(const std::string &from, const std::string &to);
+
+Expected<bool> truncateFile(const std::string &path, std::uint64_t size);
+
+/** fsync the directory containing @p path (durability of a rename). */
+Expected<bool> fsyncParentDir(const std::string &path);
+
+/** Best-effort mkdir (EEXIST is fine; open() reports real trouble). */
+void ensureDir(const std::string &path);
+
+/**
+ * The atomic-store idiom, checked end to end: write @p contents to
+ * "<path>.tmp", fsync, close, rename over @p path, fsync the parent
+ * directory. On any failure the tmp file is unlinked and @p path still
+ * holds its previous contents (or stays absent) — never a torn file
+ * under the final name.
+ */
+Expected<bool> atomicWriteFile(const std::string &path,
+                               const std::string &contents);
+
+/**
+ * Durable line appender: every appendLine/appendText is written and
+ * fsynced before returning, so a record handed back as "added" has
+ * reached the disk. A failed append repairs the file's tail —
+ * truncating away any partial line the failure left behind — so
+ * in-process damage can never sit *between* later successful appends
+ * as interior corruption; if even the repair cannot be trusted the
+ * appender poisons itself and refuses further appends, keeping the
+ * damage a torn tail (which the journal readers forgive). A process
+ * crash mid-append leaves at most that same torn final line.
+ */
+class AppendFile
+{
+  public:
+    AppendFile() = default;
+    ~AppendFile() { close(); }
+    AppendFile(const AppendFile &) = delete;
+    AppendFile &operator=(const AppendFile &) = delete;
+
+    /** Open @p path truncating. */
+    Expected<bool> create(const std::string &path);
+
+    /** Open @p path appending. */
+    Expected<bool> append(const std::string &path);
+
+    /** Write @p line plus '\n', then fsync. */
+    Expected<bool> appendLine(const std::string &line);
+
+    /** Write @p text verbatim, then fsync. */
+    Expected<bool> appendText(const std::string &text);
+
+    bool isOpen() const { return _fd >= 0; }
+
+    /** Best-effort close (unchecked — cleanup must not inject). */
+    void close();
+
+    const std::string &path() const { return _path; }
+
+  private:
+    int _fd = -1;
+    std::string _path;
+    bool _damaged = false; //!< un-repairable tail; appends refuse
+};
+
+} // namespace ruu::io
+
+#endif // RUU_COMMON_IO_FAULTS_HH

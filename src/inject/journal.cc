@@ -1,5 +1,6 @@
 #include "inject/journal.hh"
 
+#include <fstream>
 #include <sstream>
 
 #include "common/file.hh"
@@ -258,13 +259,10 @@ readJournal(const std::string &path)
 Expected<bool>
 JournalWriter::create(const std::string &path, const JournalHeader &header)
 {
-    _out.open(path, std::ios::trunc);
-    if (!_out)
-        return Error("cannot open journal '" + path + "' for writing");
-    _path = path;
-    _out << headerToLine(header) << '\n' << std::flush;
-    if (!_out)
-        return Error("write error on journal '" + path + "'");
+    if (auto opened = _file.create(path); !opened)
+        return Error(opened.error()).context("journal");
+    if (auto wrote = _file.appendLine(headerToLine(header)); !wrote)
+        return Error(wrote.error()).context("journal");
     return true;
 }
 
@@ -281,23 +279,21 @@ JournalWriter::append(const std::string &path)
             needsNewline = in.get() != '\n';
         }
     }
-    _out.open(path, std::ios::app);
-    if (!_out)
-        return Error("cannot open journal '" + path + "' for appending");
-    _path = path;
+    if (auto opened = _file.append(path); !opened)
+        return Error(opened.error()).context("journal");
     if (needsNewline)
-        _out << '\n' << std::flush;
+        if (auto isolated = _file.appendText("\n"); !isolated)
+            return Error(isolated.error()).context("journal");
     return true;
 }
 
 Expected<bool>
 JournalWriter::add(const TrialResult &trial)
 {
-    if (!_out.is_open())
+    if (!_file.isOpen())
         return Error("journal writer is not open");
-    _out << trialToLine(trial) << '\n' << std::flush;
-    if (!_out)
-        return Error("write error on journal '" + _path + "'");
+    if (auto wrote = _file.appendLine(trialToLine(trial)); !wrote)
+        return Error(wrote.error()).context("journal");
     return true;
 }
 

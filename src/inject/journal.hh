@@ -27,11 +27,11 @@
 #define RUU_INJECT_JOURNAL_HH
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
+#include "common/io_faults.hh"
 #include "common/types.hh"
 
 namespace ruu::inject
@@ -144,14 +144,13 @@ class JournalWriter
     /** Open @p path for appending trial lines after a resume. */
     Expected<bool> append(const std::string &path);
 
-    /** Append one trial line and flush. */
+    /** Append one trial line, durable (fsynced) before returning. */
     Expected<bool> add(const TrialResult &trial);
 
-    bool isOpen() const { return _out.is_open(); }
+    bool isOpen() const { return _file.isOpen(); }
 
   private:
-    std::ofstream _out;
-    std::string _path;
+    io::AppendFile _file;
 };
 
 } // namespace ruu::inject

@@ -1,7 +1,7 @@
 #include "serve/cache.hh"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include <dirent.h>
 #include <sys/stat.h>
@@ -9,6 +9,7 @@
 
 #include "common/file.hh"
 #include "common/flat_json.hh"
+#include "common/io_faults.hh"
 
 namespace ruu::serve
 {
@@ -109,25 +110,21 @@ ResultCache::store(std::uint64_t key, const std::string &payload)
 {
     if (!enabled())
         return true;
-    ::mkdir(_dir.c_str(), 0777); // best-effort; open() reports failure
+    io::ensureDir(_dir);
     std::string path = entryPath(key);
-    // Write to a temp name and rename: a crash mid-store leaves either
-    // the old entry or none, never a half-written one under the key.
-    std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out)
-            return Error("cannot write cache entry '" + tmp + "'");
-        out << "{\"kind\": \"" << kCacheKind << "\", \"version\": 1"
-            << ", \"key\": \"" << keyToHex(key) << "\""
-            << ", \"checksum\": \"" << keyToHex(fnv1a(payload)) << "\""
-            << ", \"bytes\": " << payload.size() << "}\n"
-            << payload << "\n";
-        if (!out.flush())
-            return Error("write error on cache entry '" + tmp + "'");
-    }
-    if (::rename(tmp.c_str(), path.c_str()) != 0)
-        return Error("cannot commit cache entry '" + path + "'");
+    std::ostringstream entry;
+    entry << "{\"kind\": \"" << kCacheKind << "\", \"version\": 1"
+          << ", \"key\": \"" << keyToHex(key) << "\""
+          << ", \"checksum\": \"" << keyToHex(fnv1a(payload)) << "\""
+          << ", \"bytes\": " << payload.size() << "}\n"
+          << payload << "\n";
+    // The checked atomic-store idiom: tmp + write + fsync + rename +
+    // directory fsync. A crash (or injected fault) mid-store leaves
+    // either the old entry or none under the key — never a torn one —
+    // and a reported success is durable, which is what lets journal
+    // records vouch for entries across a power cut.
+    if (auto stored = io::atomicWriteFile(path, entry.str()); !stored)
+        return Error(stored.error()).context("cache entry");
     ++_stats.stores;
     return true;
 }

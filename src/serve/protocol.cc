@@ -5,6 +5,63 @@
 namespace ruu::serve
 {
 
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string &joined)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(joined);
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+joinCommas(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ',';
+        out += item;
+    }
+    return out;
+}
+
+std::string
+joinNumbers(const std::vector<std::uint64_t> &items)
+{
+    std::string out;
+    for (std::uint64_t item : items) {
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(item);
+    }
+    return out;
+}
+
+Expected<std::vector<std::uint64_t>>
+splitNumbers(const std::string &joined)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : splitCommas(joined)) {
+        std::uint64_t value = 0;
+        for (char c : item) {
+            if (c < '0' || c > '9')
+                return Error("'" + item + "' is not an unsigned integer");
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        out.push_back(value);
+    }
+    return out;
+}
+
+} // namespace
+
 const char *
 opName(Op op)
 {
@@ -14,8 +71,32 @@ opName(Op op)
       case Op::Submit: return "submit";
       case Op::Run: return "run";
       case Op::Shutdown: return "shutdown";
+      case Op::Campaign: return "campaign";
+      case Op::Watch: return "watch";
+      case Op::Cancel: return "cancel";
     }
     return "ping";
+}
+
+const char *
+campaignKindName(CampaignKind kind)
+{
+    switch (kind) {
+      case CampaignKind::Run: return "run";
+      case CampaignKind::Storm: return "storm";
+      case CampaignKind::Inject: return "inject";
+    }
+    return "run";
+}
+
+Expected<CampaignKind>
+campaignKindFromName(const std::string &name)
+{
+    for (CampaignKind k : {CampaignKind::Run, CampaignKind::Storm,
+                           CampaignKind::Inject})
+        if (name == campaignKindName(k))
+            return k;
+    return Error("unknown campaign kind '" + name + "'");
 }
 
 const char *
@@ -52,8 +133,85 @@ parseRequest(const std::string &line)
         request.op = Op::Shutdown;
     } else if (*op == "submit") {
         request.op = Op::Submit;
+    } else if (*op == "campaign") {
+        request.op = Op::Campaign;
+    } else if (*op == "watch") {
+        request.op = Op::Watch;
+    } else if (*op == "cancel") {
+        request.op = Op::Cancel;
     } else {
         return Error("request: unknown op '" + *op + "'");
+    }
+
+    if (request.op == Op::Watch || request.op == Op::Cancel) {
+        // Exactly the op and the campaign id, nothing else.
+        if (object->size() != 2)
+            return Error(std::string("request: op '") + *op +
+                         "' takes exactly an \"id\"");
+        auto id = flat::getString(*object, "id");
+        if (!id || id->empty())
+            return Error(std::string("request: op '") + *op +
+                         "' needs a non-empty \"id\"");
+        request.target = *id;
+        return request;
+    }
+
+    if (request.op == Op::Campaign) {
+        CampaignSpec &spec = request.campaign;
+        bool sawKind = false;
+        for (const auto &[key, value] : *object) {
+            if (key == "op")
+                continue;
+            if (key == "id" && value.isString) {
+                spec.id = value.text;
+            } else if (key == "kind" && value.isString) {
+                auto kind = campaignKindFromName(value.text);
+                if (!kind)
+                    return Error(kind.error()).context("request");
+                spec.kind = *kind;
+                sawKind = true;
+            } else if (key == "workloads" && value.isString) {
+                spec.workloads = splitCommas(value.text);
+            } else if (key == "cores" && value.isString) {
+                spec.cores = splitCommas(value.text);
+            } else if (key == "periods" && value.isString) {
+                auto periods = splitNumbers(value.text);
+                if (!periods)
+                    return Error(periods.error())
+                        .context("request: \"periods\"");
+                spec.periods = *periods;
+            } else if (key == "trials" && !value.isString) {
+                spec.trials = value.number;
+            } else if (key == "seed" && !value.isString) {
+                spec.seed = value.number;
+            } else if (key == "config" && value.isString) {
+                spec.configJson = value.text;
+            } else if (key == "deadline_ms" && !value.isString) {
+                spec.deadlineMs = value.number;
+            } else {
+                return Error("request: unknown or ill-typed key '" +
+                             key + "'");
+            }
+        }
+        if (spec.id.empty())
+            return Error("request: campaign needs an \"id\"");
+        if (!sawKind)
+            return Error("request: campaign needs a \"kind\"");
+        if (spec.workloads.empty())
+            return Error("request: campaign needs \"workloads\"");
+        if (spec.cores.empty())
+            return Error("request: campaign needs \"cores\"");
+        if (spec.kind == CampaignKind::Storm && spec.periods.empty())
+            return Error("request: storm campaign needs \"periods\"");
+        if (spec.kind != CampaignKind::Storm && !spec.periods.empty())
+            return Error("request: only storm campaigns take "
+                         "\"periods\"");
+        if (spec.kind == CampaignKind::Inject && spec.trials == 0)
+            return Error("request: inject campaign needs \"trials\"");
+        if (spec.kind != CampaignKind::Inject && spec.trials != 0)
+            return Error("request: only inject campaigns take "
+                         "\"trials\"");
+        return request;
     }
 
     if (request.op != Op::Submit) {
@@ -123,6 +281,28 @@ requestToLine(const Request &request)
             os << ", \"period\": " << job.period;
         if (job.deadlineMs)
             os << ", \"deadline_ms\": " << job.deadlineMs;
+    } else if (request.op == Op::Campaign) {
+        const CampaignSpec &spec = request.campaign;
+        os << ", \"id\": \"" << flat::escape(spec.id) << "\""
+           << ", \"kind\": \"" << campaignKindName(spec.kind) << "\""
+           << ", \"workloads\": \""
+           << flat::escape(joinCommas(spec.workloads)) << "\""
+           << ", \"cores\": \"" << flat::escape(joinCommas(spec.cores))
+           << "\"";
+        if (!spec.periods.empty())
+            os << ", \"periods\": \"" << joinNumbers(spec.periods)
+               << "\"";
+        if (spec.trials)
+            os << ", \"trials\": " << spec.trials;
+        if (spec.kind == CampaignKind::Inject)
+            os << ", \"seed\": " << spec.seed;
+        if (!spec.configJson.empty())
+            os << ", \"config\": \"" << flat::escape(spec.configJson)
+               << "\"";
+        if (spec.deadlineMs)
+            os << ", \"deadline_ms\": " << spec.deadlineMs;
+    } else if (request.op == Op::Watch || request.op == Op::Cancel) {
+        os << ", \"id\": \"" << flat::escape(request.target) << "\"";
     }
     os << "}";
     return os.str();
@@ -136,6 +316,23 @@ resultToLine(const std::string &id, JobStatus status, bool cached,
     os << "{\"ok\": " << (status == JobStatus::Done ? 1 : 0)
        << ", \"op\": \"result\""
        << ", \"id\": \"" << flat::escape(id) << "\""
+       << ", \"status\": \"" << jobStatusName(status) << "\""
+       << ", \"cached\": " << (cached ? 1 : 0) << ", \""
+       << (status == JobStatus::Done ? "payload" : "error") << "\": \""
+       << flat::escape(payloadOrError) << "\"}";
+    return os.str();
+}
+
+std::string
+unitResultToLine(const std::string &id, std::uint64_t unit,
+                 JobStatus status, bool cached,
+                 const std::string &payloadOrError)
+{
+    std::ostringstream os;
+    os << "{\"ok\": " << (status == JobStatus::Done ? 1 : 0)
+       << ", \"op\": \"unit\""
+       << ", \"id\": \"" << flat::escape(id) << "\""
+       << ", \"unit\": " << unit
        << ", \"status\": \"" << jobStatusName(status) << "\""
        << ", \"cached\": " << (cached ? 1 : 0) << ", \""
        << (status == JobStatus::Done ? "payload" : "error") << "\": \""

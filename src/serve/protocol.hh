@@ -16,6 +16,9 @@
  *   {"op": "submit", "id": I, ...job fields...}
  *   {"op": "run"}
  *   {"op": "shutdown"}
+ *   {"op": "campaign", "id": I, "kind": K, ...campaign fields...}
+ *   {"op": "watch", "id": I}
+ *   {"op": "cancel", "id": I}
  *
  * Submit job fields: exactly one of "workload" (built-in kernel name)
  * or "program" (assembly source, read client-side — the daemon needs
@@ -24,6 +27,19 @@
  * emitted by configToJson), "period" (periodic external-interrupt
  * arrival period in cycles; 0 = plain run), "deadline_ms" (per-job
  * wall-clock watchdog override).
+ *
+ * Campaign fields (docs/SERVE.md, serve/queue.hh) name a server-side
+ * durable sweep: "kind" is "run", "storm", or "inject"; "workloads"
+ * and "cores" are comma lists of built-in kernel and core-scheme
+ * names (campaigns carry no program text — they outlive the
+ * submitting client, so everything must resolve server-side);
+ * "periods" (storm only) is a comma list of arrival periods; "trials"
+ * and "seed" (inject only) size the trial sweep; "config" and
+ * "deadline_ms" are as for submit. The daemon acks with the unit
+ * count and executes in the background; "watch" streams one
+ * {"op": "unit", ...} line per unit in unit order, then a
+ * {"op": "watch", ...} summary; "cancel" voids units not yet
+ * dispatched.
  *
  * Responses: every line carries "ok" (1/0) and echoes "op"; submit
  * acks echo "id"; a shed submit answers ok 0 with error "overloaded".
@@ -38,6 +54,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.hh"
 #include "common/flat_json.hh"
@@ -53,6 +70,9 @@ enum class Op
     Submit,
     Run,
     Shutdown,
+    Campaign,
+    Watch,
+    Cancel,
 };
 
 /** The name of @p op as it appears on the wire. */
@@ -71,11 +91,45 @@ struct JobSpec
     std::uint64_t deadlineMs = 0; //!< 0 = server default
 };
 
+/** What a campaign sweeps over. */
+enum class CampaignKind
+{
+    Run,   //!< plain runs: workloads × cores
+    Storm, //!< interrupt storms: workloads × cores × periods
+    Inject, //!< fault injection: one unit per trial
+};
+
+/** The wire name of @p kind ("run", "storm", "inject"). */
+const char *campaignKindName(CampaignKind kind);
+
+/** Inverse of campaignKindName. */
+Expected<CampaignKind> campaignKindFromName(const std::string &name);
+
+/**
+ * One durable server-side campaign as submitted by a client. Only
+ * built-in names — a campaign outlives its submitting client, so
+ * nothing in the spec may depend on client-side file access.
+ */
+struct CampaignSpec
+{
+    std::string id; //!< client-chosen identifier, unique per daemon
+    CampaignKind kind = CampaignKind::Run;
+    std::vector<std::string> workloads; //!< built-in kernel names
+    std::vector<std::string> cores;     //!< core-scheme names
+    std::vector<std::uint64_t> periods; //!< storm arrival periods
+    std::uint64_t trials = 0;           //!< inject trial count
+    std::uint64_t seed = 1;             //!< inject campaign seed
+    std::string configJson; //!< empty = default configuration
+    std::uint64_t deadlineMs = 0; //!< per-unit deadline; 0 = default
+};
+
 /** A parsed request line. */
 struct Request
 {
     Op op = Op::Ping;
-    JobSpec job; //!< meaningful when op == Op::Submit
+    JobSpec job;           //!< meaningful when op == Op::Submit
+    CampaignSpec campaign; //!< meaningful when op == Op::Campaign
+    std::string target;    //!< campaign id for Op::Watch / Op::Cancel
 };
 
 /**
@@ -104,6 +158,11 @@ const char *jobStatusName(JobStatus status);
 /** One job's result line. */
 std::string resultToLine(const std::string &id, JobStatus status,
                          bool cached, const std::string &payloadOrError);
+
+/** One campaign unit's result line, streamed by watch. */
+std::string unitResultToLine(const std::string &id, std::uint64_t unit,
+                             JobStatus status, bool cached,
+                             const std::string &payloadOrError);
 
 /** A generic error response (ok 0). */
 std::string errorToLine(const std::string &message);

@@ -1,0 +1,887 @@
+#include "serve/queue.hh"
+
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "common/file.hh"
+#include "common/flat_json.hh"
+#include "serve/cache.hh"
+
+namespace ruu::serve
+{
+
+namespace
+{
+
+const char *const kQueueKind = "ruu-serve-queue";
+
+std::string
+joinCommas(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ',';
+        out += item;
+    }
+    return out;
+}
+
+std::string
+joinNumbers(const std::vector<std::uint64_t> &items)
+{
+    std::string out;
+    for (std::uint64_t item : items) {
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(item);
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &joined)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(joined);
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+Expected<std::vector<std::uint64_t>>
+splitNumbers(const std::string &joined)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : splitCommas(joined)) {
+        std::uint64_t value = 0;
+        for (char c : item) {
+            if (c < '0' || c > '9')
+                return Error("'" + item +
+                             "' is not an unsigned integer");
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        out.push_back(value);
+    }
+    return out;
+}
+
+Expected<std::uint64_t>
+getHexKey(const flat::Object &object, const std::string &key)
+{
+    auto text = flat::getString(object, key);
+    if (!text)
+        return text.error();
+    if (text->size() != 16)
+        return Error("key '" + key + "' is not a 16-hex-digit value");
+    std::uint64_t value = 0;
+    for (char c : *text) {
+        value <<= 4;
+        if (c >= '0' && c <= '9')
+            value |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return Error("key '" + key + "' has a non-hex digit");
+    }
+    return value;
+}
+
+Expected<JobStatus>
+jobStatusFromName(const std::string &name)
+{
+    for (JobStatus s : {JobStatus::Done, JobStatus::Rejected,
+                        JobStatus::Crashed, JobStatus::TimedOut,
+                        JobStatus::Failed})
+        if (name == jobStatusName(s))
+            return s;
+    return Error("unknown status '" + name + "'");
+}
+
+/** Canonical form for spec-identity comparison (idempotent submit). */
+std::string
+specCanon(const CampaignSpec &spec)
+{
+    QueueRecord record;
+    record.type = QueueRecord::Type::Campaign;
+    record.campaign = spec;
+    return queueRecordToLine(record);
+}
+
+/** The backoff jitter stream of one (campaign, unit) pair. */
+std::uint64_t
+unitSeed(const std::string &id, std::uint64_t unit)
+{
+    return fnv1a(id + "#" + std::to_string(unit));
+}
+
+} // namespace
+
+std::vector<WorkUnit>
+expandUnits(const CampaignSpec &spec)
+{
+    std::vector<WorkUnit> units;
+    if (spec.kind == CampaignKind::Inject) {
+        // One unit per trial; the campaign-seeded sampler derives the
+        // trial's core/workload/injection site, so the unit needs only
+        // its index to be replayed bit-exactly.
+        for (std::uint64_t t = 0; t < spec.trials; ++t) {
+            WorkUnit unit;
+            unit.index = units.size();
+            unit.trial = t;
+            units.push_back(std::move(unit));
+        }
+        return units;
+    }
+    for (const std::string &workload : spec.workloads)
+        for (const std::string &core : spec.cores) {
+            if (spec.kind == CampaignKind::Storm) {
+                for (std::uint64_t period : spec.periods) {
+                    WorkUnit unit;
+                    unit.index = units.size();
+                    unit.workload = workload;
+                    unit.core = core;
+                    unit.period = period;
+                    units.push_back(std::move(unit));
+                }
+            } else {
+                WorkUnit unit;
+                unit.index = units.size();
+                unit.workload = workload;
+                unit.core = core;
+                units.push_back(std::move(unit));
+            }
+        }
+    return units;
+}
+
+const char *
+unitPhaseName(UnitPhase phase)
+{
+    switch (phase) {
+      case UnitPhase::Pending: return "pending";
+      case UnitPhase::Leased: return "leased";
+      case UnitPhase::Done: return "done";
+      case UnitPhase::Failed: return "failed";
+      case UnitPhase::Canceled: return "canceled";
+    }
+    return "pending";
+}
+
+std::string
+queueHeaderToLine(const QueueHeader &header)
+{
+    std::ostringstream os;
+    os << "{\"kind\": \"" << kQueueKind << "\""
+       << ", \"version\": " << header.version
+       << ", \"cache\": \"" << flat::escape(header.cacheDir) << "\"}";
+    return os.str();
+}
+
+std::string
+queueRecordToLine(const QueueRecord &record)
+{
+    std::ostringstream os;
+    switch (record.type) {
+      case QueueRecord::Type::Campaign: {
+        const CampaignSpec &spec = record.campaign;
+        os << "{\"rec\": \"campaign\""
+           << ", \"id\": \"" << flat::escape(spec.id) << "\""
+           << ", \"ckind\": \"" << campaignKindName(spec.kind) << "\""
+           << ", \"workloads\": \""
+           << flat::escape(joinCommas(spec.workloads)) << "\""
+           << ", \"cores\": \""
+           << flat::escape(joinCommas(spec.cores)) << "\""
+           << ", \"periods\": \"" << joinNumbers(spec.periods) << "\""
+           << ", \"trials\": " << spec.trials
+           << ", \"seed\": " << spec.seed
+           << ", \"config\": \"" << flat::escape(spec.configJson)
+           << "\""
+           << ", \"deadline_ms\": " << spec.deadlineMs << "}";
+        break;
+      }
+      case QueueRecord::Type::Unit:
+        os << "{\"rec\": \"unit\""
+           << ", \"id\": \"" << flat::escape(record.id) << "\""
+           << ", \"unit\": " << record.unit
+           << ", \"status\": \"" << jobStatusName(record.status)
+           << "\""
+           << ", \"cached\": " << (record.cached ? 1 : 0)
+           << ", \"key\": \"" << keyToHex(record.key) << "\""
+           << ", \"checksum\": \"" << keyToHex(record.checksum) << "\""
+           << ", \"bytes\": " << record.bytes
+           << ", \"error\": \"" << flat::escape(record.error) << "\"}";
+        break;
+      case QueueRecord::Type::Cancel:
+        os << "{\"rec\": \"cancel\""
+           << ", \"id\": \"" << flat::escape(record.id) << "\"}";
+        break;
+    }
+    return os.str();
+}
+
+Expected<QueueHeader>
+parseQueueHeaderLine(const std::string &line)
+{
+    auto object = flat::parseObject(line);
+    if (!object)
+        return Error(object.error()).context("queue journal header");
+    auto kind = flat::getString(*object, "kind");
+    if (!kind)
+        return Error(kind.error()).context("queue journal header");
+    if (*kind != kQueueKind)
+        return Error("queue journal header: kind '" + *kind +
+                     "' is not '" + kQueueKind + "'");
+    auto version = flat::getNumber(*object, "version");
+    auto cache = flat::getString(*object, "cache");
+    for (const Error *e : {version.errorOrNull(), cache.errorOrNull()})
+        if (e)
+            return Error(e->message()).context("queue journal header");
+    if (*version != 1)
+        return Error("queue journal header: unsupported version " +
+                     std::to_string(*version));
+    QueueHeader header;
+    header.version = *version;
+    header.cacheDir = *cache;
+    return header;
+}
+
+Expected<QueueRecord>
+parseQueueRecordLine(const std::string &line)
+{
+    auto object = flat::parseObject(line);
+    if (!object)
+        return object.error();
+    auto rec = flat::getString(*object, "rec");
+    if (!rec)
+        return rec.error();
+    QueueRecord record;
+    if (*rec == "campaign") {
+        record.type = QueueRecord::Type::Campaign;
+        CampaignSpec &spec = record.campaign;
+        auto id = flat::getString(*object, "id");
+        auto ckind = flat::getString(*object, "ckind");
+        auto workloads = flat::getString(*object, "workloads");
+        auto cores = flat::getString(*object, "cores");
+        auto periods = flat::getString(*object, "periods");
+        auto trials = flat::getNumber(*object, "trials");
+        auto seed = flat::getNumber(*object, "seed");
+        auto config = flat::getString(*object, "config");
+        auto deadline = flat::getNumber(*object, "deadline_ms");
+        for (const Error *e :
+             {id.errorOrNull(), ckind.errorOrNull(),
+              workloads.errorOrNull(), cores.errorOrNull(),
+              periods.errorOrNull(), trials.errorOrNull(),
+              seed.errorOrNull(), config.errorOrNull(),
+              deadline.errorOrNull()})
+            if (e)
+                return Error(e->message());
+        auto kind = campaignKindFromName(*ckind);
+        if (!kind)
+            return kind.error();
+        auto periodList = splitNumbers(*periods);
+        if (!periodList)
+            return periodList.error();
+        spec.id = *id;
+        spec.kind = *kind;
+        spec.workloads = splitCommas(*workloads);
+        spec.cores = splitCommas(*cores);
+        spec.periods = *periodList;
+        spec.trials = *trials;
+        spec.seed = *seed;
+        spec.configJson = *config;
+        spec.deadlineMs = *deadline;
+        return record;
+    }
+    if (*rec == "unit") {
+        record.type = QueueRecord::Type::Unit;
+        auto id = flat::getString(*object, "id");
+        auto unit = flat::getNumber(*object, "unit");
+        auto status = flat::getString(*object, "status");
+        auto cached = flat::getNumber(*object, "cached");
+        auto key = getHexKey(*object, "key");
+        auto checksum = getHexKey(*object, "checksum");
+        auto bytes = flat::getNumber(*object, "bytes");
+        auto error = flat::getString(*object, "error");
+        for (const Error *e :
+             {id.errorOrNull(), unit.errorOrNull(),
+              status.errorOrNull(), cached.errorOrNull(),
+              key.errorOrNull(), checksum.errorOrNull(),
+              bytes.errorOrNull(), error.errorOrNull()})
+            if (e)
+                return Error(e->message());
+        auto parsed = jobStatusFromName(*status);
+        if (!parsed)
+            return parsed.error();
+        record.id = *id;
+        record.unit = *unit;
+        record.status = *parsed;
+        record.cached = *cached != 0;
+        record.key = *key;
+        record.checksum = *checksum;
+        record.bytes = *bytes;
+        record.error = *error;
+        return record;
+    }
+    if (*rec == "cancel") {
+        record.type = QueueRecord::Type::Cancel;
+        auto id = flat::getString(*object, "id");
+        if (!id)
+            return id.error();
+        record.id = *id;
+        return record;
+    }
+    return Error("unknown record '" + *rec + "'");
+}
+
+Expected<QueueJournalContents>
+readQueueJournal(const std::string &path)
+{
+    auto text = readTextFile(path);
+    if (!text)
+        return Error(text.error()).context("queue journal");
+    QueueJournalContents contents;
+    contents.validBytes = text->size();
+    struct RawLine
+    {
+        std::size_t number;
+        std::size_t start;
+        std::string text;
+    };
+    std::vector<RawLine> recordLines;
+    bool sawHeader = false;
+    std::size_t lineNo = 0, pos = 0;
+    while (pos < text->size()) {
+        std::size_t eol = text->find('\n', pos);
+        std::size_t end = eol == std::string::npos ? text->size() : eol;
+        std::string line = text->substr(pos, end - pos);
+        std::size_t start = pos;
+        pos = eol == std::string::npos ? text->size() : eol + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (!sawHeader) {
+            auto header = parseQueueHeaderLine(line);
+            if (!header)
+                return Error(header.error())
+                    .context("'" + path + "' line " +
+                             std::to_string(lineNo));
+            contents.header = *header;
+            sawHeader = true;
+            continue;
+        }
+        recordLines.push_back({lineNo, start, std::move(line)});
+    }
+    if (!sawHeader)
+        return Error("queue journal '" + path + "' has no header line");
+    for (std::size_t i = 0; i < recordLines.size(); ++i) {
+        auto record = parseQueueRecordLine(recordLines[i].text);
+        if (!record) {
+            if (i + 1 == recordLines.size()) {
+                // The signature of a daemon killed mid-append.
+                contents.tornTail = true;
+                contents.validBytes = recordLines[i].start;
+                break;
+            }
+            return Error(record.error())
+                .context("'" + path + "' line " +
+                         std::to_string(recordLines[i].number));
+        }
+        contents.records.push_back(*record);
+    }
+    return contents;
+}
+
+CampaignQueue::CampaignEntry *
+CampaignQueue::findLocked(const std::string &id)
+{
+    for (CampaignEntry &campaign : _campaigns)
+        if (campaign.spec.id == id)
+            return &campaign;
+    return nullptr;
+}
+
+UnitSnapshot
+CampaignQueue::snapshotLocked(const UnitEntry &entry) const
+{
+    UnitSnapshot snapshot;
+    snapshot.unit = entry.unit;
+    snapshot.phase = entry.phase;
+    snapshot.status = entry.status;
+    snapshot.cached = entry.cached;
+    snapshot.key = entry.key;
+    snapshot.checksum = entry.checksum;
+    snapshot.bytes = entry.bytes;
+    snapshot.text = entry.text;
+    snapshot.dispatches = entry.dispatches;
+    return snapshot;
+}
+
+Expected<bool>
+CampaignQueue::open(const std::string &path, const std::string &cacheDir,
+                    VerifyDone verify)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _durable = !path.empty();
+    if (!_durable)
+        return true;
+
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        QueueHeader header;
+        header.cacheDir = cacheDir;
+        if (auto created = _journal.create(path); !created)
+            return Error(created.error()).context("queue journal");
+        if (auto wrote = _journal.appendLine(queueHeaderToLine(header));
+            !wrote)
+            return Error(wrote.error()).context("queue journal");
+        return true;
+    }
+
+    auto contents = readQueueJournal(path);
+    if (!contents)
+        return contents.error();
+    // The header pins which cache the unit records certify payloads
+    // in; recovering against a different cache would vouch for
+    // entries nobody ever wrote there.
+    if (contents->header.cacheDir != cacheDir)
+        return Error("queue journal '" + path + "' pins cache '" +
+                     contents->header.cacheDir + "', not '" + cacheDir +
+                     "'");
+    if (contents->tornTail)
+        if (auto cut = io::truncateFile(path, contents->validBytes);
+            !cut)
+            return Error(cut.error()).context("queue journal");
+
+    for (const QueueRecord &record : contents->records) {
+        switch (record.type) {
+          case QueueRecord::Type::Campaign: {
+            if (findLocked(record.campaign.id))
+                break; // replayed admission of a known id; keep first
+            CampaignEntry campaign;
+            campaign.spec = record.campaign;
+            for (WorkUnit &unit : expandUnits(campaign.spec)) {
+                UnitEntry entry;
+                entry.unit = std::move(unit);
+                campaign.units.push_back(std::move(entry));
+            }
+            ++_stats.campaigns;
+            _stats.unitsExpanded += campaign.units.size();
+            _campaigns.push_back(std::move(campaign));
+            break;
+          }
+          case QueueRecord::Type::Unit: {
+            CampaignEntry *campaign = findLocked(record.id);
+            if (!campaign || record.unit >= campaign->units.size())
+                break; // stale record for a spec this journal lost
+            UnitEntry &entry = campaign->units[record.unit];
+            if (entry.phase == UnitPhase::Done ||
+                entry.phase == UnitPhase::Failed)
+                break; // first record wins, like first completion
+            if (record.status == JobStatus::Done) {
+                // A done record is only as good as its bytes: verify
+                // the payload still sits in the cache intact, else
+                // recompute. At-least-once, never wrong.
+                if (verify &&
+                    !verify(record.key, record.checksum, record.bytes))
+                    break;
+                entry.phase = UnitPhase::Done;
+                entry.status = JobStatus::Done;
+                entry.cached = record.cached;
+                entry.key = record.key;
+                entry.checksum = record.checksum;
+                entry.bytes = record.bytes;
+                ++_stats.unitsDone;
+                ++_stats.recoveredUnits;
+            } else {
+                entry.phase = UnitPhase::Failed;
+                entry.status = record.status;
+                entry.text = record.error;
+                ++_stats.unitsFailed;
+                ++_stats.recoveredUnits;
+            }
+            break;
+          }
+          case QueueRecord::Type::Cancel: {
+            CampaignEntry *campaign = findLocked(record.id);
+            if (!campaign)
+                break;
+            campaign->canceled = true;
+            for (UnitEntry &entry : campaign->units)
+                if (entry.phase == UnitPhase::Pending) {
+                    entry.phase = UnitPhase::Canceled;
+                    ++_stats.unitsCanceled;
+                }
+            break;
+          }
+        }
+    }
+
+    if (auto opened = _journal.append(path); !opened)
+        return Error(opened.error()).context("queue journal");
+    return true;
+}
+
+Expected<std::uint64_t>
+CampaignQueue::submit(const CampaignSpec &spec, std::uint64_t unitLimit)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (CampaignEntry *existing = findLocked(spec.id)) {
+        if (specCanon(existing->spec) == specCanon(spec))
+            return static_cast<std::uint64_t>(existing->units.size());
+        return Error("campaign '" + spec.id +
+                     "' already exists with a different spec");
+    }
+    std::vector<WorkUnit> units = expandUnits(spec);
+    if (units.empty())
+        return Error("campaign '" + spec.id + "' expands to no units");
+
+    std::uint64_t unfinished = 0;
+    for (const CampaignEntry &campaign : _campaigns)
+        for (const UnitEntry &entry : campaign.units)
+            if (entry.phase == UnitPhase::Pending ||
+                entry.phase == UnitPhase::Leased)
+                ++unfinished;
+    if (unitLimit && unfinished + units.size() > unitLimit) {
+        ++_stats.shed;
+        return Error("overloaded");
+    }
+
+    if (_durable) {
+        // Durability gates admission: if the spec cannot be journaled
+        // now, a crash would silently drop accepted work — refuse
+        // instead, and let the client retry or fall back.
+        QueueRecord record;
+        record.type = QueueRecord::Type::Campaign;
+        record.campaign = spec;
+        if (auto wrote = _journal.appendLine(queueRecordToLine(record));
+            !wrote)
+            return Error(wrote.error()).context("queue journal");
+    }
+
+    CampaignEntry campaign;
+    campaign.spec = spec;
+    for (WorkUnit &unit : units) {
+        UnitEntry entry;
+        entry.unit = std::move(unit);
+        campaign.units.push_back(std::move(entry));
+    }
+    std::uint64_t count = campaign.units.size();
+    ++_stats.campaigns;
+    _stats.unitsExpanded += count;
+    _campaigns.push_back(std::move(campaign));
+    _cv.notify_all();
+    return count;
+}
+
+std::optional<Lease>
+CampaignQueue::lease(Clock::time_point now, std::uint64_t leaseMs)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_draining)
+        return std::nullopt;
+    for (CampaignEntry &campaign : _campaigns) {
+        if (campaign.canceled)
+            continue;
+        for (UnitEntry &entry : campaign.units) {
+            if (entry.phase != UnitPhase::Pending ||
+                entry.nextDispatch > now)
+                continue;
+            entry.phase = UnitPhase::Leased;
+            entry.leaseToken = ++_tokenCounter;
+            entry.leaseDeadline =
+                now + std::chrono::milliseconds(leaseMs);
+            ++entry.dispatches;
+            ++_stats.leases;
+            Lease lease;
+            lease.spec = campaign.spec;
+            lease.unit = entry.unit;
+            lease.token = entry.leaseToken;
+            return lease;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+CampaignQueue::renew(const std::string &id, std::uint64_t unit,
+                     std::uint64_t token, Clock::time_point now,
+                     std::uint64_t leaseMs)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign || unit >= campaign->units.size())
+        return false;
+    UnitEntry &entry = campaign->units[unit];
+    if (entry.phase != UnitPhase::Leased || entry.leaseToken != token)
+        return false;
+    entry.leaseDeadline = now + std::chrono::milliseconds(leaseMs);
+    ++_stats.renewals;
+    return true;
+}
+
+void
+CampaignQueue::finishLocked(CampaignEntry &campaign, UnitEntry &entry,
+                            JobStatus status, bool cached,
+                            std::uint64_t key, std::uint64_t checksum,
+                            std::uint64_t bytes,
+                            const std::string &text)
+{
+    if (_durable) {
+        QueueRecord record;
+        record.type = QueueRecord::Type::Unit;
+        record.id = campaign.spec.id;
+        record.unit = entry.unit.index;
+        record.status = status;
+        record.cached = cached;
+        record.key = key;
+        record.checksum = checksum;
+        record.bytes = bytes;
+        // A done unit's payload is certified in the cache, not copied
+        // into the journal; only a failure's diagnostic rides along.
+        record.error = status == JobStatus::Done ? "" : text;
+        // Completion degrades where admission refuses: the result is
+        // live in memory and (for done units) in the cache; losing
+        // the record only costs a recompute after the next restart.
+        if (auto wrote = _journal.appendLine(queueRecordToLine(record));
+            !wrote)
+            ++_stats.journalErrors;
+    }
+    entry.status = status;
+    entry.cached = cached;
+    entry.key = key;
+    entry.checksum = checksum;
+    entry.bytes = bytes;
+    entry.text = text;
+    if (status == JobStatus::Done) {
+        entry.phase = UnitPhase::Done;
+        ++_stats.unitsDone;
+    } else {
+        entry.phase = UnitPhase::Failed;
+        ++_stats.unitsFailed;
+    }
+}
+
+bool
+CampaignQueue::complete(const std::string &id, std::uint64_t unit,
+                        JobStatus status, bool cached, std::uint64_t key,
+                        std::uint64_t checksum, std::uint64_t bytes,
+                        const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign || unit >= campaign->units.size())
+        return false;
+    UnitEntry &entry = campaign->units[unit];
+    if (entry.phase == UnitPhase::Done ||
+        entry.phase == UnitPhase::Failed ||
+        entry.phase == UnitPhase::Canceled) {
+        // A worker whose lease expired finishing late: deterministic
+        // work means both results are identical — first wins, the
+        // duplicate is bookkeeping, not a conflict.
+        ++_stats.duplicates;
+        return false;
+    }
+    finishLocked(*campaign, entry, status, cached, key, checksum, bytes,
+                 text);
+    _cv.notify_all();
+    return true;
+}
+
+std::uint64_t
+CampaignQueue::expireLeases(Clock::time_point now,
+                            const BackoffPolicy &redispatch)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::uint64_t expired = 0;
+    for (CampaignEntry &campaign : _campaigns)
+        for (UnitEntry &entry : campaign.units) {
+            if (entry.phase != UnitPhase::Leased ||
+                entry.leaseDeadline > now)
+                continue;
+            ++_stats.expiries;
+            ++expired;
+            if (campaign.canceled) {
+                entry.phase = UnitPhase::Canceled;
+                ++_stats.unitsCanceled;
+                continue;
+            }
+            // The worker is presumed dead. Re-dispatch, but through
+            // the shared backoff policy keyed on this unit, so a unit
+            // that keeps killing its workers ramps down instead of
+            // hot-looping the pool.
+            entry.phase = UnitPhase::Pending;
+            entry.leaseToken = 0;
+            BackoffPolicy policy = redispatch;
+            policy.seed ^= unitSeed(campaign.spec.id, entry.unit.index);
+            unsigned attempt = entry.dispatches > 0
+                                   ? entry.dispatches - 1
+                                   : 0;
+            entry.nextDispatch =
+                now + std::chrono::microseconds(
+                          backoffDelayUs(policy, attempt));
+        }
+    if (expired)
+        _cv.notify_all();
+    return expired;
+}
+
+Expected<std::uint64_t>
+CampaignQueue::cancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign)
+        return Error("unknown campaign '" + id + "'");
+    if (_durable && !campaign->canceled) {
+        QueueRecord record;
+        record.type = QueueRecord::Type::Cancel;
+        record.id = id;
+        // Like admission, a cancel must be durable to be honored —
+        // otherwise a restart would resurrect the canceled units.
+        if (auto wrote = _journal.appendLine(queueRecordToLine(record));
+            !wrote)
+            return Error(wrote.error()).context("queue journal");
+    }
+    campaign->canceled = true;
+    std::uint64_t canceled = 0;
+    for (UnitEntry &entry : campaign->units)
+        if (entry.phase == UnitPhase::Pending) {
+            entry.phase = UnitPhase::Canceled;
+            ++_stats.unitsCanceled;
+            ++canceled;
+        }
+    _cv.notify_all();
+    return canceled;
+}
+
+void
+CampaignQueue::invalidateUnit(const std::string &id, std::uint64_t unit)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign || unit >= campaign->units.size())
+        return;
+    UnitEntry &entry = campaign->units[unit];
+    if (entry.phase != UnitPhase::Done)
+        return;
+    entry.phase = UnitPhase::Pending;
+    entry.cached = false;
+    entry.key = 0;
+    entry.checksum = 0;
+    entry.bytes = 0;
+    entry.nextDispatch = Clock::time_point{};
+    if (_stats.unitsDone)
+        --_stats.unitsDone;
+    _cv.notify_all();
+}
+
+std::optional<UnitSnapshot>
+CampaignQueue::unitView(const std::string &id, std::uint64_t unit)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign || unit >= campaign->units.size())
+        return std::nullopt;
+    return snapshotLocked(campaign->units[unit]);
+}
+
+std::optional<CampaignView>
+CampaignQueue::campaignView(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign)
+        return std::nullopt;
+    CampaignView view;
+    view.spec = campaign->spec;
+    view.unitsTotal = campaign->units.size();
+    for (const UnitEntry &entry : campaign->units)
+        switch (entry.phase) {
+          case UnitPhase::Pending: ++view.pending; break;
+          case UnitPhase::Leased: ++view.leased; break;
+          case UnitPhase::Done: ++view.done; break;
+          case UnitPhase::Failed: ++view.failed; break;
+          case UnitPhase::Canceled: ++view.canceled; break;
+        }
+    return view;
+}
+
+std::vector<std::string>
+CampaignQueue::campaignIds()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> ids;
+    for (const CampaignEntry &campaign : _campaigns)
+        ids.push_back(campaign.spec.id);
+    return ids;
+}
+
+std::uint64_t
+CampaignQueue::unfinishedUnits()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::uint64_t unfinished = 0;
+    for (const CampaignEntry &campaign : _campaigns)
+        for (const UnitEntry &entry : campaign.units)
+            if (entry.phase == UnitPhase::Pending ||
+                entry.phase == UnitPhase::Leased)
+                ++unfinished;
+    return unfinished;
+}
+
+void
+CampaignQueue::waitForWork(std::uint64_t ms)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    if (_draining)
+        return;
+    _cv.wait_for(lock, std::chrono::milliseconds(ms));
+}
+
+std::optional<UnitSnapshot>
+CampaignQueue::waitForUnit(const std::string &id, std::uint64_t unit,
+                           std::uint64_t ms)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    CampaignEntry *campaign = findLocked(id);
+    if (!campaign || unit >= campaign->units.size())
+        return std::nullopt;
+    auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    auto finished = [&]() {
+        UnitPhase phase = campaign->units[unit].phase;
+        return phase == UnitPhase::Done || phase == UnitPhase::Failed ||
+               phase == UnitPhase::Canceled;
+    };
+    while (!finished() && !_draining)
+        if (_cv.wait_until(lock, deadline) == std::cv_status::timeout)
+            break;
+    return snapshotLocked(campaign->units[unit]);
+}
+
+void
+CampaignQueue::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _draining = true;
+    _cv.notify_all();
+}
+
+bool
+CampaignQueue::draining()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _draining;
+}
+
+CampaignQueue::Stats
+CampaignQueue::stats()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace ruu::serve

@@ -1,5 +1,6 @@
 #include "serve/recovery.hh"
 
+#include <fstream>
 #include <sstream>
 
 #include "common/file.hh"
@@ -165,14 +166,10 @@ Expected<bool>
 ServeJournalWriter::create(const std::string &path,
                            const ServeJournalHeader &header)
 {
-    _out.open(path, std::ios::trunc);
-    if (!_out)
-        return Error("cannot open serve journal '" + path +
-                     "' for writing");
-    _path = path;
-    _out << serveHeaderToLine(header) << '\n' << std::flush;
-    if (!_out)
-        return Error("write error on serve journal '" + path + "'");
+    if (auto opened = _file.create(path); !opened)
+        return Error(opened.error()).context("serve journal");
+    if (auto wrote = _file.appendLine(serveHeaderToLine(header)); !wrote)
+        return Error(wrote.error()).context("serve journal");
     return true;
 }
 
@@ -187,24 +184,21 @@ ServeJournalWriter::append(const std::string &path)
             needsNewline = in.get() != '\n';
         }
     }
-    _out.open(path, std::ios::app);
-    if (!_out)
-        return Error("cannot open serve journal '" + path +
-                     "' for appending");
-    _path = path;
+    if (auto opened = _file.append(path); !opened)
+        return Error(opened.error()).context("serve journal");
     if (needsNewline)
-        _out << '\n' << std::flush;
+        if (auto isolated = _file.appendText("\n"); !isolated)
+            return Error(isolated.error()).context("serve journal");
     return true;
 }
 
 Expected<bool>
 ServeJournalWriter::add(const JobRecord &record)
 {
-    if (!_out.is_open())
+    if (!_file.isOpen())
         return Error("serve journal writer is not open");
-    _out << jobRecordToLine(record) << '\n' << std::flush;
-    if (!_out)
-        return Error("write error on serve journal '" + _path + "'");
+    if (auto wrote = _file.appendLine(jobRecordToLine(record)); !wrote)
+        return Error(wrote.error()).context("serve journal");
     return true;
 }
 

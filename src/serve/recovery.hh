@@ -20,11 +20,11 @@
 #define RUU_SERVE_RECOVERY_HH
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
+#include "common/io_faults.hh"
 
 namespace ruu::serve
 {
@@ -64,7 +64,11 @@ struct ServeJournalContents
  */
 Expected<ServeJournalContents> readServeJournal(const std::string &path);
 
-/** Streaming appender (create or resume). */
+/**
+ * Streaming appender (create or resume). Every line goes through the
+ * checked io_faults shim and is fsynced before add() returns — a
+ * record reported as added has reached the disk.
+ */
 class ServeJournalWriter
 {
   public:
@@ -78,14 +82,13 @@ class ServeJournalWriter
      */
     Expected<bool> append(const std::string &path);
 
-    /** Append one record, flushed to the OS before returning. */
+    /** Append one record, durable before returning. */
     Expected<bool> add(const JobRecord &record);
 
-    bool isOpen() const { return _out.is_open(); }
+    bool isOpen() const { return _file.isOpen(); }
 
   private:
-    std::ofstream _out;
-    std::string _path;
+    io::AppendFile _file;
 };
 
 } // namespace ruu::serve

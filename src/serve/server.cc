@@ -1,20 +1,26 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/io_faults.hh"
 #include "common/logging.hh"
+#include "inject/campaign.hh"
 #include "inject/sandbox.hh"
 #include "kernels/lll.hh"
 #include "lint/dataflow_bound.hh"
@@ -22,6 +28,7 @@
 #include "par/ordered.hh"
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
+#include "serve/queue.hh"
 #include "serve/recovery.hh"
 #include "sim/json.hh"
 #include "sim/machine.hh"
@@ -34,6 +41,19 @@ namespace ruu::serve
 
 namespace
 {
+
+/**
+ * SIGTERM/SIGINT latch for graceful drain. Installed without
+ * SA_RESTART so a signal interrupts the blocking accept/poll, which
+ * then notices the latch and starts the drain instead of dying.
+ */
+volatile std::sig_atomic_t gDrainSignal = 0;
+
+extern "C" void
+onDrainSignal(int)
+{
+    gDrainSignal = 1;
+}
 
 /** Keep only the last @p keep characters of @p text. */
 std::string
@@ -174,19 +194,29 @@ class Server
     void handleConnection(int fd);
     void runBatch(int fd, bool &connAlive);
     JobOutcome runJob(const JobSpec &job, std::size_t index);
-    std::string statusLine() const;
+    JobOutcome runInjectUnit(const Lease &lease);
+    void dispatchLoop();
+    void runUnit(const Lease &lease);
+    void runWatch(int fd, const std::string &id, bool &connAlive);
+    void startDispatchers();
+    void joinDispatchers();
+    bool drainRequested() const;
+    std::string statusLine();
 
     const ServerOptions &_options;
     ServerStats &_stats;
+    std::mutex _statsMutex; //!< _stats is touched from every thread
     ResultCache _cache;
     std::mutex _cacheMutex;
     ServeJournalWriter _journal;
+    CampaignQueue _campaignQueue;
+    std::vector<std::thread> _dispatchers;
     par::Pool _pool;
     std::chrono::steady_clock::time_point _start;
     std::vector<JobSpec> _queue;
     int _listenFd = -1; //!< closed in sandbox children
     int _connFd = -1;   //!< closed in sandbox children
-    bool _shutdown = false;
+    std::atomic<bool> _shutdown{false};
 };
 
 Expected<bool>
@@ -215,12 +245,13 @@ Server::recover()
                      "' pins cache directory '" +
                      contents->header.cacheDir + "', not '" +
                      _options.cacheDir + "'");
-    if (contents->tornTail &&
-        ::truncate(_options.journalPath.c_str(),
-                   static_cast<off_t>(contents->validBytes)) != 0)
-        return Error("cannot drop the torn tail of serve journal '" +
-                     _options.journalPath + "': " +
-                     std::strerror(errno));
+    if (contents->tornTail)
+        if (auto cut = io::truncateFile(_options.journalPath,
+                                        contents->validBytes);
+            !cut)
+            return Error(cut.error())
+                .context("cannot drop the torn tail of serve journal '" +
+                         _options.journalPath + "'");
     // Each journaled completion vouches for one cache entry; entries
     // the journal and cache disagree on are deleted so the job simply
     // recomputes — corruption degrades to work, never to wrong bytes.
@@ -232,34 +263,61 @@ Server::recover()
 }
 
 std::string
-Server::statusLine() const
+Server::statusLine()
 {
     auto uptime =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - _start)
             .count();
-    const ResultCache::Stats &cache = _cache.stats();
+    ServerStats stats;
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        stats = _stats;
+    }
+    ResultCache::Stats cache;
+    std::uint64_t entries = 0;
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        cache = _cache.stats();
+        entries = _cache.entriesOnDisk();
+    }
+    CampaignQueue::Stats queue = _campaignQueue.stats();
+    io::FaultStats io = io::faultStats();
     std::ostringstream os;
     os << "{\"ok\": 1, \"op\": \"status\""
        << ", \"uptime_ms\": " << uptime
        << ", \"queue_depth\": " << _queue.size()
        << ", \"queue_limit\": " << _options.queueLimit
        << ", \"jobs\": " << _options.jobs
-       << ", \"connections\": " << _stats.connections
-       << ", \"requests\": " << _stats.requests
-       << ", \"bad_requests\": " << _stats.badRequests
-       << ", \"jobs_done\": " << _stats.jobsDone
-       << ", \"jobs_rejected\": " << _stats.jobsRejected
-       << ", \"jobs_crashed\": " << _stats.jobsCrashed
-       << ", \"jobs_timed_out\": " << _stats.jobsTimedOut
-       << ", \"jobs_failed\": " << _stats.jobsFailed
-       << ", \"shed\": " << _stats.shed
-       << ", \"recovered\": " << _stats.recovered
+       << ", \"connections\": " << stats.connections
+       << ", \"requests\": " << stats.requests
+       << ", \"bad_requests\": " << stats.badRequests
+       << ", \"jobs_done\": " << stats.jobsDone
+       << ", \"jobs_rejected\": " << stats.jobsRejected
+       << ", \"jobs_crashed\": " << stats.jobsCrashed
+       << ", \"jobs_timed_out\": " << stats.jobsTimedOut
+       << ", \"jobs_failed\": " << stats.jobsFailed
+       << ", \"shed\": " << stats.shed
+       << ", \"recovered\": " << stats.recovered
        << ", \"cache_hits\": " << cache.hits
        << ", \"cache_misses\": " << cache.misses
        << ", \"cache_stores\": " << cache.stores
        << ", \"cache_dropped\": " << cache.dropped
-       << ", \"cache_entries\": " << _cache.entriesOnDisk() << "}";
+       << ", \"cache_entries\": " << entries
+       << ", \"campaigns\": " << queue.campaigns
+       << ", \"units_pending\": " << _campaignQueue.unfinishedUnits()
+       << ", \"units_done\": " << queue.unitsDone
+       << ", \"units_failed\": " << queue.unitsFailed
+       << ", \"units_canceled\": " << queue.unitsCanceled
+       << ", \"unit_leases\": " << queue.leases
+       << ", \"lease_expiries\": " << queue.expiries
+       << ", \"unit_duplicates\": " << queue.duplicates
+       << ", \"units_recovered\": " << queue.recoveredUnits
+       << ", \"queue_journal_errors\": " << queue.journalErrors
+       << ", \"campaigns_shed\": " << queue.shed
+       << ", \"io_ops\": " << io.ops
+       << ", \"io_injected\": " << io.injected
+       << ", \"draining\": " << (drainRequested() ? 1 : 0) << "}";
     return os.str();
 }
 
@@ -408,6 +466,261 @@ Server::runJob(const JobSpec &job, std::size_t index)
     return out;
 }
 
+JobOutcome
+Server::runInjectUnit(const Lease &lease)
+{
+    JobOutcome out;
+    const CampaignSpec &spec = lease.spec;
+    inject::CampaignOptions options;
+    for (const std::string &name : spec.cores) {
+        auto kind = coreKindFromName(name);
+        if (!kind) {
+            out.status = JobStatus::Rejected;
+            out.text = "unknown core '" + name + "'";
+            return out;
+        }
+        options.cores.push_back(*kind);
+    }
+    for (const std::string &name : spec.workloads) {
+        const Workload *found = nullptr;
+        for (const Workload &workload : livermoreWorkloads())
+            if (workload.name == name)
+                found = &workload;
+        if (!found) {
+            out.status = JobStatus::Rejected;
+            out.text = "unknown workload '" + name + "'";
+            return out;
+        }
+        options.workloads.push_back(*found);
+    }
+    if (!spec.configJson.empty()) {
+        auto parsed = parseUarchConfig(spec.configJson);
+        if (!parsed) {
+            out.status = JobStatus::Rejected;
+            out.text = "bad config: " + parsed.error().message();
+            return out;
+        }
+        options.config = parsed.take();
+        if (std::string problem = options.config.validate();
+            !problem.empty()) {
+            out.status = JobStatus::Rejected;
+            out.text = "bad config: " + problem;
+            return out;
+        }
+    }
+    options.trials = spec.trials;
+    options.seed = spec.seed;
+    options.timeoutMs =
+        spec.deadlineMs ? static_cast<unsigned>(spec.deadlineMs)
+                        : _options.defaultDeadlineMs;
+
+    // replayTrial runs the trial in its own fork sandbox with the
+    // watchdog and spawn retries of a real `ruusim inject` campaign,
+    // so a crashing trial is this unit's classification, not the
+    // daemon's death. (Unlike runJob's sandbox body, the child has no
+    // hook to drop the daemon's inherited socket fds; the hazard is
+    // bounded by the per-trial deadline.)
+    auto trial = inject::replayTrial(options, lease.unit.trial);
+    if (!trial) {
+        out.status = JobStatus::Failed;
+        out.text = trial.error().message();
+        return out;
+    }
+    out.status = JobStatus::Done;
+    out.freshResult = true;
+    out.text = inject::trialToLine(*trial);
+    return out;
+}
+
+void
+Server::runUnit(const Lease &lease)
+{
+    const CampaignSpec &spec = lease.spec;
+    JobOutcome out;
+    if (spec.kind == CampaignKind::Inject) {
+        // An inject unit's cache identity is the campaign identity
+        // plus the trial index: (seed, index) fully determine the
+        // trial, exactly as --replay-trial pins.
+        std::string joinedCores, joinedWorkloads;
+        for (const std::string &name : spec.cores)
+            joinedCores += (joinedCores.empty() ? "" : ",") + name;
+        for (const std::string &name : spec.workloads)
+            joinedWorkloads +=
+                (joinedWorkloads.empty() ? "" : ",") + name;
+        CacheKeyInputs inputs;
+        inputs.displayName =
+            "inject:" + joinedCores + ":" + joinedWorkloads;
+        inputs.traceFingerprint = spec.seed;
+        inputs.traceLength = spec.trials;
+        inputs.configJson = spec.configJson;
+        inputs.core = "inject";
+        inputs.period = lease.unit.trial;
+        out.key = cacheKey(inputs);
+        bool haveResult = false;
+        {
+            std::lock_guard<std::mutex> lock(_cacheMutex);
+            if (auto hit = _cache.load(out.key)) {
+                out.status = JobStatus::Done;
+                out.cached = true;
+                out.text = std::move(*hit);
+                haveResult = true;
+            }
+        }
+        if (!haveResult) {
+            std::uint64_t key = out.key;
+            out = runInjectUnit(lease);
+            out.key = key;
+        }
+    } else {
+        JobSpec job;
+        job.id = spec.id + "#" + std::to_string(lease.unit.index);
+        job.workload = lease.unit.workload;
+        job.core = lease.unit.core;
+        job.configJson = spec.configJson;
+        job.period = lease.unit.period;
+        job.deadlineMs = spec.deadlineMs;
+        out = runJob(job, lease.unit.index);
+    }
+
+    // Heartbeat: the run may have consumed most of the lease; renew
+    // before committing so the commit can't race our own expiry.
+    _campaignQueue.renew(spec.id, lease.unit.index, lease.token,
+                         CampaignQueue::Clock::now(), _options.leaseMs);
+
+    std::uint64_t checksum = 0, bytes = 0;
+    if (out.status == JobStatus::Done) {
+        checksum = fnv1a(out.text);
+        bytes = out.text.size();
+    }
+    if (out.freshResult && _cache.enabled()) {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        // Best effort: on a store failure the payload still lives in
+        // memory for this daemon's watchers, and recovery's cache
+        // verification will simply fail the journal record, so the
+        // unit recomputes after a restart — degraded to extra work,
+        // never to wrong bytes.
+        (void)_cache.store(out.key, out.text);
+    }
+    _campaignQueue.complete(spec.id, lease.unit.index, out.status,
+                            out.cached, out.key, checksum, bytes,
+                            out.text);
+}
+
+void
+Server::dispatchLoop()
+{
+    while (!_shutdown.load()) {
+        _campaignQueue.expireLeases(CampaignQueue::Clock::now(),
+                                    _options.redispatchBackoff);
+        auto lease = _campaignQueue.lease(CampaignQueue::Clock::now(),
+                                          _options.leaseMs);
+        if (!lease) {
+            if (_campaignQueue.draining())
+                break;
+            _campaignQueue.waitForWork(200);
+            continue;
+        }
+        runUnit(*lease);
+    }
+}
+
+void
+Server::startDispatchers()
+{
+    unsigned count = _options.jobs ? _options.jobs : 1;
+    for (unsigned i = 0; i < count; ++i)
+        _dispatchers.emplace_back([this] { dispatchLoop(); });
+}
+
+void
+Server::joinDispatchers()
+{
+    for (std::thread &dispatcher : _dispatchers)
+        if (dispatcher.joinable())
+            dispatcher.join();
+    _dispatchers.clear();
+}
+
+bool
+Server::drainRequested() const
+{
+    return _options.handleSignals && gDrainSignal != 0;
+}
+
+void
+Server::runWatch(int fd, const std::string &id, bool &connAlive)
+{
+    auto view = _campaignQueue.campaignView(id);
+    if (!view) {
+        connAlive =
+            writeLine(fd, errorToLine("unknown campaign '" + id + "'"));
+        return;
+    }
+    std::uint64_t done = 0, failed = 0, canceled = 0;
+    // Stream strictly in unit order regardless of completion order, so
+    // the watch payload stream is byte-identical at any worker count —
+    // and across a kill/restart, because units are deterministic.
+    for (std::uint64_t u = 0; u < view->unitsTotal && connAlive; ++u) {
+        for (;;) {
+            auto snap = _campaignQueue.waitForUnit(id, u, 200);
+            if (!snap) {
+                connAlive = writeLine(
+                    fd, errorToLine("campaign '" + id + "' vanished"));
+                return;
+            }
+            if (snap->phase == UnitPhase::Done) {
+                std::string payload = snap->text;
+                if (payload.empty()) {
+                    // Recovered unit: the payload was certified in the
+                    // cache, not replayed into memory.
+                    std::lock_guard<std::mutex> lock(_cacheMutex);
+                    if (auto hit = _cache.load(snap->key))
+                        payload = std::move(*hit);
+                }
+                if (payload.empty()) {
+                    // The entry vanished after certification:
+                    // recompute rather than fail the watch.
+                    _campaignQueue.invalidateUnit(id, u);
+                    continue;
+                }
+                ++done;
+                connAlive = writeLine(
+                    fd, unitResultToLine(id, u, JobStatus::Done,
+                                         snap->cached, payload));
+                break;
+            }
+            if (snap->phase == UnitPhase::Failed) {
+                ++failed;
+                connAlive = writeLine(
+                    fd, unitResultToLine(id, u, snap->status, false,
+                                         snap->text));
+                break;
+            }
+            if (snap->phase == UnitPhase::Canceled) {
+                ++canceled;
+                connAlive = writeLine(
+                    fd, unitResultToLine(id, u, JobStatus::Failed,
+                                         false, "canceled"));
+                break;
+            }
+            if (_shutdown.load() || drainRequested() ||
+                _campaignQueue.draining()) {
+                connAlive = writeLine(fd, errorToLine("draining"));
+                return;
+            }
+        }
+    }
+    if (!connAlive)
+        return;
+    std::ostringstream os;
+    os << "{\"ok\": " << (failed + canceled == 0 ? 1 : 0)
+       << ", \"op\": \"watch\", \"id\": \"" << flat::escape(id) << "\""
+       << ", \"units\": " << view->unitsTotal << ", \"done\": " << done
+       << ", \"failed\": " << failed << ", \"canceled\": " << canceled
+       << "}";
+    connAlive = writeLine(fd, os.str());
+}
+
 void
 Server::runBatch(int fd, bool &connAlive)
 {
@@ -438,16 +751,20 @@ Server::runBatch(int fd, bool &connAlive)
                         return added.error();
                 }
             }
-            switch (out.status) {
-              case JobStatus::Done: ++_stats.jobsDone; ++done; break;
-              case JobStatus::Rejected:
-                ++_stats.jobsRejected; ++failedJobs; break;
-              case JobStatus::Crashed:
-                ++_stats.jobsCrashed; ++failedJobs; break;
-              case JobStatus::TimedOut:
-                ++_stats.jobsTimedOut; ++failedJobs; break;
-              case JobStatus::Failed:
-                ++_stats.jobsFailed; ++failedJobs; break;
+            {
+                std::lock_guard<std::mutex> lock(_statsMutex);
+                switch (out.status) {
+                  case JobStatus::Done:
+                    ++_stats.jobsDone; ++done; break;
+                  case JobStatus::Rejected:
+                    ++_stats.jobsRejected; ++failedJobs; break;
+                  case JobStatus::Crashed:
+                    ++_stats.jobsCrashed; ++failedJobs; break;
+                  case JobStatus::TimedOut:
+                    ++_stats.jobsTimedOut; ++failedJobs; break;
+                  case JobStatus::Failed:
+                    ++_stats.jobsFailed; ++failedJobs; break;
+                }
             }
             if (out.cached)
                 ++hits;
@@ -491,9 +808,22 @@ Server::handleConnection(int fd)
     std::string buffer;
     char chunk[4096];
     bool connAlive = true;
-    while (connAlive && !_shutdown) {
+    while (connAlive && !_shutdown.load() && !drainRequested()) {
         std::size_t eol = buffer.find('\n');
         if (eol == std::string::npos) {
+            // Bounded wait so a drain signal is noticed even while a
+            // client holds the connection idle.
+            pollfd waiting{};
+            waiting.fd = fd;
+            waiting.events = POLLIN;
+            int ready = ::poll(&waiting, 1, 200);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (ready == 0)
+                continue; // timeout: recheck shutdown/drain
             ssize_t n = ::read(fd, chunk, sizeof(chunk));
             if (n < 0 && errno == EINTR)
                 continue;
@@ -506,13 +836,19 @@ Server::handleConnection(int fd)
         buffer.erase(0, eol + 1);
         if (line.empty())
             continue;
-        ++_stats.requests;
+        {
+            std::lock_guard<std::mutex> lock(_statsMutex);
+            ++_stats.requests;
+        }
 
         auto request = parseRequest(line);
         if (!request) {
             // Hostile or torn input answers with a diagnostic; the
             // connection (and the daemon) stay up.
-            ++_stats.badRequests;
+            {
+                std::lock_guard<std::mutex> lock(_statsMutex);
+                ++_stats.badRequests;
+            }
             connAlive =
                 writeLine(fd, errorToLine(request.error().message()));
             continue;
@@ -528,7 +864,10 @@ Server::handleConnection(int fd)
             if (_queue.size() >= _options.queueLimit) {
                 // Bounded admission: shed with an explicit verdict
                 // instead of growing without limit.
-                ++_stats.shed;
+                {
+                    std::lock_guard<std::mutex> lock(_statsMutex);
+                    ++_stats.shed;
+                }
                 connAlive = writeLine(
                     fd, "{\"ok\": 0, \"op\": \"submit\", \"id\": \"" +
                             flat::escape(request->job.id) +
@@ -547,9 +886,51 @@ Server::handleConnection(int fd)
           case Op::Run:
             runBatch(fd, connAlive);
             break;
+          case Op::Campaign: {
+            const std::string &id = request->campaign.id;
+            auto units = _campaignQueue.submit(
+                request->campaign, _options.campaignUnitLimit);
+            if (!units) {
+                // "overloaded" is the explicit shed verdict; every
+                // other message is a refusal (duplicate id with a
+                // different spec, journal-append failure, ...).
+                connAlive = writeLine(
+                    fd, "{\"ok\": 0, \"op\": \"campaign\", \"id\": \"" +
+                            flat::escape(id) + "\", \"error\": \"" +
+                            flat::escape(units.error().message()) +
+                            "\"}");
+                break;
+            }
+            connAlive = writeLine(
+                fd, "{\"ok\": 1, \"op\": \"campaign\", \"id\": \"" +
+                        flat::escape(id) + "\", \"units\": " +
+                        std::to_string(*units) + "}");
+            break;
+          }
+          case Op::Watch:
+            runWatch(fd, request->target, connAlive);
+            break;
+          case Op::Cancel: {
+            auto canceled = _campaignQueue.cancel(request->target);
+            if (!canceled) {
+                connAlive = writeLine(
+                    fd, "{\"ok\": 0, \"op\": \"cancel\", \"id\": \"" +
+                            flat::escape(request->target) +
+                            "\", \"error\": \"" +
+                            flat::escape(canceled.error().message()) +
+                            "\"}");
+                break;
+            }
+            connAlive = writeLine(
+                fd, "{\"ok\": 1, \"op\": \"cancel\", \"id\": \"" +
+                        flat::escape(request->target) +
+                        "\", \"canceled\": " +
+                        std::to_string(*canceled) + "}");
+            break;
+          }
           case Op::Shutdown:
             writeLine(fd, "{\"ok\": 1, \"op\": \"shutdown\"}");
-            _shutdown = true;
+            _shutdown.store(true);
             break;
         }
     }
@@ -568,6 +949,29 @@ Server::run()
 
     if (auto recovered = recover(); !recovered)
         return recovered.error();
+
+    // Recover (or create) the campaign queue against the same cache
+    // the serve journal pins: done-unit records are only honored when
+    // their payload is still present and intact.
+    if (auto opened = _campaignQueue.open(
+            _options.queuePath, _options.cacheDir,
+            [this](std::uint64_t key, std::uint64_t checksum,
+                   std::uint64_t bytes) {
+                std::lock_guard<std::mutex> lock(_cacheMutex);
+                return _cache.verifyAgainst(key, checksum, bytes);
+            });
+        !opened)
+        return opened.error();
+
+    if (_options.handleSignals) {
+        gDrainSignal = 0;
+        struct sigaction action{};
+        action.sa_handler = onDrainSignal;
+        sigemptyset(&action.sa_mask);
+        action.sa_flags = 0; // no SA_RESTART: interrupt accept/poll
+        ::sigaction(SIGTERM, &action, nullptr);
+        ::sigaction(SIGINT, &action, nullptr);
+    }
 
     int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd < 0)
@@ -599,28 +1003,67 @@ Server::run()
     // functional-simulation cost inside its deadline.
     livermoreWorkloads();
 
-    while (!_shutdown &&
+    startDispatchers();
+
+    Expected<int> result = 0;
+    while (!_shutdown.load() && !drainRequested() &&
            (_options.maxConnections == 0 ||
             _stats.connections < _options.maxConnections)) {
+        // Bounded accept wait: a drain signal interrupts the poll (no
+        // SA_RESTART) or is noticed at the next timeout.
+        pollfd waiting{};
+        waiting.fd = listenFd;
+        waiting.events = POLLIN;
+        int ready = ::poll(&waiting, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            result = Error(std::string("serve: poll: ") +
+                           std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
         int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            Error error(std::string("serve: accept: ") +
-                        std::strerror(errno));
-            ::close(listenFd);
-            ::unlink(_options.socketPath.c_str());
-            return error;
+            result = Error(std::string("serve: accept: ") +
+                           std::strerror(errno));
+            break;
         }
-        ++_stats.connections;
+        {
+            std::lock_guard<std::mutex> lock(_statsMutex);
+            ++_stats.connections;
+        }
         _connFd = fd;
         handleConnection(fd);
         _connFd = -1;
         ::close(fd);
     }
+
+    // Graceful exit, shared by shutdown, the connection cap, a drain
+    // signal, and even an accept error: stop leasing, let every
+    // in-flight unit finish and journal, then release the socket.
+    _campaignQueue.beginDrain();
+    joinDispatchers();
     ::close(listenFd);
     ::unlink(_options.socketPath.c_str());
-    return 0;
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        CampaignQueue::Stats queue = _campaignQueue.stats();
+        _stats.campaigns = queue.campaigns;
+        _stats.unitsDone = queue.unitsDone;
+        _stats.unitsFailed = queue.unitsFailed;
+        _stats.unitsCanceled = queue.unitsCanceled;
+        _stats.leaseExpiries = queue.expiries;
+        _stats.unitDuplicates = queue.duplicates;
+        _stats.recoveredUnits = queue.recoveredUnits;
+        _stats.queueJournalErrors = queue.journalErrors;
+        if (drainRequested())
+            _stats.drained = 1;
+    }
+    return result;
 }
 
 } // namespace

@@ -13,14 +13,25 @@
  * committer (par/ordered.hh), so the response stream is byte-
  * identical at any worker count.
  *
+ * Whole sweeps live server-side on the durable campaign queue
+ * (serve/queue.hh): run/storm/inject campaigns are journaled at
+ * admission, expanded into leased work units dispatched at-least-once
+ * (duplicates dedup'd through the cache), and streamed to
+ * re-attachable watchers strictly in unit order — kill -9 the daemon
+ * mid-campaign and a restarted one serves the byte-identical stream.
+ *
  * Degradation policy, in order of preference: serve from the content-
  * addressed cache; recompute on any cache corruption; classify per-
  * job failures (rejected / crashed / timed-out) without failing the
  * batch; shed submits over the bounded admission queue with an
  * explicit "overloaded" response; retry transient spawn failures on
  * the shared capped-exponential backoff; and only ever exit on
- * operator request (shutdown op) or an unusable environment (bad
- * socket path, mismatched journal identity).
+ * operator request (shutdown op, or SIGTERM/SIGINT graceful drain
+ * when handleSignals is set — finish in-flight units, persist, exit
+ * 0) or an unusable environment (bad socket path, mismatched journal
+ * identity). Every persistence write goes through the checked I/O
+ * layer (common/io_faults.hh), so the whole policy is testable under
+ * deterministic injected fault schedules.
  */
 
 #ifndef RUU_SERVE_SERVER_HH
@@ -63,6 +74,26 @@ struct ServerOptions
 
     /** Serve at most this many connections, then return; 0 = no cap. */
     std::uint64_t maxConnections = 0;
+
+    /** Campaign-queue journal path; empty = in-memory queue only. */
+    std::string queuePath;
+
+    /** Campaign unit lease duration (worker-death detector). */
+    std::uint64_t leaseMs = 30'000;
+
+    /** Re-dispatch schedule for units whose lease expired. */
+    BackoffPolicy redispatchBackoff;
+
+    /** Unfinished-unit bound; campaigns past it are shed. */
+    std::uint64_t campaignUnitLimit = 1024;
+
+    /**
+     * Install SIGTERM/SIGINT handlers that drain instead of dying:
+     * stop leasing, finish leased units, flush, exit 0. Off by
+     * default — tests hosting the server in a thread must not have
+     * their process-wide handlers usurped.
+     */
+    bool handleSignals = false;
 };
 
 /** Observable server counters (the status response). */
@@ -78,6 +109,17 @@ struct ServerStats
     std::uint64_t jobsFailed = 0;
     std::uint64_t shed = 0;      //!< submits refused as overloaded
     std::uint64_t recovered = 0; //!< journal records verified at start
+
+    // Campaign-queue counters (serve/queue.hh), copied out at exit.
+    std::uint64_t campaigns = 0;
+    std::uint64_t unitsDone = 0;
+    std::uint64_t unitsFailed = 0;
+    std::uint64_t unitsCanceled = 0;
+    std::uint64_t leaseExpiries = 0;
+    std::uint64_t unitDuplicates = 0;
+    std::uint64_t recoveredUnits = 0;
+    std::uint64_t queueJournalErrors = 0;
+    std::uint64_t drained = 0; //!< 1 when a signal drained the daemon
 };
 
 /**

@@ -12,7 +12,9 @@
  * library-only build).
  */
 
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -290,7 +292,104 @@ TEST(CliErrors, ServeSubmitRoundTripObeysTheExitContract)
               2);
     EXPECT_EQ(runCli("submit --socket cli_serve.sock --ping"), 0);
 
+    // Campaigns obey the same contract. A malformed invocation never
+    // reaches the daemon: status 2.
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock "
+                     "--campaign bogus lll01"),
+              2);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock "
+                     "--campaign run lll01 --periods 16,64"),
+              2);
+    EXPECT_EQ(
+        runCli("submit --socket cli_serve.sock --campaign run cli_bad.s"),
+        2);
+    // Watching or canceling a campaign nobody submitted is a job-level
+    // failure — the daemon answers with a diagnostic: status 1.
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --watch ghost"), 1);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --cancel ghost"),
+              1);
+    // A clean campaign streams to completion: status 0, twice (the
+    // resubmission is idempotent and replays from cache).
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock "
+                     "--campaign run lll01 --core ruu --id pin"),
+              0);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock "
+                     "--campaign run lll01 --core ruu --id pin"),
+              0);
+    // Canceling a finished campaign is honored (nothing left to cut).
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --cancel pin"), 0);
+    EXPECT_EQ(runCli("submit --socket cli_serve.sock --ping"), 0);
+
     EXPECT_EQ(runCli("submit --socket cli_serve.sock --stop"), 0);
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain: SIGTERM and SIGINT are operator shutdown requests.
+// The daemon finishes in-flight work, persists its state, and exits 0 —
+// the exit code distinguishes a drain from a crash for supervisors.
+
+/** Start a daemon whose PID and eventual exit code land in files;
+ * returns the PID once the daemon answers a ping, or -1. */
+long
+startDrainDaemon(const std::string &tag)
+{
+    std::remove((tag + ".sock").c_str());
+    std::remove((tag + ".pid").c_str());
+    std::remove((tag + ".exit").c_str());
+    std::string cmd = "(" + std::string(kBinary) + " serve --socket " +
+                      tag + ".sock --cache " + tag + "_cache --queue " +
+                      tag + "_queue.jsonl -j 2 >/dev/null 2>&1 & echo "
+                      "$! > " +
+                      tag + ".pid; wait $!; echo $? > " + tag +
+                      ".exit) &";
+    if (std::system(cmd.c_str()) != 0)
+        return -1;
+    if (runCli("submit --socket " + tag + ".sock --ping") != 0)
+        return -1;
+    std::ifstream in(tag + ".pid");
+    long pid = -1;
+    in >> pid;
+    return in.good() ? pid : -1;
+}
+
+/** Poll for the daemon's recorded exit code, -1 on timeout. */
+int
+drainExitCode(const std::string &tag)
+{
+    for (int i = 0; i < 100; ++i) {
+        std::ifstream in(tag + ".exit");
+        int code = -1;
+        if (in >> code)
+            return code;
+        ::usleep(100'000);
+    }
+    return -1;
+}
+
+TEST(CliErrors, ServeDrainsOnSigtermWithExitZero)
+{
+    REQUIRE_BINARY();
+    long pid = startDrainDaemon("cli_term");
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGTERM), 0);
+    EXPECT_EQ(drainExitCode("cli_term"), 0);
+    // The drained daemon released its socket; a later client gets a
+    // clean connection diagnosis, not a hang on a dead socket file.
+    EXPECT_EQ(runCli("submit --socket cli_term.sock --ping"), 2);
+}
+
+TEST(CliErrors, ServeDrainsOnSigintWithExitZero)
+{
+    REQUIRE_BINARY();
+    long pid = startDrainDaemon("cli_int");
+    ASSERT_GT(pid, 0);
+    // Give it queued work first: the drain must still exit 0 with a
+    // campaign on the books (the queue journal carries it over).
+    EXPECT_EQ(runCli("submit --socket cli_int.sock "
+                     "--campaign run lll01 --core ruu --id drainme"),
+              0);
+    ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGINT), 0);
+    EXPECT_EQ(drainExitCode("cli_int"), 0);
 }
 
 TEST(CliErrors, InjectSmokeCampaignStopsResumesAndReplays)

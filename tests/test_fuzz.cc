@@ -12,11 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <random>
 #include <thread>
 
+#include <stdlib.h>
+
 #include "common/flat_json.hh"
+#include "common/io_faults.hh"
 #include "inject/snapshot.hh"
+#include "kernels/lll.hh"
 #include "isa/encoding.hh"
 #include "lint/analyze.hh"
 #include "lint/resource_bound.hh"
@@ -25,6 +30,7 @@
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "sim/json.hh"
 #include "sim/machine.hh"
 #include "sim/random_program.hh"
 #include "trap/controller.hh"
@@ -552,6 +558,281 @@ TEST(FuzzServe, MalformedRequestsNeverKillTheDaemon)
     ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
     daemon.join();
     EXPECT_GT(stats.badRequests, 0u);
+}
+
+TEST(FuzzServe, HostileCampaignOpsNeverKillTheDaemon)
+{
+    // The campaign dialect widens the attack surface: kind/trials/
+    // periods cross-field rules, comma lists, watch/cancel key
+    // strictness. Hammer a live daemon with mutated campaign, watch,
+    // and cancel lines — every line must draw a parseable response on
+    // a surviving connection, and a clean campaign must still run
+    // afterwards.
+    serve::ServerOptions options;
+    options.socketPath = "./fuzz_campaign.sock";
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+    serve::ServeClient client;
+    BackoffPolicy retry;
+    retry.baseUs = 5'000;
+    retry.maxRetries = 20;
+    {
+        auto connected = client.connect(options.socketPath, retry);
+        ASSERT_TRUE(connected.ok()) << connected.error().message();
+    }
+
+    serve::Request valid;
+    valid.op = serve::Op::Campaign;
+    valid.campaign.id = "fuzz";
+    valid.campaign.kind = serve::CampaignKind::Storm;
+    valid.campaign.workloads = {"lll01"};
+    valid.campaign.cores = {"ruu"};
+    valid.campaign.periods = {64};
+    const std::string validLine = serve::requestToLine(valid);
+
+    std::mt19937_64 rng(20260810);
+    std::uniform_int_distribution<int> mode(0, 4);
+    std::uniform_int_distribution<int> printable(0x20, 0x7e);
+    std::uint64_t badSeen = 0;
+    for (int i = 0; i < 300; ++i) {
+        std::string line;
+        switch (mode(rng)) {
+          case 0: { // one byte flipped in a valid campaign
+            line = validLine;
+            std::uniform_int_distribution<std::size_t> at(
+                0, line.size() - 1);
+            line[at(rng)] = static_cast<char>(printable(rng));
+            break;
+          }
+          case 1: { // torn campaign line
+            std::uniform_int_distribution<std::size_t> cut(
+                0, validLine.size() - 1);
+            line = validLine.substr(0, cut(rng));
+            break;
+          }
+          case 2: // cross-field rule violations
+            line = i % 2 ? "{\"op\": \"campaign\", \"id\": \"f" +
+                               std::to_string(i) +
+                               "\", \"kind\": \"run\", \"workloads\": "
+                               "\"lll01\", \"cores\": \"ruu\", "
+                               "\"trials\": " +
+                               std::to_string(i) + "}"
+                         : "{\"op\": \"campaign\", \"id\": \"f" +
+                               std::to_string(i) +
+                               "\", \"kind\": \"storm\", "
+                               "\"workloads\": \"lll01\", "
+                               "\"cores\": \"ruu\"}";
+            break;
+          case 3: // watch/cancel with stray or missing keys
+            line = i % 2 ? "{\"op\": \"watch\", \"id\": \"x\", \"k" +
+                               std::to_string(i) + "\": \"v\"}"
+                         : "{\"op\": \"cancel\"}";
+            break;
+          default: // hostile list bodies
+            line = "{\"op\": \"campaign\", \"id\": \"f" +
+                   std::to_string(i) +
+                   "\", \"kind\": \"run\", \"workloads\": \",,,\", "
+                   "\"cores\": \"ruu,,history\"}";
+            break;
+        }
+        if (line.empty() || line == validLine)
+            continue;
+        auto response = client.sendLine(line).ok()
+                            ? client.recvLine()
+                            : Expected<std::string>(Error("send"));
+        ASSERT_TRUE(response.ok())
+            << "daemon gone after: " << line << ": "
+            << response.error().message();
+        auto object = flat::parseObject(*response);
+        ASSERT_TRUE(object.ok()) << *response;
+        if (flat::getNumber(*object, "ok").value() == 0)
+            ++badSeen;
+        // Watching a campaign a mutated line happened to admit must
+        // drain that campaign's unit stream before the next probe.
+        auto op = flat::optString(*object, "op");
+        if (op == "campaign" &&
+            flat::getNumber(*object, "ok").value() == 1u) {
+            auto id = flat::optString(*object, "id");
+            std::string watchLine = "{\"op\": \"watch\", \"id\": \"" +
+                                    (id ? *id : "") + "\"}";
+            ASSERT_TRUE(client.sendLine(watchLine).ok());
+            while (true) {
+                auto unitLine = client.recvLine();
+                ASSERT_TRUE(unitLine.ok());
+                if (unitLine->find("\"op\": \"unit\"") ==
+                    std::string::npos)
+                    break;
+            }
+        }
+    }
+    EXPECT_GT(badSeen, 150u) << "the generator stopped being hostile";
+
+    // The daemon is unscathed: a clean campaign still streams its
+    // unit byte-for-byte. A fresh id — a lucky bit flip may have
+    // admitted a mutated spec under the original one.
+    serve::Request fresh = valid;
+    fresh.campaign.id = "fuzz-final";
+    ASSERT_TRUE(client.sendLine(serve::requestToLine(fresh)).ok());
+    auto ack = client.recvLine();
+    ASSERT_TRUE(ack.ok());
+    EXPECT_NE(ack->find("\"ok\": 1"), std::string::npos) << *ack;
+    ASSERT_TRUE(
+        client.sendLine("{\"op\": \"watch\", \"id\": \"fuzz-final\"}")
+            .ok());
+    bool unitDone = false;
+    while (true) {
+        auto line = client.recvLine();
+        ASSERT_TRUE(line.ok()) << line.error().message();
+        if (line->find("\"op\": \"watch\"") != std::string::npos)
+            break;
+        unitDone |=
+            line->find("\"status\": \"done\"") != std::string::npos;
+    }
+    EXPECT_TRUE(unitDone);
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_GT(stats.badRequests, 0u);
+}
+
+TEST(FuzzServe, SeededIoFaultsNeverKillTheDaemonAndDegradeExplicitly)
+{
+    // Torture the daemon's own persistence while it serves: seeded
+    // error-rate plans scoped to the state directory fail cache
+    // stores, journal appends, and queue records at random. The
+    // contract is graceful degradation — every submit and campaign
+    // draws an explicit verdict (done payloads byte-exact, refusals
+    // diagnosed), and the daemon never dies. Crash-at schedules are
+    // exercised out of process by scripts/ci_chaos_smoke.sh.
+    char tmpl[] = "/tmp/ruu_fuzz_faults_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    const std::string state = tmpl;
+
+    serve::ServerOptions options;
+    options.socketPath = state + "/sock";
+    options.cacheDir = state + "/cache";
+    options.journalPath = state + "/journal.jsonl";
+    options.queuePath = state + "/queue.jsonl";
+    options.jobs = 2;
+    options.defaultDeadlineMs = 60'000;
+    serve::ServerStats stats;
+    serve::ServerStats *statsOut = &stats;
+    std::thread daemon([&, statsOut] {
+        auto result = serve::runServer(options, statsOut);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+    serve::ServeClient client;
+    BackoffPolicy retry;
+    retry.baseUs = 5'000;
+    retry.maxRetries = 20;
+    {
+        auto connected = client.connect(options.socketPath, retry);
+        ASSERT_TRUE(connected.ok()) << connected.error().message();
+    }
+
+    const std::string expected = [&] {
+        for (const Workload &workload : livermoreWorkloads())
+            if (workload.name == "lll01") {
+                auto core = makeCore(CoreKind::Ruu,
+                                     UarchConfig::cray1());
+                RunResult run = core->run(workload.trace());
+                return runToJson(workload.name, core->name(), run,
+                                 core->stats());
+            }
+        return std::string();
+    }();
+
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 48;
+        plan.pathPrefix = state; // never touch the test's own files
+        io::setFaultPlan(plan);
+
+        // A plain batch: the job must land the byte-exact payload
+        // even when its cache store fails underneath it.
+        serve::Request submit;
+        submit.op = serve::Op::Submit;
+        submit.job.id = "job";
+        submit.job.workload = "lll01";
+        auto ack = client.request(serve::requestToLine(submit));
+        ASSERT_TRUE(ack.ok()) << ack.error().message();
+        ASSERT_TRUE(client.sendLine("{\"op\": \"run\"}").ok());
+        bool sawPayload = false;
+        while (true) {
+            auto line = client.recvLine();
+            ASSERT_TRUE(line.ok())
+                << "daemon gone under seed " << seed << ": "
+                << line.error().message();
+            auto object = flat::parseObject(*line);
+            ASSERT_TRUE(object.ok()) << *line;
+            if (flat::optString(*object, "op") == "run")
+                break;
+            auto payload = flat::optString(*object, "payload");
+            if (payload) {
+                EXPECT_EQ(*payload, expected)
+                    << "seed " << seed
+                    << ": degraded payload is not byte-exact";
+                sawPayload = true;
+            }
+        }
+        EXPECT_TRUE(sawPayload) << "seed " << seed;
+
+        // A campaign: admission is either durable (ok 1) or refused
+        // with a diagnostic (ok 0) — never silent, never fatal.
+        serve::Request campaign;
+        campaign.op = serve::Op::Campaign;
+        campaign.campaign.id = "c" + std::to_string(seed);
+        campaign.campaign.kind = serve::CampaignKind::Run;
+        campaign.campaign.workloads = {"lll01"};
+        campaign.campaign.cores = {"ruu"};
+        auto campaignAck =
+            client.request(serve::requestToLine(campaign));
+        ASSERT_TRUE(campaignAck.ok()) << campaignAck.error().message();
+        auto ackObject = flat::parseObject(*campaignAck);
+        ASSERT_TRUE(ackObject.ok()) << *campaignAck;
+        if (flat::getNumber(*ackObject, "ok").value() == 1u) {
+            std::string watchLine =
+                "{\"op\": \"watch\", \"id\": \"c" +
+                std::to_string(seed) + "\"}";
+            ASSERT_TRUE(client.sendLine(watchLine).ok());
+            while (true) {
+                auto line = client.recvLine();
+                ASSERT_TRUE(line.ok())
+                    << "daemon gone mid-watch under seed " << seed;
+                auto object = flat::parseObject(*line);
+                ASSERT_TRUE(object.ok()) << *line;
+                if (flat::optString(*object, "op") != "unit")
+                    break;
+                auto payload = flat::optString(*object, "payload");
+                if (payload) {
+                    EXPECT_EQ(*payload, expected) << "seed " << seed;
+                }
+            }
+        } else {
+            EXPECT_TRUE(
+                flat::optString(*ackObject, "error").has_value())
+                << *campaignAck << ": refusal without a diagnostic";
+        }
+    }
+    io::clearFaultPlan();
+
+    // Unscathed after twelve seeded torture rounds: status answers and
+    // the shim saw real injections.
+    auto status = client.request("{\"op\": \"status\"}");
+    ASSERT_TRUE(status.ok()) << status.error().message();
+    auto statusObject = flat::parseObject(*status);
+    ASSERT_TRUE(statusObject.ok()) << *status;
+    EXPECT_GT(flat::getNumber(*statusObject, "io_injected").value(),
+              0u)
+        << "the fault plans never fired";
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+
+    std::error_code ec;
+    std::filesystem::remove_all(state, ec);
 }
 
 TEST(FuzzGenerator, IsDeterministic)

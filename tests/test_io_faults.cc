@@ -1,0 +1,383 @@
+/**
+ * @file
+ * The deterministic I/O fault shim (common/io_faults.hh): plan grammar,
+ * schedule determinism and path scoping, the injected failure shapes
+ * (clean errors, genuine partial writes, scheduled crashes), and the
+ * crash-safety idioms built on top — atomicWriteFile is all-or-nothing
+ * and AppendFile's durable prefix survives a seeded torture loop with
+ * journal-grade recovery (complete lines intact, at worst one torn
+ * tail).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <cstdlib>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/io_faults.hh"
+
+namespace ruu
+{
+namespace
+{
+
+/** Every test leaves the process-wide plan disarmed. */
+class IoFaultDirs : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/ruu_iofaults_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        _dir = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        io::clearFaultPlan();
+        std::error_code ec;
+        std::filesystem::remove_all(_dir, ec);
+    }
+
+    std::string dir(const std::string &leaf) const
+    {
+        return _dir + "/" + leaf;
+    }
+
+    std::string _dir;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(IoFaultPlan, GrammarRoundTripsEveryKey)
+{
+    auto plan = io::parseFaultPlan(
+        "seed=42:rate=128:crash_at=7:prefix=/tmp/state");
+    ASSERT_TRUE(plan.ok()) << plan.error().message();
+    EXPECT_EQ(plan->seed, 42u);
+    EXPECT_EQ(plan->errorRate, 128u);
+    EXPECT_EQ(plan->crashAtOp, 7u);
+    EXPECT_EQ(plan->pathPrefix, "/tmp/state");
+    EXPECT_TRUE(plan->armed());
+
+    auto partial = io::parseFaultPlan("rate=3");
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(partial->errorRate, 3u);
+    EXPECT_EQ(partial->crashAtOp, 0u);
+
+    auto empty = io::parseFaultPlan("");
+    ASSERT_TRUE(empty.ok());
+    EXPECT_FALSE(empty->armed());
+}
+
+TEST(IoFaultPlan, RejectsBadSchedules)
+{
+    EXPECT_FALSE(io::parseFaultPlan("rate=257").ok());
+    EXPECT_FALSE(io::parseFaultPlan("frequency=3").ok());
+    EXPECT_FALSE(io::parseFaultPlan("seed").ok());
+}
+
+TEST_F(IoFaultDirs, ScheduleIsDeterministicPerSeed)
+{
+    // The same (seed, rate) must fail exactly the same op indices on a
+    // replay — a failing torture run is reproducible by construction.
+    auto pattern = [&](std::uint64_t seed) {
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 128;
+        plan.pathPrefix = _dir;
+        std::string path = dir("sched_" + std::to_string(seed));
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0666);
+        EXPECT_GE(fd, 0);
+        io::setFaultPlan(plan);
+        std::vector<bool> failed;
+        for (int i = 0; i < 64; ++i)
+            failed.push_back(!io::writeAll(fd, path, "x", 1).ok());
+        io::clearFaultPlan();
+        ::close(fd);
+        return failed;
+    };
+    std::vector<bool> first = pattern(7);
+    EXPECT_EQ(first, pattern(7));
+    EXPECT_NE(first, pattern(8));
+    std::size_t hits = 0;
+    for (bool b : first)
+        hits += b;
+    EXPECT_GT(hits, 8u) << "rate 128/256 injected almost nothing";
+    EXPECT_LT(hits, 56u) << "rate 128/256 injected almost everything";
+}
+
+TEST_F(IoFaultDirs, PathPrefixScopesTheTorture)
+{
+    // rate=256 injects on every eligible op; a file outside the prefix
+    // must never see a fault.
+    std::string inside = dir("scoped/target");
+    std::string outside = dir("elsewhere");
+    io::ensureDir(dir("scoped"));
+
+    io::FaultPlan plan;
+    plan.errorRate = 256;
+    plan.pathPrefix = dir("scoped");
+    io::setFaultPlan(plan);
+    EXPECT_FALSE(io::atomicWriteFile(inside, "doomed").ok());
+    EXPECT_TRUE(io::atomicWriteFile(outside, "fine").ok());
+    io::clearFaultPlan();
+    EXPECT_EQ(slurp(outside), "fine");
+    EXPECT_FALSE(std::filesystem::exists(inside));
+}
+
+TEST_F(IoFaultDirs, InjectedErrorsAreMarkedAndCounted)
+{
+    std::string path = dir("marked");
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    ASSERT_GE(fd, 0);
+    io::FaultPlan plan;
+    plan.errorRate = 256;
+    plan.pathPrefix = _dir;
+    io::setFaultPlan(plan);
+    io::resetFaultStats();
+    std::string firstError;
+    for (int i = 0; i < 32; ++i) {
+        auto wrote = io::writeAll(fd, path, "abcdefgh", 8);
+        ASSERT_FALSE(wrote.ok()) << "rate 256 let an op through";
+        if (firstError.empty())
+            firstError = wrote.error().message();
+    }
+    io::FaultStats stats = io::faultStats();
+    io::clearFaultPlan();
+    ::close(fd);
+
+    EXPECT_NE(firstError.find("(injected)"), std::string::npos)
+        << firstError;
+    EXPECT_EQ(stats.injected, 32u);
+    EXPECT_EQ(stats.enospcFaults + stats.eioFaults + stats.shortWrites,
+              32u);
+    // All three failure shapes appear across 32 deterministic draws.
+    EXPECT_GT(stats.shortWrites, 0u);
+    EXPECT_GT(stats.enospcFaults, 0u);
+    EXPECT_GT(stats.eioFaults, 0u);
+}
+
+TEST_F(IoFaultDirs, ShortWritesLandAGenuinePartialPrefix)
+{
+    // An injected short write is not a clean error: part of the data
+    // really reaches the file first — the on-disk signature of a disk
+    // filling mid-write, which torn-tail recovery must eat.
+    const std::string data(64, 'Q');
+    bool sawPartial = false;
+    for (std::uint64_t seed = 1; seed <= 64 && !sawPartial; ++seed) {
+        std::string path = dir("short_" + std::to_string(seed));
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0666);
+        ASSERT_GE(fd, 0);
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 256;
+        plan.pathPrefix = _dir;
+        io::setFaultPlan(plan);
+        auto wrote = io::writeAll(fd, path, data.data(), data.size());
+        io::clearFaultPlan();
+        ::close(fd);
+        ASSERT_FALSE(wrote.ok());
+        std::string landed = slurp(path);
+        if (!landed.empty()) {
+            sawPartial = true;
+            EXPECT_LT(landed.size(), data.size());
+            EXPECT_EQ(landed, data.substr(0, landed.size()))
+                << "partial write landed bytes that were never sent";
+        }
+    }
+    EXPECT_TRUE(sawPartial)
+        << "no seed in 64 produced a short write on op 1";
+}
+
+TEST_F(IoFaultDirs, AtomicWriteFileIsAllOrNothing)
+{
+    // Under every seed, the target either keeps its old contents or
+    // holds the complete new contents — never a tear, never a stray
+    // tmp file under a failure.
+    std::string path = dir("entry");
+    const std::string oldContents = "{\"cycles\": 1111}";
+    const std::string newContents =
+        "{\"cycles\": 2222, \"pad\": \"xxxxxxxxxxxxxxxx\"}";
+    ASSERT_TRUE(io::atomicWriteFile(path, oldContents).ok());
+
+    unsigned survived = 0, refused = 0;
+    for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 64;
+        plan.pathPrefix = _dir;
+        io::setFaultPlan(plan);
+        bool ok = io::atomicWriteFile(path, newContents).ok();
+        io::clearFaultPlan();
+        std::string disk = slurp(path);
+        if (ok) {
+            ++survived;
+            EXPECT_EQ(disk, newContents) << "seed " << seed;
+        } else {
+            ++refused;
+            EXPECT_TRUE(disk == oldContents || disk == newContents)
+                << "seed " << seed << " tore the file: " << disk;
+        }
+        EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+            << "seed " << seed << " leaked the tmp file";
+        ASSERT_TRUE(io::atomicWriteFile(path, oldContents).ok());
+    }
+    EXPECT_GT(survived, 0u) << "rate 64/256 never let a store through";
+    EXPECT_GT(refused, 0u) << "rate 64/256 never refused a store";
+}
+
+TEST_F(IoFaultDirs, AppendFileTortureKeepsTheDurablePrefixByteExact)
+{
+    // Journal-grade recovery over 32 seeded schedules: append lines
+    // until the first failure (the journal writers' discipline — work
+    // that cannot be made durable is refused, not retried over torn
+    // bytes). Afterwards the file must hold every line reported
+    // durable, byte-exact and in order, then at most one torn tail.
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        std::string path = dir("journal_" + std::to_string(seed));
+        io::AppendFile journal;
+        ASSERT_TRUE(journal.create(path).ok());
+
+        std::vector<std::string> lines;
+        for (int i = 0; i < 24; ++i)
+            lines.push_back("{\"record\": \"" + std::to_string(i) +
+                            "\", \"pad\": \"pppppppppppp\"}");
+
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 48;
+        plan.pathPrefix = _dir;
+        io::setFaultPlan(plan);
+        std::size_t durable = 0;
+        for (const std::string &line : lines) {
+            if (!journal.appendLine(line).ok())
+                break;
+            ++durable;
+        }
+        io::clearFaultPlan();
+        journal.close();
+
+        // Reconstruct: the durable prefix must be intact. The first
+        // failed line may be absent, torn, or (when only its fsync
+        // failed) fully present — at-least-once, never corrupt.
+        std::string disk = slurp(path);
+        std::size_t at = 0;
+        for (std::size_t i = 0; i < durable; ++i) {
+            std::string want = lines[i] + "\n";
+            ASSERT_EQ(disk.compare(at, want.size(), want), 0)
+                << "seed " << seed << ": durable line " << i
+                << " not byte-exact on disk";
+            at += want.size();
+        }
+        std::string tail = disk.substr(at);
+        std::string next =
+            durable < lines.size() ? lines[durable] + "\n" : "";
+        EXPECT_EQ(next.compare(0, tail.size(), tail), 0)
+            << "seed " << seed
+            << ": tail is not a prefix of the failed line: " << tail;
+    }
+}
+
+TEST_F(IoFaultDirs, AppendFailuresNeverBecomeInteriorCorruption)
+{
+    // The chaos-smoke regression: a journal writer that *keeps going*
+    // after failed appends (the queue's completion records degrade
+    // this way) must end up with a file that is exactly the
+    // concatenation of the appends reported durable — a failed
+    // append's partial line is repaired away, never left for the next
+    // successful append to bury as interior damage.
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        std::string path = dir("degraded_" + std::to_string(seed));
+        io::AppendFile journal;
+        ASSERT_TRUE(journal.create(path).ok());
+
+        io::FaultPlan plan;
+        plan.seed = seed;
+        plan.errorRate = 96;
+        plan.pathPrefix = _dir;
+        io::setFaultPlan(plan);
+        std::string durable;
+        std::string landedMaybe; // fsync-failed full lines may land
+        unsigned failures = 0;
+        for (int i = 0; i < 24; ++i) {
+            std::string line = "{\"record\": \"" + std::to_string(i) +
+                               "\", \"pad\": \"pppppppppppp\"}\n";
+            std::size_t sizeBefore =
+                std::filesystem::file_size(path);
+            if (journal.appendLine(line.substr(0, line.size() - 1))
+                    .ok()) {
+                durable += landedMaybe + line;
+                landedMaybe.clear();
+            } else {
+                ++failures;
+                // Only an fsync-after-full-write failure may leave the
+                // line; anything else must have been repaired away.
+                std::size_t sizeAfter =
+                    std::filesystem::file_size(path);
+                if (sizeAfter == sizeBefore + line.size())
+                    landedMaybe += line;
+                else
+                    ASSERT_EQ(sizeAfter, sizeBefore)
+                        << "seed " << seed << " append " << i
+                        << ": tail not repaired";
+            }
+        }
+        io::clearFaultPlan();
+        journal.close();
+        ASSERT_GT(failures, 0u) << "seed " << seed;
+
+        // Every byte on disk is accounted for by reported-durable and
+        // fsync-ambiguous lines — each one complete, none interleaved.
+        EXPECT_EQ(slurp(path), durable + landedMaybe)
+            << "seed " << seed;
+    }
+}
+
+TEST_F(IoFaultDirs, CrashAtOpDiesWithTheExplicitVerdict)
+{
+    // crash_at is the chaos harness's kill point: the process lands
+    // its ops up to N-1, then _exits with kCrashExitCode — never a
+    // silent death a supervisor could mistake for an organic crash.
+    std::string path = dir("crashy");
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        io::FaultPlan plan;
+        plan.crashAtOp = 3; // open, write, then die on fsync
+        plan.pathPrefix = _dir;
+        io::setFaultPlan(plan);
+        io::AppendFile journal;
+        if (!journal.create(path).ok())
+            ::_exit(90);
+        (void)journal.appendLine("{\"record\": \"0\"}");
+        ::_exit(0); // unreachable: op 3 is the appendLine's fsync
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), io::kCrashExitCode);
+    // Ops 1–2 (open, write) really landed before the crash.
+    EXPECT_EQ(slurp(path), "{\"record\": \"0\"}\n");
+}
+
+} // namespace
+} // namespace ruu

@@ -25,10 +25,13 @@
 #include <unistd.h>
 
 #include "common/flat_json.hh"
+#include "inject/campaign.hh"
+#include "inject/journal.hh"
 #include "kernels/lll.hh"
 #include "serve/cache.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
+#include "serve/queue.hh"
 #include "serve/recovery.hh"
 #include "serve/server.hh"
 #include "sim/json.hh"
@@ -739,6 +742,637 @@ TEST_F(ServeDirs, SigkillMidBatchRecoversByteIdentically)
     ASSERT_EQ(::waitpid(second, &status, 0), second);
     EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
         << "restarted daemon did not exit cleanly";
+}
+
+// ---------------------------------------------------------------------
+// Campaign queue: protocol, expansion, leases, durability, recovery.
+
+TEST(ServeCampaignProtocol, CampaignWatchCancelRoundTrip)
+{
+    Request request;
+    request.op = Op::Campaign;
+    request.campaign.id = "storm:all \"quoted\"";
+    request.campaign.kind = serve::CampaignKind::Storm;
+    request.campaign.workloads = {"lll01", "lll02"};
+    request.campaign.cores = {"ruu", "history"};
+    request.campaign.periods = {16, 1024};
+    request.campaign.configJson = "{\"pool_entries\": 12}";
+    request.campaign.deadlineMs = 777;
+    auto parsed = serve::parseRequest(serve::requestToLine(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    EXPECT_EQ(parsed->op, Op::Campaign);
+    EXPECT_EQ(parsed->campaign.id, request.campaign.id);
+    EXPECT_EQ(parsed->campaign.kind, request.campaign.kind);
+    EXPECT_EQ(parsed->campaign.workloads, request.campaign.workloads);
+    EXPECT_EQ(parsed->campaign.cores, request.campaign.cores);
+    EXPECT_EQ(parsed->campaign.periods, request.campaign.periods);
+    EXPECT_EQ(parsed->campaign.configJson, request.campaign.configJson);
+    EXPECT_EQ(parsed->campaign.deadlineMs, request.campaign.deadlineMs);
+
+    for (Op op : {Op::Watch, Op::Cancel}) {
+        Request probe;
+        probe.op = op;
+        probe.target = "run:lll05";
+        auto back = serve::parseRequest(serve::requestToLine(probe));
+        ASSERT_TRUE(back.ok()) << serve::opName(op);
+        EXPECT_EQ(back->op, op);
+        EXPECT_EQ(back->target, "run:lll05");
+    }
+
+    const char *bad[] = {
+        // storm without periods / non-storm with periods
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"storm\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\"}",
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"run\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\", "
+        "\"periods\": \"16\"}",
+        // inject without trials / non-inject with trials
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"inject\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\"}",
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"run\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\", \"trials\": 4}",
+        // missing kind, workloads, cores, id
+        "{\"op\": \"campaign\", \"id\": \"a\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\"}",
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"run\", "
+        "\"cores\": \"ruu\"}",
+        "{\"op\": \"campaign\", \"id\": \"a\", \"kind\": \"run\", "
+        "\"workloads\": \"lll01\"}",
+        "{\"op\": \"campaign\", \"kind\": \"run\", "
+        "\"workloads\": \"lll01\", \"cores\": \"ruu\"}",
+        // watch/cancel are exactly {op, id}
+        "{\"op\": \"watch\"}",
+        "{\"op\": \"watch\", \"id\": \"\"}",
+        "{\"op\": \"cancel\", \"id\": \"a\", \"extra\": \"1\"}",
+    };
+    for (const char *line : bad)
+        EXPECT_FALSE(serve::parseRequest(line).ok()) << line;
+}
+
+TEST(ServeQueue, ExpandUnitsIsDeterministicWorkloadMajor)
+{
+    serve::CampaignSpec spec;
+    spec.id = "s";
+    spec.kind = serve::CampaignKind::Storm;
+    spec.workloads = {"lll01", "lll02"};
+    spec.cores = {"ruu", "history"};
+    spec.periods = {16, 64};
+    auto units = serve::expandUnits(spec);
+    ASSERT_EQ(units.size(), 8u);
+    // Workload-major, then core, then period — and indices are dense.
+    EXPECT_EQ(units[0].workload, "lll01");
+    EXPECT_EQ(units[0].core, "ruu");
+    EXPECT_EQ(units[0].period, 16u);
+    EXPECT_EQ(units[1].period, 64u);
+    EXPECT_EQ(units[2].core, "history");
+    EXPECT_EQ(units[4].workload, "lll02");
+    for (std::size_t i = 0; i < units.size(); ++i)
+        EXPECT_EQ(units[i].index, i);
+
+    serve::CampaignSpec inject;
+    inject.id = "i";
+    inject.kind = serve::CampaignKind::Inject;
+    inject.workloads = {"lll01"};
+    inject.cores = {"simple"};
+    inject.trials = 5;
+    auto trials = serve::expandUnits(inject);
+    ASSERT_EQ(trials.size(), 5u);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        EXPECT_EQ(trials[i].trial, i);
+        EXPECT_TRUE(trials[i].workload.empty())
+            << "inject units resolve workloads trial-side";
+    }
+}
+
+serve::CampaignSpec
+tinyCampaign(const char *id)
+{
+    serve::CampaignSpec spec;
+    spec.id = id;
+    spec.kind = serve::CampaignKind::Run;
+    spec.workloads = {"lll01", "lll02"};
+    spec.cores = {"ruu"};
+    return spec;
+}
+
+TEST(ServeQueue, LeaseExpiryRedispatchesAndDuplicatesAreDropped)
+{
+    serve::CampaignQueue queue;
+    ASSERT_TRUE(queue.open("", "", nullptr).ok()); // memory-only
+    auto admitted = queue.submit(tinyCampaign("c"), 1024);
+    ASSERT_TRUE(admitted.ok()) << admitted.error().message();
+    EXPECT_EQ(*admitted, 2u);
+
+    auto now = serve::CampaignQueue::Clock::now();
+    auto first = queue.lease(now, 50);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->unit.index, 0u);
+
+    // A live worker's heartbeat holds the lease; a stale token does
+    // not.
+    EXPECT_TRUE(queue.renew("c", 0, first->token, now, 50));
+    EXPECT_FALSE(queue.renew("c", 0, first->token + 99, now, 50));
+
+    // Past the deadline the unit returns to the pool and the next
+    // lease hands it out again under a fresh token.
+    BackoffPolicy instant;
+    instant.baseUs = 0;
+    instant.capUs = 0;
+    auto later = now + std::chrono::milliseconds(200);
+    EXPECT_EQ(queue.expireLeases(later, instant), 1u);
+    auto second = queue.lease(later, 50);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->unit.index, 0u);
+    EXPECT_NE(second->token, first->token);
+
+    // Both the presumed-dead worker and the live one deliver: the
+    // first completion wins, the second is dropped as a duplicate.
+    EXPECT_TRUE(queue.complete("c", 0, JobStatus::Done, false, 1, 2, 3,
+                               "{\"cycles\": 1}"));
+    EXPECT_FALSE(queue.complete("c", 0, JobStatus::Done, false, 1, 2, 3,
+                                "{\"cycles\": 1}"));
+    auto snap = queue.unitView("c", 0);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->phase, serve::UnitPhase::Done);
+    EXPECT_EQ(snap->text, "{\"cycles\": 1}");
+    EXPECT_EQ(snap->dispatches, 2u);
+
+    serve::CampaignQueue::Stats stats = queue.stats();
+    EXPECT_EQ(stats.expiries, 1u);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.renewals, 1u);
+    EXPECT_EQ(stats.unitsDone, 1u);
+}
+
+TEST(ServeQueue, ResubmitIsIdempotentDivergentSpecAndOverflowRefused)
+{
+    serve::CampaignQueue queue;
+    ASSERT_TRUE(queue.open("", "", nullptr).ok());
+    ASSERT_TRUE(queue.submit(tinyCampaign("c"), 1024).ok());
+
+    // The same spec under the same id is the CLI's crash-retry: same
+    // unit count, no second campaign.
+    auto again = queue.submit(tinyCampaign("c"), 1024);
+    ASSERT_TRUE(again.ok()) << again.error().message();
+    EXPECT_EQ(*again, 2u);
+    EXPECT_EQ(queue.stats().campaigns, 1u);
+
+    // A different spec under a known id is a client bug, not a merge.
+    serve::CampaignSpec divergent = tinyCampaign("c");
+    divergent.cores = {"history"};
+    EXPECT_FALSE(queue.submit(divergent, 1024).ok());
+
+    // Admission past the unfinished-unit bound sheds with exactly the
+    // protocol's overload verdict.
+    auto shed = queue.submit(tinyCampaign("d"), 3);
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.error().message(), "overloaded");
+    EXPECT_EQ(queue.stats().shed, 1u);
+
+    // Cancel voids the pending units; the campaign then reads
+    // finished and an unknown id still errors.
+    auto canceled = queue.cancel("c");
+    ASSERT_TRUE(canceled.ok());
+    EXPECT_EQ(*canceled, 2u);
+    auto view = queue.campaignView("c");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_TRUE(view->finished());
+    EXPECT_EQ(view->canceled, 2u);
+    EXPECT_FALSE(queue.cancel("nope").ok());
+}
+
+TEST_F(ServeDirs, QueueJournalTornTailForgivenDamageAndPinRefused)
+{
+    std::string path = dir("queue.jsonl");
+
+    // First life: admit a campaign, certify one unit done and one
+    // failed.
+    {
+        serve::CampaignQueue queue;
+        ASSERT_TRUE(queue.open(path, dir("cache"), nullptr).ok());
+        ASSERT_TRUE(queue.submit(tinyCampaign("c"), 1024).ok());
+        auto lease = queue.lease(serve::CampaignQueue::Clock::now(), 50);
+        ASSERT_TRUE(lease.has_value());
+        EXPECT_TRUE(queue.complete("c", 0, JobStatus::Done, false, 11,
+                                   22, 33, "{\"cycles\": 5}"));
+        EXPECT_TRUE(queue.complete("c", 1, JobStatus::Rejected, false,
+                                   0, 0, 0, "no such kernel"));
+    }
+    auto clean = serve::readQueueJournal(path);
+    ASSERT_TRUE(clean.ok()) << clean.error().message();
+    EXPECT_FALSE(clean->tornTail);
+    ASSERT_EQ(clean->records.size(), 3u);
+    std::size_t cleanBytes = clean->validBytes;
+
+    // SIGKILL mid-append: the torn final line is dropped on read and
+    // truncated by the next open, after which the journal is clean.
+    {
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "{\"rec\": \"unit\", \"id\": \"c";
+    }
+    auto tornBack = serve::readQueueJournal(path);
+    ASSERT_TRUE(tornBack.ok());
+    EXPECT_TRUE(tornBack->tornTail);
+    EXPECT_EQ(tornBack->records.size(), 3u);
+    EXPECT_EQ(tornBack->validBytes, cleanBytes);
+    {
+        serve::CampaignQueue queue;
+        std::uint64_t verified = 0;
+        auto opened = queue.open(
+            path, dir("cache"),
+            [&](std::uint64_t key, std::uint64_t checksum,
+                std::uint64_t bytes) {
+                ++verified;
+                EXPECT_EQ(key, 11u);
+                EXPECT_EQ(checksum, 22u);
+                EXPECT_EQ(bytes, 33u);
+                return true;
+            });
+        ASSERT_TRUE(opened.ok()) << opened.error().message();
+        EXPECT_EQ(verified, 1u);
+        auto view = queue.campaignView("c");
+        ASSERT_TRUE(view.has_value());
+        EXPECT_EQ(view->done, 1u);
+        EXPECT_EQ(view->failed, 1u);
+        EXPECT_EQ(queue.stats().recoveredUnits, 2u);
+        // The recovered done unit carries no payload text — that
+        // lives in the cache it was verified against.
+        auto snap = queue.unitView("c", 0);
+        ASSERT_TRUE(snap.has_value());
+        EXPECT_TRUE(snap->text.empty());
+        // The failed unit keeps its diagnostic.
+        snap = queue.unitView("c", 1);
+        ASSERT_TRUE(snap.has_value());
+        EXPECT_EQ(snap->text, "no such kernel");
+    }
+    EXPECT_EQ(std::filesystem::file_size(path), cleanBytes)
+        << "open did not truncate the torn tail";
+
+    // A verify hook that disowns the record reverts the unit to
+    // pending: recompute, never serve unverifiable bytes.
+    {
+        serve::CampaignQueue queue;
+        ASSERT_TRUE(queue
+                        .open(path, dir("cache"),
+                              [](std::uint64_t, std::uint64_t,
+                                 std::uint64_t) { return false; })
+                        .ok());
+        auto view = queue.campaignView("c");
+        ASSERT_TRUE(view.has_value());
+        EXPECT_EQ(view->done, 0u);
+        EXPECT_EQ(view->pending, 1u);
+        EXPECT_EQ(view->failed, 1u);
+    }
+
+    // Interior damage is corruption, not a torn tail.
+    std::string contents;
+    {
+        std::ifstream in(path, std::ios::binary);
+        contents.assign((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    }
+    std::size_t firstNewline = contents.find('\n');
+    ASSERT_NE(firstNewline, std::string::npos);
+    {
+        std::ofstream rewrite(path, std::ios::binary);
+        rewrite << contents.substr(0, firstNewline + 1)
+                << "not a record\n"
+                << contents.substr(firstNewline + 1);
+    }
+    EXPECT_FALSE(serve::readQueueJournal(path).ok());
+    {
+        serve::CampaignQueue queue;
+        EXPECT_FALSE(queue.open(path, dir("cache"), nullptr).ok());
+    }
+
+    // And a journal pinned to another cache is refused outright.
+    {
+        std::ofstream rewrite(path, std::ios::binary);
+        rewrite << contents;
+    }
+    {
+        serve::CampaignQueue queue;
+        auto opened = queue.open(path, dir("elsewhere"), nullptr);
+        ASSERT_FALSE(opened.ok());
+        EXPECT_NE(opened.error().message().find("pins cache"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ServeDirs, QueueJournalFailureRefusesAdmissionButDegradesCompletion)
+{
+    std::string path = dir("queue.jsonl");
+    serve::CampaignQueue queue;
+    ASSERT_TRUE(queue.open(path, dir("cache"), nullptr).ok());
+    ASSERT_TRUE(queue.submit(tinyCampaign("c"), 1024).ok());
+
+    // Every journal append fails from here on.
+    io::FaultPlan plan;
+    plan.errorRate = 256;
+    plan.pathPrefix = _dir;
+    io::setFaultPlan(plan);
+
+    // Work the daemon cannot make durable is refused...
+    auto refused = queue.submit(tinyCampaign("d"), 1024);
+    EXPECT_FALSE(refused.ok());
+
+    // ...but a finished unit is not thrown away: it completes in
+    // memory and the journal miss is counted for post-restart
+    // recomputation.
+    EXPECT_TRUE(queue.complete("c", 0, JobStatus::Done, false, 1, 2, 3,
+                               "{\"cycles\": 9}"));
+    io::clearFaultPlan();
+    EXPECT_EQ(queue.stats().journalErrors, 1u);
+    auto snap = queue.unitView("c", 0);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->phase, serve::UnitPhase::Done);
+
+    // A cancel that cannot be journaled is not honored — recovery
+    // would resurrect the units it pretended to void.
+    io::setFaultPlan(plan);
+    EXPECT_FALSE(queue.cancel("c").ok());
+    io::clearFaultPlan();
+    auto view = queue.campaignView("c");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->canceled, 0u);
+}
+
+TEST_F(ServeDirs, DaemonRunsCampaignsEndToEndWithDedupAndCancel)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.queuePath = dir("queue.jsonl");
+    options.jobs = 2;
+    options.defaultDeadlineMs = 60'000;
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+
+    serve::ServeClient client;
+    connectClient(client, options.socketPath);
+
+    Request request;
+    request.op = Op::Campaign;
+    request.campaign = tinyCampaign("run:pair");
+    auto ack = client.request(serve::requestToLine(request));
+    ASSERT_TRUE(ack.ok()) << ack.error().message();
+    auto ackObject = flat::parseObject(*ack);
+    ASSERT_TRUE(ackObject.ok()) << *ack;
+    EXPECT_EQ(flat::getNumber(*ackObject, "ok").value(), 1u);
+    EXPECT_EQ(flat::getNumber(*ackObject, "units").value(), 2u);
+
+    auto watchUnits = [&](bool expectCached) {
+        Request watch;
+        watch.op = Op::Watch;
+        watch.target = "run:pair";
+        ASSERT_TRUE(
+            client.sendLine(serve::requestToLine(watch)).ok());
+        const char *kernels[] = {"lll01", "lll02"};
+        for (std::uint64_t u = 0; u < 2; ++u) {
+            flat::Object unit = readResult(client);
+            EXPECT_EQ(flat::getString(unit, "op").value(), "unit");
+            EXPECT_EQ(flat::getNumber(unit, "unit").value(), u);
+            EXPECT_EQ(flat::getString(unit, "status").value(), "done");
+            EXPECT_EQ(flat::getString(unit, "payload").value(),
+                      coldPayload(kernels[u]))
+                << "unit " << u
+                << " payload differs from a cold run";
+            if (expectCached) {
+                EXPECT_EQ(flat::getNumber(unit, "cached").value(), 1u);
+            }
+        }
+        flat::Object summary = readResult(client);
+        EXPECT_EQ(flat::getString(summary, "op").value(), "watch");
+        EXPECT_EQ(flat::getNumber(summary, "ok").value(), 1u);
+        EXPECT_EQ(flat::getNumber(summary, "done").value(), 2u);
+    };
+    watchUnits(false);
+
+    // Resubmitting the same campaign is idempotent, and a re-watch
+    // streams the identical payloads from the queue/cache without
+    // recomputing.
+    auto again = client.request(serve::requestToLine(request));
+    ASSERT_TRUE(again.ok());
+    EXPECT_NE(again->find("\"ok\": 1"), std::string::npos) << *again;
+    watchUnits(false);
+
+    // A divergent spec under the same id is refused.
+    Request divergent = request;
+    divergent.campaign.cores = {"history"};
+    auto refused = client.request(serve::requestToLine(divergent));
+    ASSERT_TRUE(refused.ok());
+    EXPECT_NE(refused->find("\"ok\": 0"), std::string::npos)
+        << *refused;
+
+    // A campaign over an unknown kernel fails its units with explicit
+    // verdicts — the daemon classifies, it does not die.
+    Request bogus;
+    bogus.op = Op::Campaign;
+    bogus.campaign = tinyCampaign("run:bogus");
+    bogus.campaign.workloads = {"lll99"};
+    auto bogusAck = client.request(serve::requestToLine(bogus));
+    ASSERT_TRUE(bogusAck.ok());
+    EXPECT_NE(bogusAck->find("\"ok\": 1"), std::string::npos);
+    {
+        Request watch;
+        watch.op = Op::Watch;
+        watch.target = "run:bogus";
+        ASSERT_TRUE(client.sendLine(serve::requestToLine(watch)).ok());
+        flat::Object unit = readResult(client);
+        EXPECT_EQ(flat::getString(unit, "status").value(), "rejected");
+        flat::Object summary = readResult(client);
+        EXPECT_EQ(flat::getNumber(summary, "ok").value(), 0u);
+        EXPECT_EQ(flat::getNumber(summary, "failed").value(), 1u);
+    }
+
+    // Cancel: unknown ids error; a finished campaign voids nothing.
+    Request cancel;
+    cancel.op = Op::Cancel;
+    cancel.target = "run:nope";
+    auto cancelAck = client.request(serve::requestToLine(cancel));
+    ASSERT_TRUE(cancelAck.ok());
+    EXPECT_NE(cancelAck->find("\"ok\": 0"), std::string::npos);
+    cancel.target = "run:pair";
+    cancelAck = client.request(serve::requestToLine(cancel));
+    ASSERT_TRUE(cancelAck.ok());
+    auto cancelObject = flat::parseObject(*cancelAck);
+    ASSERT_TRUE(cancelObject.ok());
+    EXPECT_EQ(flat::getNumber(*cancelObject, "ok").value(), 1u);
+    EXPECT_EQ(flat::getNumber(*cancelObject, "canceled").value(), 0u);
+
+    // Watching an unknown campaign is an error line, not a hang.
+    {
+        Request watch;
+        watch.op = Op::Watch;
+        watch.target = "run:nope";
+        ASSERT_TRUE(client.sendLine(serve::requestToLine(watch)).ok());
+        auto line = client.recvLine();
+        ASSERT_TRUE(line.ok());
+        EXPECT_NE(line->find("unknown campaign"), std::string::npos)
+            << *line;
+    }
+
+    auto status = client.request("{\"op\": \"status\"}");
+    ASSERT_TRUE(status.ok());
+    auto statusObject = flat::parseObject(*status);
+    ASSERT_TRUE(statusObject.ok()) << *status;
+    EXPECT_EQ(flat::getNumber(*statusObject, "campaigns").value(), 2u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "units_done").value(), 2u);
+    EXPECT_EQ(flat::getNumber(*statusObject, "units_failed").value(),
+              1u);
+
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_EQ(stats.campaigns, 2u);
+    EXPECT_EQ(stats.unitsDone, 2u);
+    EXPECT_EQ(stats.unitsFailed, 1u);
+}
+
+TEST_F(ServeDirs, InjectCampaignUnitsMatchReplayTrialByteExactly)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.queuePath = dir("queue.jsonl");
+    options.jobs = 2;
+    options.defaultDeadlineMs = 60'000;
+    serve::ServerStats stats;
+    std::thread daemon([&] {
+        auto result = serve::runServer(options, &stats);
+        EXPECT_TRUE(result.ok()) << result.error().message();
+    });
+
+    serve::ServeClient client;
+    connectClient(client, options.socketPath);
+    Request request;
+    request.op = Op::Campaign;
+    request.campaign.id = "inject:smoke";
+    request.campaign.kind = serve::CampaignKind::Inject;
+    request.campaign.workloads = {"lll01"};
+    request.campaign.cores = {"simple"};
+    request.campaign.trials = 2;
+    request.campaign.seed = 5;
+    auto ack = client.request(serve::requestToLine(request));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_NE(ack->find("\"units\": 2"), std::string::npos) << *ack;
+
+    // The cold reference: exactly what `ruusim inject --replay-trial`
+    // would report for the same campaign identity.
+    inject::CampaignOptions cold;
+    cold.cores = {CoreKind::Simple};
+    for (const Workload &workload : livermoreWorkloads())
+        if (workload.name == "lll01")
+            cold.workloads = {workload};
+    cold.trials = 2;
+    cold.seed = 5;
+
+    Request watch;
+    watch.op = Op::Watch;
+    watch.target = "inject:smoke";
+    ASSERT_TRUE(client.sendLine(serve::requestToLine(watch)).ok());
+    for (std::uint64_t trial = 0; trial < 2; ++trial) {
+        flat::Object unit = readResult(client);
+        EXPECT_EQ(flat::getString(unit, "status").value(), "done");
+        auto expected = inject::replayTrial(cold, trial);
+        ASSERT_TRUE(expected.ok()) << expected.error().message();
+        EXPECT_EQ(flat::getString(unit, "payload").value(),
+                  inject::trialToLine(*expected))
+            << "trial " << trial
+            << " diverges from a cold replayTrial";
+    }
+    flat::Object summary = readResult(client);
+    EXPECT_EQ(flat::getNumber(summary, "ok").value(), 1u);
+
+    ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    daemon.join();
+    EXPECT_EQ(stats.unitsDone, 2u);
+}
+
+TEST_F(ServeDirs, SigkillMidCampaignRecoversByteIdentically)
+{
+    serve::ServerOptions options;
+    options.socketPath = dir("sock");
+    options.cacheDir = dir("cache");
+    options.queuePath = dir("queue.jsonl");
+    options.jobs = 2;
+    options.defaultDeadlineMs = 60'000;
+
+    const std::vector<std::string> kernels = {"lll01", "lll02", "lll03",
+                                              "lll04"};
+    serve::CampaignSpec spec;
+    spec.id = "run:four";
+    spec.kind = serve::CampaignKind::Run;
+    spec.workloads = kernels;
+    spec.cores = {"ruu"};
+
+    // First daemon: admit the campaign, wait for at least one unit to
+    // land durably, then SIGKILL mid-campaign.
+    pid_t first = forkDaemon(options);
+    ASSERT_GT(first, 0);
+    {
+        serve::ServeClient client;
+        connectClient(client, options.socketPath);
+        Request request;
+        request.op = Op::Campaign;
+        request.campaign = spec;
+        auto ack = client.request(serve::requestToLine(request));
+        ASSERT_TRUE(ack.ok()) << ack.error().message();
+        EXPECT_NE(ack->find("\"ok\": 1"), std::string::npos) << *ack;
+
+        Request watch;
+        watch.op = Op::Watch;
+        watch.target = spec.id;
+        ASSERT_TRUE(client.sendLine(serve::requestToLine(watch)).ok());
+        flat::Object unit = readResult(client);
+        EXPECT_EQ(flat::getString(unit, "status").value(), "done");
+        ASSERT_EQ(::kill(first, SIGKILL), 0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(first, &status, 0), first);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+    // Second daemon over the same queue + cache: the campaign resumes
+    // on its own (no resubmission) and the watch stream is
+    // byte-identical to a cold serial run of every unit.
+    pid_t second = forkDaemon(options);
+    ASSERT_GT(second, 0);
+    {
+        serve::ServeClient client;
+        connectClient(client, options.socketPath);
+        Request watch;
+        watch.op = Op::Watch;
+        watch.target = spec.id;
+        ASSERT_TRUE(client.sendLine(serve::requestToLine(watch)).ok());
+        for (std::size_t u = 0; u < kernels.size(); ++u) {
+            flat::Object unit = readResult(client);
+            EXPECT_EQ(flat::getNumber(unit, "unit").value(), u);
+            EXPECT_EQ(flat::getString(unit, "status").value(), "done");
+            EXPECT_EQ(flat::getString(unit, "payload").value(),
+                      coldPayload(kernels[u]))
+                << kernels[u]
+                << ": post-crash campaign payload differs from a cold "
+                   "run";
+        }
+        flat::Object summary = readResult(client);
+        EXPECT_EQ(flat::getNumber(summary, "ok").value(), 1u);
+        EXPECT_EQ(flat::getNumber(summary, "done").value(),
+                  kernels.size());
+
+        auto statusLine = client.request("{\"op\": \"status\"}");
+        ASSERT_TRUE(statusLine.ok());
+        auto statusObject = flat::parseObject(*statusLine);
+        ASSERT_TRUE(statusObject.ok()) << *statusLine;
+        EXPECT_GE(
+            flat::getNumber(*statusObject, "units_recovered").value(),
+            1u)
+            << *statusLine;
+        ASSERT_TRUE(client.request("{\"op\": \"shutdown\"}").ok());
+    }
+    ASSERT_EQ(::waitpid(second, &status, 0), second);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
 }
 
 TEST_F(ServeDirs, JournalPinnedToAnotherCacheIsRefused)
