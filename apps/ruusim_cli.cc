@@ -42,6 +42,7 @@
 #include "common/error.hh"
 #include "common/file.hh"
 #include "common/logging.hh"
+#include "engine/engine.hh"
 #include "inject/campaign.hh"
 #include "isa/disasm.hh"
 #include "kernels/lll.hh"
@@ -165,6 +166,11 @@ usage()
         "                    (default: hardware threads, or RUU_JOBS; "
         "output is\n"
         "                    byte-identical at any job count)\n"
+        "  --engine K        cycle engine: compiled (default) or "
+        "interp, the\n"
+        "                    reference oracle (or RUU_ENGINE; output "
+        "is\n"
+        "                    byte-identical under either engine)\n"
         "  --no-prune        sweep: simulate every (workload, size) "
         "point instead\n"
         "                    of deriving sizes past a certified-bound "
@@ -1668,9 +1674,10 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         usage();
-    // Strip -j/--jobs before subcommand parsing so every subcommand
-    // accepts it in any position.
+    // Strip -j/--jobs and --engine before subcommand parsing so every
+    // subcommand accepts them in any position.
     unsigned jobs = par::consumeJobsFlag(argc, argv);
+    engine::consumeEngineFlag(argc, argv);
     std::string command = argv[1];
     Cli cli = parseArgs(argc, argv);
     cli.jobs = jobs;

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Parallel-engine smoke for CI: every parallel driver must produce
-# byte-identical output to its serial (-j1) run, and the wall-clock of
-# both runs is recorded to a BENCH_perf.json so speedups are tracked
-# over time. Byte-identity is the gate; speed is a measurement —
-# shared CI runners cannot promise real cores, so the speedup check
-# only arms when RUU_PERF_REQUIRE_SPEEDUP is set (e.g. to 2.0).
+# Parallel- and cycle-engine smoke for CI.
+#
+# Two byte-identity gates, one measurement file:
+#   1. every parallel driver must produce byte-identical output to its
+#      serial (-j1) run;
+#   2. every driver must produce byte-identical output under
+#      RUU_ENGINE=interp and RUU_ENGINE=compiled — the compiled fast
+#      path (src/engine) is only a speedup, never a semantic change.
+# Wall-clocks of all runs are recorded to a BENCH_perf.json so both
+# speedups are tracked over time. Byte-identity is the gate; speed is
+# a measurement — shared CI runners cannot promise real cores, so the
+# speedup checks only arm when RUU_PERF_REQUIRE_SPEEDUP /
+# RUU_PERF_REQUIRE_ENGINE_SPEEDUP are set (e.g. to 2.0). When
+# RUU_MICRO_ENGINE points at the bench/micro_engine binary, its --ab
+# sweep (all 6 cores x 14 kernels) regenerates bench/BENCH_engine.json
+# as part of the smoke, with its own built-in mismatch gate.
 #
 #   usage: scripts/ci_perf_smoke.sh <ruusim-binary> [workdir] [outfile]
 #
@@ -53,6 +63,41 @@ check() {
     fi
 }
 
+declare -a ENGINE_ROWS=()
+
+# echeck <name> <command...>: run under RUU_ENGINE=interp and
+# RUU_ENGINE=compiled; outputs must be byte-identical (hard gate), the
+# wall-clock ratio is recorded.
+echeck() {
+    local name=$1
+    shift
+    local is cs
+    is=$(timed "$WORKDIR/${name}_interp.txt" \
+        env RUU_ENGINE=interp "$@")
+    cs=$(timed "$WORKDIR/${name}_compiled.txt" \
+        env RUU_ENGINE=compiled "$@")
+    if ! cmp -s "$WORKDIR/${name}_interp.txt" \
+                "$WORKDIR/${name}_compiled.txt"; then
+        echo "$name: compiled output differs from interp" >&2
+        diff "$WORKDIR/${name}_interp.txt" \
+             "$WORKDIR/${name}_compiled.txt" | head >&2
+        exit 1
+    fi
+    local speedup
+    speedup=$(awk -v i="$is" -v c="$cs" \
+        'BEGIN { printf "%.2f", (c > 0 ? i / c : 0) }')
+    echo "  $name: interp ${is}s, compiled ${cs}s (${speedup}x), output identical"
+    ENGINE_ROWS+=("{\"driver\": \"$name\", \"interp_seconds\": $is, \
+\"compiled_seconds\": $cs, \"speedup\": $speedup}")
+    if [ -n "${RUU_PERF_REQUIRE_ENGINE_SPEEDUP:-}" ]; then
+        awk -v sp="$speedup" -v want="$RUU_PERF_REQUIRE_ENGINE_SPEEDUP" \
+            'BEGIN { exit (sp + 0 >= want + 0 ? 0 : 1) }' || {
+            echo "$name: engine speedup ${speedup}x < required ${RUU_PERF_REQUIRE_ENGINE_SPEEDUP}x" >&2
+            exit 1
+        }
+    fi
+}
+
 echo "== pool-size sweep: -j1 vs -j$JOBS must be byte-identical"
 ss=$(timed "$WORKDIR/sweep_serial.txt" "$RUUSIM" sweep suite -j1)
 ps=$(timed "$WORKDIR/sweep_par.txt" "$RUUSIM" sweep suite -j"$JOBS")
@@ -90,6 +135,42 @@ par_tps=$(grep -o '"trials_per_sec": [0-9.]*' \
     "$WORKDIR/inject_par.txt" | head -1 | awk '{print $2}')
 echo "  inject throughput: ${serial_tps} trials/sec serial, ${par_tps} trials/sec -j$JOBS"
 
+echo "== cycle engines: interp vs compiled must be byte-identical"
+echeck engine_run "$RUUSIM" run lll03 --core ruu --json
+echeck engine_run_spec "$RUUSIM" run lll08 --core spec_ruu --json
+echeck engine_sweep "$RUUSIM" sweep lll03 -j1
+echeck engine_verify "$RUUSIM" verify lll03 --sweep --points 8 -j"$JOBS"
+echeck engine_storm "$RUUSIM" storm lll03 --points 3 -j"$JOBS"
+
+echo "== cycle engines: fault-injection journals (taps pin interp inside"
+echo "   each trial; the journal must not depend on the session engine)"
+rm -f "$WORKDIR/engine_inject_interp.jsonl" \
+      "$WORKDIR/engine_inject_compiled.jsonl"
+is=$(timed "$WORKDIR/engine_inject_interp.txt" \
+    env RUU_ENGINE=interp \
+    "$RUUSIM" inject lll03 --cores ruu,history --trials 48 --seed 2026 \
+    --journal "$WORKDIR/engine_inject_interp.jsonl" --json -j"$JOBS")
+cs=$(timed "$WORKDIR/engine_inject_compiled.txt" \
+    env RUU_ENGINE=compiled \
+    "$RUUSIM" inject lll03 --cores ruu,history --trials 48 --seed 2026 \
+    --journal "$WORKDIR/engine_inject_compiled.jsonl" --json -j"$JOBS")
+if ! cmp -s "$WORKDIR/engine_inject_interp.jsonl" \
+            "$WORKDIR/engine_inject_compiled.jsonl"; then
+    echo "engine_inject: compiled journal differs from interp" >&2
+    diff "$WORKDIR/engine_inject_interp.jsonl" \
+         "$WORKDIR/engine_inject_compiled.jsonl" | head >&2
+    exit 1
+fi
+echo "  engine_inject: interp ${is}s, compiled ${cs}s, journals identical"
+ENGINE_ROWS+=("{\"driver\": \"engine_inject\", \"interp_seconds\": $is, \
+\"compiled_seconds\": $cs, \"speedup\": 1.00}")
+
+if [ -n "${RUU_MICRO_ENGINE:-}" ]; then
+    echo "== micro_engine --ab: regenerating bench/BENCH_engine.json"
+    "$RUU_MICRO_ENGINE" --ab "$WORKDIR/BENCH_engine.json" \
+        --min-ms "${RUU_ENGINE_AB_MIN_MS:-40}"
+fi
+
 {
     echo "{"
     echo "  \"bench\": \"par_engine_smoke\","
@@ -101,6 +182,13 @@ echo "  inject throughput: ${serial_tps} trials/sec serial, ${par_tps} trials/se
         sep=","
         [ "$i" -eq $((${#JSON_ROWS[@]} - 1)) ] && sep=""
         echo "    ${JSON_ROWS[$i]}$sep"
+    done
+    echo "  ],"
+    echo "  \"engines\": ["
+    for i in "${!ENGINE_ROWS[@]}"; do
+        sep=","
+        [ "$i" -eq $((${#ENGINE_ROWS[@]} - 1)) ] && sep=""
+        echo "    ${ENGINE_ROWS[$i]}$sep"
     done
     echo "  ]"
     echo "}"

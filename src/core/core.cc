@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "engine/stream.hh"
 #include "isa/disasm.hh"
 
 namespace ruu
@@ -48,6 +49,11 @@ Core::run(const Trace &trace, const RunOptions &options)
     _stats.reset();
     _invariants.reset();
     _observer = options.observer;
+    _activeEngine = engine::activeFor(options.tap != nullptr);
+    if (_activeEngine == engine::Kind::Compiled)
+        _stream = engine::cachedStream(trace);
+    else
+        _stream.reset();
     if (_config.checkInvariants || invariantsForced()) {
         lint::InvariantChecker::Limits limits;
         limits.resultBuses = _config.resultBuses;

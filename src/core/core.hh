@@ -17,6 +17,7 @@
 #include "arch/memory.hh"
 #include "arch/state.hh"
 #include "core/commit_observer.hh"
+#include "engine/engine.hh"
 #include "lint/invariant_checker.hh"
 #include "stats/stat_set.hh"
 #include "trace/trace.hh"
@@ -29,6 +30,11 @@ namespace inject
 {
 class MachineTap;
 } // namespace inject
+
+namespace engine
+{
+struct CompiledStream;
+} // namespace engine
 
 /** Options controlling one timing run. */
 struct RunOptions
@@ -203,6 +209,14 @@ class Core
     /** The configuration this core was built with. */
     const UarchConfig &config() const { return _config; }
 
+    /**
+     * The engine the most recent (or currently executing) run used.
+     * run() resolves it per run: RUU_ENGINE / the process default,
+     * forced to Interp when a fault tap is attached
+     * (engine::activeFor).
+     */
+    engine::Kind activeEngine() const { return _activeEngine; }
+
   protected:
     /** Subclass timing loop. */
     virtual RunResult runImpl(const Trace &trace,
@@ -256,12 +270,21 @@ class Core
                      : _config.branchUntakenPenalty;
     }
 
+    /**
+     * The pre-decoded stream of the current run's trace; non-null
+     * exactly when activeEngine() == Compiled. Set by run() before
+     * runImpl, from the process-wide engine::cachedStream memo.
+     */
+    const engine::CompiledStream &stream() const { return *_stream; }
+
     UarchConfig _config;
     StatSet _stats;
 
   private:
     std::unique_ptr<lint::InvariantChecker> _invariants;
     CommitObserver *_observer = nullptr;
+    engine::Kind _activeEngine = engine::Kind::Interp;
+    std::shared_ptr<const engine::CompiledStream> _stream;
 };
 
 } // namespace ruu

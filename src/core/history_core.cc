@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "engine/view.hh"
 #include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
@@ -43,6 +44,17 @@ HistoryCore::HistoryCore(const UarchConfig &config) : Core(config)
 RunResult
 HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+HistoryCore::runLoop(const Trace &trace, const RunOptions &options,
+                     const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
     const unsigned pool_size = _config.poolEntries;
     const unsigned hb_size = _config.historyEntries;
@@ -59,7 +71,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
     LoadRegisters load_regs(_config.loadRegisters);
     FuPipes pipes(_config);
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
 
     Counter &c_insts = _stats.counter("instructions");
     Counter &c_branches = _stats.counter("branches");
@@ -253,7 +265,7 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     continue;
                 }
                 FuKind kind = e.isMem() ? FuKind::Memory
-                                        : e.rec->inst.fu();
+                                        : view.fuAt(e.seq);
                 unsigned latency =
                     e.isStore ? _config.storeLatency
                     : e.forwarded ? _config.forwardLatency
@@ -429,21 +441,21 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
             const TraceRecord &rec = records[decode_seq];
             const Instruction &inst = rec.inst;
 
-            if (inst.op == Opcode::HALT) {
+            if (view.haltAt(decode_seq)) {
                 halted = true;
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (isNopLike(inst.op)) {
+            } else if (view.nopLikeAt(decode_seq)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
-            } else if (isBranch(inst.op)) {
+            } else if (view.branchAt(decode_seq)) {
                 if (inst.src1.valid() && busy.busy(inst.src1)) {
                     ++c_branch_wait;
                 } else {
@@ -466,7 +478,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                 } else if (inst.dst.valid() && busy.busy(inst.dst)) {
                     // The scoreboard interlock: one writer at a time.
                     ++c_waw;
-                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                } else if (view.memAt(decode_seq) &&
+                           !load_regs.hasFree()) {
                     ++c_no_lr;
                 } else {
                     InflightOp &e = pool[static_cast<unsigned>(slot)];
@@ -474,8 +487,8 @@ HistoryCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.valid = true;
                     e.seq = decode_seq;
                     e.rec = &rec;
-                    e.isLoad = isLoad(inst.op);
-                    e.isStore = isStore(inst.op);
+                    e.isLoad = view.loadAt(decode_seq);
+                    e.isStore = view.storeAt(decode_seq);
                     e.destTag = inst.dst.valid()
                                     ? static_cast<Tag>(inst.dst.flat())
                                     : kNoTag;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "engine/view.hh"
 #include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
@@ -33,10 +34,25 @@ RstuCore::RstuCore(const UarchConfig &config) : Core(config)
 RunResult
 RstuCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+RstuCore::runLoop(const Trace &trace, const RunOptions &options,
+                  const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
     const unsigned pool_size = _config.poolEntries;
 
     std::vector<RstuEntry> pool(pool_size);
+    // Compiled path only: the valid slots, kept in seq order (decode
+    // issues in program order and only completion removes), so the
+    // hot loops walk live entries instead of scanning every slot.
+    std::vector<unsigned> live;
     std::vector<unsigned> mem_queue; //!< pool slots of live memory ops,
                                      //!< in program order
     std::deque<SeqNum> store_queue;  //!< undispatched stores, in order:
@@ -48,7 +64,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
     LoadRegisters load_regs(_config.loadRegisters);
     FuPipes pipes(_config);
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
     IBuffers ibuffers;
 
     Counter &c_insts = _stats.counter("instructions");
@@ -101,11 +117,15 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         options.tap->onRunStart(fault_ports);
     }
 
-    auto occupancy = [&]() {
-        unsigned n = 0;
-        for (const auto &e : pool)
-            n += e.valid ? 1 : 0;
-        return n;
+    auto occupancy = [&]() -> unsigned {
+        if constexpr (View::kCompiled) {
+            return static_cast<unsigned>(live.size());
+        } else {
+            unsigned n = 0;
+            for (const auto &e : pool)
+                n += e.valid ? 1 : 0;
+            return n;
+        }
     };
 
     auto free_slot = [&]() -> int {
@@ -136,6 +156,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
     };
 
     std::vector<unsigned> candidates; // reused every cycle
+    std::vector<unsigned> completing; // reused every cycle (compiled)
     for (Cycle cycle = 0;; ++cycle) {
         if (cycle > options.maxCycles) {
             markWedged(result, trace, cycle, options, decode_seq,
@@ -150,16 +171,30 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
         // ---- phase 3: dispatch up to dispatchPaths ready entries --------
         {
             candidates.clear();
-            for (unsigned i = 0; i < pool_size; ++i)
-                if (pool[i].valid && pool[i].readyToDispatch())
-                    candidates.push_back(i);
-            std::sort(candidates.begin(), candidates.end(),
-                      [&](unsigned a, unsigned b) {
-                          bool am = pool[a].isMem(), bm = pool[b].isMem();
-                          if (am != bm)
-                              return am; // loads/stores first (§5 priority)
-                          return pool[a].seq < pool[b].seq;
-                      });
+            if constexpr (View::kCompiled) {
+                // `live` is in seq order, so two passes (memory ops,
+                // then the rest) reproduce the sort below.
+                for (int pass = 0; pass < 2; ++pass)
+                    for (unsigned slot : live) {
+                        const RstuEntry &e = pool[slot];
+                        if (e.valid && e.readyToDispatch() &&
+                            e.isMem() == (pass == 0)) {
+                            candidates.push_back(slot);
+                        }
+                    }
+            } else {
+                for (unsigned i = 0; i < pool_size; ++i)
+                    if (pool[i].valid && pool[i].readyToDispatch())
+                        candidates.push_back(i);
+                std::sort(candidates.begin(), candidates.end(),
+                          [&](unsigned a, unsigned b) {
+                              bool am = pool[a].isMem(),
+                                   bm = pool[b].isMem();
+                              if (am != bm)
+                                  return am; // loads/stores first (§5)
+                              return pool[a].seq < pool[b].seq;
+                          });
+            }
             unsigned started = 0;
             bool store_started = false;
             for (unsigned slot : candidates) {
@@ -175,7 +210,7 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                     continue;
                 }
                 FuKind kind = e.isMem() ? FuKind::Memory
-                                        : e.rec->inst.fu();
+                                        : view.fuAt(e.seq);
                 unsigned latency =
                     e.isStore ? _config.storeLatency
                     : e.forwarded ? _config.forwardLatency
@@ -209,12 +244,12 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
             }
         }
         // ---- phase 1: completions scheduled for this cycle -------------
-        for (unsigned i = 0; i < pool_size; ++i) {
+        // The compiled path collects completing slots from `live` and
+        // visits them in ascending slot order — exactly the order of
+        // the interpretive full scan (the commit stream depends on
+        // it), at the cost of a sort over the handful completing.
+        auto complete_entry = [&](unsigned i) {
             RstuEntry &e = pool[i];
-            if (!e.valid || !e.dispatched || e.executed ||
-                e.completeCycle != cycle) {
-                continue;
-            }
             e.executed = true;
             last_event = cycle;
 
@@ -229,14 +264,20 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 fault_raised = true;
                 if (result.drainStartCycle == kNoCycle)
                     result.drainStartCycle = cycle;
-                continue;
+                return;
             }
 
             Tag tag = e.isStore ? storeTagFor(e.seq) : e.destTag;
             Word value = e.isStore ? e.rec->storeValue : e.rec->result;
-            for (auto &other : pool) {
-                if (other.valid)
-                    other.wakeup(tag);
+            if constexpr (View::kCompiled) {
+                for (unsigned s : live)
+                    if (pool[s].valid)
+                        pool[s].wakeup(tag);
+            } else {
+                for (auto &other : pool) {
+                    if (other.valid)
+                        other.wakeup(tag);
+                }
             }
             load_regs.onBroadcast(tag, value);
             if (ck) {
@@ -272,6 +313,29 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
             notifyCommit(e.seq, *e.rec);
             e.valid = false;
             std::erase(mem_queue, i);
+            if constexpr (View::kCompiled)
+                std::erase(live, i);
+        };
+        if constexpr (View::kCompiled) {
+            completing.clear();
+            for (unsigned slot : live) {
+                const RstuEntry &e = pool[slot];
+                if (e.valid && e.dispatched && !e.executed &&
+                    e.completeCycle == cycle) {
+                    completing.push_back(slot);
+                }
+            }
+            std::sort(completing.begin(), completing.end());
+            for (unsigned slot : completing)
+                complete_entry(slot);
+        } else {
+            for (unsigned i = 0; i < pool_size; ++i) {
+                const RstuEntry &e = pool[i];
+                if (e.valid && e.dispatched && !e.executed &&
+                    e.completeCycle == cycle) {
+                    complete_entry(i);
+                }
+            }
         }
 
         if (fault_raised) {
@@ -320,21 +384,21 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 }
             }
 
-            if (!stalled && inst.op == Opcode::HALT) {
+            if (!stalled && view.haltAt(decode_seq)) {
                 halted = true;
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (!stalled && isNopLike(inst.op)) {
+            } else if (!stalled && view.nopLikeAt(decode_seq)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
-            } else if (!stalled && isBranch(inst.op)) {
+            } else if (!stalled && view.branchAt(decode_seq)) {
                 // The branch waits in the decode-and-issue stage until
                 // its condition register is readable.
                 if (inst.src1.valid() && busy.busy(inst.src1)) {
@@ -354,7 +418,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                 int slot = free_slot();
                 if (slot < 0) {
                     ++c_no_slot;
-                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                } else if (view.memAt(decode_seq) &&
+                           !load_regs.hasFree()) {
                     ++c_no_lr;
                 } else {
                     RstuEntry &e = pool[static_cast<unsigned>(slot)];
@@ -362,8 +427,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.valid = true;
                     e.seq = decode_seq;
                     e.rec = &rec;
-                    e.isLoad = isLoad(inst.op);
-                    e.isStore = isStore(inst.op);
+                    e.isLoad = view.loadAt(decode_seq);
+                    e.isStore = view.storeAt(decode_seq);
                     e.destTag = inst.dst.valid()
                                     ? static_cast<Tag>(slot)
                                     : kNoTag;
@@ -404,6 +469,8 @@ RstuCore::runImpl(const Trace &trace, const RunOptions &options)
                             static_cast<unsigned>(slot));
                     if (e.isStore)
                         store_queue.push_back(e.seq);
+                    if constexpr (View::kCompiled)
+                        live.push_back(static_cast<unsigned>(slot));
 
                     ++decode_seq;
                     next_decode = cycle + 1;

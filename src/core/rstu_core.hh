@@ -43,6 +43,12 @@ class RstuCore : public Core
   protected:
     RunResult runImpl(const Trace &trace,
                       const RunOptions &options) override;
+
+  private:
+    /** The issue loop, templated over the engine's trace view. */
+    template <class View>
+    RunResult runLoop(const Trace &trace, const RunOptions &options,
+                      const View &view);
 };
 
 } // namespace ruu

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "engine/view.hh"
 #include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
@@ -20,6 +21,17 @@ RuuCore::RuuCore(const UarchConfig &config) : Core(config)
 RunResult
 RuuCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+RuuCore::runLoop(const Trace &trace, const RunOptions &options,
+                 const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
     const unsigned ruu_size = _config.poolEntries;
     const BypassMode bypass = _config.bypass;
@@ -33,7 +45,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
     LoadRegisters load_regs(_config.loadRegisters);
     FuPipes pipes(_config);
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
     IBuffers ibuffers;
 
     // The duplicated register files: §6.3's A future file (LimitedA
@@ -106,12 +118,83 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         options.tap->onRunStart(fault_ports);
     }
 
+    /**
+     * Visit the live window [head, head+count) oldest-first. The
+     * queue issues in program order, so window order is seq order;
+     * the compiled loops below iterate it instead of scanning every
+     * slot (live entries are exactly the window, §5's circular
+     * queue), which is what makes large pools cheap.
+     */
+    auto for_window = [&](auto &&fn) {
+        unsigned s = head;
+        for (unsigned k = 0; k < count; ++k) {
+            fn(s);
+            ++s;
+            if (s == ruu_size)
+                s = 0;
+        }
+    };
+
+    // Compiled fast path only: incremental indices that let the hot
+    // loop touch exactly the entries with work instead of walking the
+    // window every cycle. The interpretive path keeps unconditional
+    // scans: a fault-injection tap may rewrite entry flags between
+    // cycles, which would stale these indices (taps force the interp
+    // engine for exactly that reason).
+    //
+    //  - undispatched: count of valid, not-executed, not-dispatched
+    //    entries; zero lets the dispatch walk be skipped outright.
+    //  - waiting: slots holding an entry that still needs a broadcast
+    //    (an unready source, or a forwarded load awaiting its data).
+    //    Wakeups only ever flip not-ready to ready, so delivering them
+    //    to just these slots is state-identical to the full scan;
+    //    stale or duplicate slots are harmless (wakeup is idempotent)
+    //    and are dropped on the next broadcast.
+    //  - comp_ring: dispatch schedules its completion cycle here, so
+    //    the completion phase visits exactly the completing slots.
+    //    The ring outlives the longest latency, and complete_entry's
+    //    guard (dispatched, not executed, completeCycle == cycle)
+    //    skips any slot a stale schedule left behind. Bucket order is
+    //    dispatch order; within a cycle completion effects commute
+    //    (see the completion phase below).
+    unsigned undispatched = 0;
+    std::vector<unsigned> waiting;
+    std::vector<std::vector<unsigned>> comp_ring;
+    unsigned comp_mask = 0;
+    auto needs_wakeup = [](const InflightOp &e) {
+        return (e.src[0].needed && !e.src[0].ready) ||
+               (e.src[1].needed && !e.src[1].ready) ||
+               (e.forwarded && !e.fwdDataReady);
+    };
+    if constexpr (View::kCompiled) {
+        unsigned max_latency =
+            std::max(_config.storeLatency, _config.forwardLatency);
+        for (unsigned i = 0; i < kNumFuKinds; ++i)
+            max_latency = std::max(
+                max_latency, _config.latency(static_cast<FuKind>(i)));
+        unsigned ring = 1;
+        while (ring <= max_latency)
+            ring <<= 1;
+        comp_ring.resize(ring);
+        comp_mask = ring - 1;
+    }
+
     /** Pool entry currently holding tag @p tag, or nullptr. */
     auto entry_with_tag = [&](Tag tag) -> InflightOp * {
-        for (auto &e : ruu)
-            if (e.valid && e.destTag == tag)
-                return &e;
-        return nullptr;
+        if constexpr (View::kCompiled) {
+            InflightOp *found = nullptr;
+            for_window([&](unsigned s) {
+                InflightOp &e = ruu[s];
+                if (!found && e.valid && e.destTag == tag)
+                    found = &e;
+            });
+            return found;
+        } else {
+            for (auto &e : ruu)
+                if (e.valid && e.destTag == tag)
+                    return &e;
+            return nullptr;
+        }
     };
 
     /**
@@ -146,9 +229,26 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
     /** Deliver a broadcast of (@p tag, @p value) to all monitors. */
     auto broadcast = [&](Tag tag, Word value) {
-        for (auto &e : ruu)
-            if (e.valid)
-                e.wakeup(tag);
+        if constexpr (View::kCompiled) {
+            // Only the waiting slots can be affected; see the index
+            // comment above the cycle loop. Slots that became ready
+            // (or whose entry is gone) retire from the list here.
+            for (std::size_t i = 0; i < waiting.size();) {
+                InflightOp &e = ruu[waiting[i]];
+                if (e.valid)
+                    e.wakeup(tag);
+                if (!e.valid || !needs_wakeup(e)) {
+                    waiting[i] = waiting.back();
+                    waiting.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+        } else {
+            for (auto &e : ruu)
+                if (e.valid)
+                    e.wakeup(tag);
+        }
         load_regs.onBroadcast(tag, value);
         cycle_tags.push_back(tag);
     };
@@ -175,6 +275,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
     };
 
     std::vector<unsigned> candidates; // reused every cycle
+
     for (Cycle cycle = 0; !done; ++cycle) {
         if (cycle > options.maxCycles) {
             markWedged(result, trace, cycle, options, decode_seq,
@@ -190,25 +291,44 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
         // ---- phase 4: dispatch to the functional units -------------------
         {
             candidates.clear();
-            for (unsigned i = 0; i < ruu_size; ++i) {
-                const InflightOp &e = ruu[i];
-                if (e.valid && !e.executed && e.readyToDispatch())
-                    candidates.push_back(i);
+            if constexpr (View::kCompiled) {
+                // Window order is seq order, so two passes (memory
+                // ops, then the rest) yield exactly the sorted order
+                // below without the scan-and-sort.
+                if (undispatched > 0) {
+                    for (int pass = 0; pass < 2; ++pass) {
+                        for_window([&](unsigned s) {
+                            const InflightOp &e = ruu[s];
+                            if (e.valid && !e.executed &&
+                                e.isMem() == (pass == 0) &&
+                                e.readyToDispatch()) {
+                                candidates.push_back(s);
+                            }
+                        });
+                    }
+                }
+            } else {
+                for (unsigned i = 0; i < ruu_size; ++i) {
+                    const InflightOp &e = ruu[i];
+                    if (e.valid && !e.executed && e.readyToDispatch())
+                        candidates.push_back(i);
+                }
+                std::sort(candidates.begin(), candidates.end(),
+                          [&](unsigned a, unsigned b) {
+                              bool am = ruu[a].isMem(),
+                                   bm = ruu[b].isMem();
+                              if (am != bm)
+                                  return am; // §5: loads/stores first
+                              return ruu[a].seq < ruu[b].seq;
+                          });
             }
-            std::sort(candidates.begin(), candidates.end(),
-                      [&](unsigned a, unsigned b) {
-                          bool am = ruu[a].isMem(), bm = ruu[b].isMem();
-                          if (am != bm)
-                              return am; // §5: loads/stores first
-                          return ruu[a].seq < ruu[b].seq;
-                      });
             unsigned started = 0;
             for (unsigned slot : candidates) {
                 if (started == _config.dispatchPaths)
                     break;
                 InflightOp &e = ruu[slot];
                 FuKind kind = e.isMem() ? FuKind::Memory
-                                        : e.rec->inst.fu();
+                                        : view.fuAt(e.seq);
                 unsigned latency =
                     e.isStore ? _config.storeLatency
                     : e.forwarded ? _config.forwardLatency
@@ -231,15 +351,24 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                     banks.access(e.rec->memAddr, cycle);
                 e.dispatched = true;
                 e.completeCycle = cycle + latency;
+                if constexpr (View::kCompiled) {
+                    --undispatched;
+                    comp_ring[e.completeCycle & comp_mask].push_back(
+                        slot);
+                }
                 ++c_dispatched;
                 ++started;
             }
         }
         // ---- phase 1: completions (functional-unit result bus) ---------
-        for (auto &e : ruu) {
+        // Within a cycle the per-completion effects commute (tags are
+        // unique, wakeups and cycle_tags are set-like), so the compiled
+        // path may visit the live window in seq order while the
+        // interpretive path keeps its slot-order scan: same state.
+        auto complete_entry = [&](InflightOp &e) {
             if (!e.valid || !e.dispatched || e.executed ||
                 e.completeCycle != cycle) {
-                continue;
+                return;
             }
             e.executed = true;
             last_event = cycle;
@@ -250,7 +379,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 e.faulted = true;
                 if (result.drainStartCycle == kNoCycle)
                     result.drainStartCycle = cycle;
-                continue;
+                return;
             }
 
             Tag tag = e.isStore ? storeTagFor(e.seq) : e.destTag;
@@ -274,6 +403,17 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 counters.latestTag(dst) == e.destTag) {
                 future_valid[dst.flat()] = true;
             }
+        };
+        if constexpr (View::kCompiled) {
+            auto &due = comp_ring[cycle & comp_mask];
+            if (!due.empty()) {
+                for (unsigned s : due)
+                    complete_entry(ruu[s]);
+                due.clear();
+            }
+        } else {
+            for (auto &e : ruu)
+                complete_entry(e);
         }
 
         // ---- phase 2: in-order commit from the head ---------------------
@@ -324,7 +464,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
             ++result.instructions;
             last_event = cycle;
 
-            bool was_halt = rec.inst.op == Opcode::HALT;
+            bool was_halt = view.haltAt(e.seq);
             e.valid = false;
             std::erase(mem_queue, head);
             head = (head + 1) % ruu_size;
@@ -348,8 +488,16 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 break;
             if (!resolveMemOp(e, load_regs))
                 break;
-            if (e.forwarded)
+            if (e.forwarded) {
                 ++c_forwarded;
+                // A forwarded load now monitors its producer's tag —
+                // that wait arises here, after issue, so the slot may
+                // not be on the waiting list yet.
+                if constexpr (View::kCompiled) {
+                    if (needs_wakeup(e))
+                        waiting.push_back(slot);
+                }
+            }
         }
 
 
@@ -380,7 +528,7 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 }
             }
 
-            if (!stalled && isBranch(inst.op)) {
+            if (!stalled && view.branchAt(decode_seq)) {
                 // Branches resolve in the decode-and-issue stage once
                 // the condition register value can be obtained — from
                 // the register file, a bypass path, or a bus broadcast
@@ -415,7 +563,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                            !counters.canAllocate(inst.dst)) {
                     ++c_ni;
                     can_issue = false;
-                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                } else if (view.memAt(decode_seq) &&
+                           !load_regs.hasFree()) {
                     ++c_no_lr;
                     can_issue = false;
                 }
@@ -426,8 +575,8 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.valid = true;
                     e.seq = decode_seq;
                     e.rec = &rec;
-                    e.isLoad = isLoad(inst.op);
-                    e.isStore = isStore(inst.op);
+                    e.isLoad = view.loadAt(decode_seq);
+                    e.isStore = view.storeAt(decode_seq);
 
                     for (unsigned s = 0; s < 2; ++s) {
                         RegId reg = s == 0 ? inst.src1 : inst.src2;
@@ -453,8 +602,14 @@ RuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
                     // Instructions with no functional unit (NOP, HALT)
                     // are complete on arrival and only wait to commit.
-                    if (inst.fu() == FuKind::None)
+                    if (view.fuAt(decode_seq) == FuKind::None)
                         e.executed = true;
+                    else if constexpr (View::kCompiled)
+                        ++undispatched;
+                    if constexpr (View::kCompiled) {
+                        if (needs_wakeup(e))
+                            waiting.push_back(tail);
+                    }
 
                     if (e.isMem())
                         mem_queue.push_back(tail);

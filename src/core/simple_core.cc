@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "engine/view.hh"
 #include "inject/fault_port.hh"
 #include "uarch/banks.hh"
 #include "uarch/ibuffer.hh"
@@ -19,6 +20,17 @@ SimpleCore::SimpleCore(const UarchConfig &config) : Core(config)
 RunResult
 SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+SimpleCore::runLoop(const Trace &trace, const RunOptions &options,
+                    const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
 
     // Cycle at which each register's pending write completes (readable
@@ -26,7 +38,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
     std::array<Cycle, kNumArchRegs> reg_ready{};
     reg_ready.fill(0);
 
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
     IBuffers ibuffers;
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
 
@@ -54,24 +66,27 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         return ready;
     };
 
-    // Fault/snapshot port registration (only when a tap is attached).
-    // The simple machine's state is the interlock scoreboard, the
-    // register file, the bus schedule and the issue clock itself.
+    // Fault/snapshot port registration (only when a tap is attached;
+    // a tap always selects the interpretive engine). The simple
+    // machine's state is the interlock scoreboard, the register file,
+    // the bus schedule and the issue clock itself.
     inject::FaultPortSet fault_ports;
-    if (options.tap) {
-        for (unsigned f = 0; f < kNumArchRegs; ++f)
-            fault_ports.add("regReady." +
-                                RegId::fromFlat(f).toString(),
-                            inject::PortClass::Sequence, reg_ready[f],
-                            32);
-        result.state.exposePorts(fault_ports, "regs");
-        bus.exposePorts(fault_ports, "bus");
-        if (options.modelIBuffers)
-            ibuffers.exposePorts(fault_ports, "ibuf");
-        banks.exposePorts(fault_ports, "banks");
-        fault_ports.add("nextIssue", inject::PortClass::Sequence,
-                        next_issue, 32);
-        options.tap->onRunStart(fault_ports);
+    if constexpr (!View::kCompiled) {
+        if (options.tap) {
+            for (unsigned f = 0; f < kNumArchRegs; ++f)
+                fault_ports.add("regReady." +
+                                    RegId::fromFlat(f).toString(),
+                                inject::PortClass::Sequence,
+                                reg_ready[f], 32);
+            result.state.exposePorts(fault_ports, "regs");
+            bus.exposePorts(fault_ports, "bus");
+            if (options.modelIBuffers)
+                ibuffers.exposePorts(fault_ports, "ibuf");
+            banks.exposePorts(fault_ports, "banks");
+            fault_ports.add("nextIssue", inject::PortClass::Sequence,
+                            next_issue, 32);
+            options.tap->onRunStart(fault_ports);
+        }
     }
 
     const auto &records = trace.records();
@@ -81,8 +96,10 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
 
         // This core has no explicit cycle loop; the tap sees the
         // (monotonically nondecreasing) issue clock per instruction.
-        if (options.tap)
-            options.tap->onCycle(next_issue, fault_ports);
+        if constexpr (!View::kCompiled) {
+            if (options.tap)
+                options.tap->onCycle(next_issue, fault_ports);
+        }
 
         // The decode stage stops accepting work once a fault has been
         // detected; everything issued before that drains.
@@ -121,7 +138,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         if (ck)
             ck->beginCycle(next_issue);
 
-        if (inst.op == Opcode::HALT) {
+        if (view.haltAt(seq)) {
             last_event = std::max(last_event, next_issue);
             ++c_insts;
             ++result.instructions;
@@ -131,7 +148,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             break;
         }
 
-        if (isNopLike(inst.op)) {
+        if (view.nopLikeAt(seq)) {
             last_event = std::max(last_event, next_issue);
             ++c_insts;
             ++result.instructions;
@@ -142,7 +159,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             continue;
         }
 
-        if (isBranch(inst.op)) {
+        if (view.branchAt(seq)) {
             Cycle cond_ready = src_ready(inst);
             Cycle t = std::max(next_issue, cond_ready);
             c_branch_wait += t - next_issue;
@@ -168,16 +185,16 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         c_src += std::max(t_src, next_issue) - next_issue;
         c_dst += t0 - std::max(t_src, next_issue);
 
-        unsigned latency = isStore(inst.op)
-                               ? _config.latency(FuKind::Memory)
-                               : _config.latency(inst.fu());
+        const bool is_store = view.storeAt(seq);
+        unsigned latency = is_store ? _config.latency(FuKind::Memory)
+                                    : _config.latency(view.fuAt(seq));
 
         // Reserve a result-bus delivery slot (stores produce no
         // register result) and, for memory operations, a free bank.
         Cycle t = t0;
-        bool is_mem = isMemory(inst.op);
+        bool is_mem = view.memAt(seq);
         auto constraints_ok = [&](Cycle at) {
-            if (!isStore(inst.op) && !bus.free(at + latency))
+            if (!is_store && !bus.free(at + latency))
                 return false;
             if (is_mem && !banks.canAccess(record.memAddr, at))
                 return false;
@@ -186,7 +203,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
         while (!constraints_ok(t))
             ++t;
         c_bus += t - t0;
-        if (!isStore(inst.op)) {
+        if (!is_store) {
             bus.reserve(t + latency, kNoTag, record.result, seq);
             // Independent recount of the Weiss-Smith reservation: the
             // delivery cycle must still have a bus available.
@@ -219,7 +236,7 @@ SimpleCore::runImpl(const Trace &trace, const RunOptions &options)
             reg_ready[inst.dst.flat()] = completion;
             result.state.write(inst.dst, record.result);
         }
-        if (isStore(inst.op)) {
+        if (is_store) {
             bool ok = result.memory.store(record.memAddr,
                                           record.storeValue);
             ruu_assert(ok, "store to unmapped address in trace");

@@ -6,6 +6,7 @@
 
 #include "core/ooo_support.hh"
 #include "core/predictor.hh"
+#include "engine/view.hh"
 #include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
@@ -42,6 +43,17 @@ SpecRuuCore::SpecRuuCore(const UarchConfig &config) : Core(config)
 RunResult
 SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+SpecRuuCore::runLoop(const Trace &trace, const RunOptions &options,
+                     const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
     ruu_assert(trace.programPtr() && !trace.program().empty(),
                "SpecRuuCore needs the static program for wrong-path "
@@ -58,7 +70,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
     LoadRegisters load_regs(_config.loadRegisters);
     FuPipes pipes(_config);
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
     auto predictor = BranchPredictor::make(_config.predictor,
                                            _config.predictorTableBits);
 
@@ -138,11 +150,84 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         return (slot + ruu_size - head) % ruu_size;
     };
 
+    /**
+     * Visit the live window [head, head+count) oldest-first. Entries
+     * are allocated at the tail in issue order (and squashes only
+     * truncate the tail), so window order is issueId order; live
+     * entries are exactly the window. The compiled loops below walk
+     * it instead of scanning every slot.
+     */
+    auto for_window = [&](auto &&fn) {
+        unsigned s = head;
+        for (unsigned k = 0; k < count; ++k) {
+            fn(s);
+            ++s;
+            if (s == ruu_size)
+                s = 0;
+        }
+    };
+
+    // Compiled fast path only: incremental indices that let the hot
+    // loop touch exactly the entries with work instead of walking the
+    // window every cycle (same scheme as RuuCore; the interpretive
+    // path keeps unconditional scans because a fault-injection tap may
+    // rewrite entry flags between cycles, and taps force interp).
+    //
+    //  - undispatched: valid, not-executed, not-dispatched non-branch
+    //    entries; zero skips the dispatch walk. Squash decrements it
+    //    for every nullified entry that was still counted.
+    //  - waiting: slots that still need a broadcast (an unready
+    //    source — branch conditions included — or a forwarded load
+    //    awaiting data). Wakeups only flip not-ready to ready, so
+    //    delivering to just these slots is state-identical; stale or
+    //    duplicate slots (e.g. after a squash) are harmless and are
+    //    dropped on the next broadcast.
+    //  - comp_ring: dispatch schedules its completion cycle here. The
+    //    ring outlives the longest latency and complete_entry's guard
+    //    skips slots whose schedule a squash made stale; if a reused
+    //    slot passes the guard early, the within-cycle commutativity
+    //    of completions (see phase 1) makes that order change
+    //    invisible.
+    //  - unresolved_branches: branch entries not yet resolved; zero
+    //    skips the resolution walk and the older-branch store check.
+    unsigned undispatched = 0;
+    unsigned unresolved_branches = 0;
+    std::vector<unsigned> waiting;
+    std::vector<std::vector<unsigned>> comp_ring;
+    unsigned comp_mask = 0;
+    auto needs_wakeup = [](const InflightOp &e) {
+        return (e.src[0].needed && !e.src[0].ready) ||
+               (e.src[1].needed && !e.src[1].ready) ||
+               (e.forwarded && !e.fwdDataReady);
+    };
+    if constexpr (View::kCompiled) {
+        unsigned max_latency =
+            std::max(_config.storeLatency, _config.forwardLatency);
+        for (unsigned i = 0; i < kNumFuKinds; ++i)
+            max_latency = std::max(
+                max_latency, _config.latency(static_cast<FuKind>(i)));
+        unsigned ring = 1;
+        while (ring <= max_latency)
+            ring <<= 1;
+        comp_ring.resize(ring);
+        comp_mask = ring - 1;
+    }
+
     auto entry_with_tag = [&](Tag tag) -> SpecEntry * {
-        for (auto &e : ruu)
-            if (e.valid && e.destTag == tag)
-                return &e;
-        return nullptr;
+        if constexpr (View::kCompiled) {
+            SpecEntry *found = nullptr;
+            for_window([&](unsigned s) {
+                SpecEntry &e = ruu[s];
+                if (!found && e.valid && e.destTag == tag)
+                    found = &e;
+            });
+            return found;
+        } else {
+            for (auto &e : ruu)
+                if (e.valid && e.destTag == tag)
+                    return &e;
+            return nullptr;
+        }
     };
 
     /** Full-bypass readability of @p reg at decode. */
@@ -155,6 +240,10 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
     /** True when a branch entry older than @p issue_id is unresolved. */
     auto older_unresolved_branch = [&](std::uint64_t issue_id) {
+        if constexpr (View::kCompiled) {
+            if (unresolved_branches == 0)
+                return false;
+        }
         for (unsigned i = 0, slot = head; i < count;
              ++i, slot = (slot + 1) % ruu_size) {
             const SpecEntry &e = ruu[slot];
@@ -167,9 +256,25 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
     };
 
     auto broadcast = [&](Tag tag, Word value) {
-        for (auto &e : ruu)
-            if (e.valid)
-                e.wakeup(tag);
+        if constexpr (View::kCompiled) {
+            // Only the waiting slots can be affected; see the index
+            // comment above. Ready (or squashed) slots retire here.
+            for (std::size_t i = 0; i < waiting.size();) {
+                SpecEntry &e = ruu[waiting[i]];
+                if (e.valid)
+                    e.wakeup(tag);
+                if (!e.valid || !needs_wakeup(e)) {
+                    waiting[i] = waiting.back();
+                    waiting.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+        } else {
+            for (auto &e : ruu)
+                if (e.valid)
+                    e.wakeup(tag);
+        }
         load_regs.onBroadcast(tag, value);
     };
 
@@ -196,6 +301,12 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 ck->onTagSquashed(storeTagFor(e.seq));
             if (e.isMem() && e.addrResolved && !e.lrReleased)
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
+            if constexpr (View::kCompiled) {
+                if (!e.executed && !e.dispatched && !e.isBranchEntry)
+                    --undispatched;
+                if (e.isBranchEntry && !e.resolvedBranch)
+                    --unresolved_branches;
+            }
             e.valid = false;
             std::erase(mem_queue, slot);
             ++c_squashed;
@@ -250,27 +361,47 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
         // ---- phase 5: dispatch -------------------------------------------
         {
             candidates.clear();
-            for (unsigned i = 0; i < ruu_size; ++i) {
-                const SpecEntry &e = ruu[i];
-                if (e.valid && !e.executed && !e.isBranchEntry &&
-                    e.readyToDispatch()) {
-                    candidates.push_back(i);
+            if constexpr (View::kCompiled) {
+                // Window order is issueId order: two passes (memory
+                // ops, then the rest) reproduce the sort below.
+                if (undispatched > 0) {
+                    for (int pass = 0; pass < 2; ++pass) {
+                        for_window([&](unsigned s) {
+                            const SpecEntry &e = ruu[s];
+                            if (e.valid && !e.executed &&
+                                !e.isBranchEntry &&
+                                e.isMem() == (pass == 0) &&
+                                e.readyToDispatch()) {
+                                candidates.push_back(s);
+                            }
+                        });
+                    }
                 }
+            } else {
+                for (unsigned i = 0; i < ruu_size; ++i) {
+                    const SpecEntry &e = ruu[i];
+                    if (e.valid && !e.executed && !e.isBranchEntry &&
+                        e.readyToDispatch()) {
+                        candidates.push_back(i);
+                    }
+                }
+                std::sort(candidates.begin(), candidates.end(),
+                          [&](unsigned a, unsigned b) {
+                              bool am = ruu[a].isMem(),
+                                   bm = ruu[b].isMem();
+                              if (am != bm)
+                                  return am;
+                              return ruu[a].issueId < ruu[b].issueId;
+                          });
             }
-            std::sort(candidates.begin(), candidates.end(),
-                      [&](unsigned a, unsigned b) {
-                          bool am = ruu[a].isMem(), bm = ruu[b].isMem();
-                          if (am != bm)
-                              return am;
-                          return ruu[a].issueId < ruu[b].issueId;
-                      });
             unsigned started = 0;
             for (unsigned slot : candidates) {
                 if (started == _config.dispatchPaths)
                     break;
                 SpecEntry &e = ruu[slot];
-                FuKind kind = e.isMem() ? FuKind::Memory
-                                        : e.inst().fu();
+                FuKind kind = e.isMem()  ? FuKind::Memory
+                              : e.rec    ? view.fuAt(e.seq)
+                                         : e.wpInst.fu();
                 unsigned latency =
                     e.isStore ? _config.storeLatency
                     : e.forwarded ? _config.forwardLatency
@@ -294,15 +425,23 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                     banks.access(e.rec->memAddr, cycle);
                 e.dispatched = true;
                 e.completeCycle = cycle + latency;
+                if constexpr (View::kCompiled) {
+                    --undispatched;
+                    comp_ring[e.completeCycle & comp_mask].push_back(
+                        slot);
+                }
                 ++c_dispatched;
                 ++started;
             }
         }
         // ---- phase 1: completions --------------------------------------
-        for (auto &e : ruu) {
+        // Per-completion effects commute within a cycle (unique tags,
+        // set-like wakeups), so the compiled path walks the window in
+        // issue order while the interpretive path scans slots.
+        auto complete_entry = [&](SpecEntry &e) {
             if (!e.valid || !e.dispatched || e.executed ||
                 e.completeCycle != cycle) {
-                continue;
+                return;
             }
             e.executed = true;
             last_event = cycle;
@@ -310,7 +449,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 e.faulted = true;
                 if (result.drainStartCycle == kNoCycle)
                     result.drainStartCycle = cycle;
-                continue;
+                return;
             }
             // Stores broadcast the seq-based pseudo-tag resolveMemOp
             // registered in the load registers (wrong-path entries are
@@ -330,10 +469,24 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 load_regs.complete(static_cast<unsigned>(e.loadReg));
                 e.lrReleased = true;
             }
+        };
+        if constexpr (View::kCompiled) {
+            auto &due = comp_ring[cycle & comp_mask];
+            if (!due.empty()) {
+                for (unsigned s : due)
+                    complete_entry(ruu[s]);
+                due.clear();
+            }
+        } else {
+            for (auto &e : ruu)
+                complete_entry(e);
         }
 
         // ---- phase 2: branch resolution (oldest first) ------------------
-        for (unsigned i = 0, slot = head; i < count;
+        bool resolve_walk = true;
+        if constexpr (View::kCompiled)
+            resolve_walk = unresolved_branches > 0;
+        for (unsigned i = 0, slot = head; resolve_walk && i < count;
              ++i, slot = (slot + 1) % ruu_size) {
             SpecEntry &e = ruu[slot];
             if (!e.valid || !e.isBranchEntry || e.resolvedBranch)
@@ -342,6 +495,8 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 continue;
             e.resolvedBranch = true;
             e.executed = true;
+            if constexpr (View::kCompiled)
+                --unresolved_branches;
             last_event = cycle;
             if (e.wrongPath)
                 continue; // outcome is irrelevant; it will be nullified
@@ -407,7 +562,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
             ++result.instructions;
             last_event = cycle;
 
-            bool was_halt = rec.inst.op == Opcode::HALT;
+            bool was_halt = view.haltAt(e.seq);
             e.valid = false;
             std::erase(mem_queue, head);
             head = (head + 1) % ruu_size;
@@ -434,8 +589,15 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 break;
             if (!resolveMemOp(e, load_regs))
                 break;
-            if (e.forwarded)
+            if (e.forwarded) {
                 ++c_forwarded;
+                // The forwarded-data wait arises here, after issue, so
+                // the slot may not be on the waiting list yet.
+                if constexpr (View::kCompiled) {
+                    if (needs_wakeup(e))
+                        waiting.push_back(slot);
+                }
+            }
         }
 
 
@@ -469,7 +631,7 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                        !counters.canAllocate(inst.dst)) {
                 ++c_ni;
                 can_issue = false;
-            } else if (on_trace && isMemory(inst.op) &&
+            } else if (on_trace && view.memAt(decode_seq) &&
                        !load_regs.hasFree()) {
                 ++c_no_lr;
                 can_issue = false;
@@ -486,8 +648,8 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
                 e.rec = rec;
                 e.wrongPath = on_wrong;
                 e.wpInst = inst;
-                e.isLoad = on_trace && isLoad(inst.op);
-                e.isStore = on_trace && isStore(inst.op);
+                e.isLoad = on_trace && view.loadAt(decode_seq);
+                e.isStore = on_trace && view.storeAt(decode_seq);
 
                 bool is_cond = isCondBranch(inst.op);
                 bool is_jump = inst.op == Opcode::J;
@@ -574,6 +736,15 @@ SpecRuuCore::runImpl(const Trace &trace, const RunOptions &options)
 
                 if (e.isMem())
                     mem_queue.push_back(tail);
+
+                if constexpr (View::kCompiled) {
+                    if (!e.executed && !e.isBranchEntry)
+                        ++undispatched;
+                    if (e.isBranchEntry && !e.resolvedBranch)
+                        ++unresolved_branches;
+                    if (needs_wakeup(e))
+                        waiting.push_back(tail);
+                }
 
                 tail = (tail + 1) % ruu_size;
                 ++count;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ooo_support.hh"
+#include "engine/view.hh"
 #include "inject/ports.hh"
 #include "uarch/banks.hh"
 #include "uarch/fu.hh"
@@ -36,6 +37,17 @@ TomasuloCore::TomasuloCore(const UarchConfig &config) : Core(config)
 RunResult
 TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
 {
+    if (activeEngine() == engine::Kind::Compiled)
+        return runLoop(trace, options,
+                       engine::CompiledView(trace, stream()));
+    return runLoop(trace, options, engine::InterpView(trace));
+}
+
+template <class View>
+RunResult
+TomasuloCore::runLoop(const Trace &trace, const RunOptions &options,
+                      const View &view)
+{
     RunResult result = makeInitialResult(trace, options);
 
     // Tag Unit.
@@ -63,7 +75,7 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
     LoadRegisters load_regs(_config.loadRegisters);
     FuPipes pipes(_config);
     MemoryBanks banks(_config.memoryBanks, _config.bankBusyCycles);
-    ResultBus bus(_config.resultBuses);
+    typename View::Bus bus(_config.resultBuses);
     IBuffers ibuffers;
 
     Counter &c_insts = _stats.counter("instructions");
@@ -340,21 +352,21 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                 }
             }
 
-            if (!stalled && inst.op == Opcode::HALT) {
+            if (!stalled && view.haltAt(decode_seq)) {
                 halted = true;
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
-            } else if (!stalled && isNopLike(inst.op)) {
+            } else if (!stalled && view.nopLikeAt(decode_seq)) {
                 last_event = std::max(last_event, cycle);
                 ++c_insts;
                 ++result.instructions;
                 notifyCommit(decode_seq, rec);
                 ++decode_seq;
                 next_decode = cycle + 1;
-            } else if (!stalled && isBranch(inst.op)) {
+            } else if (!stalled && view.branchAt(decode_seq)) {
                 if (inst.src1.valid() && busy.busy(inst.src1)) {
                     ++c_branch_wait;
                 } else {
@@ -369,8 +381,9 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++decode_seq;
                 }
             } else if (!stalled) {
-                FuKind kind = isMemory(inst.op) ? FuKind::Memory
-                                                : inst.fu();
+                FuKind kind = view.memAt(decode_seq)
+                                  ? FuKind::Memory
+                                  : view.fuAt(decode_seq);
                 auto &pool = rs[static_cast<unsigned>(kind)];
                 int rs_slot = -1;
                 for (unsigned i = 0; i < pool.size(); ++i) {
@@ -393,7 +406,8 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     ++c_no_rs;
                 } else if (inst.dst.valid() && tu_slot < 0) {
                     ++c_no_tu;
-                } else if (isMemory(inst.op) && !load_regs.hasFree()) {
+                } else if (view.memAt(decode_seq) &&
+                           !load_regs.hasFree()) {
                     ++c_no_lr;
                 } else {
                     InflightOp &e = pool[static_cast<unsigned>(rs_slot)];
@@ -401,8 +415,8 @@ TomasuloCore::runImpl(const Trace &trace, const RunOptions &options)
                     e.valid = true;
                     e.seq = decode_seq;
                     e.rec = &rec;
-                    e.isLoad = isLoad(inst.op);
-                    e.isStore = isStore(inst.op);
+                    e.isLoad = view.loadAt(decode_seq);
+                    e.isStore = view.storeAt(decode_seq);
 
                     for (unsigned s = 0; s < 2; ++s) {
                         RegId reg = s == 0 ? inst.src1 : inst.src2;

@@ -1,0 +1,109 @@
+#include "engine/engine.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ruu::engine
+{
+
+namespace
+{
+
+std::atomic<Kind> g_default{Kind::Compiled};
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Interp: return "interp";
+      case Kind::Compiled: return "compiled";
+    }
+    return "?";
+}
+
+std::optional<Kind>
+kindFromName(const std::string &name)
+{
+    if (name == "interp")
+        return Kind::Interp;
+    if (name == "compiled")
+        return Kind::Compiled;
+    return std::nullopt;
+}
+
+Kind
+defaultKind()
+{
+    return g_default.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultKind(Kind kind)
+{
+    g_default.store(kind, std::memory_order_relaxed);
+}
+
+Kind
+resolve()
+{
+    const char *env = std::getenv("RUU_ENGINE");
+    if (env && *env != '\0') {
+        auto kind = kindFromName(env);
+        if (!kind)
+            ruu_fatal("RUU_ENGINE='%s' is not an engine; use "
+                      "'interp' or 'compiled'",
+                      env);
+        return *kind;
+    }
+    return defaultKind();
+}
+
+Kind
+activeFor(bool hasTap)
+{
+    return hasTap ? Kind::Interp : resolve();
+}
+
+std::optional<Kind>
+consumeEngineFlag(int &argc, char **argv)
+{
+    std::optional<Kind> chosen;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        bool have = false;
+        if (arg == "--engine") {
+            if (i + 1 >= argc)
+                ruu_fatal("--engine requires a value "
+                          "(interp or compiled)");
+            value = argv[++i];
+            have = true;
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            value = arg.substr(std::strlen("--engine="));
+            have = true;
+        }
+        if (!have) {
+            argv[out++] = argv[i];
+            continue;
+        }
+        auto kind = kindFromName(value);
+        if (!kind)
+            ruu_fatal("--engine=%s is not an engine; use 'interp' "
+                      "or 'compiled'",
+                      value.c_str());
+        chosen = kind;
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (chosen)
+        setDefaultKind(*chosen);
+    return chosen;
+}
+
+} // namespace ruu::engine

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cycle-engine selection: interpretive vs. compiled.
+ *
+ * The six cores each have two stepping paths over the same issue
+ * logic:
+ *
+ *   - *interp*: the original path. Every per-record question (is this
+ *     a branch? which unit? does it write a register?) is answered by
+ *     decoding through the opcode table inside the cycle loop, and the
+ *     result-bus schedule is the fixed latch array whose storage the
+ *     fault-injection layer can address.
+ *   - *compiled*: the fast path (Reshadi & Dutt's "compiled
+ *     simulation"). A trace is pre-decoded once into an immutable
+ *     structure-of-arrays micro-op stream (engine/stream.hh) shared
+ *     read-only across workers and jobs, and the bus schedule is a
+ *     cycle-indexed ring (engine/fast_bus.hh) with O(1) arbitration
+ *     instead of per-call latch scans.
+ *
+ * Both paths must produce byte-identical RunResults, commit streams,
+ * delivery logs and JSON — CI diffs them (scripts/ci_perf_smoke.sh)
+ * and the fuzzer cross-runs them. Compiled is the default; interp
+ * remains the reference oracle behind `--engine=interp` or
+ * `RUU_ENGINE=interp`, and is always used when a fault-injection tap
+ * is attached (the tap addresses interp's latch storage).
+ */
+
+#ifndef RUU_ENGINE_ENGINE_HH
+#define RUU_ENGINE_ENGINE_HH
+
+#include <optional>
+#include <string>
+
+namespace ruu::engine
+{
+
+/** The two stepping paths. */
+enum class Kind
+{
+    Interp,   //!< decode-in-the-loop reference path
+    Compiled, //!< pre-decoded stream + table-driven loop (default)
+};
+
+/**
+ * Version of the compiled-stream format and compiled stepping
+ * semantics. Mixed into every content-addressed cache identity that
+ * could be produced by either engine: a hit never depends on *which*
+ * engine computed the payload (they are byte-identical), but a future
+ * semantic revision bumps this and retires stale entries.
+ */
+inline constexpr unsigned kStreamFormatVersion = 1;
+
+/** Printable engine name ("interp" / "compiled"). */
+const char *kindName(Kind kind);
+
+/** Parse an engine name; std::nullopt for an unknown one. */
+std::optional<Kind> kindFromName(const std::string &name);
+
+/** Process-wide default engine (Compiled until overridden). */
+Kind defaultKind();
+
+/** Override the process-wide default (the CLI's --engine flag). */
+void setDefaultKind(Kind kind);
+
+/**
+ * The engine a run should use: RUU_ENGINE (when set and valid) wins
+ * over the process default. An invalid RUU_ENGINE value is fatal —
+ * silently falling back would un-pin an A/B experiment.
+ */
+Kind resolve();
+
+/**
+ * resolve(), but forced to Interp when a fault-injection tap is
+ * attached: soft-error ports address the interpretive structures'
+ * latch storage, which the compiled fast path does not carry.
+ */
+Kind activeFor(bool hasTap);
+
+/**
+ * Strip `--engine K` / `--engine=K` from @p argv (mirrors
+ * par::consumeJobsFlag) and set the process default accordingly, so
+ * every subcommand accepts the flag in any position. Returns the
+ * chosen kind, or std::nullopt when the flag was absent.
+ */
+std::optional<Kind> consumeEngineFlag(int &argc, char **argv);
+
+} // namespace ruu::engine
+
+#endif // RUU_ENGINE_ENGINE_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cycle-indexed result-bus schedule for the compiled engine.
+ *
+ * ResultBus (uarch/result_bus.hh) keeps its reservations in a flat
+ * latch array because the fault-injection layer must be able to
+ * address every latch; the price is that free()/reserve()/
+ * retireBefore() each scan all width x horizon latches, several times
+ * per simulated cycle — the single largest cost of the interpretive
+ * loops. The compiled path never attaches fault taps, so FastBus
+ * drops the stable-storage requirement and keys cells directly by
+ * delivery cycle: every operation the cores use is O(1), except the
+ * (mispredict-only) cancelFrom squash walk.
+ *
+ * Semantics are bit-for-bit those of ResultBus as the cores observe
+ * them: free(c) counts live reservations at cycle c against the bus
+ * width; reserve panics when the cycle is full or a reservation would
+ * land beyond the horizon window; retireBefore advances the retire
+ * line (cells age out implicitly); cancelFrom drops reservations of
+ * squashed producers by SeqNum. The engine A/B byte-diff in CI and
+ * the cross-engine fuzzer hold this equivalence.
+ */
+
+#ifndef RUU_ENGINE_FAST_BUS_HH
+#define RUU_ENGINE_FAST_BUS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu
+{
+namespace inject
+{
+class FaultPortSet;
+} // namespace inject
+} // namespace ruu
+
+namespace ruu::engine
+{
+
+/** O(1) reservation schedule; drop-in for ResultBus in compiled loops. */
+class FastBus
+{
+  public:
+    /** Delivery cycles covered; must exceed the longest FU latency. */
+    static constexpr unsigned kHorizon = 64;
+
+    explicit FastBus(unsigned width = 1) : _width(width)
+    {
+        ruu_assert(width >= 1, "at least one result bus is required");
+        _seqs.assign(static_cast<std::size_t>(kHorizon) * width,
+                     kNoSeqNum);
+        reset();
+    }
+
+    /** Number of buses. */
+    unsigned width() const { return _width; }
+
+    /** True when a delivery slot remains at @p cycle. */
+    bool free(Cycle cycle) const
+    {
+        const unsigned i = index(cycle);
+        return _cycleOf[i] != cycle || _count[i] < _width;
+    }
+
+    /** Reserve a slot at @p cycle; panics when none remains. */
+    void reserve(Cycle cycle, Tag, Word, SeqNum seq)
+    {
+        const unsigned i = index(cycle);
+        if (_cycleOf[i] != cycle) {
+            // Only a retired (or never-used) cell may be recycled: a
+            // live reservation further ahead than the horizon covers
+            // is the same schedule overflow ResultBus panics on.
+            ruu_assert(_cycleOf[i] == kNoCycle || _cycleOf[i] < _line,
+                       "result-bus schedule exceeded its %u-cycle "
+                       "window",
+                       kHorizon);
+            _cycleOf[i] = cycle;
+            _count[i] = 0;
+        }
+        ruu_assert(_count[i] < _width,
+                   "all %u result-bus slots at cycle %llu already "
+                   "reserved",
+                   _width, static_cast<unsigned long long>(cycle));
+        _seqs[static_cast<std::size_t>(i) * _width + _count[i]] = seq;
+        ++_count[i];
+    }
+
+    /** Advance the retire line (cells age out implicitly). */
+    void retireBefore(Cycle cycle)
+    {
+        if (cycle > _line)
+            _line = cycle;
+    }
+
+    /** Cancel every delivery from producer @p seq onward (squash). */
+    void cancelFrom(SeqNum seq)
+    {
+        for (unsigned i = 0; i < kHorizon; ++i) {
+            SeqNum *cell = &_seqs[static_cast<std::size_t>(i) * _width];
+            unsigned kept = 0;
+            for (unsigned s = 0; s < _count[i]; ++s)
+                if (cell[s] == kNoSeqNum || cell[s] < seq)
+                    cell[kept++] = cell[s];
+            _count[i] = static_cast<std::uint8_t>(kept);
+        }
+    }
+
+    /** Clear all reservations. */
+    void reset()
+    {
+        _cycleOf.fill(kNoCycle);
+        _count.fill(0);
+        _line = 0;
+    }
+
+    /**
+     * Fault ports require the latch-array ResultBus; Core::run never
+     * selects the compiled engine when a tap is attached, so this is
+     * unreachable — it exists only so the cores' (runtime-dead) tap
+     * registration block compiles in the compiled instantiation.
+     */
+    void exposePorts(inject::FaultPortSet &, const std::string &)
+    {
+        ruu_panic("compiled engine cannot expose fault ports; "
+                  "taps force the interpretive engine");
+    }
+
+  private:
+    static unsigned index(Cycle cycle)
+    {
+        static_assert((kHorizon & (kHorizon - 1)) == 0,
+                      "horizon must be a power of two");
+        return static_cast<unsigned>(cycle) & (kHorizon - 1);
+    }
+
+    unsigned _width;
+    Cycle _line = 0; //!< everything before this cycle is retired
+    std::array<Cycle, kHorizon> _cycleOf;
+    std::array<std::uint8_t, kHorizon> _count;
+    std::vector<SeqNum> _seqs; //!< producer of each live slot
+};
+
+} // namespace ruu::engine
+
+#endif // RUU_ENGINE_FAST_BUS_HH

@@ -1,0 +1,189 @@
+#include "engine/stream.hh"
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "isa/reg.hh"
+#include "lint/dataflow_bound.hh"
+
+namespace ruu::engine
+{
+
+namespace
+{
+
+/** Cache key: trace identity (address + length + fingerprint). */
+struct StreamKey
+{
+    const void *trace;
+    std::size_t records;
+    std::uint64_t fingerprint;
+
+    bool operator<(const StreamKey &o) const
+    {
+        return std::tie(trace, records, fingerprint) <
+               std::tie(o.trace, o.records, o.fingerprint);
+    }
+};
+
+struct StreamCache
+{
+    std::mutex mutex;
+    std::map<StreamKey, std::shared_ptr<const CompiledStream>> entries;
+    StreamCacheStats stats;
+};
+
+StreamCache &
+streamCache()
+{
+    static StreamCache cache;
+    return cache;
+}
+
+} // namespace
+
+CompiledStream
+compileStream(const Trace &trace)
+{
+    const auto &records = trace.records();
+    const std::size_t n = records.size();
+
+    CompiledStream st;
+    st.flags.resize(n);
+    st.fu.resize(n);
+    st.op.resize(n);
+    st.dst.resize(n);
+    st.src1.resize(n);
+    st.src2.resize(n);
+    st.depSrc1.resize(n);
+    st.depSrc2.resize(n);
+    st.depMem.resize(n);
+
+    std::array<SeqNum, kNumArchRegs> lastWriter;
+    lastWriter.fill(kNoSeqNum);
+    std::unordered_map<Addr, SeqNum> lastStore;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = records[i];
+        const Instruction &inst = rec.inst;
+
+        std::uint16_t f = 0;
+        if (isBranch(inst.op))
+            f |= kOpBranch;
+        if (isCondBranch(inst.op))
+            f |= kOpCondBranch;
+        if (isLoad(inst.op))
+            f |= kOpLoad;
+        if (isStore(inst.op))
+            f |= kOpStore;
+        if (isMemory(inst.op))
+            f |= kOpMem;
+        if (isNopLike(inst.op))
+            f |= kOpNopLike;
+        if (isProgramExit(inst.op))
+            f |= kOpProgramExit;
+        if (inst.op == Opcode::HALT)
+            f |= kOpHalt;
+        if (inst.writesReg())
+            f |= kOpWritesReg;
+        if (rec.taken)
+            f |= kOpTaken;
+        st.flags[i] = f;
+
+        st.fu[i] = inst.fu();
+        st.op[i] = inst.op;
+        st.dst[i] = inst.dst.valid()
+                        ? static_cast<std::int16_t>(inst.dst.flat())
+                        : std::int16_t{-1};
+        st.src1[i] = inst.src1.valid()
+                         ? static_cast<std::int16_t>(inst.src1.flat())
+                         : std::int16_t{-1};
+        st.src2[i] = inst.src2.valid()
+                         ? static_cast<std::int16_t>(inst.src2.flat())
+                         : std::int16_t{-1};
+
+        st.depSrc1[i] = inst.src1.valid()
+                            ? lastWriter[inst.src1.flat()]
+                            : kNoSeqNum;
+        st.depSrc2[i] = inst.src2.valid()
+                            ? lastWriter[inst.src2.flat()]
+                            : kNoSeqNum;
+        if (f & kOpLoad) {
+            auto it = lastStore.find(rec.memAddr);
+            st.depMem[i] =
+                it != lastStore.end() ? it->second : kNoSeqNum;
+        } else {
+            st.depMem[i] = kNoSeqNum;
+        }
+
+        if (inst.writesReg())
+            lastWriter[inst.dst.flat()] = i;
+        if (f & kOpStore)
+            lastStore[rec.memAddr] = i;
+    }
+    return st;
+}
+
+std::uint64_t
+streamTraceFingerprint(const Trace &trace)
+{
+    const auto &records = trace.records();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    std::size_t n = records.size();
+    std::size_t step = n > 64 ? n / 64 : 1;
+    for (std::size_t i = 0; i < n; i += step) {
+        const TraceRecord &rec = records[i];
+        mix(static_cast<std::uint64_t>(rec.inst.op));
+        mix(rec.inst.dst.valid() ? rec.inst.dst.flat() + 1 : 0);
+        mix(rec.inst.src1.valid() ? rec.inst.src1.flat() + 1 : 0);
+        mix(rec.inst.src2.valid() ? rec.inst.src2.flat() + 1 : 0);
+        mix(static_cast<std::uint64_t>(rec.inst.imm));
+        mix(rec.pc);
+        mix(rec.memAddr);
+        mix(static_cast<std::uint64_t>(rec.staticIndex));
+    }
+    return h;
+}
+
+std::shared_ptr<const CompiledStream>
+cachedStream(const Trace &trace)
+{
+    StreamKey key;
+    key.trace = &trace;
+    key.records = trace.records().size();
+    key.fingerprint = streamTraceFingerprint(trace);
+
+    StreamCache &cache = streamCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        ++cache.stats.lookups;
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end()) {
+            ++cache.stats.hits;
+            return it->second;
+        }
+    }
+    // Decode outside the lock (deterministic: a racing duplicate is
+    // wasted work, not wrong work).
+    auto stream =
+        std::make_shared<const CompiledStream>(compileStream(trace));
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.entries.emplace(key, std::move(stream))
+        .first->second;
+}
+
+StreamCacheStats
+streamCacheStats()
+{
+    StreamCache &cache = streamCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.stats;
+}
+
+} // namespace ruu::engine

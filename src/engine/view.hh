@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace views — the code side of compiled simulation.
+ *
+ * Each core's cycle loop is a single template over a View, so the
+ * interpretive and compiled paths are one body of issue logic with two
+ * data paths underneath (byte-identical results by construction):
+ *
+ *   - InterpView answers every per-record question by decoding
+ *     through the opcode table, exactly as the loops always did, and
+ *     names ResultBus (the fault-portable latch array) as its bus.
+ *   - CompiledView reads the answers from the pre-decoded
+ *     CompiledStream arrays and names FastBus (the O(1) ring) as its
+ *     bus.
+ *
+ * `View::kCompiled` gates the few genuinely path-specific blocks
+ * (fault-tap port registration exists only on the interpretive path;
+ * Core::run never selects the compiled engine when a tap is attached).
+ */
+
+#ifndef RUU_ENGINE_VIEW_HH
+#define RUU_ENGINE_VIEW_HH
+
+#include "engine/fast_bus.hh"
+#include "engine/stream.hh"
+#include "isa/opcode.hh"
+#include "trace/trace.hh"
+#include "uarch/result_bus.hh"
+
+namespace ruu::engine
+{
+
+/** Decode-in-the-loop data path (the reference engine). */
+struct InterpView
+{
+    static constexpr bool kCompiled = false;
+    using Bus = ResultBus;
+
+    explicit InterpView(const Trace &trace) : recs(&trace.records()) {}
+
+    const std::vector<TraceRecord> *recs;
+
+    const Instruction &inst(SeqNum s) const { return (*recs)[s].inst; }
+    bool branchAt(SeqNum s) const { return isBranch(inst(s).op); }
+    bool condBranchAt(SeqNum s) const { return isCondBranch(inst(s).op); }
+    bool loadAt(SeqNum s) const { return isLoad(inst(s).op); }
+    bool storeAt(SeqNum s) const { return isStore(inst(s).op); }
+    bool memAt(SeqNum s) const { return isMemory(inst(s).op); }
+    bool nopLikeAt(SeqNum s) const { return isNopLike(inst(s).op); }
+    bool haltAt(SeqNum s) const { return inst(s).op == Opcode::HALT; }
+    bool writesRegAt(SeqNum s) const { return inst(s).writesReg(); }
+    bool takenAt(SeqNum s) const { return (*recs)[s].taken; }
+    FuKind fuAt(SeqNum s) const { return inst(s).fu(); }
+};
+
+/** Pre-decoded stream data path (the fast engine). */
+struct CompiledView
+{
+    static constexpr bool kCompiled = true;
+    using Bus = FastBus;
+
+    CompiledView(const Trace &trace, const CompiledStream &stream)
+        : recs(&trace.records()), st(&stream)
+    {}
+
+    const std::vector<TraceRecord> *recs;
+    const CompiledStream *st;
+
+    const Instruction &inst(SeqNum s) const { return (*recs)[s].inst; }
+    bool branchAt(SeqNum s) const { return st->flags[s] & kOpBranch; }
+    bool condBranchAt(SeqNum s) const
+    {
+        return st->flags[s] & kOpCondBranch;
+    }
+    bool loadAt(SeqNum s) const { return st->flags[s] & kOpLoad; }
+    bool storeAt(SeqNum s) const { return st->flags[s] & kOpStore; }
+    bool memAt(SeqNum s) const { return st->flags[s] & kOpMem; }
+    bool nopLikeAt(SeqNum s) const { return st->flags[s] & kOpNopLike; }
+    bool haltAt(SeqNum s) const { return st->flags[s] & kOpHalt; }
+    bool writesRegAt(SeqNum s) const
+    {
+        return st->flags[s] & kOpWritesReg;
+    }
+    bool takenAt(SeqNum s) const { return st->flags[s] & kOpTaken; }
+    FuKind fuAt(SeqNum s) const { return st->fu[s]; }
+};
+
+} // namespace ruu::engine
+
+#endif // RUU_ENGINE_VIEW_HH

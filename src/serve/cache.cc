@@ -43,6 +43,7 @@ cacheKey(const CacheKeyInputs &inputs)
     h = fnv1a(std::to_string(inputs.configJson.size()), h);
     h = fnv1a(inputs.core, h);
     h = fnv1a(std::to_string(inputs.period), h);
+    h = fnv1a(std::to_string(inputs.engineVersion), h);
     return h;
 }
 

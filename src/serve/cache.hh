@@ -47,6 +47,15 @@ struct CacheKeyInputs
     std::string configJson;        //!< configToJson of the exact config
     std::string core;
     std::uint64_t period = 0;
+
+    /**
+     * engine::kStreamFormatVersion at build time. Deliberately NOT
+     * which engine ran the job: both produce byte-identical payloads,
+     * so a hit must never depend on that — but a future revision of
+     * the compiled-stream semantics bumps the version and retires
+     * every entry either engine produced under the old semantics.
+     */
+    std::uint64_t engineVersion = 0;
 };
 
 /** The content address of @p inputs. */

@@ -20,6 +20,7 @@
 
 #include "common/io_faults.hh"
 #include "common/logging.hh"
+#include "engine/engine.hh"
 #include "inject/campaign.hh"
 #include "inject/sandbox.hh"
 #include "kernels/lll.hh"
@@ -384,6 +385,7 @@ Server::runJob(const JobSpec &job, std::size_t index)
     inputs.configJson = configToJson(config);
     inputs.core = coreKindName(*kind);
     inputs.period = job.period;
+    inputs.engineVersion = engine::kStreamFormatVersion;
     out.key = cacheKey(inputs);
 
     {
@@ -555,6 +557,7 @@ Server::runUnit(const Lease &lease)
         inputs.configJson = spec.configJson;
         inputs.core = "inject";
         inputs.period = lease.unit.trial;
+        inputs.engineVersion = engine::kStreamFormatVersion;
         out.key = cacheKey(inputs);
         bool haveResult = false;
         {

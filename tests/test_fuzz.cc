@@ -20,6 +20,7 @@
 
 #include "common/flat_json.hh"
 #include "common/io_faults.hh"
+#include "engine/engine.hh"
 #include "inject/snapshot.hh"
 #include "kernels/lll.hh"
 #include "isa/encoding.hh"
@@ -96,6 +97,66 @@ TEST_P(FuzzSeeds, DifferentialCommitOracleAcceptsEveryCore)
             << core->name() << " on " << w.name << ":\n"
             << oracle.report();
     }
+}
+
+TEST_P(FuzzSeeds, BothEnginesAreBitExactOnRandomPrograms)
+{
+    // Cross-engine differential mode: every random program, on every
+    // core, must produce byte-identical JSON and an identical commit
+    // stream under the interpretive and the compiled cycle engine —
+    // uninterrupted and with a seed-derived external interrupt cycle.
+    // The small pool forces wraparound, structural stalls, and (on the
+    // RUU machines) the compiled path's incremental dispatch/wakeup/
+    // completion indices through their squash paths.
+    struct Log : CommitObserver
+    {
+        std::vector<std::pair<SeqNum, Word>> commits;
+        void onCommit(SeqNum seq, const TraceRecord &record) override
+        {
+            commits.emplace_back(seq, record.result);
+        }
+    };
+    Workload w = workload();
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 3371 +
+                        97);
+    std::uniform_int_distribution<Cycle> pick(1, 500);
+    const Cycle interruptCycle = pick(rng);
+
+    ::unsetenv("RUU_ENGINE");
+    const engine::Kind saved = engine::defaultKind();
+    auto runWith = [&](engine::Kind engineKind, CoreKind coreKind,
+                       Cycle at) {
+        engine::setDefaultKind(engineKind);
+        UarchConfig config = UarchConfig::cray1();
+        config.poolEntries = 6;
+        config.historyEntries = 6;
+        config.tuEntries = 6;
+        config.checkInvariants = true;
+        auto core = makeCore(coreKind, config);
+        Log log;
+        RunOptions options;
+        options.observer = &log;
+        options.interruptAt = at;
+        RunResult run = core->run(w.trace(), options);
+        return std::make_pair(
+            runToJson(w.name, core->name(), run, core->stats()),
+            std::move(log.commits));
+    };
+    for (CoreKind kind : {CoreKind::Simple, CoreKind::Tomasulo,
+                          CoreKind::Rstu, CoreKind::Ruu,
+                          CoreKind::SpecRuu, CoreKind::History}) {
+        for (Cycle at : {kNoCycle, interruptCycle}) {
+            auto interp = runWith(engine::Kind::Interp, kind, at);
+            auto compiled = runWith(engine::Kind::Compiled, kind, at);
+            EXPECT_EQ(interp.first, compiled.first)
+                << coreKindName(kind) << " on " << w.name
+                << " (interrupt at " << at << ")";
+            EXPECT_EQ(interp.second, compiled.second)
+                << coreKindName(kind) << " commit streams diverged on "
+                << w.name << " (interrupt at " << at << ")";
+        }
+    }
+    engine::setDefaultKind(saved);
 }
 
 TEST_P(FuzzSeeds, AggressiveConfigurationsStayCorrect)
